@@ -1,0 +1,303 @@
+(* Benchmark & reproduction harness: one section per table/figure of the
+   paper (see DESIGN.md's experiment index), plus Bechamel micro-benchmarks
+   of the end-to-end simulation cost of each scheduling algorithm.
+
+   Scales are reduced relative to the paper (instances per cell, pool size)
+   so the whole run finishes in minutes; `bin/fairsched` exposes the same
+   experiments with full control over the parameters. *)
+
+let section name = Format.printf "@.=== %s ===@.@." name
+let progress line = Format.eprintf "  .. %s@." line
+
+(* --- E1: Figure 2 worked example -------------------------------------- *)
+
+let fig2 () =
+  section "fig2 — ψsp worked example (Figure 2)";
+  let f = Experiments.Worked_examples.figure2 () in
+  let check name got expected =
+    Format.printf "  %-28s %10.0f (paper: %.0f) %s@." name got expected
+      (if Float.abs (got -. expected) < 1e-9 then "ok" else "MISMATCH")
+  in
+  check "psi(O1, t=13)" f.psi_o1_at_13 262.;
+  check "psi(O1, t=14)" f.psi_o1_at_14 297.;
+  check "flow time at 14" (float_of_int f.flow_time_at_14) 70.;
+  check "gain without J(2)1" f.gain_without_competitor 4.;
+  check "loss delaying J6" f.loss_delaying_j6 6.;
+  check "loss dropping J9" f.loss_dropping_j9 10.
+
+(* --- E2: Figure 7 / Theorem 6.2 --------------------------------------- *)
+
+let utilization () =
+  section "utilization — greedy ¾-competitiveness (Figure 7, Theorem 6.2)";
+  Format.printf "  %-4s %-4s | %-12s %-11s %-8s %-6s@." "m" "p" "worst-greedy"
+    "best-greedy" "optimal" "ratio";
+  List.iter
+    (fun (r : Experiments.Worked_examples.utilization_row) ->
+      Format.printf "  %-4d %-4d | %-12.4f %-11.4f %-8.4f %-6.4f@." r.m r.p
+        r.greedy_worst r.greedy_best r.optimal r.ratio)
+    (Experiments.Worked_examples.utilization_sweep
+       [ (2, 2); (2, 5); (4, 3); (4, 8); (6, 4); (8, 3) ]);
+  Format.printf
+    "  (the worst greedy policy sits exactly at the tight 3/4 bound; no \
+     greedy run may fall below it)@."
+
+(* --- E3/E4: Tables 1 and 2 -------------------------------------------- *)
+
+let table ~name ~config =
+  section name;
+  let t = Experiments.Tables.run ~progress config in
+  Format.printf "%a" Experiments.Tables.pp t
+
+(* --- E5: Figure 10 ----------------------------------------------------- *)
+
+let fig10 ~instances ~max_orgs () =
+  section
+    (Printf.sprintf "fig10 — unfairness vs number of organizations (k = 2..%d)"
+       max_orgs);
+  let config = Experiments.Fig10.default_config ~instances ~max_orgs () in
+  let f = Experiments.Fig10.run ~progress config in
+  Format.printf "%a" Experiments.Fig10.pp f
+
+(* --- E8: Proposition 5.5 ----------------------------------------------- *)
+
+let prop55 () =
+  section "prop5.5 — the scheduling game is not supermodular";
+  List.iter
+    (fun (c, v) -> Format.printf "  v%a = %.1f@." Shapley.Coalition.pp c v)
+    (Experiments.Worked_examples.prop55_values ());
+  Format.printf "  supermodular? %b (paper: false)@."
+    (Experiments.Worked_examples.prop55_is_supermodular ())
+
+(* --- E10/E11: ablations ------------------------------------------------ *)
+
+let ablations ~instances () =
+  section "rand_ablation — RAND sample-count sweep (N = 5, 15, 75)";
+  Format.printf "%a" Experiments.Ablations.pp_rows
+    (Experiments.Ablations.rand_sample_sweep ~instances ~seed:97 ());
+  section "endowment_ablation — Zipf vs uniform machine endowments";
+  Format.printf "%a" Experiments.Ablations.pp_rows
+    (Experiments.Ablations.endowment_sweep ~instances ~seed:98 ());
+  section "load_ablation — fairness gap vs offered load";
+  Format.printf "%a" Experiments.Ablations.pp_rows
+    (Experiments.Ablations.load_sweep ~instances ~seed:99 ());
+  section "decay_ablation — usage half-life (Maui/SLURM-style decay)";
+  Format.printf "%a" Experiments.Ablations.pp_rows
+    (Experiments.Ablations.decay_sweep ~instances:(Stdlib.max 2 (instances / 2))
+       ~seed:96 ());
+  section
+    "concept_ablation — Banzhaf-fair vs Shapley-fair schedules (paper's \
+     future work)";
+  Format.printf "%a" Experiments.Ablations.pp_rows
+    (Experiments.Ablations.concept_sweep ~instances ~seed:95 ());
+  section
+    "utility_ablation — is workload manipulation profitable? (Section 4 \
+     motivation)";
+  Format.printf "%a" Experiments.Ablations.pp_manipulation
+    (Experiments.Ablations.manipulation_sweep ())
+
+(* --- E19: coalition stability ------------------------------------------ *)
+
+let stability () =
+  section
+    "stability — secession incentives (core excess) under each policy";
+  Format.printf "%a" Experiments.Stability.pp (Experiments.Stability.demo ());
+  Format.printf
+    "  (excess(C) = what coalition C would produce alone minus what its \
+     members@.   received; positive excess is a secession threat.  \
+     Fairness-aware policies@.   keep it well under 1%% of the grand value; \
+     round robin is several times@.   worse — the paper's stability \
+     motivation, quantified.)@."
+
+(* --- E18: Theorem 5.6 estimator error -------------------------------- *)
+
+let estimator () =
+  section
+    "estimator — Monte-Carlo Shapley error vs the Hoeffding bound (Thm 5.6)";
+  Format.printf "%a"
+    Experiments.Estimator_study.pp
+    (Experiments.Estimator_study.run
+       (Experiments.Estimator_study.default_config ~trials:150 ()));
+  Format.printf
+    "  (error scales as 1/sqrt(N); the theorem's sample count is safely \
+     conservative)@."
+
+(* --- E15: Theorem 5.1 gadget ------------------------------------------- *)
+
+let hardness () =
+  section
+    "hardness — Theorem 5.1 reduction gadget, machine-checked under REF";
+  let elements = [ 1; 2; 3 ] and x = 3 in
+  Format.printf "  S = {1,2,3}, x = %d: huge job starts at 2x+3 iff Σ < x@."
+    x;
+  List.iter
+    (fun (c : Experiments.Hardness.check) ->
+      Format.printf "  C = {%s}  y = %d  expected %d  got %s  %s@."
+        (String.concat "," (List.map string_of_int c.subset))
+        c.y c.expected_start
+        (match c.actual_start with Some s -> string_of_int s | None -> "-")
+        (if c.consistent then "ok" else "MISMATCH"))
+    (Experiments.Hardness.verify ~elements ~x);
+  Format.printf "  subsets below x: %d; below x+1: %d; SUBSETSUM(x)=%b@."
+    (Experiments.Hardness.subsets_below ~elements ~x)
+    (Experiments.Hardness.subsets_below ~elements ~x:(x + 1))
+    (Experiments.Hardness.subset_sum_exists ~elements ~x)
+
+(* --- E13/E14: model extensions ----------------------------------------- *)
+
+let extensions () =
+  section
+    "related_machines — efficiency loss beyond the 3/4 bound (Section 8 \
+     open question)";
+  Format.printf "  %-8s | %-12s %-12s %-10s@." "speed r" "fast greedy"
+    "slow greedy" "work ratio";
+  List.iter
+    (fun (r : Sim.Related.gadget_row) ->
+      Format.printf "  %-8d | %-12.0f %-12.0f %-10.4f@." r.ratio r.fast_work
+        r.slow_work r.work_ratio)
+    (Sim.Related.gadget_sweep ~ratios:[ 1; 2; 4; 8; 16 ] ~work:100);
+  Format.printf
+    "  (a greedy rule pinning slow machines executes only 1/r of the \
+     optimal work —@.   the 3/4 guarantee is specific to identical \
+     machines)@.";
+  section
+    "parallel_jobs — greedy efficiency loss for rigid jobs (end of \
+     Section 6)";
+  Format.printf "  %-6s | %-12s %-12s %-10s@." "m" "thin-first" "wide-first"
+    "ratio";
+  List.iter
+    (fun (r : Extensions.Rigid.gadget_row) ->
+      Format.printf "  %-6d | %-12.4f %-12.4f %-10.4f@." r.m r.thin_first
+        r.wide_first r.ratio)
+    (Extensions.Rigid.gadget_sweep ~ms:[ 2; 4; 8; 16 ] ~size:50);
+  Format.printf
+    "  (utilization of a greedy rule can drop to 1/m once jobs need several \
+     processors)@."
+
+(* --- E16: unfairness over time ----------------------------------------- *)
+
+let timeline ~instances () =
+  section "timeline — unfairness accumulates over the trace (Def. 3.2)";
+  let f =
+    Experiments.Timeline.run
+      (Experiments.Timeline.default_config ~horizon:100_000 ~instances ())
+  in
+  Format.printf "%a" Experiments.Timeline.pp f
+
+(* --- E20: price of non-preemption -------------------------------------- *)
+
+let preemption ~instances () =
+  section
+    "preemption_ablation — would slot-level preemption make schedules \
+     fairer?";
+  let sums =
+    List.map
+      (fun n -> (n, Fstats.Summary.create ()))
+      [ "preemptive-equal"; "preemptive-util"; "rand-15"; "fairshare" ]
+  in
+  for seed = 1 to instances do
+    let instance =
+      Workload.Scenario.instance
+        (Workload.Scenario.default ~norgs:5 ~machines:16 ~horizon:50_000
+           Workload.Traces.lpc_egee)
+        ~seed
+    in
+    let reference =
+      Sim.Driver.run ~record:false ~instance
+        ~rng:(Fstats.Rng.create ~seed:1)
+        Algorithms.Reference.reference
+    in
+    let add name v = Fstats.Summary.add (List.assoc name sums) v in
+    let preemptive policy =
+      snd
+        (Extensions.Preemptive.delta_ratio ~reference
+           (Extensions.Preemptive.simulate ~instance policy))
+    in
+    add "preemptive-equal" (preemptive Extensions.Preemptive.Equal_share);
+    add "preemptive-util" (preemptive Extensions.Preemptive.Utility_balance);
+    match
+      Sim.Fairness.evaluate_against ~reference ~instance ~seed:2
+        [ Algorithms.Rand.rand15; Algorithms.Fair_share.fair_share ]
+    with
+    | [ r; f ] ->
+        add "rand-15" r.Sim.Fairness.ratio;
+        add "fairshare" f.Sim.Fairness.ratio
+    | _ -> assert false
+  done;
+  List.iter
+    (fun (n, s) -> Format.printf "  %-18s %a@." n Fstats.Summary.pp s)
+    sums;
+  Format.printf
+    "  (an idealized scheduler that reassigns machines every second is \
+     FARTHER from@.   the Shapley-fair utilities than the non-preemptive \
+     heuristics: unfairness comes@.   from ignoring contributions, not from \
+     the no-preemption constraint)@."
+
+(* --- E12: Bechamel micro-benchmarks ------------------------------------ *)
+
+let micro () =
+  section "micro — end-to-end simulation cost per algorithm (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let instance =
+    Workload.Scenario.instance
+      (Workload.Scenario.default ~norgs:5 ~machines:16 ~horizon:10_000
+         Workload.Traces.lpc_egee)
+      ~seed:11
+  in
+  let bench_of name =
+    let maker = Algorithms.Registry.find_exn name in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let rng = Fstats.Rng.create ~seed:5 in
+           ignore (Sim.Driver.run ~record:false ~instance ~rng maker)))
+  in
+  let tests =
+    Test.make_grouped ~name:"simulate-10k"
+      (List.map bench_of
+         [
+           "ref"; "rand-15"; "rand-75"; "directcontr"; "fairshare";
+           "utfairshare"; "currfairshare"; "roundrobin"; "fifo";
+         ])
+  in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> rows := (name, est /. 1e6) :: !rows
+      | _ -> ())
+    results;
+  Format.printf "  %-38s %14s@." "benchmark" "time/run (ms)";
+  List.iter
+    (fun (name, ms) -> Format.printf "  %-38s %14.3f@." name ms)
+    (List.sort Stdlib.compare !rows)
+
+let () =
+  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  let t0 = Unix.gettimeofday () in
+  Format.printf
+    "Non-monetary fair scheduling (SPAA 2013) — reproduction benches@.";
+  fig2 ();
+  prop55 ();
+  utilization ();
+  table ~name:"table1 — Δψ/p_tot, horizon 5·10⁴ (Table 1)"
+    ~config:
+      (Experiments.Tables.table1_config ~instances:(if quick then 2 else 100) ());
+  table ~name:"table2 — Δψ/p_tot, horizon 5·10⁵ (Table 2)"
+    ~config:
+      (Experiments.Tables.table2_config ~instances:(if quick then 1 else 20) ());
+  fig10 ~instances:(if quick then 2 else 20) ~max_orgs:(if quick then 5 else 8) ();
+  timeline ~instances:(if quick then 1 else 4) ();
+  ablations ~instances:(if quick then 2 else 12) ();
+  hardness ();
+  estimator ();
+  stability ();
+  extensions ();
+  preemption ~instances:(if quick then 2 else 8) ();
+  micro ();
+  Format.printf "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,365 @@
+(* fairsched — command-line front end of the reproduction.
+
+   Subcommands mirror the experiment index of DESIGN.md: `table` regenerates
+   Tables 1/2, `fig10` regenerates Figure 10, `utilization` the Section 6
+   experiment, `ablate` the ablations, `simulate` runs a single scenario,
+   `trace` writes a synthetic SWF file. *)
+
+open Cmdliner
+
+let model_conv =
+  let parse s =
+    match Workload.Traces.by_name s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown model %S (try %s)" s
+                (String.concat ", "
+                   (List.map
+                      (fun m -> m.Workload.Traces.name)
+                      Workload.Traces.all))))
+  in
+  let print ppf m = Format.fprintf ppf "%s" m.Workload.Traces.name in
+  Arg.conv (parse, print)
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv Workload.Traces.lpc_egee
+    & info [ "model"; "w" ] ~docv:"MODEL"
+        ~doc:"Workload model: lpc-egee, pik-iplex, ricc, sharcnet-whale.")
+
+let seed_arg =
+  Arg.(value & opt int 2013 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let horizon_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "horizon"; "t" ] ~docv:"SECONDS" ~doc:"Evaluation horizon.")
+
+let machines_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "machines"; "m" ] ~docv:"N"
+        ~doc:"Total machine pool (scaled-down stand-in for the trace's pool).")
+
+let norgs_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "orgs"; "k" ] ~docv:"K" ~doc:"Number of organizations.")
+
+let instances_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "instances"; "n" ] ~docv:"N"
+        ~doc:"Random instances per experimental cell.")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write results as CSV.")
+
+let progress line = Format.eprintf "  %s@." line
+
+let write_csv path contents =
+  match path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Format.printf "wrote %s@." path
+
+(* --- simulate ------------------------------------------------------- *)
+
+let simulate_cmd =
+  let algo_arg =
+    Arg.(
+      value & opt string "ref"
+      & info [ "algorithm"; "a" ] ~docv:"NAME"
+          ~doc:"Algorithm (see `fairsched algorithms`).")
+  in
+  let gantt_arg =
+    Arg.(
+      value & flag
+      & info [ "gantt" ] ~doc:"Draw an ASCII Gantt chart of the schedule.")
+  in
+  let run model algo norgs machines horizon seed gantt =
+    match Algorithms.Registry.find algo with
+    | None ->
+        Format.printf "unknown algorithm %S@." algo;
+        exit 1
+    | Some maker ->
+        let spec =
+          Workload.Scenario.default ~norgs ~machines ~horizon model
+        in
+        let instance = Workload.Scenario.instance spec ~seed in
+        Format.printf "%a@." Core.Instance.pp instance;
+        let rng = Fstats.Rng.create ~seed in
+        let result = Sim.Driver.run ~instance ~rng maker in
+        Format.printf "%a@." Sim.Driver.pp_result result;
+        Format.printf "utilization: %.3f  wall: %.2fs@."
+          (Core.Schedule.utilization result.Sim.Driver.schedule ~upto:horizon)
+          result.Sim.Driver.wall_seconds;
+        if gantt then
+          print_string
+            (Core.Gantt.render ~upto:horizon result.Sim.Driver.schedule)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one algorithm on one synthetic scenario.")
+    Term.(
+      const run $ model_arg $ algo_arg $ norgs_arg $ machines_arg
+      $ horizon_arg 50_000 $ seed_arg $ gantt_arg)
+
+(* --- table ----------------------------------------------------------- *)
+
+let table_cmd =
+  let run horizon instances machines csv =
+    let config =
+      if horizon >= 500_000 then
+        { (Experiments.Tables.table2_config ~instances ~machines ()) with
+          horizon }
+      else
+        { (Experiments.Tables.table1_config ~instances ~machines ()) with
+          horizon }
+    in
+    let table = Experiments.Tables.run ~progress config in
+    Format.printf "Average unjustified delay Δψ/p_tot (horizon %d, %d \
+                   instances, %d machines, k=%d)@.@."
+      horizon instances machines config.Experiments.Tables.norgs;
+    Format.printf "%a@." Experiments.Tables.pp table;
+    write_csv csv (Experiments.Tables.to_csv table)
+  in
+  Cmd.v
+    (Cmd.info "table"
+       ~doc:
+         "Regenerate Table 1 (default) or Table 2 (--horizon 500000): \
+          unfairness of each algorithm on each workload.")
+    Term.(
+      const run $ horizon_arg 50_000 $ instances_arg 10 $ machines_arg
+      $ csv_arg)
+
+(* --- fig10 ----------------------------------------------------------- *)
+
+let fig10_cmd =
+  let max_orgs_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-orgs" ] ~docv:"K"
+          ~doc:"Largest organization count (REF cost grows as 3^K).")
+  in
+  let run instances horizon max_orgs csv =
+    let config =
+      Experiments.Fig10.default_config ~instances ~horizon ~max_orgs ()
+    in
+    let figure = Experiments.Fig10.run ~progress config in
+    Format.printf "Unfairness vs number of organizations (LPC-EGEE)@.@.%a@."
+      Experiments.Fig10.pp figure;
+    write_csv csv (Experiments.Fig10.to_csv figure)
+  in
+  Cmd.v
+    (Cmd.info "fig10"
+       ~doc:"Regenerate Figure 10: Δψ/p_tot as the number of organizations \
+             grows.")
+    Term.(
+      const run $ instances_arg 5 $ horizon_arg 50_000 $ max_orgs_arg
+      $ csv_arg)
+
+(* --- utilization ------------------------------------------------------ *)
+
+let utilization_cmd =
+  let run () =
+    Format.printf
+      "Theorem 6.2 / Figure 7: greedy utilization vs the optimum@.@.";
+    Format.printf "%-5s %-5s | %-12s %-12s %-8s %-8s@." "m" "p" "worst greedy"
+      "best greedy" "optimal" "ratio";
+    List.iter
+      (fun (r : Experiments.Worked_examples.utilization_row) ->
+        Format.printf "%-5d %-5d | %-12.4f %-12.4f %-8.4f %-8.4f@." r.m r.p
+          r.greedy_worst r.greedy_best r.optimal r.ratio)
+      (Experiments.Worked_examples.utilization_sweep
+         [ (2, 2); (2, 5); (4, 3); (4, 10); (6, 4); (8, 3) ])
+  in
+  Cmd.v
+    (Cmd.info "utilization"
+       ~doc:"Regenerate the Section 6 tight ¾-competitiveness experiment.")
+    Term.(const run $ const ())
+
+(* --- ablate ----------------------------------------------------------- *)
+
+let ablate_cmd =
+  let which_arg =
+    Arg.(
+      value & pos 0 (enum [ ("rand", `Rand); ("endowment", `Endowment);
+                            ("load", `Load) ]) `Rand
+      & info [] ~docv:"WHICH" ~doc:"rand | endowment | load")
+  in
+  let run which instances horizon seed =
+    let rows =
+      match which with
+      | `Rand ->
+          Experiments.Ablations.rand_sample_sweep ~instances ~horizon ~seed ()
+      | `Endowment ->
+          Experiments.Ablations.endowment_sweep ~instances ~horizon ~seed ()
+      | `Load -> Experiments.Ablations.load_sweep ~instances ~horizon ~seed ()
+    in
+    Format.printf "%a" Experiments.Ablations.pp_rows rows
+  in
+  Cmd.v
+    (Cmd.info "ablate" ~doc:"Run an ablation sweep (rand | endowment | load).")
+    Term.(
+      const run $ which_arg $ instances_arg 5 $ horizon_arg 50_000 $ seed_arg)
+
+(* --- trace ------------------------------------------------------------ *)
+
+let trace_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output SWF file.")
+  in
+  let run model machines horizon seed out =
+    let rng = Fstats.Rng.create ~seed in
+    let entries =
+      Workload.Traces.generate model ~rng ~machines ~duration:horizon ()
+    in
+    let header =
+      [
+        Printf.sprintf "Synthetic %s model trace" model.Workload.Traces.name;
+        Printf.sprintf "MaxProcs: %d" machines;
+        Printf.sprintf "seed: %d  duration: %d" seed horizon;
+      ]
+    in
+    Workload.Swf.save out { Workload.Swf.header; entries };
+    Format.printf "wrote %d jobs to %s@." (List.length entries) out
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Generate a synthetic SWF trace file.")
+    Term.(
+      const run $ model_arg $ machines_arg $ horizon_arg 50_000 $ seed_arg
+      $ out_arg)
+
+(* --- timeline ---------------------------------------------------------- *)
+
+let timeline_cmd =
+  let run horizon instances csv =
+    let config =
+      Experiments.Timeline.default_config ~horizon ~instances ()
+    in
+    let figure = Experiments.Timeline.run config in
+    Format.printf "Unfairness over time (Δψ(t)/p_tot(t))@.@.%a@."
+      Experiments.Timeline.pp figure;
+    write_csv csv (Experiments.Timeline.to_csv figure)
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Track how unfairness accumulates over the trace (Definition              3.2 is per-instant).")
+    Term.(const run $ horizon_arg 200_000 $ instances_arg 3 $ csv_arg)
+
+(* --- analyze ----------------------------------------------------------- *)
+
+let analyze_cmd =
+  let file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file"; "f" ] ~docv:"FILE"
+          ~doc:"SWF trace file to analyze (default: generate from --model).")
+  in
+  let run model machines horizon seed file =
+    let entries =
+      match file with
+      | Some path -> (Workload.Swf.load path).Workload.Swf.entries
+      | None ->
+          Workload.Traces.generate model
+            ~rng:(Fstats.Rng.create ~seed)
+            ~machines ~duration:horizon ()
+    in
+    if entries = [] then begin
+      Format.printf "empty trace@.";
+      exit 1
+    end;
+    Format.printf "%a" Workload.Analysis.pp
+      (Workload.Analysis.of_entries ~machines entries)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Descriptive statistics of a trace (SWF file or synthetic model).")
+    Term.(
+      const run $ model_arg $ machines_arg $ horizon_arg 50_000 $ seed_arg
+      $ file_arg)
+
+(* --- report ------------------------------------------------------------ *)
+
+let report_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "report.html"
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output HTML file.")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller instance counts.")
+  in
+  let run out quick =
+    let config = Report.Builder.default_config ~quick () in
+    let html = Report.Builder.build ~progress:(fun s -> Format.eprintf "  .. %s@." s) config in
+    Report.Builder.save ~path:out html;
+    Format.printf "wrote %s (%d bytes)@." out (String.length html)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Generate a self-contained HTML report with SVG charts of every              experiment.")
+    Term.(const run $ out_arg $ quick_arg)
+
+(* --- examples / algorithms -------------------------------------------- *)
+
+let examples_cmd =
+  let run () =
+    let f = Experiments.Worked_examples.figure2 () in
+    Format.printf
+      "Figure 2 (ψsp worked example):@.\
+      \  ψsp(O1, 13) = %.0f (paper: 262)@.\
+      \  ψsp(O1, 14) = %.0f (paper: 297)@.\
+      \  flow time at 14 = %d (paper: 70)@.\
+      \  gain if J(2)1 absent = %.0f (paper: 4)@.\
+      \  loss if J6 delayed = %.0f (paper: 6)@.\
+      \  loss if J9 dropped = %.0f (paper: 10)@."
+      f.psi_o1_at_13 f.psi_o1_at_14 f.flow_time_at_14
+      f.gain_without_competitor f.loss_delaying_j6 f.loss_dropping_j9;
+    Format.printf "@.Proposition 5.5 (non-supermodularity):@.";
+    List.iter
+      (fun (c, v) -> Format.printf "  v%a = %.1f@." Shapley.Coalition.pp c v)
+      (Experiments.Worked_examples.prop55_values ());
+    Format.printf "  supermodular? %b (paper: false)@."
+      (Experiments.Worked_examples.prop55_is_supermodular ())
+  in
+  Cmd.v
+    (Cmd.info "examples" ~doc:"Check the paper's worked examples.")
+    Term.(const run $ const ())
+
+let algorithms_cmd =
+  let run () =
+    List.iter (fun n -> Format.printf "%s@." n) Algorithms.Registry.all_names
+  in
+  Cmd.v
+    (Cmd.info "algorithms" ~doc:"List registered scheduling algorithms.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "fairsched" ~version:"1.0.0"
+      ~doc:
+        "Non-monetary fair scheduling — Shapley-value cooperative-game \
+         scheduling (Skowron & Rzadca, SPAA 2013) reproduction."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            simulate_cmd; table_cmd; fig10_cmd; utilization_cmd; ablate_cmd;
+            trace_cmd; timeline_cmd; analyze_cmd; report_cmd; examples_cmd;
+            algorithms_cmd;
+          ]))

@@ -1,0 +1,55 @@
+(* Static shares vs dynamic contributions — the headline experimental claim
+   of the paper (Section 7): when the job-arrival pattern is dynamic, giving
+   each organization a *static* target share of the resources (fair share)
+   is measurably less fair than tracking each organization's *current*
+   contribution (Shapley-based scheduling).
+
+   This example runs a synthetic LPC-EGEE-like week for five organizations
+   and reports the paper's unfairness metric Δψ/p_tot for the whole
+   evaluated line-up, averaged over several random instances.
+
+   Run with:  dune exec examples/fairshare_vs_shapley.exe *)
+
+let algorithms =
+  [
+    "rand-15"; "directcontr"; "fairshare"; "utfairshare"; "currfairshare";
+    "roundrobin";
+  ]
+
+let () =
+  let instances = 6 in
+  let summaries =
+    List.map (fun name -> (name, Fstats.Summary.create ())) algorithms
+  in
+  Format.printf
+    "Fairness on a synthetic LPC-EGEE week (5 orgs, 16 machines, %d random \
+     instances)@.@."
+    instances;
+  for i = 1 to instances do
+    let spec =
+      Workload.Scenario.default ~norgs:5 ~machines:16 ~horizon:50_000
+        Workload.Traces.lpc_egee
+    in
+    let instance = Workload.Scenario.instance spec ~seed:(1000 + i) in
+    let _, evals =
+      Sim.Fairness.evaluate ~instance ~seed:i
+        (List.map Algorithms.Registry.find_exn algorithms)
+    in
+    List.iter2
+      (fun name (e : Sim.Fairness.evaluation) ->
+        Fstats.Summary.add (List.assoc name summaries) e.Sim.Fairness.ratio)
+      algorithms evals;
+    Format.eprintf "  instance %d/%d done@." i instances
+  done;
+  Format.printf "  %-16s %14s %12s@." "algorithm" "avg Δψ/p_tot" "st.dev";
+  List.iter
+    (fun (name, s) ->
+      Format.printf "  %-16s %14.2f %12.2f@." name (Fstats.Summary.mean s)
+        (Fstats.Summary.stddev s))
+    summaries;
+  Format.printf
+    "@.Δψ/p_tot reads as \"average unjustified delay (s) per unit of \
+     work\"@.relative to the exact Shapley-fair schedule (REF).  The \
+     Shapley-value@.estimator (rand-15) tracks the fair schedule far more \
+     closely than any@.static-share policy; plain round robin is an order \
+     of magnitude worse.@."

@@ -1,0 +1,78 @@
+(* Peak offloading — the motivating scenario of the paper's introduction:
+   organizations federate so that peak loads can spill onto partners' idle
+   machines.
+
+   Org 0 ("bursty lab") is idle most of the time but submits a large batch
+   every 200 s; org 1 ("steady lab") runs a constant trickle.  With separate
+   clusters the bursty lab's batch queues behind its own 2 machines; in the
+   federation it borrows the steady lab's idle capacity — and the
+   Shapley-fair scheduler later pays the steady lab back with priority.
+
+   Run with:  dune exec examples/peak_offload.exe *)
+
+open Core
+
+let horizon = 1_000
+
+let bursty_jobs =
+  (* Every 200 s: a batch of 12 jobs x 20 s on only 2 own machines. *)
+  List.concat_map
+    (fun batch ->
+      List.init 12 (fun i ->
+          Job.make ~org:0
+            ~index:((batch * 12) + i)
+            ~release:(batch * 200) ~size:20 ()))
+    [ 0; 1; 2; 3; 4 ]
+
+let steady_jobs =
+  (* One 25 s job every 25 s: exactly one of the steady lab's two machines
+     is busy on average. *)
+  List.init (horizon / 25) (fun i ->
+      Job.make ~org:1 ~index:i ~release:(i * 25) ~size:25 ())
+
+let flow_of_schedule result (instance : Instance.t) =
+  Utility.Metrics.flow_time result.Sim.Driver.schedule
+    ~all_jobs:(Array.to_list instance.Instance.jobs)
+    ~at:horizon
+
+let () =
+  (* Alone: each org schedules only its own jobs on its own machines. *)
+  let alone org machines jobs =
+    let instance = Instance.make ~machines ~jobs ~horizon in
+    let r =
+      Sim.Driver.run ~instance
+        ~rng:(Fstats.Rng.create ~seed:1)
+        (Algorithms.Registry.find_exn "fifo")
+    in
+    (Sim.Driver.utilities r).(org)
+  in
+  let alone0 = alone 0 [| 2 |] (List.map (fun j -> { j with Job.org = 0 }) bursty_jobs) in
+  let alone1 = alone 0 [| 2 |] (List.map (fun j -> { j with Job.org = 0 }) steady_jobs) in
+
+  (* Federated under the Shapley-fair scheduler. *)
+  let instance =
+    Instance.make ~machines:[| 2; 2 |] ~jobs:(bursty_jobs @ steady_jobs)
+      ~horizon
+  in
+  let fair =
+    Sim.Driver.run ~instance
+      ~rng:(Fstats.Rng.create ~seed:1)
+      (Algorithms.Registry.find_exn "ref")
+  in
+  let u = Sim.Driver.utilities fair in
+
+  Format.printf "Peak-offloading federation (horizon %d s)@.@." horizon;
+  Format.printf "  %-22s %14s %14s@." "" "bursty lab" "steady lab";
+  Format.printf "  %-22s %14.0f %14.0f@." "psi alone" alone0 alone1;
+  Format.printf "  %-22s %14.0f %14.0f@." "psi federated (REF)" u.(0) u.(1);
+  Format.printf "  %-22s %13.1f%% %13.1f%%@." "gain"
+    ((u.(0) -. alone0) /. alone0 *. 100.)
+    ((u.(1) -. alone1) /. alone1 *. 100.);
+  Format.printf
+    "@.Individual rationality holds: the bursty lab's batches finish sooner \
+     on@.borrowed machines, while the steady lab — which is never queued \
+     when alone —@.loses nothing, because the fair scheduler gives it \
+     priority whenever it has@.work of its own.@.@.";
+  let flow = flow_of_schedule fair instance in
+  Format.printf "Federated total flow time: %d s; utilization: %.1f%%@." flow
+    (100. *. Schedule.utilization fair.Sim.Driver.schedule ~upto:horizon)

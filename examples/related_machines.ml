@@ -1,0 +1,74 @@
+(* Related machines: the paper's Section 2 claims most results extend to
+   machines with different speeds — this library threads speeds through the
+   whole pipeline, so the exact Shapley-fair scheduler runs unchanged.
+
+   Semantics note (see DESIGN.md): on related machines this reproduction
+   values a job by the *machine-time it receives* (wall-clock occupancy,
+   each slot worth (t − slot)), the direct reading of the paper's "p_i is a
+   function of the schedule".  Utilities of different organizations are
+   therefore measured in comparable machine-seconds, whatever mix of fast
+   and slow machines served them — and the fair scheduler equalizes the
+   *value of machine time received*, while fast machines still finish the
+   actual work sooner.
+
+   Run with:  dune exec examples/related_machines.exe *)
+
+open Core
+
+let () =
+  let burst org start =
+    List.init 8 (fun i ->
+        Job.make ~org ~index:i ~release:(start + (4 * i)) ~size:40 ())
+  in
+  let jobs = burst 0 0 @ burst 1 0 in
+  (* org 0 ("modern lab"): two speed-2 machines; org 1 ("legacy lab"): two
+     half-speed machines.  Identical workloads. *)
+  let instance =
+    Instance.make_related
+      ~speeds:[| 2.0; 2.0; 0.5; 0.5 |]
+      ~machines:[| 2; 2 |] ~jobs ~horizon:400
+  in
+  let ref_result =
+    Sim.Driver.run ~instance
+      ~rng:(Fstats.Rng.create ~seed:11)
+      (Algorithms.Registry.find_exn "ref")
+  in
+  let u = Sim.Driver.utilities ref_result in
+  let sched = ref_result.Sim.Driver.schedule in
+  let completions org =
+    List.filter_map
+      (fun (p : Schedule.placement) ->
+        if p.Schedule.job.Job.org = org then Some (Schedule.completion p)
+        else None)
+      (Schedule.placements sched)
+  in
+  let mean l =
+    float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+  in
+  Format.printf
+    "Shapley-fair scheduling on related machines (speeds 2.0 / 0.5):@.@.";
+  Format.printf "  %-22s %14s %18s@." "" "psi (REF)" "mean completion";
+  Format.printf "  %-22s %14.0f %17.0fs@." "modern lab (fast)" u.(0)
+    (mean (completions 0));
+  Format.printf "  %-22s %14.0f %17.0fs@." "legacy lab (slow)" u.(1)
+    (mean (completions 1));
+  Format.printf
+    "@.Under occupancy-valued fairness a machine-second is a machine-second \
+     whatever@.its speed: the two identical workloads receive (almost) \
+     identical utility and@.latency from the shared pool.  Note what this \
+     implies: speed ownership is@.invisible to the occupancy measure — a \
+     work-weighted valuation (each completed@.work unit valued at its \
+     completion slot) would credit the modern lab for@.contributing faster \
+     metal; DESIGN.md discusses this open semantic choice.@.@.";
+  Format.printf "Gantt (organization digits; fast machines are m0/m1):@.%s@."
+    (Gantt.render ~width:64 ~upto:250 sched);
+  Format.printf "Efficiency beyond identical machines (speed gadget):@.";
+  List.iter
+    (fun (r : Sim.Related.gadget_row) ->
+      Format.printf
+        "  speed ratio %2d: slow-pinning greedy executes %.0f%% of the \
+         optimal work@."
+        r.ratio (100. *. r.work_ratio))
+    (Sim.Related.gadget_sweep ~ratios:[ 2; 4; 8 ] ~work:60);
+  Format.printf
+    "  — the 3/4 bound of Theorem 6.2 is a property of identical machines.@."

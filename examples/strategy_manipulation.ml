@@ -1,0 +1,105 @@
+(* Strategy-proofness demo (Section 4, Theorem 4.1).
+
+   An organization can present the same work in different ways: merged into
+   one big job, split into many pieces, or delayed.  The paper proves ψsp is
+   the unique utility (up to affine transformation) under which no
+   presentation is ever profitable.  This example shows the property twice:
+
+   1. On a FIXED schedule: merging/splitting a chain of pieces leaves ψsp
+      exactly unchanged, while classic flow time moves — so a scheduler that
+      balances flow time invites workload manipulation.
+   2. End-to-end under the fair scheduler REF: an org that splits or delays
+      its workload never improves its ψsp.
+
+   Run with:  dune exec examples/strategy_manipulation.exe *)
+
+open Core
+
+let () =
+  (* Part 1 — the utility function itself.  60 s of work executed on one
+     machine starting at t = 10, evaluated at t = 100. *)
+  let at = 100 in
+  let presentations =
+    [
+      ("one 60 s job", [ (10, 60) ]);
+      ("two 30 s chained", [ (10, 30); (40, 30) ]);
+      ("twelve 5 s chained", List.init 12 (fun i -> (10 + (5 * i), 5)));
+      ("delayed 20 s", [ (30, 60) ]);
+    ]
+  in
+  Format.printf
+    "Part 1 — same machine-seconds, different presentation (t=%d):@.@." at;
+  Format.printf "  %-24s %10s %12s %14s@." "presentation" "psi_sp"
+    "total flow" "flow per job";
+  List.iter
+    (fun (name, pieces) ->
+      let psi = float_of_int (Utility.Psp.of_pieces_scaled pieces ~at) /. 2. in
+      (* Flow time of the pieces, all released when the first piece would
+         have been (t = 10): Σ (completion − release). *)
+      let flow =
+        List.fold_left (fun acc (s, p) -> acc + (s + p - 10)) 0 pieces
+      in
+      Format.printf "  %-24s %10.1f %12d %14.1f@." name psi flow
+        (float_of_int flow /. float_of_int (List.length pieces)))
+    presentations;
+  Format.printf
+    "@.  ψsp is exactly invariant under merge/split and strictly lower when \
+     delayed.@.  Flow time shows both pathologies Theorem 4.1 rules out: \
+     per-job flow drops@.  when you split (short jobs jump the queue under \
+     a flow-minimizing scheduler)@.  while total flow grows with the job \
+     count (an empty schedule would be@.  'optimal').@.@.";
+
+  (* Part 2 — end to end under REF with a competitor keeping the pool
+     busy. *)
+  let competitor =
+    List.init 20 (fun i -> Job.make ~org:1 ~index:i ~release:(i * 5) ~size:6 ())
+  in
+  let horizon = 200 in
+  let run_with jobs0 =
+    let instance =
+      Instance.make ~machines:[| 1; 1 |] ~jobs:(jobs0 @ competitor) ~horizon
+    in
+    let r =
+      Sim.Driver.run ~instance
+        ~rng:(Fstats.Rng.create ~seed:7)
+        (Algorithms.Registry.find_exn "ref")
+    in
+    (Sim.Driver.utilities r).(0)
+  in
+  let merged = [ Job.make ~org:0 ~index:0 ~release:0 ~size:60 () ] in
+  let split =
+    List.init 12 (fun i -> Job.make ~org:0 ~index:i ~release:0 ~size:5 ())
+  in
+  let delayed = [ Job.make ~org:0 ~index:0 ~release:40 ~size:60 () ] in
+  Format.printf
+    "Part 2 — the same 60 s stream scheduled by REF against a competitor:@.@.";
+  Format.printf "  %-24s %10s@." "presentation" "psi_sp";
+  List.iter
+    (fun (name, jobs) ->
+      Format.printf "  %-24s %10.1f@." name (run_with jobs))
+    [ ("one 60 s job", merged); ("split: twelve 5 s", split);
+      ("delayed by 40 s", delayed) ];
+  Format.printf
+    "@.  Splitting buys nothing (the scheduler re-prioritizes between \
+     pieces), and@.  delaying strictly hurts — presenting the workload \
+     honestly is optimal.@.@.";
+
+  (* Part 3 — what if the fair algorithm balanced flow time instead?  The
+     same REF machinery accepts any utility (Fig. 1's general form). *)
+  Format.printf
+    "Part 3 — the same fair algorithm driven by flow time instead of \
+     psi_sp:@.@.";
+  Format.printf "  %-18s %-28s %-28s %s@." "scheduler" "merged" "split"
+    "splitting pays?";
+  List.iter
+    (fun (r : Experiments.Ablations.manipulation_row) ->
+      Format.printf "  %-18s psi=%-8.0f done at %-6d psi=%-8.0f done at %-6d %b@."
+        r.Experiments.Ablations.scheduler r.Experiments.Ablations.psi_merged
+        r.Experiments.Ablations.done_merged r.Experiments.Ablations.psi_split
+        r.Experiments.Ablations.done_split
+        r.Experiments.Ablations.splitting_pays)
+    (Experiments.Ablations.manipulation_sweep ());
+  Format.printf
+    "@.  Under flow-time-driven fairness the split presentation finishes \
+     the same@.  work twice as fast — a standing invitation to manipulate \
+     that psi_sp removes.@."

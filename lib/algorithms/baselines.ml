@@ -1,0 +1,74 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+let fifo_front_release cluster u =
+  match Cluster.front cluster u with
+  | Some j -> j.Job.release
+  | None -> max_int
+
+let fifo_select cluster =
+  match Cluster.waiting_orgs cluster with
+  | [] -> invalid_arg "fifo: nothing waiting"
+  | orgs ->
+      List.fold_left
+        (fun best u ->
+          if fifo_front_release cluster u < fifo_front_release cluster best
+          then u
+          else best)
+        (List.hd orgs) (List.tl orgs)
+
+let fifo _instance ~rng:_ =
+  Policy.make ~name:"fifo"
+    ~select:(fun view ~time:_ -> fifo_select view.Policy.cluster)
+    ()
+
+let fifo_select_sim sim ~time:_ =
+  match Coalition_sim.waiting_orgs sim with
+  | [] -> invalid_arg "fifo_select_sim: nothing waiting"
+  | orgs ->
+      let release u =
+        Option.value (Coalition_sim.front_release sim ~org:u) ~default:max_int
+      in
+      List.fold_left
+        (fun best u -> if release u < release best then u else best)
+        (List.hd orgs) (List.tl orgs)
+
+let random_greedy _instance ~rng =
+  let rng = Fstats.Rng.split rng in
+  Policy.make ~name:"random"
+    ~select:(fun view ~time:_ ->
+      let orgs = Array.of_list (Cluster.waiting_orgs view.Policy.cluster) in
+      Fstats.Rng.choose rng orgs)
+    ()
+
+let round_robin instance ~rng:_ =
+  let k = Instance.organizations instance in
+  let cursor = ref (k - 1) in
+  Policy.make ~name:"roundrobin"
+    ~select:(fun view ~time:_ ->
+      let rec go tried u =
+        if tried > k then invalid_arg "roundrobin: nothing waiting"
+        else if Cluster.waiting_count view.Policy.cluster u > 0 then begin
+          cursor := u;
+          u
+        end
+        else go (tried + 1) ((u + 1) mod k)
+      in
+      go 0 ((!cursor + 1) mod k))
+    ()
+
+let longest_queue _instance ~rng:_ =
+  Policy.make ~name:"longest-queue"
+    ~select:(fun view ~time:_ ->
+      match Cluster.waiting_orgs view.Policy.cluster with
+      | [] -> invalid_arg "longest-queue: nothing waiting"
+      | orgs ->
+          List.fold_left
+            (fun best u ->
+              if
+                Cluster.waiting_count view.Policy.cluster u
+                > Cluster.waiting_count view.Policy.cluster best
+              then u
+              else best)
+            (List.hd orgs) (List.tl orgs))
+    ()

@@ -1,0 +1,26 @@
+(** Simple greedy policies.
+
+    These are not in the paper's evaluated set (except ROUNDROBIN) but serve
+    as baselines and as "arbitrary greedy algorithms" for the Section 6
+    utilization experiments: Theorem 6.2 holds for {e every} greedy policy,
+    so the tests exercise several. *)
+
+val fifo : Policy.maker
+(** First-come-first-served across organizations: start the waiting front
+    job with the earliest release time (ties: lowest organization id).  Also
+    the in-coalition rule RAND uses for its simplified schedules. *)
+
+val fifo_select_sim : Coalition_sim.t -> time:int -> int
+(** The same FCFS rule as a {!Coalition_sim} selection callback. *)
+
+val random_greedy : Policy.maker
+(** Uniformly random waiting organization — an adversarially arbitrary
+    greedy policy. *)
+
+val round_robin : Policy.maker
+(** The paper's ROUNDROBIN: cycle through organizations, skipping the ones
+    with empty queues. *)
+
+val longest_queue : Policy.maker
+(** Serve the organization with the most waiting jobs (a deliberately
+    unfair-by-design stress baseline). *)

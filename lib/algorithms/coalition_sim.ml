@@ -1,0 +1,131 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+type t = {
+  members : Shapley.Coalition.t;
+  cluster : Cluster.t;
+  trackers : Utility.Tracker.t array;  (* indexed by global org id *)
+  backlog : Job.t Queue.t;
+  pending : Instant.t;
+  mutable now : int;
+}
+
+let create ~instance ~members =
+  if members = Shapley.Coalition.empty then
+    invalid_arg "Coalition_sim.create: empty coalition";
+  let norgs = Instance.organizations instance in
+  let machine_owners =
+    Shapley.Coalition.fold
+      (fun u acc ->
+        List.rev_append
+          (List.init instance.Instance.machines.(u) (fun _ -> u))
+          acc)
+      members []
+    |> List.rev |> Array.of_list
+  in
+  if Array.length machine_owners = 0 then
+    invalid_arg "Coalition_sim.create: coalition owns no machine";
+  (* Related machines: carry over the members' machine speeds, flattened in
+     the same member-ascending order as [machine_owners]. *)
+  let speeds =
+    match instance.Instance.speeds with
+    | None -> None
+    | Some _ ->
+        Some
+          (Shapley.Coalition.fold
+             (fun u acc ->
+               Array.to_list (Instance.speeds_of_org instance u) :: acc)
+             members []
+          |> List.rev |> List.concat |> Array.of_list)
+  in
+  {
+    members;
+    cluster = Cluster.create ?speeds ~machine_owners ~norgs ();
+    trackers = Array.init norgs (fun _ -> Utility.Tracker.create ());
+    backlog = Queue.create ();
+    pending = Instant.create ~norgs;
+    now = 0;
+  }
+
+let members t = t.members
+let now t = t.now
+
+let add_release t (job : Job.t) =
+  if not (Shapley.Coalition.mem t.members job.Job.org) then
+    invalid_arg "Coalition_sim.add_release: job of a non-member";
+  Queue.add job t.backlog
+
+let next_event t =
+  let release =
+    match Queue.peek_opt t.backlog with
+    | Some (j : Job.t) -> Some (Stdlib.max j.Job.release t.now)
+    | None -> None
+  in
+  let completion = Cluster.next_completion t.cluster in
+  match (release, completion) with
+  | None, c -> c
+  | r, None -> r
+  | Some r, Some c -> Some (Stdlib.min r c)
+
+let step_releases_and_completions t ~time =
+  if time < t.now then invalid_arg "Coalition_sim: time moved backwards";
+  t.now <- time;
+  let rec drain_releases () =
+    match Queue.peek_opt t.backlog with
+    | Some (j : Job.t) when j.Job.release <= time ->
+        ignore (Queue.pop t.backlog);
+        Cluster.release t.cluster j;
+        drain_releases ()
+    | Some _ | None -> ()
+  in
+  drain_releases ();
+  let rec drain_completions () =
+    match Cluster.pop_completion_le t.cluster time with
+    | Some c ->
+        Utility.Tracker.on_complete
+          t.trackers.(c.Cluster.job.Job.org)
+          ~key:c.Cluster.job.Job.index
+          ~size:(c.Cluster.finish - c.Cluster.start);
+        drain_completions ()
+    | None -> ()
+  in
+  drain_completions ()
+
+let schedule_round t ~time ~select =
+  while Cluster.free_count t.cluster > 0 && Cluster.has_waiting t.cluster do
+    let org = select t ~time in
+    let placement = Cluster.start_front t.cluster ~org ~time () in
+    Utility.Tracker.on_start t.trackers.(org)
+      ~key:placement.Schedule.job.Job.index ~start:time;
+    Instant.bump t.pending ~time ~org
+  done
+
+let advance_to t ~time ~select =
+  let rec go () =
+    match next_event t with
+    | Some tau when tau <= time ->
+        step_releases_and_completions t ~time:tau;
+        schedule_round t ~time:tau ~select;
+        go ()
+    | Some _ | None -> t.now <- Stdlib.max t.now time
+  in
+  go ()
+
+let value_scaled t ~at =
+  Shapley.Coalition.fold
+    (fun u acc -> acc + Utility.Tracker.value_scaled t.trackers.(u) ~at)
+    t.members 0
+
+let utility_scaled t ~org ~at = Utility.Tracker.value_scaled t.trackers.(org) ~at
+let pending t = t.pending
+let waiting_orgs t = Cluster.waiting_orgs t.cluster
+
+let front_release t ~org =
+  Option.map (fun (j : Job.t) -> j.Job.release) (Cluster.front t.cluster org)
+let has_waiting t = Cluster.has_waiting t.cluster
+let free_count t = Cluster.free_count t.cluster
+
+let completed_parts t ~at =
+  Shapley.Coalition.fold
+    (fun u acc -> acc + Utility.Tracker.parts t.trackers.(u) ~at)
+    t.members 0

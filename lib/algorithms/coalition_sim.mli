@@ -1,0 +1,75 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+(** A self-contained greedy simulation of one coalition's schedule.
+
+    Algorithm REF (Fig. 1) keeps a schedule σ[C'] for {e every} sub-coalition
+    C' of the grand coalition; Algorithm RAND (Fig. 6) keeps simplified
+    schedules for the sampled coalitions.  Both are instances of this
+    simulator: a cluster restricted to the members' machines, fed only the
+    members' jobs, advanced lazily and in event order, with exact ψsp
+    tracking per member.
+
+    The simulator does not choose jobs itself: [advance_to] takes the
+    selection rule as a callback, so REF can plug its recursive
+    Shapley-based rule and RAND a plain FIFO.  The callback may consult
+    other simulators' values — REF advances all 2^k−1 simulators in global
+    event order (size-ascending at equal instants), which keeps every
+    sub-coalition's value current when a larger coalition decides. *)
+
+type t
+
+val create : instance:Instance.t -> members:Shapley.Coalition.t -> t
+(** Machines of the member organizations only; machine owners preserved.
+    @raise Invalid_argument if the coalition is empty or owns no machine. *)
+
+val members : t -> Shapley.Coalition.t
+val now : t -> int
+(** Latest instant this simulator has been advanced to. *)
+
+val add_release : t -> Job.t -> unit
+(** Hand over a job owned by a member.  Jobs must arrive in non-decreasing
+    release order, and never earlier than [now] (the driver delivers
+    releases at their release instants). *)
+
+val next_event : t -> int option
+(** Earliest pending event: the front of the release backlog or the first
+    completion — the times at which new scheduling decisions can arise. *)
+
+val advance_to : t -> time:int -> select:(t -> time:int -> int) -> unit
+(** Process all events at instants [<= time] in order: move due backlog jobs
+    into the waiting queues, pop completions, and greedily start jobs
+    ([select] returns the member organization whose front job to start; it
+    is called only while a machine is free and someone waits). *)
+
+val step_releases_and_completions : t -> time:int -> unit
+(** Lockstep building block for REF: process arrivals and completions at
+    exactly [time] without scheduling (the caller runs the scheduling round
+    for all coalitions afterwards, size-ascending).  [time] must not
+    precede [now]. *)
+
+val schedule_round : t -> time:int -> select:(t -> time:int -> int) -> unit
+(** Greedy scheduling at [time]: repeatedly start the [select]ed
+    organization's front job while a machine is free and jobs wait. *)
+
+(** {2 Values} *)
+
+val value_scaled : t -> at:int -> int
+(** [2·v(C, at)]: twice the coalition's total ψsp.  [at] must be [>= now]
+    and at most [now]'s next completion instant for exactness; REF and RAND
+    query at the current round instant. *)
+
+val utility_scaled : t -> org:int -> at:int -> int
+(** [2·ψsp(org)] within this coalition's schedule. *)
+
+val pending : t -> Instant.t
+(** Started-this-instant counters (the selection convention). *)
+
+val waiting_orgs : t -> int list
+
+(** Release time of the organization's waiting front job, if any. *)
+val front_release : t -> org:int -> int option
+val has_waiting : t -> bool
+val free_count : t -> int
+val completed_parts : t -> at:int -> int
+(** Executed unit parts across members (RAND's [finPerCoal]). *)

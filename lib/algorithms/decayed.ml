@@ -1,0 +1,124 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+(* Leaky integrators, one cell per organization: between events the input
+   rate is constant, so on an event at [t] we decay the stored integral by
+   exp(−Δ·ln2/half_life) and add rate·Δ.  (Exact integration of the decayed
+   integral is ∫rate·e^{-(t-s)λ}ds; the piecewise form below decays the
+   whole increment, which differs only by O(λΔ) within one inter-event gap
+   and keeps the code obvious.) *)
+type integrators = {
+  values : float array;
+  mutable last : int;
+  lambda : float;  (* ln 2 / half_life *)
+}
+
+let create_integrators ~norgs ~half_life =
+  if half_life <= 0. then invalid_arg "Decayed: half_life <= 0";
+  { values = Array.make norgs 0.; last = 0; lambda = log 2. /. half_life }
+
+let advance integ ~time ~rate_of =
+  let dt = time - integ.last in
+  if dt > 0 then begin
+    let d = exp (-.integ.lambda *. float_of_int dt) in
+    Array.iteri
+      (fun u v ->
+        integ.values.(u) <- (v *. d) +. (rate_of u *. float_of_int dt))
+      integ.values;
+    integ.last <- time
+  end
+
+let busy_machines_by_owner view =
+  let cluster = view.Policy.cluster in
+  let k = Cluster.norgs cluster in
+  let busy = Array.make k 0 in
+  (* owner's busy machines = owned − free. *)
+  let owned = Array.make k 0 in
+  for m = 0 to Cluster.machines cluster - 1 do
+    let o = Cluster.machine_owner cluster m in
+    owned.(o) <- owned.(o) + 1
+  done;
+  let free_by_owner = Array.make k 0 in
+  List.iter
+    (fun m ->
+      let o = Cluster.machine_owner cluster m in
+      free_by_owner.(o) <- free_by_owner.(o) + 1)
+    (Cluster.free_machine_ids cluster);
+  Array.iteri (fun u o -> busy.(u) <- o - free_by_owner.(u)) owned;
+  busy
+
+let fair_share ~half_life instance ~rng:_ =
+  if half_life <= 0. then invalid_arg "Decayed.fair_share: half_life <= 0";
+  let k = Instance.organizations instance in
+  let shares = Array.init k (fun u -> Instance.share instance u) in
+  Array.iter
+    (fun s -> if s <= 0. then invalid_arg "Decayed.fair_share: zero share")
+    shares;
+  let usage = create_integrators ~norgs:k ~half_life in
+  (* [extra] compensates for the driver's ordering: [on_complete] fires
+     after the cluster already decremented the running count, yet the
+     completed job was running throughout the elapsed interval. *)
+  let sync ?extra view ~time =
+    advance usage ~time ~rate_of:(fun u ->
+        float_of_int (Cluster.running_count view.Policy.cluster u)
+        +. (if extra = Some u then 1. else 0.))
+  in
+  Policy.make
+    ~name:(Printf.sprintf "fairshare-hl%g" half_life)
+    ~on_release:(fun view ~time _ -> sync view ~time)
+    ~on_complete:(fun view ~time c ->
+      sync ~extra:c.Cluster.job.Job.org view ~time)
+    ~select:(fun view ~time ->
+      sync view ~time;
+      match Cluster.waiting_orgs view.Policy.cluster with
+      | [] -> invalid_arg "decayed fairshare: nothing waiting"
+      | first :: rest ->
+          (* Count the committed current slot like plain FAIRSHARE does. *)
+          let ratio u =
+            (usage.values.(u)
+            +. float_of_int (Cluster.running_count view.Policy.cluster u))
+            /. shares.(u)
+          in
+          List.fold_left
+            (fun best u -> if ratio u < ratio best then u else best)
+            first rest)
+    ()
+
+let direct_contr ~half_life instance ~rng:_ =
+  if half_life <= 0. then invalid_arg "Decayed.direct_contr: half_life <= 0";
+  let k = Instance.organizations instance in
+  let consumed = create_integrators ~norgs:k ~half_life in
+  let contributed = create_integrators ~norgs:k ~half_life in
+  let sync ?completed view ~time =
+    let job_extra, machine_extra =
+      match completed with
+      | None -> (-1, -1)
+      | Some (c : Cluster.completion) ->
+          ( c.Cluster.job.Job.org,
+            Cluster.machine_owner view.Policy.cluster c.Cluster.machine )
+    in
+    advance consumed ~time ~rate_of:(fun u ->
+        float_of_int (Cluster.running_count view.Policy.cluster u)
+        +. (if u = job_extra then 1. else 0.));
+    let busy = busy_machines_by_owner view in
+    advance contributed ~time ~rate_of:(fun u ->
+        float_of_int busy.(u) +. if u = machine_extra then 1. else 0.)
+  in
+  Policy.make
+    ~name:(Printf.sprintf "directcontr-hl%g" half_life)
+    ~on_release:(fun view ~time _ -> sync view ~time)
+    ~on_complete:(fun view ~time c -> sync ~completed:c view ~time)
+    ~select:(fun view ~time ->
+      sync view ~time;
+      match Cluster.waiting_orgs view.Policy.cluster with
+      | [] -> invalid_arg "decayed directcontr: nothing waiting"
+      | first :: rest ->
+          let score u =
+            contributed.values.(u)
+            -. (consumed.values.(u)
+               +. float_of_int (Cluster.running_count view.Policy.cluster u))
+          in
+          List.fold_left
+            (fun best u -> if score u > score best then u else best)
+            first rest)
+    ()

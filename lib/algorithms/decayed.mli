@@ -1,0 +1,23 @@
+(** Exponentially-decayed variants of the history-based policies.
+
+    Motivation: both FAIRSHARE's usage counter and DIRECTCONTR's
+    contribution estimate grow without bound, so a surplus earned long ago
+    dominates current behaviour on long traces (one mechanism behind the
+    Table 2 degradation).  Production fair-share schedulers (Maui, SLURM)
+    decay usage with a half-life for exactly this reason.  These variants
+    are this reproduction's ablation of that design choice — they are not
+    in the paper.
+
+    - {!fair_share}: the consumption-to-share ratio uses an exponentially
+      decayed CPU-time integral instead of the raw total.
+    - {!direct_contr}: serves the organization with the largest difference
+      between decayed leaky integrals of "machine-parts contributed" (work
+      executed on its machines) and "parts consumed" (its jobs' executed
+      work), both in raw CPU·time units — a rate-based reading of Fig. 9. *)
+
+val fair_share : half_life:float -> Policy.maker
+(** Named ["fairshare-hl<half_life>"].  @raise Invalid_argument if
+    [half_life <= 0]. *)
+
+val direct_contr : half_life:float -> Policy.maker
+(** Named ["directcontr-hl<half_life>"]. *)

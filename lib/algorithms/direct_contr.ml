@@ -1,0 +1,54 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+let make ?(name = "directcontr") () instance ~rng =
+  let rng = Fstats.Rng.split rng in
+  let k = Instance.organizations instance in
+  (* φ̃ tracker per organization: the pieces processed on its machines.
+     Pieces are keyed by a global serial (a piece can host any org's job, so
+     per-org FIFO indices are not unique here). *)
+  let contrib = Array.init k (fun _ -> Utility.Tracker.create ()) in
+  let serial = ref 0 in
+  let piece_key : (int * int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  (* job id -> (serial, machine owner) *)
+  let pending_util = Instant.create ~norgs:k in
+  let pending_contrib = Instant.create ~norgs:k in
+  let score view ~time u =
+    let psi = Policy.utility_plus_pending_scaled view ~pending:pending_util ~org:u ~time in
+    let phi =
+      Utility.Tracker.value_scaled contrib.(u) ~at:time
+      + (2 * Instant.get pending_contrib ~time ~org:u)
+    in
+    phi - psi
+  in
+  Policy.make ~name
+    ~pick_machine:(fun view ~time:_ ~org:_ ->
+      match Cluster.free_machine_ids view.Policy.cluster with
+      | [] -> None
+      | ids -> Some (Fstats.Rng.choose rng (Array.of_list ids)))
+    ~on_start:(fun view ~time p ->
+      let owner = Cluster.machine_owner view.Policy.cluster p.Schedule.machine in
+      let key = !serial in
+      incr serial;
+      Hashtbl.replace piece_key (Job.id p.Schedule.job) (key, owner);
+      Utility.Tracker.on_start contrib.(owner) ~key ~start:time;
+      Instant.bump pending_util ~time ~org:p.Schedule.job.Job.org;
+      Instant.bump pending_contrib ~time ~org:owner)
+    ~on_complete:(fun _view ~time:_ c ->
+      match Hashtbl.find_opt piece_key (Job.id c.Cluster.job) with
+      | None -> invalid_arg "directcontr: completion of an unknown job"
+      | Some (key, owner) ->
+          Hashtbl.remove piece_key (Job.id c.Cluster.job);
+          Utility.Tracker.on_complete contrib.(owner) ~key
+            ~size:(c.Cluster.finish - c.Cluster.start))
+    ~select:(fun view ~time ->
+      match Cluster.waiting_orgs view.Policy.cluster with
+      | [] -> invalid_arg "directcontr: nothing waiting"
+      | first :: rest ->
+          List.fold_left
+            (fun best u ->
+              if score view ~time u > score view ~time best then u else best)
+            first rest)
+    ()
+
+let direct_contr instance ~rng = make () instance ~rng

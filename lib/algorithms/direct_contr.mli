@@ -1,0 +1,23 @@
+(** DIRECTCONTR (Fig. 9): the paper's practical heuristic.
+
+    Instead of measuring an organization's contribution through
+    sub-coalition values (exponential), estimate it {e directly}: whenever a
+    unit part of anyone's job executes on a machine owned by organization
+    [O], credit [O]'s contribution φ̃ with the ψsp-value of that part; the
+    utility ψ of the part's {e owner} grows by the same amount.  Waiting
+    jobs are then served in decreasing order of (φ̃ − ψ): the organization
+    that has lent the most CPU·time relative to what it consumed goes first.
+
+    Machines are drawn at random among the free ones (the paper shuffles the
+    processor order), which randomizes whose machine — and hence whose
+    contribution — hosts a job when several are free.
+
+    This implementation tracks both quantities with the exact incremental
+    ψsp tracker instead of the pseudo-code's per-event incremental sums
+    (same algorithm, exact arithmetic; see DESIGN.md on the swapped update
+    lines in the paper's figure). *)
+
+val direct_contr : Policy.maker
+
+val make : ?name:string -> unit -> Policy.maker
+(** Same policy under a custom display name (for ablations). *)

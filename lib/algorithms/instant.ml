@@ -1,0 +1,17 @@
+type t = { counts : int array; mutable stamp : int }
+
+let create ~norgs = { counts = Array.make norgs 0; stamp = min_int }
+
+let refresh t ~time =
+  if time <> t.stamp then begin
+    Array.fill t.counts 0 (Array.length t.counts) 0;
+    t.stamp <- time
+  end
+
+let bump t ~time ~org =
+  refresh t ~time;
+  t.counts.(org) <- t.counts.(org) + 1
+
+let get t ~time ~org =
+  refresh t ~time;
+  t.counts.(org)

@@ -1,0 +1,17 @@
+(** Per-organization counters that reset whenever the clock advances.
+
+    Policies use this to count "jobs started in the current instant" — the
+    pending [+1] of the selection convention (DESIGN.md): within one time
+    step, each start bumps its owner so a single organization does not
+    capture every free machine at once. *)
+
+type t
+
+val create : norgs:int -> t
+
+val bump : t -> time:int -> org:int -> unit
+(** Increment the counter of [org] at [time]; counters of every
+    organization reset implicitly when [time] differs from the last call. *)
+
+val get : t -> time:int -> org:int -> int
+(** Current-instant count (0 if the clock moved since the last bump). *)

@@ -1,0 +1,36 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+type view = {
+  instance : Instance.t;
+  cluster : Cluster.t;
+  trackers : Utility.Tracker.t array;
+}
+
+type t = {
+  name : string;
+  select : view -> time:int -> int;
+  pick_machine : view -> time:int -> org:int -> int option;
+  on_release : view -> time:int -> Job.t -> unit;
+  on_start : view -> time:int -> Schedule.placement -> unit;
+  on_complete : view -> time:int -> Cluster.completion -> unit;
+}
+
+let nop3 _ ~time:_ _ = ()
+
+let make ~name ?pick_machine ?on_release ?on_start ?on_complete ~select () =
+  {
+    name;
+    select;
+    pick_machine =
+      Option.value pick_machine ~default:(fun _ ~time:_ ~org:_ -> None);
+    on_release = Option.value on_release ~default:nop3;
+    on_start = Option.value on_start ~default:nop3;
+    on_complete = Option.value on_complete ~default:nop3;
+  }
+
+type maker = Instance.t -> rng:Fstats.Rng.t -> t
+
+let utility_plus_pending_scaled view ~pending ~org ~time =
+  Utility.Tracker.value_scaled view.trackers.(org) ~at:time
+  + (2 * Instant.get pending ~time ~org)

@@ -1,0 +1,57 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+(** The interface between the simulation driver and a scheduling algorithm.
+
+    The driver owns the grand-coalition cluster and the per-organization ψsp
+    trackers; whenever a machine is free and some organization has a waiting
+    job it asks the policy which organization's FIFO-front job to start
+    (Section 2's definition of an online algorithm: [A(J,t)] returns an
+    organization).  Policies are stateful closures created per instance; all
+    randomness comes from the provided generator so runs are reproducible.
+
+    The selection convention (see DESIGN.md): policies that compare utilities
+    evaluate them "as of [t+1]" — every job started in the current instant
+    counts one pending unit part for its owner.  This resolves the
+    degeneracy of comparing ψsp at the very instant a job starts (it would
+    always be 0) and matches the [+1] bookkeeping in the paper's Figures 6
+    and 9. *)
+
+type view = {
+  instance : Instance.t;
+  cluster : Cluster.t;  (** the real (grand-coalition) pool *)
+  trackers : Utility.Tracker.t array;
+      (** per-organization ψsp trackers, maintained by the driver *)
+}
+
+type t = {
+  name : string;
+  select : view -> time:int -> int;
+      (** Must return an organization with a non-empty waiting queue.  Called
+          only when the cluster has both a free machine and a waiting job. *)
+  pick_machine : view -> time:int -> org:int -> int option;
+      (** Optionally pin the machine for the next start (must be free);
+          [None] lets the cluster choose. *)
+  on_release : view -> time:int -> Job.t -> unit;
+  on_start : view -> time:int -> Schedule.placement -> unit;
+  on_complete : view -> time:int -> Cluster.completion -> unit;
+}
+
+val make :
+  name:string ->
+  ?pick_machine:(view -> time:int -> org:int -> int option) ->
+  ?on_release:(view -> time:int -> Job.t -> unit) ->
+  ?on_start:(view -> time:int -> Schedule.placement -> unit) ->
+  ?on_complete:(view -> time:int -> Cluster.completion -> unit) ->
+  select:(view -> time:int -> int) ->
+  unit ->
+  t
+(** Build a policy with no-op defaults for the notification hooks. *)
+
+type maker = Instance.t -> rng:Fstats.Rng.t -> t
+(** How algorithms are registered: a fresh stateful policy per instance. *)
+
+val utility_plus_pending_scaled :
+  view -> pending:Instant.t -> org:int -> time:int -> int
+(** [2·ψsp(org, t)] from the driver trackers plus 2 per pending (started
+    this instant) job — the standard selection-time utility. *)

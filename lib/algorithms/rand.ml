@@ -1,0 +1,74 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+module Coalition = Shapley.Coalition
+
+let make_policy ~name ~n instance ~rng =
+  let rng = Fstats.Rng.split rng in
+  let k = Instance.organizations instance in
+  let plan = Shapley.Sample.plan ~rng ~players:k ~n in
+  let has_machines mask =
+    Coalition.fold (fun u acc -> acc + instance.Instance.machines.(u)) mask 0
+    > 0
+  in
+  (* One simplified schedule per distinct sampled coalition (machine-less
+     coalitions have value 0 and need no simulation). *)
+  let sims : (Coalition.t, Coalition_sim.t) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun mask ->
+      if mask <> Coalition.empty && has_machines mask then
+        Hashtbl.replace sims mask (Coalition_sim.create ~instance ~members:mask))
+    plan.Shapley.Sample.distinct;
+  let pending = Instant.create ~norgs:k in
+  let phi_stamp = ref min_int in
+  let phi_memo = ref [||] in
+  let phi2 ~time =
+    if !phi_stamp <> time then begin
+      Hashtbl.iter
+        (fun _ sim ->
+          Coalition_sim.advance_to sim ~time ~select:Baselines.fifo_select_sim)
+        sims;
+      let v2 mask =
+        match Hashtbl.find_opt sims mask with
+        | Some sim -> float_of_int (Coalition_sim.value_scaled sim ~at:time)
+        | None -> 0.
+      in
+      phi_memo := Shapley.Sample.estimate_from_plan plan ~value:v2;
+      phi_stamp := time
+    end;
+    !phi_memo
+  in
+  Policy.make ~name
+    ~on_release:(fun _view ~time:_ job ->
+      Hashtbl.iter
+        (fun mask sim ->
+          if Coalition.mem mask job.Job.org then
+            Coalition_sim.add_release sim job)
+        sims)
+    ~on_start:(fun _view ~time p ->
+      Instant.bump pending ~time ~org:p.Schedule.job.Job.org)
+    ~select:(fun view ~time ->
+      let phi2 = phi2 ~time in
+      let score u =
+        phi2.(u)
+        -. float_of_int
+             (Policy.utility_plus_pending_scaled view ~pending ~org:u ~time)
+      in
+      match Cluster.waiting_orgs view.Policy.cluster with
+      | [] -> invalid_arg "rand: nothing waiting"
+      | first :: rest ->
+          List.fold_left
+            (fun best u -> if score u > score best then u else best)
+            first rest)
+    ()
+
+let rand ~n instance ~rng =
+  if n < 1 then invalid_arg "Rand.rand: n < 1";
+  make_policy ~name:(Printf.sprintf "rand-%d" n) ~n instance ~rng
+
+let rand15 instance ~rng = rand ~n:15 instance ~rng
+let rand75 instance ~rng = rand ~n:75 instance ~rng
+
+let rand_with_guarantee ~epsilon ~confidence instance ~rng =
+  let k = Instance.organizations instance in
+  let n = Shapley.Sample.sample_count ~players:k ~epsilon ~confidence in
+  make_policy ~name:(Printf.sprintf "rand-fpras-%d" n) ~n instance ~rng

@@ -1,0 +1,256 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+module Coalition = Shapley.Coalition
+
+type gsim = {
+  mask : Coalition.t;
+  cluster : Cluster.t;
+  backlog : Job.t Queue.t;
+}
+
+type state = {
+  k : int;
+  grand : Coalition.t;
+  utility : Utility.Functions.t;
+  sims : gsim option array;  (* indexed by mask; None for grand/machine-less *)
+  by_size : Coalition.t list;
+}
+
+let machine_owners_of instance mask =
+  Coalition.fold
+    (fun u acc ->
+      List.rev_append
+        (List.init instance.Instance.machines.(u) (fun _ -> u))
+        acc)
+    mask []
+  |> List.rev |> Array.of_list
+
+let create_state ~utility instance =
+  let k = Instance.organizations instance in
+  if k > 8 then
+    invalid_arg
+      "Ref_generic: the general algorithm recomputes utilities over 3^k \
+       schedules; use k <= 8 (or Reference for psp)";
+  let grand = Coalition.grand ~players:k in
+  let sims = Array.make (grand + 1) None in
+  let by_size = ref [] in
+  List.iter
+    (List.iter (fun mask ->
+         if mask <> grand then begin
+           let owners = machine_owners_of instance mask in
+           if Array.length owners > 0 then begin
+             sims.(mask) <-
+               Some
+                 {
+                   mask;
+                   cluster =
+                     Cluster.create ~record:true ~machine_owners:owners
+                       ~norgs:k ();
+                   backlog = Queue.create ();
+                 };
+             by_size := mask :: !by_size
+           end
+         end))
+    (Coalition.proper_subcoalitions_of_grand ~players:k);
+  { k; grand; utility; sims; by_size = List.rev !by_size }
+
+let schedule_of_sim sim =
+  Schedule.of_placements
+    ~machines:(Cluster.machines sim.cluster)
+    (Cluster.placements sim.cluster)
+
+let empty_schedule = Schedule.of_placements ~machines:1 []
+
+(* ψ(C, u, t) read off the coalition's recorded schedule. *)
+let psi_of st ~schedule_of ~mask ~org ~at =
+  ignore st;
+  st.utility.Utility.Functions.eval (schedule_of mask) ~org ~at
+
+(* UpdateVals (Fig. 1): Shapley contributions of the members of [mask] from
+   the current values of all its sub-coalition schedules. *)
+let contributions st ~schedule_of ~mask ~at =
+  let size_mask = Coalition.size mask in
+  let phi = Array.make st.k 0. in
+  Coalition.iter_subsets mask (fun sub ->
+      if sub <> Coalition.empty then begin
+        let w =
+          Numeric.Combinatorics.shapley_weight_float ~players:size_mask
+            ~subset:(Coalition.size sub - 1)
+        in
+        let v c =
+          Coalition.fold
+            (fun u acc -> acc +. psi_of st ~schedule_of ~mask:c ~org:u ~at)
+            c 0.
+        in
+        let v_sub = v sub in
+        Coalition.iter_members
+          (fun u ->
+            phi.(u) <- phi.(u) +. (w *. (v_sub -. v (Coalition.remove sub u))))
+          sub
+      end);
+  phi
+
+(* Distance (Fig. 1): the L1 gap between contributions and utilities if the
+   front job of [org] were started now.  Δψ is evaluated at [at+1]: at [at]
+   a just-started job has no executed part yet (see DESIGN.md). *)
+let distance st ~schedule_of ~mask ~phi ~at ~org ~front_start_added =
+  let size_mask = Coalition.size mask in
+  let delta =
+    st.utility.Utility.Functions.eval front_start_added ~org ~at:(at + 1)
+    -. psi_of st ~schedule_of ~mask ~org ~at:(at + 1)
+  in
+  let spread = delta /. float_of_int size_mask in
+  Coalition.fold
+    (fun u acc ->
+      let psi_u = psi_of st ~schedule_of ~mask ~org:u ~at in
+      let adjusted_psi = if u = org then psi_u +. delta else psi_u in
+      acc +. Float.abs (phi.(u) +. spread -. adjusted_psi))
+    mask 0.
+
+let with_tentative_start schedule (job : Job.t) ~at =
+  (* The tentative machine id does not matter for envy-free utilities; use
+     machine 0 (always valid: the schedule has >= 1 machine). *)
+  Schedule.of_placements
+    ~machines:(Schedule.machines schedule)
+    (Schedule.placement ~job ~start:at ~machine:0 ()
+     :: Schedule.placements schedule)
+
+let select_in st ~schedule_of ~mask ~waiting ~front ~at =
+  let phi = contributions st ~schedule_of ~mask ~at in
+  let score u =
+    match front u with
+    | None -> infinity
+    | Some job ->
+        let tentative = with_tentative_start (schedule_of mask) job ~at in
+        distance st ~schedule_of ~mask ~phi ~at ~org:u
+          ~front_start_added:tentative
+  in
+  match List.map (fun u -> (score u, u)) waiting with
+  | [] -> invalid_arg "ref-generic: nothing waiting"
+  | first :: rest ->
+      snd
+        (List.fold_left
+           (fun (bs, bu) (s, u) -> if s < bs then (s, u) else (bs, bu))
+           first rest)
+
+(* Lockstep advance of all sub-coalition simulations, exactly like
+   [Reference.advance_all] but with recorded schedules and the generic
+   selection rule. *)
+let advance_all st ~time =
+  let next_event sim =
+    let release =
+      match Queue.peek_opt sim.backlog with
+      | Some (j : Job.t) -> Some j.Job.release
+      | None -> None
+    in
+    match (release, Cluster.next_completion sim.cluster) with
+    | None, c -> c
+    | r, None -> r
+    | Some r, Some c -> Some (Stdlib.min r c)
+  in
+  let earliest () =
+    List.fold_left
+      (fun acc mask ->
+        match st.sims.(mask) with
+        | None -> acc
+        | Some sim -> (
+            match next_event sim with
+            | None -> acc
+            | Some tau -> Stdlib.min acc tau))
+      max_int st.by_size
+  in
+  let step sim ~tau =
+    let rec releases () =
+      match Queue.peek_opt sim.backlog with
+      | Some (j : Job.t) when j.Job.release <= tau ->
+          ignore (Queue.pop sim.backlog);
+          Cluster.release sim.cluster j;
+          releases ()
+      | Some _ | None -> ()
+    in
+    releases ();
+    let rec completions () =
+      match Cluster.pop_completion_le sim.cluster tau with
+      | Some _ -> completions ()
+      | None -> ()
+    in
+    completions ()
+  in
+  let schedule_of mask =
+    if mask = Coalition.empty then empty_schedule
+    else
+      match st.sims.(mask) with
+      | Some sim -> schedule_of_sim sim
+      | None -> empty_schedule
+  in
+  let rec loop () =
+    let tau = earliest () in
+    if tau <= time then begin
+      List.iter
+        (fun mask ->
+          match st.sims.(mask) with
+          | None -> ()
+          | Some sim -> step sim ~tau)
+        st.by_size;
+      List.iter
+        (fun mask ->
+          match st.sims.(mask) with
+          | None -> ()
+          | Some sim ->
+              while
+                Cluster.free_count sim.cluster > 0
+                && Cluster.has_waiting sim.cluster
+              do
+                let org =
+                  select_in st ~schedule_of ~mask
+                    ~waiting:(Cluster.waiting_orgs sim.cluster)
+                    ~front:(Cluster.front sim.cluster)
+                    ~at:tau
+                in
+                ignore (Cluster.start_front sim.cluster ~org ~time:tau ())
+              done)
+        st.by_size;
+      loop ()
+    end
+  in
+  loop ()
+
+let make ~utility ?name () instance ~rng:_ =
+  let st = create_state ~utility instance in
+  let name =
+    Option.value name
+      ~default:("ref-generic-" ^ utility.Utility.Functions.name)
+  in
+  Policy.make ~name
+    ~on_release:(fun _view ~time:_ job ->
+      List.iter
+        (fun mask ->
+          if Coalition.mem mask job.Job.org then
+            match st.sims.(mask) with
+            | Some sim -> Queue.add job sim.backlog
+            | None -> ())
+        st.by_size)
+    ~select:(fun view ~time ->
+      advance_all st ~time;
+      let schedule_of mask =
+        if mask = st.grand then
+          Schedule.of_placements
+            ~machines:(Cluster.machines view.Policy.cluster)
+            (Cluster.placements view.Policy.cluster)
+        else if mask = Coalition.empty then empty_schedule
+        else
+          match st.sims.(mask) with
+          | Some sim -> schedule_of_sim sim
+          | None -> empty_schedule
+      in
+      select_in st ~schedule_of ~mask:st.grand
+        ~waiting:(Cluster.waiting_orgs view.Policy.cluster)
+        ~front:(Cluster.front view.Policy.cluster)
+        ~at:time)
+    ()
+
+let make_with utility_of ?name () instance ~rng =
+  make ~utility:(utility_of instance) ?name () instance ~rng
+
+let ref_psp instance ~rng =
+  make ~utility:Utility.Functions.psp ~name:"ref-generic-psp" () instance ~rng

@@ -1,0 +1,246 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+module Coalition = Shapley.Coalition
+
+type concept = Shapley_value | Banzhaf_value
+
+type internals = {
+  concept : concept;
+  k : int;
+  grand : Coalition.t;
+  sims : Coalition_sim.t option array;
+      (* indexed by mask; None for the grand coalition (the driver's own
+         cluster plays that role), the empty mask, and machine-less
+         coalitions (their value is identically 0: nothing ever runs). *)
+  by_size : Coalition.t list;
+      (* proper non-empty simulated masks, size-ascending *)
+  v2_val : int array;
+  v2_stamp : int array;  (* instant at which v2_val was computed *)
+  phi2_cache : (Coalition.t, float array) Hashtbl.t;
+  mutable phi2_stamp : int;
+  pending : Instant.t;  (* grand-coalition pending starts *)
+}
+
+let create_internals ?(concept = Shapley_value) instance =
+  let k = Instance.organizations instance in
+  if k > 16 then
+    invalid_arg "Reference: more than 16 organizations is impractical (2^k \
+                 schedules)";
+  let grand = Coalition.grand ~players:k in
+  let nmasks = grand + 1 in
+  let has_machines mask =
+    Coalition.fold (fun u acc -> acc + instance.Instance.machines.(u)) mask 0
+    > 0
+  in
+  let sims = Array.make nmasks None in
+  let by_size = ref [] in
+  List.iter
+    (List.iter (fun mask ->
+         if mask <> grand && has_machines mask then begin
+           sims.(mask) <- Some (Coalition_sim.create ~instance ~members:mask);
+           by_size := mask :: !by_size
+         end))
+    (Coalition.proper_subcoalitions_of_grand ~players:k);
+  {
+    concept;
+    k;
+    grand;
+    sims;
+    by_size = List.rev !by_size;
+    v2_val = Array.make nmasks 0;
+    v2_stamp = Array.make nmasks min_int;
+    phi2_cache = Hashtbl.create 64;
+    phi2_stamp = min_int;
+    pending = Instant.create ~norgs:k;
+  }
+
+(* 2·v(mask) at [time] for simulated masks; machine-less or empty masks are
+   identically 0. *)
+let v2_sim st ~mask ~time =
+  if mask = Coalition.empty then 0
+  else
+    match st.sims.(mask) with
+    | None -> 0
+    | Some sim ->
+        if st.v2_stamp.(mask) <> time then begin
+          st.v2_val.(mask) <- Coalition_sim.value_scaled sim ~at:time;
+          st.v2_stamp.(mask) <- time
+        end;
+        st.v2_val.(mask)
+
+(* Shapley contributions (×2) of the members of [mask], using the current
+   sub-coalition values; [v2_top] supplies v2 of [mask] itself (for the
+   grand coalition it comes from the driver's trackers, not a sim). *)
+let phi2_of st ~mask ~time ~v2_top =
+  let size_mask = Coalition.size mask in
+  let phi = Array.make st.k 0. in
+  let banzhaf_w = 1. /. float_of_int (1 lsl (size_mask - 1)) in
+  Coalition.iter_subsets mask (fun sub ->
+      if sub <> Coalition.empty then begin
+        let s = Coalition.size sub in
+        let w =
+          match st.concept with
+          | Shapley_value ->
+              Numeric.Combinatorics.shapley_weight_float ~players:size_mask
+                ~subset:(s - 1)
+          | Banzhaf_value -> banzhaf_w
+        in
+        let v_sub = if sub = mask then v2_top else v2_sim st ~mask:sub ~time in
+        Coalition.iter_members
+          (fun u ->
+            let without = Coalition.remove sub u in
+            let v_without =
+              if without = mask then v2_top
+              else v2_sim st ~mask:without ~time
+            in
+            phi.(u) <- phi.(u) +. (w *. float_of_int (v_sub - v_without)))
+          sub
+      end);
+  (* The Banzhaf value is not efficient; normalize the members' shares to
+     the coalition value so the (φ − ψ) comparisons stay on one scale. *)
+  (match st.concept with
+  | Shapley_value -> ()
+  | Banzhaf_value ->
+      let total = Coalition.fold (fun u acc -> acc +. phi.(u)) mask 0. in
+      if total <> 0. then begin
+        let factor = float_of_int v2_top /. total in
+        Coalition.iter_members (fun u -> phi.(u) <- phi.(u) *. factor) mask
+      end);
+  phi
+
+(* Selection rule inside a simulated coalition: argmax (φ − ψ) among waiting
+   members, ψ evaluated with the pending (+1 per started part) convention.
+   φ2 arrays are memoized per (mask, instant): coalition values do not
+   change within an instant (a job started now has no executed part yet). *)
+let select_in_sim st ~mask sim ~time =
+  if st.phi2_stamp <> time then begin
+    Hashtbl.reset st.phi2_cache;
+    st.phi2_stamp <- time
+  end;
+  let phi2 =
+    match Hashtbl.find_opt st.phi2_cache mask with
+    | Some phi -> phi
+    | None ->
+        let phi =
+          phi2_of st ~mask ~time ~v2_top:(v2_sim st ~mask ~time)
+        in
+        Hashtbl.add st.phi2_cache mask phi;
+        phi
+  in
+  let score u =
+    let psi2 =
+      Coalition_sim.utility_scaled sim ~org:u ~at:time
+      + (2 * Instant.get (Coalition_sim.pending sim) ~time ~org:u)
+    in
+    phi2.(u) -. float_of_int psi2
+  in
+  match Coalition_sim.waiting_orgs sim with
+  | [] -> invalid_arg "reference: nothing waiting in sub-coalition"
+  | first :: rest ->
+      List.fold_left
+        (fun best u -> if score u > score best then u else best)
+        first rest
+
+(* Advance every simulated sub-coalition to [time], in global event order;
+   at each instant, arrivals and completions are applied to all coalitions
+   first, then the scheduling rounds run size-ascending (Fig. 1's
+   [for s ← 1 to ‖C‖]). *)
+let advance_all st ~time =
+  let next_event () =
+    List.fold_left
+      (fun acc mask ->
+        match st.sims.(mask) with
+        | None -> acc
+        | Some sim -> (
+            match Coalition_sim.next_event sim with
+            | None -> acc
+            | Some tau -> Stdlib.min acc tau))
+      max_int st.by_size
+  in
+  let rec loop () =
+    let tau = next_event () in
+    if tau <= time then begin
+      List.iter
+        (fun mask ->
+          match st.sims.(mask) with
+          | None -> ()
+          | Some sim ->
+              Coalition_sim.step_releases_and_completions sim ~time:tau)
+        st.by_size;
+      List.iter
+        (fun mask ->
+          match st.sims.(mask) with
+          | None -> ()
+          | Some sim ->
+              Coalition_sim.schedule_round sim ~time:tau
+                ~select:(fun sim ~time -> select_in_sim st ~mask sim ~time))
+        st.by_size;
+      loop ()
+    end
+  in
+  loop ()
+
+let grand_v2 (view : Policy.view) ~time =
+  Array.fold_left
+    (fun acc tracker -> acc + Utility.Tracker.value_scaled tracker ~at:time)
+    0 view.Policy.trackers
+
+let contributions_scaled st ~view ~time =
+  advance_all st ~time;
+  phi2_of st ~mask:st.grand ~time ~v2_top:(grand_v2 view ~time)
+
+let coalition_value_scaled st ~mask ~time =
+  advance_all st ~time;
+  v2_sim st ~mask ~time
+
+let make_with_internals ?(name = "ref") ?concept () instance ~rng:_ =
+  let st = create_internals ?concept instance in
+  let grand_phi_stamp = ref min_int in
+  let grand_phi = ref [||] in
+  let policy =
+    Policy.make ~name
+      ~on_release:(fun _view ~time:_ job ->
+        let org = job.Job.org in
+        List.iter
+          (fun mask ->
+            if Coalition.mem mask org then
+              match st.sims.(mask) with
+              | Some sim -> Coalition_sim.add_release sim job
+              | None -> ())
+          st.by_size)
+      ~on_start:(fun _view ~time p ->
+        Instant.bump st.pending ~time ~org:p.Schedule.job.Job.org)
+      ~select:(fun view ~time ->
+        advance_all st ~time;
+        if !grand_phi_stamp <> time then begin
+          grand_phi :=
+            phi2_of st ~mask:st.grand ~time ~v2_top:(grand_v2 view ~time);
+          grand_phi_stamp := time
+        end;
+        let phi2 = !grand_phi in
+        let score u =
+          let psi2 =
+            Policy.utility_plus_pending_scaled view ~pending:st.pending
+              ~org:u ~time
+          in
+          phi2.(u) -. float_of_int psi2
+        in
+        match Cluster.waiting_orgs view.Policy.cluster with
+        | [] -> invalid_arg "reference: nothing waiting"
+        | first :: rest ->
+            List.fold_left
+              (fun best u -> if score u > score best then u else best)
+              first rest)
+      ()
+  in
+  (policy, st)
+
+let make ?name () instance ~rng =
+  fst (make_with_internals ?name () instance ~rng)
+
+let reference instance ~rng = make () instance ~rng
+
+let banzhaf instance ~rng =
+  fst
+    (make_with_internals ~name:"ref-banzhaf" ~concept:Banzhaf_value ()
+       instance ~rng)

@@ -1,0 +1,46 @@
+let fixed : (string * Policy.maker) list =
+  [
+    ("ref", Reference.reference);
+    ("ref-generic-psp", Ref_generic.ref_psp);
+    ("ref-banzhaf", Reference.banzhaf);
+    ("rand-15", Rand.rand15);
+    ("rand-75", Rand.rand75);
+    ("directcontr", Direct_contr.direct_contr);
+    ("fairshare", Fair_share.fair_share);
+    ("utfairshare", Fair_share.ut_fair_share);
+    ("currfairshare", Fair_share.curr_fair_share);
+    ("roundrobin", Baselines.round_robin);
+    ("fifo", Baselines.fifo);
+    ("random", Baselines.random_greedy);
+    ("longest-queue", Baselines.longest_queue);
+    ("fairshare-decay", Decayed.fair_share ~half_life:5_000.);
+    ("directcontr-decay", Decayed.direct_contr ~half_life:5_000.);
+  ]
+
+let find name =
+  match List.assoc_opt name fixed with
+  | Some maker -> Some maker
+  | None -> (
+      match String.split_on_char '-' name with
+      | [ "rand"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n > 0 -> Some (Rand.rand ~n)
+          | Some _ | None -> None)
+      | _ -> None)
+
+let find_exn name =
+  match find name with
+  | Some maker -> maker
+  | None -> invalid_arg (Printf.sprintf "unknown algorithm %S" name)
+
+let all_names = List.map fst fixed
+
+let evaluated_set =
+  List.filter
+    (fun (name, _) ->
+      List.mem name
+        [
+          "roundrobin"; "rand-15"; "directcontr"; "fairshare"; "utfairshare";
+          "currfairshare";
+        ])
+    fixed

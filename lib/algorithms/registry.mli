@@ -1,0 +1,16 @@
+(** Name → policy registry used by the CLI, the benches and the tests. *)
+
+val find : string -> Policy.maker option
+(** Lookup by name; ["rand-N"] accepts any positive N. *)
+
+val find_exn : string -> Policy.maker
+
+val all_names : string list
+(** Canonical names, evaluation set first (REF, RAND variants, DIRECTCONTR,
+    FAIRSHARE, UTFAIRSHARE, CURRFAIRSHARE, ROUNDROBIN), then extra
+    baselines. *)
+
+val evaluated_set : (string * Policy.maker) list
+(** The paper's Table 1/2 line-up (excluding REF, which is the reference the
+    others are compared against): RAND-15, DIRECTCONTR, FAIRSHARE,
+    UTFAIRSHARE, CURRFAIRSHARE, ROUNDROBIN. *)

@@ -1,0 +1,170 @@
+type completion = { job : Job.t; start : int; finish : int; machine : int }
+
+type running = { r_job : Job.t; r_start : int; r_machine : int }
+
+type t = {
+  owners : int array;
+  speeds : float array;
+  norgs : int;
+  record : bool;
+  (* Free machines as a swap-remove bag: O(1) push/pop, O(n) targeted
+     removal (n = pool size, removal by id is rare: only policies that pin a
+     machine use it). *)
+  free : int array;
+  mutable free_size : int;
+  heap : running Heap.t;
+  queues : Job.t Queue.t array;
+  mutable waiting_total : int;
+  running_per_org : int array;
+  completed_work : int array;
+  mutable started : int;
+  mutable placements : Schedule.placement list;
+}
+
+let create ?(record = false) ?speeds ~machine_owners ~norgs () =
+  let m = Array.length machine_owners in
+  if m = 0 then invalid_arg "Cluster.create: no machines";
+  let speeds =
+    match speeds with
+    | None -> Array.make m 1.0
+    | Some sp ->
+        if Array.length sp <> m then
+          invalid_arg "Cluster.create: speeds length mismatch";
+        Array.iter
+          (fun s -> if s <= 0. then invalid_arg "Cluster.create: speed <= 0")
+          sp;
+        Array.copy sp
+  in
+  Array.iter
+    (fun o ->
+      if o < 0 || o >= norgs then
+        invalid_arg "Cluster.create: machine owner out of range")
+    machine_owners;
+  {
+    owners = Array.copy machine_owners;
+    speeds;
+    norgs;
+    record;
+    free = Array.init m (fun i -> i);
+    free_size = m;
+    heap = Heap.create ();
+    queues = Array.init norgs (fun _ -> Queue.create ());
+    waiting_total = 0;
+    running_per_org = Array.make norgs 0;
+    completed_work = Array.make norgs 0;
+    started = 0;
+    placements = [];
+  }
+
+let machines t = Array.length t.owners
+let norgs t = t.norgs
+
+let machine_owner t i =
+  if i < 0 || i >= Array.length t.owners then
+    invalid_arg "Cluster.machine_owner";
+  t.owners.(i)
+
+let machine_speed t i =
+  if i < 0 || i >= Array.length t.speeds then
+    invalid_arg "Cluster.machine_speed";
+  t.speeds.(i)
+
+let fastest_free_machine t =
+  let rec go i best =
+    if i >= t.free_size then best
+    else
+      let m = t.free.(i) in
+      match best with
+      | Some b when t.speeds.(b) >= t.speeds.(m) -> go (i + 1) best
+      | _ -> go (i + 1) (Some m)
+  in
+  go 0 None
+
+(* Wall-clock occupancy of a job on a machine: ceil (size / speed), at
+   least 1. *)
+let duration_on t ~machine ~size =
+  let s = t.speeds.(machine) in
+  if s = 1.0 then size
+  else Stdlib.max 1 (int_of_float (Float.ceil (float_of_int size /. s)))
+
+let release t (job : Job.t) =
+  if job.Job.org < 0 || job.Job.org >= t.norgs then
+    invalid_arg "Cluster.release: organization out of range";
+  Queue.add job t.queues.(job.Job.org);
+  t.waiting_total <- t.waiting_total + 1
+
+let next_completion t = Heap.min_prio t.heap
+
+let pop_completion_le t bound =
+  match Heap.pop_le t.heap bound with
+  | None -> None
+  | Some (finish, r) ->
+      t.free.(t.free_size) <- r.r_machine;
+      t.free_size <- t.free_size + 1;
+      let org = r.r_job.Job.org in
+      t.running_per_org.(org) <- t.running_per_org.(org) - 1;
+      t.completed_work.(org) <- t.completed_work.(org) + r.r_job.Job.size;
+      Some { job = r.r_job; start = r.r_start; finish; machine = r.r_machine }
+
+let free_count t = t.free_size
+
+let free_machine_ids t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (t.free.(i) :: acc) in
+  go (t.free_size - 1) []
+
+let has_waiting t = t.waiting_total > 0
+
+let waiting_orgs t =
+  let rec go u acc =
+    if u < 0 then acc
+    else if Queue.is_empty t.queues.(u) then go (u - 1) acc
+    else go (u - 1) (u :: acc)
+  in
+  go (t.norgs - 1) []
+
+let waiting_count t u = Queue.length t.queues.(u)
+let front t u = Queue.peek_opt t.queues.(u)
+
+let take_free_machine t = function
+  | None ->
+      if t.free_size = 0 then invalid_arg "Cluster.start_front: no free machine";
+      t.free_size <- t.free_size - 1;
+      t.free.(t.free_size)
+  | Some m ->
+      let rec find i =
+        if i >= t.free_size then
+          invalid_arg "Cluster.start_front: requested machine is busy"
+        else if t.free.(i) = m then begin
+          t.free_size <- t.free_size - 1;
+          t.free.(i) <- t.free.(t.free_size);
+          m
+        end
+        else find (i + 1)
+      in
+      find 0
+
+let start_front t ~org ~time ?machine () =
+  if Queue.is_empty t.queues.(org) then
+    invalid_arg "Cluster.start_front: empty queue";
+  let machine = take_free_machine t machine in
+  let job = Queue.pop t.queues.(org) in
+  t.waiting_total <- t.waiting_total - 1;
+  t.running_per_org.(org) <- t.running_per_org.(org) + 1;
+  t.started <- t.started + 1;
+  let duration = duration_on t ~machine ~size:job.Job.size in
+  Heap.add t.heap ~prio:(time + duration)
+    { r_job = job; r_start = time; r_machine = machine };
+  let placement = Schedule.placement ~duration ~job ~start:time ~machine () in
+  if t.record then t.placements <- placement :: t.placements;
+  placement
+
+let running_count t u = t.running_per_org.(u)
+let running_total t = Array.fold_left ( + ) 0 t.running_per_org
+let completed_work t u = t.completed_work.(u)
+let started_count t = t.started
+let placements t = t.placements
+
+let to_schedule t =
+  if not t.record then
+    invalid_arg "Cluster.to_schedule: cluster was not recording";
+  Schedule.of_placements ~machines:(machines t) t.placements

@@ -1,0 +1,96 @@
+(** Mutable single-pool simulator: the shared machinery of every scheduling
+    algorithm in this reproduction.
+
+    A cluster owns a set of machines (each attributed to a contributing
+    organization), a per-organization FIFO queue of released-but-unstarted
+    jobs, and a completion heap of running jobs.  It performs no scheduling
+    decisions itself: a policy chooses the organization (and optionally the
+    machine) and calls {!start_front}.  The grand-coalition driver
+    ({!module:Sim} library) and the per-coalition simulators inside REF and
+    RAND all instantiate this module, which is what makes the exponential
+    algorithm tractable to express.
+
+    Non-clairvoyance is structural: the only way a policy learns a job's
+    processing time is a completion event. *)
+
+type t
+
+type completion = {
+  job : Job.t;
+  start : int;
+  finish : int;  (** [start + size] *)
+  machine : int;
+}
+
+val create :
+  ?record:bool ->
+  ?speeds:float array ->
+  machine_owners:int array ->
+  norgs:int ->
+  unit ->
+  t
+(** [machine_owners.(i)] is the organization owning machine [i]; [norgs] is
+    the number of organizations indexable by jobs (queues are allocated for
+    all of them even if they own no machine here — a coalition simulator
+    never receives jobs of non-members).  [record] keeps the full placement
+    list for later analysis (default [false]).  [speeds] enables the
+    related-machines extension: a job of size [p] occupies machine [i] for
+    [ceil (p / speeds.(i))] time units (default: all 1.0). *)
+
+val machines : t -> int
+val norgs : t -> int
+val machine_owner : t -> int -> int
+val machine_speed : t -> int -> float
+val fastest_free_machine : t -> int option
+(** Highest-speed free machine (ties: any); [None] when all busy. *)
+
+(** {2 Job flow} *)
+
+val release : t -> Job.t -> unit
+(** Enqueue a job (it becomes visible to the policy immediately). *)
+
+val next_completion : t -> int option
+(** Finish time of the earliest-running job, if any. *)
+
+val pop_completion_le : t -> int -> completion option
+(** Pop one completion with [finish <= bound]; the machine returns to the
+    free pool.  Call in a loop to drain all completions up to a time. *)
+
+val free_count : t -> int
+val free_machine_ids : t -> int list
+(** Snapshot of currently free machine ids (unspecified order, deterministic
+    for a given history). *)
+
+val has_waiting : t -> bool
+val waiting_orgs : t -> int list
+(** Organizations with a non-empty queue, ascending. *)
+
+val waiting_count : t -> int -> int
+(** Queue length of one organization. *)
+
+val front : t -> int -> Job.t option
+(** The FIFO-front job of an organization, without removing it. *)
+
+val start_front : t -> org:int -> time:int -> ?machine:int -> unit -> Schedule.placement
+(** Starts the front job of [org] at [time] on [machine] (default: an
+    arbitrary free machine).  @raise Invalid_argument if the queue is empty,
+    no machine is free, or the requested machine is busy. *)
+
+(** {2 Accounting} *)
+
+val running_count : t -> int -> int
+(** Currently-running jobs of one organization (used by CURRFAIRSHARE). *)
+
+val running_total : t -> int
+val completed_work : t -> int -> int
+(** Total size of completed jobs of one organization. *)
+
+val started_count : t -> int
+(** Number of jobs started so far (across organizations). *)
+
+val placements : t -> Schedule.placement list
+(** All placements so far, most recent first; empty unless [record] was
+    set. *)
+
+val to_schedule : t -> Schedule.t
+(** @raise Invalid_argument unless created with [record:true]. *)

@@ -1,0 +1,66 @@
+let org_glyph org =
+  if org < 0 then '?'
+  else if org < 10 then Char.chr (Char.code '0' + org)
+  else Char.chr (Char.code 'a' + ((org - 10) mod 26))
+
+let render ?(width = 72) ?upto schedule =
+  let upto =
+    match upto with
+    | Some u -> u
+    | None -> Stdlib.max 1 (Schedule.makespan schedule)
+  in
+  let machines = Schedule.machines schedule in
+  let columns = Stdlib.min width upto in
+  let span = float_of_int upto /. float_of_int columns in
+  (* occupancy.(m).(col) = org counts within the column's time span *)
+  let buf = Buffer.create ((machines + 2) * (columns + 8)) in
+  let col_of t = Stdlib.min (columns - 1) (int_of_float (float_of_int t /. span)) in
+  let grid = Array.init machines (fun _ -> Array.make columns []) in
+  List.iter
+    (fun (p : Schedule.placement) ->
+      let finish = Stdlib.min (Schedule.completion p) upto in
+      let rec mark t =
+        if t < finish then begin
+          let col = col_of t in
+          grid.(p.machine).(col) <- p.job.Job.org :: grid.(p.machine).(col);
+          mark (t + 1)
+        end
+      in
+      if p.start < upto then mark p.start)
+    (Schedule.placements schedule);
+  let glyph cell =
+    match cell with
+    | [] -> '-'
+    | orgs -> (
+        (* Majority organization within the column span. *)
+        let tally = Hashtbl.create 4 in
+        List.iter
+          (fun org ->
+            Hashtbl.replace tally org
+              (1 + Option.value (Hashtbl.find_opt tally org) ~default:0))
+          orgs;
+        let best =
+          Hashtbl.fold
+            (fun org n acc ->
+              match acc with
+              | Some (_, bn) when bn > n -> acc
+              | Some (_, bn) when bn = n -> Some (-1, n) (* tie *)
+              | _ -> Some (org, n))
+            tally None
+        in
+        match best with
+        | Some (-1, _) -> '~'
+        | Some (org, _) -> org_glyph org
+        | None -> '-')
+  in
+  Array.iteri
+    (fun m row ->
+      Buffer.add_string buf (Printf.sprintf "m%-3d |" m);
+      Array.iter (fun cell -> Buffer.add_char buf (glyph cell)) row;
+      Buffer.add_string buf "|\n")
+    grid;
+  Buffer.add_string buf
+    (Printf.sprintf "      t=0%s%d\n"
+       (String.make (Stdlib.max 1 (columns - String.length (string_of_int upto) - 3)) ' ')
+       upto);
+  Buffer.contents buf

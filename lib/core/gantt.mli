@@ -1,0 +1,23 @@
+(** ASCII Gantt-chart rendering of schedules.
+
+    One row per machine, one column per time unit (scaled when the horizon
+    exceeds the width budget); each job cell prints its organization's digit
+    (organizations beyond 9 wrap to letters).  Intended for the CLI's
+    [simulate --gantt] and for eyeballing small worked examples:
+
+    {v
+    m0 |000011111--22|
+    m1 |0000--111122-|
+        t=0        13
+    v} *)
+
+val render :
+  ?width:int -> ?upto:int -> Schedule.t -> string
+(** [render schedule] draws all machines from t = 0 to [upto] (default: the
+    makespan), compressing time so the chart is at most [width] (default 72)
+    columns.  Idle slots print ['-'].  When a column spans several time
+    units, the organization occupying the majority of the span wins the
+    glyph (['~'] on a tie between two organizations). *)
+
+val org_glyph : int -> char
+(** '0'..'9' then 'a'..'z', wrapping. *)

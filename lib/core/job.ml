@@ -1,0 +1,22 @@
+type t = { org : int; index : int; user : int; release : int; size : int }
+
+let make ~org ~index ?(user = 0) ~release ~size () =
+  if release < 0 then invalid_arg "Job.make: negative release";
+  if size < 1 then invalid_arg "Job.make: size < 1";
+  if org < 0 then invalid_arg "Job.make: negative org";
+  { org; index; user; release; size }
+
+let id t = (t.org, t.index)
+
+let compare_release a b =
+  match Stdlib.compare a.release b.release with
+  | 0 -> (
+      match Stdlib.compare a.org b.org with
+      | 0 -> Stdlib.compare a.index b.index
+      | c -> c)
+  | c -> c
+
+let equal a b = a.org = b.org && a.index = b.index
+
+let pp ppf t =
+  Format.fprintf ppf "J(%d)%d[r=%d,p=%d]" t.org t.index t.release t.size

@@ -1,0 +1,28 @@
+(** Sequential jobs.
+
+    A job is owned by exactly one organization and requires one processor for
+    [size] consecutive time units.  The model is non-clairvoyant: scheduling
+    algorithms must not inspect [size] before the job completes (the
+    simulator enforces this structurally — policies only see jobs through
+    queue fronts and completion notifications). *)
+
+type t = {
+  org : int;  (** owning organization, [0 <= org < k] *)
+  index : int;  (** FIFO rank within the organization's stream *)
+  user : int;  (** originating user in the source trace (metadata) *)
+  release : int;  (** release time [r >= 0]; unknown to the system before *)
+  size : int;  (** processing time [p >= 1] *)
+}
+
+val make : org:int -> index:int -> ?user:int -> release:int -> size:int -> unit -> t
+(** @raise Invalid_argument if [release < 0], [size < 1], or [org < 0]. *)
+
+val id : t -> int * int
+(** [(org, index)] — unique within an instance. *)
+
+val compare_release : t -> t -> int
+(** Orders by release time, then organization, then index: the canonical
+    event order of an instance. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

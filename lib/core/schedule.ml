@@ -1,0 +1,175 @@
+type placement = { job : Job.t; start : int; machine : int; duration : int }
+
+let placement ?duration ~job ~start ~machine () =
+  let duration = Option.value duration ~default:job.Job.size in
+  if duration < 1 then invalid_arg "Schedule.placement: duration < 1";
+  { job; start; machine; duration }
+type t = { machines : int; placements : placement list (* sorted *) }
+
+let compare_placement a b =
+  match Stdlib.compare a.start b.start with
+  | 0 -> Stdlib.compare a.machine b.machine
+  | c -> c
+
+let of_placements ~machines pl =
+  List.iter
+    (fun p ->
+      if p.machine < 0 || p.machine >= machines then
+        invalid_arg "Schedule.of_placements: machine id out of range";
+      if p.start < 0 then
+        invalid_arg "Schedule.of_placements: negative start time")
+    pl;
+  { machines; placements = List.sort compare_placement pl }
+
+let placements t = t.placements
+let machines t = t.machines
+let job_count t = List.length t.placements
+let find t job = List.find_opt (fun p -> Job.equal p.job job) t.placements
+let completion p = p.start + p.duration
+
+let busy_time t ~upto =
+  List.fold_left
+    (fun acc p ->
+      let slot_end = Stdlib.min (completion p) upto in
+      acc + Stdlib.max 0 (slot_end - p.start))
+    0 t.placements
+
+let utilization t ~upto =
+  if upto <= 0 || t.machines = 0 then 0.
+  else float_of_int (busy_time t ~upto) /. float_of_int (t.machines * upto)
+
+let makespan t =
+  List.fold_left (fun acc p -> Stdlib.max acc (completion p)) 0 t.placements
+
+let check_feasible t =
+  let by_machine = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let existing =
+        Option.value (Hashtbl.find_opt by_machine p.machine) ~default:[]
+      in
+      Hashtbl.replace by_machine p.machine (p :: existing))
+    t.placements;
+  let release_violation =
+    List.find_opt (fun p -> p.start < p.job.Job.release) t.placements
+  in
+  match release_violation with
+  | Some p ->
+      Error
+        (Format.asprintf "%a starts at %d before release %d" Job.pp p.job
+           p.start p.job.Job.release)
+  | None ->
+      let conflict = ref None in
+      Hashtbl.iter
+        (fun m pl ->
+          let sorted = List.sort compare_placement pl in
+          let rec go = function
+            | a :: (b :: _ as rest) ->
+                if completion a > b.start then
+                  conflict :=
+                    Some
+                      (Format.asprintf
+                         "machine %d runs %a and %a concurrently" m Job.pp
+                         a.job Job.pp b.job)
+                else go rest
+            | [ _ ] | [] -> ()
+          in
+          go sorted)
+        by_machine;
+      (match !conflict with Some msg -> Error msg | None -> Ok ())
+
+let check_fifo t =
+  let by_org = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let org = p.job.Job.org in
+      let existing = Option.value (Hashtbl.find_opt by_org org) ~default:[] in
+      Hashtbl.replace by_org org (p :: existing))
+    t.placements;
+  let bad = ref None in
+  Hashtbl.iter
+    (fun org pl ->
+      let sorted =
+        List.sort
+          (fun a b -> Stdlib.compare a.job.Job.index b.job.Job.index)
+          pl
+      in
+      let rec go = function
+        | a :: (b :: _ as rest) ->
+            if a.start > b.start then
+              bad :=
+                Some
+                  (Format.asprintf
+                     "organization %d starts %a after %a (FIFO violation)"
+                     org Job.pp a.job Job.pp b.job)
+            else go rest
+        | [ _ ] | [] -> ()
+      in
+      go sorted)
+    by_org;
+  match !bad with Some msg -> Error msg | None -> Ok ()
+
+(* Greediness check by sweeping candidate times: a violation can only start
+   at a release time or a completion time, so it suffices to check those
+   instants (idleness and waiting status are constant between events). *)
+let check_greedy t ~all_jobs ~upto =
+  let events =
+    List.concat
+      [
+        List.map (fun (j : Job.t) -> j.Job.release) all_jobs;
+        List.map completion t.placements;
+        [ 0 ];
+      ]
+    |> List.sort_uniq Stdlib.compare
+    |> List.filter (fun e -> e < upto)
+  in
+  let busy_at time =
+    List.length
+      (List.filter
+         (fun p -> p.start <= time && time < completion p)
+         t.placements)
+  in
+  (* FIFO-front job of an org at [time]: smallest index not yet started
+     whose release has passed; only that job may start. *)
+  let front_waiting time =
+    let by_org = Hashtbl.create 16 in
+    List.iter
+      (fun (j : Job.t) ->
+        let unstarted =
+          match find t j with None -> true | Some p -> p.start > time
+        in
+        if unstarted then begin
+          let cur = Hashtbl.find_opt by_org j.Job.org in
+          match cur with
+          | Some (c : Job.t) when c.Job.index < j.Job.index -> ()
+          | _ -> Hashtbl.replace by_org j.Job.org j
+        end)
+      all_jobs;
+    Hashtbl.fold
+      (fun _ (j : Job.t) acc -> if j.Job.release <= time then j :: acc else acc)
+      by_org []
+  in
+  let rec check = function
+    | [] -> Ok ()
+    | time :: rest ->
+        (* [busy_at] counts placements covering [time] including those that
+           start exactly then, and [front_waiting] only lists jobs that have
+           not started by [time]; so a positive idle count together with a
+           waiting front job is exactly a greediness violation. *)
+        let idle = t.machines - busy_at time in
+        let waiting = front_waiting time in
+        if idle > 0 && waiting <> [] then
+          Error
+            (Format.asprintf
+               "non-greedy: at t=%d, %d machine(s) idle while %a waits" time
+               idle Job.pp (List.hd waiting))
+        else check rest
+  in
+  check events
+
+let pp ppf t =
+  Format.fprintf ppf "schedule(m=%d):@." t.machines;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  t=%-6d m=%-3d %a@." p.start p.machine Job.pp p.job)
+    t.placements

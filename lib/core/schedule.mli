@@ -1,0 +1,64 @@
+(** Concrete schedules: which job started when, on which machine.
+
+    The simulation driver records the grand-coalition schedule; tests use the
+    validators here to check the structural invariants the paper assumes
+    (feasibility, per-organization FIFO order, greediness). *)
+
+type placement = {
+  job : Job.t;
+  start : int;
+  machine : int;
+  duration : int;
+      (** wall-clock occupancy: equals [job.size] on identical machines,
+          [ceil (size / speed machine)] on related machines *)
+}
+
+val placement : ?duration:int -> job:Job.t -> start:int -> machine:int -> unit -> placement
+(** [duration] defaults to [job.size] (identical machines). *)
+
+type t
+(** An immutable schedule over a fixed pool of machines. *)
+
+val of_placements : machines:int -> placement list -> t
+(** @raise Invalid_argument if a machine id is out of [0, machines) or a
+    start time is negative. *)
+
+val placements : t -> placement list
+(** Sorted by start time, then machine. *)
+
+val machines : t -> int
+val job_count : t -> int
+
+val find : t -> Job.t -> placement option
+(** Placement of a given job (matched by [Job.equal]), if started. *)
+
+val completion : placement -> int
+(** [start + duration]. *)
+
+val busy_time : t -> upto:int -> int
+(** Total number of (machine, slot) pairs occupied in [0, upto): the
+    numerator of the resource-utilization metric of Section 6. *)
+
+val utilization : t -> upto:int -> float
+(** [busy_time / (machines * upto)]. *)
+
+val makespan : t -> int
+(** Latest completion time; 0 for an empty schedule. *)
+
+(** {2 Invariant validators (used heavily by the test suite)} *)
+
+val check_feasible : t -> (unit, string) result
+(** No machine runs two jobs at once; every start respects the release
+    time. *)
+
+val check_fifo : t -> (unit, string) result
+(** Within each organization, start times are non-decreasing in FIFO rank
+    (jobs of one organization start in submission order, Section 2). *)
+
+val check_greedy : t -> all_jobs:Job.t list -> upto:int -> (unit, string) result
+(** Greediness (Section 2): at any time in [0, upto) at which a machine is
+    idle and some organization's FIFO-front job is released but not started,
+    a job must start.  [all_jobs] lists every job of the instance, including
+    never-started ones. *)
+
+val pp : Format.formatter -> t -> unit

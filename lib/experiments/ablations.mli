@@ -1,0 +1,58 @@
+(** Ablation studies on the design choices DESIGN.md calls out.
+
+    - {!rand_sample_sweep}: sensitivity of RAND's fairness to the number of
+      sampled coalition orders N (the paper evaluates N = 15 and N = 75 and
+      finds 15 sufficient — Section 7.1);
+    - {!endowment_sweep}: Zipf vs uniform machine endowments (Section 7.2
+      runs both and reports that conclusions agree);
+    - {!load_sweep}: fairness gaps as a function of offered load — the
+      mechanism behind the per-trace differences in Table 1 (contention is
+      what lets an unfair policy hurt). *)
+
+type row = { label : string; per_algorithm : (string * float * float) list }
+(** (algorithm, mean ratio, stddev). *)
+
+val rand_sample_sweep :
+  ?samples:int list -> ?instances:int -> ?horizon:int -> seed:int -> unit -> row list
+
+val endowment_sweep :
+  ?instances:int -> ?horizon:int -> seed:int -> unit -> row list
+
+val load_sweep :
+  ?loads:float list -> ?instances:int -> ?horizon:int -> seed:int -> unit -> row list
+
+val concept_sweep :
+  ?instances:int -> ?horizon:int -> seed:int -> unit -> row list
+(** The paper's future-work question, quantified: how far does a fair
+    schedule driven by the {e normalized Banzhaf value} drift from the
+    Shapley-fair one?  Reports Δψ/p_tot of REF-Banzhaf against the Shapley
+    REF reference, with RAND-15 and FAIRSHARE for scale. *)
+
+val decay_sweep :
+  ?half_lives:float list -> ?instances:int -> ?horizon:int -> seed:int -> unit -> row list
+(** Not in the paper: production fair-share schedulers decay usage with a
+    half-life (Maui/SLURM).  Sweeping the half-life against the
+    non-decayed FAIRSHARE/DIRECTCONTR shows decay does not improve mean
+    unfairness w.r.t. the (cumulative) Shapley reference — forgetting real
+    debts costs fairness — but substantially reduces its variance. *)
+
+type manipulation_row = {
+  scheduler : string;
+  psi_merged : float;  (** ψsp of the manipulating org presenting one job *)
+  psi_split : float;  (** ... presenting the same work as 12 pieces *)
+  done_merged : int;  (** time its last piece completes, merged *)
+  done_split : int;
+  splitting_pays : bool;
+}
+
+val manipulation_sweep : unit -> manipulation_row list
+(** The Section 4 motivation, end to end: one organization presents 60 s of
+    work merged or split against a busy competitor, scheduled either by the
+    ψsp-fair REF or by the {e same} fair algorithm driven by (negated) flow
+    time.  Under flow-driven fairness splitting finishes the work twice as
+    fast (the scheduler favors orgs with many short jobs); under ψsp it
+    gains nothing — the paper's reason for Theorem 4.1. *)
+
+val pp_manipulation : Format.formatter -> manipulation_row list -> unit
+
+val pp_rows : Format.formatter -> row list -> unit

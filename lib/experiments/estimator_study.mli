@@ -1,0 +1,38 @@
+(** Empirical check of Theorem 5.6: the Monte-Carlo Shapley estimator's
+    error on an actual scheduling game.
+
+    The game is the paper's: organizations with machines and unit-size jobs,
+    [v(C)] the ψsp value of coalition [C]'s greedy schedule at a fixed
+    instant (well-defined for unit jobs regardless of the greedy rule —
+    Proposition 5.4).  We compute the exact Shapley value by subset
+    enumeration, then repeat the N-order sampling estimator many times and
+    measure how often any organization's estimate misses by more than the
+    theorem's tolerance (ε/k)·v(grand).  With N from the Hoeffding bound the
+    empirical failure rate must stay below 1 − λ (it is, by a wide margin —
+    Hoeffding is conservative). *)
+
+type row = {
+  n : int;  (** sampled orders per estimate *)
+  trials : int;
+  violations : int;  (** trials where some org missed the ε/k·v tolerance *)
+  allowed_rate : float;  (** 1 − λ, the theorem's bound (for the Hoeffding n) *)
+  mean_max_abs_err : float;  (** mean over trials of max_u |φ̂_u − φ_u| *)
+  tolerance : float;  (** (ε/k)·v(grand) *)
+}
+
+type config = {
+  players : int;
+  jobs_per_org : int;
+  at : int;  (** evaluation instant *)
+  epsilon : float;
+  confidence : float;  (** λ *)
+  sample_counts : int list;  (** N values to sweep; the Hoeffding N is added *)
+  trials : int;
+  seed : int;
+}
+
+val default_config : ?trials:int -> unit -> config
+(** 4 organizations, ε = 0.25, λ = 0.8, N sweep {5, 15, 75, Hoeffding}. *)
+
+val run : config -> row list
+val pp : Format.formatter -> row list -> unit

@@ -1,0 +1,124 @@
+type config = {
+  org_counts : int list;
+  instances : int;
+  horizon : int;
+  machines : int;
+  algorithms : (string * Algorithms.Policy.maker) list;
+  model : Workload.Traces.model;
+  seed : int;
+}
+
+let default_config ?(instances = 5) ?(horizon = 50_000) ?(max_orgs = 10) () =
+  {
+    org_counts = List.init (max_orgs - 1) (fun i -> i + 2);
+    instances;
+    horizon;
+    machines = 16;
+    algorithms =
+      [
+        ("roundrobin", Algorithms.Baselines.round_robin);
+        ("currfairshare", Algorithms.Fair_share.curr_fair_share);
+        ("fairshare", Algorithms.Fair_share.fair_share);
+        ("directcontr", Algorithms.Direct_contr.direct_contr);
+        ("rand-15", Algorithms.Rand.rand15);
+      ];
+    model = Workload.Traces.lpc_egee;
+    seed = 1010;
+  }
+
+type point = { norgs : int; mean : float; stddev : float }
+type series = { algorithm : string; points : point list }
+type figure = { config : config; series : series list }
+
+let run ?(progress = fun _ -> ()) ?workers config =
+  let acc =
+    List.map (fun (name, _) -> (name, Hashtbl.create 8)) config.algorithms
+  in
+  List.iter
+    (fun norgs ->
+      let t0 = Unix.gettimeofday () in
+      let ratios =
+        Pool.map ?workers
+          (fun i ->
+            let spec =
+              Workload.Scenario.default ~norgs ~machines:config.machines
+                ~horizon:config.horizon config.model
+            in
+            let seed = config.seed + (6007 * i) + (101 * norgs) in
+            let instance = Workload.Scenario.instance spec ~seed in
+            let _, evals =
+              Sim.Fairness.evaluate ~instance ~seed:(seed lxor 0xf10)
+                (List.map snd config.algorithms)
+            in
+            List.map (fun (e : Sim.Fairness.evaluation) -> e.Sim.Fairness.ratio) evals)
+          (List.init config.instances (fun i -> i + 1))
+      in
+      List.iter
+        (fun per_algo ->
+          List.iter2
+            (fun (name, _) ratio ->
+              let table = List.assoc name acc in
+              let s =
+                match Hashtbl.find_opt table norgs with
+                | Some s -> s
+                | None ->
+                    let s = Fstats.Summary.create () in
+                    Hashtbl.add table norgs s;
+                    s
+              in
+              Fstats.Summary.add s ratio)
+            config.algorithms per_algo)
+        ratios;
+      progress
+        (Printf.sprintf "k=%d: %d instances in %.1fs" norgs config.instances
+           (Unix.gettimeofday () -. t0)))
+    config.org_counts;
+  let series =
+    List.map
+      (fun (name, _) ->
+        let table = List.assoc name acc in
+        let points =
+          List.map
+            (fun norgs ->
+              let s = Hashtbl.find table norgs in
+              {
+                norgs;
+                mean = Fstats.Summary.mean s;
+                stddev = Fstats.Summary.stddev s;
+              })
+            config.org_counts
+        in
+        { algorithm = name; points })
+      config.algorithms
+  in
+  { config; series }
+
+let pp ppf f =
+  Format.fprintf ppf "%-6s" "k";
+  List.iter (fun s -> Format.fprintf ppf " | %16s" s.algorithm) f.series;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun norgs ->
+      Format.fprintf ppf "%-6d" norgs;
+      List.iter
+        (fun s ->
+          match List.find_opt (fun p -> p.norgs = norgs) s.points with
+          | Some p -> Format.fprintf ppf " | %16.2f" p.mean
+          | None -> Format.fprintf ppf " | %16s" "-")
+        f.series;
+      Format.fprintf ppf "@.")
+    f.config.org_counts
+
+let to_csv f =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "algorithm,norgs,mean,stddev\n";
+  List.iter
+    (fun s ->
+      List.iter
+        (fun p ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%d,%f,%f\n" s.algorithm p.norgs p.mean
+               p.stddev))
+        s.points)
+    f.series;
+  Buffer.contents buf

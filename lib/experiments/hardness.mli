@@ -1,0 +1,49 @@
+(** Executable check of the Theorem 5.1 NP-hardness construction.
+
+    The proof reduces SUBSETSUM to computing a contribution φ: from a set S
+    and a target x it builds organizations O_S ∪ {a, b} (one machine each)
+    whose jobs are sized so that, in every coalition C ∋ b joined by a, the
+    start time of b's huge job reveals whether Σ_{i ∈ C∩O_S} x_i < x:
+
+    - each O_i releases two unit jobs at 0, a [2·x_tot] job at 3, and a
+      [2·x_i] job at 4;
+    - b releases a [2x+2] job at 2 and the huge job at [2x+3];
+    - if y = Σ x_i < x the huge job starts at [2x+3], otherwise at [2x+4] —
+      so φ(a) counts the subsets below the target, and comparing the counts
+      for x and x+1 answers SUBSETSUM.
+
+    This module builds the gadget and verifies the start-time dichotomy by
+    actually running the fair algorithm (REF) on every coalition — the
+    load-bearing combinatorial step of the reduction, machine-checked. *)
+
+type check = {
+  subset : int list;  (** the elements of S in the coalition *)
+  y : int;  (** their sum *)
+  expected_start : int;  (** the proof's nominal start: 2x+3 if y < x else 2x+4 *)
+  actual_start : int option;  (** observed under REF; [None] = never started *)
+  consistent : bool;
+      (** the load-bearing dichotomy: started at exactly 2x+3 ⟺ y < x.
+          (When y ≥ x the observed start may exceed the nominal 2x+4 by a
+          small-job length — covered by the proof's c₃ slack term.) *)
+}
+
+val gadget : elements:int list -> x:int -> Core.Instance.t
+(** The instance restricted to coalition [elements ∪ {a, b}] (organizations
+    renumbered; a = |elements|, b = |elements|+1); the huge job's size uses a
+    scaled-down stand-in for L that still dominates the window.
+    @raise Invalid_argument on an empty element list or non-positive x. *)
+
+val large_job_start : elements:int list -> x:int -> int option
+(** Start time of b's huge job under REF in that coalition. *)
+
+val verify : elements:int list -> x:int -> check list
+(** One check per non-empty subset of [elements]. *)
+
+val all_consistent : elements:int list -> x:int -> bool
+
+val subsets_below : elements:int list -> x:int -> int
+(** |{S' ⊆ S : Σ S' < x}| — what φ(a) encodes in the proof. *)
+
+val subset_sum_exists : elements:int list -> x:int -> bool
+(** Direct SUBSETSUM answer, equal to
+    [subsets_below ~x:(x+1) > subsets_below ~x] (the proof's comparison). *)

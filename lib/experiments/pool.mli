@@ -1,0 +1,22 @@
+(** A small fixed-size domain pool for embarrassingly-parallel experiment
+    sweeps (OCaml 5 multicore).
+
+    The tables and figures average over independent random instances: each
+    task owns its seed and its own simulator state, so tasks share nothing
+    and results are deterministic regardless of scheduling order.  The pool
+    spawns [workers] domains that pull tasks off a shared counter, and
+    returns results in input order.
+
+    No external dependency (domainslib is not available in the build
+    environment); the implementation hands out task indices through an
+    atomic counter, so no locks are needed. *)
+
+val map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~workers f tasks] applies [f] to every task using [workers] domains
+    (default: [recommended_workers ()]).  Results are in input order.  If
+    any task raises, the first exception (in input order) is re-raised after
+    all workers stop.  With [workers = 1] no domain is spawned (plain
+    [List.map]). *)
+
+val recommended_workers : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1. *)

@@ -1,0 +1,41 @@
+(** Empirical coalition stability of the fair allocation.
+
+    The paper's opening motivation: organizations "may refuse to join an
+    unfair system" or secede into sub-consortia.  Game-theoretically, a
+    coalition C has an incentive to secede when its members' utilities under
+    the grand-coalition schedule fall short of what C could produce alone:
+
+      excess(C) = v(C) − Σ_{u∈C} ψ_u(grand)
+
+    A positive excess is a standing secession threat (a core violation).
+    The Shapley value is not guaranteed to lie in the core of a
+    non-supermodular game (Prop. 5.5 shows the scheduling game is not), so
+    the interesting question is empirical: how large are the violations
+    under the Shapley-fair algorithm, and how much larger under static
+    shares or round robin?
+
+    [v(C)] is computed by scheduling C's jobs on C's machines with the fair
+    rule (the same sub-coalition machinery REF uses). *)
+
+type report = {
+  policy : string;
+  max_excess : float;  (** largest excess over all proper coalitions *)
+  mean_positive_excess : float;  (** mean over coalitions with excess > 0 *)
+  violating : int;  (** coalitions with excess > tolerance *)
+  coalitions : int;  (** proper non-empty coalitions tested *)
+  max_excess_ratio : float;  (** max excess / v(grand) *)
+}
+
+val analyze :
+  instance:Core.Instance.t ->
+  seed:int ->
+  (string * Algorithms.Policy.maker) list ->
+  report list
+(** One report per policy.  Uses an absolute tolerance of one job-slot
+    (excess ≤ 2 scaled units is counted as no violation: discreteness). *)
+
+val pp : Format.formatter -> report list -> unit
+
+val demo : ?norgs:int -> ?seed:int -> unit -> report list
+(** A contended 4-organization LPC-like scenario comparing REF, FAIRSHARE
+    and ROUNDROBIN. *)

@@ -1,0 +1,150 @@
+type config = {
+  horizon : int;
+  instances : int;
+  norgs : int;
+  machines : int;
+  endowment : Workload.Scenario.endowment;
+  algorithms : (string * Algorithms.Policy.maker) list;
+  models : Workload.Traces.model list;
+  seed : int;
+}
+
+let paper_lineup =
+  [
+    ("roundrobin", Algorithms.Baselines.round_robin);
+    ("rand-15", Algorithms.Rand.rand15);
+    ("directcontr", Algorithms.Direct_contr.direct_contr);
+    ("fairshare", Algorithms.Fair_share.fair_share);
+    ("utfairshare", Algorithms.Fair_share.ut_fair_share);
+    ("currfairshare", Algorithms.Fair_share.curr_fair_share);
+  ]
+
+let table1_config ?(instances = 10) ?(machines = 16) () =
+  {
+    horizon = 50_000;
+    instances;
+    norgs = 5;
+    machines;
+    endowment = Workload.Scenario.Zipf 1.0;
+    algorithms = paper_lineup;
+    models = Workload.Traces.all;
+    seed = 2013;
+  }
+
+let table2_config ?(instances = 5) ?(machines = 16) () =
+  { (table1_config ~instances ~machines ()) with horizon = 500_000; seed = 2014 }
+
+type cell = { mean : float; stddev : float; n : int }
+type table = { config : config; rows : (string * (string * cell) list) list }
+
+let run ?(progress = fun _ -> ()) ?workers config =
+  let per_algo : (string, (string * Fstats.Summary.t) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let summary algo model =
+    let cells =
+      match Hashtbl.find_opt per_algo algo with
+      | Some cells -> cells
+      | None ->
+          let cells = ref [] in
+          Hashtbl.add per_algo algo cells;
+          cells
+    in
+    match List.assoc_opt model !cells with
+    | Some s -> s
+    | None ->
+        let s = Fstats.Summary.create () in
+        cells := (model, s) :: !cells;
+        s
+  in
+  (* One task per (model, instance): tasks are independent (each builds its
+     own instance from its own seed), so they run on the domain pool; the
+     summaries are aggregated sequentially afterwards to keep the
+     accumulation order deterministic. *)
+  List.iter
+    (fun model ->
+      let t0 = Unix.gettimeofday () in
+      let ratios =
+        Pool.map ?workers
+          (fun i ->
+            let spec =
+              Workload.Scenario.default ~norgs:config.norgs
+                ~machines:config.machines ~horizon:config.horizon
+                ~endowment:config.endowment model
+            in
+            let seed = config.seed + (7919 * i) in
+            let instance = Workload.Scenario.instance spec ~seed in
+            let _, evals =
+              Sim.Fairness.evaluate ~instance ~seed:(seed lxor 0xbeef)
+                (List.map snd config.algorithms)
+            in
+            List.map (fun (e : Sim.Fairness.evaluation) -> e.Sim.Fairness.ratio) evals)
+          (List.init config.instances (fun i -> i + 1))
+      in
+      List.iter
+        (fun per_algo ->
+          List.iter2
+            (fun (name, _) ratio ->
+              Fstats.Summary.add
+                (summary name model.Workload.Traces.name)
+                ratio)
+            config.algorithms per_algo)
+        ratios;
+      progress
+        (Printf.sprintf "%s: %d instances in %.1fs"
+           model.Workload.Traces.name config.instances
+           (Unix.gettimeofday () -. t0)))
+    config.models;
+  let rows =
+    List.map
+      (fun (name, _) ->
+        let cells =
+          List.map
+            (fun model ->
+              let s = summary name model.Workload.Traces.name in
+              ( model.Workload.Traces.name,
+                {
+                  mean = Fstats.Summary.mean s;
+                  stddev = Fstats.Summary.stddev s;
+                  n = Fstats.Summary.count s;
+                } ))
+            config.models
+        in
+        (name, cells))
+      config.algorithms
+  in
+  { config; rows }
+
+let pp ppf t =
+  let model_names =
+    List.map (fun m -> m.Workload.Traces.name) t.config.models
+  in
+  Format.fprintf ppf "%-14s" "";
+  List.iter (fun m -> Format.fprintf ppf " | %22s" m) model_names;
+  Format.fprintf ppf "@.%-14s" "";
+  List.iter (fun _ -> Format.fprintf ppf " | %10s %11s" "avg" "st.dev") model_names;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun (algo, cells) ->
+      Format.fprintf ppf "%-14s" algo;
+      List.iter
+        (fun m ->
+          match List.assoc_opt m cells with
+          | Some c -> Format.fprintf ppf " | %10.2f %11.2f" c.mean c.stddev
+          | None -> Format.fprintf ppf " | %22s" "-")
+        model_names;
+      Format.fprintf ppf "@.")
+    t.rows
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "algorithm,model,mean,stddev,n\n";
+  List.iter
+    (fun (algo, cells) ->
+      List.iter
+        (fun (model, c) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%s,%f,%f,%d\n" algo model c.mean c.stddev c.n))
+        cells)
+    t.rows;
+  Buffer.contents buf

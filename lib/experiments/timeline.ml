@@ -1,0 +1,98 @@
+type config = {
+  model : Workload.Traces.model;
+  norgs : int;
+  machines : int;
+  horizon : int;
+  step : int;
+  algorithms : (string * Algorithms.Policy.maker) list;
+  instances : int;
+  seed : int;
+}
+
+let default_config ?(horizon = 200_000) ?(instances = 3) () =
+  {
+    model = Workload.Traces.lpc_egee;
+    norgs = 5;
+    machines = 16;
+    horizon;
+    step = horizon / 20;
+    algorithms =
+      [
+        ("rand-15", Algorithms.Rand.rand15);
+        ("directcontr", Algorithms.Direct_contr.direct_contr);
+        ("fairshare", Algorithms.Fair_share.fair_share);
+        ("roundrobin", Algorithms.Baselines.round_robin);
+      ];
+    instances;
+    seed = 4242;
+  }
+
+type series = { algorithm : string; points : (int * float) list }
+type figure = { config : config; series : series list }
+
+let checkpoints_of config =
+  List.init (config.horizon / config.step) (fun i -> (i + 1) * config.step)
+
+let run ?workers config =
+  let checkpoints = checkpoints_of config in
+  let per_instance =
+    Pool.map ?workers
+      (fun i ->
+        let spec =
+          Workload.Scenario.default ~norgs:config.norgs
+            ~machines:config.machines ~horizon:config.horizon config.model
+        in
+        let seed = config.seed + (104_729 * i) in
+        let instance = Workload.Scenario.instance spec ~seed in
+        Sim.Fairness.timelines ~instance ~seed:(seed lxor 0x71e) ~checkpoints
+          (List.map snd config.algorithms))
+      (List.init config.instances (fun i -> i + 1))
+  in
+  (* Average point-wise across instances. *)
+  let series =
+    List.mapi
+      (fun algo_idx (name, _) ->
+        let points =
+          List.mapi
+            (fun pt_idx t ->
+              let values =
+                List.map
+                  (fun tls ->
+                    let tl = List.nth tls algo_idx in
+                    snd (List.nth tl.Sim.Fairness.points pt_idx))
+                  per_instance
+              in
+              ( t,
+                List.fold_left ( +. ) 0. values
+                /. float_of_int (List.length values) ))
+            checkpoints
+        in
+        { algorithm = name; points })
+      config.algorithms
+  in
+  { config; series }
+
+let pp ppf f =
+  Format.fprintf ppf "%-10s" "t";
+  List.iter (fun s -> Format.fprintf ppf " | %14s" s.algorithm) f.series;
+  Format.fprintf ppf "@.";
+  List.iteri
+    (fun i t ->
+      Format.fprintf ppf "%-10d" t;
+      List.iter
+        (fun s -> Format.fprintf ppf " | %14.2f" (snd (List.nth s.points i)))
+        f.series;
+      Format.fprintf ppf "@.")
+    (checkpoints_of f.config)
+
+let to_csv f =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "algorithm,t,ratio\n";
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (t, v) ->
+          Buffer.add_string buf (Printf.sprintf "%s,%d,%f\n" s.algorithm t v))
+        s.points)
+    f.series;
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Unfairness as a function of time (supporting the Table 1 → Table 2
+    comparison: "as we changed the duration of the experiments from 5·10⁴ to
+    5·10⁵ ... the unfairness ratio was increasing").
+
+    One synthetic workload, snapshots every [step] seconds, Δψ(t)/p_tot(t)
+    per algorithm — the whole Table 2 growth phenomenon in one chart. *)
+
+type config = {
+  model : Workload.Traces.model;
+  norgs : int;
+  machines : int;
+  horizon : int;
+  step : int;  (** snapshot spacing *)
+  algorithms : (string * Algorithms.Policy.maker) list;
+  instances : int;  (** averaged point-wise over random instances *)
+  seed : int;
+}
+
+val default_config : ?horizon:int -> ?instances:int -> unit -> config
+(** LPC-EGEE, 5 orgs, 16 machines, horizon 2·10⁵, 20 snapshots, the
+    evaluated line-up minus the slow RAND-75. *)
+
+type series = { algorithm : string; points : (int * float) list }
+type figure = { config : config; series : series list }
+
+val run : ?workers:int -> config -> figure
+val pp : Format.formatter -> figure -> unit
+val to_csv : figure -> string

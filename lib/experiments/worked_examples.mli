@@ -1,0 +1,42 @@
+(** The paper's worked examples, reproduced programmatically:
+
+    - Figure 2: the ψsp arithmetic on the 10-job, 3-processor schedule
+      (utilities at t = 13 and t = 14, flow time, the effect of removing
+      J(2)1, delaying J6, dropping J9);
+    - Figure 7 / Theorem 6.2: the tight ¾-competitive utilization family;
+    - Proposition 5.5: the 3-organization game that is not supermodular. *)
+
+type fig2 = {
+  psi_o1_at_13 : float;  (** paper: 262 *)
+  psi_o1_at_14 : float;  (** paper: 297 *)
+  flow_time_at_14 : int;  (** paper: 70 *)
+  gain_without_competitor : float;
+      (** ψsp gain at 14 if J(2)1 is absent and J9 starts at 9: paper: +4 *)
+  loss_delaying_j6 : float;  (** ψsp loss if J6 starts one unit later: 6 *)
+  loss_dropping_j9 : float;  (** ψsp loss if J9 is never scheduled: 10 *)
+}
+
+val figure2 : unit -> fig2
+
+val figure2_schedule : unit -> (int * int) list
+(** The (start, size) pieces of organization 1's nine jobs in Figure 2. *)
+
+type utilization_row = {
+  m : int;
+  p : int;
+  greedy_worst : float;  (** short-jobs-first greedy *)
+  greedy_best : float;  (** long-jobs-first greedy *)
+  optimal : float;  (** always 1.0 for this family *)
+  ratio : float;  (** greedy_worst / optimal — approaches 0.75 *)
+}
+
+val utilization_sweep : (int * int) list -> utilization_row list
+(** One row per (m, p) pair of the Figure-7 family. *)
+
+val prop55_values : unit -> (Shapley.Coalition.t * float) list
+(** Coalition values of the Proposition 5.5 counterexample at t = 2,
+    computed by actually scheduling (not hard-coded): v({a,c}) = 4,
+    v({b,c}) = 4, v({a,b,c}) = 7, v({c}) = 0. *)
+
+val prop55_is_supermodular : unit -> bool
+(** Should be [false]. *)

@@ -1,0 +1,44 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+(** The price of non-preemption.
+
+    The paper's model forbids preemption and migration ("usual in HPC
+    scheduling because of high migration costs", §2) — every evaluated
+    algorithm must commit a whole job to a machine.  This module asks what
+    that costs in fairness: an idealized scheduler that may reassign
+    machines at {e every time slot} can steer per-organization utilities
+    almost continuously.
+
+    The simulator runs a slot-by-slot loop (no event compression — this is
+    an idealized bound, not a production path): each slot it hands the [m]
+    machine-slots to the FIFO-front jobs of the organizations chosen by the
+    policy; a job completes when it has accumulated [size] executed slots
+    (its slots need not be contiguous nor on one machine).  ψsp extends
+    verbatim: an executed part in slot [i] is worth [t − i].
+
+    Comparing Δψ/p_tot of {!fair_share} (preemptive, utility-balancing)
+    against the non-preemptive policies quantifies how much of their
+    unfairness is due to the no-preemption constraint rather than to the
+    contribution estimation. *)
+
+type policy =
+  | Equal_share  (** slot-level round robin over organizations *)
+  | Utility_balance
+      (** each slot, serve the organizations with the smallest current
+          ψsp/share ratio — preemptive UTFAIRSHARE *)
+
+type run = {
+  utilities_scaled : int array;  (** [2·ψsp(u)] at the horizon *)
+  parts : int array;
+  completed_jobs : int;
+}
+
+val simulate : instance:Instance.t -> policy -> run
+(** O(horizon · machines); identical machines only.
+    @raise Invalid_argument on a related-machines instance. *)
+
+val delta_ratio :
+  reference:Sim.Driver.result -> run -> int * float
+(** [(2Δψ, Δψ/p_tot)] against a (non-preemptive) REF reference run, the
+    same metric as {!Sim.Fairness.delta_ratio}. *)

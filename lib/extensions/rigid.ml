@@ -1,0 +1,215 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+type rigid_job = { job : Job.t; width : int }
+type instance = { machines : int; jobs : rigid_job list; horizon : int }
+
+let make_instance ~machines ~jobs ~horizon =
+  if machines < 1 then invalid_arg "Rigid.make_instance: no machines";
+  if horizon < 1 then invalid_arg "Rigid.make_instance: bad horizon";
+  List.iter
+    (fun r ->
+      if r.width < 1 || r.width > machines then
+        invalid_arg "Rigid.make_instance: width out of range";
+      if r.job.Job.release >= horizon then
+        invalid_arg "Rigid.make_instance: release at/after horizon")
+    jobs;
+  let jobs =
+    List.stable_sort (fun a b -> Job.compare_release a.job b.job) jobs
+  in
+  { machines; jobs; horizon }
+
+type policy = Fifo_fit | Widest_fit | Narrowest_fit
+
+let policy_name = function
+  | Fifo_fit -> "fifo-fit"
+  | Widest_fit -> "widest-fit"
+  | Narrowest_fit -> "narrowest-fit"
+
+type run = {
+  placements : (rigid_job * int) list;
+  busy_time : int;
+  utilization : float;
+}
+
+let prefer policy a b =
+  (* true when [a] beats [b] under the policy. *)
+  match policy with
+  | Fifo_fit ->
+      let ra = a.job.Job.release and rb = b.job.Job.release in
+      ra < rb || (ra = rb && a.job.Job.org < b.job.Job.org)
+  | Widest_fit -> a.width > b.width
+  | Narrowest_fit -> a.width < b.width
+
+let simulate instance policy =
+  let norgs =
+    1 + List.fold_left (fun acc r -> Stdlib.max acc r.job.Job.org) 0 instance.jobs
+  in
+  let queues = Array.init norgs (fun _ -> Queue.create ()) in
+  let pending = ref instance.jobs in
+  let running : rigid_job Heap.t = Heap.create () in
+  let free = ref instance.machines in
+  let placements = ref [] in
+  let next_release () =
+    match !pending with
+    | r :: _ -> Some r.job.Job.release
+    | [] -> None
+  in
+  let fitting_front () =
+    let best = ref None in
+    Array.iter
+      (fun q ->
+        match Queue.peek_opt q with
+        | Some r when r.width <= !free -> (
+            match !best with
+            | Some b when prefer policy b r -> ()
+            | _ -> best := Some r)
+        | Some _ | None -> ())
+      queues;
+    !best
+  in
+  let process t =
+    let rec completions () =
+      match Heap.pop_le running t with
+      | Some (_, r) ->
+          free := !free + r.width;
+          completions ()
+      | None -> ()
+    in
+    completions ();
+    let rec releases () =
+      match !pending with
+      | r :: rest when r.job.Job.release <= t ->
+          pending := rest;
+          Queue.add r queues.(r.job.Job.org);
+          releases ()
+      | _ -> ()
+    in
+    releases ();
+    let rec starts () =
+      match fitting_front () with
+      | Some r ->
+          let q = queues.(r.job.Job.org) in
+          let r' = Queue.pop q in
+          assert (r' == r);
+          free := !free - r.width;
+          Heap.add running ~prio:(t + r.job.Job.size) r;
+          placements := (r, t) :: !placements;
+          starts ()
+      | None -> ()
+    in
+    starts ()
+  in
+  let rec loop () =
+    let tau =
+      match (next_release (), Heap.min_prio running) with
+      | None, c -> c
+      | r, None -> r
+      | Some r, Some c -> Some (Stdlib.min r c)
+    in
+    match tau with
+    | Some t when t < instance.horizon ->
+        process t;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  let busy_time =
+    List.fold_left
+      (fun acc (r, start) ->
+        let finish = Stdlib.min (start + r.job.Job.size) instance.horizon in
+        acc + (r.width * Stdlib.max 0 (finish - start)))
+      0 !placements
+  in
+  {
+    placements = List.rev !placements;
+    busy_time;
+    utilization =
+      float_of_int busy_time
+      /. float_of_int (instance.machines * instance.horizon);
+  }
+
+let check_rigid_greedy instance result =
+  let start_of r =
+    List.find_opt (fun (r', _) -> r'.job == r.job) result.placements
+    |> Option.map snd
+  in
+  let events =
+    List.concat
+      [
+        [ 0 ];
+        List.map (fun r -> r.job.Job.release) instance.jobs;
+        List.map
+          (fun (r, s) -> s + r.job.Job.size)
+          result.placements;
+      ]
+    |> List.sort_uniq Stdlib.compare
+    |> List.filter (fun t -> t < instance.horizon)
+  in
+  let free_at t =
+    instance.machines
+    - List.fold_left
+        (fun acc (r, s) ->
+          if s <= t && t < s + r.job.Job.size then acc + r.width else acc)
+        0 result.placements
+  in
+  let fronts_at t =
+    (* Per organization: the earliest-index job not started by [t] whose
+       release has passed. *)
+    let by_org = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        let unstarted =
+          match start_of r with None -> true | Some s -> s > t
+        in
+        if unstarted && r.job.Job.release <= t then begin
+          match Hashtbl.find_opt by_org r.job.Job.org with
+          | Some (prev : rigid_job) when prev.job.Job.index < r.job.Job.index
+            ->
+              ()
+          | _ -> Hashtbl.replace by_org r.job.Job.org r
+        end)
+      instance.jobs;
+    Hashtbl.fold (fun _ r acc -> r :: acc) by_org []
+  in
+  let rec check = function
+    | [] -> Ok ()
+    | t :: rest ->
+        let free = free_at t in
+        if free < 0 then
+          Error (Printf.sprintf "capacity exceeded at t=%d" t)
+        else if List.exists (fun r -> r.width <= free) (fronts_at t) then
+          Error
+            (Printf.sprintf
+               "non-greedy: %d processors free at t=%d while a fitting job \
+                waits"
+               free t)
+        else check rest
+  in
+  check events
+
+let starvation_gadget ~m ~size =
+  if m < 2 then invalid_arg "Rigid.starvation_gadget: m < 2";
+  make_instance ~machines:m
+    ~jobs:
+      [
+        { job = Job.make ~org:0 ~index:0 ~release:0 ~size (); width = 1 };
+        { job = Job.make ~org:1 ~index:0 ~release:0 ~size (); width = m };
+      ]
+    ~horizon:size
+
+type gadget_row = {
+  m : int;
+  thin_first : float;
+  wide_first : float;
+  ratio : float;
+}
+
+let gadget_sweep ~ms ~size =
+  List.map
+    (fun m ->
+      let instance = starvation_gadget ~m ~size in
+      let thin_first = (simulate instance Narrowest_fit).utilization in
+      let wide_first = (simulate instance Widest_fit).utilization in
+      { m; thin_first; wide_first; ratio = thin_first /. wide_first })
+    ms

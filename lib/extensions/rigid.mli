@@ -1,0 +1,67 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+(** Rigid parallel jobs — the paper's other open extension (end of
+    Section 6: "for the case of parallel jobs the loss of the global
+    efficiency of an arbitrary greedy algorithm can be higher" than 25%).
+
+    A rigid job needs [width] processors simultaneously for its whole
+    duration.  Greediness generalizes to: never leave processors idle if
+    some waiting FIFO-front job {e fits} in the free capacity.  This module
+    provides the simulator, three greedy rules, and the gadget showing the
+    efficiency loss is unbounded (ratio 1/m), in contrast with the ¾ bound
+    for sequential jobs. *)
+
+type rigid_job = {
+  job : Job.t;  (** carrier for org / release / size / FIFO index *)
+  width : int;  (** processors required, [1 <= width <= machines] *)
+}
+
+type instance = {
+  machines : int;
+  jobs : rigid_job list;  (** re-sorted by release on creation *)
+  horizon : int;
+}
+
+val make_instance :
+  machines:int -> jobs:rigid_job list -> horizon:int -> instance
+(** @raise Invalid_argument on non-positive machine count, widths out of
+    range, or releases at/after the horizon. *)
+
+(** Selection rule among the organizations whose FIFO-front job fits in the
+    current free capacity. *)
+type policy =
+  | Fifo_fit  (** earliest-released fitting front (ties: lowest org) *)
+  | Widest_fit  (** largest width among fitting fronts *)
+  | Narrowest_fit  (** smallest width among fitting fronts *)
+
+val policy_name : policy -> string
+
+type run = {
+  placements : (rigid_job * int) list;  (** (job, start), start order *)
+  busy_time : int;  (** Σ width·occupied-slots before the horizon *)
+  utilization : float;
+}
+
+val simulate : instance -> policy -> run
+(** Greedy simulation: at every event, while some front fits, start the
+    policy's pick. *)
+
+val check_rigid_greedy : instance -> run -> (unit, string) result
+(** Validator: capacity is never exceeded, and no instant leaves enough
+    free processors for a released, unstarted FIFO-front job. *)
+
+val starvation_gadget : m:int -> size:int -> instance
+(** [m] machines: organization 0 releases a 1-processor job, organization 1
+    an [m]-processor job, both of [size] at t = 0; horizon [size].  A greedy
+    rule that starts the thin job first strands the wide job: utilization
+    [1/m] vs. the optimum's 100%. *)
+
+type gadget_row = {
+  m : int;
+  thin_first : float;  (** utilization when the thin job goes first *)
+  wide_first : float;
+  ratio : float;  (** thin_first / wide_first = 1/m *)
+}
+
+val gadget_sweep : ms:int list -> size:int -> gadget_row list

@@ -1,0 +1,38 @@
+(** Factorials, binomial coefficients and Shapley weights.
+
+    The exact Shapley value (Section 3 of the paper, Equation 1) weights the
+    marginal contribution of an organization joining a sub-coalition of size
+    [s] out of [k] players by [s! (k - s - 1)! / k!].  These weights are used
+    millions of times per simulated event, so both an exact rational form and
+    a pre-tabulated float form are provided. *)
+
+val factorial : int -> int
+(** [factorial n] for [0 <= n <= 20] (fits native int).
+    @raise Invalid_argument outside that range. *)
+
+val binomial : int -> int -> int
+(** [binomial n k] = n choose k, computed without overflow for results that
+    fit a native int. Returns 0 when [k < 0 || k > n]. *)
+
+val shapley_weight : players:int -> subset:int -> Rational.t
+(** [shapley_weight ~players:k ~subset:s] is the exact weight
+    [s! (k-s-1)! / k!] applied to the marginal contribution of a player
+    joining a coalition that already has [s] members.
+    @raise Invalid_argument unless [0 <= s < k <= 20]. *)
+
+val shapley_weight_float : players:int -> subset:int -> float
+(** Float version of {!shapley_weight}; tabulated, O(1) after first use per
+    [players] value. *)
+
+val update_weight : players:int -> size:int -> Rational.t
+(** [update_weight ~players:k ~size:s] is [(s-1)! (k-s)! / k!] — the weight
+    used by the [UpdateVals] procedure of Algorithm REF (Fig. 1), where [s]
+    is the size of the sub-coalition {e including} the joining player.
+    Equal to [shapley_weight ~players ~subset:(s-1)]. *)
+
+val permutations : 'a list -> 'a list list
+(** All permutations of a (short) list; intended for brute-force Shapley in
+    tests. Size grows as n!, keep n small. *)
+
+val subsets : 'a list -> 'a list list
+(** All 2^n subsets of a (short) list, in no particular order. *)

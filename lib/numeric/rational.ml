@@ -1,0 +1,103 @@
+type t = { n : int; d : int }
+
+exception Overflow
+exception Division_by_zero
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let gcd a b = gcd (Stdlib.abs a) (Stdlib.abs b)
+
+(* Guarded multiplication: detect overflow by dividing back.  [min_int] is
+   excluded up-front because [abs min_int] is itself undefined. *)
+let mul_exact a b =
+  if a = 0 || b = 0 then 0
+  else if a = min_int || b = min_int then raise Overflow
+  else
+    let p = a * b in
+    if p / b <> a then raise Overflow else p
+
+let add_exact a b =
+  let s = a + b in
+  (* Overflow iff operands share a sign and the result's sign differs. *)
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
+    raise Overflow
+  else s
+
+let norm n d =
+  if d = 0 then raise Division_by_zero
+  else if n = 0 then { n = 0; d = 1 }
+  else
+    let g = gcd n d in
+    let n = n / g and d = d / g in
+    if d < 0 then { n = -n; d = -d } else { n; d }
+
+let make n d = norm n d
+let of_int n = { n; d = 1 }
+let zero = { n = 0; d = 1 }
+let one = { n = 1; d = 1 }
+let minus_one = { n = -1; d = 1 }
+let num t = t.n
+let den t = t.d
+
+(* a/b + c/d with gcd pre-reduction to delay overflow: reduce b and d by
+   g = gcd b d first, as in GMP's mpq_add. *)
+let add x y =
+  let g = gcd x.d y.d in
+  let xd = x.d / g and yd = y.d / g in
+  let n = add_exact (mul_exact x.n yd) (mul_exact y.n xd) in
+  let d = mul_exact xd y.d in
+  norm n d
+
+let neg x = { x with n = -x.n }
+let sub x y = add x (neg y)
+
+let mul x y =
+  (* Cross-reduce before multiplying to keep intermediates small. *)
+  let g1 = gcd x.n y.d and g2 = gcd y.n x.d in
+  let n = mul_exact (x.n / g1) (y.n / g2) in
+  let d = mul_exact (x.d / g2) (y.d / g1) in
+  norm n d
+
+let inv x =
+  if x.n = 0 then raise Division_by_zero
+  else if x.n < 0 then { n = -x.d; d = -x.n }
+  else { n = x.d; d = x.n }
+
+let div x y = mul x (inv y)
+let abs x = { x with n = Stdlib.abs x.n }
+let mul_int x k = mul x (of_int k)
+let div_int x k = div x (of_int k)
+let sign x = compare x.n 0
+
+let compare x y =
+  match (mul_exact x.n y.d, mul_exact y.n x.d) with
+  | a, b -> Stdlib.compare a b
+  | exception Overflow -> Stdlib.compare (float_of_int x.n /. float_of_int x.d) (float_of_int y.n /. float_of_int y.d)
+
+let equal x y = x.n = y.n && x.d = y.d
+let min x y = if compare x y <= 0 then x else y
+let max x y = if compare x y >= 0 then x else y
+let is_integer x = x.d = 1
+let to_float x = float_of_int x.n /. float_of_int x.d
+
+let to_int_exn x =
+  if x.d = 1 then x.n else invalid_arg "Rational.to_int_exn: not an integer"
+
+let sum l = List.fold_left add zero l
+
+let pp ppf x =
+  if x.d = 1 then Format.fprintf ppf "%d" x.n
+  else Format.fprintf ppf "%d/%d" x.n x.d
+
+let to_string x = Format.asprintf "%a" pp x
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

@@ -1,0 +1,90 @@
+(** Exact rational arithmetic on machine integers.
+
+    The Shapley value mixes marginal contributions with the combinatorial
+    weights [s!(k-s-1)!/k!].  Floating point is good enough for simulation
+    (paper values fit comfortably in a double), but the test suite checks the
+    Shapley axioms {e exactly}, which requires exact rationals.  This module
+    provides a small, allocation-light rational type normalized by gcd after
+    every operation.
+
+    Values are kept in lowest terms with a positive denominator.  Operations
+    raise [Overflow] when an intermediate product exceeds the native integer
+    range; with 63-bit integers this does not happen for the instance sizes
+    used in tests (k <= 12 organizations, utilities below 2^40). *)
+
+type t
+(** A rational number [num/den], normalized: [gcd num den = 1], [den > 0]. *)
+
+exception Overflow
+(** Raised when an intermediate product cannot be represented exactly. *)
+
+exception Division_by_zero
+(** Raised by [div] and [inv] on a zero divisor. *)
+
+val make : int -> int -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+(** [of_int n] is [n/1]. *)
+
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> int
+(** Numerator in lowest terms (sign carrier). *)
+
+val den : t -> int
+(** Denominator in lowest terms, always positive. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val abs : t -> t
+
+val inv : t -> t
+(** Multiplicative inverse. @raise Division_by_zero on [zero]. *)
+
+val mul_int : t -> int -> t
+val div_int : t -> int -> t
+
+val compare : t -> t -> int
+(** Total order; never overflows (uses cross multiplication guarded by
+    normalization, falling back to float comparison only on [Overflow],
+    which cannot produce a wrong answer for distinct normalized values that
+    fit the guard). *)
+
+val equal : t -> t -> bool
+val sign : t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_integer : t -> bool
+
+val to_float : t -> float
+val to_int_exn : t -> int
+(** @raise Invalid_argument if the value is not an integer. *)
+
+val sum : t list -> t
+(** Exact sum of a list. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["a/b"], or just ["a"] when the denominator is 1. *)
+
+val to_string : t -> string
+
+(* Infix aliases, intended to be used via [Rational.Infix]. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

@@ -1,0 +1,20 @@
+(** HTML experiment report: runs the reproduction experiments and assembles
+    a single self-contained page (inline SVG, no scripts, no external
+    assets) — `fairsched report -o report.html`. *)
+
+type config = {
+  table_instances : int;
+  table2_instances : int;
+  fig10_instances : int;
+  fig10_max_orgs : int;
+  timeline_instances : int;
+  workers : int option;
+}
+
+val default_config : ?quick:bool -> unit -> config
+
+val build : ?progress:(string -> unit) -> config -> string
+(** Runs Tables 1–2, Figure 10, the unfairness timeline, the utilization
+    sweep and the extension gadgets, and renders everything as HTML. *)
+
+val save : path:string -> string -> unit

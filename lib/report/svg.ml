@@ -1,0 +1,294 @@
+type series = { label : string; points : (float * float) list }
+type bar_group = { group : string; bars : (string * float) list }
+
+let colors =
+  [|
+    "#2563eb"; "#dc2626"; "#16a34a"; "#9333ea"; "#ea580c"; "#0891b2";
+    "#ca8a04"; "#db2777";
+  |]
+
+let palette i = colors.(i mod Array.length colors)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* "Nice" tick spacing: 1/2/5 × 10^k covering the range with ~n ticks. *)
+let nice_ticks lo hi n =
+  if hi <= lo then [ lo ]
+  else begin
+    let raw = (hi -. lo) /. float_of_int n in
+    let mag = 10. ** Float.floor (log10 raw) in
+    let norm = raw /. mag in
+    let step =
+      (if norm <= 1.5 then 1. else if norm <= 3.5 then 2. else if norm <= 7.5 then 5. else 10.)
+      *. mag
+    in
+    let first = Float.ceil (lo /. step) *. step in
+    let rec go x acc =
+      if x > hi +. (step /. 2.) then List.rev acc else go (x +. step) (x :: acc)
+    in
+    go first []
+  end
+
+let fmt_tick v =
+  let a = Float.abs v in
+  if v = 0. then "0"
+  else if a >= 1_000_000. then Printf.sprintf "%.1fM" (v /. 1e6)
+  else if a >= 10_000. then Printf.sprintf "%.0fk" (v /. 1e3)
+  else if a >= 1_000. then Printf.sprintf "%.1fk" (v /. 1e3)
+  else if a >= 10. then Printf.sprintf "%.0f" v
+  else if a >= 1. then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.2g" v
+
+type frame = {
+  width : int;
+  height : int;
+  left : float;
+  right : float;
+  top : float;
+  bottom : float;
+}
+
+let default_frame ~width ~height =
+  {
+    width;
+    height;
+    left = 64.;
+    right = float_of_int width -. 150.;
+    top = 36.;
+    bottom = float_of_int height -. 42.;
+  }
+
+let header buf ~width ~height ~title =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\" font-family=\"sans-serif\" font-size=\"11\">\n"
+       width height width height);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%d\" y=\"18\" font-size=\"14\" font-weight=\"bold\">%s</text>\n"
+       16 (escape title))
+
+let axis_box buf f =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+        fill=\"none\" stroke=\"#888\"/>\n"
+       f.left f.top (f.right -. f.left) (f.bottom -. f.top))
+
+let legend buf f labels =
+  List.iteri
+    (fun i label ->
+      let y = f.top +. 8. +. (16. *. float_of_int i) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%.1f\" y=\"%.1f\" width=\"10\" height=\"10\" fill=\"%s\"/>\n"
+           (f.right +. 10.) (y -. 9.) (palette i));
+      Buffer.add_string buf
+        (Printf.sprintf "<text x=\"%.1f\" y=\"%.1f\">%s</text>\n"
+           (f.right +. 24.) y (escape label)))
+    labels
+
+let y_transform ~log_y ~lo ~hi f =
+  let lo', hi' = if log_y then (log10 lo, log10 hi) else (lo, hi) in
+  let span = if hi' -. lo' <= 0. then 1. else hi' -. lo' in
+  fun v ->
+    let v = if log_y then log10 v else v in
+    f.bottom -. ((v -. lo') /. span *. (f.bottom -. f.top))
+
+let line_chart ?(width = 640) ?(height = 360) ?(log_y = false) ~title
+    ~x_label ~y_label series =
+  let all_points = List.concat_map (fun s -> s.points) series in
+  if all_points = [] then invalid_arg "Svg.line_chart: no data";
+  let min_pos =
+    List.fold_left
+      (fun acc (_, y) -> if y > 0. && y < acc then y else acc)
+      0.1 all_points
+  in
+  let clamp y = if log_y && y <= 0. then min_pos else y in
+  let xs = List.map fst all_points in
+  let ys = List.map (fun (_, y) -> clamp y) all_points in
+  let x_lo = List.fold_left Float.min infinity xs in
+  let x_hi = List.fold_left Float.max neg_infinity xs in
+  let y_lo = if log_y then List.fold_left Float.min infinity ys else 0. in
+  let y_hi = List.fold_left Float.max neg_infinity ys in
+  let y_hi = if y_hi <= y_lo then y_lo +. 1. else y_hi in
+  let f = default_frame ~width ~height in
+  let buf = Buffer.create 4096 in
+  header buf ~width ~height ~title;
+  axis_box buf f;
+  let x_span = if x_hi -. x_lo <= 0. then 1. else x_hi -. x_lo in
+  let tx x = f.left +. ((x -. x_lo) /. x_span *. (f.right -. f.left)) in
+  let ty = y_transform ~log_y ~lo:y_lo ~hi:y_hi f in
+  (* Ticks and grid. *)
+  List.iter
+    (fun x ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+            stroke=\"#ddd\"/>\n"
+           (tx x) f.top (tx x) f.bottom);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\">%s</text>\n"
+           (tx x) (f.bottom +. 14.) (fmt_tick x)))
+    (nice_ticks x_lo x_hi 6);
+  let y_ticks =
+    if log_y then begin
+      let lo_exp = int_of_float (Float.floor (log10 y_lo)) in
+      let hi_exp = int_of_float (Float.ceil (log10 y_hi)) in
+      List.init
+        (Stdlib.max 1 (hi_exp - lo_exp + 1))
+        (fun i -> 10. ** float_of_int (lo_exp + i))
+    end
+    else nice_ticks y_lo y_hi 6
+  in
+  List.iter
+    (fun y ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+            stroke=\"#ddd\"/>\n"
+           f.left (ty y) f.right (ty y));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\">%s</text>\n"
+           (f.left -. 6.) (ty y +. 4.) (fmt_tick y)))
+    y_ticks;
+  (* Axis labels. *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" \
+        fill=\"#555\">%s</text>\n"
+       ((f.left +. f.right) /. 2.)
+       (float_of_int height -. 8.)
+       (escape x_label));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"14\" y=\"%.1f\" text-anchor=\"middle\" fill=\"#555\" \
+        transform=\"rotate(-90 14 %.1f)\">%s</text>\n"
+       ((f.top +. f.bottom) /. 2.)
+       ((f.top +. f.bottom) /. 2.)
+       (escape (y_label ^ if log_y then " (log)" else "")));
+  (* Series. *)
+  List.iteri
+    (fun i s ->
+      if s.points <> [] then begin
+        let path =
+          String.concat " "
+            (List.mapi
+               (fun j (x, y) ->
+                 Printf.sprintf "%s%.1f %.1f"
+                   (if j = 0 then "M" else "L")
+                   (tx x)
+                   (ty (clamp y)))
+               s.points)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<path d=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"2\"/>\n"
+             path (palette i));
+        List.iter
+          (fun (x, y) ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.5\" fill=\"%s\"/>\n"
+                 (tx x)
+                 (ty (clamp y))
+                 (palette i)))
+          s.points
+      end)
+    series;
+  legend buf f (List.map (fun s -> s.label) series);
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let bar_chart ?(width = 640) ?(height = 360) ?(log_y = false) ~title ~y_label
+    groups =
+  if groups = [] then invalid_arg "Svg.bar_chart: no data";
+  let labels =
+    match groups with g :: _ -> List.map fst g.bars | [] -> []
+  in
+  let values = List.concat_map (fun g -> List.map snd g.bars) groups in
+  let min_pos =
+    List.fold_left (fun acc v -> if v > 0. && v < acc then v else acc) 0.1 values
+  in
+  let clamp v = if log_y && v <= 0. then min_pos else v in
+  let y_hi =
+    List.fold_left (fun acc v -> Float.max acc (clamp v)) min_pos values
+  in
+  let y_lo = if log_y then min_pos /. 2. else 0. in
+  let f = default_frame ~width ~height in
+  let buf = Buffer.create 4096 in
+  header buf ~width ~height ~title;
+  axis_box buf f;
+  let ty = y_transform ~log_y ~lo:y_lo ~hi:y_hi f in
+  let y_ticks =
+    if log_y then begin
+      let lo_exp = int_of_float (Float.floor (log10 y_lo)) in
+      let hi_exp = int_of_float (Float.ceil (log10 y_hi)) in
+      List.init
+        (Stdlib.max 1 (hi_exp - lo_exp + 1))
+        (fun i -> 10. ** float_of_int (lo_exp + i))
+    end
+    else nice_ticks y_lo y_hi 6
+  in
+  List.iter
+    (fun y ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+            stroke=\"#ddd\"/>\n"
+           f.left (ty y) f.right (ty y));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\">%s</text>\n"
+           (f.left -. 6.) (ty y +. 4.) (fmt_tick y)))
+    y_ticks;
+  let ngroups = List.length groups in
+  let nbars = Stdlib.max 1 (List.length labels) in
+  let group_width = (f.right -. f.left) /. float_of_int ngroups in
+  let bar_width = group_width *. 0.8 /. float_of_int nbars in
+  List.iteri
+    (fun gi g ->
+      let gx = f.left +. (group_width *. (float_of_int gi +. 0.1)) in
+      List.iteri
+        (fun bi (_, v) ->
+          let v = clamp v in
+          let x = gx +. (bar_width *. float_of_int bi) in
+          let y = ty v in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+                fill=\"%s\"/>\n"
+               x y (bar_width *. 0.9)
+               (Float.max 0.5 (f.bottom -. y))
+               (palette bi)))
+        g.bars;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\">%s</text>\n"
+           (gx +. (group_width *. 0.4))
+           (f.bottom +. 14.) (escape g.group)))
+    groups;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"14\" y=\"%.1f\" text-anchor=\"middle\" fill=\"#555\" \
+        transform=\"rotate(-90 14 %.1f)\">%s</text>\n"
+       ((f.top +. f.bottom) /. 2.)
+       ((f.top +. f.bottom) /. 2.)
+       (escape (y_label ^ if log_y then " (log)" else "")));
+  legend buf f labels;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf

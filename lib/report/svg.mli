@@ -1,0 +1,41 @@
+(** Minimal dependency-free SVG charts for the HTML experiment report.
+
+    Two chart types cover everything the paper's evaluation needs: line
+    charts (Figure 10, the unfairness timeline, load sweeps — optionally
+    with a log-scaled y axis, since Δψ/p_tot spans orders of magnitude) and
+    grouped bar charts (Tables 1 and 2).  Output is a standalone [<svg>]
+    element embeddable in HTML. *)
+
+type series = { label : string; points : (float * float) list }
+
+val line_chart :
+  ?width:int ->
+  ?height:int ->
+  ?log_y:bool ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+(** @raise Invalid_argument if every series is empty.  [log_y] (default
+    false) uses log10 scaling; non-positive values are clamped to the
+    smallest positive value present (or 0.1). *)
+
+type bar_group = { group : string; bars : (string * float) list }
+
+val bar_chart :
+  ?width:int ->
+  ?height:int ->
+  ?log_y:bool ->
+  title:string ->
+  y_label:string ->
+  bar_group list ->
+  string
+(** Grouped bars: one cluster per group, one color per bar label (legend
+    derived from the first group). *)
+
+val palette : int -> string
+(** Color for series index [i] (cycles). *)
+
+val escape : string -> string
+(** XML-escape text content. *)

@@ -1,0 +1,66 @@
+type t = int
+
+let empty = 0
+
+let grand ~players =
+  if players < 0 || players > 62 then invalid_arg "Coalition.grand";
+  (1 lsl players) - 1
+
+let singleton u = 1 lsl u
+let mem c u = c land (1 lsl u) <> 0
+let add c u = c lor (1 lsl u)
+let remove c u = c land lnot (1 lsl u)
+let union = ( lor )
+let inter = ( land )
+
+let size c =
+  let rec go c acc = if c = 0 then acc else go (c lsr 1) (acc + (c land 1)) in
+  go c 0
+
+let subset c ~of_ = c land of_ = c
+
+let members c =
+  let rec go u c acc =
+    if c = 0 then List.rev acc
+    else if c land 1 = 1 then go (u + 1) (c lsr 1) (u :: acc)
+    else go (u + 1) (c lsr 1) acc
+  in
+  go 0 c []
+
+let fold f c init =
+  let rec go u c acc =
+    if c = 0 then acc
+    else if c land 1 = 1 then go (u + 1) (c lsr 1) (f u acc)
+    else go (u + 1) (c lsr 1) acc
+  in
+  go 0 c init
+
+let iter_members f c = fold (fun u () -> f u) c ()
+
+let subcoalitions c =
+  let elems = members c in
+  List.fold_left
+    (fun acc u -> acc @ List.map (fun s -> add s u) acc)
+    [ empty ] elems
+
+let proper_subcoalitions_of_grand ~players =
+  let all = List.tl (subcoalitions (grand ~players)) (* drop empty *) in
+  let by_size = Array.make players [] in
+  List.iter (fun c -> by_size.(size c - 1) <- c :: by_size.(size c - 1)) all;
+  Array.to_list (Array.map (fun l -> List.sort Stdlib.compare l) by_size)
+
+let iter_subsets c f =
+  (* Standard submask walk: sub = (sub - 1) land c visits every subset of c
+     in decreasing order, ending with 0. *)
+  let rec go sub =
+    f sub;
+    if sub = 0 then () else go ((sub - 1) land c)
+  in
+  go c
+
+let pp ppf c =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (members c)

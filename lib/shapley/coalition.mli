@@ -1,0 +1,47 @@
+(** Coalitions of up to 62 players as integer bitmasks.
+
+    Player [u] is in coalition [c] iff bit [u] of [c] is set.  Algorithm REF
+    keeps one scheduling state per non-empty sub-coalition, indexed by these
+    masks, and iterates them grouped by size (the paper's `for s ← 1 to ‖C‖`
+    loop). *)
+
+type t = int
+(** Bitmask. The empty coalition is [0]. *)
+
+val empty : t
+val grand : players:int -> t
+(** All players [0..players-1]. *)
+
+val singleton : int -> t
+val mem : t -> int -> bool
+val add : t -> int -> t
+val remove : t -> int -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val size : t -> int
+(** Population count. *)
+
+val subset : t -> of_:t -> bool
+val members : t -> int list
+(** Ascending player ids. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over members, ascending. *)
+
+val iter_members : (int -> unit) -> t -> unit
+
+val subcoalitions : t -> t list
+(** All 2^|t| subsets of [t] including empty and [t] itself. *)
+
+val proper_subcoalitions_of_grand : players:int -> t list list
+(** [proper_subcoalitions_of_grand ~players] groups every non-empty
+    coalition over [players] by size: element [s-1] of the result lists all
+    coalitions of size [s], each list ascending.  This is the iteration
+    order of Algorithm REF. *)
+
+val iter_subsets : t -> (t -> unit) -> unit
+(** Iterates all subsets of [t] (including empty and full) using the
+    standard submask-enumeration trick, O(2^|t|) with no allocation. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as "{0,2,3}". *)

@@ -1,0 +1,102 @@
+let subsets (g : Game.t) =
+  let k = g.Game.players in
+  let grand = Coalition.grand ~players:k in
+  let phi = Array.make k 0. in
+  (* One pass over all coalitions: for c ∋ u the pair (c \ u, c) contributes
+     the UpdateVals weight (|c|−1)!(k−|c|)!/k! to φ_u; this is Equation 1
+     re-indexed by the coalition *after* u joins (Fig. 1's formulation). *)
+  Coalition.iter_subsets grand (fun c ->
+      if c <> Coalition.empty then begin
+        let s = Coalition.size c in
+        let w = Numeric.Combinatorics.shapley_weight_float ~players:k ~subset:(s - 1) in
+        let vc = g.Game.value c in
+        Coalition.iter_members
+          (fun u ->
+            let without = g.Game.value (Coalition.remove c u) in
+            phi.(u) <- phi.(u) +. (w *. (vc -. without)))
+          c
+      end);
+  phi
+
+let subsets_exact ~players value =
+  let grand = Coalition.grand ~players in
+  let phi = Array.make players Numeric.Rational.zero in
+  Coalition.iter_subsets grand (fun c ->
+      if c <> Coalition.empty then begin
+        let s = Coalition.size c in
+        let w = Numeric.Combinatorics.update_weight ~players ~size:s in
+        let vc = value c in
+        Coalition.iter_members
+          (fun u ->
+            let without = value (Coalition.remove c u) in
+            let marginal = Numeric.Rational.sub vc without in
+            phi.(u) <-
+              Numeric.Rational.add phi.(u) (Numeric.Rational.mul w marginal))
+          c
+      end);
+  phi
+
+let permutations (g : Game.t) =
+  let k = g.Game.players in
+  if k > 9 then invalid_arg "Exact.permutations: too many players";
+  let orders = Numeric.Combinatorics.permutations (List.init k Fun.id) in
+  let phi = Array.make k 0. in
+  List.iter
+    (fun order ->
+      let (_ : Coalition.t) =
+        List.fold_left
+          (fun c u ->
+            let c' = Coalition.add c u in
+            phi.(u) <- phi.(u) +. (g.Game.value c' -. g.Game.value c);
+            c')
+          Coalition.empty order
+      in
+      ())
+    orders;
+  let n = float_of_int (List.length orders) in
+  Array.map (fun x -> x /. n) phi
+
+let restricted (g : Game.t) ~coalition ~player =
+  if not (Coalition.mem coalition player) then
+    invalid_arg "Exact.restricted: player not in coalition";
+  let k = Coalition.size coalition in
+  let phi = ref 0. in
+  Coalition.iter_subsets coalition (fun c ->
+      if Coalition.mem c player then begin
+        let s = Coalition.size c in
+        let w = Numeric.Combinatorics.shapley_weight_float ~players:k ~subset:(s - 1) in
+        phi :=
+          !phi
+          +. (w *. (g.Game.value c -. g.Game.value (Coalition.remove c player)))
+      end);
+  !phi
+
+let efficiency_gap g =
+  let phi = subsets g in
+  let total = Array.fold_left ( +. ) 0. phi in
+  Float.abs (total -. g.Game.value (Coalition.grand ~players:g.Game.players))
+
+
+let banzhaf (g : Game.t) =
+  let k = g.Game.players in
+  let grand = Coalition.grand ~players:k in
+  let phi = Array.make k 0. in
+  Coalition.iter_subsets grand (fun c ->
+      if c <> Coalition.empty then
+        let vc = g.Game.value c in
+        Coalition.iter_members
+          (fun u -> phi.(u) <- phi.(u) +. vc -. g.Game.value (Coalition.remove c u))
+          c);
+  let scale = 1. /. float_of_int (1 lsl (k - 1)) in
+  Array.map (fun x -> x *. scale) phi
+
+let banzhaf_normalized (g : Game.t) =
+  let raw = banzhaf g in
+  let total = Array.fold_left ( +. ) 0. raw in
+  if total = 0. then Array.map (fun _ -> 0.) raw
+  else begin
+    let v_grand =
+      g.Game.value (Coalition.grand ~players:g.Game.players)
+    in
+    Array.map (fun x -> x *. v_grand /. total) raw
+  end

@@ -1,0 +1,46 @@
+(** Exact Shapley value computation.
+
+    Three equivalent routes, all exponential in the number of players:
+
+    - {!subsets}: Equation 1 of the paper — for each player sum marginal
+      contributions over all sub-coalitions, weighted by
+      [|C'|!(k−|C'|−1)!/k!].  O(k·2^k) values of v.
+    - {!permutations}: Equation 2 — average marginal contribution over all
+      k! joining orders.  O(k!·k); only for cross-checking tiny games.
+    - {!restricted}: Shapley value of a player within an arbitrary coalition
+      [c] (not just the grand one), as needed by REF's [UpdateVals] which
+      re-distributes each coalition's value among its members. *)
+
+val subsets : Game.t -> float array
+(** Shapley value of every player in the grand coalition. *)
+
+val subsets_exact : players:int -> (Coalition.t -> Numeric.Rational.t) -> Numeric.Rational.t array
+(** Exact-rational variant (for axiom tests). *)
+
+val permutations : Game.t -> float array
+(** Brute force over all k! orders. @raise Invalid_argument for k > 9. *)
+
+val restricted : Game.t -> coalition:Coalition.t -> player:int -> float
+(** φ_player of the subgame restricted to [coalition].
+    @raise Invalid_argument if [player] is not in [coalition]. *)
+
+val efficiency_gap : Game.t -> float
+(** |Σ_u φ_u − v(grand)| — should be ~0 (efficiency axiom). *)
+
+(** {2 Banzhaf value}
+
+    The paper's future work asks about "other game-theoretic notions of
+    fairness".  The Banzhaf value replaces the Shapley permutation weights
+    with a uniform weight over sub-coalitions:
+
+      β_u = 1/2^(k−1) · Σ_{C ⊆ N∖u} (v(C∪u) − v(C))
+
+    It satisfies symmetry, dummy and additivity but {e not} efficiency, so
+    for revenue division it is used in its normalized form (scaled so the
+    shares sum to v(grand)). *)
+
+val banzhaf : Game.t -> float array
+(** Raw Banzhaf values. *)
+
+val banzhaf_normalized : Game.t -> float array
+(** Scaled by v(grand)/Σβ (zero vector if Σβ = 0). *)

@@ -1,0 +1,74 @@
+type t = { players : int; value : Coalition.t -> float }
+
+let make ~players value =
+  if players < 1 || players > 20 then invalid_arg "Game.make";
+  { players; value }
+
+let value g c = g.value c
+
+let marginal g c u =
+  if Coalition.mem c u then invalid_arg "Game.marginal: player already in";
+  g.value (Coalition.add c u) -. g.value c
+
+let all_coalitions g = Coalition.subcoalitions (Coalition.grand ~players:g.players)
+
+let is_monotone g =
+  List.for_all
+    (fun c ->
+      let vc = g.value c in
+      List.for_all
+        (fun u -> Coalition.mem c u || g.value (Coalition.add c u) >= vc -. 1e-9)
+        (List.init g.players Fun.id))
+    (all_coalitions g)
+
+let is_supermodular g =
+  let coalitions = all_coalitions g in
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b ->
+          g.value (Coalition.union a b) +. g.value (Coalition.inter a b)
+          >= g.value a +. g.value b -. 1e-9)
+        coalitions)
+    coalitions
+
+let memoize g =
+  let cache = Hashtbl.create 64 in
+  let value c =
+    match Hashtbl.find_opt cache c with
+    | Some v -> v
+    | None ->
+        let v = g.value c in
+        Hashtbl.add cache c v;
+        v
+  in
+  { g with value }
+
+let unanimity ~players ~carrier =
+  make ~players (fun c -> if Coalition.subset carrier ~of_:c then 1. else 0.)
+
+let additive ~weights =
+  make ~players:(Array.length weights) (fun c ->
+      Coalition.fold (fun u acc -> acc +. weights.(u)) c 0.)
+
+let glove ~left ~right =
+  let players =
+    match Coalition.members (Coalition.union left right) with
+    | [] -> invalid_arg "Game.glove: empty market"
+    | l -> 1 + List.fold_left Stdlib.max 0 l
+  in
+  make ~players (fun c ->
+      float_of_int
+        (Stdlib.min
+           (Coalition.size (Coalition.inter c left))
+           (Coalition.size (Coalition.inter c right))))
+
+let airport ~costs =
+  make ~players:(Array.length costs) (fun c ->
+      if c = Coalition.empty then 0.
+      else -.Coalition.fold (fun u acc -> Stdlib.max acc costs.(u)) c 0.)
+
+let weighted_majority ~quota ~weights =
+  make ~players:(Array.length weights) (fun c ->
+      let w = Coalition.fold (fun u acc -> acc +. weights.(u)) c 0. in
+      if w > quota then 1. else 0.)

@@ -1,0 +1,53 @@
+(** Characteristic-function games.
+
+    A cooperative (transferable-utility) game over [players] players is a
+    value function [v : coalition -> float] with [v(∅) = 0].  The scheduling
+    game of the paper instantiates this with
+    [v(C,t) = Σ_{u∈C} ψsp(u)(C,t)] where the schedule of [C] is produced by
+    the fair algorithm — the point of Section 3 is that the Shapley value of
+    this game defines the ideal fair utility profile. *)
+
+type t = { players : int; value : Coalition.t -> float }
+
+val make : players:int -> (Coalition.t -> float) -> t
+(** @raise Invalid_argument if [players] is outside [1, 20] (exact Shapley
+    enumerates all coalitions). *)
+
+val value : t -> Coalition.t -> float
+
+val marginal : t -> Coalition.t -> int -> float
+(** [marginal g c u] = v(c ∪ {u}) − v(c); [u] must not be in [c]. *)
+
+val is_monotone : t -> bool
+(** v(C) <= v(C ∪ {u}) for all C, u — checked exhaustively. *)
+
+val is_supermodular : t -> bool
+(** v(A∪B) + v(A∩B) >= v(A) + v(B) for all A, B, up to 1e-9 slack.
+    Proposition 5.5 exhibits a scheduling game violating this (which is why
+    the paper cannot reuse the supermodular sampling bounds of
+    Liben-Nowell et al. unchanged). *)
+
+val memoize : t -> t
+(** Caches coalition values in a hash table — essential when [value] runs a
+    scheduling simulation. *)
+
+(** {2 Classic reference games (test fixtures with known Shapley values)} *)
+
+val unanimity : players:int -> carrier:Coalition.t -> t
+(** v(C) = 1 if carrier ⊆ C else 0.  Shapley: 1/|carrier| for carrier
+    members, 0 otherwise. *)
+
+val additive : weights:float array -> t
+(** v(C) = Σ_{u∈C} w_u.  Shapley: w_u (the dummy-consistency base case). *)
+
+val glove : left:Coalition.t -> right:Coalition.t -> t
+(** Glove market: v(C) = min(|C∩left|, |C∩right|). *)
+
+val airport : costs:float array -> t
+(** Airport game: v(C) = −max_{u∈C} costs_u (cost sharing, as a profit game
+    with negated costs).  Shapley value has the classic closed form: player
+    ranked i-th by cost pays Σ_{j<=i} (c_j − c_{j−1})/(n−j+1) with players
+    sorted ascending — used as an exact oracle in tests. *)
+
+val weighted_majority : quota:float -> weights:float array -> t
+(** v(C) = 1 if Σ weights > quota else 0 (simple voting game). *)

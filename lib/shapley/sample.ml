@@ -1,0 +1,65 @@
+type prefix_plan = {
+  orders : int array array;
+  prefixes : (Coalition.t * Coalition.t) array array;
+  distinct : Coalition.t array;
+}
+
+let sample_count ~players ~epsilon ~confidence =
+  if epsilon <= 0. then invalid_arg "Sample.sample_count: epsilon <= 0";
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Sample.sample_count: confidence outside (0,1)";
+  let k = float_of_int players in
+  int_of_float
+    (Float.ceil (k *. k /. (epsilon *. epsilon) *. log (k /. (1. -. confidence))))
+
+let plan ~rng ~players ~n =
+  if n < 1 then invalid_arg "Sample.plan: n < 1";
+  let orders = Array.init n (fun _ -> Fstats.Rng.permutation rng players) in
+  let seen = Hashtbl.create (4 * n * players) in
+  let distinct = ref [] in
+  let note c =
+    if not (Hashtbl.mem seen c) then begin
+      Hashtbl.add seen c ();
+      distinct := c :: !distinct
+    end
+  in
+  let prefixes =
+    Array.map
+      (fun order ->
+        let c = ref Coalition.empty in
+        Array.map
+          (fun u ->
+            let before = !c in
+            let after = Coalition.add before u in
+            c := after;
+            note before;
+            note after;
+            (before, after))
+          order)
+      orders
+  in
+  { orders; prefixes; distinct = Array.of_list (List.rev !distinct) }
+
+let estimate_from_plan plan ~value =
+  let n = Array.length plan.orders in
+  let players = Array.length plan.orders.(0) in
+  let phi = Array.make players 0. in
+  Array.iteri
+    (fun i order ->
+      Array.iteri
+        (fun j u ->
+          let before, after = plan.prefixes.(i).(j) in
+          phi.(u) <- phi.(u) +. (value after -. value before))
+        order)
+    plan.orders;
+  Array.map (fun x -> x /. float_of_int n) phi
+
+let estimate ?n ~rng (g : Game.t) =
+  let players = g.Game.players in
+  let n =
+    match n with
+    | Some n -> n
+    | None -> sample_count ~players ~epsilon:0.1 ~confidence:0.9
+  in
+  let p = plan ~rng ~players ~n in
+  estimate_from_plan p ~value:g.Game.value

@@ -1,0 +1,41 @@
+(** Monte-Carlo Shapley estimation (the basis of Algorithm RAND).
+
+    Draw N uniform joining orders; each player's estimate is the average of
+    its marginal contributions over the sampled orders (Equation 2 as an
+    expectation).  Theorem 5.6 uses Hoeffding's inequality to size N: with
+
+      N = ⌈ k²/ε² · ln(k / (1−λ)) ⌉
+
+    the estimate of every player deviates from φ by more than (ε/k)·v(grand)
+    with probability at most 1−λ (union bound over the k players).  The
+    paper adapts this from Liben-Nowell et al., whose bound assumed a
+    supermodular game — the scheduling game is not supermodular
+    (Prop. 5.5), hence the additive (not relative) guarantee here. *)
+
+val sample_count : players:int -> epsilon:float -> confidence:float -> int
+(** The Hoeffding bound above. [confidence] is λ ∈ (0,1).
+    @raise Invalid_argument for epsilon <= 0 or λ outside (0,1). *)
+
+val estimate : ?n:int -> rng:Fstats.Rng.t -> Game.t -> float array
+(** Shapley estimate from [n] sampled orders (default: the Hoeffding count
+    for ε = 0.1, λ = 0.9). *)
+
+type prefix_plan = {
+  orders : int array array;  (** sampled joining orders *)
+  prefixes : (Coalition.t * Coalition.t) array array;
+      (** [prefixes.(i).(j)] = (coalition before player [orders.(i).(j)]
+          joins, same coalition with the player) — the pairs whose values
+          RAND tracks online. *)
+  distinct : Coalition.t array;
+      (** de-duplicated list of every coalition appearing in any pair;
+          Algorithm RAND simulates one schedule per element. *)
+}
+
+val plan : rng:Fstats.Rng.t -> players:int -> n:int -> prefix_plan
+(** Pre-draws the N orders and the de-duplicated coalition set.  Drawing
+    once up-front (as in Fig. 6's [Prepare]) keeps the online algorithm
+    deterministic given the RNG seed. *)
+
+val estimate_from_plan : prefix_plan -> value:(Coalition.t -> float) -> float array
+(** Average marginal contributions over the planned orders, reading
+    coalition values from [value] (e.g. live simulation states). *)

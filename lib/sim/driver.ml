@@ -1,0 +1,147 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+type result = {
+  policy : string;
+  instance : Instance.t;
+  utilities_scaled : int array;
+  parts : int array;
+  schedule : Schedule.t;
+  events : int;
+  wall_seconds : float;
+  checkpoints : snapshot list;
+}
+
+and snapshot = { at : int; psi_scaled : int array; parts_at : int array }
+
+let machine_owners instance =
+  let owners = Array.make (Instance.total_machines instance) 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun u m ->
+      for _ = 1 to m do
+        owners.(!pos) <- u;
+        incr pos
+      done)
+    instance.Instance.machines;
+  owners
+
+let run ?(record = true) ?(checkpoints = []) ~instance ~rng
+    (maker : Algorithms.Policy.maker) =
+  let t0 = Unix.gettimeofday () in
+  let k = Instance.organizations instance in
+  let horizon = instance.Instance.horizon in
+  let cluster =
+    Cluster.create ~record
+      ?speeds:instance.Instance.speeds
+      ~machine_owners:(machine_owners instance)
+      ~norgs:k ()
+  in
+  let trackers = Array.init k (fun _ -> Utility.Tracker.create ()) in
+  let view = { Algorithms.Policy.instance; cluster; trackers } in
+  let policy = maker instance ~rng in
+  let jobs = instance.Instance.jobs in
+  let njobs = Array.length jobs in
+  let next_job = ref 0 in
+  let events = ref 0 in
+  (* Checkpoint snapshots: a snapshot at instant c is valid once every event
+     strictly before c has been processed (tracker queries are exact at any
+     time between events). *)
+  let pending_checkpoints =
+    ref
+      (List.sort_uniq Stdlib.compare
+         (List.map (fun c -> Stdlib.min c horizon) checkpoints))
+  in
+  let snapshots = ref [] in
+  let snapshot_upto bound =
+    let rec go () =
+      match !pending_checkpoints with
+      | c :: rest when c <= bound ->
+          pending_checkpoints := rest;
+          snapshots :=
+            {
+              at = c;
+              psi_scaled =
+                Array.map
+                  (fun tr -> Utility.Tracker.value_scaled tr ~at:c)
+                  trackers;
+              parts_at =
+                Array.map (fun tr -> Utility.Tracker.parts tr ~at:c) trackers;
+            }
+            :: !snapshots;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let next_event () =
+    let release = if !next_job < njobs then Some jobs.(!next_job).Job.release else None in
+    let completion = Cluster.next_completion cluster in
+    match (release, completion) with
+    | None, c -> c
+    | r, None -> r
+    | Some r, Some c -> Some (Stdlib.min r c)
+  in
+  let process_instant t =
+    incr events;
+    let rec completions () =
+      match Cluster.pop_completion_le cluster t with
+      | Some c ->
+          Utility.Tracker.on_complete
+            trackers.(c.Cluster.job.Job.org)
+            ~key:c.Cluster.job.Job.index
+            ~size:(c.Cluster.finish - c.Cluster.start);
+          policy.Algorithms.Policy.on_complete view ~time:t c;
+          completions ()
+      | None -> ()
+    in
+    completions ();
+    while !next_job < njobs && jobs.(!next_job).Job.release <= t do
+      let job = jobs.(!next_job) in
+      incr next_job;
+      Cluster.release cluster job;
+      policy.Algorithms.Policy.on_release view ~time:t job
+    done;
+    while Cluster.free_count cluster > 0 && Cluster.has_waiting cluster do
+      let org = policy.Algorithms.Policy.select view ~time:t in
+      let machine = policy.Algorithms.Policy.pick_machine view ~time:t ~org in
+      let placement = Cluster.start_front cluster ~org ~time:t ?machine () in
+      Utility.Tracker.on_start trackers.(org)
+        ~key:placement.Schedule.job.Job.index ~start:t;
+      policy.Algorithms.Policy.on_start view ~time:t placement
+    done
+  in
+  let rec loop () =
+    match next_event () with
+    | Some t when t < horizon ->
+        snapshot_upto t;
+        process_instant t;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  snapshot_upto horizon;
+  {
+    policy = policy.Algorithms.Policy.name;
+    instance;
+    utilities_scaled =
+      Array.map (fun tr -> Utility.Tracker.value_scaled tr ~at:horizon) trackers;
+    parts = Array.map (fun tr -> Utility.Tracker.parts tr ~at:horizon) trackers;
+    schedule =
+      (if record then Cluster.to_schedule cluster
+       else Schedule.of_placements ~machines:(Cluster.machines cluster) []);
+    events = !events;
+    wall_seconds = Unix.gettimeofday () -. t0;
+    checkpoints = List.rev !snapshots;
+  }
+
+let utilities r = Array.map (fun v -> float_of_int v /. 2.) r.utilities_scaled
+let total_parts r = Array.fold_left ( + ) 0 r.parts
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-14s events=%-7d parts=%-8d psi=[%a]" r.policy r.events
+    (total_parts r)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf v -> Format.fprintf ppf "%.1f" v))
+    (Array.to_list (utilities r))

@@ -1,0 +1,54 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+(** The online simulation loop.
+
+    Runs one policy over one instance: jobs appear at their release times,
+    completions free machines, and whenever a machine is free while some
+    organization has a waiting job the policy is asked whom to serve
+    (greediness is therefore enforced by construction — Section 2).  Events
+    are processed in time order; nothing happens between events, so the loop
+    is O(events), independent of the horizon length.
+
+    The driver owns the grand-coalition cluster and exact ψsp trackers and
+    passes them to the policy through {!Algorithms.Policy.view}. *)
+
+type result = {
+  policy : string;
+  instance : Instance.t;
+  utilities_scaled : int array;  (** [2·ψsp(u)] at the horizon *)
+  parts : int array;  (** executed unit parts per organization at horizon *)
+  schedule : Schedule.t;  (** full recorded grand-coalition schedule *)
+  events : int;  (** number of event instants processed *)
+  wall_seconds : float;  (** wall-clock time of the simulation *)
+  checkpoints : snapshot list;
+      (** snapshots at the requested instants, ascending (empty unless
+          requested) *)
+}
+
+and snapshot = {
+  at : int;
+  psi_scaled : int array;  (** [2·ψsp(u)] at [at] *)
+  parts_at : int array;  (** executed unit parts per organization at [at] *)
+}
+
+val run :
+  ?record:bool ->
+  ?checkpoints:int list ->
+  instance:Instance.t ->
+  rng:Fstats.Rng.t ->
+  Algorithms.Policy.maker ->
+  result
+(** Simulate until every event before the horizon is processed.  [record]
+    (default true) retains the placement list; disable for large sweeps
+    where only utilities matter (the schedule in the result is then
+    empty).  [checkpoints] asks for utility snapshots at the given instants
+    (clamped to the horizon; Definition 3.2 makes fairness a property of
+    {e every} time instant, and the timeline experiments track how
+    unfairness accumulates). *)
+
+val utilities : result -> float array
+(** Unscaled ψsp per organization. *)
+
+val total_parts : result -> int
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,67 @@
+type evaluation = {
+  result : Driver.result;
+  delta_scaled : int;
+  ratio : float;
+}
+
+let delta_ratio ~reference result =
+  let a = reference.Driver.utilities_scaled
+  and b = result.Driver.utilities_scaled in
+  if Array.length a <> Array.length b then
+    invalid_arg "Fairness.delta_ratio: mismatched instances";
+  let delta_scaled = ref 0 in
+  Array.iteri (fun u va -> delta_scaled := !delta_scaled + abs (va - b.(u))) a;
+  let ptot = Driver.total_parts reference in
+  let ratio =
+    if ptot = 0 then 0.
+    else float_of_int !delta_scaled /. 2. /. float_of_int ptot
+  in
+  (!delta_scaled, ratio)
+
+let evaluate_against ~reference ?(record = false) ~instance ~seed makers =
+  let rng = Fstats.Rng.create ~seed in
+  List.map
+    (fun maker ->
+      let result = Driver.run ~record ~instance ~rng:(Fstats.Rng.split rng) maker in
+      let delta_scaled, ratio = delta_ratio ~reference result in
+      { result; delta_scaled; ratio })
+    makers
+
+let evaluate ?(record = false) ~instance ~seed makers =
+  let rng = Fstats.Rng.create ~seed:(seed lxor 0x5ca1ab1e) in
+  let reference =
+    Driver.run ~record ~instance ~rng Algorithms.Reference.reference
+  in
+  (reference, evaluate_against ~reference ~record ~instance ~seed makers)
+
+
+type timeline = { policy : string; points : (int * float) list }
+
+let snapshot_ratio (ref_snap : Driver.snapshot) (snap : Driver.snapshot) =
+  let delta = ref 0 in
+  Array.iteri
+    (fun u v -> delta := !delta + abs (v - snap.Driver.psi_scaled.(u)))
+    ref_snap.Driver.psi_scaled;
+  let ptot = Array.fold_left ( + ) 0 ref_snap.Driver.parts_at in
+  if ptot = 0 then 0. else float_of_int !delta /. 2. /. float_of_int ptot
+
+let timelines ~instance ~seed ~checkpoints makers =
+  let rng = Fstats.Rng.create ~seed:(seed lxor 0x5ca1ab1e) in
+  let reference =
+    Driver.run ~record:false ~checkpoints ~instance ~rng
+      Algorithms.Reference.reference
+  in
+  let eval_rng = Fstats.Rng.create ~seed in
+  List.map
+    (fun maker ->
+      let result =
+        Driver.run ~record:false ~checkpoints ~instance
+          ~rng:(Fstats.Rng.split eval_rng) maker
+      in
+      let points =
+        List.map2
+          (fun ref_snap snap -> (ref_snap.Driver.at, snapshot_ratio ref_snap snap))
+          reference.Driver.checkpoints result.Driver.checkpoints
+      in
+      { policy = result.Driver.policy; points })
+    makers

@@ -1,0 +1,63 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+(** Fairness evaluation against the REF reference schedule (Section 7.2).
+
+    The paper's measure: run REF to obtain the ideally-fair utility vector
+    ψ*, run the candidate algorithm to obtain ψ, and report
+
+      Δψ / p_tot  with  Δψ = ‖ψ − ψ*‖₁,
+                        p_tot = executed unit parts in the REF schedule.
+
+    Since delaying one unit part of a job by one time step costs its owner
+    exactly one unit of ψsp, the ratio reads as the average unjustified
+    delay (or speed-up) per unit of work. *)
+
+type evaluation = {
+  result : Driver.result;
+  delta_scaled : int;  (** [2·Δψ] *)
+  ratio : float;  (** [Δψ / p_tot] *)
+}
+
+val delta_ratio : reference:Driver.result -> Driver.result -> int * float
+(** [(2Δψ, Δψ/p_tot)]. @raise Invalid_argument if the two results are for
+    different instances (organization counts differ). *)
+
+val evaluate :
+  ?record:bool ->
+  instance:Instance.t ->
+  seed:int ->
+  Algorithms.Policy.maker list ->
+  Driver.result * evaluation list
+(** Runs REF once, then each candidate (each with an independent RNG stream
+    derived from [seed]), and scores them.  Returns the reference result and
+    the evaluations in the order given. *)
+
+val evaluate_against :
+  reference:Driver.result ->
+  ?record:bool ->
+  instance:Instance.t ->
+  seed:int ->
+  Algorithms.Policy.maker list ->
+  evaluation list
+(** Same but reusing an already-computed reference run. *)
+
+(** {2 Unfairness over time}
+
+    Definition 3.2 demands fairness at {e every} instant; the timeline
+    tracks how Δψ(t)/p_tot(t) accumulates as the trace unfolds — the
+    mechanism behind Table 2's growth with the horizon. *)
+
+type timeline = {
+  policy : string;
+  points : (int * float) list;  (** (instant, Δψ(t)/p_tot(t)) ascending *)
+}
+
+val timelines :
+  instance:Instance.t ->
+  seed:int ->
+  checkpoints:int list ->
+  Algorithms.Policy.maker list ->
+  timeline list
+(** Runs REF once with snapshots at [checkpoints], then each candidate, and
+    scores the distance at every snapshot. *)

@@ -1,0 +1,77 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+let speed_gadget ~ratio ~work =
+  if ratio < 1 || work < 1 then invalid_arg "Related.speed_gadget";
+  Instance.make_related
+    ~speeds:[| float_of_int ratio; 1.0 |]
+    ~machines:[| 2 |]
+    ~jobs:[ Job.make ~org:0 ~index:0 ~release:0 ~size:(work * ratio) () ]
+    ~horizon:work
+
+let executed_work sched ~instance ~upto =
+  List.fold_left
+    (fun acc (p : Schedule.placement) ->
+      let wall = Stdlib.max 0 (Stdlib.min (Schedule.completion p) upto - p.Schedule.start) in
+      acc +. (float_of_int wall *. Instance.machine_speed instance p.Schedule.machine))
+    0.
+    (Schedule.placements sched)
+
+let pin_by choose name _instance ~rng:_ =
+  Algorithms.Policy.make ~name
+    ~pick_machine:(fun view ~time:_ ~org:_ ->
+      let cluster = view.Algorithms.Policy.cluster in
+      match Cluster.free_machine_ids cluster with
+      | [] -> None
+      | first :: rest ->
+          Some
+            (List.fold_left
+               (fun best m ->
+                 if choose (Cluster.machine_speed cluster m)
+                      (Cluster.machine_speed cluster best)
+                 then m
+                 else best)
+               first rest))
+    ~select:(fun view ~time:_ ->
+      (* FCFS across organizations, as in Baselines.fifo. *)
+      match Cluster.waiting_orgs view.Algorithms.Policy.cluster with
+      | [] -> invalid_arg (name ^ ": nothing waiting")
+      | orgs ->
+          let release u =
+            match Cluster.front view.Algorithms.Policy.cluster u with
+            | Some j -> j.Job.release
+            | None -> max_int
+          in
+          List.fold_left
+            (fun best u -> if release u < release best then u else best)
+            (List.hd orgs) (List.tl orgs))
+    ()
+
+let pin_fastest instance ~rng =
+  pin_by (fun a b -> a > b) "pin-fastest" instance ~rng
+
+let pin_slowest instance ~rng =
+  pin_by (fun a b -> a < b) "pin-slowest" instance ~rng
+
+type gadget_row = {
+  ratio : int;
+  fast_work : float;
+  slow_work : float;
+  work_ratio : float;
+}
+
+let gadget_sweep ~ratios ~work =
+  List.map
+    (fun ratio ->
+      let instance = speed_gadget ~ratio ~work in
+      let run maker =
+        let r =
+          Driver.run ~instance ~rng:(Fstats.Rng.create ~seed:1) maker
+        in
+        executed_work r.Driver.schedule ~instance
+          ~upto:instance.Instance.horizon
+      in
+      let fast_work = run pin_fastest in
+      let slow_work = run pin_slowest in
+      { ratio; fast_work; slow_work; work_ratio = slow_work /. fast_work })
+    ratios

@@ -1,0 +1,43 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+(** Related-machines experiments (Section 2 claims the model extends;
+    Section 6/8 leaves the efficiency loss open and suspects it "might be
+    significant").
+
+    The fairness machinery extends untouched: {!Core.Instance.make_related}
+    attaches per-machine speeds, the cluster computes wall occupancy
+    [ceil (size / speed)], and ψsp accounts executed wall parts — so REF,
+    RAND and every heuristic run unchanged (property-tested in
+    [test/test_sim.ml]).
+
+    Efficiency is a different story: Theorem 6.2's ¾ bound is specific to
+    identical machines.  {!speed_gadget} is a two-machine family on which a
+    (perfectly greedy) policy that picks the slow machine executes only
+    [1/ratio] of the optimal work — the loss is unbounded, confirming the
+    paper's suspicion. *)
+
+val speed_gadget : ratio:int -> work:int -> Instance.t
+(** Two machines with speeds [ratio] and [1], one organization, a single job
+    of size [work·ratio] released at 0, horizon [work] (the time the fast
+    machine needs).  @raise Invalid_argument unless [ratio >= 1 && work >= 1]. *)
+
+val executed_work : Schedule.t -> instance:Instance.t -> upto:int -> float
+(** Work units (job-size units) executed before [upto]: wall parts weighted
+    by the hosting machine's speed. *)
+
+val pin_fastest : Algorithms.Policy.maker
+(** FCFS selecting the fastest free machine — the sensible greedy. *)
+
+val pin_slowest : Algorithms.Policy.maker
+(** FCFS selecting the slowest free machine — the adversarial greedy (still
+    greedy: it never idles a machine while work waits). *)
+
+type gadget_row = {
+  ratio : int;
+  fast_work : float;  (** work executed by [pin_fastest] at the horizon *)
+  slow_work : float;
+  work_ratio : float;  (** slow / fast — approaches 1/ratio *)
+}
+
+val gadget_sweep : ratios:int list -> work:int -> gadget_row list

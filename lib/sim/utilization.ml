@@ -1,0 +1,100 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+let figure7_instance ~m ~p =
+  if m < 2 || m mod 2 <> 0 then
+    invalid_arg "Utilization.figure7_instance: m must be even and >= 2";
+  if p < 1 then invalid_arg "Utilization.figure7_instance: p < 1";
+  let shorts =
+    List.init m (fun i -> Job.make ~org:0 ~index:i ~release:0 ~size:p ())
+  in
+  let longs =
+    List.init (m / 2) (fun i ->
+        Job.make ~org:1 ~index:i ~release:0 ~size:(2 * p) ())
+  in
+  Instance.make
+    ~machines:[| m / 2; m / 2 |]
+    ~jobs:(shorts @ longs) ~horizon:(2 * p)
+
+let run_utilization ~instance ~seed maker =
+  let rng = Fstats.Rng.create ~seed in
+  let result = Driver.run ~record:true ~instance ~rng maker in
+  Schedule.utilization result.Driver.schedule ~upto:instance.Instance.horizon
+
+(* Exhaustive optimum.  State: the current instant, the multiset of finish
+   times of running jobs, and per-organization cursors into the (release-
+   sorted) job lists.  At each instant we either start an available
+   FIFO-front job (one branch per organization) or advance to the next
+   event; delaying arbitrarily is covered because "advance" may be chosen
+   even when machines are free. *)
+let optimal_busy_time ~instance ~upto =
+  let m = Instance.total_machines instance in
+  let by_org =
+    Array.init (Instance.organizations instance) (fun u ->
+        Array.of_list (Instance.jobs_of_org instance u))
+  in
+  let best = ref 0 in
+  let bound =
+    Utility.Metrics.work_upper_bound
+      ~all_jobs:(Array.to_list instance.Instance.jobs)
+      ~machines:m ~upto
+  in
+  let rec explore time running cursors busy =
+    (* [running]: sorted finish times of started jobs (capped contributions
+       already counted in [busy]); [cursors.(u)]: next unstarted job. *)
+    if busy > !best then best := busy;
+    if !best >= bound then ()
+    else if time >= upto then ()
+    else begin
+      let free = m - List.length running in
+      (* Branch 1: start an available front job of some organization. *)
+      if free > 0 then
+        Array.iteri
+          (fun u cursor ->
+            if cursor < Array.length by_org.(u) then begin
+              let job = by_org.(u).(cursor) in
+              if job.Job.release <= time then begin
+                let finish = time + job.Job.size in
+                let contribution = Stdlib.min job.Job.size (upto - time) in
+                let running' =
+                  List.sort Stdlib.compare (finish :: running)
+                in
+                let cursors' = Array.copy cursors in
+                cursors'.(u) <- cursor + 1;
+                explore time running' cursors' (busy + contribution)
+              end
+            end)
+          cursors;
+      (* Branch 2: let time flow to the next event (next release after now,
+         or next completion), covering every "wait on purpose" schedule. *)
+      let next_release =
+        Array.to_list instance.Instance.jobs
+        |> List.filter_map (fun (j : Job.t) ->
+               if j.Job.release > time then Some j.Job.release else None)
+        |> List.fold_left Stdlib.min max_int
+      in
+      let next_finish =
+        List.fold_left Stdlib.min max_int
+          (List.filter (fun f -> f > time) running)
+      in
+      let tnext = Stdlib.min next_release next_finish in
+      if tnext < upto && tnext > time then begin
+        let running' = List.filter (fun f -> f > tnext) running in
+        explore tnext running' cursors busy
+      end
+    end
+  in
+  explore 0 []
+    (Array.make (Instance.organizations instance) 0)
+    0;
+  !best
+
+let work_bound_utilization ~instance ~upto =
+  let m = Instance.total_machines instance in
+  if m = 0 || upto <= 0 then 0.
+  else
+    float_of_int
+      (Utility.Metrics.work_upper_bound
+         ~all_jobs:(Array.to_list instance.Instance.jobs)
+         ~machines:m ~upto)
+    /. float_of_int (m * upto)

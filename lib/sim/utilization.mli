@@ -1,0 +1,32 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+(** Resource-utilization experiments (Section 6).
+
+    Theorem 6.2: every greedy algorithm is ¾-competitive for resource
+    utilization against {e any} (even clairvoyant, non-greedy) algorithm,
+    and the bound is tight.  The tight family here generalizes Figure 7:
+    [m] machines, organization 0 releases [m] short jobs of size [p],
+    organization 1 releases [m/2] long jobs of size [2p], all at time 0,
+    horizon [2p].  Starting the long jobs first fills the pool (100%);
+    starting the short jobs first strands [m/2] machines idle over [p, 2p]
+    (75%). *)
+
+val figure7_instance : m:int -> p:int -> Instance.t
+(** @raise Invalid_argument unless [m] is even and positive and [p >= 1]. *)
+
+val run_utilization :
+  instance:Instance.t -> seed:int -> Algorithms.Policy.maker -> float
+(** Utilization of the policy's schedule at the instance horizon. *)
+
+val optimal_busy_time : instance:Instance.t -> upto:int -> int
+(** Exact optimum by exhaustive search over all feasible (including
+    non-greedy and clairvoyant) schedules that respect release times and
+    per-organization FIFO order.  Exponential — use only on tiny instances
+    (≲ 8 jobs).  Branch-and-bound pruned with the released-work upper
+    bound. *)
+
+val work_bound_utilization : instance:Instance.t -> upto:int -> float
+(** The (unreachable in general) certificate
+    [min(m·T, Σ min(p, T−r)) / (m·T)] — any schedule's utilization is at
+    most this. *)

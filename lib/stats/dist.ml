@@ -1,0 +1,94 @@
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Dist.exponential: rate <= 0";
+  let u = 1. -. Rng.unit_float rng in
+  -.log u /. rate
+
+let uniform rng ~lo ~hi = lo +. Rng.float rng (hi -. lo)
+
+let normal rng ~mean ~std =
+  let u1 = 1. -. Rng.unit_float rng and u2 = Rng.unit_float rng in
+  mean +. (std *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let lognormal rng ~mu ~sigma = exp (normal rng ~mean:mu ~std:sigma)
+
+let weibull rng ~shape ~scale =
+  if shape <= 0. || scale <= 0. then invalid_arg "Dist.weibull";
+  let u = 1. -. Rng.unit_float rng in
+  scale *. ((-.log u) ** (1. /. shape))
+
+let pareto rng ~shape ~scale =
+  if shape <= 0. || scale <= 0. then invalid_arg "Dist.pareto";
+  let u = 1. -. Rng.unit_float rng in
+  scale /. (u ** (1. /. shape))
+
+let geometric rng ~p =
+  if p <= 0. || p > 1. then invalid_arg "Dist.geometric";
+  if p = 1. then 0
+  else
+    let u = 1. -. Rng.unit_float rng in
+    int_of_float (Float.floor (log u /. log (1. -. p)))
+
+let poisson rng ~mean =
+  if mean < 0. then invalid_arg "Dist.poisson"
+  else if mean = 0. then 0
+  else if mean > 500. then
+    (* Normal approximation with continuity correction. *)
+    Stdlib.max 0
+      (int_of_float (Float.round (normal rng ~mean ~std:(sqrt mean))))
+  else
+    let l = exp (-.mean) in
+    let rec go k p =
+      let p = p *. Rng.unit_float rng in
+      if p <= l then k else go (k + 1) p
+    in
+    go 0 1.0
+
+let zipf_weights ~n ~s =
+  if n <= 0 then invalid_arg "Dist.zipf_weights";
+  let w = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0. w in
+  Array.map (fun x -> x /. total) w
+
+let categorical rng weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Dist.categorical: weights sum to 0";
+  let x = Rng.float rng total in
+  let n = Array.length weights in
+  let rec go i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else go (i + 1) acc
+  in
+  go 0 0.
+
+let zipf rng ~n ~s = categorical rng (zipf_weights ~n ~s)
+
+let split_integer ~total ~weights =
+  let parts = Array.length weights in
+  if parts = 0 then invalid_arg "Dist.split_integer: no weights";
+  if total < parts then invalid_arg "Dist.split_integer: total < parts";
+  let wsum = Array.fold_left ( +. ) 0. weights in
+  if wsum <= 0. then invalid_arg "Dist.split_integer: weights sum to 0";
+  (* Everyone gets 1 machine; the remaining units follow the weights. *)
+  let spare = total - parts in
+  let ideal = Array.map (fun w -> float_of_int spare *. w /. wsum) weights in
+  let shares = Array.map (fun x -> int_of_float (Float.floor x)) ideal in
+  let assigned = Array.fold_left ( + ) 0 shares in
+  let remainders =
+    Array.mapi (fun i x -> (x -. Float.floor x, i)) ideal |> Array.to_list
+  in
+  let by_remainder =
+    List.sort (fun (r1, i1) (r2, i2) ->
+        match Stdlib.compare r2 r1 with 0 -> Stdlib.compare i1 i2 | c -> c)
+      remainders
+  in
+  let rec distribute left = function
+    | _ when left = 0 -> ()
+    | [] -> ()
+    | (_, i) :: rest ->
+        shares.(i) <- shares.(i) + 1;
+        distribute (left - 1) rest
+  in
+  distribute (spare - assigned) by_remainder;
+  Array.map (fun s -> s + 1) shares

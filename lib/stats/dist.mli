@@ -1,0 +1,49 @@
+(** Probability distributions used by the synthetic workload models.
+
+    The Parallel Workload Archive traces the paper evaluates on are
+    characterised in the literature by heavy-tailed service times (log-normal
+    / Weibull fits), bursty per-user arrivals, and Zipf-like imbalance across
+    users.  These samplers are the building blocks of
+    {!Workload.Synthetic}. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Exponential with mean [1/rate]. @raise Invalid_argument if [rate <= 0]. *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+
+val normal : Rng.t -> mean:float -> std:float -> float
+(** Gaussian via Box–Muller. *)
+
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+(** exp(Normal(mu, sigma)); median [exp mu]. *)
+
+val weibull : Rng.t -> shape:float -> scale:float -> float
+
+val pareto : Rng.t -> shape:float -> scale:float -> float
+(** Pareto type I: support [scale, inf), P(X > x) = (scale/x)^shape. *)
+
+val geometric : Rng.t -> p:float -> int
+(** Number of failures before the first success; mean [(1-p)/p].
+    @raise Invalid_argument unless [0 < p <= 1]. *)
+
+val poisson : Rng.t -> mean:float -> int
+(** Poisson counts (Knuth's algorithm for small means, normal approximation
+    above 500 to avoid underflow). *)
+
+val zipf_weights : n:int -> s:float -> float array
+(** [zipf_weights ~n ~s] is the normalized Zipf probability vector
+    [p_i ∝ 1/(i+1)^s] for ranks [0..n-1]. *)
+
+val categorical : Rng.t -> float array -> int
+(** Samples an index proportionally to the (non-negative) weights. *)
+
+val zipf : Rng.t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [0, n); rank 0 is the most likely. *)
+
+val split_integer : total:int -> weights:float array -> int array
+(** Splits [total] indivisible units into [Array.length weights] shares
+    proportional to [weights], each share at least 1 (requires
+    [total >= Array.length weights]).  Used to endow organizations with
+    machines following Zipf or uniform weights.  Deterministic: the rounding
+    residue goes to the largest fractional remainders, ties broken by index.
+    @raise Invalid_argument if [weights] is empty or [total] too small. *)

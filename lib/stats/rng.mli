@@ -1,0 +1,42 @@
+(** Deterministic, splittable random number generation.
+
+    Every stochastic component of the reproduction (workload generators, the
+    RAND algorithm's coalition sampling, DIRECTCONTR's processor shuffle)
+    takes an explicit generator so experiments are reproducible from a single
+    seed.  [split] derives an independent child stream, so adding a consumer
+    never perturbs the draws seen by existing ones. *)
+
+type t
+
+val create : seed:int -> t
+(** A fresh generator determined entirely by [seed]. *)
+
+val split : t -> t
+(** [split t] returns a new generator whose stream is independent of
+    subsequent draws from [t] (derived from one draw of [t]). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform integer in the inclusive range [lo, hi]. *)
+
+val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
+val unit_float : t -> float
+(** Uniform in [0, 1), never exactly 1. *)
+
+val bool : t -> bool
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val shuffle : t -> 'a list -> 'a list
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniform random permutation of [0..n-1]. *)

@@ -1,0 +1,47 @@
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () =
+  { count = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
+
+let add t x =
+  t.count <- t.count + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.count
+let mean t = if t.count = 0 then 0. else t.mean
+let variance t = if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+let stddev t = sqrt (variance t)
+let min t = t.min
+let max t = t.max
+
+let of_list l =
+  let t = create () in
+  List.iter (add t) l;
+  t
+
+let percentile l ~p =
+  if l = [] then invalid_arg "Summary.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Summary.percentile: p out of range";
+  let a = Array.of_list l in
+  Array.sort Stdlib.compare a;
+  let n = Array.length a in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = Stdlib.min (n - 1) (lo + 1) in
+  let frac = rank -. Float.floor rank in
+  a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let median l = percentile l ~p:50.
+
+let pp ppf t =
+  Format.fprintf ppf "%.4g ± %.4g (n=%d)" (mean t) (stddev t) t.count

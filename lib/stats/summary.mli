@@ -1,0 +1,37 @@
+(** Streaming and batch summary statistics for experiment reporting.
+
+    Tables 1 and 2 of the paper report the mean and standard deviation of the
+    unfairness ratio over 100 random sub-trace instances; this module
+    provides the accumulator used to produce those cells, plus batch
+    percentile helpers for the figures. *)
+
+type t
+(** Mutable accumulator (Welford's online algorithm: numerically stable mean
+    and variance in one pass). *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0 on an empty accumulator. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 when fewer than two observations. *)
+
+val stddev : t -> float
+val min : t -> float
+(** [infinity] on an empty accumulator. *)
+
+val max : t -> float
+(** [neg_infinity] on an empty accumulator. *)
+
+val of_list : float list -> t
+
+val percentile : float list -> p:float -> float
+(** Batch percentile with linear interpolation, [p] in [0,100].
+    @raise Invalid_argument on an empty list or [p] outside [0,100]. *)
+
+val median : float list -> float
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["mean ± std (n=count)"]. *)

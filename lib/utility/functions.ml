@@ -1,0 +1,54 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+type t = {
+  name : string;
+  eval : Schedule.t -> org:int -> at:int -> float;
+}
+
+let psp = { name = "psp"; eval = (fun s ~org ~at -> Psp.of_schedule s ~org ~at) }
+
+let neg_flow_time ~all_jobs =
+  {
+    name = "neg-flow";
+    eval =
+      (fun s ~org ~at ->
+        -.float_of_int (Metrics.org_flow_time s ~all_jobs ~org ~at));
+  }
+
+let throughput =
+  {
+    name = "throughput";
+    eval =
+      (fun s ~org ~at ->
+        List.fold_left
+          (fun acc (p : Schedule.placement) ->
+            if p.job.Job.org = org && Schedule.completion p <= at then
+              acc +. 1.
+            else acc)
+          0. (Schedule.placements s));
+  }
+
+let cpu_time =
+  {
+    name = "cpu-time";
+    eval =
+      (fun s ~org ~at ->
+        float_of_int (Psp.completed_parts_of_org s ~org ~at));
+  }
+
+let neg_waiting =
+  {
+    name = "neg-waiting";
+    eval =
+      (fun s ~org ~at ->
+        List.fold_left
+          (fun acc (p : Schedule.placement) ->
+            if p.job.Job.org = org && p.start <= at then
+              acc -. float_of_int (p.start - p.job.Job.release)
+            else acc)
+          0. (Schedule.placements s));
+  }
+
+let all = [ psp; throughput; cpu_time; neg_waiting ]
+let by_name name = List.find_opt (fun u -> u.name = name) all

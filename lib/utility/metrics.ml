@@ -1,0 +1,82 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+let completion_of sched (j : Job.t) =
+  match Schedule.find sched j with
+  | Some p -> Some (Schedule.completion p)
+  | None -> None
+
+let flow_time sched ~all_jobs ~at =
+  List.fold_left
+    (fun acc (j : Job.t) ->
+      if j.Job.release >= at then acc
+      else
+        let upto =
+          match completion_of sched j with
+          | Some c -> Stdlib.min c at
+          | None -> at
+        in
+        acc + (upto - j.Job.release))
+    0 all_jobs
+
+let flow_time_completed sched ~at =
+  List.fold_left
+    (fun acc (p : Schedule.placement) ->
+      let c = Schedule.completion p in
+      if c <= at then acc + (c - p.job.Job.release) else acc)
+    0
+    (Schedule.placements sched)
+
+let waiting_time sched ~at =
+  List.fold_left
+    (fun acc (p : Schedule.placement) ->
+      if p.start <= at then acc + (p.start - p.job.Job.release) else acc)
+    0
+    (Schedule.placements sched)
+
+let stretch sched ~at =
+  let total, n =
+    List.fold_left
+      (fun (total, n) (p : Schedule.placement) ->
+        let c = Schedule.completion p in
+        if c <= at then
+          ( total
+            +. (float_of_int (c - p.job.Job.release)
+               /. float_of_int p.job.Job.size),
+            n + 1 )
+        else (total, n))
+      (0., 0)
+      (Schedule.placements sched)
+  in
+  if n = 0 then 0. else total /. float_of_int n
+
+let org_flow_time sched ~all_jobs ~org ~at =
+  flow_time sched ~at
+    ~all_jobs:(List.filter (fun (j : Job.t) -> j.Job.org = org) all_jobs)
+
+let throughput sched ~at =
+  List.length
+    (List.filter
+       (fun p -> Schedule.completion p <= at)
+       (Schedule.placements sched))
+
+let utilization = Schedule.utilization
+
+let work_upper_bound ~all_jobs ~machines ~upto =
+  let released_work =
+    List.fold_left
+      (fun acc (j : Job.t) ->
+        if j.Job.release >= upto then acc
+        else acc + Stdlib.min j.Job.size (upto - j.Job.release))
+      0 all_jobs
+  in
+  Stdlib.min (machines * upto) released_work
+
+let jain_index xs =
+  let n = List.length xs in
+  if n = 0 then 0.
+  else begin
+    let sum = List.fold_left ( +. ) 0. xs in
+    let sumsq = List.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+    if sumsq = 0. then 0. else sum *. sum /. (float_of_int n *. sumsq)
+  end

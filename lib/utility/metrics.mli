@@ -1,0 +1,43 @@
+(* Shared scheduling vocabulary (Job, Schedule, Cluster). *)
+open Core
+
+(** Classic scheduling metrics, for comparison with ψsp and for the
+    utilization experiments of Section 6.
+
+    All metrics are evaluated "at" a time instant, consistent with the
+    online model: only work released before [at] is considered, and
+    incomplete jobs contribute their elapsed part where meaningful. *)
+
+val flow_time : Schedule.t -> all_jobs:Job.t list -> at:int -> int
+(** Online total flow time at [at]: every released job contributes
+    [min(completion, at) − release]; jobs never started contribute
+    [at − release].  Minimization objective (the paper's Figure 2 contrasts
+    its pathologies with ψsp). *)
+
+val flow_time_completed : Schedule.t -> at:int -> int
+(** Σ (completion − release) over jobs completed by [at] only. *)
+
+val waiting_time : Schedule.t -> at:int -> int
+(** Σ (start − release) over jobs started by [at]. *)
+
+val stretch : Schedule.t -> at:int -> float
+(** Mean slowdown (flow/size) of completed jobs; 0 if none completed. *)
+
+val org_flow_time : Schedule.t -> all_jobs:Job.t list -> org:int -> at:int -> int
+
+val throughput : Schedule.t -> at:int -> int
+(** Jobs completed by [at]. *)
+
+val utilization : Schedule.t -> upto:int -> float
+(** Re-export of {!Schedule.utilization} for discoverability. *)
+
+val work_upper_bound : all_jobs:Job.t list -> machines:int -> upto:int -> int
+(** Upper bound on the busy time any algorithm can achieve by [upto]:
+    [min (machines·upto) (Σ_released min(size, upto − release))].  Used as a
+    certificate in utilization experiments (the true optimum is NP-hard). *)
+
+val jain_index : float list -> float
+(** Jain's fairness index (Σx)² / (n·Σx²) over non-negative allocations:
+    1 when perfectly equal, → 1/n when one member takes everything.  A
+    standard secondary fairness lens for per-organization utilities
+    normalized by entitlement; 0 on an empty or all-zero list. *)

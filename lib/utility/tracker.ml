@@ -1,0 +1,38 @@
+type t = {
+  mutable slope : int;  (* Σ size over completed pieces *)
+  mutable const : int;  (* −Σ size·(2·start + size − 1) over completed *)
+  active : (int, int) Hashtbl.t;  (* key -> start *)
+}
+
+let create () = { slope = 0; const = 0; active = Hashtbl.create 8 }
+
+let on_start t ~key ~start =
+  if Hashtbl.mem t.active key then
+    invalid_arg "Tracker.on_start: duplicate active key";
+  Hashtbl.add t.active key start
+
+let on_complete t ~key ~size =
+  match Hashtbl.find_opt t.active key with
+  | None -> invalid_arg "Tracker.on_complete: unknown key"
+  | Some start ->
+      Hashtbl.remove t.active key;
+      t.slope <- t.slope + size;
+      t.const <- t.const - (size * ((2 * start) + size - 1))
+
+let value_scaled t ~at =
+  let finished = (2 * t.slope * at) + t.const in
+  Hashtbl.fold
+    (fun _ start acc ->
+      assert (start <= at);
+      let run = at - start in
+      acc + (run * (run + 1)))
+    t.active finished
+
+let value t ~at = float_of_int (value_scaled t ~at) /. 2.
+
+let parts t ~at =
+  Hashtbl.fold
+    (fun _ start acc -> acc + Stdlib.max 0 (at - start))
+    t.active t.slope
+
+let active_count t = Hashtbl.length t.active

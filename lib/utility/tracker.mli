@@ -1,0 +1,44 @@
+(** Incremental ψsp accounting for one stream of job pieces.
+
+    Recomputing ψsp from the full schedule at every scheduling event is
+    O(jobs so far); this tracker answers utility queries in O(active jobs)
+    by splitting ψsp(t) into a closed form:
+
+    - a completed piece [(s,p)] contributes [p·t − p(2s+p−1)/2]: linear in
+      [t], so finished jobs collapse into two accumulated coefficients;
+    - a piece still running at [t] contributes the triangular number
+      [(t−s)(t−s+1)/2], computed per active job.
+
+    One tracker instance serves one organization in one (coalition)
+    schedule.  The same structure also tracks the *contribution* estimate of
+    DIRECTCONTR, keyed by machine owner instead of job owner: the tracker is
+    agnostic about whose pieces it aggregates.
+
+    All values are 2×-scaled exact integers, like {!Psp}. *)
+
+type t
+
+val create : unit -> t
+
+val on_start : t -> key:int -> start:int -> unit
+(** Register a piece starting at [start].  [key] must be unique among the
+    currently active pieces of this tracker (use the job's per-organization
+    FIFO index, or any per-stream serial). *)
+
+val on_complete : t -> key:int -> size:int -> unit
+(** Declare the piece registered under [key] completed with total length
+    [size] (known only now — non-clairvoyance).
+    @raise Invalid_argument if [key] is not active. *)
+
+val value_scaled : t -> at:int -> int
+(** [2·ψsp] of everything seen so far, evaluated at [at].  [at] must be at
+    or after the latest [on_start] (values of running jobs would otherwise
+    be miscounted); this is asserted. *)
+
+val value : t -> at:int -> float
+
+val parts : t -> at:int -> int
+(** Executed unit parts before [at] (the derivative of ψsp, and the paper's
+    [finUt]/[finCon] counters). *)
+
+val active_count : t -> int

@@ -1,0 +1,102 @@
+type t = {
+  jobs : int;
+  users : int;
+  span : int;
+  total_work : int;
+  mean_size : float;
+  median_size : float;
+  p95_size : float;
+  max_size : int;
+  mean_interarrival : float;
+  offered_load : float;
+  hourly_arrivals : int array;
+  top_user_share : float;
+}
+
+let analyze ~machines ~rows =
+  (* rows: (submit, run_time, weight, user); weight = processor count so a
+     parallel entry counts its sequentialized work. *)
+  if rows = [] then invalid_arg "Analysis: empty trace";
+  if machines < 1 then invalid_arg "Analysis: machines < 1";
+  let jobs = List.length rows in
+  let span =
+    1 + List.fold_left (fun acc (s, _, _, _) -> Stdlib.max acc s) 0 rows
+  in
+  let total_work =
+    List.fold_left (fun acc (_, rt, w, _) -> acc + (rt * w)) 0 rows
+  in
+  let sizes = List.map (fun (_, rt, _, _) -> float_of_int rt) rows in
+  let user_counts = Hashtbl.create 64 in
+  List.iter
+    (fun (_, _, _, u) ->
+      Hashtbl.replace user_counts u
+        (1 + Option.value (Hashtbl.find_opt user_counts u) ~default:0))
+    rows;
+  let top_user =
+    Hashtbl.fold (fun _ n acc -> Stdlib.max n acc) user_counts 0
+  in
+  let hourly = Array.make 24 0 in
+  List.iter
+    (fun (s, _, _, _) ->
+      let hour = s mod 86_400 / 3_600 in
+      hourly.(hour) <- hourly.(hour) + 1)
+    rows;
+  {
+    jobs;
+    users = Hashtbl.length user_counts;
+    span;
+    total_work;
+    mean_size =
+      List.fold_left ( +. ) 0. sizes /. float_of_int jobs;
+    median_size = Fstats.Summary.median sizes;
+    p95_size = Fstats.Summary.percentile sizes ~p:95.;
+    max_size =
+      List.fold_left (fun acc (_, rt, _, _) -> Stdlib.max acc rt) 0 rows;
+    mean_interarrival = float_of_int span /. float_of_int jobs;
+    offered_load = float_of_int total_work /. float_of_int (machines * span);
+    hourly_arrivals = hourly;
+    top_user_share = float_of_int top_user /. float_of_int jobs;
+  }
+
+let of_entries ~machines entries =
+  analyze ~machines
+    ~rows:
+      (List.map
+         (fun (e : Swf.entry) ->
+           (e.Swf.submit, e.Swf.run_time, e.Swf.processors, e.Swf.user))
+         entries)
+
+let of_instance instance =
+  analyze
+    ~machines:(Core.Instance.total_machines instance)
+    ~rows:
+      (Array.to_list instance.Core.Instance.jobs
+      |> List.map (fun (j : Core.Job.t) ->
+             (j.Core.Job.release, j.Core.Job.size, 1, j.Core.Job.user)))
+
+let pp ppf t =
+  Format.fprintf ppf "jobs:              %d@." t.jobs;
+  Format.fprintf ppf "users:             %d@." t.users;
+  Format.fprintf ppf "span:              %d s@." t.span;
+  Format.fprintf ppf "total work:        %d machine-seconds@." t.total_work;
+  Format.fprintf ppf "job size:          mean %.0f s, median %.0f s, p95 %.0f s, max %d s@."
+    t.mean_size t.median_size t.p95_size t.max_size;
+  Format.fprintf ppf "mean interarrival: %.1f s@." t.mean_interarrival;
+  Format.fprintf ppf "offered load:      %.3f@." t.offered_load;
+  Format.fprintf ppf "top user share:    %.1f%%@." (100. *. t.top_user_share);
+  Format.fprintf ppf "hourly arrivals:   ";
+  let peak =
+    Stdlib.max 1 (Array.fold_left Stdlib.max 0 t.hourly_arrivals)
+  in
+  Array.iter
+    (fun n ->
+      let level = n * 7 / peak in
+      Format.fprintf ppf "%c"
+        (match level with
+        | 0 -> if n = 0 then '.' else '_'
+        | 1 | 2 -> ':'
+        | 3 | 4 -> '+'
+        | 5 | 6 -> '*'
+        | _ -> '#'))
+    t.hourly_arrivals;
+  Format.fprintf ppf "  (midnight → 23h)@."

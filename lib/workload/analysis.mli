@@ -1,0 +1,31 @@
+(** Descriptive statistics of a workload trace.
+
+    Used to (a) sanity-check the synthetic models against their calibration
+    targets (the tests assert the generated offered load, burstiness and
+    user skew sit near the model parameters), and (b) inspect real SWF files
+    before feeding them into the fairness experiments. *)
+
+type t = {
+  jobs : int;
+  users : int;  (** distinct user ids *)
+  span : int;  (** last submit time + 1 *)
+  total_work : int;  (** Σ run time (sequentialized: × processors) *)
+  mean_size : float;
+  median_size : float;
+  p95_size : float;
+  max_size : int;
+  mean_interarrival : float;  (** span / arrivals *)
+  offered_load : float;  (** total_work / (machines · span) *)
+  hourly_arrivals : int array;  (** 24 bins over the day cycle *)
+  top_user_share : float;  (** job share of the most active user *)
+}
+
+val of_entries : machines:int -> Swf.entry list -> t
+(** @raise Invalid_argument on an empty trace or non-positive machine
+    count. *)
+
+val of_instance : Core.Instance.t -> t
+(** Analyze an assembled instance (users read from job metadata). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable report. *)

@@ -1,0 +1,87 @@
+type endowment = Zipf of float | Uniform | Exact of int array
+
+type spec = {
+  model : Traces.model;
+  norgs : int;
+  machines : int;
+  horizon : int;
+  endowment : endowment;
+  load : float option;
+  users : int option;
+}
+
+let default ?(norgs = 5) ?(machines = 32) ?(horizon = 50_000)
+    ?(endowment = Zipf 1.0) ?load ?users model =
+  { model; norgs; machines; horizon; endowment; load; users }
+
+let machine_split spec ~rng =
+  match spec.endowment with
+  | Exact counts ->
+      if Array.length counts <> spec.norgs then
+        invalid_arg "Scenario.machine_split: wrong number of counts";
+      Array.copy counts
+  | Uniform ->
+      Fstats.Dist.split_integer ~total:spec.machines
+        ~weights:(Array.make spec.norgs 1.)
+  | Zipf s ->
+      let weights = Fstats.Dist.zipf_weights ~n:spec.norgs ~s in
+      let split = Fstats.Dist.split_integer ~total:spec.machines ~weights in
+      (* Shuffle which organization gets which rank so that organization 0
+         is not systematically the richest. *)
+      let perm = Fstats.Rng.permutation rng spec.norgs in
+      Array.init spec.norgs (fun u -> split.(perm.(u)))
+
+let user_map spec ~rng =
+  let users = Option.value spec.users ~default:spec.model.Traces.native_users in
+  if users < 1 then invalid_arg "Scenario.user_map: no users";
+  let map = Array.make users 0 in
+  (* Deal a shuffled prefix round-robin so every organization has at least
+     one user, then assign the rest uniformly. *)
+  let order = Fstats.Rng.permutation rng users in
+  Array.iteri
+    (fun pos uid ->
+      map.(uid) <-
+        (if pos < spec.norgs then pos mod spec.norgs
+         else Fstats.Rng.int rng spec.norgs))
+    order;
+  map
+
+let instance_of_entries spec ~seed entries =
+  let rng = Fstats.Rng.create ~seed in
+  let machines = machine_split spec ~rng in
+  let map = user_map spec ~rng in
+  let org_of_user u = map.(u mod Array.length map) in
+  let trace = { Swf.header = []; entries } in
+  let jobs =
+    Swf.to_jobs ~org_of_user trace
+    |> List.filter (fun (j : Core.Job.t) -> j.Core.Job.release < spec.horizon)
+  in
+  Core.Instance.make ~machines ~jobs ~horizon:spec.horizon
+
+let instance spec ~seed =
+  let rng = Fstats.Rng.create ~seed:(seed lxor 0x7ace) in
+  let entries =
+    Traces.generate spec.model ~rng ~machines:spec.machines ?load:spec.load
+      ?users:spec.users ~duration:spec.horizon ()
+  in
+  instance_of_entries spec ~seed entries
+
+
+let window_instances spec ~seed ~trace ~count =
+  let span =
+    List.fold_left (fun acc (e : Swf.entry) -> Stdlib.max acc e.Swf.submit) 0 trace
+  in
+  if span < spec.horizon then
+    invalid_arg "Scenario.window_instances: trace shorter than the horizon";
+  let rng = Fstats.Rng.create ~seed:(seed lxor 0x3b9) in
+  List.init count (fun i ->
+      let start = Fstats.Rng.int rng (span - spec.horizon + 1) in
+      let entries =
+        List.filter_map
+          (fun (e : Swf.entry) ->
+            if e.Swf.submit >= start && e.Swf.submit < start + spec.horizon
+            then Some { e with Swf.submit = e.Swf.submit - start }
+            else None)
+          trace
+      in
+      instance_of_entries spec ~seed:(seed + (31 * i)) entries)

@@ -1,0 +1,54 @@
+(** Turning a trace (synthetic or parsed SWF) into a multi-organization
+    scheduling instance, the way Section 7.2 does:
+
+    - user identifiers are distributed uniformly at random among the
+      organizations, and each job goes to its user's organization;
+    - the machine pool is split between organizations following a Zipf or a
+      uniform endowment;
+    - a horizon closes the evaluation window. *)
+
+type endowment =
+  | Zipf of float  (** weights ∝ 1/(rank+1)^s; rank order shuffled *)
+  | Uniform
+  | Exact of int array  (** explicit machine counts *)
+
+type spec = {
+  model : Traces.model;
+  norgs : int;
+  machines : int;  (** total pool size (scaled-down stand-in for the trace's native pool) *)
+  horizon : int;
+  endowment : endowment;
+  load : float option;  (** override the model's offered load *)
+  users : int option;  (** override the model's user count *)
+}
+
+val default :
+  ?norgs:int -> ?machines:int -> ?horizon:int -> ?endowment:endowment ->
+  ?load:float -> ?users:int -> Traces.model -> spec
+(** 5 organizations (the paper's default), 32 machines, horizon 5·10⁴,
+    Zipf(1.0) endowment. *)
+
+val machine_split : spec -> rng:Fstats.Rng.t -> int array
+(** Per-organization machine counts (each >= 1). *)
+
+val user_map : spec -> rng:Fstats.Rng.t -> int array
+(** user id -> organization, uniform assignment; every organization is
+    guaranteed at least one user when [users >= norgs] (first [norgs] users
+    are dealt round-robin after shuffling). *)
+
+val instance : spec -> seed:int -> Core.Instance.t
+(** Generate the synthetic trace window and assemble the instance.
+    Deterministic in [seed]. *)
+
+val instance_of_entries :
+  spec -> seed:int -> Swf.entry list -> Core.Instance.t
+(** Same partitioning applied to an existing trace (e.g. a real SWF file);
+    entries at or after the horizon are dropped. *)
+
+val window_instances :
+  spec -> seed:int -> trace:Swf.entry list -> count:int -> Core.Instance.t list
+(** The paper's sampling protocol (§7.3): draw [count] random windows of
+    length [spec.horizon] from a long trace, shift submit times to 0, and
+    assemble one instance per window (fresh machine split and user map per
+    window).  @raise Invalid_argument if the trace is shorter than one
+    window. *)

@@ -1,0 +1,90 @@
+type entry = {
+  job_id : int;
+  submit : int;
+  run_time : int;
+  processors : int;
+  user : int;
+}
+
+type t = { header : string list; entries : entry list }
+
+(* SWF fields (1-based): 1 job id, 2 submit, 3 wait, 4 run time,
+   5 allocated processors, 6 avg cpu time, 7 used memory, 8 requested
+   processors, 9 requested time, 10 requested memory, 11 status, 12 user id,
+   13 group id, 14 executable, 15 queue, 16 partition, 17 preceding job,
+   18 think time.  Missing values are -1. *)
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = ';' then None
+  else
+    let fields =
+      String.split_on_char ' ' line
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.filter (fun s -> s <> "")
+    in
+    match fields with
+    | job_id :: submit :: _wait :: run_time :: processors :: rest ->
+        let ( let* ) = Option.bind in
+        let* job_id = int_of_string_opt job_id in
+        let* submit = int_of_string_opt submit in
+        let* run_time = int_of_string_opt run_time in
+        let* processors = int_of_string_opt processors in
+        let user =
+          (* field 12 = 7th element of [rest] *)
+          match List.nth_opt rest 6 with
+          | Some u -> Option.value (int_of_string_opt u) ~default:0
+          | None -> 0
+        in
+        if run_time <= 0 || processors < 1 || submit < 0 then None
+        else Some { job_id; submit; run_time; processors; user }
+    | _ -> None
+
+let parse_string s =
+  let lines = String.split_on_char '\n' s in
+  let header =
+    List.filter_map
+      (fun l ->
+        let l = String.trim l in
+        if String.length l > 0 && l.[0] = ';' then
+          Some (String.trim (String.sub l 1 (String.length l - 1)))
+        else None)
+      lines
+  in
+  let entries = List.filter_map parse_line lines in
+  let entries =
+    List.stable_sort (fun a b -> Stdlib.compare a.submit b.submit) entries
+  in
+  { header; entries }
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  List.iter (fun h -> Buffer.add_string buf ("; " ^ h ^ "\n")) t.header;
+  List.iter
+    (fun e ->
+      (* Unused fields written as -1, status as 1 (completed). *)
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d -1 %d %d -1 -1 %d -1 -1 1 %d -1 -1 -1 -1 -1 -1\n"
+           e.job_id e.submit e.run_time e.processors e.processors e.user))
+    t.entries;
+  Buffer.contents buf
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let to_jobs ?(org_of_user = fun _ -> 0) t =
+  List.concat_map
+    (fun e ->
+      List.init e.processors (fun _ ->
+          Core.Job.make
+            ~org:(org_of_user e.user)
+            ~index:0 ~user:e.user ~release:e.submit ~size:e.run_time ()))
+    t.entries

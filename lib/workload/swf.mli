@@ -1,0 +1,42 @@
+(** Standard Workload Format (SWF) — the format of the Parallel Workload
+    Archive traces the paper evaluates on (LPC-EGEE, PIK-IPLEX, RICC,
+    SHARCNET-Whale).
+
+    An SWF file has `;`-prefixed header comments and one job per line with
+    18 whitespace-separated fields.  We consume the fields this reproduction
+    needs — job id, submit time, run time, allocated processors, user id —
+    and, following the paper, expand a parallel job needing [q] processors
+    into [q] sequential copies of the same duration.
+
+    The writer emits files that round-trip through the parser, so synthetic
+    traces can be saved and real archive traces dropped in. *)
+
+type entry = {
+  job_id : int;
+  submit : int;  (** seconds since trace start *)
+  run_time : int;  (** seconds; jobs with non-positive run time are skipped *)
+  processors : int;  (** allocated processor count, >= 1 *)
+  user : int;
+}
+
+type t = {
+  header : string list;  (** header comment lines, without the leading ';' *)
+  entries : entry list;  (** in submit order *)
+}
+
+val parse_line : string -> entry option
+(** [None] for comments, blank lines, and jobs with missing/invalid
+    run time or processor count (status-failed entries in real traces). *)
+
+val parse_string : string -> t
+val load : string -> t
+(** @raise Sys_error on unreadable files. *)
+
+val to_string : t -> string
+val save : string -> t -> unit
+
+val to_jobs : ?org_of_user:(int -> int) -> t -> Core.Job.t list
+(** Sequentialize: a [q]-processor entry becomes [q] jobs of the same
+    duration (Section 7.2).  [org_of_user] maps trace users to
+    organizations (default: everything to organization 0).  Job indices are
+    assigned later by {!Core.Instance.make}. *)

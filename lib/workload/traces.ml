@@ -1,0 +1,152 @@
+type model = {
+  name : string;
+  description : string;
+  native_machines : int;
+  native_users : int;
+  load : float;
+  duration_mu : float;
+  duration_sigma : float;
+  jobs_per_session : float;
+  session_gap : float;
+  user_skew : float;
+  day_profile : float array;
+}
+
+(* A generic working-hours profile: low at night, ramping through the
+   morning, peaking early afternoon.  Individual models scale or flatten
+   it. *)
+let office_hours =
+  [|
+    0.3; 0.25; 0.2; 0.2; 0.2; 0.25; 0.4; 0.6; 1.0; 1.4; 1.6; 1.7; 1.6; 1.7;
+    1.8; 1.7; 1.5; 1.2; 1.0; 0.8; 0.6; 0.5; 0.4; 0.35;
+  |]
+
+
+let mix profile alpha =
+  (* alpha = 1 keeps the office profile, 0 flattens it completely. *)
+  Array.map (fun w -> (alpha *. w) +. (1. -. alpha)) profile
+
+let lpc_egee =
+  {
+    name = "lpc-egee";
+    description = "LPC Clermont-Ferrand EGEE node: 70 CPUs, biomed grid jobs";
+    native_machines = 70;
+    native_users = 56;
+    load = 0.85;
+    duration_mu = log 450.;
+    duration_sigma = 1.4;
+    jobs_per_session = 16.;
+    session_gap = 20.;
+    user_skew = 0.8;
+    day_profile = mix office_hours 0.7;
+  }
+
+let pik_iplex =
+  {
+    name = "pik-iplex";
+    description = "PIK IBM iDataPlex: 2560 cores, lightly loaded";
+    native_machines = 2560;
+    native_users = 225;
+    load = 0.3;
+    duration_mu = log 500.;
+    duration_sigma = 1.7;
+    jobs_per_session = 30.;
+    session_gap = 15.;
+    user_skew = 1.0;
+    day_profile = mix office_hours 0.9;
+  }
+
+let ricc =
+  {
+    name = "ricc";
+    description = "RIKEN Integrated Cluster of Clusters: 8192 cores, saturated";
+    native_machines = 8192;
+    native_users = 176;
+    load = 1.08;
+    duration_mu = log 1400.;
+    duration_sigma = 1.6;
+    jobs_per_session = 24.;
+    session_gap = 10.;
+    user_skew = 1.1;
+    day_profile = mix office_hours 0.4;
+  }
+
+let sharcnet_whale =
+  {
+    name = "sharcnet-whale";
+    description = "SHARCNET Whale cluster: 3072 cores, mid-range load";
+    native_machines = 3072;
+    native_users = 154;
+    load = 0.6;
+    duration_mu = log 800.;
+    duration_sigma = 1.5;
+    jobs_per_session = 12.;
+    session_gap = 45.;
+    user_skew = 0.9;
+    day_profile = mix office_hours 0.6;
+  }
+
+let all = [ lpc_egee; pik_iplex; ricc; sharcnet_whale ]
+let by_name name = List.find_opt (fun m -> m.name = name) all
+
+let mean_job_seconds m =
+  exp (m.duration_mu +. (m.duration_sigma *. m.duration_sigma /. 2.))
+
+let generate m ~rng ~machines ?load ?users ~duration () =
+  if machines < 1 then invalid_arg "Traces.generate: machines < 1";
+  if duration < 1 then invalid_arg "Traces.generate: duration < 1";
+  let load = Option.value load ~default:m.load in
+  let users = Option.value users ~default:m.native_users in
+  (* Work to offer over the window, in machine-seconds, converted into a
+     number of sessions given mean job length and batch size. *)
+  let target_work = load *. float_of_int machines *. float_of_int duration in
+  let jobs = target_work /. mean_job_seconds m in
+  let sessions =
+    Stdlib.max 1 (int_of_float (Float.round (jobs /. m.jobs_per_session)))
+  in
+  let user_weights = Fstats.Dist.zipf_weights ~n:users ~s:m.user_skew in
+  let hour_weights = m.day_profile in
+  let day_seconds = 86_400 in
+  let session_start () =
+    (* Pick a uniformly random day position in the window, then an hour by
+       the day profile, then a second within the hour. *)
+    let day_base = Fstats.Rng.int rng (Stdlib.max 1 duration) / day_seconds in
+    let hour = Fstats.Dist.categorical rng hour_weights in
+    let sec = Fstats.Rng.int rng 3600 in
+    let t = (day_base * day_seconds) + (hour * 3600) + sec in
+    t mod duration
+  in
+  let entries = ref [] in
+  let next_id = ref 1 in
+  for _ = 1 to sessions do
+    let user = Fstats.Dist.categorical rng user_weights in
+    let start = session_start () in
+    let batch = 1 + Fstats.Dist.geometric rng ~p:(1. /. m.jobs_per_session) in
+    let t = ref start in
+    for _ = 1 to batch do
+      if !t < duration then begin
+        let run =
+          Fstats.Dist.lognormal rng ~mu:m.duration_mu ~sigma:m.duration_sigma
+        in
+        (* Clip to [1s, 2 days]: archive traces cap runaway entries. *)
+        let run = Stdlib.max 1 (Stdlib.min 172_800 (int_of_float run)) in
+        entries :=
+          {
+            Swf.job_id = !next_id;
+            submit = !t;
+            run_time = run;
+            processors = 1;
+            user;
+          }
+          :: !entries;
+        incr next_id
+      end;
+      t :=
+        !t
+        + 1
+        + int_of_float (Fstats.Dist.exponential rng ~rate:(1. /. m.session_gap))
+    done
+  done;
+  List.stable_sort
+    (fun (a : Swf.entry) b -> Stdlib.compare a.Swf.submit b.Swf.submit)
+    !entries

@@ -1,0 +1,69 @@
+(** Synthetic models of the four Parallel Workload Archive traces used in
+    Section 7 (LPC-EGEE, PIK-IPLEX, RICC, SHARCNET-Whale).
+
+    The genuine archive files are not redistributable here (see DESIGN.md);
+    each model reproduces the characteristics the fairness experiments
+    depend on:
+
+    - scale: processor and user counts of the original system;
+    - burstiness: users submit in sessions — "users usually send their jobs
+      in consecutive blocks" (Section 7.2) — with a day/night cycle and
+      Zipf-skewed per-user activity;
+    - service times: log-normal run-time mix, with per-trace median and
+      spread;
+    - contention: a target offered load ρ (expected released work per
+      machine per unit of time), the main driver of how much an unfair
+      policy can hurt.
+
+    Generation is deterministic given the RNG, and the offered load is
+    recomputed for whatever (possibly scaled-down) machine pool the caller
+    requests, so a 32-processor reduction of RICC is contended like RICC
+    rather than starved. *)
+
+type model = {
+  name : string;
+  description : string;
+  native_machines : int;  (** processors in the original trace *)
+  native_users : int;
+  load : float;  (** target offered load ρ (work per machine-second) *)
+  duration_mu : float;  (** log-normal location of run times (seconds) *)
+  duration_sigma : float;
+  jobs_per_session : float;  (** mean batch length of a user session *)
+  session_gap : float;  (** mean seconds between submissions in a session *)
+  user_skew : float;  (** Zipf exponent of per-user activity *)
+  day_profile : float array;  (** 24 relative hourly arrival weights *)
+}
+
+val lpc_egee : model
+(** 70 processors, 56 users; small cluster, moderate load, hour-scale
+    jobs. *)
+
+val pik_iplex : model
+(** 2560 processors, 225 users; lightly loaded large pool (the paper's
+    least-unfair workload). *)
+
+val ricc : model
+(** 8192 processors, 176 users; heavily loaded (the paper's most extreme
+    unfairness values). *)
+
+val sharcnet_whale : model
+(** 3072 processors, 154 users; mid-range load. *)
+
+val all : model list
+val by_name : string -> model option
+
+val mean_job_seconds : model -> float
+(** E[run time] of the log-normal mix. *)
+
+val generate :
+  model ->
+  rng:Fstats.Rng.t ->
+  machines:int ->
+  ?load:float ->
+  ?users:int ->
+  duration:int ->
+  unit ->
+  Swf.entry list
+(** A synthetic trace window of [duration] seconds for a pool of [machines]
+    processors, sorted by submit time.  [load] overrides the model's target
+    ρ; [users] overrides the population (default: the native count). *)

@@ -1,0 +1,180 @@
+(* Tests for the exact-rational and combinatorics substrate. *)
+
+module R = Numeric.Rational
+module C = Numeric.Combinatorics
+
+let rat = Alcotest.testable (Fmt.of_to_string R.to_string) R.equal
+
+(* --- Rational ----------------------------------------------------------- *)
+
+let test_normalization () =
+  Alcotest.check rat "6/4 = 3/2" (R.make 3 2) (R.make 6 4);
+  Alcotest.check rat "-6/-4 = 3/2" (R.make 3 2) (R.make (-6) (-4));
+  Alcotest.check rat "6/-4 = -3/2" (R.make (-3) 2) (R.make 6 (-4));
+  Alcotest.check Alcotest.int "den positive" 2 (R.den (R.make 5 (-2)));
+  Alcotest.check Alcotest.int "num carries sign" (-5) (R.num (R.make 5 (-2)));
+  Alcotest.check rat "0/x = 0" R.zero (R.make 0 17)
+
+let test_zero_den () =
+  Alcotest.check_raises "make x 0" R.Division_by_zero (fun () ->
+      ignore (R.make 1 0));
+  Alcotest.check_raises "inv zero" R.Division_by_zero (fun () ->
+      ignore (R.inv R.zero));
+  Alcotest.check_raises "div by zero" R.Division_by_zero (fun () ->
+      ignore (R.div R.one R.zero))
+
+let test_arithmetic () =
+  Alcotest.check rat "1/2 + 1/3 = 5/6" (R.make 5 6)
+    (R.add (R.make 1 2) (R.make 1 3));
+  Alcotest.check rat "1/2 - 1/3 = 1/6" (R.make 1 6)
+    (R.sub (R.make 1 2) (R.make 1 3));
+  Alcotest.check rat "2/3 * 3/4 = 1/2" (R.make 1 2)
+    (R.mul (R.make 2 3) (R.make 3 4));
+  Alcotest.check rat "(2/3) / (4/3) = 1/2" (R.make 1 2)
+    (R.div (R.make 2 3) (R.make 4 3));
+  Alcotest.check rat "neg" (R.make (-1) 2) (R.neg (R.make 1 2));
+  Alcotest.check rat "abs" (R.make 1 2) (R.abs (R.make (-1) 2));
+  Alcotest.check rat "mul_int" (R.make 3 2) (R.mul_int (R.make 1 2) 3);
+  Alcotest.check rat "div_int" (R.make 1 6) (R.div_int (R.make 1 2) 3)
+
+let test_compare () =
+  Alcotest.check Alcotest.bool "1/3 < 1/2" true
+    R.Infix.(R.make 1 3 < R.make 1 2);
+  Alcotest.check Alcotest.bool "-1/2 < 1/3" true
+    R.Infix.(R.make (-1) 2 < R.make 1 3);
+  Alcotest.check rat "min" (R.make 1 3) (R.min (R.make 1 3) (R.make 1 2));
+  Alcotest.check rat "max" (R.make 1 2) (R.max (R.make 1 3) (R.make 1 2));
+  Alcotest.check Alcotest.int "sign neg" (-1) (R.sign (R.make (-3) 7));
+  Alcotest.check Alcotest.int "sign zero" 0 (R.sign R.zero)
+
+let test_conversions () =
+  Alcotest.check (Alcotest.float 1e-12) "to_float" 0.5
+    (R.to_float (R.make 1 2));
+  Alcotest.check Alcotest.int "to_int_exn" 7 (R.to_int_exn (R.of_int 7));
+  Alcotest.check_raises "to_int_exn non-integer"
+    (Invalid_argument "Rational.to_int_exn: not an integer") (fun () ->
+      ignore (R.to_int_exn (R.make 1 2)));
+  Alcotest.check Alcotest.bool "is_integer" true (R.is_integer (R.make 4 2));
+  Alcotest.check Alcotest.string "pp int" "3" (R.to_string (R.make 6 2));
+  Alcotest.check Alcotest.string "pp frac" "-3/2" (R.to_string (R.make 3 (-2)))
+
+let test_sum () =
+  Alcotest.check rat "sum of 1/i(i+1) telescopes"
+    (R.make 9 10)
+    (R.sum (List.init 9 (fun i -> R.make 1 ((i + 1) * (i + 2)))))
+
+let small_rat =
+  QCheck.map
+    (fun (n, d) -> R.make n (1 + abs d))
+    QCheck.(pair (int_range (-1000) 1000) (int_range 0 1000))
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~name:"add commutative" ~count:500
+      (QCheck.pair small_rat small_rat) (fun (a, b) ->
+        R.equal (R.add a b) (R.add b a));
+    QCheck.Test.make ~name:"mul commutative" ~count:500
+      (QCheck.pair small_rat small_rat) (fun (a, b) ->
+        R.equal (R.mul a b) (R.mul b a));
+    QCheck.Test.make ~name:"add associative" ~count:500
+      (QCheck.triple small_rat small_rat small_rat) (fun (a, b, c) ->
+        R.equal (R.add a (R.add b c)) (R.add (R.add a b) c));
+    QCheck.Test.make ~name:"distributivity" ~count:500
+      (QCheck.triple small_rat small_rat small_rat) (fun (a, b, c) ->
+        R.equal (R.mul a (R.add b c)) (R.add (R.mul a b) (R.mul a c)));
+    QCheck.Test.make ~name:"sub then add roundtrips" ~count:500
+      (QCheck.pair small_rat small_rat) (fun (a, b) ->
+        R.equal a (R.add (R.sub a b) b));
+    QCheck.Test.make ~name:"nonzero mul/div roundtrips" ~count:500
+      (QCheck.pair small_rat small_rat) (fun (a, b) ->
+        QCheck.assume (R.sign b <> 0);
+        R.equal a (R.mul (R.div a b) b));
+    QCheck.Test.make ~name:"compare antisymmetric" ~count:500
+      (QCheck.pair small_rat small_rat) (fun (a, b) ->
+        R.compare a b = -R.compare b a);
+    QCheck.Test.make ~name:"to_float consistent with compare" ~count:500
+      (QCheck.pair small_rat small_rat) (fun (a, b) ->
+        QCheck.assume (not (R.equal a b));
+        Stdlib.compare (R.to_float a) (R.to_float b) = R.compare a b);
+  ]
+
+(* --- Combinatorics -------------------------------------------------------- *)
+
+let test_factorial () =
+  Alcotest.check Alcotest.int "0!" 1 (C.factorial 0);
+  Alcotest.check Alcotest.int "5!" 120 (C.factorial 5);
+  Alcotest.check Alcotest.int "20!" 2432902008176640000 (C.factorial 20);
+  Alcotest.check_raises "21! overflows"
+    (Invalid_argument "Combinatorics.factorial") (fun () ->
+      ignore (C.factorial 21));
+  Alcotest.check_raises "negative" (Invalid_argument "Combinatorics.factorial")
+    (fun () -> ignore (C.factorial (-1)))
+
+let test_binomial () =
+  Alcotest.check Alcotest.int "C(5,2)" 10 (C.binomial 5 2);
+  Alcotest.check Alcotest.int "C(n,0)" 1 (C.binomial 9 0);
+  Alcotest.check Alcotest.int "C(n,n)" 1 (C.binomial 9 9);
+  Alcotest.check Alcotest.int "out of range" 0 (C.binomial 5 7);
+  Alcotest.check Alcotest.int "negative k" 0 (C.binomial 5 (-1));
+  (* Pascal's rule over a small triangle. *)
+  for n = 1 to 15 do
+    for k = 1 to n - 1 do
+      Alcotest.check Alcotest.int
+        (Printf.sprintf "pascal %d %d" n k)
+        (C.binomial n k)
+        (C.binomial (n - 1) (k - 1) + C.binomial (n - 1) k)
+    done
+  done
+
+let test_shapley_weights () =
+  (* For any player, the weights of all sub-coalitions sum to 1:
+     Σ_s C(k-1, s) · s!(k-s-1)!/k! = 1. *)
+  for k = 1 to 10 do
+    let total =
+      R.sum
+        (List.init k (fun s ->
+             R.mul_int (C.shapley_weight ~players:k ~subset:s)
+               (C.binomial (k - 1) s)))
+    in
+    Alcotest.check rat (Printf.sprintf "weights sum to 1 (k=%d)" k) R.one total
+  done;
+  Alcotest.check rat "update_weight shifts index"
+    (C.shapley_weight ~players:5 ~subset:2)
+    (C.update_weight ~players:5 ~size:3);
+  Alcotest.check (Alcotest.float 1e-15) "float matches rational"
+    (R.to_float (C.shapley_weight ~players:7 ~subset:3))
+    (C.shapley_weight_float ~players:7 ~subset:3)
+
+let test_permutations_subsets () =
+  Alcotest.check Alcotest.int "permutations 4" 24
+    (List.length (C.permutations [ 1; 2; 3; 4 ]));
+  Alcotest.check Alcotest.int "distinct permutations" 24
+    (List.length (List.sort_uniq Stdlib.compare (C.permutations [ 1; 2; 3; 4 ])));
+  Alcotest.check Alcotest.int "subsets 5" 32
+    (List.length (C.subsets [ 1; 2; 3; 4; 5 ]));
+  Alcotest.check Alcotest.bool "subsets distinct" true
+    (let s = List.map (List.sort Stdlib.compare) (C.subsets [ 1; 2; 3 ]) in
+     List.length (List.sort_uniq Stdlib.compare s) = 8)
+
+let () =
+  Alcotest.run "numeric"
+    [
+      ( "rational",
+        [
+          Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "zero denominators" `Quick test_zero_den;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "conversions" `Quick test_conversions;
+          Alcotest.test_case "sum" `Quick test_sum;
+        ] );
+      ("rational-properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
+      ( "combinatorics",
+        [
+          Alcotest.test_case "factorial" `Quick test_factorial;
+          Alcotest.test_case "binomial" `Quick test_binomial;
+          Alcotest.test_case "shapley weights" `Quick test_shapley_weights;
+          Alcotest.test_case "permutations & subsets" `Quick
+            test_permutations_subsets;
+        ] );
+    ]

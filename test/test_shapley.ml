@@ -1,0 +1,307 @@
+(* Tests for coalitions, games, and exact / sampled Shapley values. *)
+
+module C = Shapley.Coalition
+module Game = Shapley.Game
+module Exact = Shapley.Exact
+module Sample = Shapley.Sample
+module R = Numeric.Rational
+
+let floats = Alcotest.(array (float 1e-9))
+
+(* --- Coalitions ------------------------------------------------------------ *)
+
+let test_coalition_basics () =
+  let c = C.add (C.add C.empty 0) 3 in
+  Alcotest.(check bool) "mem 0" true (C.mem c 0);
+  Alcotest.(check bool) "mem 1" false (C.mem c 1);
+  Alcotest.(check int) "size" 2 (C.size c);
+  Alcotest.(check (list int)) "members" [ 0; 3 ] (C.members c);
+  Alcotest.(check int) "remove" 1 (C.size (C.remove c 3));
+  Alcotest.(check bool) "subset" true (C.subset (C.singleton 0) ~of_:c);
+  Alcotest.(check bool) "not subset" false (C.subset (C.singleton 1) ~of_:c);
+  Alcotest.(check int) "grand size" 5 (C.size (C.grand ~players:5));
+  Alcotest.(check int) "union" 3 (C.size (C.union c (C.singleton 1)));
+  Alcotest.(check int) "inter" 1 (C.size (C.inter c (C.singleton 3)))
+
+let test_subcoalition_enumeration () =
+  let grand = C.grand ~players:4 in
+  Alcotest.(check int) "2^4 subsets" 16 (List.length (C.subcoalitions grand));
+  let count = ref 0 in
+  C.iter_subsets grand (fun _ -> incr count);
+  Alcotest.(check int) "iter_subsets visits 16" 16 !count;
+  (* iter_subsets of a strict subset visits only its subsets. *)
+  let c = C.add (C.add C.empty 1) 3 in
+  let visited = ref [] in
+  C.iter_subsets c (fun s -> visited := s :: !visited);
+  Alcotest.(check int) "4 subsets of a pair" 4 (List.length !visited);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "all are subsets" true (C.subset s ~of_:c))
+    !visited;
+  let by_size = C.proper_subcoalitions_of_grand ~players:4 in
+  Alcotest.(check (list int))
+    "sizes 1..4 counts" [ 4; 6; 4; 1 ]
+    (List.map List.length by_size)
+
+(* --- Exact Shapley ----------------------------------------------------------- *)
+
+let test_additive_game () =
+  let weights = [| 3.; 1.; 4.; 1.5 |] in
+  let g = Game.additive ~weights in
+  Alcotest.check floats "shapley = weights" weights (Exact.subsets g)
+
+let test_unanimity_game () =
+  let carrier = C.add (C.add C.empty 1) 2 in
+  let g = Game.unanimity ~players:4 ~carrier in
+  Alcotest.check floats "1/|carrier| on carrier" [| 0.; 0.5; 0.5; 0. |]
+    (Exact.subsets g)
+
+let test_glove_game () =
+  (* Two left gloves (players 0,1), one right glove (player 2): the right
+     holder gets 2/3, each left holder 1/6. *)
+  let g =
+    Game.glove ~left:(C.add (C.add C.empty 0) 1) ~right:(C.singleton 2)
+  in
+  let phi = Exact.subsets g in
+  Alcotest.(check (float 1e-9)) "left" (1. /. 6.) phi.(0);
+  Alcotest.(check (float 1e-9)) "left" (1. /. 6.) phi.(1);
+  Alcotest.(check (float 1e-9)) "right" (2. /. 3.) phi.(2)
+
+let test_airport_game () =
+  (* Airport cost game closed form: with ascending costs c_1 <= ... <= c_n,
+     player i pays Σ_{j<=i} (c_j − c_{j−1}) / (n − j + 1). *)
+  let costs = [| 1.; 3.; 3.; 8. |] in
+  let g = Game.airport ~costs in
+  let phi = Exact.subsets g in
+  let expected =
+    [|
+      -.(1. /. 4.);
+      -.((1. /. 4.) +. (2. /. 3.));
+      -.((1. /. 4.) +. (2. /. 3.));
+      -.((1. /. 4.) +. (2. /. 3.) +. 5.);
+    |]
+  in
+  Alcotest.check floats "airport closed form" expected phi
+
+let test_weighted_majority () =
+  (* [quota 50; weights 49, 49, 2]: all three players are symmetric pivots —
+     the classic counterintuitive voting example. *)
+  let g = Game.weighted_majority ~quota:50. ~weights:[| 49.; 49.; 2. |] in
+  let phi = Exact.subsets g in
+  Alcotest.check floats "all pivotal equally"
+    [| 1. /. 3.; 1. /. 3.; 1. /. 3. |]
+    phi
+
+let random_game ~rng ~players =
+  let table = Hashtbl.create 32 in
+  Game.make ~players (fun c ->
+      if c = C.empty then 0.
+      else
+        match Hashtbl.find_opt table c with
+        | Some v -> v
+        | None ->
+            let v = Fstats.Rng.float rng 100. in
+            Hashtbl.add table c v;
+            v)
+
+let test_subsets_vs_permutations () =
+  let rng = Fstats.Rng.create ~seed:31 in
+  for players = 1 to 5 do
+    let g = random_game ~rng ~players in
+    let a = Exact.subsets g in
+    let b = Exact.permutations g in
+    Array.iteri
+      (fun u va ->
+        Alcotest.(check (float 1e-6))
+          (Printf.sprintf "player %d (k=%d)" u players)
+          va b.(u))
+      a
+  done
+
+let test_efficiency_and_dummy () =
+  let rng = Fstats.Rng.create ~seed:32 in
+  for _ = 1 to 20 do
+    let g = random_game ~rng ~players:5 in
+    Alcotest.(check bool) "efficiency" true (Exact.efficiency_gap g < 1e-6)
+  done;
+  (* Dummy player: v(C ∪ {u}) = v(C) for all C → φ_u = 0. *)
+  let base = random_game ~rng ~players:3 in
+  let g =
+    Game.make ~players:4 (fun c -> Game.value base (C.remove c 3))
+  in
+  let phi = Exact.subsets g in
+  Alcotest.(check (float 1e-9)) "dummy gets zero" 0. phi.(3)
+
+let test_symmetry_axiom () =
+  (* Players 0 and 1 interchangeable → equal Shapley values. *)
+  let g =
+    Game.make ~players:3 (fun c ->
+        let n01 = (if C.mem c 0 then 1 else 0) + if C.mem c 1 then 1 else 0 in
+        let n2 = if C.mem c 2 then 1 else 0 in
+        float_of_int ((10 * n01) + (3 * n2) + (n01 * n01) + (5 * n01 * n2)))
+  in
+  let phi = Exact.subsets g in
+  Alcotest.(check (float 1e-9)) "symmetric players" phi.(0) phi.(1)
+
+let test_exact_rational () =
+  (* Exact-rational Shapley of the glove game: efficiency holds exactly. *)
+  let left = C.add (C.add C.empty 0) 1 and right = C.singleton 2 in
+  let value c =
+    R.of_int
+      (Stdlib.min (C.size (C.inter c left)) (C.size (C.inter c right)))
+  in
+  let phi = Exact.subsets_exact ~players:3 value in
+  Alcotest.(check bool) "phi0 = 1/6" true (R.equal phi.(0) (R.make 1 6));
+  Alcotest.(check bool) "phi2 = 2/3" true (R.equal phi.(2) (R.make 2 3));
+  Alcotest.(check bool) "exact efficiency" true
+    (R.equal (R.sum (Array.to_list phi)) R.one)
+
+let test_restricted () =
+  (* Restricting the glove game to {0,2} makes it a two-player market:
+     each side gets 1/2. *)
+  let g =
+    Game.glove ~left:(C.add (C.add C.empty 0) 1) ~right:(C.singleton 2)
+  in
+  let coalition = C.add (C.add C.empty 0) 2 in
+  Alcotest.(check (float 1e-9)) "half" 0.5
+    (Exact.restricted g ~coalition ~player:0);
+  Alcotest.(check (float 1e-9)) "half" 0.5
+    (Exact.restricted g ~coalition ~player:2)
+
+(* --- Monotonicity / supermodularity ------------------------------------------ *)
+
+let test_supermodularity_checks () =
+  let carrier = C.add (C.add C.empty 0) 1 in
+  Alcotest.(check bool) "unanimity is supermodular" true
+    (Game.is_supermodular (Game.unanimity ~players:3 ~carrier));
+  Alcotest.(check bool) "unanimity is monotone" true
+    (Game.is_monotone (Game.unanimity ~players:3 ~carrier));
+  (* The paper's Prop 5.5 game is NOT supermodular. *)
+  Alcotest.(check bool) "scheduling game is not supermodular" false
+    (Experiments.Worked_examples.prop55_is_supermodular ())
+
+(* --- Banzhaf ------------------------------------------------------------------ *)
+
+let test_banzhaf () =
+  (* Additive games: Banzhaf = the weights (every marginal is the weight). *)
+  let weights = [| 2.; 5.; 1. |] in
+  Alcotest.check floats "additive" weights
+    (Exact.banzhaf (Game.additive ~weights));
+  (* Glove with two lefts (0,1) and one right (2): marginals computed by
+     hand give β = (1/4, 1/4, 3/4). *)
+  let g =
+    Game.glove ~left:(C.add (C.add C.empty 0) 1) ~right:(C.singleton 2)
+  in
+  Alcotest.check floats "glove raw" [| 0.25; 0.25; 0.75 |] (Exact.banzhaf g);
+  (* Normalized: scaled so the shares sum to v(grand) = 1. *)
+  let n = Exact.banzhaf_normalized g in
+  Alcotest.(check (float 1e-9)) "normalized sums to v" 1.
+    (Array.fold_left ( +. ) 0. n);
+  Alcotest.(check (float 1e-9)) "proportions kept" (0.75 /. 1.25) n.(2);
+  (* Dummy players get zero; symmetric players get equal values. *)
+  let base = random_game ~rng:(Fstats.Rng.create ~seed:51) ~players:3 in
+  let with_dummy =
+    Game.make ~players:4 (fun c -> Game.value base (C.remove c 3))
+  in
+  Alcotest.(check (float 1e-9)) "dummy" 0. (Exact.banzhaf with_dummy).(3)
+
+(* --- Sampling ------------------------------------------------------------------ *)
+
+let test_sample_count () =
+  (* N = ⌈k²/ε² ln(k/(1−λ))⌉ *)
+  let n = Sample.sample_count ~players:5 ~epsilon:0.5 ~confidence:0.9 in
+  Alcotest.(check int) "hoeffding bound" 392 n;
+  Alcotest.check_raises "bad epsilon"
+    (Invalid_argument "Sample.sample_count: epsilon <= 0") (fun () ->
+      ignore (Sample.sample_count ~players:5 ~epsilon:0. ~confidence:0.9))
+
+let test_estimate_additive_exact () =
+  (* For an additive game every marginal equals the weight, so even a single
+     sampled order recovers the Shapley value exactly. *)
+  let weights = [| 2.; 7.; 1. |] in
+  let g = Game.additive ~weights in
+  let rng = Fstats.Rng.create ~seed:33 in
+  Alcotest.check floats "one order suffices" weights (Sample.estimate ~n:1 ~rng g)
+
+let test_estimate_converges () =
+  let g =
+    Game.glove ~left:(C.add (C.add C.empty 0) 1) ~right:(C.singleton 2)
+  in
+  let rng = Fstats.Rng.create ~seed:34 in
+  let est = Sample.estimate ~n:4000 ~rng g in
+  let exact = Exact.subsets g in
+  Array.iteri
+    (fun u e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "player %d within 0.05" u)
+        true
+        (Float.abs (e -. exact.(u)) < 0.05))
+    est
+
+let test_plan_structure () =
+  let rng = Fstats.Rng.create ~seed:35 in
+  let plan = Sample.plan ~rng ~players:4 ~n:10 in
+  Alcotest.(check int) "10 orders" 10 (Array.length plan.Sample.orders);
+  Array.iteri
+    (fun i order ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "order %d is a permutation" i)
+        [ 0; 1; 2; 3 ]
+        (List.sort Stdlib.compare (Array.to_list order));
+      (* Prefix pairs chain correctly. *)
+      let c = ref C.empty in
+      Array.iteri
+        (fun j u ->
+          let before, after = plan.Sample.prefixes.(i).(j) in
+          Alcotest.(check int) "before matches chain" !c before;
+          Alcotest.(check int) "after adds u" (C.add !c u) after;
+          c := after)
+        order)
+    plan.Sample.orders;
+  (* distinct is de-duplicated and covers every coalition in the pairs. *)
+  let mem c = Array.exists (fun d -> d = c) plan.Sample.distinct in
+  Array.iter
+    (Array.iter (fun (b, a) ->
+         Alcotest.(check bool) "before in distinct" true (mem b);
+         Alcotest.(check bool) "after in distinct" true (mem a)))
+    plan.Sample.prefixes;
+  let sorted = Array.to_list plan.Sample.distinct in
+  Alcotest.(check int) "no duplicates"
+    (List.length sorted)
+    (List.length (List.sort_uniq Stdlib.compare sorted))
+
+let () =
+  Alcotest.run "shapley"
+    [
+      ( "coalition",
+        [
+          Alcotest.test_case "basics" `Quick test_coalition_basics;
+          Alcotest.test_case "enumeration" `Quick test_subcoalition_enumeration;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "additive" `Quick test_additive_game;
+          Alcotest.test_case "unanimity" `Quick test_unanimity_game;
+          Alcotest.test_case "glove" `Quick test_glove_game;
+          Alcotest.test_case "airport" `Quick test_airport_game;
+          Alcotest.test_case "weighted majority" `Quick test_weighted_majority;
+          Alcotest.test_case "subsets = permutations" `Quick
+            test_subsets_vs_permutations;
+          Alcotest.test_case "efficiency & dummy" `Quick
+            test_efficiency_and_dummy;
+          Alcotest.test_case "symmetry" `Quick test_symmetry_axiom;
+          Alcotest.test_case "exact rationals" `Quick test_exact_rational;
+          Alcotest.test_case "restricted subgame" `Quick test_restricted;
+          Alcotest.test_case "supermodularity" `Quick
+            test_supermodularity_checks;
+          Alcotest.test_case "banzhaf" `Quick test_banzhaf;
+        ] );
+      ( "sample",
+        [
+          Alcotest.test_case "hoeffding count" `Quick test_sample_count;
+          Alcotest.test_case "additive exact" `Quick
+            test_estimate_additive_exact;
+          Alcotest.test_case "convergence" `Quick test_estimate_converges;
+          Alcotest.test_case "plan structure" `Quick test_plan_structure;
+        ] );
+    ]

@@ -1,0 +1,189 @@
+(* Tests for the simulation driver, the fairness evaluation, and the
+   Section 6 utilization results. *)
+
+open Core
+
+let fifo = Algorithms.Registry.find_exn "fifo"
+
+let mk_jobs specs =
+  List.map
+    (fun (org, release, size) -> Job.make ~org ~index:0 ~release ~size ())
+    specs
+
+(* --- Driver ----------------------------------------------------------------- *)
+
+let test_driver_basic () =
+  let instance =
+    Instance.make ~machines:[| 1; 1 |]
+      ~jobs:(mk_jobs [ (0, 0, 3); (1, 0, 2); (0, 4, 1) ])
+      ~horizon:10
+  in
+  let r = Sim.Driver.run ~instance ~rng:(Fstats.Rng.create ~seed:1) fifo in
+  Alcotest.(check int) "three jobs placed" 3
+    (Schedule.job_count r.Sim.Driver.schedule);
+  (* ψsp by hand: org0 = (0,3) + (4,1) at t=10 → 3·(10−1) + 1·(10−4) = 33;
+     org1 = (0,2) → 2·(10−0.5) = 19. *)
+  Alcotest.(check (array int)) "utilities" [| 66; 38 |]
+    r.Sim.Driver.utilities_scaled;
+  Alcotest.(check int) "parts" (4 + 2) (Sim.Driver.total_parts r);
+  Alcotest.(check bool) "events counted" true (r.Sim.Driver.events >= 3)
+
+let test_driver_horizon_cutoff () =
+  (* Jobs that would start at or after the horizon are never started; a job
+     released before the horizon but unfinished contributes only its
+     executed parts. *)
+  let instance =
+    Instance.make ~machines:[| 1 |]
+      ~jobs:(mk_jobs [ (0, 0, 4); (0, 3, 10) ])
+      ~horizon:6
+  in
+  let r = Sim.Driver.run ~instance ~rng:(Fstats.Rng.create ~seed:1) fifo in
+  List.iter
+    (fun (p : Schedule.placement) ->
+      Alcotest.(check bool) "no start at/after horizon" true
+        (p.Schedule.start < 6))
+    (Schedule.placements r.Sim.Driver.schedule);
+  (* Second job starts at 4, runs slots 4,5 before the horizon: 2 parts. *)
+  Alcotest.(check int) "partial credit" (4 + 2) (Sim.Driver.total_parts r)
+
+let test_driver_no_record () =
+  let instance =
+    Instance.make ~machines:[| 1 |] ~jobs:(mk_jobs [ (0, 0, 1) ]) ~horizon:5
+  in
+  let r =
+    Sim.Driver.run ~record:false ~instance ~rng:(Fstats.Rng.create ~seed:1)
+      fifo
+  in
+  Alcotest.(check int) "schedule empty when not recording" 0
+    (Schedule.job_count r.Sim.Driver.schedule);
+  Alcotest.(check (array int)) "utilities still exact" [| 2 * 5 |]
+    r.Sim.Driver.utilities_scaled
+
+(* --- Fairness ---------------------------------------------------------------- *)
+
+let test_delta_ratio () =
+  let instance =
+    Instance.make ~machines:[| 1; 1 |]
+      ~jobs:(mk_jobs [ (0, 0, 2); (1, 0, 2) ])
+      ~horizon:10
+  in
+  let reference =
+    Sim.Driver.run ~instance ~rng:(Fstats.Rng.create ~seed:1) fifo
+  in
+  let delta, ratio = Sim.Fairness.delta_ratio ~reference reference in
+  Alcotest.(check int) "self distance 0" 0 delta;
+  Alcotest.(check (float 1e-9)) "self ratio 0" 0. ratio
+
+let test_evaluate_pipeline () =
+  let instance =
+    Workload.Scenario.instance
+      (Workload.Scenario.default ~norgs:3 ~machines:6 ~horizon:20_000
+         Workload.Traces.ricc)
+      ~seed:77
+  in
+  let reference, evals =
+    Sim.Fairness.evaluate ~instance ~seed:1
+      [ Algorithms.Registry.find_exn "ref"; Algorithms.Registry.find_exn "roundrobin" ]
+  in
+  Alcotest.(check string) "reference is ref" "ref" reference.Sim.Driver.policy;
+  (match evals with
+  | [ ref_eval; rr_eval ] ->
+      (* Running REF against the REF reference with the same instance is
+         deterministic → distance 0. *)
+      Alcotest.(check (float 1e-9)) "ref vs ref" 0. ref_eval.Sim.Fairness.ratio;
+      Alcotest.(check bool) "roundrobin not better than ref" true
+        (rr_eval.Sim.Fairness.ratio >= 0.)
+  | _ -> Alcotest.fail "expected two evaluations")
+
+(* --- Utilization (Section 6) --------------------------------------------------- *)
+
+let test_figure7_tightness () =
+  List.iter
+    (fun (m, p) ->
+      let instance = Sim.Utilization.figure7_instance ~m ~p in
+      let worst = Sim.Utilization.run_utilization ~instance ~seed:1 fifo in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "worst greedy m=%d p=%d" m p)
+        0.75 worst;
+      let opt =
+        Sim.Utilization.optimal_busy_time ~instance
+          ~upto:instance.Instance.horizon
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "optimum saturates m=%d p=%d" m p)
+        (m * 2 * p) opt)
+    [ (2, 2); (4, 3); (6, 2) ]
+
+let test_optimal_beats_greedy_never () =
+  (* optimal_busy_time is an upper bound for any greedy run. *)
+  let rng = Fstats.Rng.create ~seed:55 in
+  for _ = 1 to 25 do
+    let norgs = 2 in
+    let machines = [| 1; 1 |] in
+    let njobs = 1 + Fstats.Rng.int rng 5 in
+    let jobs =
+      List.init njobs (fun _ ->
+          Job.make
+            ~org:(Fstats.Rng.int rng norgs)
+            ~index:0
+            ~release:(Fstats.Rng.int rng 6)
+            ~size:(1 + Fstats.Rng.int rng 5)
+            ())
+    in
+    let horizon = 12 in
+    let instance = Instance.make ~machines ~jobs ~horizon in
+    let opt = Sim.Utilization.optimal_busy_time ~instance ~upto:horizon in
+    let bound =
+      Utility.Metrics.work_upper_bound
+        ~all_jobs:(Array.to_list instance.Instance.jobs)
+        ~machines:2 ~upto:horizon
+    in
+    Alcotest.(check bool) "opt <= work bound" true (opt <= bound);
+    List.iter
+      (fun name ->
+        let r =
+          Sim.Driver.run ~instance ~rng:(Fstats.Rng.create ~seed:9)
+            (Algorithms.Registry.find_exn name)
+        in
+        let busy = Schedule.busy_time r.Sim.Driver.schedule ~upto:horizon in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s busy %d <= opt %d" name busy opt)
+          true (busy <= opt);
+        (* Theorem 6.2: every greedy run achieves at least 3/4 of the
+           optimum. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "%s 3/4-competitive (%d vs %d)" name busy opt)
+          true
+          (4 * busy >= 3 * opt))
+      [ "fifo"; "random"; "roundrobin"; "longest-queue" ]
+  done
+
+let test_work_bound () =
+  let instance = Sim.Utilization.figure7_instance ~m:4 ~p:3 in
+  Alcotest.(check (float 1e-9))
+    "work bound on saturated family" 1.0
+    (Sim.Utilization.work_bound_utilization ~instance
+       ~upto:instance.Instance.horizon)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "driver",
+        [
+          Alcotest.test_case "basic run" `Quick test_driver_basic;
+          Alcotest.test_case "horizon cutoff" `Quick test_driver_horizon_cutoff;
+          Alcotest.test_case "no record" `Quick test_driver_no_record;
+        ] );
+      ( "fairness",
+        [
+          Alcotest.test_case "delta ratio" `Quick test_delta_ratio;
+          Alcotest.test_case "evaluate pipeline" `Quick test_evaluate_pipeline;
+        ] );
+      ( "utilization",
+        [
+          Alcotest.test_case "figure 7 tightness" `Quick test_figure7_tightness;
+          Alcotest.test_case "greedy 3/4-competitive" `Quick
+            test_optimal_beats_greedy_never;
+          Alcotest.test_case "work bound" `Quick test_work_bound;
+        ] );
+    ]

@@ -1,0 +1,231 @@
+(* Tests for the RNG / distributions / summary substrate. *)
+
+module Rng = Fstats.Rng
+module Dist = Fstats.Dist
+module Summary = Fstats.Summary
+
+let draws rng n f = List.init n (fun _ -> f rng)
+
+let test_determinism () =
+  let a = draws (Rng.create ~seed:42) 100 (fun r -> Rng.int r 1000) in
+  let b = draws (Rng.create ~seed:42) 100 (fun r -> Rng.int r 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" a b;
+  let c = draws (Rng.create ~seed:43) 100 (fun r -> Rng.int r 1000) in
+  Alcotest.(check bool) "different seed, different stream" false (a = c)
+
+let test_split_independence () =
+  (* The child stream depends only on the parent state at split time, not on
+     what the parent draws afterwards. *)
+  let p1 = Rng.create ~seed:7 in
+  let c1 = Rng.split p1 in
+  let _ = draws p1 50 (fun r -> Rng.int r 10) in
+  let child_draws1 = draws c1 20 (fun r -> Rng.int r 1000) in
+  let p2 = Rng.create ~seed:7 in
+  let c2 = Rng.split p2 in
+  let child_draws2 = draws c2 20 (fun r -> Rng.int r 1000) in
+  Alcotest.(check (list int)) "child unaffected by parent" child_draws1
+    child_draws2
+
+let test_bounds () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in rng ~lo:(-5) ~hi:5 in
+    Alcotest.(check bool) "int_in in range" true (x >= -5 && x <= 5);
+    let f = Rng.unit_float rng in
+    Alcotest.(check bool) "unit_float in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_shuffle () =
+  let rng = Rng.create ~seed:5 in
+  let original = List.init 50 Fun.id in
+  let shuffled = Rng.shuffle rng original in
+  Alcotest.(check (list int))
+    "shuffle is a permutation" original
+    (List.sort Stdlib.compare shuffled);
+  let p = Rng.permutation rng 100 in
+  Alcotest.(check (list int))
+    "permutation covers 0..n-1"
+    (List.init 100 Fun.id)
+    (List.sort Stdlib.compare (Array.to_list p))
+
+let mean_of f rng n =
+  let s = Summary.create () in
+  for _ = 1 to n do
+    Summary.add s (f rng)
+  done;
+  Summary.mean s
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:11 in
+  let m = mean_of (fun r -> Dist.exponential r ~rate:0.5) rng 20_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f ≈ 2.0" m)
+    true
+    (Float.abs (m -. 2.0) < 0.1)
+
+let test_lognormal_median () =
+  let rng = Rng.create ~seed:12 in
+  let xs =
+    List.init 20_001 (fun _ -> Dist.lognormal rng ~mu:(log 100.) ~sigma:1.5)
+  in
+  let med = Summary.median xs in
+  Alcotest.(check bool)
+    (Printf.sprintf "median %.1f ≈ 100" med)
+    true
+    (med > 80. && med < 125.)
+
+let test_geometric () =
+  let rng = Rng.create ~seed:13 in
+  let m =
+    mean_of (fun r -> float_of_int (Dist.geometric r ~p:0.25)) rng 20_000
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f ≈ 3.0" m)
+    true
+    (Float.abs (m -. 3.0) < 0.15);
+  Alcotest.(check int) "p=1 gives 0" 0 (Dist.geometric rng ~p:1.)
+
+let test_poisson () =
+  let rng = Rng.create ~seed:14 in
+  let m = mean_of (fun r -> float_of_int (Dist.poisson r ~mean:7.5)) rng 20_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "small-mean %.3f ≈ 7.5" m)
+    true
+    (Float.abs (m -. 7.5) < 0.2);
+  let m =
+    mean_of (fun r -> float_of_int (Dist.poisson r ~mean:800.)) rng 5_000
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "large-mean %.1f ≈ 800" m)
+    true
+    (Float.abs (m -. 800.) < 5.)
+
+let test_weibull_pareto_normal () =
+  let rng = Rng.create ~seed:17 in
+  (* Weibull median = scale · (ln 2)^(1/shape). *)
+  let xs = List.init 20_001 (fun _ -> Dist.weibull rng ~shape:1.5 ~scale:10.) in
+  let med = Summary.median xs in
+  let expected = 10. *. (log 2. ** (1. /. 1.5)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "weibull median %.2f ≈ %.2f" med expected)
+    true
+    (Float.abs (med -. expected) < 0.5);
+  (* Pareto median = scale · 2^(1/shape); support starts at scale. *)
+  let xs = List.init 20_001 (fun _ -> Dist.pareto rng ~shape:2. ~scale:3.) in
+  List.iter
+    (fun x -> Alcotest.(check bool) "pareto support" true (x >= 3.))
+    xs;
+  let med = Summary.median xs in
+  Alcotest.(check bool)
+    (Printf.sprintf "pareto median %.2f ≈ %.2f" med (3. *. sqrt 2.))
+    true
+    (Float.abs (med -. (3. *. sqrt 2.)) < 0.2);
+  let s = Summary.create () in
+  for _ = 1 to 20_000 do
+    Summary.add s (Dist.normal rng ~mean:5. ~std:2.)
+  done;
+  Alcotest.(check bool) "normal mean" true (Float.abs (Summary.mean s -. 5.) < 0.1);
+  Alcotest.(check bool) "normal std" true (Float.abs (Summary.stddev s -. 2.) < 0.1);
+  let u = Dist.uniform rng ~lo:2. ~hi:7. in
+  Alcotest.(check bool) "uniform bounds" true (u >= 2. && u < 7.)
+
+let test_zipf () =
+  let w = Dist.zipf_weights ~n:10 ~s:1.0 in
+  let total = Array.fold_left ( +. ) 0. w in
+  Alcotest.(check (float 1e-9)) "normalized" 1.0 total;
+  for i = 0 to 8 do
+    Alcotest.(check bool) "monotone decreasing" true (w.(i) > w.(i + 1))
+  done;
+  let rng = Rng.create ~seed:15 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let r = Dist.zipf rng ~n:10 ~s:1.0 in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most frequent" true
+    (Array.for_all (fun c -> c <= counts.(0)) counts)
+
+let test_categorical_zero_weight () =
+  let rng = Rng.create ~seed:16 in
+  for _ = 1 to 1000 do
+    let i = Dist.categorical rng [| 0.; 1.; 0.; 2. |] in
+    Alcotest.(check bool) "never picks zero-weight index" true (i = 1 || i = 3)
+  done
+
+let test_split_integer () =
+  let shares = Dist.split_integer ~total:10 ~weights:[| 1.; 1.; 1. |] in
+  Alcotest.(check int) "sums to total" 10 (Array.fold_left ( + ) 0 shares);
+  Array.iter
+    (fun s -> Alcotest.(check bool) "at least one" true (s >= 1))
+    shares;
+  let shares = Dist.split_integer ~total:100 ~weights:[| 3.; 1. |] in
+  Alcotest.(check bool)
+    (Printf.sprintf "roughly proportional: %d vs %d" shares.(0) shares.(1))
+    true
+    (shares.(0) > shares.(1) && abs (shares.(0) - 74) <= 2);
+  Alcotest.check_raises "total < parts"
+    (Invalid_argument "Dist.split_integer: total < parts") (fun () ->
+      ignore (Dist.split_integer ~total:2 ~weights:[| 1.; 1.; 1. |]))
+
+let test_summary () =
+  let s = Summary.of_list [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Summary.mean s);
+  Alcotest.(check (float 1e-6)) "stddev (sample)" 2.138089935 (Summary.stddev s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Summary.max s);
+  Alcotest.(check int) "count" 8 (Summary.count s);
+  Alcotest.(check (float 1e-9))
+    "empty mean" 0.
+    (Summary.mean (Summary.create ()));
+  Alcotest.(check (float 1e-9))
+    "median" 4.5
+    (Summary.median [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ]);
+  Alcotest.(check (float 1e-9))
+    "p0 = min" 2.0
+    (Summary.percentile [ 2.; 4.; 9. ] ~p:0.);
+  Alcotest.(check (float 1e-9))
+    "p100 = max" 9.0
+    (Summary.percentile [ 2.; 4.; 9. ] ~p:100.)
+
+let qcheck_welford =
+  QCheck.Test.make ~name:"welford matches naive variance" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Summary.of_list xs in
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0. xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+        /. (n -. 1.)
+      in
+      Float.abs (Summary.variance s -. var) < 1e-6 *. (1. +. var))
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "split independence" `Quick test_split_independence;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "shuffle & permutation" `Quick test_shuffle;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "lognormal median" `Quick test_lognormal_median;
+          Alcotest.test_case "geometric mean" `Quick test_geometric;
+          Alcotest.test_case "poisson mean" `Quick test_poisson;
+          Alcotest.test_case "weibull/pareto/normal" `Quick
+            test_weibull_pareto_normal;
+          Alcotest.test_case "zipf" `Quick test_zipf;
+          Alcotest.test_case "categorical zero weights" `Quick
+            test_categorical_zero_weight;
+          Alcotest.test_case "split_integer" `Quick test_split_integer;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "summary stats" `Quick test_summary;
+          QCheck_alcotest.to_alcotest qcheck_welford;
+        ] );
+    ]

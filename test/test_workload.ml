@@ -1,0 +1,269 @@
+(* Tests for the SWF format, the synthetic trace models, and the
+   scenario partitioning. *)
+
+module Swf = Workload.Swf
+module Traces = Workload.Traces
+module Scenario = Workload.Scenario
+
+(* --- SWF ---------------------------------------------------------------- *)
+
+let sample_swf =
+  "; Computer: test cluster\n\
+   ; MaxProcs: 8\n\
+   1 0 2 30 1 -1 -1 1 -1 -1 1 4 -1 -1 -1 -1 -1 -1\n\
+   2 10 0 60 2 -1 -1 2 -1 -1 1 5 -1 -1 -1 -1 -1 -1\n\
+   \n\
+   3 5 1 -1 1 -1 -1 1 -1 -1 0 6 -1 -1 -1 -1 -1 -1\n\
+   4 20 0 15 0 -1 -1 0 -1 -1 1 7 -1 -1 -1 -1 -1 -1\n"
+
+let test_parse () =
+  let t = Swf.parse_string sample_swf in
+  Alcotest.(check int) "two header lines" 2 (List.length t.Swf.header);
+  (* job 3 has run_time −1 and job 4 has 0 processors: both skipped. *)
+  Alcotest.(check int) "two valid entries" 2 (List.length t.Swf.entries);
+  let e1 = List.hd t.Swf.entries in
+  Alcotest.(check int) "job id" 1 e1.Swf.job_id;
+  Alcotest.(check int) "submit" 0 e1.Swf.submit;
+  Alcotest.(check int) "run time" 30 e1.Swf.run_time;
+  Alcotest.(check int) "processors" 1 e1.Swf.processors;
+  Alcotest.(check int) "user" 4 e1.Swf.user
+
+let test_parse_line_edge_cases () =
+  Alcotest.(check bool) "comment" true (Swf.parse_line "; foo" = None);
+  Alcotest.(check bool) "blank" true (Swf.parse_line "   " = None);
+  Alcotest.(check bool) "garbage" true (Swf.parse_line "a b c" = None);
+  Alcotest.(check bool) "short line" true (Swf.parse_line "1 2 3" = None);
+  (* Tabs as separators are accepted. *)
+  Alcotest.(check bool) "tabs" true
+    (Swf.parse_line "1\t0\t0\t10\t1\t-1\t-1\t1\t-1\t-1\t1\t2\t-1\t-1\t-1\t-1\t-1\t-1"
+     <> None)
+
+let test_roundtrip () =
+  let t = Swf.parse_string sample_swf in
+  let t' = Swf.parse_string (Swf.to_string t) in
+  Alcotest.(check int) "entries survive" (List.length t.Swf.entries)
+    (List.length t'.Swf.entries);
+  List.iter2
+    (fun (a : Swf.entry) (b : Swf.entry) ->
+      Alcotest.(check bool) "entry equal" true (a = b))
+    t.Swf.entries t'.Swf.entries
+
+let test_to_jobs_expansion () =
+  let t = Swf.parse_string sample_swf in
+  let jobs = Swf.to_jobs ~org_of_user:(fun u -> u mod 2) t in
+  (* Entry 1: 1 processor; entry 2: 2 processors → 3 sequential jobs. *)
+  Alcotest.(check int) "parallel jobs sequentialized" 3 (List.length jobs);
+  let of_user5 =
+    List.filter (fun (j : Core.Job.t) -> j.Core.Job.user = 5) jobs
+  in
+  Alcotest.(check int) "two copies of the 2-proc job" 2 (List.length of_user5);
+  List.iter
+    (fun (j : Core.Job.t) ->
+      Alcotest.(check int) "same duration" 60 j.Core.Job.size;
+      Alcotest.(check int) "org from user" 1 j.Core.Job.org)
+    of_user5
+
+(* --- Synthetic traces ------------------------------------------------------ *)
+
+let test_models_registered () =
+  Alcotest.(check int) "four models" 4 (List.length Traces.all);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (m.Traces.name ^ " resolvable") true
+        (Traces.by_name m.Traces.name = Some m))
+    Traces.all;
+  Alcotest.(check bool) "unknown model" true (Traces.by_name "nope" = None)
+
+let test_generate_determinism () =
+  let gen seed =
+    Traces.generate Traces.lpc_egee
+      ~rng:(Fstats.Rng.create ~seed)
+      ~machines:16 ~duration:20_000 ()
+  in
+  Alcotest.(check bool) "same seed same trace" true (gen 3 = gen 3);
+  Alcotest.(check bool) "different seed different trace" false (gen 3 = gen 4)
+
+let test_generate_shape () =
+  List.iter
+    (fun model ->
+      let entries =
+        Traces.generate model
+          ~rng:(Fstats.Rng.create ~seed:8)
+          ~machines:16 ~duration:50_000 ()
+      in
+      Alcotest.(check bool)
+        (model.Traces.name ^ " nonempty")
+        true
+        (List.length entries > 0);
+      let sorted = ref true and last = ref 0 in
+      List.iter
+        (fun (e : Swf.entry) ->
+          if e.Swf.submit < !last then sorted := false;
+          last := e.Swf.submit;
+          Alcotest.(check bool) "submit within window" true
+            (e.Swf.submit >= 0 && e.Swf.submit < 50_000);
+          Alcotest.(check bool) "positive run time" true (e.Swf.run_time >= 1);
+          Alcotest.(check bool) "valid user" true
+            (e.Swf.user >= 0 && e.Swf.user < model.Traces.native_users))
+        entries;
+      Alcotest.(check bool) (model.Traces.name ^ " sorted") true !sorted)
+    Traces.all
+
+let test_generate_load_calibration () =
+  (* The offered work should track load · machines · duration within a
+     factor accounting for the heavy-tailed size draw. *)
+  let model = Traces.lpc_egee in
+  let machines = 32 and duration = 200_000 in
+  let entries =
+    Traces.generate model
+      ~rng:(Fstats.Rng.create ~seed:10)
+      ~machines ~duration ()
+  in
+  let work =
+    List.fold_left (fun acc (e : Swf.entry) -> acc + e.Swf.run_time) 0 entries
+  in
+  let target = model.Traces.load *. float_of_int (machines * duration) in
+  let ratio = float_of_int work /. target in
+  Alcotest.(check bool)
+    (Printf.sprintf "offered work ratio %.2f in [0.4, 2.5]" ratio)
+    true
+    (ratio > 0.4 && ratio < 2.5)
+
+(* --- Scenario ---------------------------------------------------------------- *)
+
+let spec = Scenario.default ~norgs:5 ~machines:20 ~horizon:10_000 Traces.lpc_egee
+
+let test_machine_split () =
+  let rng = Fstats.Rng.create ~seed:12 in
+  let split = Scenario.machine_split spec ~rng in
+  Alcotest.(check int) "five orgs" 5 (Array.length split);
+  Alcotest.(check int) "sums to pool" 20 (Array.fold_left ( + ) 0 split);
+  Array.iter
+    (fun m -> Alcotest.(check bool) "at least 1 machine" true (m >= 1))
+    split;
+  let uniform =
+    Scenario.machine_split { spec with Scenario.endowment = Scenario.Uniform }
+      ~rng
+  in
+  Array.iter (fun m -> Alcotest.(check int) "uniform 4 each" 4 m) uniform;
+  let exact =
+    Scenario.machine_split
+      { spec with Scenario.endowment = Scenario.Exact [| 10; 4; 3; 2; 1 |] }
+      ~rng
+  in
+  Alcotest.(check (array int)) "exact" [| 10; 4; 3; 2; 1 |] exact
+
+let test_user_map () =
+  let rng = Fstats.Rng.create ~seed:13 in
+  let map = Scenario.user_map spec ~rng in
+  Alcotest.(check int) "all users mapped" 56 (Array.length map);
+  let seen = Array.make 5 false in
+  Array.iter (fun org -> seen.(org) <- true) map;
+  Alcotest.(check bool) "every org has a user" true (Array.for_all Fun.id seen)
+
+let test_instance_assembly () =
+  let i = Scenario.instance spec ~seed:21 in
+  Alcotest.(check int) "orgs" 5 (Core.Instance.organizations i);
+  Alcotest.(check int) "machines" 20 (Core.Instance.total_machines i);
+  Alcotest.(check bool) "has jobs" true (Core.Instance.job_count i > 0);
+  Array.iter
+    (fun (j : Core.Job.t) ->
+      Alcotest.(check bool) "released before horizon" true
+        (j.Core.Job.release < 10_000))
+    i.Core.Instance.jobs;
+  let i2 = Scenario.instance spec ~seed:21 in
+  Alcotest.(check bool) "deterministic" true
+    (i.Core.Instance.jobs = i2.Core.Instance.jobs
+    && i.Core.Instance.machines = i2.Core.Instance.machines)
+
+let test_window_instances () =
+  let rng = Fstats.Rng.create ~seed:19 in
+  let trace =
+    Traces.generate Traces.lpc_egee ~rng ~machines:16 ~duration:100_000 ()
+  in
+  let wspec = Scenario.default ~norgs:4 ~machines:12 ~horizon:20_000 Traces.lpc_egee in
+  let windows = Scenario.window_instances wspec ~seed:3 ~trace ~count:5 in
+  Alcotest.(check int) "five windows" 5 (List.length windows);
+  List.iter
+    (fun i ->
+      Alcotest.(check int) "machines" 12 (Core.Instance.total_machines i);
+      Array.iter
+        (fun (j : Core.Job.t) ->
+          Alcotest.(check bool) "shifted into window" true
+            (j.Core.Job.release >= 0 && j.Core.Job.release < 20_000))
+        i.Core.Instance.jobs)
+    windows;
+  (* Windows differ (different sub-traces). *)
+  let counts = List.map Core.Instance.job_count windows in
+  Alcotest.(check bool) "windows differ" true
+    (List.length (List.sort_uniq Stdlib.compare counts) > 1);
+  Alcotest.check_raises "trace too short"
+    (Invalid_argument "Scenario.window_instances: trace shorter than the horizon")
+    (fun () ->
+      ignore
+        (Scenario.window_instances
+           (Scenario.default ~horizon:200_000 Traces.lpc_egee)
+           ~seed:1 ~trace ~count:1))
+
+let qcheck_swf_fuzz =
+  QCheck.Test.make ~name:"parser never raises on garbage" ~count:500
+    QCheck.(string_gen QCheck.Gen.printable)
+    (fun garbage ->
+      let (_ : Swf.t) = Swf.parse_string garbage in
+      (match Swf.parse_line garbage with Some _ | None -> ());
+      true)
+
+let qcheck_swf_numeric_fuzz =
+  QCheck.Test.make ~name:"parser tolerates arbitrary numeric fields" ~count:500
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 20) int)
+    (fun fields ->
+      let line = String.concat " " (List.map string_of_int fields) in
+      (match Swf.parse_line line with
+      | Some e ->
+          e.Swf.run_time > 0 && e.Swf.processors >= 1 && e.Swf.submit >= 0
+      | None -> true))
+
+let test_save_load_file () =
+  let rng = Fstats.Rng.create ~seed:14 in
+  let entries =
+    Traces.generate Traces.pik_iplex ~rng ~machines:8 ~duration:5_000 ()
+  in
+  let path = Filename.temp_file "fairsched" ".swf" in
+  Swf.save path { Swf.header = [ "test" ]; entries };
+  let loaded = Swf.load path in
+  Sys.remove path;
+  Alcotest.(check int) "file roundtrip" (List.length entries)
+    (List.length loaded.Swf.entries)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "swf",
+        [
+          Alcotest.test_case "parse" `Quick test_parse;
+          Alcotest.test_case "parse edge cases" `Quick
+            test_parse_line_edge_cases;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "to_jobs expansion" `Quick test_to_jobs_expansion;
+          Alcotest.test_case "file save/load" `Quick test_save_load_file;
+        ] );
+      ( "swf-fuzz",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_swf_fuzz; qcheck_swf_numeric_fuzz ] );
+      ( "traces",
+        [
+          Alcotest.test_case "models registered" `Quick test_models_registered;
+          Alcotest.test_case "determinism" `Quick test_generate_determinism;
+          Alcotest.test_case "shape" `Quick test_generate_shape;
+          Alcotest.test_case "load calibration" `Quick
+            test_generate_load_calibration;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "machine split" `Quick test_machine_split;
+          Alcotest.test_case "user map" `Quick test_user_map;
+          Alcotest.test_case "instance assembly" `Quick test_instance_assembly;
+          Alcotest.test_case "window sampling" `Quick test_window_instances;
+        ] );
+    ]
