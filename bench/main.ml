@@ -9,6 +9,34 @@
 let section name = Format.printf "@.=== %s ===@.@." name
 let progress line = Format.eprintf "  .. %s@." line
 
+(* Machine-readable output: sections push JSON fragments here; `--json PATH`
+   (or the BENCH_JSON environment variable) writes them out as one object,
+   alongside the wall time of every section that ran. *)
+
+let json_acc : (string * string) list ref = ref []
+let record_json name value = json_acc := (name, value) :: !json_acc
+let wall_acc : (string * float) list ref = ref []
+
+let write_json path =
+  let buf = Buffer.create 1024 in
+  let sections =
+    Printf.sprintf "{%s}"
+      (String.concat ","
+         (List.rev_map
+            (fun (n, s) -> Printf.sprintf "\n    %S: {\"wall_seconds\": %.3f}" n s)
+            !wall_acc))
+  in
+  let entries = ("sections", sections) :: List.rev !json_acc in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map (fun (n, v) -> Printf.sprintf "  %S: %s" n v) entries));
+  Buffer.add_string buf "\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Format.printf "@.wrote %s@." path
+
 (* --- E1: Figure 2 worked example -------------------------------------- *)
 
 let fig2 () =
@@ -232,6 +260,60 @@ let preemption ~instances () =
      heuristics: unfairness comes@.   from ignoring contributions, not from \
      the no-preemption constraint)@."
 
+(* --- E23: sequential vs parallel REF ----------------------------------- *)
+
+let ref_scaling ~ks ~horizon () =
+  section "ref_scaling — sequential vs domain-parallel REF wall-clock";
+  let cores = Domain.recommended_domain_count () in
+  let par_workers = Stdlib.max 2 (cores - 1) in
+  let machines = 16 in
+  Format.printf "  cores=%d  parallel workers=%d  machines=%d@.@." cores
+    par_workers machines;
+  Format.printf "  %-3s %-8s | %-10s %-10s %-8s %-9s@." "k" "horizon"
+    "seq (s)" "par (s)" "speedup" "identical";
+  let rows =
+    List.map
+      (fun k ->
+        let instance =
+          Workload.Scenario.instance
+            (Workload.Scenario.default ~norgs:k ~machines ~horizon
+               Workload.Traces.lpc_egee)
+            ~seed:42
+        in
+        let run workers =
+          let rng = Fstats.Rng.create ~seed:7 in
+          let t0 = Unix.gettimeofday () in
+          let r =
+            Sim.Driver.run ~record:false ~workers ~instance ~rng
+              (Algorithms.Reference.make ())
+          in
+          (Unix.gettimeofday () -. t0, r)
+        in
+        let seq_s, seq_r = run 1 in
+        let par_s, par_r = run par_workers in
+        let identical =
+          seq_r.Sim.Driver.utilities_scaled = par_r.Sim.Driver.utilities_scaled
+          && seq_r.Sim.Driver.parts = par_r.Sim.Driver.parts
+        in
+        let speedup = seq_s /. Stdlib.max 1e-9 par_s in
+        Format.printf "  %-3d %-8d | %-10.3f %-10.3f %-8.2f %-9b@." k horizon
+          seq_s par_s speedup identical;
+        if not identical then
+          Format.printf "  !! parallel REF diverged from sequential at k=%d@."
+            k;
+        Printf.sprintf
+          "{\"k\": %d, \"horizon\": %d, \"machines\": %d, \"cores\": %d, \
+           \"workers_seq\": 1, \"workers_par\": %d, \"seq_seconds\": %.6f, \
+           \"par_seconds\": %.6f, \"speedup\": %.4f, \"identical\": %b}"
+          k horizon machines cores par_workers seq_s par_s speedup identical)
+      ks
+  in
+  record_json "ref_scaling"
+    (Printf.sprintf "[\n    %s\n  ]" (String.concat ",\n    " rows));
+  Format.printf
+    "  (bit-identical utilities are asserted on every row; the speedup \
+     column@.   only means anything on a multi-core machine)@."
+
 (* --- E12: Bechamel micro-benchmarks ------------------------------------ *)
 
 let micro () =
@@ -278,26 +360,80 @@ let micro () =
     (List.sort Stdlib.compare !rows)
 
 let () =
-  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  let argv = Sys.argv in
+  let has flag = Array.exists (fun a -> a = flag) argv in
+  let value_of flag =
+    let r = ref None in
+    Array.iteri
+      (fun i a -> if a = flag && i + 1 < Array.length argv then r := Some argv.(i + 1))
+      argv;
+    !r
+  in
+  let quick = has "--quick" in
+  let smoke = has "--smoke" in
+  let only = value_of "--only" in
+  let json_path =
+    match value_of "--json" with
+    | Some _ as p -> p
+    | None -> Sys.getenv_opt "BENCH_JSON"
+  in
+  let sections =
+    if smoke then
+      (* Tiny ref_scaling only: the `dune build @bench-smoke` alias. *)
+      [ ("ref_scaling", ref_scaling ~ks:[ 4 ] ~horizon:4_000) ]
+    else
+      [
+        ("fig2", fig2);
+        ("prop55", prop55);
+        ("utilization", utilization);
+        ( "table1",
+          fun () ->
+            table ~name:"table1 — Δψ/p_tot, horizon 5·10⁴ (Table 1)"
+              ~config:
+                (Experiments.Tables.table1_config
+                   ~instances:(if quick then 2 else 100) ()) );
+        ( "table2",
+          fun () ->
+            table ~name:"table2 — Δψ/p_tot, horizon 5·10⁵ (Table 2)"
+              ~config:
+                (Experiments.Tables.table2_config
+                   ~instances:(if quick then 1 else 20) ()) );
+        ( "fig10",
+          fig10 ~instances:(if quick then 2 else 20)
+            ~max_orgs:(if quick then 5 else 8) );
+        ("timeline", timeline ~instances:(if quick then 1 else 4));
+        ("ablations", ablations ~instances:(if quick then 2 else 12));
+        ("hardness", hardness);
+        ("estimator", estimator);
+        ("stability", stability);
+        ("extensions", extensions);
+        ("preemption", preemption ~instances:(if quick then 2 else 8));
+        ( "ref_scaling",
+          ref_scaling
+            ~ks:(if quick then [ 4; 6 ] else [ 4; 6; 8 ])
+            ~horizon:(if quick then 10_000 else 20_000) );
+        ("micro", micro);
+      ]
+  in
+  let wanted =
+    match only with
+    | None -> sections
+    | Some o -> List.filter (fun (n, _) -> n = o) sections
+  in
+  if wanted = [] then begin
+    Format.eprintf "no such section %S; known: %s@."
+      (Option.value only ~default:"")
+      (String.concat ", " (List.map fst sections));
+    exit 1
+  end;
   let t0 = Unix.gettimeofday () in
   Format.printf
     "Non-monetary fair scheduling (SPAA 2013) — reproduction benches@.";
-  fig2 ();
-  prop55 ();
-  utilization ();
-  table ~name:"table1 — Δψ/p_tot, horizon 5·10⁴ (Table 1)"
-    ~config:
-      (Experiments.Tables.table1_config ~instances:(if quick then 2 else 100) ());
-  table ~name:"table2 — Δψ/p_tot, horizon 5·10⁵ (Table 2)"
-    ~config:
-      (Experiments.Tables.table2_config ~instances:(if quick then 1 else 20) ());
-  fig10 ~instances:(if quick then 2 else 20) ~max_orgs:(if quick then 5 else 8) ();
-  timeline ~instances:(if quick then 1 else 4) ();
-  ablations ~instances:(if quick then 2 else 12) ();
-  hardness ();
-  estimator ();
-  stability ();
-  extensions ();
-  preemption ~instances:(if quick then 2 else 8) ();
-  micro ();
+  List.iter
+    (fun (name, f) ->
+      let s0 = Unix.gettimeofday () in
+      f ();
+      wall_acc := (name, Unix.gettimeofday () -. s0) :: !wall_acc)
+    wanted;
+  Option.iter write_json json_path;
   Format.printf "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -55,6 +55,17 @@ let instances_arg default =
     & info [ "instances"; "n" ] ~docv:"N"
         ~doc:"Random instances per experimental cell.")
 
+let workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel-capable algorithms (REF's \
+           sub-coalition engine).  1 forces strictly sequential execution; \
+           the default is $(b,Domain.recommended_domain_count () - 1).  \
+           Results are bit-identical for every worker count.")
+
 let csv_arg =
   Arg.(
     value
@@ -86,7 +97,7 @@ let simulate_cmd =
       value & flag
       & info [ "gantt" ] ~doc:"Draw an ASCII Gantt chart of the schedule.")
   in
-  let run model algo norgs machines horizon seed gantt =
+  let run model algo norgs machines horizon seed workers gantt =
     match Algorithms.Registry.find algo with
     | None ->
         Format.printf "unknown algorithm %S@." algo;
@@ -98,7 +109,7 @@ let simulate_cmd =
         let instance = Workload.Scenario.instance spec ~seed in
         Format.printf "%a@." Core.Instance.pp instance;
         let rng = Fstats.Rng.create ~seed in
-        let result = Sim.Driver.run ~instance ~rng maker in
+        let result = Sim.Driver.run ?workers ~instance ~rng maker in
         Format.printf "%a@." Sim.Driver.pp_result result;
         Format.printf "utilization: %.3f  wall: %.2fs@."
           (Core.Schedule.utilization result.Sim.Driver.schedule ~upto:horizon)
@@ -111,7 +122,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one algorithm on one synthetic scenario.")
     Term.(
       const run $ model_arg $ algo_arg $ norgs_arg $ machines_arg
-      $ horizon_arg 50_000 $ seed_arg $ gantt_arg)
+      $ horizon_arg 50_000 $ seed_arg $ workers_arg $ gantt_arg)
 
 (* --- table ----------------------------------------------------------- *)
 

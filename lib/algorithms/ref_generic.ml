@@ -10,10 +10,14 @@ type gsim = {
 
 type state = {
   k : int;
+  workers : int;
   grand : Coalition.t;
   utility : Utility.Functions.t;
   sims : gsim option array;  (* indexed by mask; None for grand/machine-less *)
-  by_size : Coalition.t list;
+  by_size : int array array;
+      (* by_size.(s-1): simulated masks of size s, ascending — grouped at
+         construction so the staged loops iterate without list allocation *)
+  all_masks : int array;  (* simulated masks, ascending *)
 }
 
 let machine_owners_of instance mask =
@@ -25,7 +29,12 @@ let machine_owners_of instance mask =
     mask []
   |> List.rev |> Array.of_list
 
-let create_state ~utility instance =
+let create_state ~utility ?workers instance =
+  let workers =
+    match workers with
+    | Some w -> Stdlib.max 1 w
+    | None -> Core.Domain_pool.default_workers ()
+  in
   let k = Instance.organizations instance in
   if k > 8 then
     invalid_arg
@@ -33,26 +42,29 @@ let create_state ~utility instance =
        schedules; use k <= 8 (or Reference for psp)";
   let grand = Coalition.grand ~players:k in
   let sims = Array.make (grand + 1) None in
-  let by_size = ref [] in
-  List.iter
-    (List.iter (fun mask ->
-         if mask <> grand then begin
-           let owners = machine_owners_of instance mask in
-           if Array.length owners > 0 then begin
-             sims.(mask) <-
-               Some
-                 {
-                   mask;
-                   cluster =
-                     Cluster.create ~record:true ~machine_owners:owners
-                       ~norgs:k ();
-                   backlog = Queue.create ();
-                 };
-             by_size := mask :: !by_size
-           end
-         end))
-    (Coalition.proper_subcoalitions_of_grand ~players:k);
-  { k; grand; utility; sims; by_size = List.rev !by_size }
+  for mask = 1 to grand - 1 do
+    let owners = machine_owners_of instance mask in
+    if Array.length owners > 0 then
+      sims.(mask) <-
+        Some
+          {
+            mask;
+            cluster =
+              Cluster.create ~record:true ~machine_owners:owners ~norgs:k ();
+            backlog = Queue.create ();
+          }
+  done;
+  let masks_of_size s =
+    let acc = ref [] in
+    for mask = grand - 1 downto 1 do
+      if sims.(mask) <> None && Coalition.size mask = s then acc := mask :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let by_size = Array.init k (fun i -> masks_of_size (i + 1)) in
+  let all_masks = Array.concat (Array.to_list by_size) in
+  Array.sort Stdlib.compare all_masks;
+  { k; workers; grand; utility; sims; by_size; all_masks }
 
 let schedule_of_sim sim =
   Schedule.of_placements
@@ -135,7 +147,14 @@ let select_in st ~schedule_of ~mask ~waiting ~front ~at =
 
 (* Lockstep advance of all sub-coalition simulations, exactly like
    [Reference.advance_all] but with recorded schedules and the generic
-   selection rule. *)
+   selection rule.  The arrival/completion step is independent across sims
+   and the scheduling round of a coalition only reads the schedules of
+   strictly smaller ones (frozen within the instant), so both run as
+   parallel stages over the persistent pool when [workers > 1] — with the
+   same size-ascending staging as {!Reference}, and bit-identical results
+   for every worker count.  The k <= 8 cap keeps the O(2^k) earliest-event
+   fold trivial (<= 255 sims), so unlike {!Reference} no event heap is
+   needed here. *)
 let advance_all st ~time =
   let next_event sim =
     let release =
@@ -149,7 +168,7 @@ let advance_all st ~time =
     | Some r, Some c -> Some (Stdlib.min r c)
   in
   let earliest () =
-    List.fold_left
+    Array.fold_left
       (fun acc mask ->
         match st.sims.(mask) with
         | None -> acc
@@ -157,7 +176,7 @@ let advance_all st ~time =
             match next_event sim with
             | None -> acc
             | Some tau -> Stdlib.min acc tau))
-      max_int st.by_size
+      max_int st.all_masks
   in
   let step sim ~tau =
     let rec releases () =
@@ -183,53 +202,59 @@ let advance_all st ~time =
       | Some sim -> schedule_of_sim sim
       | None -> empty_schedule
   in
+  let iter_masks masks f =
+    let task i =
+      match st.sims.(masks.(i)) with
+      | None -> ()
+      | Some sim -> f masks.(i) sim
+    in
+    if st.workers > 1 then
+      Core.Domain_pool.parallel_iter ~workers:st.workers task
+        (Array.length masks)
+    else
+      for i = 0 to Array.length masks - 1 do
+        task i
+      done
+  in
   let rec loop () =
     let tau = earliest () in
     if tau <= time then begin
-      List.iter
-        (fun mask ->
-          match st.sims.(mask) with
-          | None -> ()
-          | Some sim -> step sim ~tau)
-        st.by_size;
-      List.iter
-        (fun mask ->
-          match st.sims.(mask) with
-          | None -> ()
-          | Some sim ->
-              while
-                Cluster.free_count sim.cluster > 0
-                && Cluster.has_waiting sim.cluster
-              do
-                let org =
-                  select_in st ~schedule_of ~mask
-                    ~waiting:(Cluster.waiting_orgs sim.cluster)
-                    ~front:(Cluster.front sim.cluster)
-                    ~at:tau
-                in
-                ignore (Cluster.start_front sim.cluster ~org ~time:tau ())
-              done)
-        st.by_size;
+      iter_masks st.all_masks (fun _mask sim -> step sim ~tau);
+      for s = 1 to st.k - 1 do
+        iter_masks st.by_size.(s - 1) (fun mask sim ->
+            while
+              Cluster.free_count sim.cluster > 0
+              && Cluster.has_waiting sim.cluster
+            do
+              let org =
+                select_in st ~schedule_of ~mask
+                  ~waiting:(Cluster.waiting_orgs sim.cluster)
+                  ~front:(Cluster.front sim.cluster)
+                  ~at:tau
+              in
+              ignore (Cluster.start_front sim.cluster ~org ~time:tau ())
+            done)
+      done;
       loop ()
     end
   in
   loop ()
 
-let make ~utility ?name () instance ~rng:_ =
-  let st = create_state ~utility instance in
+let make ~utility ?name ?workers () instance ~rng:_ =
+  let st = create_state ~utility ?workers instance in
   let name =
     Option.value name
       ~default:("ref-generic-" ^ utility.Utility.Functions.name)
   in
   Policy.make ~name
     ~on_release:(fun _view ~time:_ job ->
-      List.iter
+      Array.iter
         (fun mask ->
           if Coalition.mem mask job.Job.org then
             match st.sims.(mask) with
             | Some sim -> Queue.add job sim.backlog
             | None -> ())
-        st.by_size)
+        st.all_masks)
     ~select:(fun view ~time ->
       advance_all st ~time;
       let schedule_of mask =
@@ -249,8 +274,8 @@ let make ~utility ?name () instance ~rng:_ =
         ~at:time)
     ()
 
-let make_with utility_of ?name () instance ~rng =
-  make ~utility:(utility_of instance) ?name () instance ~rng
+let make_with utility_of ?name ?workers () instance ~rng =
+  make ~utility:(utility_of instance) ?name ?workers () instance ~rng
 
 let ref_psp instance ~rng =
   make ~utility:Utility.Functions.psp ~name:"ref-generic-psp" () instance ~rng

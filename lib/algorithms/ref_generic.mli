@@ -23,12 +23,19 @@ open Core
     utility-function ablation.  For production use with ψsp, use
     {!Reference}, which this module is property-tested against. *)
 
-val make : utility:Utility.Functions.t -> ?name:string -> unit -> Policy.maker
+val make :
+  utility:Utility.Functions.t -> ?name:string -> ?workers:int -> unit ->
+  Policy.maker
 (** The driver must run with [record:true] (the default) — the grand
-    coalition's utilities are evaluated on the recorded schedule. *)
+    coalition's utilities are evaluated on the recorded schedule.
+    [workers] caps the domains used for the per-instant parallel stages
+    (1 = strictly sequential); defaults to the driver's domain-local
+    default ({!Core.Domain_pool.default_workers}).  Output is bit-identical
+    for every worker count. *)
 
 val make_with :
-  (Instance.t -> Utility.Functions.t) -> ?name:string -> unit -> Policy.maker
+  (Instance.t -> Utility.Functions.t) -> ?name:string -> ?workers:int ->
+  unit -> Policy.maker
 (** Like {!make} for utilities that need the instance (e.g.
     {!Utility.Functions.neg_flow_time} needs the job list). *)
 

@@ -4,58 +4,173 @@ module Coalition = Shapley.Coalition
 
 type concept = Shapley_value | Banzhaf_value
 
+(* The REF advancement engine.
+
+   Three optimizations over the straightforward Fig. 1 transcription (see
+   DESIGN.md, "Performance engineering"):
+
+   - a global event heap of (next-event-time, mask) entries replaces the
+     O(2^k) fold that recomputed the earliest pending sub-coalition event
+     at every instant.  Entries are lower bounds, lazily re-keyed on pop;
+     only sub-coalitions that actually have an event at an instant are
+     stepped (a coalition cannot start a job between its own events: its
+     machines stay saturated-or-drained until a completion or release of
+     its own).
+
+   - per-instant work is staged and domain-parallel: arrivals/completions
+     are independent across sims, and the scheduling round of a coalition
+     only reads the (frozen-within-the-instant) values of strictly smaller
+     coalitions, so each size class s = 1..k-1 is an independent parallel
+     stage (Fig. 1's [for s <- 1 to ||C||] loop).  Stages run on the
+     persistent pool in Core.Domain_pool; with [workers = 1] the same
+     stages run inline and the engine is strictly sequential.
+
+   - the inner 3^k Shapley sum is allocation-free: weight tables are
+     hoisted into per-size float arrays at construction, popcounts come
+     from a precomputed table, and the subset walk runs over a preflattened
+     int array (for k <= 12; an inline submask walk beyond) instead of
+     closure-based iterators.
+
+   Outputs are bit-identical across worker counts: parallelism only spans
+   sims that do not read each other's mutable state within an instant, and
+   every float accumulates in the same order as the sequential engine. *)
+
 type internals = {
   concept : concept;
   k : int;
+  workers : int;
   grand : Coalition.t;
   sims : Coalition_sim.t option array;
       (* indexed by mask; None for the grand coalition (the driver's own
          cluster plays that role), the empty mask, and machine-less
          coalitions (their value is identically 0: nothing ever runs). *)
-  by_size : Coalition.t list;
-      (* proper non-empty simulated masks, size-ascending *)
+  all_masks : int array;  (* simulated masks, ascending *)
+  by_size : int array array;
+      (* by_size.(s-1): simulated masks of size s, ascending — grouped at
+         construction so the staged loops iterate without list allocation *)
+  size_tbl : int array;  (* popcount per mask *)
+  weights : float array array;
+      (* weights.(n).(s-1): marginal weight of a size-s subset inside a
+         size-n coalition — Shapley (s-1)!(n-s)!/n! or Banzhaf 1/2^(n-1) *)
+  subsets_flat : int array array;
+      (* per mask: its non-empty subsets in canonical walk order (the mask
+         itself first, then the decreasing submask walk); [||] means "walk
+         inline" (k > 12, where 3^k ints would not be worth the memory) *)
   v2_val : int array;
   v2_stamp : int array;  (* instant at which v2_val was computed *)
-  phi2_cache : (Coalition.t, float array) Hashtbl.t;
-  mutable phi2_stamp : int;
+  phi2_val : float array array;
+  phi2_stamp : int array;  (* instant at which phi2_val was computed *)
+  heap : int Heap.t;  (* global event queue: prio = time, value = mask *)
+  heap_key : int array;
+      (* smallest key of a live heap entry per mask (max_int if unknown):
+         lets releases skip pushing when an earlier entry already covers
+         the sim, keeping the heap near one entry per active mask *)
+  gathered : int array;  (* instant at which the mask was last gathered *)
+  active_buf : int array;  (* scratch: masks with an event at the instant *)
+  stage_buf : int array;  (* scratch: the size-class slice of active_buf *)
   pending : Instant.t;  (* grand-coalition pending starts *)
 }
 
-let create_internals ?(concept = Shapley_value) instance =
+let create_internals ?(concept = Shapley_value) ?workers instance =
+  let workers =
+    match workers with
+    | Some w -> Stdlib.max 1 w
+    | None -> Domain_pool.default_workers ()
+  in
   let k = Instance.organizations instance in
   if k > 16 then
     invalid_arg "Reference: more than 16 organizations is impractical (2^k \
                  schedules)";
   let grand = Coalition.grand ~players:k in
   let nmasks = grand + 1 in
+  let size_tbl = Array.make nmasks 0 in
+  for mask = 1 to nmasks - 1 do
+    size_tbl.(mask) <- size_tbl.(mask lsr 1) + (mask land 1)
+  done;
   let has_machines mask =
     Coalition.fold (fun u acc -> acc + instance.Instance.machines.(u)) mask 0
     > 0
   in
   let sims = Array.make nmasks None in
-  let by_size = ref [] in
-  List.iter
-    (List.iter (fun mask ->
-         if mask <> grand && has_machines mask then begin
-           sims.(mask) <- Some (Coalition_sim.create ~instance ~members:mask);
-           by_size := mask :: !by_size
-         end))
-    (Coalition.proper_subcoalitions_of_grand ~players:k);
+  let n_sims = ref 0 in
+  for mask = 1 to grand - 1 do
+    if has_machines mask then begin
+      sims.(mask) <- Some (Coalition_sim.create ~instance ~members:mask);
+      incr n_sims
+    end
+  done;
+  let all_masks = Array.make !n_sims 0 in
+  let counts = Array.make k 0 in
+  let pos = ref 0 in
+  for mask = 1 to grand - 1 do
+    if sims.(mask) <> None then begin
+      all_masks.(!pos) <- mask;
+      incr pos;
+      counts.(size_tbl.(mask) - 1) <- counts.(size_tbl.(mask) - 1) + 1
+    end
+  done;
+  let by_size = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make k 0 in
+  Array.iter
+    (fun mask ->
+      let s = size_tbl.(mask) - 1 in
+      by_size.(s).(fill.(s)) <- mask;
+      fill.(s) <- fill.(s) + 1)
+    all_masks;
+  let weights = Array.make (k + 1) [||] in
+  for n = 1 to k do
+    weights.(n) <-
+      Array.init n (fun s ->
+          match concept with
+          | Shapley_value ->
+              Numeric.Combinatorics.shapley_weight_float ~players:n ~subset:s
+          | Banzhaf_value -> 1. /. float_of_int (1 lsl (n - 1)))
+  done;
+  let subsets_flat = Array.make nmasks [||] in
+  if k <= 12 then begin
+    (* 3^k - 2^k ints in total: ~4 MB at k = 12.  Canonical order: the mask
+       itself, then the decreasing submask walk, empty set excluded. *)
+    let flatten mask =
+      let arr = Array.make ((1 lsl size_tbl.(mask)) - 1) 0 in
+      let idx = ref 0 in
+      let sub = ref mask in
+      while !sub <> 0 do
+        arr.(!idx) <- !sub;
+        incr idx;
+        sub := (!sub - 1) land mask
+      done;
+      arr
+    in
+    Array.iter (fun mask -> subsets_flat.(mask) <- flatten mask) all_masks;
+    subsets_flat.(grand) <- flatten grand
+  end;
   {
     concept;
     k;
+    workers;
     grand;
     sims;
-    by_size = List.rev !by_size;
+    all_masks;
+    by_size;
+    size_tbl;
+    weights;
+    subsets_flat;
     v2_val = Array.make nmasks 0;
     v2_stamp = Array.make nmasks min_int;
-    phi2_cache = Hashtbl.create 64;
-    phi2_stamp = min_int;
+    phi2_val = Array.make nmasks [||];
+    phi2_stamp = Array.make nmasks min_int;
+    heap = Heap.create ();
+    heap_key = Array.make nmasks max_int;
+    gathered = Array.make nmasks min_int;
+    active_buf = Array.make (Stdlib.max 1 !n_sims) 0;
+    stage_buf = Array.make (Stdlib.max 1 !n_sims) 0;
     pending = Instant.create ~norgs:k;
   }
 
 (* 2·v(mask) at [time] for simulated masks; machine-less or empty masks are
-   identically 0. *)
+   identically 0.  During a parallel scheduling stage every simulated mask
+   has already been stamped at [time] (see [process_instant]), so this is a
+   pure read there; the lazy write path only runs on the owning domain. *)
 let v2_sim st ~mask ~time =
   if mask = Coalition.empty then 0
   else
@@ -68,34 +183,41 @@ let v2_sim st ~mask ~time =
         end;
         st.v2_val.(mask)
 
-(* Shapley contributions (×2) of the members of [mask], using the current
-   sub-coalition values; [v2_top] supplies v2 of [mask] itself (for the
-   grand coalition it comes from the driver's trackers, not a sim). *)
+(* Shapley/Banzhaf contributions (×2) of the members of [mask], from the
+   current sub-coalition values; [v2_top] supplies v2 of [mask] itself (for
+   the grand coalition it comes from the driver's trackers, not a sim).
+   Allocation-free inner loop: one float array out, no closures per subset,
+   weights and popcounts from tables. *)
 let phi2_of st ~mask ~time ~v2_top =
-  let size_mask = Coalition.size mask in
   let phi = Array.make st.k 0. in
-  let banzhaf_w = 1. /. float_of_int (1 lsl (size_mask - 1)) in
-  Coalition.iter_subsets mask (fun sub ->
-      if sub <> Coalition.empty then begin
-        let s = Coalition.size sub in
-        let w =
-          match st.concept with
-          | Shapley_value ->
-              Numeric.Combinatorics.shapley_weight_float ~players:size_mask
-                ~subset:(s - 1)
-          | Banzhaf_value -> banzhaf_w
-        in
-        let v_sub = if sub = mask then v2_top else v2_sim st ~mask:sub ~time in
-        Coalition.iter_members
-          (fun u ->
-            let without = Coalition.remove sub u in
-            let v_without =
-              if without = mask then v2_top
-              else v2_sim st ~mask:without ~time
-            in
-            phi.(u) <- phi.(u) +. (w *. float_of_int (v_sub - v_without)))
-          sub
-      end);
+  let w_tbl = st.weights.(st.size_tbl.(mask)) in
+  let add_subset sub =
+    let w = w_tbl.(st.size_tbl.(sub) - 1) in
+    let v_sub = if sub = mask then v2_top else v2_sim st ~mask:sub ~time in
+    (* members of [sub] ascending, like Coalition.iter_members *)
+    let rem = ref sub and u = ref 0 in
+    while !rem <> 0 do
+      if !rem land 1 <> 0 then begin
+        let v_without = v2_sim st ~mask:(sub land lnot (1 lsl !u)) ~time in
+        phi.(!u) <- phi.(!u) +. (w *. float_of_int (v_sub - v_without))
+      end;
+      rem := !rem lsr 1;
+      incr u
+    done
+  in
+  let subs = st.subsets_flat.(mask) in
+  if Array.length subs > 0 then
+    for i = 0 to Array.length subs - 1 do
+      add_subset subs.(i)
+    done
+  else begin
+    (* k > 12 fallback: same walk, same order, no table *)
+    let sub = ref mask in
+    while !sub <> 0 do
+      add_subset !sub;
+      sub := (!sub - 1) land mask
+    done
+  end;
   (* The Banzhaf value is not efficient; normalize the members' shares to
      the coalition value so the (φ − ψ) comparisons stay on one scale. *)
   (match st.concept with
@@ -108,25 +230,21 @@ let phi2_of st ~mask ~time ~v2_top =
       end);
   phi
 
-(* Selection rule inside a simulated coalition: argmax (φ − ψ) among waiting
-   members, ψ evaluated with the pending (+1 per started part) convention.
-   φ2 arrays are memoized per (mask, instant): coalition values do not
-   change within an instant (a job started now has no executed part yet). *)
-let select_in_sim st ~mask sim ~time =
-  if st.phi2_stamp <> time then begin
-    Hashtbl.reset st.phi2_cache;
-    st.phi2_stamp <- time
+(* φ2 arrays are memoized per (mask, instant): coalition values do not
+   change within an instant (a job started now has no executed part yet).
+   Each slot is only ever touched by the domain scheduling that mask, so
+   the per-mask arrays need no locking. *)
+let phi2_cached st ~mask ~time ~v2_top =
+  if st.phi2_stamp.(mask) <> time then begin
+    st.phi2_val.(mask) <- phi2_of st ~mask ~time ~v2_top;
+    st.phi2_stamp.(mask) <- time
   end;
-  let phi2 =
-    match Hashtbl.find_opt st.phi2_cache mask with
-    | Some phi -> phi
-    | None ->
-        let phi =
-          phi2_of st ~mask ~time ~v2_top:(v2_sim st ~mask ~time)
-        in
-        Hashtbl.add st.phi2_cache mask phi;
-        phi
-  in
+  st.phi2_val.(mask)
+
+(* Selection rule inside a simulated coalition: argmax (φ − ψ) among waiting
+   members, ψ evaluated with the pending (+1 per started part) convention. *)
+let select_in_sim st ~mask sim ~time =
+  let phi2 = phi2_cached st ~mask ~time ~v2_top:(v2_sim st ~mask ~time) in
   let score u =
     let psi2 =
       Coalition_sim.utility_scaled sim ~org:u ~at:time
@@ -141,42 +259,144 @@ let select_in_sim st ~mask sim ~time =
         (fun best u -> if score u > score best then u else best)
         first rest
 
-(* Advance every simulated sub-coalition to [time], in global event order;
-   at each instant, arrivals and completions are applied to all coalitions
-   first, then the scheduling rounds run size-ascending (Fig. 1's
-   [for s ← 1 to ‖C‖]). *)
-let advance_all st ~time =
-  let next_event () =
-    List.fold_left
-      (fun acc mask ->
-        match st.sims.(mask) with
-        | None -> acc
-        | Some sim -> (
-            match Coalition_sim.next_event sim with
-            | None -> acc
-            | Some tau -> Stdlib.min acc tau))
-      max_int st.by_size
+(* --- the global event heap ---------------------------------------------- *)
+
+(* Invariant: every sim with a pending event at time t has a live heap entry
+   with key <= t.  Keys may undershoot (a release pushed while an earlier
+   completion was pending keeps both entries); stale entries are re-keyed or
+   dropped when popped.  [heap_key] tracks the smallest live key per mask so
+   releases can skip pushing when already covered. *)
+let heap_push st ~time mask =
+  if time < st.heap_key.(mask) then begin
+    Heap.add st.heap ~prio:time mask;
+    st.heap_key.(mask) <- time
+  end
+
+let note_popped st ~key mask =
+  if st.heap_key.(mask) = key then st.heap_key.(mask) <- max_int
+
+let reschedule st mask =
+  match st.sims.(mask) with
+  | None -> ()
+  | Some sim -> (
+      match Coalition_sim.next_event sim with
+      | Some t -> heap_push st ~time:t mask
+      | None -> ())
+
+(* Pop every entry due at [tau] and collect the masks that genuinely have an
+   event there into [active_buf] (deduplicated via the [gathered] stamps);
+   stale entries are dropped or re-keyed.  Returns the number gathered. *)
+let gather st ~tau =
+  let count = ref 0 in
+  let rec go () =
+    match Heap.pop_le st.heap tau with
+    | None -> ()
+    | Some (key, mask) ->
+        note_popped st ~key mask;
+        (match st.sims.(mask) with
+        | None -> ()
+        | Some sim ->
+            if st.gathered.(mask) <> tau then (
+              match Coalition_sim.next_event sim with
+              | None -> ()
+              | Some t when t > tau -> heap_push st ~time:t mask
+              | Some _ ->
+                  st.gathered.(mask) <- tau;
+                  st.active_buf.(!count) <- mask;
+                  incr count));
+        go ()
   in
-  let rec loop () =
-    let tau = next_event () in
-    if tau <= time then begin
-      List.iter
-        (fun mask ->
-          match st.sims.(mask) with
-          | None -> ()
+  go ();
+  !count
+
+(* --- per-instant processing --------------------------------------------- *)
+
+let process_instant st ~tau ~n_active =
+  let active = st.active_buf in
+  let par = st.workers > 1 in
+  let iter f n =
+    if par then Domain_pool.parallel_iter ~workers:st.workers f n
+    else
+      for i = 0 to n - 1 do
+        f i
+      done
+  in
+  (* Stage 1: arrivals and completions — independent across sims. *)
+  let step i =
+    match st.sims.(active.(i)) with
+    | Some sim -> Coalition_sim.step_releases_and_completions sim ~time:tau
+    | None -> ()
+  in
+  iter step n_active;
+  let need_round = ref false in
+  for i = 0 to n_active - 1 do
+    match st.sims.(active.(i)) with
+    | Some sim ->
+        if Coalition_sim.free_count sim > 0 && Coalition_sim.has_waiting sim
+        then need_round := true
+    | None -> ()
+  done;
+  if !need_round then begin
+    (* Stage 2 (parallel engine only): pin 2·v of every sub-coalition at
+       [tau] before any round runs, so the parallel rounds below only read
+       the v2 cache.  Values are frozen within the instant either way; the
+       sequential engine keeps the lazy per-read path. *)
+    if par then begin
+      let refresh i =
+        let mask = st.all_masks.(i) in
+        if st.v2_stamp.(mask) <> tau then begin
+          (match st.sims.(mask) with
           | Some sim ->
-              Coalition_sim.step_releases_and_completions sim ~time:tau)
-        st.by_size;
-      List.iter
-        (fun mask ->
+              st.v2_val.(mask) <- Coalition_sim.value_scaled sim ~at:tau
+          | None -> ());
+          st.v2_stamp.(mask) <- tau
+        end
+      in
+      iter refresh (Array.length st.all_masks)
+    end;
+    (* Stage 3: scheduling rounds, size-ascending (Fig. 1's [for s <- 1 to
+       ||C||]); masks of equal size never read each other's state, so each
+       size class is one parallel stage. *)
+    for s = 1 to st.k - 1 do
+      let stage = st.stage_buf in
+      let m = ref 0 in
+      for i = 0 to n_active - 1 do
+        let mask = active.(i) in
+        if st.size_tbl.(mask) = s then begin
+          stage.(!m) <- mask;
+          incr m
+        end
+      done;
+      if !m > 0 then begin
+        let run i =
+          let mask = stage.(i) in
           match st.sims.(mask) with
-          | None -> ()
           | Some sim ->
               Coalition_sim.schedule_round sim ~time:tau
-                ~select:(fun sim ~time -> select_in_sim st ~mask sim ~time))
-        st.by_size;
-      loop ()
-    end
+                ~select:(fun sim ~time -> select_in_sim st ~mask sim ~time)
+          | None -> ()
+        in
+        iter run !m
+      end
+    done
+  end;
+  (* Stage 4: re-key the processed sims. *)
+  for i = 0 to n_active - 1 do
+    reschedule st active.(i)
+  done
+
+(* Advance every simulated sub-coalition through all events at instants
+   <= [time], in global event order.  The heap minimum is a lower bound on
+   the true next instant: a gather that comes up empty has corrected the
+   stale keys, so the loop makes progress either way. *)
+let advance_all st ~time =
+  let rec loop () =
+    match Heap.min_prio st.heap with
+    | Some t0 when t0 <= time ->
+        let n_active = gather st ~tau:t0 in
+        if n_active > 0 then process_instant st ~tau:t0 ~n_active;
+        loop ()
+    | Some _ | None -> ()
   in
   loop ()
 
@@ -187,37 +407,37 @@ let grand_v2 (view : Policy.view) ~time =
 
 let contributions_scaled st ~view ~time =
   advance_all st ~time;
-  phi2_of st ~mask:st.grand ~time ~v2_top:(grand_v2 view ~time)
+  phi2_cached st ~mask:st.grand ~time ~v2_top:(grand_v2 view ~time)
 
 let coalition_value_scaled st ~mask ~time =
   advance_all st ~time;
   v2_sim st ~mask ~time
 
-let make_with_internals ?(name = "ref") ?concept () instance ~rng:_ =
-  let st = create_internals ?concept instance in
-  let grand_phi_stamp = ref min_int in
-  let grand_phi = ref [||] in
+let make_with_internals ?(name = "ref") ?concept ?workers () instance ~rng:_ =
+  let st = create_internals ?concept ?workers instance in
   let policy =
     Policy.make ~name
       ~on_release:(fun _view ~time:_ job ->
         let org = job.Job.org in
-        List.iter
+        Array.iter
           (fun mask ->
             if Coalition.mem mask org then
               match st.sims.(mask) with
-              | Some sim -> Coalition_sim.add_release sim job
+              | Some sim ->
+                  Coalition_sim.add_release sim job;
+                  heap_push st
+                    ~time:
+                      (Stdlib.max job.Job.release (Coalition_sim.now sim))
+                    mask
               | None -> ())
-          st.by_size)
+          st.all_masks)
       ~on_start:(fun _view ~time p ->
         Instant.bump st.pending ~time ~org:p.Schedule.job.Job.org)
       ~select:(fun view ~time ->
         advance_all st ~time;
-        if !grand_phi_stamp <> time then begin
-          grand_phi :=
-            phi2_of st ~mask:st.grand ~time ~v2_top:(grand_v2 view ~time);
-          grand_phi_stamp := time
-        end;
-        let phi2 = !grand_phi in
+        let phi2 =
+          phi2_cached st ~mask:st.grand ~time ~v2_top:(grand_v2 view ~time)
+        in
         let score u =
           let psi2 =
             Policy.utility_plus_pending_scaled view ~pending:st.pending
@@ -235,8 +455,8 @@ let make_with_internals ?(name = "ref") ?concept () instance ~rng:_ =
   in
   (policy, st)
 
-let make ?name () instance ~rng =
-  fst (make_with_internals ?name () instance ~rng)
+let make ?name ?concept ?workers () instance ~rng =
+  fst (make_with_internals ?name ?concept ?workers () instance ~rng)
 
 let reference instance ~rng = make () instance ~rng
 

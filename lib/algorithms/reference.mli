@@ -19,7 +19,18 @@ open Core
     instant, exactly like the [for s ← 1 to ‖C‖] loop of Fig. 1.
 
     The driver's own cluster plays the role of the grand coalition's
-    schedule, so the utilities REF is fair about are the real ones. *)
+    schedule, so the utilities REF is fair about are the real ones.
+
+    {b Engine.}  The advancement engine is event-driven and optionally
+    domain-parallel: a global min-heap of (next-event-time, coalition)
+    entries replaces the per-instant scan over all 2^k − 1 simulations, and
+    within one instant the arrival/completion step and each size class of
+    scheduling rounds run as parallel stages over the persistent
+    {!Core.Domain_pool} (coalitions of equal size never read each other's
+    state, and all coalition values are frozen within an instant).  Results
+    are bit-identical for every worker count — parallelism never reorders
+    any float accumulation or selection; see DESIGN.md, "Performance
+    engineering". *)
 
 val reference : Policy.maker
 (** The paper's REF under the name ["ref"]. *)
@@ -32,16 +43,25 @@ val banzhaf : Policy.maker
     not efficient).  Named ["ref-banzhaf"]; the fairness-concept ablation
     measures how far its schedules drift from the Shapley-fair ones. *)
 
-val make : ?name:string -> unit -> Policy.maker
+type concept = Shapley_value | Banzhaf_value
+
+val make :
+  ?name:string -> ?concept:concept -> ?workers:int -> unit -> Policy.maker
+(** [make ?name ?concept ?workers ()] builds a REF maker.  [workers] caps
+    the number of domains the engine may use per stage (1 = strictly
+    sequential, never touches the pool); it defaults to the driver's
+    domain-local default ({!Core.Domain_pool.default_workers}, i.e.
+    [Domain.recommended_domain_count () - 1] unless overridden via
+    [Sim.Driver.run ?workers]).  The schedule produced is bit-identical for
+    every worker count. *)
 
 (** {2 Introspection (for tests and the worked examples)} *)
 
 type internals
 
-type concept = Shapley_value | Banzhaf_value
-
 val make_with_internals :
-  ?name:string -> ?concept:concept -> unit -> Instance.t -> rng:Fstats.Rng.t -> Policy.t * internals
+  ?name:string -> ?concept:concept -> ?workers:int -> unit -> Instance.t ->
+  rng:Fstats.Rng.t -> Policy.t * internals
 
 val contributions_scaled : internals -> view:Policy.view -> time:int -> float array
 (** [2·φ(u)] of every organization in the grand coalition, at [time]

@@ -1,0 +1,157 @@
+let recommended_workers () =
+  Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+
+(* Domain-local default, installed by Sim.Driver.run ?workers around policy
+   construction. *)
+let default_key : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let default_workers () =
+  match Domain.DLS.get default_key with
+  | Some w -> Stdlib.max 1 w
+  | None -> recommended_workers ()
+
+let with_default_workers w f =
+  let prev = Domain.DLS.get default_key in
+  Domain.DLS.set default_key w;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set default_key prev) f
+
+(* One batch of [n] independent tasks.  Workers (and the submitter) pull
+   indices off [next]; the last task completion broadcasts [work_done].
+   Keeping the per-batch state in its own record makes late-waking workers
+   harmless: a worker that grabs an already-finished batch finds its counter
+   exhausted and goes back to sleep. *)
+type batch = {
+  f : int -> unit;
+  n : int;
+  limit : int;  (* helper domains allowed to join this batch *)
+  next : int Atomic.t;
+  completed : int Atomic.t;
+  mutable err : (int * exn * Printexc.raw_backtrace) option;
+}
+
+type pool = {
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable gen : int;  (* bumped once per submitted batch *)
+  mutable current : batch option;
+  submit : Mutex.t;  (* held for the whole lifetime of a batch *)
+  nhelpers : int;
+}
+
+let record_error p batch i e bt =
+  Mutex.lock p.mutex;
+  (match batch.err with
+  | Some (j, _, _) when j <= i -> ()
+  | Some _ | None -> batch.err <- Some (i, e, bt));
+  Mutex.unlock p.mutex
+
+let run_tasks p batch =
+  let rec go () =
+    let i = Atomic.fetch_and_add batch.next 1 in
+    if i < batch.n then begin
+      (try batch.f i
+       with e -> record_error p batch i e (Printexc.get_raw_backtrace ()));
+      if Atomic.fetch_and_add batch.completed 1 + 1 = batch.n then begin
+        Mutex.lock p.mutex;
+        Condition.broadcast p.work_done;
+        Mutex.unlock p.mutex
+      end;
+      go ()
+    end
+  in
+  go ()
+
+let worker p idx () =
+  let rec loop seen_gen =
+    Mutex.lock p.mutex;
+    while p.gen = seen_gen do
+      Condition.wait p.work_ready p.mutex
+    done;
+    let gen = p.gen in
+    let batch = p.current in
+    Mutex.unlock p.mutex;
+    (match batch with
+    | Some b when idx < b.limit -> run_tasks p b
+    | Some _ | None -> ());
+    loop gen
+  in
+  loop 0
+
+let the_pool = ref None
+let the_pool_mutex = Mutex.create ()
+
+let get_pool () =
+  Mutex.lock the_pool_mutex;
+  let p =
+    match !the_pool with
+    | Some p -> p
+    | None ->
+        (* At least one helper even on single-core machines, so the
+           cross-domain code path is real wherever it is requested. *)
+        let nhelpers = Stdlib.max 1 (Domain.recommended_domain_count () - 1) in
+        let p =
+          {
+            mutex = Mutex.create ();
+            work_ready = Condition.create ();
+            work_done = Condition.create ();
+            gen = 0;
+            current = None;
+            submit = Mutex.create ();
+            nhelpers;
+          }
+        in
+        for idx = 0 to nhelpers - 1 do
+          ignore (Domain.spawn (worker p idx))
+        done;
+        the_pool := Some p;
+        p
+  in
+  Mutex.unlock the_pool_mutex;
+  p
+
+let helpers () = (get_pool ()).nhelpers
+
+let sequential_iter f n =
+  for i = 0 to n - 1 do
+    f i
+  done
+
+let parallel_iter ?workers f n =
+  let w = match workers with Some w -> w | None -> default_workers () in
+  if n <= 0 then ()
+  else if w <= 1 || n < 2 then sequential_iter f n
+  else
+    let p = get_pool () in
+    if not (Mutex.try_lock p.submit) then
+      (* A batch is already in flight (nested or concurrent submission):
+         run inline rather than wait — never deadlocks, stays deterministic. *)
+      sequential_iter f n
+    else begin
+      let batch =
+        {
+          f;
+          n;
+          limit = Stdlib.min p.nhelpers (w - 1);
+          next = Atomic.make 0;
+          completed = Atomic.make 0;
+          err = None;
+        }
+      in
+      Mutex.lock p.mutex;
+      p.current <- Some batch;
+      p.gen <- p.gen + 1;
+      Condition.broadcast p.work_ready;
+      Mutex.unlock p.mutex;
+      run_tasks p batch;
+      Mutex.lock p.mutex;
+      while Atomic.get batch.completed < batch.n do
+        Condition.wait p.work_done p.mutex
+      done;
+      p.current <- None;
+      Mutex.unlock p.mutex;
+      Mutex.unlock p.submit;
+      match batch.err with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end

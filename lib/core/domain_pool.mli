@@ -1,0 +1,46 @@
+(** A persistent, process-wide pool of worker domains (OCaml 5 multicore).
+
+    The REF engine dispatches thousands of tiny parallel stages per
+    simulation (one per event instant and size class); spawning domains per
+    stage would dominate the work.  This pool spawns its helper domains once,
+    parks them on a condition variable, and hands each submitted batch out
+    through an atomic task counter.  The submitting domain always
+    participates, so [parallel_iter ~workers:w] uses at most [w] domains in
+    total ([w - 1] helpers plus the caller).
+
+    Batches are serialized: if a batch is already in flight (or the pool has
+    no helpers, or [workers <= 1]), [parallel_iter] degrades to an inline
+    sequential loop on the calling domain.  This makes nested or concurrent
+    use (e.g. REF instances running inside an {!Experiments.Pool.map} sweep)
+    safe by construction — no deadlock, at worst no extra parallelism.
+
+    Tasks must be independent: the pool guarantees nothing about execution
+    order.  All deterministic users (the REF engine) only submit
+    order-independent stages. *)
+
+val recommended_workers : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1. *)
+
+val default_workers : unit -> int
+(** The domain-local default worker count: the value installed by
+    {!with_default_workers} if any, otherwise {!recommended_workers}. *)
+
+val with_default_workers : int option -> (unit -> 'a) -> 'a
+(** [with_default_workers w f] runs [f] with the domain-local default worker
+    count set to [w] ([None] restores the {!recommended_workers} fallback);
+    the previous default is restored afterwards.  Used by the simulation
+    driver to thread [?workers] to policy constructors without changing the
+    [Policy.maker] signature. *)
+
+val helpers : unit -> int
+(** Number of helper domains in the global pool, creating the pool on first
+    use (at least one helper, so the cross-domain path is exercised even on
+    single-core machines). *)
+
+val parallel_iter : ?workers:int -> (int -> unit) -> int -> unit
+(** [parallel_iter ~workers f n] runs [f 0 .. f (n-1)], using up to
+    [workers] domains in total (default {!default_workers}).  Falls back to
+    an inline sequential loop when [workers <= 1], [n < 2], or another batch
+    is in flight.  If tasks raise, the exception of the lowest-indexed
+    failing task is re-raised (with its backtrace) after the whole batch has
+    been attempted. *)

@@ -1,7 +1,7 @@
-let recommended_workers () =
-  Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+let recommended_workers = Core.Domain_pool.recommended_workers
+let parallel_iter = Core.Domain_pool.parallel_iter
 
-type 'b slot = Pending | Done of 'b | Failed of exn
+type 'b slot = Pending | Done of 'b | Failed of exn * Printexc.raw_backtrace
 
 let map ?workers f tasks =
   let workers =
@@ -22,7 +22,7 @@ let map ?workers f tasks =
             (results.(i) <-
                (match f tasks.(i) with
                | v -> Done v
-               | exception e -> Failed e));
+               | exception e -> Failed (e, Printexc.get_raw_backtrace ())));
             go ()
           end
         in
@@ -37,5 +37,5 @@ let map ?workers f tasks =
       Array.to_list results
       |> List.map (function
            | Done v -> v
-           | Failed e -> raise e
+           | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
            | Pending -> assert false)

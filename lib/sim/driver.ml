@@ -26,7 +26,7 @@ let machine_owners instance =
     instance.Instance.machines;
   owners
 
-let run ?(record = true) ?(checkpoints = []) ~instance ~rng
+let run ?(record = true) ?(checkpoints = []) ?workers ~instance ~rng
     (maker : Algorithms.Policy.maker) =
   let t0 = Unix.gettimeofday () in
   let k = Instance.organizations instance in
@@ -39,7 +39,13 @@ let run ?(record = true) ?(checkpoints = []) ~instance ~rng
   in
   let trackers = Array.init k (fun _ -> Utility.Tracker.create ()) in
   let view = { Algorithms.Policy.instance; cluster; trackers } in
-  let policy = maker instance ~rng in
+  let policy =
+    match workers with
+    | None -> maker instance ~rng
+    | Some w ->
+        Core.Domain_pool.with_default_workers (Some w) (fun () ->
+            maker instance ~rng)
+  in
   let jobs = instance.Instance.jobs in
   let njobs = Array.length jobs in
   let next_job = ref 0 in

@@ -35,6 +35,7 @@ and snapshot = {
 val run :
   ?record:bool ->
   ?checkpoints:int list ->
+  ?workers:int ->
   instance:Instance.t ->
   rng:Fstats.Rng.t ->
   Algorithms.Policy.maker ->
@@ -45,7 +46,13 @@ val run :
     empty).  [checkpoints] asks for utility snapshots at the given instants
     (clamped to the horizon; Definition 3.2 makes fairness a property of
     {e every} time instant, and the timeline experiments track how
-    unfairness accumulates). *)
+    unfairness accumulates).  [workers] sets the domain-local default
+    worker count while the policy is constructed
+    ({!Core.Domain_pool.with_default_workers}): parallel-capable policies
+    such as {!Algorithms.Reference} pick it up unless given an explicit
+    [?workers] of their own.  [workers:1] forces strictly sequential
+    execution; the default is [Domain.recommended_domain_count () - 1].
+    Results are bit-identical for every worker count. *)
 
 val utilities : result -> float array
 (** Unscaled ψsp per organization. *)

@@ -1,0 +1,110 @@
+(* Differential property test of the REF engine: the domain-parallel
+   size-staged engine must be BIT-identical to strictly sequential
+   execution — same schedule, same utility vectors, zero Δψ between the two
+   runs — for both fairness concepts, with and without machine speeds.
+   This is the determinism guarantee of DESIGN.md, "Performance
+   engineering", checked end-to-end through the driver. *)
+
+open Core
+
+(* Random instances: k in 2..6, optionally related machines. *)
+let instance_gen =
+  let gen =
+    QCheck.Gen.(
+      let* norgs = int_range 2 6 in
+      let* machines = array_size (return norgs) (int_range 1 2) in
+      let* related = bool in
+      let* speeds =
+        let total = Array.fold_left ( + ) 0 machines in
+        array_size (return total) (oneofl [ 0.5; 1.0; 2.0 ])
+      in
+      let* njobs = int_range 1 20 in
+      let* jobs =
+        list_size (return njobs)
+          (let* org = int_range 0 (norgs - 1) in
+           let* release = int_range 0 40 in
+           let* size = int_range 1 6 in
+           return (org, release, size))
+      in
+      return (machines, related, speeds, jobs))
+  in
+  let make (machines, related, speeds, jobs) =
+    let jobs =
+      List.map
+        (fun (org, release, size) -> Job.make ~org ~index:0 ~release ~size ())
+        jobs
+    in
+    if related then Instance.make_related ~speeds ~machines ~jobs ~horizon:120
+    else Instance.make ~machines ~jobs ~horizon:120
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun raw ->
+        Format.asprintf "%a" Instance.pp_detailed (make raw))
+      gen
+  in
+  (arb, make)
+
+let run ~workers ~concept instance =
+  Sim.Driver.run ~workers ~instance
+    ~rng:(Fstats.Rng.create ~seed:3)
+    (Algorithms.Reference.make ~concept ())
+
+let same_schedule a b =
+  (* The recorded placement lists must match exactly (machine ids
+     included); placements are already sorted by (start, machine). *)
+  Schedule.machines a = Schedule.machines b
+  && Schedule.placements a = Schedule.placements b
+
+let identical_runs ~concept instance =
+  let seq = run ~workers:1 ~concept instance in
+  let par = run ~workers:4 ~concept instance in
+  let delta, ratio = Sim.Fairness.delta_ratio ~reference:seq par in
+  seq.Sim.Driver.utilities_scaled = par.Sim.Driver.utilities_scaled
+  && seq.Sim.Driver.parts = par.Sim.Driver.parts
+  && seq.Sim.Driver.events = par.Sim.Driver.events
+  && same_schedule seq.Sim.Driver.schedule par.Sim.Driver.schedule
+  && delta = 0
+  && ratio = 0.
+
+let differential_property ~concept ~name =
+  let arb, make = instance_gen in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "parallel REF bit-identical to sequential (%s)" name)
+    ~count:40 arb
+    (fun raw -> identical_runs ~concept (make raw))
+
+(* Deterministic spot checks at a larger scale than the random draws — the
+   exact configuration the ref_scaling bench times. *)
+let test_scenario_identical () =
+  List.iter
+    (fun k ->
+      let instance =
+        Workload.Scenario.instance
+          (Workload.Scenario.default ~norgs:k ~machines:8 ~horizon:6_000
+             Workload.Traces.lpc_egee)
+          ~seed:21
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d scenario" k)
+        true
+        (identical_runs ~concept:Algorithms.Reference.Shapley_value instance))
+    [ 3; 5 ]
+
+let () =
+  Alcotest.run "parallel-ref"
+    [
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            differential_property
+              ~concept:Algorithms.Reference.Shapley_value ~name:"shapley";
+            differential_property
+              ~concept:Algorithms.Reference.Banzhaf_value ~name:"banzhaf";
+          ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "bench-scale instances" `Quick
+            test_scenario_identical;
+        ] );
+    ]
