@@ -7,6 +7,35 @@
 
 open Cmdliner
 
+(* One-line diagnostic + exit 2: the CLI contract for bad input (unknown
+   algorithm, unreadable trace file, invalid flag combinations).  Flag
+   parse errors and unknown subcommands exit 2 as well via
+   [Cmd.eval ~term_err:2] below. *)
+let die fmt =
+  Format.kasprintf
+    (fun msg ->
+      Format.eprintf "fairsched: %s@." msg;
+      exit 2)
+    fmt
+
+let positive_int_conv what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 1 -> Ok v
+    | Some _ | None ->
+        Error (`Msg (Printf.sprintf "%s must be a positive integer, got %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let positive_float_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v > 0. -> Ok v
+    | Some _ | None ->
+        Error (`Msg (Printf.sprintf "%s must be positive, got %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
 let model_conv =
   let parse s =
     match Workload.Traces.by_name s with
@@ -58,7 +87,7 @@ let instances_arg default =
 let workers_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some (positive_int_conv "--workers")) None
     & info [ "workers"; "j" ] ~docv:"N"
         ~doc:
           "Worker domains for parallel-capable algorithms (REF's \
@@ -99,9 +128,7 @@ let simulate_cmd =
   in
   let run model algo norgs machines horizon seed workers gantt =
     match Algorithms.Registry.find algo with
-    | None ->
-        Format.printf "unknown algorithm %S@." algo;
-        exit 1
+    | None -> die "unknown algorithm %S (see `fairsched algorithms`)" algo
     | Some maker ->
         let spec =
           Workload.Scenario.default ~norgs ~machines ~horizon model
@@ -270,6 +297,83 @@ let timeline_cmd =
        ~doc:"Track how unfairness accumulates over the trace (Definition              3.2 is per-instant).")
     Term.(const run $ horizon_arg 200_000 $ instances_arg 3 $ csv_arg)
 
+(* --- churn ------------------------------------------------------------- *)
+
+let churn_cmd =
+  let intensities_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.; 0.5; 1.; 2. ]
+      & info [ "intensities" ] ~docv:"X,Y,.."
+          ~doc:
+            "Failure-rate multipliers to sweep (0 = fault-free control; at \
+             multiplier $(i,x) the per-machine MTBF is mtbf/$(i,x)).")
+  in
+  let mtbf_arg =
+    Arg.(
+      value
+      & opt (positive_float_conv "--mtbf") 1_000.
+      & info [ "mtbf" ] ~docv:"T"
+          ~doc:"Per-machine mean time between failures at intensity 1.")
+  in
+  let mttr_arg =
+    Arg.(
+      value
+      & opt (positive_float_conv "--mttr") 50.
+      & info [ "mttr" ] ~docv:"T" ~doc:"Per-machine mean time to repair.")
+  in
+  let max_restarts_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-restarts" ] ~docv:"N"
+          ~doc:
+            "Kill budget per job: after N restarts a killed job is \
+             abandoned (default: unbounded).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write results as JSON.")
+  in
+  let run norgs machines horizon instances intensities mtbf mttr max_restarts
+      seed workers csv json =
+    if List.exists (fun x -> x < 0.) intensities then
+      die "intensities must be non-negative";
+    (match max_restarts with
+    | Some r when r < 0 -> die "--max-restarts must be >= 0"
+    | Some _ | None -> ());
+    let config =
+      Experiments.Churn.default_config ~instances ~norgs ~machines ~horizon
+        ~intensities ~mtbf ~mttr ?max_restarts ~seed ()
+    in
+    let study = Experiments.Churn.run ~progress ?workers config in
+    Format.printf
+      "Fairness and utilization under machine churn (k=%d, m=%d, horizon \
+       %d, MTBF %g, MTTR %g, %d instances)@.@."
+      norgs machines horizon mtbf mttr instances;
+    Format.printf "%a@." Experiments.Churn.pp study;
+    write_csv csv (Experiments.Churn.to_csv study);
+    (match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Experiments.Churn.to_json study);
+        close_out oc;
+        Format.printf "wrote %s@." path)
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Fault-injection study: Δψ/p_tot and utilization of each \
+          algorithm as machines fail and recover, against REF under the \
+          same fault trace.")
+    Term.(
+      const run $ norgs_arg $ machines_arg $ horizon_arg 5_000
+      $ instances_arg 3 $ intensities_arg $ mtbf_arg $ mttr_arg
+      $ max_restarts_arg $ seed_arg $ workers_arg $ csv_arg $ json_arg)
+
 (* --- analyze ----------------------------------------------------------- *)
 
 let analyze_cmd =
@@ -289,10 +393,7 @@ let analyze_cmd =
             ~rng:(Fstats.Rng.create ~seed)
             ~machines ~duration:horizon ()
     in
-    if entries = [] then begin
-      Format.printf "empty trace@.";
-      exit 1
-    end;
+    if entries = [] then die "empty trace";
     Format.printf "%a" Workload.Analysis.pp
       (Workload.Analysis.of_entries ~machines entries)
   in
@@ -366,11 +467,24 @@ let () =
         "Non-monetary fair scheduling — Shapley-value cooperative-game \
          scheduling (Skowron & Rzadca, SPAA 2013) reproduction."
   in
+  let group =
+    Cmd.group info
+      [
+        simulate_cmd; table_cmd; fig10_cmd; utilization_cmd; ablate_cmd;
+        trace_cmd; timeline_cmd; churn_cmd; analyze_cmd; report_cmd;
+        examples_cmd; algorithms_cmd;
+      ]
+  in
+  (* Robustness contract: every user error — unknown subcommand, bad flag,
+     failed flag conversion, unreadable trace file — exits 2 with a one-line
+     message, never a backtrace.  [eval_value ~catch:false] lets us collapse
+     cmdliner's error classes and our own runtime exceptions onto that one
+     code. *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            simulate_cmd; table_cmd; fig10_cmd; utilization_cmd; ablate_cmd;
-            trace_cmd; timeline_cmd; analyze_cmd; report_cmd; examples_cmd;
-            algorithms_cmd;
-          ]))
+    (try
+       match Cmd.eval_value ~catch:false group with
+       | Ok (`Ok ()) | Ok `Help | Ok `Version -> 0
+       | Error (`Parse | `Term | `Exn) -> 2
+     with Sys_error msg | Invalid_argument msg | Failure msg ->
+       Format.eprintf "fairsched: %s@." msg;
+       2)

@@ -6,11 +6,15 @@ type t = {
   cluster : Cluster.t;
   trackers : Utility.Tracker.t array;  (* indexed by global org id *)
   backlog : Job.t Queue.t;
+  (* Machine-fault backlog, already translated to this coalition's local
+     machine ids (events hitting non-members were dropped at add time). *)
+  faults : Faults.Event.timed Queue.t;
+  local_of_global : int array;  (* global machine id -> local id, or -1 *)
   pending : Instant.t;
   mutable now : int;
 }
 
-let create ~instance ~members =
+let create ?max_restarts ~instance ~members () =
   if members = Shapley.Coalition.empty then
     invalid_arg "Coalition_sim.create: empty coalition";
   let norgs = Instance.organizations instance in
@@ -38,11 +42,29 @@ let create ~instance ~members =
              members []
           |> List.rev |> List.concat |> Array.of_list)
   in
+  (* The driver lays machines out org-contiguously ascending; a coalition
+     keeps the member orgs' blocks in the same order, so a global machine id
+     maps to (member prefix count) + (slot within the owner's block). *)
+  let nglobal = Array.fold_left ( + ) 0 instance.Instance.machines in
+  let local_of_global = Array.make nglobal (-1) in
+  let next_local = ref 0 and next_global = ref 0 in
+  for u = 0 to norgs - 1 do
+    let c = instance.Instance.machines.(u) in
+    if Shapley.Coalition.mem members u then begin
+      for s = 0 to c - 1 do
+        local_of_global.(!next_global + s) <- !next_local + s
+      done;
+      next_local := !next_local + c
+    end;
+    next_global := !next_global + c
+  done;
   {
     members;
-    cluster = Cluster.create ?speeds ~machine_owners ~norgs ();
+    cluster = Cluster.create ?speeds ?max_restarts ~machine_owners ~norgs ();
     trackers = Array.init norgs (fun _ -> Utility.Tracker.create ());
     backlog = Queue.create ();
+    faults = Queue.create ();
+    local_of_global;
     pending = Instant.create ~norgs;
     now = 0;
   }
@@ -55,17 +77,36 @@ let add_release t (job : Job.t) =
     invalid_arg "Coalition_sim.add_release: job of a non-member";
   Queue.add job t.backlog
 
+let add_fault t (ev : Faults.Event.timed) =
+  let g = Faults.Event.machine ev.Faults.Event.event in
+  if g < 0 || g >= Array.length t.local_of_global then
+    invalid_arg "Coalition_sim.add_fault: machine id out of range";
+  let m = t.local_of_global.(g) in
+  if m >= 0 then
+    let event =
+      match ev.Faults.Event.event with
+      | Faults.Event.Fail _ -> Faults.Event.Fail m
+      | Faults.Event.Recover _ -> Faults.Event.Recover m
+    in
+    Queue.add { ev with Faults.Event.event } t.faults
+
+let min_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (Stdlib.min a b)
+
 let next_event t =
   let release =
     match Queue.peek_opt t.backlog with
     | Some (j : Job.t) -> Some (Stdlib.max j.Job.release t.now)
     | None -> None
   in
-  let completion = Cluster.next_completion t.cluster in
-  match (release, completion) with
-  | None, c -> c
-  | r, None -> r
-  | Some r, Some c -> Some (Stdlib.min r c)
+  let fault =
+    match Queue.peek_opt t.faults with
+    | Some f -> Some (Stdlib.max f.Faults.Event.time t.now)
+    | None -> None
+  in
+  min_opt (min_opt release fault) (Cluster.next_completion t.cluster)
 
 let step_releases_and_completions t ~time =
   if time < t.now then invalid_arg "Coalition_sim: time moved backwards";
@@ -89,7 +130,29 @@ let step_releases_and_completions t ~time =
         drain_completions ()
     | None -> ()
   in
-  drain_completions ()
+  drain_completions ();
+  (* Faults strictly after completions: a job finishing at [time] beats a
+     failure at [time]; and before the scheduling round: a machine down at
+     [time] hosts nothing, a recovered one is usable immediately. *)
+  let rec drain_faults () =
+    match Queue.peek_opt t.faults with
+    | Some f when f.Faults.Event.time <= time ->
+        ignore (Queue.pop t.faults);
+        (match f.Faults.Event.event with
+        | Faults.Event.Fail m -> (
+            match Cluster.fail_machine t.cluster ~time:f.Faults.Event.time m with
+            | Some k ->
+                (* The killed piece vanishes from ψsp (Theorem 4.1). *)
+                Utility.Tracker.on_abort
+                  t.trackers.(k.Cluster.k_job.Job.org)
+                  ~key:k.Cluster.k_job.Job.index
+            | None -> ())
+        | Faults.Event.Recover m ->
+            ignore (Cluster.recover_machine t.cluster m));
+        drain_faults ()
+    | Some _ | None -> ()
+  in
+  drain_faults ()
 
 let schedule_round t ~time ~select =
   while Cluster.free_count t.cluster > 0 && Cluster.has_waiting t.cluster do

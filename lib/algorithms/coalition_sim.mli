@@ -19,8 +19,12 @@ open Core
 
 type t
 
-val create : instance:Instance.t -> members:Shapley.Coalition.t -> t
+val create :
+  ?max_restarts:int -> instance:Instance.t -> members:Shapley.Coalition.t ->
+  unit -> t
 (** Machines of the member organizations only; machine owners preserved.
+    [max_restarts] bounds per-job resubmissions after kills, as in
+    {!Core.Cluster.create}.
     @raise Invalid_argument if the coalition is empty or owns no machine. *)
 
 val members : t -> Shapley.Coalition.t
@@ -32,9 +36,20 @@ val add_release : t -> Job.t -> unit
     release order, and never earlier than [now] (the driver delivers
     releases at their release instants). *)
 
+val add_fault : t -> Faults.Event.timed -> unit
+(** Hand over a machine fault, identified by {e global} (grand-coalition)
+    machine id; it is translated to this coalition's local machine layout,
+    and silently dropped when the machine belongs to a non-member.  Faults
+    must arrive in non-decreasing time order, never earlier than [now].
+    When processed, a failure kills the hosted job (its ψsp piece is
+    retracted — lost work counts for nobody) and resubmits it at the head
+    of the owner's queue; a recovery returns the machine to the free
+    pool.  @raise Invalid_argument on an out-of-range machine id. *)
+
 val next_event : t -> int option
-(** Earliest pending event: the front of the release backlog or the first
-    completion — the times at which new scheduling decisions can arise. *)
+(** Earliest pending event: the front of the release backlog, the first
+    pending fault, or the first completion — the times at which new
+    scheduling decisions can arise. *)
 
 val advance_to : t -> time:int -> select:(t -> time:int -> int) -> unit
 (** Process all events at instants [<= time] in order: move due backlog jobs

@@ -32,11 +32,14 @@ let busy_machines_by_owner view =
   let cluster = view.Policy.cluster in
   let k = Cluster.norgs cluster in
   let busy = Array.make k 0 in
-  (* owner's busy machines = owned − free. *)
-  let owned = Array.make k 0 in
+  (* owner's busy machines = up − free (a down machine is neither free nor
+     contributing anything). *)
+  let up = Array.make k 0 in
   for m = 0 to Cluster.machines cluster - 1 do
-    let o = Cluster.machine_owner cluster m in
-    owned.(o) <- owned.(o) + 1
+    if Cluster.machine_up cluster m then begin
+      let o = Cluster.machine_owner cluster m in
+      up.(o) <- up.(o) + 1
+    end
   done;
   let free_by_owner = Array.make k 0 in
   List.iter
@@ -44,7 +47,7 @@ let busy_machines_by_owner view =
       let o = Cluster.machine_owner cluster m in
       free_by_owner.(o) <- free_by_owner.(o) + 1)
     (Cluster.free_machine_ids cluster);
-  Array.iteri (fun u o -> busy.(u) <- o - free_by_owner.(u)) owned;
+  Array.iteri (fun u o -> busy.(u) <- o - free_by_owner.(u)) up;
   busy
 
 let fair_share ~half_life instance ~rng:_ =
@@ -68,6 +71,10 @@ let fair_share ~half_life instance ~rng:_ =
     ~on_release:(fun view ~time _ -> sync view ~time)
     ~on_complete:(fun view ~time c ->
       sync ~extra:c.Cluster.job.Job.org view ~time)
+    ~on_kill:(fun view ~time k ->
+      (* Like a completion: the killed job was running throughout the
+         elapsed interval even though the count is already decremented. *)
+      sync ~extra:k.Cluster.k_job.Job.org view ~time)
     ~select:(fun view ~time ->
       sync view ~time;
       match Cluster.waiting_orgs view.Policy.cluster with
@@ -89,13 +96,13 @@ let direct_contr ~half_life instance ~rng:_ =
   let k = Instance.organizations instance in
   let consumed = create_integrators ~norgs:k ~half_life in
   let contributed = create_integrators ~norgs:k ~half_life in
-  let sync ?completed view ~time =
+  (* [extra = (job org, machine owner)] compensates for the driver's
+     ordering on completions {e and} kills alike: the hook fires after the
+     cluster already dropped the job, yet it was running (and its machine
+     busy) throughout the elapsed interval. *)
+  let sync ?extra view ~time =
     let job_extra, machine_extra =
-      match completed with
-      | None -> (-1, -1)
-      | Some (c : Cluster.completion) ->
-          ( c.Cluster.job.Job.org,
-            Cluster.machine_owner view.Policy.cluster c.Cluster.machine )
+      match extra with None -> (-1, -1) | Some (j, m) -> (j, m)
     in
     advance consumed ~time ~rate_of:(fun u ->
         float_of_int (Cluster.running_count view.Policy.cluster u)
@@ -107,7 +114,18 @@ let direct_contr ~half_life instance ~rng:_ =
   Policy.make
     ~name:(Printf.sprintf "directcontr-hl%g" half_life)
     ~on_release:(fun view ~time _ -> sync view ~time)
-    ~on_complete:(fun view ~time c -> sync ~completed:c view ~time)
+    ~on_complete:(fun view ~time c ->
+      sync
+        ~extra:
+          ( c.Cluster.job.Job.org,
+            Cluster.machine_owner view.Policy.cluster c.Cluster.machine )
+        view ~time)
+    ~on_kill:(fun view ~time k ->
+      sync
+        ~extra:
+          ( k.Cluster.k_job.Job.org,
+            Cluster.machine_owner view.Policy.cluster k.Cluster.k_machine )
+        view ~time)
     ~select:(fun view ~time ->
       sync view ~time;
       match Cluster.waiting_orgs view.Policy.cluster with

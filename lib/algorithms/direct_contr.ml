@@ -41,6 +41,14 @@ let make ?(name = "directcontr") () instance ~rng =
           Hashtbl.remove piece_key (Job.id c.Cluster.job);
           Utility.Tracker.on_complete contrib.(owner) ~key
             ~size:(c.Cluster.finish - c.Cluster.start))
+    ~on_kill:(fun _view ~time:_ kl ->
+      (* Killed work counts for nobody — the machine owner's contribution
+         piece is retracted just like the job owner's ψsp piece. *)
+      match Hashtbl.find_opt piece_key (Job.id kl.Cluster.k_job) with
+      | None -> invalid_arg "directcontr: kill of an unknown job"
+      | Some (key, owner) ->
+          Hashtbl.remove piece_key (Job.id kl.Cluster.k_job);
+          Utility.Tracker.on_abort contrib.(owner) ~key)
     ~select:(fun view ~time ->
       match Cluster.waiting_orgs view.Policy.cluster with
       | [] -> invalid_arg "directcontr: nothing waiting"

@@ -42,6 +42,13 @@ let fair_share_impl ~name ~shares_of instance ~rng:_ =
       let u = c.Cluster.job.Job.org in
       usage.(u).completed <- usage.(u).completed + (c.Cluster.finish - c.Cluster.start);
       usage.(u).sum_starts <- usage.(u).sum_starts - c.Cluster.start)
+    ~on_kill:(fun _view ~time:_ k ->
+      (* A killed attempt is consumption all the same: the machine was
+         occupied for [k_wasted] slots (unlike ψsp, FAIRSHARE charges CPU
+         time whether or not it produced anything). *)
+      let u = k.Cluster.k_job.Job.org in
+      usage.(u).completed <- usage.(u).completed + k.Cluster.k_wasted;
+      usage.(u).sum_starts <- usage.(u).sum_starts - k.Cluster.k_start)
     ~select:(fun view ~time ->
       argmin_ratio
         ~waiting:(Cluster.waiting_orgs view.Policy.cluster)

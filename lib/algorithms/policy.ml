@@ -14,11 +14,14 @@ type t = {
   on_release : view -> time:int -> Job.t -> unit;
   on_start : view -> time:int -> Schedule.placement -> unit;
   on_complete : view -> time:int -> Cluster.completion -> unit;
+  on_kill : view -> time:int -> Cluster.kill -> unit;
+  on_fault : view -> time:int -> Faults.Event.t -> unit;
 }
 
 let nop3 _ ~time:_ _ = ()
 
-let make ~name ?pick_machine ?on_release ?on_start ?on_complete ~select () =
+let make ~name ?pick_machine ?on_release ?on_start ?on_complete ?on_kill
+    ?on_fault ~select () =
   {
     name;
     select;
@@ -27,6 +30,8 @@ let make ~name ?pick_machine ?on_release ?on_start ?on_complete ~select () =
     on_release = Option.value on_release ~default:nop3;
     on_start = Option.value on_start ~default:nop3;
     on_complete = Option.value on_complete ~default:nop3;
+    on_kill = Option.value on_kill ~default:nop3;
+    on_fault = Option.value on_fault ~default:nop3;
   }
 
 type maker = Instance.t -> rng:Fstats.Rng.t -> t

@@ -35,6 +35,15 @@ type t = {
   on_release : view -> time:int -> Job.t -> unit;
   on_start : view -> time:int -> Schedule.placement -> unit;
   on_complete : view -> time:int -> Cluster.completion -> unit;
+  on_kill : view -> time:int -> Cluster.kill -> unit;
+      (** A machine failure killed a running job (the driver has already
+          updated the cluster and retracted the job's active ψsp piece —
+          killed work never counts, Theorem 4.1).  Policies with internal
+          per-job state must roll it back here. *)
+  on_fault : view -> time:int -> Faults.Event.t -> unit;
+      (** A machine went down or came back up (fired after {!on_kill} for
+          the casualty, if any).  Policies running internal what-if
+          simulations (REF, RAND) mirror the capacity change here. *)
 }
 
 val make :
@@ -43,6 +52,8 @@ val make :
   ?on_release:(view -> time:int -> Job.t -> unit) ->
   ?on_start:(view -> time:int -> Schedule.placement -> unit) ->
   ?on_complete:(view -> time:int -> Cluster.completion -> unit) ->
+  ?on_kill:(view -> time:int -> Cluster.kill -> unit) ->
+  ?on_fault:(view -> time:int -> Faults.Event.t -> unit) ->
   select:(view -> time:int -> int) ->
   unit ->
   t

@@ -16,7 +16,8 @@ let make_policy ~name ~n instance ~rng =
   Array.iter
     (fun mask ->
       if mask <> Coalition.empty && has_machines mask then
-        Hashtbl.replace sims mask (Coalition_sim.create ~instance ~members:mask))
+        Hashtbl.replace sims mask
+          (Coalition_sim.create ~instance ~members:mask ()))
     plan.Shapley.Sample.distinct;
   let pending = Instant.create ~norgs:k in
   let phi_stamp = ref min_int in
@@ -43,6 +44,11 @@ let make_policy ~name ~n instance ~rng =
         (fun mask sim ->
           if Coalition.mem mask job.Job.org then
             Coalition_sim.add_release sim job)
+        sims)
+    ~on_fault:(fun _view ~time event ->
+      (* Coalition_sim drops events for machines its members do not own. *)
+      Hashtbl.iter
+        (fun _mask sim -> Coalition_sim.add_fault sim { Faults.Event.time; event })
         sims)
     ~on_start:(fun _view ~time p ->
       Instant.bump pending ~time ~org:p.Schedule.job.Job.org)

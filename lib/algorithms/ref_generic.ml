@@ -6,6 +6,8 @@ type gsim = {
   mask : Coalition.t;
   cluster : Cluster.t;
   backlog : Job.t Queue.t;
+  faults : Faults.Event.timed Queue.t;  (* local machine ids *)
+  local_of_global : int array;  (* global machine id -> local id, or -1 *)
 }
 
 type state = {
@@ -29,7 +31,25 @@ let machine_owners_of instance mask =
     mask []
   |> List.rev |> Array.of_list
 
-let create_state ~utility ?workers instance =
+(* Same org-contiguous global->local machine translation as Coalition_sim. *)
+let local_of_global_of instance mask =
+  let k = Instance.organizations instance in
+  let nglobal = Array.fold_left ( + ) 0 instance.Instance.machines in
+  let tbl = Array.make nglobal (-1) in
+  let next_local = ref 0 and next_global = ref 0 in
+  for u = 0 to k - 1 do
+    let c = instance.Instance.machines.(u) in
+    if Coalition.mem mask u then begin
+      for s = 0 to c - 1 do
+        tbl.(!next_global + s) <- !next_local + s
+      done;
+      next_local := !next_local + c
+    end;
+    next_global := !next_global + c
+  done;
+  tbl
+
+let create_state ~utility ?workers ?max_restarts instance =
   let workers =
     match workers with
     | Some w -> Stdlib.max 1 w
@@ -50,8 +70,11 @@ let create_state ~utility ?workers instance =
           {
             mask;
             cluster =
-              Cluster.create ~record:true ~machine_owners:owners ~norgs:k ();
+              Cluster.create ~record:true ?max_restarts ~machine_owners:owners
+                ~norgs:k ();
             backlog = Queue.create ();
+            faults = Queue.create ();
+            local_of_global = local_of_global_of instance mask;
           }
   done;
   let masks_of_size s =
@@ -156,16 +179,23 @@ let select_in st ~schedule_of ~mask ~waiting ~front ~at =
    fold trivial (<= 255 sims), so unlike {!Reference} no event heap is
    needed here. *)
 let advance_all st ~time =
+  let min_opt a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (Stdlib.min a b)
+  in
   let next_event sim =
     let release =
       match Queue.peek_opt sim.backlog with
       | Some (j : Job.t) -> Some j.Job.release
       | None -> None
     in
-    match (release, Cluster.next_completion sim.cluster) with
-    | None, c -> c
-    | r, None -> r
-    | Some r, Some c -> Some (Stdlib.min r c)
+    let fault =
+      match Queue.peek_opt sim.faults with
+      | Some f -> Some f.Faults.Event.time
+      | None -> None
+    in
+    min_opt (min_opt release fault) (Cluster.next_completion sim.cluster)
   in
   let earliest () =
     Array.fold_left
@@ -193,7 +223,25 @@ let advance_all st ~time =
       | Some _ -> completions ()
       | None -> ()
     in
-    completions ()
+    completions ();
+    (* Faults after completions (a job finishing at tau survives a failure
+       at tau), before the scheduling round.  The cluster excises a killed
+       attempt's placement, so the recorded schedule — and hence the generic
+       ψ evaluation — only ever counts surviving work. *)
+    let rec faults () =
+      match Queue.peek_opt sim.faults with
+      | Some f when f.Faults.Event.time <= tau ->
+          ignore (Queue.pop sim.faults);
+          (match f.Faults.Event.event with
+          | Faults.Event.Fail m ->
+              ignore
+                (Cluster.fail_machine sim.cluster ~time:f.Faults.Event.time m)
+          | Faults.Event.Recover m ->
+              ignore (Cluster.recover_machine sim.cluster m));
+          faults ()
+      | Some _ | None -> ()
+    in
+    faults ()
   in
   let schedule_of mask =
     if mask = Coalition.empty then empty_schedule
@@ -240,8 +288,8 @@ let advance_all st ~time =
   in
   loop ()
 
-let make ~utility ?name ?workers () instance ~rng:_ =
-  let st = create_state ~utility ?workers instance in
+let make ~utility ?name ?workers ?max_restarts () instance ~rng:_ =
+  let st = create_state ~utility ?workers ?max_restarts instance in
   let name =
     Option.value name
       ~default:("ref-generic-" ^ utility.Utility.Functions.name)
@@ -254,6 +302,22 @@ let make ~utility ?name ?workers () instance ~rng:_ =
             match st.sims.(mask) with
             | Some sim -> Queue.add job sim.backlog
             | None -> ())
+        st.all_masks)
+    ~on_fault:(fun _view ~time event ->
+      Array.iter
+        (fun mask ->
+          match st.sims.(mask) with
+          | Some sim ->
+              let g = Faults.Event.machine event in
+              let m = sim.local_of_global.(g) in
+              if m >= 0 then
+                let event =
+                  match event with
+                  | Faults.Event.Fail _ -> Faults.Event.Fail m
+                  | Faults.Event.Recover _ -> Faults.Event.Recover m
+                in
+                Queue.add { Faults.Event.time; event } sim.faults
+          | None -> ())
         st.all_masks)
     ~select:(fun view ~time ->
       advance_all st ~time;
@@ -274,8 +338,9 @@ let make ~utility ?name ?workers () instance ~rng:_ =
         ~at:time)
     ()
 
-let make_with utility_of ?name ?workers () instance ~rng =
-  make ~utility:(utility_of instance) ?name ?workers () instance ~rng
+let make_with utility_of ?name ?workers ?max_restarts () instance ~rng =
+  make ~utility:(utility_of instance) ?name ?workers ?max_restarts () instance
+    ~rng
 
 let ref_psp instance ~rng =
   make ~utility:Utility.Functions.psp ~name:"ref-generic-psp" () instance ~rng

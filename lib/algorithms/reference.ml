@@ -60,6 +60,7 @@ type internals = {
   v2_stamp : int array;  (* instant at which v2_val was computed *)
   phi2_val : float array array;
   phi2_stamp : int array;  (* instant at which phi2_val was computed *)
+  m_owner : int array;  (* global machine id -> owning organization *)
   heap : int Heap.t;  (* global event queue: prio = time, value = mask *)
   heap_key : int array;
       (* smallest key of a live heap entry per mask (max_int if unknown):
@@ -71,7 +72,8 @@ type internals = {
   pending : Instant.t;  (* grand-coalition pending starts *)
 }
 
-let create_internals ?(concept = Shapley_value) ?workers instance =
+let create_internals ?(concept = Shapley_value) ?workers ?max_restarts
+    instance =
   let workers =
     match workers with
     | Some w -> Stdlib.max 1 w
@@ -95,7 +97,8 @@ let create_internals ?(concept = Shapley_value) ?workers instance =
   let n_sims = ref 0 in
   for mask = 1 to grand - 1 do
     if has_machines mask then begin
-      sims.(mask) <- Some (Coalition_sim.create ~instance ~members:mask);
+      sims.(mask) <-
+        Some (Coalition_sim.create ?max_restarts ~instance ~members:mask ());
       incr n_sims
     end
   done;
@@ -144,6 +147,13 @@ let create_internals ?(concept = Shapley_value) ?workers instance =
     Array.iter (fun mask -> subsets_flat.(mask) <- flatten mask) all_masks;
     subsets_flat.(grand) <- flatten grand
   end;
+  (* Grand-coalition machine layout: org-contiguous ascending (the driver's
+     convention); used to route machine faults to the affected masks. *)
+  let m_owner =
+    Array.concat
+      (List.init k (fun u ->
+           Array.make instance.Instance.machines.(u) u))
+  in
   {
     concept;
     k;
@@ -155,6 +165,7 @@ let create_internals ?(concept = Shapley_value) ?workers instance =
     size_tbl;
     weights;
     subsets_flat;
+    m_owner;
     v2_val = Array.make nmasks 0;
     v2_stamp = Array.make nmasks min_int;
     phi2_val = Array.make nmasks [||];
@@ -413,8 +424,9 @@ let coalition_value_scaled st ~mask ~time =
   advance_all st ~time;
   v2_sim st ~mask ~time
 
-let make_with_internals ?(name = "ref") ?concept ?workers () instance ~rng:_ =
-  let st = create_internals ?concept ?workers instance in
+let make_with_internals ?(name = "ref") ?concept ?workers ?max_restarts ()
+    instance ~rng:_ =
+  let st = create_internals ?concept ?workers ?max_restarts instance in
   let policy =
     Policy.make ~name
       ~on_release:(fun _view ~time:_ job ->
@@ -428,6 +440,21 @@ let make_with_internals ?(name = "ref") ?concept ?workers () instance ~rng:_ =
                   heap_push st
                     ~time:
                       (Stdlib.max job.Job.release (Coalition_sim.now sim))
+                    mask
+              | None -> ())
+          st.all_masks)
+      ~on_fault:(fun _view ~time event ->
+        (* Mirror the capacity change into every what-if schedule whose
+           coalition includes the machine's owner; others are unaffected
+           (they never had the machine). *)
+        let owner = st.m_owner.(Faults.Event.machine event) in
+        Array.iter
+          (fun mask ->
+            if Coalition.mem mask owner then
+              match st.sims.(mask) with
+              | Some sim ->
+                  Coalition_sim.add_fault sim { Faults.Event.time; event };
+                  heap_push st ~time:(Stdlib.max time (Coalition_sim.now sim))
                     mask
               | None -> ())
           st.all_masks)
@@ -455,8 +482,8 @@ let make_with_internals ?(name = "ref") ?concept ?workers () instance ~rng:_ =
   in
   (policy, st)
 
-let make ?name ?concept ?workers () instance ~rng =
-  fst (make_with_internals ?name ?concept ?workers () instance ~rng)
+let make ?name ?concept ?workers ?max_restarts () instance ~rng =
+  fst (make_with_internals ?name ?concept ?workers ?max_restarts () instance ~rng)
 
 let reference instance ~rng = make () instance ~rng
 

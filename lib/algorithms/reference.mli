@@ -46,22 +46,29 @@ val banzhaf : Policy.maker
 type concept = Shapley_value | Banzhaf_value
 
 val make :
-  ?name:string -> ?concept:concept -> ?workers:int -> unit -> Policy.maker
+  ?name:string -> ?concept:concept -> ?workers:int -> ?max_restarts:int ->
+  unit -> Policy.maker
 (** [make ?name ?concept ?workers ()] builds a REF maker.  [workers] caps
     the number of domains the engine may use per stage (1 = strictly
     sequential, never touches the pool); it defaults to the driver's
     domain-local default ({!Core.Domain_pool.default_workers}, i.e.
     [Domain.recommended_domain_count () - 1] unless overridden via
     [Sim.Driver.run ?workers]).  The schedule produced is bit-identical for
-    every worker count. *)
+    every worker count.
+
+    Machine faults delivered through {!Policy.t.on_fault} are mirrored into
+    every sub-coalition simulation containing the machine's owner, so the
+    what-if values REF is fair about track the time-varying capacity.
+    [max_restarts] bounds resubmissions {e inside} those simulations
+    (default unbounded, matching the driver's default). *)
 
 (** {2 Introspection (for tests and the worked examples)} *)
 
 type internals
 
 val make_with_internals :
-  ?name:string -> ?concept:concept -> ?workers:int -> unit -> Instance.t ->
-  rng:Fstats.Rng.t -> Policy.t * internals
+  ?name:string -> ?concept:concept -> ?workers:int -> ?max_restarts:int ->
+  unit -> Instance.t -> rng:Fstats.Rng.t -> Policy.t * internals
 
 val contributions_scaled : internals -> view:Policy.view -> time:int -> float array
 (** [2·φ(u)] of every organization in the grand coalition, at [time]

@@ -1,5 +1,13 @@
 type completion = { job : Job.t; start : int; finish : int; machine : int }
 
+type kill = {
+  k_job : Job.t;
+  k_start : int;
+  k_machine : int;
+  k_wasted : int;
+  k_resubmitted : bool;
+}
+
 type running = { r_job : Job.t; r_start : int; r_machine : int }
 
 type t = {
@@ -9,19 +17,32 @@ type t = {
   record : bool;
   (* Free machines as a swap-remove bag: O(1) push/pop, O(n) targeted
      removal (n = pool size, removal by id is rare: only policies that pin a
-     machine use it). *)
+     machine use it).  Invariant: only up machines are ever in the bag. *)
   free : int array;
   mutable free_size : int;
   heap : running Heap.t;
   queues : Job.t Queue.t array;
+  (* Killed jobs resubmitted ahead of the FIFO queue, ascending by index —
+     a restarted job keeps its original FIFO rank, so it must run before
+     anything submitted after it. *)
+  resubmitted : Job.t list array;
   mutable waiting_total : int;
   running_per_org : int array;
   completed_work : int array;
   mutable started : int;
   mutable placements : Schedule.placement list;
+  (* Fault state. *)
+  up : bool array;
+  mutable down_count : int;
+  max_restarts : int option;
+  restarts : (int * int, int) Hashtbl.t; (* job id -> kills so far *)
+  mutable killed : Schedule.placement list;
+  mutable killed_count : int;
+  wasted_work : int array; (* per org: executed parts lost to kills *)
+  mutable abandoned : Job.t list;
 }
 
-let create ?(record = false) ?speeds ~machine_owners ~norgs () =
+let create ?(record = false) ?speeds ?max_restarts ~machine_owners ~norgs () =
   let m = Array.length machine_owners in
   if m = 0 then invalid_arg "Cluster.create: no machines";
   let speeds =
@@ -40,6 +61,9 @@ let create ?(record = false) ?speeds ~machine_owners ~norgs () =
       if o < 0 || o >= norgs then
         invalid_arg "Cluster.create: machine owner out of range")
     machine_owners;
+  (match max_restarts with
+  | Some r when r < 0 -> invalid_arg "Cluster.create: max_restarts < 0"
+  | Some _ | None -> ());
   {
     owners = Array.copy machine_owners;
     speeds;
@@ -49,11 +73,20 @@ let create ?(record = false) ?speeds ~machine_owners ~norgs () =
     free_size = m;
     heap = Heap.create ();
     queues = Array.init norgs (fun _ -> Queue.create ());
+    resubmitted = Array.make norgs [];
     waiting_total = 0;
     running_per_org = Array.make norgs 0;
     completed_work = Array.make norgs 0;
     started = 0;
     placements = [];
+    up = Array.make m true;
+    down_count = 0;
+    max_restarts;
+    restarts = Hashtbl.create 8;
+    killed = [];
+    killed_count = 0;
+    wasted_work = Array.make norgs 0;
+    abandoned = [];
   }
 
 let machines t = Array.length t.owners
@@ -117,13 +150,19 @@ let has_waiting t = t.waiting_total > 0
 let waiting_orgs t =
   let rec go u acc =
     if u < 0 then acc
-    else if Queue.is_empty t.queues.(u) then go (u - 1) acc
+    else if Queue.is_empty t.queues.(u) && t.resubmitted.(u) = [] then
+      go (u - 1) acc
     else go (u - 1) (u :: acc)
   in
   go (t.norgs - 1) []
 
-let waiting_count t u = Queue.length t.queues.(u)
-let front t u = Queue.peek_opt t.queues.(u)
+let waiting_count t u =
+  Queue.length t.queues.(u) + List.length t.resubmitted.(u)
+
+let front t u =
+  match t.resubmitted.(u) with
+  | j :: _ -> Some j
+  | [] -> Queue.peek_opt t.queues.(u)
 
 let take_free_machine t = function
   | None ->
@@ -144,10 +183,16 @@ let take_free_machine t = function
       find 0
 
 let start_front t ~org ~time ?machine () =
-  if Queue.is_empty t.queues.(org) then
+  if Queue.is_empty t.queues.(org) && t.resubmitted.(org) = [] then
     invalid_arg "Cluster.start_front: empty queue";
   let machine = take_free_machine t machine in
-  let job = Queue.pop t.queues.(org) in
+  let job =
+    match t.resubmitted.(org) with
+    | j :: rest ->
+        t.resubmitted.(org) <- rest;
+        j
+    | [] -> Queue.pop t.queues.(org)
+  in
   t.waiting_total <- t.waiting_total - 1;
   t.running_per_org.(org) <- t.running_per_org.(org) + 1;
   t.started <- t.started + 1;
@@ -164,7 +209,109 @@ let completed_work t u = t.completed_work.(u)
 let started_count t = t.started
 let placements t = t.placements
 
+(* --- machine faults ----------------------------------------------------- *)
+
+let machine_up t m =
+  if m < 0 || m >= Array.length t.owners then invalid_arg "Cluster.machine_up";
+  t.up.(m)
+
+let up_count t = Array.length t.owners - t.down_count
+let down_count t = t.down_count
+
+let remove_from_free t m =
+  let rec find i =
+    if i >= t.free_size then false
+    else if t.free.(i) = m then begin
+      t.free_size <- t.free_size - 1;
+      t.free.(i) <- t.free.(t.free_size);
+      true
+    end
+    else find (i + 1)
+  in
+  find 0
+
+(* A restarted job keeps its FIFO rank: insert by ascending index so the
+   lowest-rank killed job is the new front. *)
+let rec insert_by_index (job : Job.t) = function
+  | [] -> [ job ]
+  | j :: _ as rest when job.Job.index < j.Job.index -> job :: rest
+  | j :: rest -> j :: insert_by_index job rest
+
+let fail_machine t ~time m =
+  if m < 0 || m >= Array.length t.owners then
+    invalid_arg "Cluster.fail_machine";
+  if not t.up.(m) then None
+  else begin
+    t.up.(m) <- false;
+    t.down_count <- t.down_count + 1;
+    if remove_from_free t m then None
+    else
+      match Heap.remove_first t.heap (fun r -> r.r_machine = m) with
+      | None -> None (* down before it ever hosted the next job *)
+      | Some (_finish, r) ->
+          let job = r.r_job in
+          let org = job.Job.org in
+          if time < r.r_start then
+            invalid_arg "Cluster.fail_machine: time before the job's start";
+          t.running_per_org.(org) <- t.running_per_org.(org) - 1;
+          let wasted = time - r.r_start in
+          t.wasted_work.(org) <- t.wasted_work.(org) + wasted;
+          t.killed_count <- t.killed_count + 1;
+          if t.record then begin
+            (* Replace the optimistic full-duration placement recorded at
+               start with a truncated killed segment (dropped entirely when
+               the kill lands on the start instant: nothing ran). *)
+            t.placements <-
+              List.filter
+                (fun (p : Schedule.placement) ->
+                  not (Job.equal p.Schedule.job job && p.Schedule.start = r.r_start))
+                t.placements;
+            if wasted > 0 then
+              t.killed <-
+                Schedule.placement ~duration:wasted ~job ~start:r.r_start
+                  ~machine:m ()
+                :: t.killed
+          end;
+          let id = Job.id job in
+          let kills = 1 + Option.value (Hashtbl.find_opt t.restarts id) ~default:0 in
+          Hashtbl.replace t.restarts id kills;
+          let resubmit =
+            match t.max_restarts with None -> true | Some r -> kills <= r
+          in
+          if resubmit then begin
+            t.resubmitted.(org) <- insert_by_index job t.resubmitted.(org);
+            t.waiting_total <- t.waiting_total + 1
+          end
+          else t.abandoned <- job :: t.abandoned;
+          Some
+            {
+              k_job = job;
+              k_start = r.r_start;
+              k_machine = m;
+              k_wasted = wasted;
+              k_resubmitted = resubmit;
+            }
+  end
+
+let recover_machine t m =
+  if m < 0 || m >= Array.length t.owners then
+    invalid_arg "Cluster.recover_machine";
+  if t.up.(m) then false
+  else begin
+    t.up.(m) <- true;
+    t.down_count <- t.down_count - 1;
+    t.free.(t.free_size) <- m;
+    t.free_size <- t.free_size + 1;
+    true
+  end
+
+let killed_segments t = t.killed
+let killed_count t = t.killed_count
+let wasted_work t u = t.wasted_work.(u)
+let abandoned t = List.rev t.abandoned
+let abandoned_count t = List.length t.abandoned
+
 let to_schedule t =
   if not t.record then
     invalid_arg "Cluster.to_schedule: cluster was not recording";
-  Schedule.of_placements ~machines:(machines t) t.placements
+  Schedule.of_placements ~killed:t.killed ~machines:(machines t) t.placements

@@ -22,9 +22,19 @@ type completion = {
   machine : int;
 }
 
+type kill = {
+  k_job : Job.t;
+  k_start : int;  (** when the killed attempt had started *)
+  k_machine : int;
+  k_wasted : int;  (** executed-then-lost parts: [kill time − k_start] *)
+  k_resubmitted : bool;
+      (** [false] when the restart budget is exhausted (job abandoned) *)
+}
+
 val create :
   ?record:bool ->
   ?speeds:float array ->
+  ?max_restarts:int ->
   machine_owners:int array ->
   norgs:int ->
   unit ->
@@ -35,7 +45,10 @@ val create :
     never receives jobs of non-members).  [record] keeps the full placement
     list for later analysis (default [false]).  [speeds] enables the
     related-machines extension: a job of size [p] occupies machine [i] for
-    [ceil (p / speeds.(i))] time units (default: all 1.0). *)
+    [ceil (p / speeds.(i))] time units (default: all 1.0).  [max_restarts]
+    bounds how many times a job killed by machine failures is resubmitted
+    before being abandoned (default: unbounded).
+    @raise Invalid_argument if [max_restarts < 0]. *)
 
 val machines : t -> int
 val norgs : t -> int
@@ -90,7 +103,51 @@ val started_count : t -> int
 
 val placements : t -> Schedule.placement list
 (** All placements so far, most recent first; empty unless [record] was
-    set. *)
+    set.  Killed attempts are excised (see {!fail_machine}); only surviving
+    work is listed here. *)
+
+(** {2 Machine faults}
+
+    Jobs are non-preemptible (Section 2), so a machine failure kills the
+    job it hosts: the executed prefix is discarded and the job restarts
+    from scratch.  The killed job is resubmitted at the {e head} of its
+    owner's queue (it keeps its FIFO rank — anything submitted later must
+    still wait behind it), unless its restart budget is exhausted, in
+    which case it is abandoned. *)
+
+val fail_machine : t -> time:int -> int -> kill option
+(** Take machine [m] down at [time].  Returns the kill record if a job was
+    running there ([None] if the machine was free or already down).  The
+    machine leaves the free pool until {!recover_machine}.  On recording
+    clusters the optimistic full-duration placement of the killed attempt
+    is replaced by a truncated segment in {!killed_segments} (dropped when
+    zero-length).  @raise Invalid_argument on a bad machine id or if
+    [time] precedes the running job's start. *)
+
+val recover_machine : t -> int -> bool
+(** Bring a machine back up (it rejoins the free pool immediately and can
+    host a job at the same instant).  Returns [false] if it was already
+    up.  @raise Invalid_argument on a bad machine id. *)
+
+val machine_up : t -> int -> bool
+val up_count : t -> int
+val down_count : t -> int
+
+val killed_segments : t -> Schedule.placement list
+(** Truncated segments of killed attempts, most recent first; empty unless
+    [record] was set. *)
+
+val killed_count : t -> int
+(** Number of kills so far (counted even when not recording). *)
+
+val wasted_work : t -> int -> int
+(** Per-organization executed-then-discarded parts (Σ [k_wasted]). *)
+
+val abandoned : t -> Job.t list
+(** Jobs dropped after exhausting [max_restarts], in kill order. *)
+
+val abandoned_count : t -> int
 
 val to_schedule : t -> Schedule.t
-(** @raise Invalid_argument unless created with [record:true]. *)
+(** Includes {!killed_segments} as the schedule's killed list.
+    @raise Invalid_argument unless created with [record:true]. *)

@@ -36,7 +36,7 @@ type pool = {
   mutable gen : int;  (* bumped once per submitted batch *)
   mutable current : batch option;
   submit : Mutex.t;  (* held for the whole lifetime of a batch *)
-  nhelpers : int;
+  mutable nhelpers : int;  (* helpers actually spawned; 0 => sequential *)
 }
 
 let record_error p batch i e bt =
@@ -81,6 +81,24 @@ let worker p idx () =
 let the_pool = ref None
 let the_pool_mutex = Mutex.create ()
 
+(* [Domain.spawn] can fail at runtime (domain limit reached, thread creation
+   refused by the OS).  The pool treats that as a soft error: it keeps
+   whatever helpers did spawn — possibly none — and every batch still
+   completes on the calling domain.  Indirected so tests can inject a
+   failing spawn. *)
+let spawn_fn = ref (fun f -> ignore (Domain.spawn f))
+let spawn_warned = ref false
+
+let warn_spawn_failure e nspawned =
+  if not !spawn_warned then begin
+    spawn_warned := true;
+    Printf.eprintf
+      "domain_pool: Domain.spawn failed (%s); continuing with %d helper \
+       domain(s), parallel batches may run sequentially\n\
+       %!"
+      (Printexc.to_string e) nspawned
+  end
+
 let get_pool () =
   Mutex.lock the_pool_mutex;
   let p =
@@ -101,14 +119,29 @@ let get_pool () =
             nhelpers;
           }
         in
-        for idx = 0 to nhelpers - 1 do
-          ignore (Domain.spawn (worker p idx))
-        done;
+        let spawned = ref 0 in
+        (try
+           for idx = 0 to nhelpers - 1 do
+             !spawn_fn (worker p idx);
+             incr spawned
+           done
+         with e -> warn_spawn_failure e !spawned);
+        p.nhelpers <- !spawned;
         the_pool := Some p;
         p
   in
   Mutex.unlock the_pool_mutex;
   p
+
+let unsafe_reset_for_testing ~spawn =
+  Mutex.lock the_pool_mutex;
+  the_pool := None;
+  spawn_warned := false;
+  (spawn_fn :=
+     match spawn with
+     | Some f -> f
+     | None -> fun f -> ignore (Domain.spawn f));
+  Mutex.unlock the_pool_mutex
 
 let helpers () = (get_pool ()).nhelpers
 
@@ -123,7 +156,10 @@ let parallel_iter ?workers f n =
   else if w <= 1 || n < 2 then sequential_iter f n
   else
     let p = get_pool () in
-    if not (Mutex.try_lock p.submit) then
+    if p.nhelpers = 0 then
+      (* Helper spawning failed at pool creation: degrade gracefully. *)
+      sequential_iter f n
+    else if not (Mutex.try_lock p.submit) then
       (* A batch is already in flight (nested or concurrent submission):
          run inline rather than wait — never deadlocks, stays deterministic. *)
       sequential_iter f n

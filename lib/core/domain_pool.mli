@@ -35,7 +35,11 @@ val with_default_workers : int option -> (unit -> 'a) -> 'a
 val helpers : unit -> int
 (** Number of helper domains in the global pool, creating the pool on first
     use (at least one helper, so the cross-domain path is exercised even on
-    single-core machines). *)
+    single-core machines).  If {!Domain.spawn} fails at pool creation —
+    domain limit reached, OS refuses a thread — the pool keeps however many
+    helpers did spawn (possibly zero), warns once on stderr, and
+    {!parallel_iter} degrades to the inline sequential loop; results are
+    unchanged. *)
 
 val parallel_iter : ?workers:int -> (int -> unit) -> int -> unit
 (** [parallel_iter ~workers f n] runs [f 0 .. f (n-1)], using up to
@@ -44,3 +48,12 @@ val parallel_iter : ?workers:int -> (int -> unit) -> int -> unit
     is in flight.  If tasks raise, the exception of the lowest-indexed
     failing task is re-raised (with its backtrace) after the whole batch has
     been attempted. *)
+
+(**/**)
+
+val unsafe_reset_for_testing :
+  spawn:(((unit -> unit) -> unit) option) -> unit
+(** Discard the global pool and install a replacement for [Domain.spawn]
+    ([None] restores the real one).  Helpers of a previously created pool
+    are orphaned parked on a dead condition variable — acceptable only in
+    tests. *)

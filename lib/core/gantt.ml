@@ -16,18 +16,23 @@ let render ?(width = 72) ?upto schedule =
   let buf = Buffer.create ((machines + 2) * (columns + 8)) in
   let col_of t = Stdlib.min (columns - 1) (int_of_float (float_of_int t /. span)) in
   let grid = Array.init machines (fun _ -> Array.make columns []) in
+  (* Killed segments are marked with the sentinel org −2, rendered 'x':
+     occupancy that was paid for but produced nothing. *)
+  let mark_placement ~org (p : Schedule.placement) =
+    let finish = Stdlib.min (Schedule.completion p) upto in
+    let rec mark t =
+      if t < finish then begin
+        let col = col_of t in
+        grid.(p.machine).(col) <- org :: grid.(p.machine).(col);
+        mark (t + 1)
+      end
+    in
+    if p.start < upto then mark p.start
+  in
   List.iter
-    (fun (p : Schedule.placement) ->
-      let finish = Stdlib.min (Schedule.completion p) upto in
-      let rec mark t =
-        if t < finish then begin
-          let col = col_of t in
-          grid.(p.machine).(col) <- p.job.Job.org :: grid.(p.machine).(col);
-          mark (t + 1)
-        end
-      in
-      if p.start < upto then mark p.start)
+    (fun (p : Schedule.placement) -> mark_placement ~org:p.job.Job.org p)
     (Schedule.placements schedule);
+  List.iter (mark_placement ~org:(-2)) (Schedule.killed schedule);
   let glyph cell =
     match cell with
     | [] -> '-'
@@ -50,6 +55,7 @@ let render ?(width = 72) ?upto schedule =
         in
         match best with
         | Some (-1, _) -> '~'
+        | Some (-2, _) -> 'x'
         | Some (org, _) -> org_glyph org
         | None -> '-')
   in

@@ -65,6 +65,26 @@ let pop h =
     Some (top.prio, top.value)
   end
 
+let remove_first h pred =
+  let rec find i =
+    if i >= h.size then None
+    else if pred h.data.(i).value then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      let entry = h.data.(i) in
+      h.size <- h.size - 1;
+      if i < h.size then begin
+        h.data.(i) <- h.data.(h.size);
+        (* The moved entry may violate the heap property in either
+           direction; one sift each way restores it (at most one moves). *)
+        sift_down h.data h.size i;
+        sift_up h.data i
+      end;
+      Some (entry.prio, entry.value)
+
 let pop_le h bound =
   match min_prio h with
   | Some p when p <= bound -> pop h

@@ -25,6 +25,12 @@ val pop_le : 'a t -> int -> (int * 'a) option
 (** [pop_le h bound] pops the minimum entry only if its priority is
     [<= bound]. *)
 
+val remove_first : 'a t -> ('a -> bool) -> (int * 'a) option
+(** Removes the first stored entry (in unspecified internal order) whose
+    value satisfies the predicate; O(n).  Used to kill the running job of a
+    failed machine — failures are rare, so a linear scan beats maintaining
+    an index. *)
+
 val clear : 'a t -> unit
 val to_list : 'a t -> (int * 'a) list
 (** Snapshot in unspecified order (for debugging / tests). *)

@@ -4,24 +4,34 @@ let placement ?duration ~job ~start ~machine () =
   let duration = Option.value duration ~default:job.Job.size in
   if duration < 1 then invalid_arg "Schedule.placement: duration < 1";
   { job; start; machine; duration }
-type t = { machines : int; placements : placement list (* sorted *) }
+type t = {
+  machines : int;
+  placements : placement list; (* sorted *)
+  killed : placement list; (* sorted; segments cut short by machine failures *)
+}
 
 let compare_placement a b =
   match Stdlib.compare a.start b.start with
   | 0 -> Stdlib.compare a.machine b.machine
   | c -> c
 
-let of_placements ~machines pl =
-  List.iter
-    (fun p ->
-      if p.machine < 0 || p.machine >= machines then
-        invalid_arg "Schedule.of_placements: machine id out of range";
-      if p.start < 0 then
-        invalid_arg "Schedule.of_placements: negative start time")
-    pl;
-  { machines; placements = List.sort compare_placement pl }
+let of_placements ?(killed = []) ~machines pl =
+  let check p =
+    if p.machine < 0 || p.machine >= machines then
+      invalid_arg "Schedule.of_placements: machine id out of range";
+    if p.start < 0 then
+      invalid_arg "Schedule.of_placements: negative start time"
+  in
+  List.iter check pl;
+  List.iter check killed;
+  {
+    machines;
+    placements = List.sort compare_placement pl;
+    killed = List.sort compare_placement killed;
+  }
 
 let placements t = t.placements
+let killed t = t.killed
 let machines t = t.machines
 let job_count t = List.length t.placements
 let find t job = List.find_opt (fun p -> Job.equal p.job job) t.placements
@@ -37,6 +47,13 @@ let busy_time t ~upto =
 let utilization t ~upto =
   if upto <= 0 || t.machines = 0 then 0.
   else float_of_int (busy_time t ~upto) /. float_of_int (t.machines * upto)
+
+let wasted_time t ~upto =
+  List.fold_left
+    (fun acc p ->
+      let slot_end = Stdlib.min (completion p) upto in
+      acc + Stdlib.max 0 (slot_end - p.start))
+    0 t.killed
 
 let makespan t =
   List.fold_left (fun acc p -> Stdlib.max acc (completion p)) 0 t.placements

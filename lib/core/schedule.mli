@@ -19,12 +19,21 @@ val placement : ?duration:int -> job:Job.t -> start:int -> machine:int -> unit -
 type t
 (** An immutable schedule over a fixed pool of machines. *)
 
-val of_placements : machines:int -> placement list -> t
+val of_placements : ?killed:placement list -> machines:int -> placement list -> t
 (** @raise Invalid_argument if a machine id is out of [0, machines) or a
-    start time is negative. *)
+    start time is negative.  [killed] (default none) lists segments cut
+    short by machine failures: work that occupied a machine but was lost
+    when it died ([duration] is the executed-then-discarded span, the job
+    itself restarts from scratch elsewhere in [placements]). *)
 
 val placements : t -> placement list
 (** Sorted by start time, then machine. *)
+
+val killed : t -> placement list
+(** Killed segments (machine-failure casualties), sorted like
+    {!placements}; empty on fault-free runs.  Not part of {!placements}:
+    utility and feasibility are judged on surviving work only, but the
+    wasted occupancy stays observable here. *)
 
 val machines : t -> int
 val job_count : t -> int
@@ -40,7 +49,12 @@ val busy_time : t -> upto:int -> int
     numerator of the resource-utilization metric of Section 6. *)
 
 val utilization : t -> upto:int -> float
-(** [busy_time / (machines * upto)]. *)
+(** [busy_time / (machines * upto)].  Counts useful (surviving) work only;
+    see {!wasted_time} for the occupancy lost to kills. *)
+
+val wasted_time : t -> upto:int -> int
+(** Total (machine, slot) pairs in [0, upto) spent on segments that were
+    later killed by machine failures — work done and thrown away. *)
 
 val makespan : t -> int
 (** Latest completion time; 0 for an empty schedule. *)

@@ -1,0 +1,217 @@
+type config = {
+  model : Workload.Traces.model;
+  norgs : int;
+  machines : int;
+  horizon : int;
+  instances : int;
+  intensities : float list;
+  mtbf : float;
+  mttr : float;
+  max_restarts : int option;
+  algorithms : (string * Algorithms.Policy.maker) list;
+  seed : int;
+}
+
+let default_lineup =
+  [
+    ("roundrobin", Algorithms.Baselines.round_robin);
+    ("fairshare", Algorithms.Fair_share.fair_share);
+    ("directcontr", Algorithms.Direct_contr.direct_contr);
+    ("rand-15", Algorithms.Rand.rand15);
+  ]
+
+let default_config ?(instances = 3) ?(norgs = 3) ?(machines = 8)
+    ?(horizon = 5_000) ?(intensities = [ 0.; 0.5; 1.; 2. ]) ?(mtbf = 1_000.)
+    ?(mttr = 50.) ?max_restarts ?(seed = 2013) () =
+  {
+    model = Workload.Traces.lpc_egee;
+    norgs;
+    machines;
+    horizon;
+    instances;
+    intensities;
+    mtbf;
+    mttr;
+    max_restarts;
+    algorithms = default_lineup;
+    seed;
+  }
+
+type cell = { mean : float; stddev : float; n : int }
+
+type row = {
+  intensity : float;
+  algorithm : string;
+  unfairness : cell;
+  util_ratio : cell;
+  killed : cell;
+  abandoned : cell;
+  wasted : cell;
+  downtime : cell;
+}
+
+type study = { config : config; rows : row list }
+
+(* One instance of one intensity: the same fault trace hits REF and every
+   candidate, so Δψ compares each algorithm to the fair schedule of the same
+   degraded cluster.  Returns per-algorithm (name, ratio, util, killed,
+   abandoned, wasted) plus the shared downtime fraction; "ref" included. *)
+let run_one config ~intensity ~index =
+  let seed = config.seed + (7919 * index) in
+  let spec =
+    Workload.Scenario.default ~norgs:config.norgs ~machines:config.machines
+      ~horizon:config.horizon config.model
+  in
+  let instance = Workload.Scenario.instance spec ~seed in
+  let nmachines = Core.Instance.total_machines instance in
+  let faults =
+    if intensity <= 0. then []
+    else
+      Faults.Model.random
+        ~rng:(Fstats.Rng.create ~seed:(seed lxor 0xfa017))
+        ~machines:nmachines ~horizon:config.horizon
+        ~mtbf:(Faults.Model.Exponential { mean = config.mtbf /. intensity })
+        ~mttr:(Faults.Model.Exponential { mean = config.mttr })
+        ()
+  in
+  let downtime_frac =
+    float_of_int
+      (Faults.Model.downtime ~machines:nmachines ~horizon:config.horizon
+         faults)
+    /. float_of_int (nmachines * config.horizon)
+  in
+  let reference, evals =
+    Sim.Fairness.evaluate ~record:true ~faults
+      ?max_restarts:config.max_restarts ~instance ~seed:(seed lxor 0xbeef)
+      (List.map snd config.algorithms)
+  in
+  let bound =
+    Utility.Metrics.work_upper_bound
+      ~all_jobs:(Array.to_list instance.Core.Instance.jobs)
+      ~machines:nmachines ~upto:config.horizon
+  in
+  let util (r : Sim.Driver.result) =
+    if bound = 0 then 1.
+    else
+      float_of_int
+        (Core.Schedule.busy_time r.Sim.Driver.schedule ~upto:config.horizon)
+      /. float_of_int bound
+  in
+  let line name ratio (r : Sim.Driver.result) =
+    ( name,
+      ratio,
+      util r,
+      float_of_int r.Sim.Driver.killed,
+      float_of_int r.Sim.Driver.abandoned,
+      float_of_int r.Sim.Driver.wasted )
+  in
+  let ref_line = line "ref" 0. reference in
+  let algo_lines =
+    List.map2
+      (fun (name, _) (e : Sim.Fairness.evaluation) ->
+        line name e.Sim.Fairness.ratio e.Sim.Fairness.result)
+      config.algorithms evals
+  in
+  (downtime_frac, ref_line :: algo_lines)
+
+let run ?(progress = fun _ -> ()) ?workers config =
+  let algo_names = "ref" :: List.map fst config.algorithms in
+  let rows = ref [] in
+  List.iter
+    (fun intensity ->
+      let t0 = Unix.gettimeofday () in
+      let per_instance =
+        Pool.map ?workers
+          (fun index -> run_one config ~intensity ~index)
+          (List.init config.instances (fun i -> i + 1))
+      in
+      let summaries =
+        List.map
+          (fun name -> (name, Array.init 5 (fun _ -> Fstats.Summary.create ())))
+          algo_names
+      in
+      let downtime = Fstats.Summary.create () in
+      List.iter
+        (fun (dt, lines) ->
+          Fstats.Summary.add downtime dt;
+          List.iter
+            (fun (name, ratio, util, killed, abandoned, wasted) ->
+              let s = List.assoc name summaries in
+              Fstats.Summary.add s.(0) ratio;
+              Fstats.Summary.add s.(1) util;
+              Fstats.Summary.add s.(2) killed;
+              Fstats.Summary.add s.(3) abandoned;
+              Fstats.Summary.add s.(4) wasted)
+            lines)
+        per_instance;
+      let cell s =
+        {
+          mean = Fstats.Summary.mean s;
+          stddev = Fstats.Summary.stddev s;
+          n = Fstats.Summary.count s;
+        }
+      in
+      List.iter
+        (fun (name, s) ->
+          rows :=
+            {
+              intensity;
+              algorithm = name;
+              unfairness = cell s.(0);
+              util_ratio = cell s.(1);
+              killed = cell s.(2);
+              abandoned = cell s.(3);
+              wasted = cell s.(4);
+              downtime = cell downtime;
+            }
+            :: !rows)
+        summaries;
+      progress
+        (Printf.sprintf "intensity %g: %d instances in %.1fs" intensity
+           config.instances
+           (Unix.gettimeofday () -. t0)))
+    config.intensities;
+  { config; rows = List.rev !rows }
+
+let pp ppf t =
+  Format.fprintf ppf "%-10s %-14s | %10s %10s %8s %9s %8s %9s@." "intensity"
+    "algorithm" "Δψ/p_tot" "util" "killed" "abandoned" "wasted" "downtime";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10g %-14s | %10.4f %10.3f %8.1f %9.1f %8.1f %9.3f@."
+        r.intensity r.algorithm r.unfairness.mean r.util_ratio.mean
+        r.killed.mean r.abandoned.mean r.wasted.mean r.downtime.mean)
+    t.rows
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "intensity,algorithm,unfairness_mean,unfairness_stddev,util_ratio,killed,abandoned,wasted,downtime_frac,n\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%g,%s,%f,%f,%f,%f,%f,%f,%f,%d\n" r.intensity
+           r.algorithm r.unfairness.mean r.unfairness.stddev r.util_ratio.mean
+           r.killed.mean r.abandoned.mean r.wasted.mean r.downtime.mean
+           r.unfairness.n))
+    t.rows;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  {\"intensity\": %g, \"algorithm\": %S, \"unfairness\": %f, \
+            \"unfairness_stddev\": %f, \"util_ratio\": %f, \"killed\": %f, \
+            \"abandoned\": %f, \"wasted\": %f, \"downtime_frac\": %f, \"n\": \
+            %d}"
+           r.intensity r.algorithm r.unfairness.mean r.unfairness.stddev
+           r.util_ratio.mean r.killed.mean r.abandoned.mean r.wasted.mean
+           r.downtime.mean r.unfairness.n))
+    t.rows;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf

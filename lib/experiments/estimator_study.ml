@@ -55,7 +55,7 @@ let game config =
   let value mask =
     if mask = Shapley.Coalition.empty then 0.
     else begin
-      let sim = Algorithms.Coalition_sim.create ~instance ~members:mask in
+      let sim = Algorithms.Coalition_sim.create ~instance ~members:mask () in
       Array.iter
         (fun (j : Job.t) ->
           if Shapley.Coalition.mem mask j.Job.org then

@@ -22,7 +22,7 @@ let standalone_value ~instance ~mask ~at =
   in
   if not owns_machines then 0.
   else begin
-    let sim = Algorithms.Coalition_sim.create ~instance ~members:mask in
+    let sim = Algorithms.Coalition_sim.create ~instance ~members:mask () in
     Array.iter
       (fun (j : Job.t) ->
         if Shapley.Coalition.mem mask j.Job.org then

@@ -113,7 +113,7 @@ let coalition_value mask =
     = 0
   then 0.
   else begin
-    let sim = Algorithms.Coalition_sim.create ~instance ~members:mask in
+    let sim = Algorithms.Coalition_sim.create ~instance ~members:mask () in
     Array.iter
       (fun (j : Job.t) ->
         if Shapley.Coalition.mem mask j.Job.org then

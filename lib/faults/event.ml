@@ -1,0 +1,38 @@
+type t = Fail of int | Recover of int
+
+type timed = { time : int; event : t }
+
+let machine = function Fail m -> m | Recover m -> m
+
+let tag = function Fail _ -> 0 | Recover _ -> 1
+
+let compare_timed a b =
+  match Stdlib.compare a.time b.time with
+  | 0 -> (
+      match Stdlib.compare (machine a.event) (machine b.event) with
+      | 0 -> Stdlib.compare (tag a.event) (tag b.event)
+      | c -> c)
+  | c -> c
+
+let pp ppf = function
+  | Fail m -> Format.fprintf ppf "fail(m%d)" m
+  | Recover m -> Format.fprintf ppf "recover(m%d)" m
+
+let pp_timed ppf e = Format.fprintf ppf "t=%d %a" e.time pp e.event
+
+let validate ~machines trace =
+  let rec go last = function
+    | [] -> Ok ()
+    | e :: rest ->
+        let m = machine e.event in
+        if e.time < 0 then
+          Error (Format.asprintf "%a: negative time" pp_timed e)
+        else if e.time < last then
+          Error (Format.asprintf "%a: out of order (previous at %d)" pp_timed e last)
+        else if m < 0 || m >= machines then
+          Error
+            (Format.asprintf "%a: machine out of range [0, %d)" pp_timed e
+               machines)
+        else go e.time rest
+  in
+  go 0 trace

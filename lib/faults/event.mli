@@ -1,0 +1,30 @@
+(** Machine fault events.
+
+    The unit of failure is one machine of the (grand-coalition) cluster,
+    identified by its global machine id — the index into the driver's
+    flattened, organization-contiguous machine array.  A [Fail] kills
+    whatever job the machine is running (jobs are non-preemptible, so the
+    work is lost and the job restarts from scratch) and removes the machine
+    from the free pool; a [Recover] returns it.
+
+    A fault {e trace} is a time-ordered stream of such events; the
+    generators in {!Model} produce them and the simulation driver merges
+    them into its event loop. *)
+
+type t = Fail of int | Recover of int
+
+type timed = { time : int; event : t }
+
+val machine : t -> int
+
+val compare_timed : timed -> timed -> int
+(** Orders by time, then machine id, then [Fail] before [Recover] — a total
+    deterministic order for sorting generator output. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_timed : Format.formatter -> timed -> unit
+
+val validate : machines:int -> timed list -> (unit, string) result
+(** Checks that times are non-negative and non-decreasing and that every
+    machine id is in [0, machines).  The driver rejects invalid traces with
+    [Invalid_argument] carrying this message. *)

@@ -1,0 +1,92 @@
+type dist =
+  | Exponential of { mean : float }
+  | Weibull of { shape : float; scale : float }
+  | Fixed of float
+
+let mean_of = function
+  | Exponential { mean } -> mean
+  | Fixed d -> d
+  | Weibull { shape = _; scale } ->
+      (* Γ(1 + 1/shape) via Lanczos would be overkill here: the churn sweep
+         only needs a rough scale for reporting, and for the shapes used in
+         reliability modelling (0.5–3) the scale itself is within a small
+         factor of the mean. *)
+      scale
+
+let sample dist rng =
+  match dist with
+  | Exponential { mean } ->
+      if mean <= 0. then invalid_arg "Faults.Model: exponential mean <= 0";
+      Fstats.Dist.exponential rng ~rate:(1. /. mean)
+  | Weibull { shape; scale } -> Fstats.Dist.weibull rng ~shape ~scale
+  | Fixed d ->
+      if d <= 0. then invalid_arg "Faults.Model: fixed duration <= 0";
+      d
+
+type outage = { machine : int; down_at : int; up_at : int }
+
+let scripted outages =
+  List.concat_map
+    (fun o ->
+      if o.down_at < 0 then invalid_arg "Faults.Model.scripted: down_at < 0";
+      if o.up_at <= o.down_at then
+        invalid_arg "Faults.Model.scripted: up_at <= down_at";
+      if o.machine < 0 then invalid_arg "Faults.Model.scripted: machine < 0";
+      [
+        { Event.time = o.down_at; event = Event.Fail o.machine };
+        { Event.time = o.up_at; event = Event.Recover o.machine };
+      ])
+    outages
+  |> List.sort Event.compare_timed
+
+(* One machine's alternating up/down renewal process, truncated at the
+   horizon.  Durations are rounded to at least one time unit so that a
+   failure and its recovery never collapse onto the same instant. *)
+let machine_events ~rng ~horizon ~mtbf ~mttr m =
+  let duration dist = Stdlib.max 1 (int_of_float (Float.round (sample dist rng))) in
+  let rec go t acc =
+    let fail_t = t + duration mtbf in
+    if fail_t >= horizon then acc
+    else
+      let recover_t = fail_t + duration mttr in
+      let acc = { Event.time = fail_t; event = Event.Fail m } :: acc in
+      if recover_t >= horizon then acc
+      else go recover_t ({ Event.time = recover_t; event = Event.Recover m } :: acc)
+  in
+  go 0 []
+
+let random ~rng ~machines ~horizon ~mtbf ~mttr () =
+  if machines < 1 then invalid_arg "Faults.Model.random: machines < 1";
+  if horizon < 1 then invalid_arg "Faults.Model.random: horizon < 1";
+  let acc = ref [] in
+  for m = 0 to machines - 1 do
+    acc := List.rev_append (machine_events ~rng ~horizon ~mtbf ~mttr m) !acc
+  done;
+  List.sort Event.compare_timed !acc
+
+let count_kind trace =
+  List.fold_left
+    (fun (f, r) e ->
+      match e.Event.event with
+      | Event.Fail _ -> (f + 1, r)
+      | Event.Recover _ -> (f, r + 1))
+    (0, 0) trace
+
+let downtime ~machines ~horizon trace =
+  let down_since = Array.make machines (-1) in
+  let total = ref 0 in
+  List.iter
+    (fun e ->
+      let m = Event.machine e.Event.event in
+      match e.Event.event with
+      | Event.Fail _ -> if down_since.(m) < 0 then down_since.(m) <- e.Event.time
+      | Event.Recover _ ->
+          if down_since.(m) >= 0 then begin
+            total := !total + (Stdlib.min e.Event.time horizon - down_since.(m));
+            down_since.(m) <- -1
+          end)
+    trace;
+  Array.iter
+    (fun since -> if since >= 0 then total := !total + Stdlib.max 0 (horizon - since))
+    down_since;
+  !total

@@ -1,0 +1,51 @@
+(** Failure models: compile a seeded stochastic description (or a scripted
+    outage list) into a time-ordered fault-event trace.
+
+    The stochastic model is the classic per-machine renewal process of
+    reliability theory: machine [m] stays up for a duration drawn from the
+    MTBF distribution, goes down (killing its running job), stays down for
+    a duration drawn from the MTTR distribution, and repeats until the
+    horizon.  Exponential lifetimes give the memoryless baseline; Weibull
+    with [shape < 1] models infant-mortality-heavy clusters and
+    [shape > 1] wear-out.  All randomness comes from the provided
+    {!Fstats.Rng.t}, so traces are reproducible. *)
+
+type dist =
+  | Exponential of { mean : float }
+  | Weibull of { shape : float; scale : float }
+  | Fixed of float  (** deterministic duration, for tests *)
+
+val mean_of : dist -> float
+(** Rough central scale of the distribution (exact for exponential/fixed,
+    the scale parameter for Weibull) — used only for reporting. *)
+
+val sample : dist -> Fstats.Rng.t -> float
+(** @raise Invalid_argument on non-positive means/durations. *)
+
+type outage = { machine : int; down_at : int; up_at : int }
+
+val scripted : outage list -> Event.timed list
+(** Deterministic trace from explicit outage windows, sorted into canonical
+    event order.  @raise Invalid_argument on negative or empty windows. *)
+
+val random :
+  rng:Fstats.Rng.t ->
+  machines:int ->
+  horizon:int ->
+  mtbf:dist ->
+  mttr:dist ->
+  unit ->
+  Event.timed list
+(** Per-machine alternating renewal trace over [0, horizon).  Durations are
+    rounded to at least 1 time unit; events at or after the horizon are
+    dropped (a machine whose recovery falls past the horizon stays down).
+    Machines are processed in id order from the single [rng], so the trace
+    is a deterministic function of the seed. *)
+
+val count_kind : Event.timed list -> int * int
+(** [(failures, recoveries)] in the trace. *)
+
+val downtime : machines:int -> horizon:int -> Event.timed list -> int
+(** Total machine-time units lost to outages in [0, horizon) — the capacity
+    actually removed by the trace, used by the churn experiment to report
+    effective utilization. *)

@@ -10,6 +10,9 @@ type result = {
   events : int;
   wall_seconds : float;
   checkpoints : snapshot list;
+  killed : int;
+  abandoned : int;
+  wasted : int;
 }
 
 and snapshot = { at : int; psi_scaled : int array; parts_at : int array }
@@ -26,13 +29,20 @@ let machine_owners instance =
     instance.Instance.machines;
   owners
 
-let run ?(record = true) ?(checkpoints = []) ?workers ~instance ~rng
-    (maker : Algorithms.Policy.maker) =
+let run ?(record = true) ?(checkpoints = []) ?workers ?(faults = [])
+    ?max_restarts ~instance ~rng (maker : Algorithms.Policy.maker) =
   let t0 = Unix.gettimeofday () in
   let k = Instance.organizations instance in
   let horizon = instance.Instance.horizon in
+  let nmachines = Instance.total_machines instance in
+  (match Faults.Event.validate ~machines:nmachines faults with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Driver.run: bad fault trace: " ^ msg));
+  let faults = Array.of_list (List.sort Faults.Event.compare_timed faults) in
+  let next_fault = ref 0 in
+  let nfaults = Array.length faults in
   let cluster =
-    Cluster.create ~record
+    Cluster.create ~record ?max_restarts
       ?speeds:instance.Instance.speeds
       ~machine_owners:(machine_owners instance)
       ~norgs:k ()
@@ -80,13 +90,18 @@ let run ?(record = true) ?(checkpoints = []) ?workers ~instance ~rng
     in
     go ()
   in
+  let min_opt a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (Stdlib.min a b)
+  in
   let next_event () =
     let release = if !next_job < njobs then Some jobs.(!next_job).Job.release else None in
-    let completion = Cluster.next_completion cluster in
-    match (release, completion) with
-    | None, c -> c
-    | r, None -> r
-    | Some r, Some c -> Some (Stdlib.min r c)
+    let fault =
+      if !next_fault < nfaults then Some faults.(!next_fault).Faults.Event.time
+      else None
+    in
+    min_opt (min_opt release fault) (Cluster.next_completion cluster)
   in
   let process_instant t =
     incr events;
@@ -102,6 +117,30 @@ let run ?(record = true) ?(checkpoints = []) ?workers ~instance ~rng
       | None -> ()
     in
     completions ();
+    (* Faults after completions (a job finishing at [t] beats a failure at
+       [t]) and before releases and the scheduling round (a machine down at
+       [t] hosts nothing today; a recovered one is usable immediately). *)
+    while
+      !next_fault < nfaults && faults.(!next_fault).Faults.Event.time <= t
+    do
+      let ev = faults.(!next_fault) in
+      incr next_fault;
+      (match ev.Faults.Event.event with
+      | Faults.Event.Fail m -> (
+          match Cluster.fail_machine cluster ~time:t m with
+          | Some kill ->
+              (* Strategy-proofness under churn (Theorem 4.1): the killed
+                 piece is retracted — lost work counts toward nobody's
+                 ψsp. *)
+              Utility.Tracker.on_abort
+                trackers.(kill.Cluster.k_job.Job.org)
+                ~key:kill.Cluster.k_job.Job.index;
+              policy.Algorithms.Policy.on_kill view ~time:t kill
+          | None -> ())
+      | Faults.Event.Recover m ->
+          ignore (Cluster.recover_machine cluster m));
+      policy.Algorithms.Policy.on_fault view ~time:t ev.Faults.Event.event
+    done;
     while !next_job < njobs && jobs.(!next_job).Job.release <= t do
       let job = jobs.(!next_job) in
       incr next_job;
@@ -139,6 +178,14 @@ let run ?(record = true) ?(checkpoints = []) ?workers ~instance ~rng
     events = !events;
     wall_seconds = Unix.gettimeofday () -. t0;
     checkpoints = List.rev !snapshots;
+    killed = Cluster.killed_count cluster;
+    abandoned = Cluster.abandoned_count cluster;
+    wasted =
+      (let acc = ref 0 in
+       for u = 0 to k - 1 do
+         acc := !acc + Cluster.wasted_work cluster u
+       done;
+       !acc);
   }
 
 let utilities r = Array.map (fun v -> float_of_int v /. 2.) r.utilities_scaled

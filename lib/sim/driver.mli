@@ -24,6 +24,9 @@ type result = {
   checkpoints : snapshot list;
       (** snapshots at the requested instants, ascending (empty unless
           requested) *)
+  killed : int;  (** jobs killed by machine failures (0 without faults) *)
+  abandoned : int;  (** jobs dropped after exhausting [max_restarts] *)
+  wasted : int;  (** executed-then-discarded unit parts across kills *)
 }
 
 and snapshot = {
@@ -36,6 +39,8 @@ val run :
   ?record:bool ->
   ?checkpoints:int list ->
   ?workers:int ->
+  ?faults:Faults.Event.timed list ->
+  ?max_restarts:int ->
   instance:Instance.t ->
   rng:Fstats.Rng.t ->
   Algorithms.Policy.maker ->
@@ -52,7 +57,19 @@ val run :
     such as {!Algorithms.Reference} pick it up unless given an explicit
     [?workers] of their own.  [workers:1] forces strictly sequential
     execution; the default is [Domain.recommended_domain_count () - 1].
-    Results are bit-identical for every worker count. *)
+    Results are bit-identical for every worker count.
+
+    [faults] injects machine failures and recoveries (see {!Faults}): at a
+    [Fail] instant the machine goes down and its running job — jobs are
+    non-preemptible — is killed, its executed prefix discarded (it never
+    enters any ψsp), and the job resubmitted at the head of its owner's
+    queue; at [Recover] the machine rejoins the free pool.  Within an
+    instant the order is completions, then faults, then releases, then the
+    scheduling round.  [max_restarts] bounds resubmissions per job; once
+    exceeded the job is abandoned (counted in the result).  An empty
+    [faults] list (the default) leaves every code path and result
+    bit-identical to a fault-free run.
+    @raise Invalid_argument on an unsorted/out-of-range fault trace. *)
 
 val utilities : result -> float array
 (** Unscaled ψsp per organization. *)

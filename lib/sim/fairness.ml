@@ -18,21 +18,29 @@ let delta_ratio ~reference result =
   in
   (!delta_scaled, ratio)
 
-let evaluate_against ~reference ?(record = false) ~instance ~seed makers =
+let evaluate_against ~reference ?(record = false) ?(faults = []) ?max_restarts
+    ~instance ~seed makers =
   let rng = Fstats.Rng.create ~seed in
   List.map
     (fun maker ->
-      let result = Driver.run ~record ~instance ~rng:(Fstats.Rng.split rng) maker in
+      let result =
+        Driver.run ~record ~faults ?max_restarts ~instance
+          ~rng:(Fstats.Rng.split rng) maker
+      in
       let delta_scaled, ratio = delta_ratio ~reference result in
       { result; delta_scaled; ratio })
     makers
 
-let evaluate ?(record = false) ~instance ~seed makers =
+let evaluate ?(record = false) ?(faults = []) ?max_restarts ~instance ~seed
+    makers =
   let rng = Fstats.Rng.create ~seed:(seed lxor 0x5ca1ab1e) in
   let reference =
-    Driver.run ~record ~instance ~rng Algorithms.Reference.reference
+    Driver.run ~record ~faults ?max_restarts ~instance ~rng
+      Algorithms.Reference.reference
   in
-  (reference, evaluate_against ~reference ~record ~instance ~seed makers)
+  ( reference,
+    evaluate_against ~reference ~record ~faults ?max_restarts ~instance ~seed
+      makers )
 
 
 type timeline = { policy : string; points : (int * float) list }

@@ -25,22 +25,30 @@ val delta_ratio : reference:Driver.result -> Driver.result -> int * float
 
 val evaluate :
   ?record:bool ->
+  ?faults:Faults.Event.timed list ->
+  ?max_restarts:int ->
   instance:Instance.t ->
   seed:int ->
   Algorithms.Policy.maker list ->
   Driver.result * evaluation list
 (** Runs REF once, then each candidate (each with an independent RNG stream
     derived from [seed]), and scores them.  Returns the reference result and
-    the evaluations in the order given. *)
+    the evaluations in the order given.  [faults] subjects the reference
+    and every candidate to the {e same} failure trace — fairness under
+    churn is judged against the fair schedule of the same degraded
+    cluster. *)
 
 val evaluate_against :
   reference:Driver.result ->
   ?record:bool ->
+  ?faults:Faults.Event.timed list ->
+  ?max_restarts:int ->
   instance:Instance.t ->
   seed:int ->
   Algorithms.Policy.maker list ->
   evaluation list
-(** Same but reusing an already-computed reference run. *)
+(** Same but reusing an already-computed reference run (which must have been
+    produced under the same [faults]). *)
 
 (** {2 Unfairness over time}
 

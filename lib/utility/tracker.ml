@@ -19,6 +19,11 @@ let on_complete t ~key ~size =
       t.slope <- t.slope + size;
       t.const <- t.const - (size * ((2 * start) + size - 1))
 
+let on_abort t ~key =
+  if not (Hashtbl.mem t.active key) then
+    invalid_arg "Tracker.on_abort: unknown key";
+  Hashtbl.remove t.active key
+
 let value_scaled t ~at =
   let finished = (2 * t.slope * at) + t.const in
   Hashtbl.fold

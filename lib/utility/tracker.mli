@@ -30,6 +30,14 @@ val on_complete : t -> key:int -> size:int -> unit
     [size] (known only now — non-clairvoyance).
     @raise Invalid_argument if [key] is not active. *)
 
+val on_abort : t -> key:int -> unit
+(** Retract the piece registered under [key] without crediting anything: the
+    machine failed, the work is lost, and — crucially for strategy-proofness
+    (Theorem 4.1) — killed parts must not count toward ψsp, or failures
+    would let an organization inflate its utility with work that never
+    completed.  The piece simply disappears from the accounting, as if it
+    had never started.  @raise Invalid_argument if [key] is not active. *)
+
 val value_scaled : t -> at:int -> int
 (** [2·ψsp] of everything seen so far, evaluated at [at].  [at] must be at
     or after the latest [on_start] (values of running jobs would otherwise

@@ -8,14 +8,27 @@ type entry = {
 
 type t = { header : string list; entries : entry list }
 
+type parse_report = {
+  lines : int;
+  entries : int;
+  comments : int;
+  blanks : int;
+  filtered : int;
+  malformed : (int * string) list;
+}
+
+exception Parse_error of { line : int; reason : string }
+
 (* SWF fields (1-based): 1 job id, 2 submit, 3 wait, 4 run time,
    5 allocated processors, 6 avg cpu time, 7 used memory, 8 requested
    processors, 9 requested time, 10 requested memory, 11 status, 12 user id,
    13 group id, 14 executable, 15 queue, 16 partition, 17 preceding job,
    18 think time.  Missing values are -1. *)
-let parse_line line =
+let classify_line line =
   let line = String.trim line in
-  if line = "" || line.[0] = ';' then None
+  if line = "" then `Blank
+  else if line.[0] = ';' then
+    `Comment (String.trim (String.sub line 1 (String.length line - 1)))
   else
     let fields =
       String.split_on_char ' ' line
@@ -23,47 +36,110 @@ let parse_line line =
       |> List.filter (fun s -> s <> "")
     in
     match fields with
-    | job_id :: submit :: _wait :: run_time :: processors :: rest ->
-        let ( let* ) = Option.bind in
-        let* job_id = int_of_string_opt job_id in
-        let* submit = int_of_string_opt submit in
-        let* run_time = int_of_string_opt run_time in
-        let* processors = int_of_string_opt processors in
-        let user =
-          (* field 12 = 7th element of [rest] *)
-          match List.nth_opt rest 6 with
-          | Some u -> Option.value (int_of_string_opt u) ~default:0
-          | None -> 0
+    | job_id :: submit :: _wait :: run_time :: processors :: rest -> (
+        let int what s =
+          match int_of_string_opt s with
+          | Some v -> Ok v
+          | None -> Error (Printf.sprintf "field %s is not an integer: %S" what s)
         in
-        if run_time <= 0 || processors < 1 || submit < 0 then None
-        else Some { job_id; submit; run_time; processors; user }
-    | _ -> None
+        let ( let* ) = Result.bind in
+        let parsed =
+          let* job_id = int "1 (job id)" job_id in
+          let* submit = int "2 (submit)" submit in
+          let* run_time = int "4 (run time)" run_time in
+          let* processors = int "5 (processors)" processors in
+          let user =
+            (* field 12 = 7th element of [rest] *)
+            match List.nth_opt rest 6 with
+            | Some u -> Option.value (int_of_string_opt u) ~default:0
+            | None -> 0
+          in
+          Ok { job_id; submit; run_time; processors; user }
+        in
+        match parsed with
+        | Error reason -> `Malformed reason
+        | Ok e ->
+            (* Status-failed / cancelled entries in real archive traces carry
+               run time 0 or -1; they are data, not corruption. *)
+            if e.run_time <= 0 || e.processors < 1 || e.submit < 0 then
+              `Filtered
+            else `Entry e)
+    | _ :: _ ->
+        `Malformed
+          (Printf.sprintf "expected >= 5 whitespace-separated fields, got %d"
+             (List.length fields))
+    | [] -> `Blank
 
-let parse_string s =
+let parse_line line =
+  match classify_line line with
+  | `Entry e -> Some e
+  | `Blank | `Comment _ | `Filtered | `Malformed _ -> None
+
+let parse_report ?(strict = false) s =
   let lines = String.split_on_char '\n' s in
-  let header =
-    List.filter_map
-      (fun l ->
-        let l = String.trim l in
-        if String.length l > 0 && l.[0] = ';' then
-          Some (String.trim (String.sub l 1 (String.length l - 1)))
-        else None)
-      lines
-  in
-  let entries = List.filter_map parse_line lines in
+  let header = ref [] and entries = ref [] in
+  let comments = ref 0 and blanks = ref 0 and filtered = ref 0 in
+  let malformed = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match classify_line line with
+      | `Blank -> incr blanks
+      | `Comment c ->
+          incr comments;
+          header := c :: !header
+      | `Filtered -> incr filtered
+      | `Entry e -> entries := e :: !entries
+      | `Malformed reason ->
+          if strict then raise (Parse_error { line = lineno; reason });
+          malformed := (lineno, reason) :: !malformed)
+    lines;
   let entries =
-    List.stable_sort (fun a b -> Stdlib.compare a.submit b.submit) entries
+    List.stable_sort
+      (fun a b -> Stdlib.compare a.submit b.submit)
+      (List.rev !entries)
   in
-  { header; entries }
+  ( { header = List.rev !header; entries },
+    {
+      lines = List.length lines;
+      entries = List.length entries;
+      comments = !comments;
+      blanks = !blanks;
+      filtered = !filtered;
+      malformed = List.rev !malformed;
+    } )
 
-let load path =
+let parse_string ?strict s = fst (parse_report ?strict s)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%d lines: %d entries, %d comments, %d blank, %d filtered, %d malformed"
+    r.lines r.entries r.comments r.blanks r.filtered
+    (List.length r.malformed);
+  List.iter
+    (fun (lineno, reason) ->
+      Format.fprintf ppf "@.  line %d: %s" lineno reason)
+    r.malformed
+
+let load ?strict path =
   let ic = open_in path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  parse_string s
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string ?strict s
 
-let to_string t =
+let load_report ?strict path =
+  let ic = open_in path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_report ?strict s
+
+let to_string (t : t) =
   let buf = Buffer.create 4096 in
   List.iter (fun h -> Buffer.add_string buf ("; " ^ h ^ "\n")) t.header;
   List.iter
@@ -80,7 +156,7 @@ let save path t =
   output_string oc (to_string t);
   close_out oc
 
-let to_jobs ?(org_of_user = fun _ -> 0) t =
+let to_jobs ?(org_of_user = fun _ -> 0) (t : t) =
   List.concat_map
     (fun e ->
       List.init e.processors (fun _ ->

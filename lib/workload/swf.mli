@@ -24,13 +24,43 @@ type t = {
   entries : entry list;  (** in submit order *)
 }
 
-val parse_line : string -> entry option
-(** [None] for comments, blank lines, and jobs with missing/invalid
-    run time or processor count (status-failed entries in real traces). *)
+type parse_report = {
+  lines : int;  (** total lines seen, including the trailing empty one *)
+  entries : int;  (** well-formed job entries kept *)
+  comments : int;  (** [;]-prefixed header/comment lines *)
+  blanks : int;
+  filtered : int;
+      (** well-formed entries dropped as data, not corruption: run time
+          [<= 0] (status-failed/cancelled jobs in real archive traces),
+          processor count [< 1], or negative submit time *)
+  malformed : (int * string) list;
+      (** lines that are neither comments nor parseable entries:
+          [(1-based line number, reason)], in file order *)
+}
 
-val parse_string : string -> t
-val load : string -> t
-(** @raise Sys_error on unreadable files. *)
+exception Parse_error of { line : int; reason : string }
+(** Raised by the [~strict] parsers on the first malformed line. *)
+
+val parse_line : string -> entry option
+(** [None] for comments, blank lines, malformed lines, and jobs with
+    missing/invalid run time or processor count (status-failed entries in
+    real traces). *)
+
+val parse_string : ?strict:bool -> string -> t
+(** Lenient by default: malformed lines are skipped.  With [~strict:true]
+    the first malformed line raises {!Parse_error} (filtered entries never
+    do — real traces contain them). *)
+
+val parse_report : ?strict:bool -> string -> t * parse_report
+(** Like {!parse_string}, also returning per-line diagnostics. *)
+
+val pp_report : Format.formatter -> parse_report -> unit
+
+val load : ?strict:bool -> string -> t
+(** @raise Sys_error on unreadable files.
+    @raise Parse_error with [~strict:true], as {!parse_string}. *)
+
+val load_report : ?strict:bool -> string -> t * parse_report
 
 val to_string : t -> string
 val save : string -> t -> unit

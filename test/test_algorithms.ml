@@ -291,7 +291,7 @@ let test_coalition_sim_matches_driver () =
   let driver_result = run ~record:false ~instance ~seed:1 "fifo" in
   let sim =
     Algorithms.Coalition_sim.create ~instance
-      ~members:(Shapley.Coalition.grand ~players:3)
+      ~members:(Shapley.Coalition.grand ~players:3) ()
   in
   Array.iter (Algorithms.Coalition_sim.add_release sim) instance.Instance.jobs;
   Algorithms.Coalition_sim.advance_to sim ~time:(instance.Instance.horizon - 1)
@@ -314,10 +314,10 @@ let test_coalition_sim_errors () =
     (Invalid_argument "Coalition_sim.create: empty coalition") (fun () ->
       ignore
         (Algorithms.Coalition_sim.create ~instance
-           ~members:Shapley.Coalition.empty));
+           ~members:Shapley.Coalition.empty ()));
   let sim =
     Algorithms.Coalition_sim.create ~instance
-      ~members:(Shapley.Coalition.singleton 1)
+      ~members:(Shapley.Coalition.singleton 1) ()
   in
   Alcotest.check_raises "non-member job"
     (Invalid_argument "Coalition_sim.add_release: job of a non-member")

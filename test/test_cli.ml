@@ -1,0 +1,102 @@
+(* Expect-style checks of the fairsched CLI robustness contract: every user
+   error — unknown subcommand, bad flag, failed flag conversion, unreadable
+   trace file — exits 2 with a one-line "fairsched: ..." message, never a
+   backtrace; successes exit 0. *)
+
+let exe = "../bin/fairsched.exe"
+
+let run_cmd args =
+  let cmd = Printf.sprintf "%s %s 2>&1" exe args in
+  let ic = Unix.open_process_in cmd in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  let code =
+    match Unix.close_process_in ic with
+    | Unix.WEXITED n -> n
+    | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> -1
+  in
+  (code, List.rev !lines)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let check_error args ~expect =
+  let code, lines = run_cmd args in
+  Alcotest.(check int) (args ^ " exits 2") 2 code;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s mentions %S" args expect)
+    true
+    (List.exists (fun l -> contains l expect) lines);
+  Alcotest.(check bool)
+    (args ^ " prints no backtrace")
+    false
+    (List.exists (fun l -> contains l "Raised at") lines)
+
+let test_unknown_subcommand () =
+  check_error "nosuchcmd" ~expect:"nosuchcmd"
+
+let test_unknown_algorithm () =
+  check_error "simulate -a nosuchalgo" ~expect:"unknown algorithm"
+
+let test_unreadable_trace () =
+  let code, lines = run_cmd "analyze -f /nonexistent/missing.swf" in
+  Alcotest.(check int) "exits 2" 2 code;
+  (match lines with
+  | [ line ] ->
+      Alcotest.(check bool) "one-line fairsched: message" true
+        (contains line "fairsched:" && contains line "missing.swf")
+  | _ ->
+      Alcotest.failf "expected exactly one line of output, got %d"
+        (List.length lines))
+
+let test_invalid_flag_values () =
+  check_error "churn --mtbf=-5" ~expect:"--mtbf must be positive";
+  check_error "churn --mttr=0" ~expect:"--mttr must be positive";
+  check_error "table --workers=0" ~expect:"--workers";
+  check_error "simulate --horizon=oops" ~expect:"horizon"
+
+let test_success_paths () =
+  let code, lines = run_cmd "algorithms" in
+  Alcotest.(check int) "algorithms exits 0" 0 code;
+  Alcotest.(check bool) "lists ref" true
+    (List.exists (fun l -> contains l "ref") lines);
+  let code, _ = run_cmd "--help" in
+  Alcotest.(check int) "--help exits 0" 0 code
+
+(* The churn study runs end-to-end on a micro-scenario and reports the
+   kill/abandon counters. *)
+let test_churn_end_to_end () =
+  let code, lines =
+    run_cmd
+      "churn --orgs 2 --machines 3 --horizon 400 --instances 1 \
+       --intensities 0,2 --mtbf 100 --mttr 20 --workers 1 --seed 7"
+  in
+  Alcotest.(check int) "churn exits 0" 0 code;
+  let all = String.concat "\n" lines in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("output has " ^ needle) true (contains all needle))
+    [ "killed"; "abandoned"; "wasted"; "downtime"; "ref"; "fairshare" ]
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "robustness",
+        [
+          Alcotest.test_case "unknown subcommand" `Quick
+            test_unknown_subcommand;
+          Alcotest.test_case "unknown algorithm" `Quick test_unknown_algorithm;
+          Alcotest.test_case "unreadable trace" `Quick test_unreadable_trace;
+          Alcotest.test_case "invalid flag values" `Quick
+            test_invalid_flag_values;
+          Alcotest.test_case "success paths" `Quick test_success_paths;
+        ] );
+      ( "churn",
+        [ Alcotest.test_case "end to end" `Quick test_churn_end_to_end ] );
+    ]

@@ -330,6 +330,25 @@ let test_cluster_model_based () =
     done
   done
 
+(* --- Domain pool ------------------------------------------------------- *)
+
+let test_pool_spawn_failure_fallback () =
+  (* If Domain.spawn fails at pool creation, the pool must keep working
+     with zero helpers: every batch runs sequentially on the caller and
+     produces the same results. *)
+  Domain_pool.unsafe_reset_for_testing
+    ~spawn:(Some (fun _ -> failwith "domain limit reached"));
+  Fun.protect
+    ~finally:(fun () -> Domain_pool.unsafe_reset_for_testing ~spawn:None)
+    (fun () ->
+      Alcotest.(check int) "no helpers spawned" 0 (Domain_pool.helpers ());
+      let n = 200 in
+      let acc = Array.make n 0 in
+      Domain_pool.parallel_iter ~workers:8 (fun i -> acc.(i) <- i + 1) n;
+      Alcotest.(check int) "all tasks ran on the caller"
+        (n * (n + 1) / 2)
+        (Array.fold_left ( + ) 0 acc))
+
 let () =
   Alcotest.run "core"
     [
@@ -362,5 +381,10 @@ let () =
           Alcotest.test_case "recording" `Quick test_cluster_recording;
           Alcotest.test_case "model-based random ops" `Quick
             test_cluster_model_based;
+        ] );
+      ( "domain-pool",
+        [
+          Alcotest.test_case "spawn failure falls back" `Quick
+            test_pool_spawn_failure_fallback;
         ] );
     ]

@@ -236,6 +236,42 @@ let test_save_load_file () =
   Alcotest.(check int) "file roundtrip" (List.length entries)
     (List.length loaded.Swf.entries)
 
+(* The corrupt fixture has, in order: a comment, a valid entry, a
+   non-numeric line, an entry with a non-integer submit field, a
+   status-failed entry (run time -1, data not corruption), a line with too
+   few fields, and a second valid entry. *)
+let test_parse_report_corrupt () =
+  let t, report = Swf.load_report "fixtures/corrupt.swf" in
+  Alcotest.(check int) "entries kept" 2 (List.length t.Swf.entries);
+  Alcotest.(check int) "report entries" 2 report.Swf.entries;
+  Alcotest.(check int) "comments" 1 report.Swf.comments;
+  Alcotest.(check int) "filtered (status-failed)" 1 report.Swf.filtered;
+  Alcotest.(check (list int)) "malformed line numbers" [ 3; 4; 6 ]
+    (List.map fst report.Swf.malformed);
+  List.iter
+    (fun (_, reason) ->
+      Alcotest.(check bool) "reason is non-empty" true (reason <> ""))
+    report.Swf.malformed;
+  (* pp_report renders without raising *)
+  Alcotest.(check bool) "pp_report mentions malformed count" true
+    (Format.asprintf "%a" Swf.pp_report report <> "")
+
+let test_strict_raises_on_corrupt () =
+  match Swf.load ~strict:true "fixtures/corrupt.swf" with
+  | exception Swf.Parse_error { line = 3; _ } -> ()
+  | exception Swf.Parse_error { line; _ } ->
+      Alcotest.failf "Parse_error on wrong line %d" line
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_strict_accepts_filtered () =
+  (* Strict mode still accepts status-failed entries — real archive traces
+     contain them. *)
+  let t, report = Swf.parse_report ~strict:true sample_swf in
+  Alcotest.(check int) "entries" 2 (List.length t.Swf.entries);
+  Alcotest.(check int) "filtered" 2 report.Swf.filtered;
+  Alcotest.(check (list int)) "no malformed lines" []
+    (List.map fst report.Swf.malformed)
+
 let () =
   Alcotest.run "workload"
     [
@@ -247,6 +283,12 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
           Alcotest.test_case "to_jobs expansion" `Quick test_to_jobs_expansion;
           Alcotest.test_case "file save/load" `Quick test_save_load_file;
+          Alcotest.test_case "corrupt fixture report" `Quick
+            test_parse_report_corrupt;
+          Alcotest.test_case "strict raises on corrupt" `Quick
+            test_strict_raises_on_corrupt;
+          Alcotest.test_case "strict accepts filtered" `Quick
+            test_strict_accepts_filtered;
         ] );
       ( "swf-fuzz",
         List.map QCheck_alcotest.to_alcotest
