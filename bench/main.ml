@@ -182,7 +182,7 @@ let extensions () =
     (fun (r : Sim.Related.gadget_row) ->
       Format.printf "  %-8d | %-12.0f %-12.0f %-10.4f@." r.ratio r.fast_work
         r.slow_work r.work_ratio)
-    (Sim.Related.gadget_sweep ~ratios:[ 1; 2; 4; 8; 16 ] ~work:100);
+    (Sim.Related.gadget_sweep ~ratios:[ 1; 2; 4; 8; 16 ] ~work:100 ());
   Format.printf
     "  (a greedy rule pinning slow machines executes only 1/r of the \
      optimal work —@.   the 3/4 guarantee is specific to identical \
@@ -301,11 +301,16 @@ let ref_scaling ~ks ~horizon () =
         if not identical then
           Format.printf "  !! parallel REF diverged from sequential at k=%d@."
             k;
+        let st = seq_r.Sim.Driver.stats in
         Printf.sprintf
           "{\"k\": %d, \"horizon\": %d, \"machines\": %d, \"cores\": %d, \
            \"workers_seq\": 1, \"workers_par\": %d, \"seq_seconds\": %.6f, \
-           \"par_seconds\": %.6f, \"speedup\": %.4f, \"identical\": %b}"
-          k horizon machines cores par_workers seq_s par_s speedup identical)
+           \"par_seconds\": %.6f, \"speedup\": %.4f, \"identical\": %b, \
+           \"event_instants\": %d, \"rounds\": %d, \"heap_pops\": %d, \
+           \"starts\": %d}"
+          k horizon machines cores par_workers seq_s par_s speedup identical
+          st.Kernel.Stats.instants st.Kernel.Stats.rounds
+          st.Kernel.Stats.heap_pops st.Kernel.Stats.starts)
       ks
   in
   record_json "ref_scaling"

@@ -101,6 +101,60 @@ let csv_arg =
     & opt (some string) None
     & info [ "csv" ] ~docv:"FILE" ~doc:"Also write results as CSV.")
 
+(* --- fault injection flags (shared by simulate and timeline) ----------- *)
+
+let faults_spec_conv =
+  let parse s =
+    match Faults.Model.spec_of_string s with
+    | Ok dists -> Ok dists
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf (mtbf, mttr) =
+    Format.fprintf ppf "mtbf:%g,mttr:%g" (Faults.Model.mean_of mtbf)
+      (Faults.Model.mean_of mttr)
+  in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some faults_spec_conv) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Inject random machine churn: \
+           $(b,mtbf:MEAN,mttr:MEAN[,dist:exp|weibull|fixed][,shape:S]).  A \
+           per-machine renewal fault trace is drawn from --seed; failures \
+           kill the running job (it resubmits and restarts from scratch).")
+
+let faults_script_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults-script" ] ~docv:"FILE"
+        ~doc:
+          "Inject scripted outages from FILE: one $(b,MACHINE DOWN_AT \
+           UP_AT) triple per line ($(b,#) comments).  Mutually exclusive \
+           with --faults.")
+
+(* Compile the two flags into a concrete fault trace for a known cluster
+   shape, enforcing the exit-2 contract on malformed input. *)
+let resolve_faults ~machines ~horizon ~seed spec script =
+  match (spec, script) with
+  | Some _, Some _ -> die "--faults and --faults-script are mutually exclusive"
+  | None, None -> []
+  | Some (mtbf, mttr), None ->
+      Faults.Model.random
+        ~rng:(Fstats.Rng.create ~seed:(seed lxor 0xfa017))
+        ~machines ~horizon ~mtbf ~mttr ()
+  | None, Some path -> (
+      match Faults.Model.load_script path with
+      | Ok trace ->
+          (match Faults.Event.validate ~machines trace with
+          | Ok () -> ()
+          | Error msg -> die "%s: %s" path msg);
+          trace
+      | Error msg -> die "%s" msg)
+
 let progress line = Format.eprintf "  %s@." line
 
 let write_csv path contents =
@@ -126,7 +180,20 @@ let simulate_cmd =
       value & flag
       & info [ "gantt" ] ~doc:"Draw an ASCII Gantt chart of the schedule.")
   in
-  let run model algo norgs machines horizon seed workers gantt =
+  let max_restarts_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-restarts" ] ~docv:"N"
+          ~doc:
+            "Kill budget per job under faults: after N restarts a killed \
+             job is abandoned (default: unbounded).")
+  in
+  let run model algo norgs machines horizon seed workers gantt fault_spec
+      fault_script max_restarts =
+    (match max_restarts with
+    | Some r when r < 0 -> die "--max-restarts must be >= 0"
+    | Some _ | None -> ());
     match Algorithms.Registry.find algo with
     | None -> die "unknown algorithm %S (see `fairsched algorithms`)" algo
     | Some maker ->
@@ -134,13 +201,26 @@ let simulate_cmd =
           Workload.Scenario.default ~norgs ~machines ~horizon model
         in
         let instance = Workload.Scenario.instance spec ~seed in
+        let faults =
+          resolve_faults ~machines ~horizon ~seed fault_spec fault_script
+        in
         Format.printf "%a@." Core.Instance.pp instance;
+        if faults <> [] then begin
+          let failures, recoveries = Faults.Model.count_kind faults in
+          Format.printf
+            "faults: %d failures, %d recoveries, %d machine-units down@."
+            failures recoveries
+            (Faults.Model.downtime ~machines ~horizon faults)
+        end;
         let rng = Fstats.Rng.create ~seed in
-        let result = Sim.Driver.run ?workers ~instance ~rng maker in
+        let result =
+          Sim.Driver.run ?workers ~faults ?max_restarts ~instance ~rng maker
+        in
         Format.printf "%a@." Sim.Driver.pp_result result;
         Format.printf "utilization: %.3f  wall: %.2fs@."
           (Core.Schedule.utilization result.Sim.Driver.schedule ~upto:horizon)
           result.Sim.Driver.wall_seconds;
+        Format.printf "kernel: %a@." Kernel.Stats.pp result.Sim.Driver.stats;
         if gantt then
           print_string
             (Core.Gantt.render ~upto:horizon result.Sim.Driver.schedule)
@@ -149,7 +229,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one algorithm on one synthetic scenario.")
     Term.(
       const run $ model_arg $ algo_arg $ norgs_arg $ machines_arg
-      $ horizon_arg 50_000 $ seed_arg $ workers_arg $ gantt_arg)
+      $ horizon_arg 50_000 $ seed_arg $ workers_arg $ gantt_arg $ faults_arg
+      $ faults_script_arg $ max_restarts_arg)
 
 (* --- table ----------------------------------------------------------- *)
 
@@ -283,19 +364,27 @@ let trace_cmd =
 (* --- timeline ---------------------------------------------------------- *)
 
 let timeline_cmd =
-  let run horizon instances csv =
+  let run horizon instances seed fault_spec fault_script csv =
+    let faults =
+      (* The timeline experiment fixes machines = 16 in its default config;
+         the injected trace must match that cluster shape. *)
+      resolve_faults ~machines:16 ~horizon ~seed fault_spec fault_script
+    in
     let config =
-      Experiments.Timeline.default_config ~horizon ~instances ()
+      Experiments.Timeline.default_config ~horizon ~instances ~faults ()
     in
     let figure = Experiments.Timeline.run config in
-    Format.printf "Unfairness over time (Δψ(t)/p_tot(t))@.@.%a@."
+    Format.printf "Unfairness over time (Δψ(t)/p_tot(t))%s@.@.%a@."
+      (if faults = [] then "" else " under machine churn")
       Experiments.Timeline.pp figure;
     write_csv csv (Experiments.Timeline.to_csv figure)
   in
   Cmd.v
     (Cmd.info "timeline"
        ~doc:"Track how unfairness accumulates over the trace (Definition              3.2 is per-instant).")
-    Term.(const run $ horizon_arg 200_000 $ instances_arg 3 $ csv_arg)
+    Term.(
+      const run $ horizon_arg 200_000 $ instances_arg 3 $ seed_arg
+      $ faults_arg $ faults_script_arg $ csv_arg)
 
 (* --- churn ------------------------------------------------------------- *)
 

@@ -69,6 +69,6 @@ let () =
         "  speed ratio %2d: slow-pinning greedy executes %.0f%% of the \
          optimal work@."
         r.ratio (100. *. r.work_ratio))
-    (Sim.Related.gadget_sweep ~ratios:[ 2; 4; 8 ] ~work:60);
+    (Sim.Related.gadget_sweep ~ratios:[ 2; 4; 8 ] ~work:60 ());
   Format.printf
     "  — the 3/4 bound of Theorem 6.2 is a property of identical machines.@."

@@ -5,13 +5,14 @@ type t = {
   members : Shapley.Coalition.t;
   cluster : Cluster.t;
   trackers : Utility.Tracker.t array;  (* indexed by global org id *)
-  backlog : Job.t Queue.t;
-  (* Machine-fault backlog, already translated to this coalition's local
-     machine ids (events hitting non-members were dropped at add time). *)
-  faults : Faults.Event.timed Queue.t;
   local_of_global : int array;  (* global machine id -> local id, or -1 *)
   pending : Instant.t;
-  mutable now : int;
+  engine : Job.t Kernel.Engine.t;
+  model : Job.t Kernel.Engine.model;
+  (* The selection rule is a per-call argument of [advance_to] /
+     [schedule_round], but the kernel's round closure is built once; it
+     reads the rule through this field. *)
+  mutable current_select : t -> time:int -> int;
 }
 
 let create ?max_restarts ~instance ~members () =
@@ -58,24 +59,82 @@ let create ?max_restarts ~instance ~members () =
     end;
     next_global := !next_global + c
   done;
-  {
-    members;
-    cluster = Cluster.create ?speeds ?max_restarts ~machine_owners ~norgs ();
-    trackers = Array.init norgs (fun _ -> Utility.Tracker.create ());
-    backlog = Queue.create ();
-    faults = Queue.create ();
-    local_of_global;
-    pending = Instant.create ~norgs;
-    now = 0;
-  }
+  let rec t =
+    {
+      members;
+      cluster = Cluster.create ?speeds ?max_restarts ~machine_owners ~norgs ();
+      trackers = Array.init norgs (fun _ -> Utility.Tracker.create ());
+      local_of_global;
+      pending = Instant.create ~norgs;
+      engine =
+        Kernel.Engine.create
+          ~release_time:(fun (j : Job.t) -> j.Job.release)
+          [||];
+      model =
+        {
+          Kernel.Engine.next_completion =
+            (fun () -> Cluster.next_completion t.cluster);
+          pop_completion =
+            (fun ~time ->
+              match Cluster.pop_completion_le t.cluster time with
+              | Some c ->
+                  Utility.Tracker.on_complete
+                    t.trackers.(c.Cluster.job.Job.org)
+                    ~key:c.Cluster.job.Job.index
+                    ~size:(c.Cluster.finish - c.Cluster.start);
+                  true
+              | None -> false);
+          apply_fault =
+            (fun ~time ev ->
+              match ev with
+              | Faults.Event.Fail m -> (
+                  match Cluster.fail_machine t.cluster ~time m with
+                  | Some k ->
+                      (* The killed piece vanishes from ψsp (Theorem 4.1). *)
+                      Utility.Tracker.on_abort
+                        t.trackers.(k.Cluster.k_job.Job.org)
+                        ~key:k.Cluster.k_job.Job.index;
+                      Kernel.Engine.Killed
+                        {
+                          wasted = k.Cluster.k_wasted;
+                          resubmitted = k.Cluster.k_resubmitted;
+                        }
+                  | None -> Kernel.Engine.Applied)
+              | Faults.Event.Recover m ->
+                  ignore (Cluster.recover_machine t.cluster m);
+                  Kernel.Engine.Applied);
+          admit = (fun ~time:_ job -> Cluster.release t.cluster job);
+          round =
+            (fun ~time ->
+              let n = ref 0 in
+              while
+                Cluster.free_count t.cluster > 0
+                && Cluster.has_waiting t.cluster
+              do
+                let org = t.current_select t ~time in
+                let placement = Cluster.start_front t.cluster ~org ~time () in
+                Utility.Tracker.on_start t.trackers.(org)
+                  ~key:placement.Schedule.job.Job.index ~start:time;
+                Instant.bump t.pending ~time ~org;
+                incr n
+              done;
+              !n);
+        };
+      current_select =
+        (fun _ ~time:_ ->
+          invalid_arg "Coalition_sim: scheduling round without a select rule");
+    }
+  in
+  t
 
 let members t = t.members
-let now t = t.now
+let now t = Kernel.Engine.now t.engine
+let stats t = Kernel.Engine.stats t.engine
 
 let add_release t (job : Job.t) =
   if not (Shapley.Coalition.mem t.members job.Job.org) then
     invalid_arg "Coalition_sim.add_release: job of a non-member";
-  Queue.add job t.backlog
+  Kernel.Engine.push_job t.engine job
 
 let add_fault t (ev : Faults.Event.timed) =
   let g = Faults.Event.machine ev.Faults.Event.event in
@@ -88,91 +147,20 @@ let add_fault t (ev : Faults.Event.timed) =
       | Faults.Event.Fail _ -> Faults.Event.Fail m
       | Faults.Event.Recover _ -> Faults.Event.Recover m
     in
-    Queue.add { ev with Faults.Event.event } t.faults
+    Kernel.Engine.push_fault t.engine { ev with Faults.Event.event }
 
-let min_opt a b =
-  match (a, b) with
-  | None, x | x, None -> x
-  | Some a, Some b -> Some (Stdlib.min a b)
-
-let next_event t =
-  let release =
-    match Queue.peek_opt t.backlog with
-    | Some (j : Job.t) -> Some (Stdlib.max j.Job.release t.now)
-    | None -> None
-  in
-  let fault =
-    match Queue.peek_opt t.faults with
-    | Some f -> Some (Stdlib.max f.Faults.Event.time t.now)
-    | None -> None
-  in
-  min_opt (min_opt release fault) (Cluster.next_completion t.cluster)
+let next_event t = Kernel.Engine.next_event t.engine t.model
 
 let step_releases_and_completions t ~time =
-  if time < t.now then invalid_arg "Coalition_sim: time moved backwards";
-  t.now <- time;
-  let rec drain_releases () =
-    match Queue.peek_opt t.backlog with
-    | Some (j : Job.t) when j.Job.release <= time ->
-        ignore (Queue.pop t.backlog);
-        Cluster.release t.cluster j;
-        drain_releases ()
-    | Some _ | None -> ()
-  in
-  drain_releases ();
-  let rec drain_completions () =
-    match Cluster.pop_completion_le t.cluster time with
-    | Some c ->
-        Utility.Tracker.on_complete
-          t.trackers.(c.Cluster.job.Job.org)
-          ~key:c.Cluster.job.Job.index
-          ~size:(c.Cluster.finish - c.Cluster.start);
-        drain_completions ()
-    | None -> ()
-  in
-  drain_completions ();
-  (* Faults strictly after completions: a job finishing at [time] beats a
-     failure at [time]; and before the scheduling round: a machine down at
-     [time] hosts nothing, a recovered one is usable immediately. *)
-  let rec drain_faults () =
-    match Queue.peek_opt t.faults with
-    | Some f when f.Faults.Event.time <= time ->
-        ignore (Queue.pop t.faults);
-        (match f.Faults.Event.event with
-        | Faults.Event.Fail m -> (
-            match Cluster.fail_machine t.cluster ~time:f.Faults.Event.time m with
-            | Some k ->
-                (* The killed piece vanishes from ψsp (Theorem 4.1). *)
-                Utility.Tracker.on_abort
-                  t.trackers.(k.Cluster.k_job.Job.org)
-                  ~key:k.Cluster.k_job.Job.index
-            | None -> ())
-        | Faults.Event.Recover m ->
-            ignore (Cluster.recover_machine t.cluster m));
-        drain_faults ()
-    | Some _ | None -> ()
-  in
-  drain_faults ()
+  Kernel.Engine.drain_events t.engine t.model ~time
 
 let schedule_round t ~time ~select =
-  while Cluster.free_count t.cluster > 0 && Cluster.has_waiting t.cluster do
-    let org = select t ~time in
-    let placement = Cluster.start_front t.cluster ~org ~time () in
-    Utility.Tracker.on_start t.trackers.(org)
-      ~key:placement.Schedule.job.Job.index ~start:time;
-    Instant.bump t.pending ~time ~org
-  done
+  t.current_select <- select;
+  Kernel.Engine.run_round t.engine t.model ~time
 
 let advance_to t ~time ~select =
-  let rec go () =
-    match next_event t with
-    | Some tau when tau <= time ->
-        step_releases_and_completions t ~time:tau;
-        schedule_round t ~time:tau ~select;
-        go ()
-    | Some _ | None -> t.now <- Stdlib.max t.now time
-  in
-  go ()
+  t.current_select <- select;
+  Kernel.Engine.advance_to t.engine t.model ~time
 
 let value_scaled t ~at =
   Shapley.Coalition.fold

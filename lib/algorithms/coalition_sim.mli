@@ -31,6 +31,9 @@ val members : t -> Shapley.Coalition.t
 val now : t -> int
 (** Latest instant this simulator has been advanced to. *)
 
+val stats : t -> Kernel.Stats.t
+(** This simulator's kernel counters (instants, completions, rounds, …). *)
+
 val add_release : t -> Job.t -> unit
 (** Hand over a job owned by a member.  Jobs must arrive in non-decreasing
     release order, and never earlier than [now] (the driver delivers

@@ -16,12 +16,13 @@ type t = {
   on_complete : view -> time:int -> Cluster.completion -> unit;
   on_kill : view -> time:int -> Cluster.kill -> unit;
   on_fault : view -> time:int -> Faults.Event.t -> unit;
+  stats : (unit -> Kernel.Stats.t) option;
 }
 
 let nop3 _ ~time:_ _ = ()
 
 let make ~name ?pick_machine ?on_release ?on_start ?on_complete ?on_kill
-    ?on_fault ~select () =
+    ?on_fault ?stats ~select () =
   {
     name;
     select;
@@ -32,6 +33,7 @@ let make ~name ?pick_machine ?on_release ?on_start ?on_complete ?on_kill
     on_complete = Option.value on_complete ~default:nop3;
     on_kill = Option.value on_kill ~default:nop3;
     on_fault = Option.value on_fault ~default:nop3;
+    stats;
   }
 
 type maker = Instance.t -> rng:Fstats.Rng.t -> t

@@ -44,6 +44,10 @@ type t = {
       (** A machine went down or came back up (fired after {!on_kill} for
           the casualty, if any).  Policies running internal what-if
           simulations (REF, RAND) mirror the capacity change here. *)
+  stats : (unit -> Kernel.Stats.t) option;
+      (** Internal instrumentation of policies that run their own kernels
+          (REF's sub-coalition simulations, its event-heap pops); merged
+          into the driver's {!Kernel.Stats.t} at the end of a run. *)
 }
 
 val make :
@@ -54,6 +58,7 @@ val make :
   ?on_complete:(view -> time:int -> Cluster.completion -> unit) ->
   ?on_kill:(view -> time:int -> Cluster.kill -> unit) ->
   ?on_fault:(view -> time:int -> Faults.Event.t -> unit) ->
+  ?stats:(unit -> Kernel.Stats.t) ->
   select:(view -> time:int -> int) ->
   unit ->
   t

@@ -5,9 +5,13 @@ module Coalition = Shapley.Coalition
 type gsim = {
   mask : Coalition.t;
   cluster : Cluster.t;
-  backlog : Job.t Queue.t;
-  faults : Faults.Event.timed Queue.t;  (* local machine ids *)
   local_of_global : int array;  (* global machine id -> local id, or -1 *)
+  engine : Job.t Kernel.Engine.t;
+  model : Job.t Kernel.Engine.model;
+  (* The scheduling round needs the whole [state] (it reads every smaller
+     coalition's schedule), which does not exist yet when the sims are
+     built; wired after construction. *)
+  mutable round_body : time:int -> int;
 }
 
 type state = {
@@ -64,18 +68,53 @@ let create_state ~utility ?workers ?max_restarts instance =
   let sims = Array.make (grand + 1) None in
   for mask = 1 to grand - 1 do
     let owners = machine_owners_of instance mask in
-    if Array.length owners > 0 then
-      sims.(mask) <-
-        Some
-          {
-            mask;
-            cluster =
-              Cluster.create ~record:true ?max_restarts ~machine_owners:owners
-                ~norgs:k ();
-            backlog = Queue.create ();
-            faults = Queue.create ();
-            local_of_global = local_of_global_of instance mask;
-          }
+    if Array.length owners > 0 then begin
+      let rec sim =
+        {
+          mask;
+          cluster =
+            Cluster.create ~record:true ?max_restarts ~machine_owners:owners
+              ~norgs:k ();
+          local_of_global = local_of_global_of instance mask;
+          engine =
+            Kernel.Engine.create
+              ~release_time:(fun (j : Job.t) -> j.Job.release)
+              [||];
+          model =
+            {
+              Kernel.Engine.next_completion =
+                (fun () -> Cluster.next_completion sim.cluster);
+              pop_completion =
+                (fun ~time ->
+                  Option.is_some (Cluster.pop_completion_le sim.cluster time));
+              apply_fault =
+                (fun ~time ev ->
+                  (* The cluster excises a killed attempt's placement, so
+                     the recorded schedule — and hence the generic ψ
+                     evaluation — only ever counts surviving work. *)
+                  match ev with
+                  | Faults.Event.Fail m -> (
+                      match Cluster.fail_machine sim.cluster ~time m with
+                      | Some kill ->
+                          Kernel.Engine.Killed
+                            {
+                              wasted = kill.Cluster.k_wasted;
+                              resubmitted = kill.Cluster.k_resubmitted;
+                            }
+                      | None -> Kernel.Engine.Applied)
+                  | Faults.Event.Recover m ->
+                      ignore (Cluster.recover_machine sim.cluster m);
+                      Kernel.Engine.Applied);
+              admit = (fun ~time:_ job -> Cluster.release sim.cluster job);
+              round = (fun ~time -> sim.round_body ~time);
+            };
+          round_body =
+            (fun ~time:_ ->
+              invalid_arg "Ref_generic: scheduling round before wiring");
+        }
+      in
+      sims.(mask) <- Some sim
+    end
   done;
   let masks_of_size s =
     let acc = ref [] in
@@ -168,9 +207,45 @@ let select_in st ~schedule_of ~mask ~waiting ~front ~at =
            (fun (bs, bu) (s, u) -> if s < bs then (s, u) else (bs, bu))
            first rest)
 
+(* The per-sim scheduling round reads every smaller coalition's schedule
+   through the shared [state], so it can only be built once the state
+   exists. *)
+let wire_rounds st =
+  let schedule_of mask =
+    if mask = Coalition.empty then empty_schedule
+    else
+      match st.sims.(mask) with
+      | Some sim -> schedule_of_sim sim
+      | None -> empty_schedule
+  in
+  Array.iter
+    (fun mask ->
+      match st.sims.(mask) with
+      | None -> ()
+      | Some sim ->
+          sim.round_body <-
+            (fun ~time ->
+              let n = ref 0 in
+              while
+                Cluster.free_count sim.cluster > 0
+                && Cluster.has_waiting sim.cluster
+              do
+                let org =
+                  select_in st ~schedule_of ~mask:sim.mask
+                    ~waiting:(Cluster.waiting_orgs sim.cluster)
+                    ~front:(Cluster.front sim.cluster)
+                    ~at:time
+                in
+                ignore (Cluster.start_front sim.cluster ~org ~time ());
+                incr n
+              done;
+              !n))
+    st.all_masks
+
 (* Lockstep advance of all sub-coalition simulations, exactly like
    [Reference.advance_all] but with recorded schedules and the generic
-   selection rule.  The arrival/completion step is independent across sims
+   selection rule.  Each sim is a {!Kernel.Engine} instance; the
+   arrival/completion phases ([drain_events]) are independent across sims
    and the scheduling round of a coalition only reads the schedules of
    strictly smaller ones (frozen within the instant), so both run as
    parallel stages over the persistent pool when [workers > 1] — with the
@@ -179,82 +254,20 @@ let select_in st ~schedule_of ~mask ~waiting ~front ~at =
    fold trivial (<= 255 sims), so unlike {!Reference} no event heap is
    needed here. *)
 let advance_all st ~time =
-  let min_opt a b =
-    match (a, b) with
-    | None, x | x, None -> x
-    | Some a, Some b -> Some (Stdlib.min a b)
-  in
-  let next_event sim =
-    let release =
-      match Queue.peek_opt sim.backlog with
-      | Some (j : Job.t) -> Some j.Job.release
-      | None -> None
-    in
-    let fault =
-      match Queue.peek_opt sim.faults with
-      | Some f -> Some f.Faults.Event.time
-      | None -> None
-    in
-    min_opt (min_opt release fault) (Cluster.next_completion sim.cluster)
-  in
   let earliest () =
     Array.fold_left
       (fun acc mask ->
         match st.sims.(mask) with
         | None -> acc
         | Some sim -> (
-            match next_event sim with
+            match Kernel.Engine.next_event sim.engine sim.model with
             | None -> acc
             | Some tau -> Stdlib.min acc tau))
       max_int st.all_masks
   in
-  let step sim ~tau =
-    let rec releases () =
-      match Queue.peek_opt sim.backlog with
-      | Some (j : Job.t) when j.Job.release <= tau ->
-          ignore (Queue.pop sim.backlog);
-          Cluster.release sim.cluster j;
-          releases ()
-      | Some _ | None -> ()
-    in
-    releases ();
-    let rec completions () =
-      match Cluster.pop_completion_le sim.cluster tau with
-      | Some _ -> completions ()
-      | None -> ()
-    in
-    completions ();
-    (* Faults after completions (a job finishing at tau survives a failure
-       at tau), before the scheduling round.  The cluster excises a killed
-       attempt's placement, so the recorded schedule — and hence the generic
-       ψ evaluation — only ever counts surviving work. *)
-    let rec faults () =
-      match Queue.peek_opt sim.faults with
-      | Some f when f.Faults.Event.time <= tau ->
-          ignore (Queue.pop sim.faults);
-          (match f.Faults.Event.event with
-          | Faults.Event.Fail m ->
-              ignore
-                (Cluster.fail_machine sim.cluster ~time:f.Faults.Event.time m)
-          | Faults.Event.Recover m ->
-              ignore (Cluster.recover_machine sim.cluster m));
-          faults ()
-      | Some _ | None -> ()
-    in
-    faults ()
-  in
-  let schedule_of mask =
-    if mask = Coalition.empty then empty_schedule
-    else
-      match st.sims.(mask) with
-      | Some sim -> schedule_of_sim sim
-      | None -> empty_schedule
-  in
   let iter_masks masks f =
     let task i =
-      match st.sims.(masks.(i)) with
-      | None -> ()
-      | Some sim -> f masks.(i) sim
+      match st.sims.(masks.(i)) with None -> () | Some sim -> f sim
     in
     if st.workers > 1 then
       Core.Domain_pool.parallel_iter ~workers:st.workers task
@@ -267,21 +280,11 @@ let advance_all st ~time =
   let rec loop () =
     let tau = earliest () in
     if tau <= time then begin
-      iter_masks st.all_masks (fun _mask sim -> step sim ~tau);
+      iter_masks st.all_masks (fun sim ->
+          Kernel.Engine.drain_events sim.engine sim.model ~time:tau);
       for s = 1 to st.k - 1 do
-        iter_masks st.by_size.(s - 1) (fun mask sim ->
-            while
-              Cluster.free_count sim.cluster > 0
-              && Cluster.has_waiting sim.cluster
-            do
-              let org =
-                select_in st ~schedule_of ~mask
-                  ~waiting:(Cluster.waiting_orgs sim.cluster)
-                  ~front:(Cluster.front sim.cluster)
-                  ~at:tau
-              in
-              ignore (Cluster.start_front sim.cluster ~org ~time:tau ())
-            done)
+        iter_masks st.by_size.(s - 1) (fun sim ->
+            Kernel.Engine.run_round sim.engine sim.model ~time:tau)
       done;
       loop ()
     end
@@ -290,6 +293,7 @@ let advance_all st ~time =
 
 let make ~utility ?name ?workers ?max_restarts () instance ~rng:_ =
   let st = create_state ~utility ?workers ?max_restarts instance in
+  wire_rounds st;
   let name =
     Option.value name
       ~default:("ref-generic-" ^ utility.Utility.Functions.name)
@@ -300,7 +304,7 @@ let make ~utility ?name ?workers ?max_restarts () instance ~rng:_ =
         (fun mask ->
           if Coalition.mem mask job.Job.org then
             match st.sims.(mask) with
-            | Some sim -> Queue.add job sim.backlog
+            | Some sim -> Kernel.Engine.push_job sim.engine job
             | None -> ())
         st.all_masks)
     ~on_fault:(fun _view ~time event ->
@@ -316,9 +320,17 @@ let make ~utility ?name ?workers ?max_restarts () instance ~rng:_ =
                   | Faults.Event.Fail _ -> Faults.Event.Fail m
                   | Faults.Event.Recover _ -> Faults.Event.Recover m
                 in
-                Queue.add { Faults.Event.time; event } sim.faults
+                Kernel.Engine.push_fault sim.engine { Faults.Event.time; event }
           | None -> ())
         st.all_masks)
+    ~stats:(fun () ->
+      Kernel.Stats.total
+        (Array.fold_left
+           (fun acc mask ->
+             match st.sims.(mask) with
+             | Some sim -> Kernel.Engine.stats sim.engine :: acc
+             | None -> acc)
+           [] st.all_masks))
     ~select:(fun view ~time ->
       advance_all st ~time;
       let schedule_of mask =

@@ -70,6 +70,9 @@ type internals = {
   active_buf : int array;  (* scratch: masks with an event at the instant *)
   stage_buf : int array;  (* scratch: the size-class slice of active_buf *)
   pending : Instant.t;  (* grand-coalition pending starts *)
+  own_stats : Kernel.Stats.t;
+      (* engine-level counters not owned by any one sim's kernel: the
+         global event-heap pops *)
 }
 
 let create_internals ?(concept = Shapley_value) ?workers ?max_restarts
@@ -176,6 +179,7 @@ let create_internals ?(concept = Shapley_value) ?workers ?max_restarts
     active_buf = Array.make (Stdlib.max 1 !n_sims) 0;
     stage_buf = Array.make (Stdlib.max 1 !n_sims) 0;
     pending = Instant.create ~norgs:k;
+    own_stats = Kernel.Stats.create ();
   }
 
 (* 2·v(mask) at [time] for simulated masks; machine-less or empty masks are
@@ -303,6 +307,8 @@ let gather st ~tau =
     match Heap.pop_le st.heap tau with
     | None -> ()
     | Some (key, mask) ->
+        st.own_stats.Kernel.Stats.heap_pops <-
+          st.own_stats.Kernel.Stats.heap_pops + 1;
         note_popped st ~key mask;
         (match st.sims.(mask) with
         | None -> ()
@@ -460,6 +466,14 @@ let make_with_internals ?(name = "ref") ?concept ?workers ?max_restarts ()
           st.all_masks)
       ~on_start:(fun _view ~time p ->
         Instant.bump st.pending ~time ~org:p.Schedule.job.Job.org)
+      ~stats:(fun () ->
+        Kernel.Stats.total
+          (Array.fold_left
+             (fun acc mask ->
+               match st.sims.(mask) with
+               | Some sim -> Coalition_sim.stats sim :: acc
+               | None -> acc)
+             [ st.own_stats ] st.all_masks))
       ~select:(fun view ~time ->
         advance_all st ~time;
         let phi2 =

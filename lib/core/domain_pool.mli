@@ -49,6 +49,16 @@ val parallel_iter : ?workers:int -> (int -> unit) -> int -> unit
     failing task is re-raised (with its backtrace) after the whole batch has
     been attempted. *)
 
+val map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot map for embarrassingly-parallel experiment sweeps: [map
+    ~workers f tasks] applies [f] to every task using freshly spawned
+    domains (default worker count {!recommended_workers}; the short-lived
+    domains are independent of the persistent pool, so [f] may itself call
+    {!parallel_iter}).  Results are in input order.  If any task raises, the
+    first exception (in input order) is re-raised — with its original
+    backtrace — after all workers finish.  With [workers = 1] no domain is
+    spawned (plain [List.map]). *)
+
 (**/**)
 
 val unsafe_reset_for_testing :

@@ -48,6 +48,9 @@ type row = {
   abandoned : cell;
   wasted : cell;
   downtime : cell;
+  event_instants : cell;
+  rounds : cell;
+  heap_pops : cell;
 }
 
 type study = { config : config; rows : row list }
@@ -98,12 +101,18 @@ let run_one config ~intensity ~index =
       /. float_of_int bound
   in
   let line name ratio (r : Sim.Driver.result) =
+    let st = r.Sim.Driver.stats in
     ( name,
-      ratio,
-      util r,
-      float_of_int r.Sim.Driver.killed,
-      float_of_int r.Sim.Driver.abandoned,
-      float_of_int r.Sim.Driver.wasted )
+      [|
+        ratio;
+        util r;
+        float_of_int r.Sim.Driver.killed;
+        float_of_int r.Sim.Driver.abandoned;
+        float_of_int r.Sim.Driver.wasted;
+        float_of_int st.Kernel.Stats.instants;
+        float_of_int st.Kernel.Stats.rounds;
+        float_of_int st.Kernel.Stats.heap_pops;
+      |] )
   in
   let ref_line = line "ref" 0. reference in
   let algo_lines =
@@ -121,13 +130,13 @@ let run ?(progress = fun _ -> ()) ?workers config =
     (fun intensity ->
       let t0 = Unix.gettimeofday () in
       let per_instance =
-        Pool.map ?workers
+        Core.Domain_pool.map ?workers
           (fun index -> run_one config ~intensity ~index)
           (List.init config.instances (fun i -> i + 1))
       in
       let summaries =
         List.map
-          (fun name -> (name, Array.init 5 (fun _ -> Fstats.Summary.create ())))
+          (fun name -> (name, Array.init 8 (fun _ -> Fstats.Summary.create ())))
           algo_names
       in
       let downtime = Fstats.Summary.create () in
@@ -135,13 +144,9 @@ let run ?(progress = fun _ -> ()) ?workers config =
         (fun (dt, lines) ->
           Fstats.Summary.add downtime dt;
           List.iter
-            (fun (name, ratio, util, killed, abandoned, wasted) ->
+            (fun (name, values) ->
               let s = List.assoc name summaries in
-              Fstats.Summary.add s.(0) ratio;
-              Fstats.Summary.add s.(1) util;
-              Fstats.Summary.add s.(2) killed;
-              Fstats.Summary.add s.(3) abandoned;
-              Fstats.Summary.add s.(4) wasted)
+              Array.iteri (fun i v -> Fstats.Summary.add s.(i) v) values)
             lines)
         per_instance;
       let cell s =
@@ -162,6 +167,9 @@ let run ?(progress = fun _ -> ()) ?workers config =
               killed = cell s.(2);
               abandoned = cell s.(3);
               wasted = cell s.(4);
+              event_instants = cell s.(5);
+              rounds = cell s.(6);
+              heap_pops = cell s.(7);
               downtime = cell downtime;
             }
             :: !rows)
@@ -174,26 +182,30 @@ let run ?(progress = fun _ -> ()) ?workers config =
   { config; rows = List.rev !rows }
 
 let pp ppf t =
-  Format.fprintf ppf "%-10s %-14s | %10s %10s %8s %9s %8s %9s@." "intensity"
-    "algorithm" "Δψ/p_tot" "util" "killed" "abandoned" "wasted" "downtime";
+  Format.fprintf ppf "%-10s %-14s | %10s %10s %8s %9s %8s %9s %8s %8s %9s@."
+    "intensity" "algorithm" "Δψ/p_tot" "util" "killed" "abandoned" "wasted"
+    "downtime" "events" "rounds" "heap_pops";
   List.iter
     (fun r ->
-      Format.fprintf ppf "%-10g %-14s | %10.4f %10.3f %8.1f %9.1f %8.1f %9.3f@."
+      Format.fprintf ppf
+        "%-10g %-14s | %10.4f %10.3f %8.1f %9.1f %8.1f %9.3f %8.0f %8.0f \
+         %9.0f@."
         r.intensity r.algorithm r.unfairness.mean r.util_ratio.mean
-        r.killed.mean r.abandoned.mean r.wasted.mean r.downtime.mean)
+        r.killed.mean r.abandoned.mean r.wasted.mean r.downtime.mean
+        r.event_instants.mean r.rounds.mean r.heap_pops.mean)
     t.rows
 
 let to_csv t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "intensity,algorithm,unfairness_mean,unfairness_stddev,util_ratio,killed,abandoned,wasted,downtime_frac,n\n";
+    "intensity,algorithm,unfairness_mean,unfairness_stddev,util_ratio,killed,abandoned,wasted,downtime_frac,event_instants,rounds,heap_pops,n\n";
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "%g,%s,%f,%f,%f,%f,%f,%f,%f,%d\n" r.intensity
+        (Printf.sprintf "%g,%s,%f,%f,%f,%f,%f,%f,%f,%f,%f,%f,%d\n" r.intensity
            r.algorithm r.unfairness.mean r.unfairness.stddev r.util_ratio.mean
            r.killed.mean r.abandoned.mean r.wasted.mean r.downtime.mean
-           r.unfairness.n))
+           r.event_instants.mean r.rounds.mean r.heap_pops.mean r.unfairness.n))
     t.rows;
   Buffer.contents buf
 
@@ -207,11 +219,13 @@ let to_json t =
         (Printf.sprintf
            "  {\"intensity\": %g, \"algorithm\": %S, \"unfairness\": %f, \
             \"unfairness_stddev\": %f, \"util_ratio\": %f, \"killed\": %f, \
-            \"abandoned\": %f, \"wasted\": %f, \"downtime_frac\": %f, \"n\": \
-            %d}"
+            \"abandoned\": %f, \"wasted\": %f, \"downtime_frac\": %f, \
+            \"event_instants\": %f, \"rounds\": %f, \"heap_pops\": %f, \
+            \"n\": %d}"
            r.intensity r.algorithm r.unfairness.mean r.unfairness.stddev
            r.util_ratio.mean r.killed.mean r.abandoned.mean r.wasted.mean
-           r.downtime.mean r.unfairness.n))
+           r.downtime.mean r.event_instants.mean r.rounds.mean
+           r.heap_pops.mean r.unfairness.n))
     t.rows;
   Buffer.add_string buf "\n]\n";
   Buffer.contents buf

@@ -48,6 +48,11 @@ type row = {
   abandoned : cell;  (** jobs dropped after exhausting the restart budget *)
   wasted : cell;  (** executed-then-discarded unit parts *)
   downtime : cell;  (** machine-time fraction down (same for all rows) *)
+  event_instants : cell;
+      (** distinct event instants processed by the kernel per run *)
+  rounds : cell;  (** scheduling rounds dispatched per run *)
+  heap_pops : cell;
+      (** REF event-heap pops per run (0 for single-loop policies) *)
 }
 
 type study = { config : config; rows : row list }

@@ -38,7 +38,7 @@ let run ?(progress = fun _ -> ()) ?workers config =
     (fun norgs ->
       let t0 = Unix.gettimeofday () in
       let ratios =
-        Pool.map ?workers
+        Core.Domain_pool.map ?workers
           (fun i ->
             let spec =
               Workload.Scenario.default ~norgs ~machines:config.machines

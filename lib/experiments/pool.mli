@@ -1,34 +1,18 @@
-(** A small domain pool for embarrassingly-parallel experiment sweeps
-    (OCaml 5 multicore).
+(** Deprecated alias of {!Core.Domain_pool}.
 
-    The tables and figures average over independent random instances: each
-    task owns its seed and its own simulator state, so tasks share nothing
-    and results are deterministic regardless of scheduling order.  [map]
-    spawns [workers] domains that pull tasks off a shared counter, and
-    returns results in input order.
-
-    Fine-grained parallelism (the REF engine's per-instant stages) goes
-    through the persistent pool in {!Core.Domain_pool} instead, re-exported
-    here as {!parallel_iter}: helper domains are spawned once per process and
-    reused, so dispatching a stage costs a condition-variable broadcast, not
-    a domain spawn.
-
-    No external dependency (domainslib is not available in the build
-    environment); the implementations hand out task indices through an
-    atomic counter, so no locks are needed on the work path. *)
+    The experiment sweeps' one-shot [map] has moved next to the persistent
+    [parallel_iter] pool in {!Core.Domain_pool}, so all multicore dispatch
+    lives in one module.  This shim re-exports the old entry points for
+    compatibility; new code should call {!Core.Domain_pool} directly. *)
 
 val map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map ~workers f tasks] applies [f] to every task using [workers] domains
-    (default: [recommended_workers ()]).  Results are in input order.  If
-    any task raises, the first exception (in input order) is re-raised —
-    with its original backtrace — after all workers stop.  With
-    [workers = 1] no domain is spawned (plain [List.map]). *)
+[@@ocaml.deprecated "Use Core.Domain_pool.map"]
+(** See {!Core.Domain_pool.map}. *)
 
 val recommended_workers : unit -> int
-(** [Domain.recommended_domain_count () - 1], at least 1. *)
+[@@ocaml.deprecated "Use Core.Domain_pool.recommended_workers"]
+(** See {!Core.Domain_pool.recommended_workers}. *)
 
 val parallel_iter : ?workers:int -> (int -> unit) -> int -> unit
-(** Re-export of {!Core.Domain_pool.parallel_iter}: run [f 0 .. f (n-1)] on
-    the persistent process-wide pool, at most [workers] domains in total
-    (caller included).  Falls back to an inline loop when [workers <= 1] or
-    the pool is busy with another batch. *)
+[@@ocaml.deprecated "Use Core.Domain_pool.parallel_iter"]
+(** See {!Core.Domain_pool.parallel_iter}. *)

@@ -65,7 +65,7 @@ let run ?(progress = fun _ -> ()) ?workers config =
     (fun model ->
       let t0 = Unix.gettimeofday () in
       let ratios =
-        Pool.map ?workers
+        Core.Domain_pool.map ?workers
           (fun i ->
             let spec =
               Workload.Scenario.default ~norgs:config.norgs

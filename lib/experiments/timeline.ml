@@ -7,9 +7,12 @@ type config = {
   algorithms : (string * Algorithms.Policy.maker) list;
   instances : int;
   seed : int;
+  faults : Faults.Event.timed list;
+  max_restarts : int option;
 }
 
-let default_config ?(horizon = 200_000) ?(instances = 3) () =
+let default_config ?(horizon = 200_000) ?(instances = 3) ?(faults = [])
+    ?max_restarts () =
   {
     model = Workload.Traces.lpc_egee;
     norgs = 5;
@@ -25,6 +28,8 @@ let default_config ?(horizon = 200_000) ?(instances = 3) () =
       ];
     instances;
     seed = 4242;
+    faults;
+    max_restarts;
   }
 
 type series = { algorithm : string; points : (int * float) list }
@@ -36,7 +41,7 @@ let checkpoints_of config =
 let run ?workers config =
   let checkpoints = checkpoints_of config in
   let per_instance =
-    Pool.map ?workers
+    Core.Domain_pool.map ?workers
       (fun i ->
         let spec =
           Workload.Scenario.default ~norgs:config.norgs
@@ -44,7 +49,9 @@ let run ?workers config =
         in
         let seed = config.seed + (104_729 * i) in
         let instance = Workload.Scenario.instance spec ~seed in
-        Sim.Fairness.timelines ~instance ~seed:(seed lxor 0x71e) ~checkpoints
+        Sim.Fairness.timelines ~faults:config.faults
+          ?max_restarts:config.max_restarts ~instance ~seed:(seed lxor 0x71e)
+          ~checkpoints
           (List.map snd config.algorithms))
       (List.init config.instances (fun i -> i + 1))
   in

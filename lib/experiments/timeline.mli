@@ -14,11 +14,20 @@ type config = {
   algorithms : (string * Algorithms.Policy.maker) list;
   instances : int;  (** averaged point-wise over random instances *)
   seed : int;
+  faults : Faults.Event.timed list;
+      (** injected into every run (reference and candidates alike) *)
+  max_restarts : int option;  (** kill budget per job under faults *)
 }
 
-val default_config : ?horizon:int -> ?instances:int -> unit -> config
+val default_config :
+  ?horizon:int ->
+  ?instances:int ->
+  ?faults:Faults.Event.timed list ->
+  ?max_restarts:int ->
+  unit ->
+  config
 (** LPC-EGEE, 5 orgs, 16 machines, horizon 2·10⁵, 20 snapshots, the
-    evaluated line-up minus the slow RAND-75. *)
+    evaluated line-up minus the slow RAND-75.  [faults] defaults to none. *)
 
 type series = { algorithm : string; points : (int * float) list }
 type figure = { config : config; series : series list }

@@ -32,11 +32,27 @@ type run = {
   utilities_scaled : int array;  (** [2·ψsp(u)] at the horizon *)
   parts : int array;
   completed_jobs : int;
+  stats : Kernel.Stats.t;  (** the run's kernel counters *)
 }
 
-val simulate : instance:Instance.t -> policy -> run
-(** O(horizon · machines); identical machines only.
-    @raise Invalid_argument on a related-machines instance. *)
+val simulate :
+  ?faults:Faults.Event.timed list ->
+  ?max_restarts:int ->
+  instance:Instance.t ->
+  policy ->
+  run
+(** O(busy slots · machines); identical machines only.  Runs through
+    {!Kernel.Engine}: busy slots tick one by one, idle stretches are
+    event-compressed exactly (the round-robin cursor only moves when
+    someone waits, so skipped slots are no-ops).
+
+    [faults] shrinks the slot capacity while machines are down ([Fail] at
+    [t] removes the machine from slot [t] onward, [Recover] at [t] makes it
+    usable in slot [t] itself).  Preemption means a failure costs no
+    executed work — jobs are never killed — so [max_restarts] never binds;
+    it is accepted for kernel-interface uniformity.
+    @raise Invalid_argument on a related-machines instance or a malformed
+    fault trace. *)
 
 val delta_ratio :
   reference:Sim.Driver.result -> run -> int * float

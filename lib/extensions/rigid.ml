@@ -30,6 +30,10 @@ type run = {
   placements : (rigid_job * int) list;
   busy_time : int;
   utilization : float;
+  killed : int;
+  abandoned : int;
+  wasted : int;
+  stats : Kernel.Stats.t;
 }
 
 let prefer policy a b =
@@ -41,92 +45,193 @@ let prefer policy a b =
   | Widest_fit -> a.width > b.width
   | Narrowest_fit -> a.width < b.width
 
-let simulate instance policy =
+(* One started attempt.  [live] goes false when a machine failure kills the
+   attempt; its completion-heap entry then becomes stale and is dropped
+   lazily (failures are rare, deletions are O(1) this way). *)
+type attempt = {
+  rj : rigid_job;
+  a_start : int;
+  hosts : int list;  (* machine ids occupied by this attempt *)
+  mutable live : bool;
+}
+
+let simulate ?(faults = []) ?max_restarts instance policy =
   let norgs =
     1 + List.fold_left (fun acc r -> Stdlib.max acc r.job.Job.org) 0 instance.jobs
   in
   let queues = Array.init norgs (fun _ -> Queue.create ()) in
-  let pending = ref instance.jobs in
-  let running : rigid_job Heap.t = Heap.create () in
-  let free = ref instance.machines in
-  let placements = ref [] in
-  let next_release () =
-    match !pending with
-    | r :: _ -> Some r.job.Job.release
-    | [] -> None
+  (* Kills resubmit at the head of the owner's queue, ahead of everything
+     released later — same lifecycle convention as {!Core.Cluster}. *)
+  let heads = Array.make norgs [] in
+  let front org =
+    match heads.(org) with
+    | r :: _ -> Some r
+    | [] -> Queue.peek_opt queues.(org)
   in
-  let fitting_front () =
-    let best = ref None in
-    Array.iter
-      (fun q ->
-        match Queue.peek_opt q with
-        | Some r when r.width <= !free -> (
-            match !best with
-            | Some b when prefer policy b r -> ()
-            | _ -> best := Some r)
-        | Some _ | None -> ())
-      queues;
-    !best
+  let pop_front org =
+    match heads.(org) with
+    | r :: rest ->
+        heads.(org) <- rest;
+        r
+    | [] -> Queue.pop queues.(org)
   in
-  let process t =
-    let rec completions () =
-      match Heap.pop_le running t with
-      | Some (_, r) ->
-          free := !free + r.width;
-          completions ()
-      | None -> ()
-    in
-    completions ();
-    let rec releases () =
-      match !pending with
-      | r :: rest when r.job.Job.release <= t ->
-          pending := rest;
-          Queue.add r queues.(r.job.Job.org);
-          releases ()
-      | _ -> ()
-    in
-    releases ();
-    let rec starts () =
-      match fitting_front () with
-      | Some r ->
-          let q = queues.(r.job.Job.org) in
-          let r' = Queue.pop q in
-          assert (r' == r);
-          free := !free - r.width;
-          Heap.add running ~prio:(t + r.job.Job.size) r;
-          placements := (r, t) :: !placements;
-          starts ()
-      | None -> ()
-    in
-    starts ()
+  (* Without faults every machine is interchangeable, so the pre-kernel
+     simulator only kept a free counter; killing the job hosted by one
+     specific machine needs identities.  Attempts occupy the lowest-numbered
+     free machines — invisible in any output, it only fixes which attempt a
+     failure hits. *)
+  let up = Array.make instance.machines true in
+  let occupant = Array.make instance.machines None in
+  let free = ref instance.machines in  (* up and unoccupied *)
+  let running : attempt Heap.t = Heap.create () in
+  let attempts = ref [] in  (* every started attempt, latest first *)
+  let restarts = Hashtbl.create 16 in
+  let killed = ref 0 and abandoned = ref 0 and wasted = ref 0 in
+  let release_hosts a ~failed =
+    List.iter
+      (fun m ->
+        occupant.(m) <- None;
+        if up.(m) && not (failed = Some m) then incr free)
+      a.hosts
   in
-  let rec loop () =
-    let tau =
-      match (next_release (), Heap.min_prio running) with
-      | None, c -> c
-      | r, None -> r
-      | Some r, Some c -> Some (Stdlib.min r c)
-    in
-    match tau with
-    | Some t when t < instance.horizon ->
-        process t;
-        loop ()
-    | Some _ | None -> ()
+  let rec skip_dead () =
+    (* Keep the heap minimum live so [next_completion] is exact. *)
+    match Heap.min_prio running with
+    | Some p -> (
+        match Heap.pop_le running p with
+        | Some (_, a) when not a.live -> skip_dead ()
+        | Some (p, a) ->
+            Heap.add running ~prio:p a;
+            ()
+        | None -> ())
+    | None -> ()
   in
-  loop ();
+  let model =
+    {
+      Kernel.Engine.next_completion =
+        (fun () ->
+          skip_dead ();
+          Heap.min_prio running);
+      pop_completion =
+        (fun ~time ->
+          skip_dead ();
+          match Heap.pop_le running time with
+          | Some (_, a) ->
+              release_hosts a ~failed:None;
+              true
+          | None -> false);
+      apply_fault =
+        (fun ~time ev ->
+          match ev with
+          | Faults.Event.Fail m ->
+              if not up.(m) then Kernel.Engine.Applied
+              else begin
+                up.(m) <- false;
+                match occupant.(m) with
+                | None ->
+                    decr free;
+                    Kernel.Engine.Applied
+                | Some a ->
+                    a.live <- false;
+                    release_hosts a ~failed:(Some m);
+                    incr killed;
+                    let w = a.rj.width * (time - a.a_start) in
+                    wasted := !wasted + w;
+                    let key = (a.rj.job.Job.org, a.rj.job.Job.index) in
+                    let used =
+                      Option.value (Hashtbl.find_opt restarts key) ~default:0
+                    in
+                    let resubmitted =
+                      match max_restarts with
+                      | Some budget when used >= budget -> false
+                      | _ ->
+                          Hashtbl.replace restarts key (used + 1);
+                          heads.(a.rj.job.Job.org) <-
+                            a.rj :: heads.(a.rj.job.Job.org);
+                          true
+                    in
+                    if not resubmitted then incr abandoned;
+                    Kernel.Engine.Killed { wasted = w; resubmitted }
+              end
+          | Faults.Event.Recover m ->
+              if not up.(m) then begin
+                up.(m) <- true;
+                if occupant.(m) = None then incr free
+              end;
+              Kernel.Engine.Applied);
+      admit = (fun ~time:_ r -> Queue.add r queues.(r.job.Job.org));
+      round =
+        (fun ~time ->
+          let fitting_front () =
+            let best = ref None in
+            for org = 0 to norgs - 1 do
+              match front org with
+              | Some r when r.width <= !free -> (
+                  match !best with
+                  | Some b when prefer policy b r -> ()
+                  | _ -> best := Some r)
+              | Some _ | None -> ()
+            done;
+            !best
+          in
+          let n = ref 0 in
+          let rec starts () =
+            match fitting_front () with
+            | Some r ->
+                let r' = pop_front r.job.Job.org in
+                assert (r' == r);
+                let hosts = ref [] and need = ref r.width in
+                let m = ref 0 in
+                while !need > 0 do
+                  if up.(!m) && occupant.(!m) = None then begin
+                    hosts := !m :: !hosts;
+                    decr need
+                  end;
+                  incr m
+                done;
+                let a =
+                  { rj = r; a_start = time; hosts = List.rev !hosts; live = true }
+                in
+                List.iter (fun m -> occupant.(m) <- Some a) a.hosts;
+                free := !free - r.width;
+                Heap.add running ~prio:(time + r.job.Job.size) a;
+                attempts := a :: !attempts;
+                incr n;
+                starts ()
+            | None -> ()
+          in
+          starts ();
+          !n);
+    }
+  in
+  let engine =
+    Kernel.Engine.create ~faults ~machines:instance.machines
+      ~release_time:(fun r -> r.job.Job.release)
+      (Array.of_list instance.jobs)
+  in
+  Kernel.Engine.run engine model ~horizon:instance.horizon ();
+  (* Surviving attempts only: a killed attempt's occupancy is excised (its
+     processor-slots are [wasted]), exactly like {!Core.Cluster}'s schedule. *)
+  let placements =
+    List.rev_map (fun a -> (a.rj, a.a_start)) (List.filter (fun a -> a.live) !attempts)
+  in
   let busy_time =
     List.fold_left
       (fun acc (r, start) ->
         let finish = Stdlib.min (start + r.job.Job.size) instance.horizon in
         acc + (r.width * Stdlib.max 0 (finish - start)))
-      0 !placements
+      0 placements
   in
   {
-    placements = List.rev !placements;
+    placements;
     busy_time;
     utilization =
       float_of_int busy_time
       /. float_of_int (instance.machines * instance.horizon);
+    killed = !killed;
+    abandoned = !abandoned;
+    wasted = !wasted;
+    stats = Kernel.Stats.copy (Kernel.Engine.stats engine);
   }
 
 let check_rigid_greedy instance result =

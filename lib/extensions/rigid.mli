@@ -38,14 +38,35 @@ type policy =
 val policy_name : policy -> string
 
 type run = {
-  placements : (rigid_job * int) list;  (** (job, start), start order *)
+  placements : (rigid_job * int) list;
+      (** (job, start) of surviving attempts, start order (killed attempts
+          are excised, like {!Core.Cluster}'s schedule) *)
   busy_time : int;  (** Σ width·occupied-slots before the horizon *)
   utilization : float;
+  killed : int;  (** attempts killed by machine failures *)
+  abandoned : int;  (** kills that exhausted [max_restarts] *)
+  wasted : int;  (** processor-slots executed then lost across kills *)
+  stats : Kernel.Stats.t;  (** the run's kernel counters *)
 }
 
-val simulate : instance -> policy -> run
-(** Greedy simulation: at every event, while some front fits, start the
-    policy's pick. *)
+val simulate :
+  ?faults:Faults.Event.timed list ->
+  ?max_restarts:int ->
+  instance ->
+  policy ->
+  run
+(** Greedy simulation through {!Kernel.Engine}: at every event, while some
+    front fits in the free (up and unoccupied) capacity, start the policy's
+    pick on the lowest-numbered free machines.
+
+    [faults] follows the kernel lifecycle: a [Fail] kills the hosted
+    attempt — all [width] processors' executed slots are lost — and
+    resubmits the job at the head of its owner's queue ([max_restarts]
+    bounds resubmissions; once exceeded the job is abandoned); a [Recover]
+    returns the machine.  Within an instant: completions, then faults, then
+    releases, then the scheduling round.  Fault-free runs are bit-identical
+    to the pre-kernel simulator.
+    @raise Invalid_argument on an unsorted/out-of-range fault trace. *)
 
 val check_rigid_greedy : instance -> run -> (unit, string) result
 (** Validator: capacity is never exceeded, and no instant leaves enough

@@ -64,6 +64,120 @@ let random ~rng ~machines ~horizon ~mtbf ~mttr () =
   done;
   List.sort Event.compare_timed !acc
 
+(* --- CLI-facing parsers ------------------------------------------------ *)
+
+let spec_of_string s =
+  let ( let* ) = Result.bind in
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  let fields =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun f -> f <> "")
+  in
+  let* pairs =
+    List.fold_left
+      (fun acc field ->
+        let* acc = acc in
+        match String.index_opt field ':' with
+        | None ->
+            err "fault spec field %S is not key:value (expected \
+                 mtbf:MEAN,mttr:MEAN[,dist:exp|weibull|fixed][,shape:S])"
+              field
+        | Some i ->
+            let key = String.sub field 0 i in
+            let value = String.sub field (i + 1) (String.length field - i - 1) in
+            Ok ((key, value) :: acc))
+      (Ok []) fields
+  in
+  let lookup key = List.assoc_opt key pairs in
+  let* () =
+    match
+      List.find_opt
+        (fun (k, _) -> not (List.mem k [ "mtbf"; "mttr"; "dist"; "shape" ]))
+        pairs
+    with
+    | Some (k, _) -> err "unknown fault spec key %S" k
+    | None -> Ok ()
+  in
+  let mean key =
+    match lookup key with
+    | None -> err "fault spec is missing %s:MEAN" key
+    | Some v -> (
+        match float_of_string_opt v with
+        | Some m when m > 0. -> Ok m
+        | Some _ | None ->
+            err "fault spec %s must be a positive number, got %S" key v)
+  in
+  let* mtbf_mean = mean "mtbf" in
+  let* mttr_mean = mean "mttr" in
+  let* shape =
+    match lookup "shape" with
+    | None -> Ok 1.5
+    | Some v -> (
+        match float_of_string_opt v with
+        | Some sh when sh > 0. -> Ok sh
+        | Some _ | None ->
+            err "fault spec shape must be a positive number, got %S" v)
+  in
+  let* make_dist =
+    match Option.value (lookup "dist") ~default:"exp" with
+    | "exp" -> Ok (fun m -> Exponential { mean = m })
+    | "weibull" -> Ok (fun m -> Weibull { shape; scale = m })
+    | "fixed" -> Ok (fun m -> Fixed m)
+    | d -> err "fault spec dist must be exp, weibull or fixed, got %S" d
+  in
+  Ok (make_dist mtbf_mean, make_dist mttr_mean)
+
+let script_of_lines lines =
+  let ( let* ) = Result.bind in
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  let* outages =
+    List.fold_left
+      (fun acc (lineno, line) ->
+        let* acc = acc in
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        match
+          String.split_on_char ' ' line
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun t -> String.trim t <> "")
+        with
+        | [] -> Ok acc
+        | [ m; down; up ] -> (
+            match
+              (int_of_string_opt m, int_of_string_opt down, int_of_string_opt up)
+            with
+            | Some machine, Some down_at, Some up_at
+              when machine >= 0 && down_at >= 0 && up_at > down_at ->
+                Ok ({ machine; down_at; up_at } :: acc)
+            | _ ->
+                err "line %d: expected MACHINE DOWN_AT UP_AT with 0 <= \
+                     machine, 0 <= down_at < up_at, got %S"
+                  lineno (String.trim line))
+        | _ ->
+            err "line %d: expected MACHINE DOWN_AT UP_AT, got %S" lineno
+              (String.trim line))
+      (Ok [])
+      (List.mapi (fun i l -> (i + 1, l)) lines)
+  in
+  Ok (scripted (List.rev outages))
+
+let load_script path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      Result.map_error
+        (fun msg -> Printf.sprintf "%s: %s" path msg)
+        (script_of_lines (List.rev !lines))
+
 let count_kind trace =
   List.fold_left
     (fun (f, r) e ->

@@ -42,6 +42,20 @@ val random :
     Machines are processed in id order from the single [rng], so the trace
     is a deterministic function of the seed. *)
 
+val spec_of_string : string -> (dist * dist, string) result
+(** Parses the CLI fault spec [mtbf:MEAN,mttr:MEAN[,dist:exp|weibull|fixed]
+    [,shape:S]] into [(mtbf, mttr)] distributions.  [dist] defaults to
+    [exp]; [shape] (Weibull only) defaults to 1.5.  The error string is a
+    one-line diagnostic ready for the CLI's exit-2 contract. *)
+
+val script_of_lines : string list -> (Event.timed list, string) result
+(** Parses scripted-outage lines — [MACHINE DOWN_AT UP_AT] per line,
+    whitespace-separated, [#] starts a comment, blank lines ignored — into
+    a canonical sorted trace. *)
+
+val load_script : string -> (Event.timed list, string) result
+(** {!script_of_lines} over a file; the error string carries the path. *)
+
 val count_kind : Event.timed list -> int * int
 (** [(failures, recoveries)] in the trace. *)
 

@@ -1,0 +1,215 @@
+type fault_outcome =
+  | Applied
+  | Killed of { wasted : int; resubmitted : bool }
+
+type 'job model = {
+  next_completion : unit -> int option;
+  pop_completion : time:int -> bool;
+  apply_fault : time:int -> Faults.Event.t -> fault_outcome;
+  admit : time:int -> 'job -> unit;
+  round : time:int -> int;
+}
+
+type 'job t = {
+  release_time : 'job -> int;
+  jobs : 'job array;  (* static stream, release-sorted *)
+  mutable next_job : int;
+  pushed_jobs : 'job Queue.t;  (* dynamic stream, fed in release order *)
+  faults : Faults.Event.timed array;
+  mutable next_fault : int;
+  pushed_faults : Faults.Event.timed Queue.t;
+  mutable pending_checkpoints : int list;
+  mutable now : int;
+  stats : Stats.t;
+}
+
+let create ?(faults = []) ?machines ?(checkpoints = []) ~release_time jobs =
+  (match machines with
+  | Some m -> (
+      match Faults.Event.validate ~machines:m faults with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Kernel.Engine: bad fault trace: " ^ msg))
+  | None -> ());
+  {
+    release_time;
+    jobs;
+    next_job = 0;
+    pushed_jobs = Queue.create ();
+    faults = Array.of_list (List.sort Faults.Event.compare_timed faults);
+    next_fault = 0;
+    pushed_faults = Queue.create ();
+    pending_checkpoints = List.sort_uniq Stdlib.compare checkpoints;
+    now = 0;
+    stats = Stats.create ();
+  }
+
+let push_job t job = Queue.add job t.pushed_jobs
+let push_fault t ev = Queue.add ev t.pushed_faults
+let now t = t.now
+let stats t = t.stats
+
+let min_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (Stdlib.min a b)
+
+let next_release t =
+  let static =
+    if t.next_job < Array.length t.jobs then
+      Some (t.release_time t.jobs.(t.next_job))
+    else None
+  in
+  let pushed =
+    match Queue.peek_opt t.pushed_jobs with
+    | Some j -> Some (t.release_time j)
+    | None -> None
+  in
+  min_opt static pushed
+
+let next_fault_time t =
+  let static =
+    if t.next_fault < Array.length t.faults then
+      Some t.faults.(t.next_fault).Faults.Event.time
+    else None
+  in
+  let pushed =
+    match Queue.peek_opt t.pushed_faults with
+    | Some f -> Some f.Faults.Event.time
+    | None -> None
+  in
+  min_opt static pushed
+
+let next_event t model =
+  Option.map
+    (fun tau -> Stdlib.max tau t.now)
+    (min_opt
+       (min_opt (next_release t) (next_fault_time t))
+       (model.next_completion ()))
+
+(* Phase 1: completions. *)
+let drain_completions t model ~time =
+  while model.pop_completion ~time do
+    t.stats.Stats.completions <- t.stats.Stats.completions + 1
+  done
+
+(* Phase 2: faults.  Both streams are time-sorted; the merge prefers the
+   static trace on ties (only one stream is populated in every current
+   client, so the tie rule is a determinism guarantee, not a semantic
+   choice). *)
+let account_fault t outcome =
+  t.stats.Stats.fault_events <- t.stats.Stats.fault_events + 1;
+  match outcome with
+  | Applied -> ()
+  | Killed { wasted; resubmitted } ->
+      t.stats.Stats.kills <- t.stats.Stats.kills + 1;
+      t.stats.Stats.wasted <- t.stats.Stats.wasted + wasted;
+      if not resubmitted then
+        t.stats.Stats.abandoned <- t.stats.Stats.abandoned + 1
+
+let rec drain_faults t model ~time =
+  let static =
+    if t.next_fault < Array.length t.faults then
+      Some t.faults.(t.next_fault).Faults.Event.time
+    else None
+  in
+  let pushed =
+    match Queue.peek_opt t.pushed_faults with
+    | Some f -> Some f.Faults.Event.time
+    | None -> None
+  in
+  match (static, pushed) with
+  | Some ts, _
+    when ts <= time && (match pushed with Some tp -> ts <= tp | None -> true)
+    ->
+      let ev = t.faults.(t.next_fault) in
+      t.next_fault <- t.next_fault + 1;
+      account_fault t (model.apply_fault ~time ev.Faults.Event.event);
+      drain_faults t model ~time
+  | _, Some tp when tp <= time ->
+      let ev = Queue.pop t.pushed_faults in
+      account_fault t (model.apply_fault ~time ev.Faults.Event.event);
+      drain_faults t model ~time
+  | _ -> ()
+
+(* Phase 3: releases; same merge rule as faults. *)
+let rec drain_releases t model ~time =
+  let static =
+    if t.next_job < Array.length t.jobs then
+      Some (t.release_time t.jobs.(t.next_job))
+    else None
+  in
+  let pushed =
+    match Queue.peek_opt t.pushed_jobs with
+    | Some j -> Some (t.release_time j)
+    | None -> None
+  in
+  match (static, pushed) with
+  | Some ts, _
+    when ts <= time && (match pushed with Some tp -> ts <= tp | None -> true)
+    ->
+      let job = t.jobs.(t.next_job) in
+      t.next_job <- t.next_job + 1;
+      t.stats.Stats.releases <- t.stats.Stats.releases + 1;
+      model.admit ~time job;
+      drain_releases t model ~time
+  | _, Some tp when tp <= time ->
+      let job = Queue.pop t.pushed_jobs in
+      t.stats.Stats.releases <- t.stats.Stats.releases + 1;
+      model.admit ~time job;
+      drain_releases t model ~time
+  | _ -> ()
+
+let drain_events t model ~time =
+  if time < t.now then invalid_arg "Kernel.Engine: time moved backwards";
+  t.now <- time;
+  t.stats.Stats.instants <- t.stats.Stats.instants + 1;
+  drain_completions t model ~time;
+  drain_faults t model ~time;
+  drain_releases t model ~time
+
+let run_round t model ~time =
+  let n = model.round ~time in
+  t.stats.Stats.rounds <- t.stats.Stats.rounds + 1;
+  t.stats.Stats.starts <- t.stats.Stats.starts + n
+
+let process_instant t model ~time =
+  drain_events t model ~time;
+  run_round t model ~time
+
+let fire_checkpoints t ~on_checkpoint bound =
+  let rec go () =
+    match t.pending_checkpoints with
+    | c :: rest when c <= bound ->
+        t.pending_checkpoints <- rest;
+        on_checkpoint ~at:c;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let run t model ~horizon ?(on_checkpoint = fun ~at:_ -> ()) () =
+  (* A checkpoint past the horizon snaps to it: utilities are only defined
+     up to the evaluation end. *)
+  t.pending_checkpoints <-
+    List.sort_uniq Stdlib.compare
+      (List.map (fun c -> Stdlib.min c horizon) t.pending_checkpoints);
+  let rec loop () =
+    match next_event t model with
+    | Some tau when tau < horizon ->
+        fire_checkpoints t ~on_checkpoint tau;
+        process_instant t model ~time:tau;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  fire_checkpoints t ~on_checkpoint horizon
+
+let advance_to t model ~time =
+  let rec loop () =
+    match next_event t model with
+    | Some tau when tau <= time ->
+        process_instant t model ~time:tau;
+        loop ()
+    | Some _ | None -> t.now <- Stdlib.max t.now time
+  in
+  loop ()

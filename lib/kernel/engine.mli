@@ -1,0 +1,123 @@
+(** The simulation kernel: one event-driven engine for every scheduling
+    loop in the system.
+
+    Before this module existed, five separate event loops — the
+    grand-coalition driver, the per-coalition what-if simulators inside REF
+    and RAND, the generic REF engine, and the rigid-jobs extension — each
+    re-implemented the same machinery: merging job releases, machine
+    faults, and completions into one time-ordered stream; the canonical
+    within-instant phase order; and the kill/resubmit/abandon bookkeeping.
+    The kernel owns all of it once.  A concrete simulation supplies a
+    {!model} — five closures over its own cluster state — and the kernel
+    supplies the loop, the event streams, and the instrumentation
+    ({!Stats}).
+
+    {b Canonical within-instant order} (DESIGN.md §10): at one instant [t],
+
+    + completions with [finish <= t] (a job finishing at [t] beats a
+      failure at [t]);
+    + fault events with [time <= t] (a machine down at [t] hosts nothing
+      at [t]; one recovering at [t] is usable at [t]);
+    + job releases with [release <= t];
+    + the greedy scheduling round (so a job started at [t] can never be
+      killed at [t]: all faults at [t] were already delivered).
+
+    The engine is deliberately agnostic about what a "job", "completion"
+    or "machine" is: the uniform, related-speeds, rigid-width and
+    slot-preemptive cluster models all drive it through the same five
+    closures, which is what gives the extensions fault injection and
+    restart budgets without code of their own. *)
+
+(** What applying one fault event did, so the kernel can keep the
+    kill/waste/abandon tallies at one choke point. *)
+type fault_outcome =
+  | Applied  (** a recovery, or a failure that hit an idle/down machine *)
+  | Killed of { wasted : int; resubmitted : bool }
+      (** a failure killed the hosted job after [wasted] executed parts;
+          [resubmitted = false] means the restart budget was exhausted and
+          the job was abandoned *)
+
+(** The cluster model: how one concrete simulation reacts to each phase.
+    All closures are called with the instant being processed; the kernel
+    guarantees the canonical phase order and monotone time. *)
+type 'job model = {
+  next_completion : unit -> int option;
+      (** earliest pending completion time, if any *)
+  pop_completion : time:int -> bool;
+      (** handle one completion with [finish <= time]; [false] if none
+          remain (the kernel calls it in a loop) *)
+  apply_fault : time:int -> Faults.Event.t -> fault_outcome;
+      (** apply one fault event: take the machine down (killing and
+          resubmitting/abandoning its job) or bring it back up *)
+  admit : time:int -> 'job -> unit;  (** enqueue one released job *)
+  round : time:int -> int;
+      (** run the greedy scheduling round; returns the number of
+          placements/decisions made *)
+}
+
+type 'job t
+
+val create :
+  ?faults:Faults.Event.timed list ->
+  ?machines:int ->
+  ?checkpoints:int list ->
+  release_time:('job -> int) ->
+  'job array ->
+  'job t
+(** [create ~release_time jobs] builds a kernel over a static,
+    release-sorted job array (use [[||]] for purely dynamic feeds, see
+    {!push_job}).  [faults] is the static fault trace, sorted on entry;
+    when [machines] is given the trace is validated against it
+    ({!Faults.Event.validate}) and an invalid trace raises
+    [Invalid_argument].  [checkpoints] are instants at which {!run} fires
+    its [on_checkpoint] callback (clamped to the horizon). *)
+
+val push_job : 'job t -> 'job -> unit
+(** Feed a job dynamically (the REF sub-coalition simulators receive their
+    members' jobs from the outer loop as they are released).  Jobs must be
+    pushed in release order; a release before {!now} is admitted at the
+    next processed instant. *)
+
+val push_fault : 'job t -> Faults.Event.timed -> unit
+(** Feed a fault event dynamically, in time order. *)
+
+val now : _ t -> int
+(** Last processed instant (0 before any). *)
+
+val stats : _ t -> Stats.t
+(** The kernel's live instrumentation counters. *)
+
+val next_event : 'job t -> 'job model -> int option
+(** Earliest pending event — release, fault, or completion — clamped to
+    {!now} (an event fed late fires at the next instant, never in the
+    past). *)
+
+val process_instant : 'job t -> 'job model -> time:int -> unit
+(** Run all four phases at one instant.  @raise Invalid_argument if [time]
+    precedes {!now}. *)
+
+val drain_events : 'job t -> 'job model -> time:int -> unit
+(** Phases 1–3 only (completions, faults, releases) — the split entry
+    point for the staged parallel REF engine, which runs the scheduling
+    rounds of its simulations grouped by coalition size ({!run_round}).
+    Counts the instant in {!Stats}. *)
+
+val run_round : 'job t -> 'job model -> time:int -> unit
+(** Phase 4 only: the scheduling round, counted into {!Stats}. *)
+
+val run :
+  'job t ->
+  'job model ->
+  horizon:int ->
+  ?on_checkpoint:(at:int -> unit) ->
+  unit ->
+  unit
+(** The closed-loop driver: process every instant with an event strictly
+    before [horizon], firing [on_checkpoint] for each requested checkpoint
+    [c] once every event before [c] has been processed, then flush the
+    remaining checkpoints at the horizon. *)
+
+val advance_to : 'job t -> 'job model -> time:int -> unit
+(** The lockstep form used by what-if simulators: process every instant
+    with an event at or before [time], then advance {!now} to at least
+    [time]. *)

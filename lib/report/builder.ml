@@ -136,7 +136,7 @@ let utilization_chart rows =
     ]
 
 let extension_chart () =
-  let related = Sim.Related.gadget_sweep ~ratios:[ 1; 2; 4; 8; 16 ] ~work:60 in
+  let related = Sim.Related.gadget_sweep ~ratios:[ 1; 2; 4; 8; 16 ] ~work:60 () in
   let rigid = Extensions.Rigid.gadget_sweep ~ms:[ 2; 4; 8; 16 ] ~size:40 in
   Svg.line_chart ~title:"Greedy efficiency loss beyond identical machines"
     ~x_label:"speed ratio r / width m" ~y_label:"worst/best ratio"

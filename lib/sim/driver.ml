@@ -13,6 +13,7 @@ type result = {
   killed : int;
   abandoned : int;
   wasted : int;
+  stats : Kernel.Stats.t;
 }
 
 and snapshot = { at : int; psi_scaled : int array; parts_at : int array }
@@ -35,12 +36,6 @@ let run ?(record = true) ?(checkpoints = []) ?workers ?(faults = [])
   let k = Instance.organizations instance in
   let horizon = instance.Instance.horizon in
   let nmachines = Instance.total_machines instance in
-  (match Faults.Event.validate ~machines:nmachines faults with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Driver.run: bad fault trace: " ^ msg));
-  let faults = Array.of_list (List.sort Faults.Event.compare_timed faults) in
-  let next_fault = ref 0 in
-  let nfaults = Array.length faults in
   let cluster =
     Cluster.create ~record ?max_restarts
       ?speeds:instance.Instance.speeds
@@ -56,116 +51,95 @@ let run ?(record = true) ?(checkpoints = []) ?workers ?(faults = [])
         Core.Domain_pool.with_default_workers (Some w) (fun () ->
             maker instance ~rng)
   in
-  let jobs = instance.Instance.jobs in
-  let njobs = Array.length jobs in
-  let next_job = ref 0 in
-  let events = ref 0 in
-  (* Checkpoint snapshots: a snapshot at instant c is valid once every event
-     strictly before c has been processed (tracker queries are exact at any
-     time between events). *)
-  let pending_checkpoints =
-    ref
-      (List.sort_uniq Stdlib.compare
-         (List.map (fun c -> Stdlib.min c horizon) checkpoints))
+  let engine =
+    Kernel.Engine.create ~faults ~machines:nmachines ~checkpoints
+      ~release_time:(fun (j : Job.t) -> j.Job.release)
+      instance.Instance.jobs
   in
+  let model =
+    {
+      Kernel.Engine.next_completion =
+        (fun () -> Cluster.next_completion cluster);
+      pop_completion =
+        (fun ~time ->
+          match Cluster.pop_completion_le cluster time with
+          | Some c ->
+              Utility.Tracker.on_complete
+                trackers.(c.Cluster.job.Job.org)
+                ~key:c.Cluster.job.Job.index
+                ~size:(c.Cluster.finish - c.Cluster.start);
+              policy.Algorithms.Policy.on_complete view ~time c;
+              true
+          | None -> false);
+      apply_fault =
+        (fun ~time ev ->
+          let outcome =
+            match ev with
+            | Faults.Event.Fail m -> (
+                match Cluster.fail_machine cluster ~time m with
+                | Some kill ->
+                    (* Strategy-proofness under churn (Theorem 4.1): the
+                       killed piece is retracted — lost work counts toward
+                       nobody's ψsp. *)
+                    Utility.Tracker.on_abort
+                      trackers.(kill.Cluster.k_job.Job.org)
+                      ~key:kill.Cluster.k_job.Job.index;
+                    policy.Algorithms.Policy.on_kill view ~time kill;
+                    Kernel.Engine.Killed
+                      {
+                        wasted = kill.Cluster.k_wasted;
+                        resubmitted = kill.Cluster.k_resubmitted;
+                      }
+                | None -> Kernel.Engine.Applied)
+            | Faults.Event.Recover m ->
+                ignore (Cluster.recover_machine cluster m);
+                Kernel.Engine.Applied
+          in
+          policy.Algorithms.Policy.on_fault view ~time ev;
+          outcome);
+      admit =
+        (fun ~time job ->
+          Cluster.release cluster job;
+          policy.Algorithms.Policy.on_release view ~time job);
+      round =
+        (fun ~time ->
+          let n = ref 0 in
+          while Cluster.free_count cluster > 0 && Cluster.has_waiting cluster
+          do
+            let org = policy.Algorithms.Policy.select view ~time in
+            let machine =
+              policy.Algorithms.Policy.pick_machine view ~time ~org
+            in
+            let placement =
+              Cluster.start_front cluster ~org ~time ?machine ()
+            in
+            Utility.Tracker.on_start trackers.(org)
+              ~key:placement.Schedule.job.Job.index ~start:time;
+            policy.Algorithms.Policy.on_start view ~time placement;
+            incr n
+          done;
+          !n);
+    }
+  in
+  (* Checkpoint snapshots: the kernel fires [on_checkpoint ~at:c] once every
+     event strictly before [c] has been processed (tracker queries are exact
+     at any time between events). *)
   let snapshots = ref [] in
-  let snapshot_upto bound =
-    let rec go () =
-      match !pending_checkpoints with
-      | c :: rest when c <= bound ->
-          pending_checkpoints := rest;
-          snapshots :=
-            {
-              at = c;
-              psi_scaled =
-                Array.map
-                  (fun tr -> Utility.Tracker.value_scaled tr ~at:c)
-                  trackers;
-              parts_at =
-                Array.map (fun tr -> Utility.Tracker.parts tr ~at:c) trackers;
-            }
-            :: !snapshots;
-          go ()
-      | _ -> ()
-    in
-    go ()
+  let on_checkpoint ~at =
+    snapshots :=
+      {
+        at;
+        psi_scaled =
+          Array.map (fun tr -> Utility.Tracker.value_scaled tr ~at) trackers;
+        parts_at = Array.map (fun tr -> Utility.Tracker.parts tr ~at) trackers;
+      }
+      :: !snapshots
   in
-  let min_opt a b =
-    match (a, b) with
-    | None, x | x, None -> x
-    | Some a, Some b -> Some (Stdlib.min a b)
-  in
-  let next_event () =
-    let release = if !next_job < njobs then Some jobs.(!next_job).Job.release else None in
-    let fault =
-      if !next_fault < nfaults then Some faults.(!next_fault).Faults.Event.time
-      else None
-    in
-    min_opt (min_opt release fault) (Cluster.next_completion cluster)
-  in
-  let process_instant t =
-    incr events;
-    let rec completions () =
-      match Cluster.pop_completion_le cluster t with
-      | Some c ->
-          Utility.Tracker.on_complete
-            trackers.(c.Cluster.job.Job.org)
-            ~key:c.Cluster.job.Job.index
-            ~size:(c.Cluster.finish - c.Cluster.start);
-          policy.Algorithms.Policy.on_complete view ~time:t c;
-          completions ()
-      | None -> ()
-    in
-    completions ();
-    (* Faults after completions (a job finishing at [t] beats a failure at
-       [t]) and before releases and the scheduling round (a machine down at
-       [t] hosts nothing today; a recovered one is usable immediately). *)
-    while
-      !next_fault < nfaults && faults.(!next_fault).Faults.Event.time <= t
-    do
-      let ev = faults.(!next_fault) in
-      incr next_fault;
-      (match ev.Faults.Event.event with
-      | Faults.Event.Fail m -> (
-          match Cluster.fail_machine cluster ~time:t m with
-          | Some kill ->
-              (* Strategy-proofness under churn (Theorem 4.1): the killed
-                 piece is retracted — lost work counts toward nobody's
-                 ψsp. *)
-              Utility.Tracker.on_abort
-                trackers.(kill.Cluster.k_job.Job.org)
-                ~key:kill.Cluster.k_job.Job.index;
-              policy.Algorithms.Policy.on_kill view ~time:t kill
-          | None -> ())
-      | Faults.Event.Recover m ->
-          ignore (Cluster.recover_machine cluster m));
-      policy.Algorithms.Policy.on_fault view ~time:t ev.Faults.Event.event
-    done;
-    while !next_job < njobs && jobs.(!next_job).Job.release <= t do
-      let job = jobs.(!next_job) in
-      incr next_job;
-      Cluster.release cluster job;
-      policy.Algorithms.Policy.on_release view ~time:t job
-    done;
-    while Cluster.free_count cluster > 0 && Cluster.has_waiting cluster do
-      let org = policy.Algorithms.Policy.select view ~time:t in
-      let machine = policy.Algorithms.Policy.pick_machine view ~time:t ~org in
-      let placement = Cluster.start_front cluster ~org ~time:t ?machine () in
-      Utility.Tracker.on_start trackers.(org)
-        ~key:placement.Schedule.job.Job.index ~start:t;
-      policy.Algorithms.Policy.on_start view ~time:t placement
-    done
-  in
-  let rec loop () =
-    match next_event () with
-    | Some t when t < horizon ->
-        snapshot_upto t;
-        process_instant t;
-        loop ()
-    | Some _ | None -> ()
-  in
-  loop ();
-  snapshot_upto horizon;
+  Kernel.Engine.run engine model ~horizon ~on_checkpoint ();
+  let stats = Kernel.Stats.copy (Kernel.Engine.stats engine) in
+  (match policy.Algorithms.Policy.stats with
+  | Some policy_stats -> Kernel.Stats.add stats (policy_stats ())
+  | None -> ());
   {
     policy = policy.Algorithms.Policy.name;
     instance;
@@ -175,7 +149,7 @@ let run ?(record = true) ?(checkpoints = []) ?workers ?(faults = [])
     schedule =
       (if record then Cluster.to_schedule cluster
        else Schedule.of_placements ~machines:(Cluster.machines cluster) []);
-    events = !events;
+    events = (Kernel.Engine.stats engine).Kernel.Stats.instants;
     wall_seconds = Unix.gettimeofday () -. t0;
     checkpoints = List.rev !snapshots;
     killed = Cluster.killed_count cluster;
@@ -186,6 +160,7 @@ let run ?(record = true) ?(checkpoints = []) ?workers ?(faults = [])
          acc := !acc + Cluster.wasted_work cluster u
        done;
        !acc);
+    stats;
   }
 
 let utilities r = Array.map (fun v -> float_of_int v /. 2.) r.utilities_scaled

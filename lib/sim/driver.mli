@@ -10,8 +10,11 @@ open Core
     are processed in time order; nothing happens between events, so the loop
     is O(events), independent of the horizon length.
 
-    The driver owns the grand-coalition cluster and exact ψsp trackers and
-    passes them to the policy through {!Algorithms.Policy.view}. *)
+    The event loop itself — stream merging, within-instant phase order,
+    checkpoints, instrumentation — lives in {!Kernel.Engine}; the driver is
+    the grand-coalition instantiation: it owns the real cluster and the
+    exact ψsp trackers and passes them to the policy through
+    {!Algorithms.Policy.view}. *)
 
 type result = {
   policy : string;
@@ -27,6 +30,10 @@ type result = {
   killed : int;  (** jobs killed by machine failures (0 without faults) *)
   abandoned : int;  (** jobs dropped after exhausting [max_restarts] *)
   wasted : int;  (** executed-then-discarded unit parts across kills *)
+  stats : Kernel.Stats.t;
+      (** kernel instrumentation: the driver loop's own counters plus the
+          policy's internal ones ({!Algorithms.Policy.stats}), e.g. REF's
+          sub-coalition simulations and event-heap pops *)
 }
 
 and snapshot = {

@@ -53,17 +53,18 @@ let snapshot_ratio (ref_snap : Driver.snapshot) (snap : Driver.snapshot) =
   let ptot = Array.fold_left ( + ) 0 ref_snap.Driver.parts_at in
   if ptot = 0 then 0. else float_of_int !delta /. 2. /. float_of_int ptot
 
-let timelines ~instance ~seed ~checkpoints makers =
+let timelines ?(faults = []) ?max_restarts ~instance ~seed ~checkpoints makers
+    =
   let rng = Fstats.Rng.create ~seed:(seed lxor 0x5ca1ab1e) in
   let reference =
-    Driver.run ~record:false ~checkpoints ~instance ~rng
+    Driver.run ~record:false ~faults ?max_restarts ~checkpoints ~instance ~rng
       Algorithms.Reference.reference
   in
   let eval_rng = Fstats.Rng.create ~seed in
   List.map
     (fun maker ->
       let result =
-        Driver.run ~record:false ~checkpoints ~instance
+        Driver.run ~record:false ~faults ?max_restarts ~checkpoints ~instance
           ~rng:(Fstats.Rng.split eval_rng) maker
       in
       let points =

@@ -62,10 +62,14 @@ type timeline = {
 }
 
 val timelines :
+  ?faults:Faults.Event.timed list ->
+  ?max_restarts:int ->
   instance:Instance.t ->
   seed:int ->
   checkpoints:int list ->
   Algorithms.Policy.maker list ->
   timeline list
 (** Runs REF once with snapshots at [checkpoints], then each candidate, and
-    scores the distance at every snapshot. *)
+    scores the distance at every snapshot.  [faults] / [max_restarts] apply
+    identically to the reference and every candidate (same injected trace),
+    so the timeline isolates the policy effect under churn. *)

@@ -60,13 +60,14 @@ type gadget_row = {
   work_ratio : float;
 }
 
-let gadget_sweep ~ratios ~work =
+let gadget_sweep ?(faults = []) ?max_restarts ~ratios ~work () =
   List.map
     (fun ratio ->
       let instance = speed_gadget ~ratio ~work in
       let run maker =
         let r =
-          Driver.run ~instance ~rng:(Fstats.Rng.create ~seed:1) maker
+          Driver.run ~faults ?max_restarts ~instance
+            ~rng:(Fstats.Rng.create ~seed:1) maker
         in
         executed_work r.Driver.schedule ~instance
           ~upto:instance.Instance.horizon

@@ -40,4 +40,14 @@ type gadget_row = {
   work_ratio : float;  (** slow / fast — approaches 1/ratio *)
 }
 
-val gadget_sweep : ratios:int list -> work:int -> gadget_row list
+val gadget_sweep :
+  ?faults:Faults.Event.timed list ->
+  ?max_restarts:int ->
+  ratios:int list ->
+  work:int ->
+  unit ->
+  gadget_row list
+(** Both pinning policies over {!speed_gadget} per ratio.  [faults] /
+    [max_restarts] pass straight through {!Driver.run}'s kernel (machine
+    ids are the gadget's: 0 = fast, 1 = slow), so the sweep can measure
+    the efficiency gap under churn too. *)

@@ -61,6 +61,51 @@ let test_invalid_flag_values () =
   check_error "table --workers=0" ~expect:"--workers";
   check_error "simulate --horizon=oops" ~expect:"horizon"
 
+let test_malformed_fault_specs () =
+  check_error "simulate --faults mtbf:100" ~expect:"missing mttr";
+  check_error "simulate --faults mtbf:-3,mttr:5" ~expect:"must be a positive";
+  check_error "simulate --faults mtbf:3,mttr:5,dist:zipf" ~expect:"dist";
+  check_error "simulate --faults bogus" ~expect:"key:value";
+  check_error "simulate --faults mtbf:1,mttr:1,color:red" ~expect:"unknown";
+  check_error "timeline --faults mtbf:100" ~expect:"missing mttr"
+
+let test_fault_script_errors () =
+  let code, lines =
+    run_cmd "simulate --faults-script /nonexistent/x.outages"
+  in
+  Alcotest.(check int) "missing script exits 2" 2 code;
+  Alcotest.(check bool) "names the file" true
+    (List.exists (fun l -> contains l "x.outages") lines);
+  check_error "simulate --faults mtbf:10,mttr:2 --faults-script fixtures/demo.outages"
+    ~expect:"mutually exclusive";
+  (* Machine id out of the simulated cluster's range is caught up front. *)
+  check_error
+    "simulate --orgs 1 --machines 2 --faults-script fixtures/demo.outages"
+    ~expect:"out of range"
+
+(* Fault injection through the CLI runs end to end and reports the kernel
+   counters. *)
+let test_faults_end_to_end () =
+  let code, lines =
+    run_cmd
+      "simulate -a fifo --orgs 2 --horizon 2000 --machines 4 --faults \
+       mtbf:300,mttr:60 --max-restarts 2"
+  in
+  Alcotest.(check int) "simulate --faults exits 0" 0 code;
+  let all = String.concat "\n" lines in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("output has " ^ needle) true (contains all needle))
+    [ "faults:"; "failures"; "kernel:"; "kills=" ];
+  let code, lines =
+    run_cmd
+      "simulate -a fifo --horizon 2000 --machines 16 --faults-script \
+       fixtures/demo.outages"
+  in
+  Alcotest.(check int) "simulate --faults-script exits 0" 0 code;
+  Alcotest.(check bool) "reports the scripted downtime" true
+    (contains (String.concat "\n" lines) "3 failures, 3 recoveries")
+
 let test_success_paths () =
   let code, lines = run_cmd "algorithms" in
   Alcotest.(check int) "algorithms exits 0" 0 code;
@@ -95,6 +140,12 @@ let () =
           Alcotest.test_case "unreadable trace" `Quick test_unreadable_trace;
           Alcotest.test_case "invalid flag values" `Quick
             test_invalid_flag_values;
+          Alcotest.test_case "malformed fault specs" `Quick
+            test_malformed_fault_specs;
+          Alcotest.test_case "fault script errors" `Quick
+            test_fault_script_errors;
+          Alcotest.test_case "fault injection end to end" `Quick
+            test_faults_end_to_end;
           Alcotest.test_case "success paths" `Quick test_success_paths;
         ] );
       ( "churn",

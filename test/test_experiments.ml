@@ -186,7 +186,7 @@ let test_manipulation_ablation () =
 exception Task_failed of int
 
 let test_pool_map_order () =
-  let squares = Experiments.Pool.map ~workers:2 (fun x -> x * x) [ 1; 2; 3; 4; 5 ] in
+  let squares = Core.Domain_pool.map ~workers:2 (fun x -> x * x) [ 1; 2; 3; 4; 5 ] in
   Alcotest.(check (list int)) "input order" [ 1; 4; 9; 16; 25 ] squares
 
 let test_pool_map_failure () =
@@ -194,10 +194,10 @@ let test_pool_map_failure () =
      re-raised on the calling domain, with its backtrace re-attached. *)
   let boom x = if x mod 3 = 0 then raise (Task_failed x) else x in
   Alcotest.check_raises "failure crosses domains" (Task_failed 3) (fun () ->
-      ignore (Experiments.Pool.map ~workers:2 boom [ 1; 2; 3; 4; 5; 6 ]));
+      ignore (Core.Domain_pool.map ~workers:2 boom [ 1; 2; 3; 4; 5; 6 ]));
   (* workers=1 takes the no-domain path; the exception must still escape. *)
   Alcotest.check_raises "workers=1 fallback" (Task_failed 3) (fun () ->
-      ignore (Experiments.Pool.map ~workers:1 boom [ 1; 2; 3 ]))
+      ignore (Core.Domain_pool.map ~workers:1 boom [ 1; 2; 3 ]))
 
 let test_parallel_iter () =
   (* Per-index slots: no two tasks share a cell, so the result is
@@ -205,7 +205,7 @@ let test_parallel_iter () =
   let check workers =
     let n = 64 in
     let out = Array.make n 0 in
-    Experiments.Pool.parallel_iter ~workers (fun i -> out.(i) <- (i * i) + 1) n;
+    Core.Domain_pool.parallel_iter ~workers (fun i -> out.(i) <- (i * i) + 1) n;
     Alcotest.(check (array int))
       (Printf.sprintf "workers=%d" workers)
       (Array.init n (fun i -> (i * i) + 1))
@@ -216,12 +216,12 @@ let test_parallel_iter () =
   check 4;
   (* The lowest failing index wins, also across domains. *)
   Alcotest.check_raises "exception propagates" (Task_failed 5) (fun () ->
-      Experiments.Pool.parallel_iter ~workers:2
+      Core.Domain_pool.parallel_iter ~workers:2
         (fun i -> if i >= 5 then raise (Task_failed i))
         32);
   Alcotest.check_raises "sequential fallback raises too" (Task_failed 5)
     (fun () ->
-      Experiments.Pool.parallel_iter ~workers:1
+      Core.Domain_pool.parallel_iter ~workers:1
         (fun i -> if i >= 5 then raise (Task_failed i))
         32)
 
@@ -229,9 +229,9 @@ let test_parallel_iter_nested () =
   (* A task that itself calls parallel_iter must not deadlock: the inner
      call finds the pool busy and runs inline. *)
   let out = Array.make 16 0 in
-  Experiments.Pool.parallel_iter ~workers:2
+  Core.Domain_pool.parallel_iter ~workers:2
     (fun i ->
-      Experiments.Pool.parallel_iter ~workers:2
+      Core.Domain_pool.parallel_iter ~workers:2
         (fun j -> if j = i mod 4 then out.(i) <- i + j)
         4)
     16;

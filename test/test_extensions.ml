@@ -93,7 +93,7 @@ let test_gadget_sweep () =
         (Printf.sprintf "work ratio 1/%d" r.Sim.Related.ratio)
         (1. /. float_of_int r.Sim.Related.ratio)
         r.Sim.Related.work_ratio)
-    (Sim.Related.gadget_sweep ~ratios:[ 1; 2; 5; 10 ] ~work:30)
+    (Sim.Related.gadget_sweep ~ratios:[ 1; 2; 5; 10 ] ~work:30 ())
 
 let test_executed_work () =
   let instance = Sim.Related.speed_gadget ~ratio:4 ~work:10 in
@@ -163,6 +163,10 @@ let test_rigid_greedy_validator_catches () =
       Rigid.placements = [ (List.hd instance.Rigid.jobs, 5) ];
       busy_time = 2;
       utilization = 0.1;
+      killed = 0;
+      abandoned = 0;
+      wasted = 0;
+      stats = Kernel.Stats.create ();
     }
   in
   Alcotest.(check bool)

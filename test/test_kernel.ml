@@ -1,0 +1,391 @@
+(* Golden-fixture guard for the simulation kernel refactor.
+
+   Every registered policy is run over a fixed set of scenarios — with and
+   without faults, related speeds, checkpoints, and restart budgets — and
+   the full observable outcome (utility vectors, parts, kill counters,
+   event count, busy time, checkpoint snapshots) is compared byte-for-byte
+   against fixtures captured from the pre-kernel engine.  Any divergence
+   means the `lib/kernel` extraction changed simulation semantics.
+
+   Regenerate (only when a semantic change is intended and understood):
+
+     dune exec test/test_kernel.exe -- capture > test/fixtures/kernel_golden.csv
+*)
+
+open Core
+
+type scenario = {
+  sname : string;
+  instance : Instance.t;
+  faults : Faults.Event.timed list;
+  max_restarts : int option;
+  checkpoints : int list;
+}
+
+let mk_jobs specs =
+  List.map
+    (fun (org, release, size) -> Job.make ~org ~index:0 ~release ~size ())
+    specs
+
+(* lpc_egee at its native load is near-empty below hour scale; ~load:1.0
+   over a 20k horizon yields ~85 jobs across all three organizations. *)
+let trace_instance ~seed =
+  Workload.Scenario.instance
+    (Workload.Scenario.default ~norgs:3 ~machines:8 ~horizon:20_000 ~load:1.0
+       Workload.Traces.lpc_egee)
+    ~seed
+
+let related_instance () =
+  Instance.make_related
+    ~speeds:[| 2.0; 1.0; 1.0; 0.5 |]
+    ~machines:[| 2; 1; 1 |]
+    ~jobs:
+      (mk_jobs
+         [
+           (0, 0, 12); (0, 4, 6); (0, 40, 9); (1, 0, 10); (1, 9, 5);
+           (1, 70, 8); (2, 2, 14); (2, 30, 4); (2, 90, 11);
+         ])
+    ~horizon:300
+
+let scenarios () =
+  let base = trace_instance ~seed:2013 in
+  let churn_faults =
+    Faults.Model.random
+      ~rng:(Fstats.Rng.create ~seed:(2013 lxor 0xfa017))
+      ~machines:(Instance.total_machines base)
+      ~horizon:20_000
+      ~mtbf:(Faults.Model.Exponential { mean = 2_000. })
+      ~mttr:(Faults.Model.Exponential { mean = 200. })
+      ()
+  in
+  let related = related_instance () in
+  let related_faults =
+    Faults.Model.scripted
+      [
+        { Faults.Model.machine = 0; down_at = 5; up_at = 25 };
+        { Faults.Model.machine = 3; down_at = 10; up_at = 60 };
+        { Faults.Model.machine = 1; down_at = 100; up_at = 140 };
+      ]
+  in
+  [
+    {
+      sname = "base";
+      instance = base;
+      faults = [];
+      max_restarts = None;
+      checkpoints = [ 7_000; 14_000 ];
+    };
+    {
+      sname = "churn";
+      instance = base;
+      faults = churn_faults;
+      max_restarts = None;
+      checkpoints = [ 10_000 ];
+    };
+    {
+      sname = "churn-budget";
+      instance = base;
+      faults = churn_faults;
+      max_restarts = Some 1;
+      checkpoints = [];
+    };
+    {
+      sname = "speeds";
+      instance = related;
+      faults = [];
+      max_restarts = None;
+      checkpoints = [ 150 ];
+    };
+    {
+      sname = "speeds-churn";
+      instance = related;
+      faults = related_faults;
+      max_restarts = Some 0;
+      checkpoints = [ 150 ];
+    };
+  ]
+
+let ints arr = String.concat ";" (List.map string_of_int (Array.to_list arr))
+
+let line_of sc policy_name =
+  let maker = Algorithms.Registry.find_exn policy_name in
+  let r =
+    Sim.Driver.run ~record:true ~checkpoints:sc.checkpoints ~faults:sc.faults
+      ?max_restarts:sc.max_restarts ~instance:sc.instance
+      ~rng:(Fstats.Rng.create ~seed:77)
+      maker
+  in
+  let snaps =
+    String.concat "|"
+      (List.map
+         (fun (s : Sim.Driver.snapshot) ->
+           Printf.sprintf "%d:%s:%s" s.Sim.Driver.at
+             (ints s.Sim.Driver.psi_scaled)
+             (ints s.Sim.Driver.parts_at))
+         r.Sim.Driver.checkpoints)
+  in
+  Printf.sprintf "%s,%s,%s,%s,%d,%d,%d,%d,%d,%s" sc.sname policy_name
+    (ints r.Sim.Driver.utilities_scaled)
+    (ints r.Sim.Driver.parts)
+    r.Sim.Driver.killed r.Sim.Driver.abandoned r.Sim.Driver.wasted
+    r.Sim.Driver.events
+    (Schedule.busy_time r.Sim.Driver.schedule
+       ~upto:sc.instance.Instance.horizon)
+    snaps
+
+let all_lines () =
+  List.concat_map
+    (fun sc ->
+      List.map (fun name -> line_of sc name) Algorithms.Registry.all_names)
+    (scenarios ())
+
+let fixture_path = "fixtures/kernel_golden.csv"
+
+let read_fixture () =
+  let ic = open_in fixture_path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (if line = "" then acc else line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let test_golden () =
+  let expected = read_fixture () in
+  let got = all_lines () in
+  Alcotest.(check int)
+    "fixture covers every (scenario, policy) pair" (List.length expected)
+    (List.length got);
+  List.iter2
+    (fun e g ->
+      let key l = match String.split_on_char ',' l with
+        | s :: p :: _ -> s ^ "/" ^ p
+        | _ -> l
+      in
+      Alcotest.(check string) (key e) e g)
+    expected got
+
+(* --- Within-instant order: extensions under kernel faults ---------------
+
+   The canonical phase order is completions -> faults -> releases -> round:
+   a machine that fails at instant t is unusable for jobs starting at t, and
+   a machine that recovers at t is usable at t itself.  These tests pin that
+   contract for the extension simulators, which gained fault injection
+   through the kernel. *)
+
+module Rigid = Extensions.Rigid
+module Preemptive = Extensions.Preemptive
+
+let outage ~machine ~down_at ~up_at = { Faults.Model.machine; down_at; up_at }
+
+let rjob ~org ~index ~release ~size ~width =
+  { Rigid.job = Job.make ~org ~index ~release ~size (); width }
+
+let test_rigid_fail_blocks_same_instant () =
+  (* The only machine fails at the job's release instant: the fault lands
+     before the scheduling round, so the job must wait (not start-then-die)
+     and start exactly at the recovery instant. *)
+  let instance =
+    Rigid.make_instance ~machines:1
+      ~jobs:[ rjob ~org:0 ~index:0 ~release:3 ~size:2 ~width:1 ]
+      ~horizon:15
+  in
+  let faults =
+    Faults.Model.scripted [ outage ~machine:0 ~down_at:3 ~up_at:10 ]
+  in
+  let run = Rigid.simulate ~faults instance Rigid.Fifo_fit in
+  Alcotest.(check int) "never killed" 0 run.Rigid.killed;
+  (match run.Rigid.placements with
+  | [ (_, start) ] -> Alcotest.(check int) "starts at recovery instant" 10 start
+  | ps -> Alcotest.failf "expected one placement, got %d" (List.length ps));
+  Alcotest.(check int) "all work done" 2 run.Rigid.busy_time
+
+let test_rigid_restart_budget () =
+  (* An outage kills the running job.  With budget 0 it is abandoned; with
+     the default unbounded budget it resubmits and restarts at recovery. *)
+  let instance =
+    Rigid.make_instance ~machines:1
+      ~jobs:[ rjob ~org:0 ~index:0 ~release:0 ~size:10 ~width:1 ]
+      ~horizon:20
+  in
+  let faults =
+    Faults.Model.scripted [ outage ~machine:0 ~down_at:4 ~up_at:6 ]
+  in
+  let capped = Rigid.simulate ~faults ~max_restarts:0 instance Rigid.Fifo_fit in
+  Alcotest.(check int) "killed" 1 capped.Rigid.killed;
+  Alcotest.(check int) "abandoned under budget 0" 1 capped.Rigid.abandoned;
+  Alcotest.(check int) "wasted = width * progress" 4 capped.Rigid.wasted;
+  Alcotest.(check int) "no surviving placement" 0
+    (List.length capped.Rigid.placements);
+  let retried = Rigid.simulate ~faults instance Rigid.Fifo_fit in
+  Alcotest.(check int) "no abandon when unbounded" 0 retried.Rigid.abandoned;
+  match retried.Rigid.placements with
+  | [ (_, start) ] -> Alcotest.(check int) "restarts at recovery" 6 start
+  | ps -> Alcotest.failf "expected one placement, got %d" (List.length ps)
+
+let test_preemptive_outage_slots () =
+  (* One machine, one size-5 job at 0, outage [2,4): slots 0 and 1 execute,
+     slots 2 and 3 are down (a failure at t removes slot t itself), slot 4
+     executes again (recovery at t is usable in slot t) — so the executed
+     slots are exactly {0,1,4,5,6} and ψsp follows. *)
+  let instance =
+    Instance.make ~machines:[| 1 |]
+      ~jobs:[ Job.make ~org:0 ~index:0 ~release:0 ~size:5 () ]
+      ~horizon:10
+  in
+  let faults =
+    Faults.Model.scripted [ outage ~machine:0 ~down_at:2 ~up_at:4 ]
+  in
+  let run = Preemptive.simulate ~faults ~instance Preemptive.Equal_share in
+  Alcotest.(check int) "job completes" 1 run.Preemptive.completed_jobs;
+  Alcotest.(check int) "no part lost to the fault" 5 run.Preemptive.parts.(0);
+  Alcotest.(check int) "psi over slots {0,1,4,5,6}"
+    (2 * (10 + 9 + 6 + 5 + 4))
+    run.Preemptive.utilities_scaled.(0)
+
+(* Random small rigid/preemptive workloads under random disjoint outage
+   windows. *)
+let fault_case_gen =
+  let gen =
+    QCheck.Gen.(
+      let* machines = int_range 1 3 in
+      let* njobs = int_range 0 8 in
+      let* jobs =
+        list_size (return njobs)
+          (let* org = int_range 0 2 in
+           let* release = int_range 0 15 in
+           let* size = int_range 1 5 in
+           let* width = int_range 1 machines in
+           return (org, release, size, width))
+      in
+      let* outages =
+        (* Per machine, 0..2 disjoint windows built from positive gaps. *)
+        flatten_l
+          (List.init machines (fun m ->
+               let* k = int_range 0 2 in
+               let* gaps = list_size (return k) (pair (int_range 1 10) (int_range 1 8)) in
+               let _, wins =
+                 List.fold_left
+                   (fun (t, acc) (gap, len) ->
+                     let down_at = t + gap in
+                     let up_at = down_at + len in
+                     (up_at, outage ~machine:m ~down_at ~up_at :: acc))
+                   (0, []) gaps
+               in
+               return wins))
+      in
+      return (machines, jobs, List.concat outages))
+  in
+  QCheck.make
+    ~print:(fun (machines, jobs, outages) ->
+      Printf.sprintf "m=%d jobs=[%s] outages=[%s]" machines
+        (String.concat "; "
+           (List.map
+              (fun (o, r, s, w) -> Printf.sprintf "(%d,%d,%d,%d)" o r s w)
+              jobs))
+        (String.concat "; "
+           (List.map
+              (fun (o : Faults.Model.outage) ->
+                Printf.sprintf "m%d:[%d,%d)" o.Faults.Model.machine
+                  o.Faults.Model.down_at o.Faults.Model.up_at)
+              outages)))
+    gen
+
+let horizon_p = 40
+
+(* Machines up during instant t, treating [down_at, up_at) as down — the
+   within-instant contract. *)
+let up_at outages t =
+  fun m ->
+  not
+    (List.exists
+       (fun (o : Faults.Model.outage) ->
+         o.Faults.Model.machine = m
+         && o.Faults.Model.down_at <= t
+         && t < o.Faults.Model.up_at)
+       outages)
+
+let prop_rigid_capacity_respects_outages =
+  QCheck.Test.make
+    ~name:"rigid: surviving attempts fit inside up machines at every instant"
+    ~count:200 fault_case_gen
+    (fun (machines, jobs, outages) ->
+      let jobs =
+        List.mapi
+          (fun i (org, release, size, width) ->
+            rjob ~org ~index:i ~release ~size ~width)
+          jobs
+      in
+      let instance = Rigid.make_instance ~machines ~jobs ~horizon:horizon_p in
+      let faults = Faults.Model.scripted outages in
+      let run = Rigid.simulate ~faults instance Rigid.Fifo_fit in
+      List.for_all
+        (fun t ->
+          let busy =
+            List.fold_left
+              (fun acc ((r : Rigid.rigid_job), start) ->
+                if start <= t && t < start + r.Rigid.job.Job.size then
+                  acc + r.Rigid.width
+                else acc)
+              0 run.Rigid.placements
+          in
+          let up =
+            List.length
+              (List.filter (up_at outages t) (List.init machines Fun.id))
+          in
+          busy <= up)
+        (List.init horizon_p Fun.id))
+
+let prop_preemptive_parts_bounded_by_uptime =
+  QCheck.Test.make
+    ~name:"preemptive: executed parts never exceed surviving capacity"
+    ~count:200 fault_case_gen
+    (fun (machines, jobs, outages) ->
+      let jobs =
+        List.map
+          (fun (org, release, size, _) ->
+            Job.make ~org ~index:0 ~release ~size ())
+          jobs
+      in
+      let instance =
+        (* Jobs span orgs 0..2; all machines belong to org 0 (zero-endowment
+           orgs are legal and Equal_share ignores shares). *)
+        Instance.make ~machines:[| machines; 0; 0 |] ~jobs ~horizon:horizon_p
+      in
+      let faults = Faults.Model.scripted outages in
+      let run = Preemptive.simulate ~faults ~instance Preemptive.Equal_share in
+      let executed = Array.fold_left ( + ) 0 run.Preemptive.parts in
+      let capacity =
+        (machines * horizon_p)
+        - Faults.Model.downtime ~machines ~horizon:horizon_p faults
+      in
+      executed <= capacity)
+
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "capture" then begin
+    List.iter print_endline (all_lines ());
+    exit 0
+  end;
+  Alcotest.run "kernel"
+    [
+      ( "golden",
+        [ Alcotest.test_case "bit-identity across the refactor" `Slow
+            test_golden ] );
+      ( "within-instant order",
+        [
+          Alcotest.test_case "rigid: failure blocks same-instant start" `Quick
+            test_rigid_fail_blocks_same_instant;
+          Alcotest.test_case "rigid: kill, resubmit, budget" `Quick
+            test_rigid_restart_budget;
+          Alcotest.test_case "preemptive: outage removes exact slots" `Quick
+            test_preemptive_outage_slots;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_rigid_capacity_respects_outages;
+            prop_preemptive_parts_bounded_by_uptime;
+          ] );
+    ]

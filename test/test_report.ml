@@ -81,16 +81,16 @@ let test_pool_matches_sequential () =
   let f x = (x * x) + 1 in
   Alcotest.(check (list int))
     "2 workers = sequential" (List.map f tasks)
-    (Experiments.Pool.map ~workers:2 f tasks);
+    (Core.Domain_pool.map ~workers:2 f tasks);
   Alcotest.(check (list int))
     "4 workers = sequential" (List.map f tasks)
-    (Experiments.Pool.map ~workers:4 f tasks);
-  Alcotest.(check (list int)) "empty" [] (Experiments.Pool.map ~workers:3 f [])
+    (Core.Domain_pool.map ~workers:4 f tasks);
+  Alcotest.(check (list int)) "empty" [] (Core.Domain_pool.map ~workers:3 f [])
 
 let test_pool_propagates_exceptions () =
   Alcotest.check_raises "exception propagates" (Failure "boom") (fun () ->
       ignore
-        (Experiments.Pool.map ~workers:2
+        (Core.Domain_pool.map ~workers:2
            (fun x -> if x = 3 then failwith "boom" else x)
            [ 1; 2; 3; 4 ]))
 
