@@ -13,27 +13,27 @@ let progress line = Format.eprintf "  .. %s@." line
    (or the BENCH_JSON environment variable) writes them out as one object,
    alongside the wall time of every section that ran. *)
 
-let json_acc : (string * string) list ref = ref []
+let json_acc : (string * Obs.Json.t) list ref = ref []
 let record_json name value = json_acc := (name, value) :: !json_acc
 let wall_acc : (string * float) list ref = ref []
 
 let write_json path =
-  let buf = Buffer.create 1024 in
   let sections =
-    Printf.sprintf "{%s}"
-      (String.concat ","
-         (List.rev_map
-            (fun (n, s) -> Printf.sprintf "\n    %S: {\"wall_seconds\": %.3f}" n s)
-            !wall_acc))
+    Obs.Json.Obj
+      (List.rev_map
+         (fun (n, s) ->
+           (n, Obs.Json.Obj [ ("wall_seconds", Obs.Json.Float s) ]))
+         !wall_acc)
   in
   let entries = ("sections", sections) :: List.rev !json_acc in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf
-    (String.concat ",\n"
-       (List.map (fun (n, v) -> Printf.sprintf "  %S: %s" n v) entries));
-  Buffer.add_string buf "\n}\n";
+  let entries =
+    if Obs.Metrics.enabled () then
+      entries @ [ ("metrics", Obs.Metrics.to_json ()) ]
+    else entries
+  in
   let oc = open_out path in
-  Buffer.output_buffer oc buf;
+  output_string oc (Obs.Json.to_string ~pretty:true (Obs.Json.Obj entries));
+  output_char oc '\n';
   close_out oc;
   Format.printf "@.wrote %s@." path
 
@@ -282,12 +282,12 @@ let ref_scaling ~ks ~horizon () =
         in
         let run workers =
           let rng = Fstats.Rng.create ~seed:7 in
-          let t0 = Unix.gettimeofday () in
+          let t0 = Obs.Clock.now_ns () in
           let r =
             Sim.Driver.run ~record:false ~workers ~instance ~rng
               (Algorithms.Reference.make ())
           in
-          (Unix.gettimeofday () -. t0, r)
+          (Obs.Clock.elapsed t0, r)
         in
         let seq_s, seq_r = run 1 in
         let par_s, par_r = run par_workers in
@@ -302,19 +302,26 @@ let ref_scaling ~ks ~horizon () =
           Format.printf "  !! parallel REF diverged from sequential at k=%d@."
             k;
         let st = seq_r.Sim.Driver.stats in
-        Printf.sprintf
-          "{\"k\": %d, \"horizon\": %d, \"machines\": %d, \"cores\": %d, \
-           \"workers_seq\": 1, \"workers_par\": %d, \"seq_seconds\": %.6f, \
-           \"par_seconds\": %.6f, \"speedup\": %.4f, \"identical\": %b, \
-           \"event_instants\": %d, \"rounds\": %d, \"heap_pops\": %d, \
-           \"starts\": %d}"
-          k horizon machines cores par_workers seq_s par_s speedup identical
-          st.Kernel.Stats.instants st.Kernel.Stats.rounds
-          st.Kernel.Stats.heap_pops st.Kernel.Stats.starts)
+        Obs.Json.Obj
+          [
+            ("k", Obs.Json.Int k);
+            ("horizon", Obs.Json.Int horizon);
+            ("machines", Obs.Json.Int machines);
+            ("cores", Obs.Json.Int cores);
+            ("workers_seq", Obs.Json.Int 1);
+            ("workers_par", Obs.Json.Int par_workers);
+            ("seq_seconds", Obs.Json.Float seq_s);
+            ("par_seconds", Obs.Json.Float par_s);
+            ("speedup", Obs.Json.Float speedup);
+            ("identical", Obs.Json.Bool identical);
+            ("event_instants", Obs.Json.Int st.Kernel.Stats.instants);
+            ("rounds", Obs.Json.Int st.Kernel.Stats.rounds);
+            ("heap_pops", Obs.Json.Int st.Kernel.Stats.heap_pops);
+            ("starts", Obs.Json.Int st.Kernel.Stats.starts);
+          ])
       ks
   in
-  record_json "ref_scaling"
-    (Printf.sprintf "[\n    %s\n  ]" (String.concat ",\n    " rows));
+  record_json "ref_scaling" (Obs.Json.List rows);
   Format.printf
     "  (bit-identical utilities are asserted on every row; the speedup \
      column@.   only means anything on a multi-core machine)@."
@@ -377,6 +384,7 @@ let () =
   let quick = has "--quick" in
   let smoke = has "--smoke" in
   let only = value_of "--only" in
+  if has "--metrics" then Obs.Metrics.set_enabled true;
   let json_path =
     match value_of "--json" with
     | Some _ as p -> p
@@ -431,14 +439,14 @@ let () =
       (String.concat ", " (List.map fst sections));
     exit 1
   end;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
   Format.printf
     "Non-monetary fair scheduling (SPAA 2013) — reproduction benches@.";
   List.iter
     (fun (name, f) ->
-      let s0 = Unix.gettimeofday () in
+      let s0 = Obs.Clock.now_ns () in
       f ();
-      wall_acc := (name, Unix.gettimeofday () -. s0) :: !wall_acc)
+      wall_acc := (name, Obs.Clock.elapsed s0) :: !wall_acc)
     wanted;
   Option.iter write_json json_path;
-  Format.printf "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)
+  Format.printf "@.total wall time: %.1fs@." (Obs.Clock.elapsed t0)

@@ -166,6 +166,66 @@ let write_csv path contents =
       close_out oc;
       Format.printf "wrote %s@." path
 
+(* --- observability flags (shared by the long-running commands) --------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a Chrome trace-event timeline of the run and write it to \
+           FILE (open with Perfetto or chrome://tracing; check with \
+           $(b,fairsched validate-trace)).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some None) (some (some string)) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Collect runtime metrics: latency histograms, event-heap \
+           counters, pool busy/idle times.  Bare $(b,--metrics) prints \
+           them to stdout after the run; the glued form \
+           $(b,--metrics=FILE) writes pretty JSON to FILE.")
+
+(* Fail fast on an unwritable output path — before minutes of simulation —
+   honouring the exit-2 contract ([die]). *)
+let check_writable = function
+  | None -> ()
+  | Some path -> (
+      try close_out (open_out path) with Sys_error msg -> die "%s" msg)
+
+(* [with_obs ~trace ~metrics f] enables the requested collection around
+   [f ()] and writes/prints the outputs afterwards.  [metrics] is doubly
+   optional: [Some None] is the bare `--metrics` flag (print to stdout),
+   [Some (Some path)] is `--metrics=FILE`. *)
+let with_obs ~trace ~metrics f =
+  check_writable trace;
+  check_writable (Option.join metrics);
+  if trace <> None then Obs.Trace.set_enabled true;
+  if metrics <> None then Obs.Metrics.set_enabled true;
+  let r = f () in
+  (match trace with
+  | None -> ()
+  | Some path ->
+      let n = Obs.Trace.write path in
+      let dropped = Obs.Trace.dropped () in
+      Format.printf "wrote %s (%d trace events%s)@." path n
+        (if dropped = 0 then ""
+         else Printf.sprintf ", %d dropped by the ring buffer" dropped));
+  (match metrics with
+  | None -> ()
+  | Some None -> Format.printf "%a@." Obs.Metrics.pp ()
+  | Some (Some path) ->
+      let oc = open_out path in
+      output_string oc
+        (Obs.Json.to_string ~pretty:true (Obs.Metrics.to_json ()));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "wrote %s@." path);
+  r
+
 (* --- simulate ------------------------------------------------------- *)
 
 let simulate_cmd =
@@ -190,13 +250,14 @@ let simulate_cmd =
              job is abandoned (default: unbounded).")
   in
   let run model algo norgs machines horizon seed workers gantt fault_spec
-      fault_script max_restarts =
+      fault_script max_restarts trace metrics =
     (match max_restarts with
     | Some r when r < 0 -> die "--max-restarts must be >= 0"
     | Some _ | None -> ());
     match Algorithms.Registry.find algo with
     | None -> die "unknown algorithm %S (see `fairsched algorithms`)" algo
     | Some maker ->
+        with_obs ~trace ~metrics @@ fun () ->
         let spec =
           Workload.Scenario.default ~norgs ~machines ~horizon model
         in
@@ -230,12 +291,13 @@ let simulate_cmd =
     Term.(
       const run $ model_arg $ algo_arg $ norgs_arg $ machines_arg
       $ horizon_arg 50_000 $ seed_arg $ workers_arg $ gantt_arg $ faults_arg
-      $ faults_script_arg $ max_restarts_arg)
+      $ faults_script_arg $ max_restarts_arg $ trace_arg $ metrics_arg)
 
 (* --- table ----------------------------------------------------------- *)
 
 let table_cmd =
-  let run horizon instances machines csv =
+  let run horizon instances machines csv trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let config =
       if horizon >= 500_000 then
         { (Experiments.Tables.table2_config ~instances ~machines ()) with
@@ -258,7 +320,7 @@ let table_cmd =
           unfairness of each algorithm on each workload.")
     Term.(
       const run $ horizon_arg 50_000 $ instances_arg 10 $ machines_arg
-      $ csv_arg)
+      $ csv_arg $ trace_arg $ metrics_arg)
 
 (* --- fig10 ----------------------------------------------------------- *)
 
@@ -269,7 +331,8 @@ let fig10_cmd =
       & info [ "max-orgs" ] ~docv:"K"
           ~doc:"Largest organization count (REF cost grows as 3^K).")
   in
-  let run instances horizon max_orgs csv =
+  let run instances horizon max_orgs csv trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let config =
       Experiments.Fig10.default_config ~instances ~horizon ~max_orgs ()
     in
@@ -284,7 +347,7 @@ let fig10_cmd =
              grows.")
     Term.(
       const run $ instances_arg 5 $ horizon_arg 50_000 $ max_orgs_arg
-      $ csv_arg)
+      $ csv_arg $ trace_arg $ metrics_arg)
 
 (* --- utilization ------------------------------------------------------ *)
 
@@ -364,7 +427,8 @@ let trace_cmd =
 (* --- timeline ---------------------------------------------------------- *)
 
 let timeline_cmd =
-  let run horizon instances seed fault_spec fault_script csv =
+  let run horizon instances seed fault_spec fault_script csv trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let faults =
       (* The timeline experiment fixes machines = 16 in its default config;
          the injected trace must match that cluster shape. *)
@@ -384,7 +448,7 @@ let timeline_cmd =
        ~doc:"Track how unfairness accumulates over the trace (Definition              3.2 is per-instant).")
     Term.(
       const run $ horizon_arg 200_000 $ instances_arg 3 $ seed_arg
-      $ faults_arg $ faults_script_arg $ csv_arg)
+      $ faults_arg $ faults_script_arg $ csv_arg $ trace_arg $ metrics_arg)
 
 (* --- churn ------------------------------------------------------------- *)
 
@@ -427,12 +491,13 @@ let churn_cmd =
       & info [ "json" ] ~docv:"FILE" ~doc:"Also write results as JSON.")
   in
   let run norgs machines horizon instances intensities mtbf mttr max_restarts
-      seed workers csv json =
+      seed workers csv json trace metrics =
     if List.exists (fun x -> x < 0.) intensities then
       die "intensities must be non-negative";
     (match max_restarts with
     | Some r when r < 0 -> die "--max-restarts must be >= 0"
     | Some _ | None -> ());
+    with_obs ~trace ~metrics @@ fun () ->
     let config =
       Experiments.Churn.default_config ~instances ~norgs ~machines ~horizon
         ~intensities ~mtbf ~mttr ?max_restarts ~seed ()
@@ -461,7 +526,35 @@ let churn_cmd =
     Term.(
       const run $ norgs_arg $ machines_arg $ horizon_arg 5_000
       $ instances_arg 3 $ intensities_arg $ mtbf_arg $ mttr_arg
-      $ max_restarts_arg $ seed_arg $ workers_arg $ csv_arg $ json_arg)
+      $ max_restarts_arg $ seed_arg $ workers_arg $ csv_arg $ json_arg
+      $ trace_arg $ metrics_arg)
+
+(* --- validate-trace ----------------------------------------------------- *)
+
+let validate_trace_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Chrome trace-event JSON file to check.")
+  in
+  let run file =
+    match Obs.Trace.validate_file file with
+    | Ok v ->
+        Format.printf "ok: %d events, %d tids, %d span names@."
+          v.Obs.Trace.total_events
+          (List.length v.Obs.Trace.tids)
+          (List.length v.Obs.Trace.span_names)
+    | Error msg -> die "%s: %s" file msg
+  in
+  Cmd.v
+    (Cmd.info "validate-trace"
+       ~doc:
+         "Check that FILE is well-formed Chrome trace-event JSON: every \
+          event carries name/ph/ts/tid, complete events carry a \
+          non-negative dur, timestamps never go backwards within a tid, \
+          and B/E begin–end pairs balance.")
+    Term.(const run $ file_arg)
 
 (* --- analyze ----------------------------------------------------------- *)
 
@@ -561,7 +654,7 @@ let () =
       [
         simulate_cmd; table_cmd; fig10_cmd; utilization_cmd; ablate_cmd;
         trace_cmd; timeline_cmd; churn_cmd; analyze_cmd; report_cmd;
-        examples_cmd; algorithms_cmd;
+        examples_cmd; algorithms_cmd; validate_trace_cmd;
       ]
   in
   (* Robustness contract: every user error — unknown subcommand, bad flag,

@@ -281,8 +281,15 @@ let select_in_sim st ~mask sim ~time =
    completion was pending keeps both entries); stale entries are re-keyed or
    dropped when popped.  [heap_key] tracks the smallest live key per mask so
    releases can skip pushing when already covered. *)
+(* Process-wide heap-op counters, distinct from the per-run
+   [Kernel.Stats.heap_pops]: these aggregate across runs and domains and
+   surface through [Obs.Metrics] when `--metrics` is on. *)
+let m_heap_pushes = Obs.Metrics.counter "ref.heap_pushes"
+let m_heap_pops = Obs.Metrics.counter "ref.heap_pops"
+
 let heap_push st ~time mask =
   if time < st.heap_key.(mask) then begin
+    Obs.Metrics.incr m_heap_pushes;
     Heap.add st.heap ~prio:time mask;
     st.heap_key.(mask) <- time
   end
@@ -309,6 +316,7 @@ let gather st ~tau =
     | Some (key, mask) ->
         st.own_stats.Kernel.Stats.heap_pops <-
           st.own_stats.Kernel.Stats.heap_pops + 1;
+        Obs.Metrics.incr m_heap_pops;
         note_popped st ~key mask;
         (match st.sims.(mask) with
         | None -> ()
@@ -393,7 +401,12 @@ let process_instant st ~tau ~n_active =
                 ~select:(fun sim ~time -> select_in_sim st ~mask sim ~time)
           | None -> ()
         in
-        iter run !m
+        let run_stage () = iter run !m in
+        if Obs.Trace.enabled () then
+          Obs.Trace.span ~cat:"ref"
+            ("ref.stage.s" ^ string_of_int s)
+            run_stage
+        else run_stage ()
       end
     done
   end;

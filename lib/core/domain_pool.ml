@@ -62,8 +62,25 @@ let run_tasks p batch =
   in
   go ()
 
-let worker p idx () =
+(* Queue depth of the in-flight batch: set to the task count at submission,
+   cleared when the batch drains (coarse by design — per-task updates would
+   put an extra atomic on every task). *)
+let m_queue_depth = Obs.Metrics.gauge "pool.queue_depth"
+
+let worker p idx ~on_ready () =
+  (* Per-worker busy/idle accounting, registered once per helper domain.
+     [Obs.Metrics.add] is a no-op while collection is disabled, but the
+     clock reads around a potentially-long Condition.wait are gated too. *)
+  let m_busy = Obs.Metrics.counter (Printf.sprintf "pool.worker%d.busy_ns" idx) in
+  let m_idle = Obs.Metrics.counter (Printf.sprintf "pool.worker%d.idle_ns" idx) in
+  (* The startup barrier in [get_pool] waits for this instant, so a trace
+     taken on a single-core machine still shows this worker's tid even if
+     it never wins a batch. *)
+  Obs.Trace.instant ~cat:"pool" "pool.worker.start";
+  on_ready ();
   let rec loop seen_gen =
+    let timed = Obs.Metrics.enabled () in
+    let t0 = if timed then Obs.Clock.now_ns () else 0L in
     Mutex.lock p.mutex;
     while p.gen = seen_gen do
       Condition.wait p.work_ready p.mutex
@@ -71,8 +88,18 @@ let worker p idx () =
     let gen = p.gen in
     let batch = p.current in
     Mutex.unlock p.mutex;
+    if timed then
+      Obs.Metrics.add m_idle (Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) t0));
+    (* One event per wake-up even when this worker missed the batch, so a
+       trace always shows every helper domain's tid. *)
+    Obs.Trace.instant ~cat:"pool" "pool.wake";
     (match batch with
-    | Some b when idx < b.limit -> run_tasks p b
+    | Some b when idx < b.limit ->
+        let b0 = if timed then Obs.Clock.now_ns () else 0L in
+        Obs.Trace.span ~cat:"pool" "pool.batch" (fun () -> run_tasks p b);
+        if timed then
+          Obs.Metrics.add m_busy
+            (Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) b0))
     | Some _ | None -> ());
     loop gen
   in
@@ -120,12 +147,28 @@ let get_pool () =
           }
         in
         let spawned = ref 0 in
+        let ready = ref 0 in
+        let on_ready () =
+          Mutex.lock p.mutex;
+          incr ready;
+          Condition.broadcast p.work_done;
+          Mutex.unlock p.mutex
+        in
         (try
            for idx = 0 to nhelpers - 1 do
-             !spawn_fn (worker p idx);
+             !spawn_fn (worker p idx ~on_ready);
              incr spawned
            done
          with e -> warn_spawn_failure e !spawned);
+        (* Startup barrier: wait until every spawned worker has run its
+           preamble (observability registration).  One-time cost at pool
+           creation; no batch can be in flight yet, so reusing [work_done]
+           is safe. *)
+        Mutex.lock p.mutex;
+        while !ready < !spawned do
+          Condition.wait p.work_done p.mutex
+        done;
+        Mutex.unlock p.mutex;
         p.nhelpers <- !spawned;
         the_pool := Some p;
         p
@@ -174,12 +217,13 @@ let parallel_iter ?workers f n =
           err = None;
         }
       in
+      Obs.Metrics.set m_queue_depth (float_of_int n);
       Mutex.lock p.mutex;
       p.current <- Some batch;
       p.gen <- p.gen + 1;
       Condition.broadcast p.work_ready;
       Mutex.unlock p.mutex;
-      run_tasks p batch;
+      Obs.Trace.span ~cat:"pool" "pool.batch" (fun () -> run_tasks p batch);
       Mutex.lock p.mutex;
       while Atomic.get batch.completed < batch.n do
         Condition.wait p.work_done p.mutex
@@ -187,6 +231,7 @@ let parallel_iter ?workers f n =
       p.current <- None;
       Mutex.unlock p.mutex;
       Mutex.unlock p.submit;
+      Obs.Metrics.set m_queue_depth 0.;
       match batch.err with
       | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
       | None -> ()
@@ -224,7 +269,9 @@ let map ?workers f tasks =
         go ()
       in
       let domains =
-        List.init (Stdlib.min workers n) (fun _ -> Domain.spawn worker)
+        List.init (Stdlib.min workers n) (fun _ ->
+            Domain.spawn (fun () ->
+                Obs.Trace.span ~cat:"pool" "pool.map.worker" worker))
       in
       List.iter Domain.join domains;
       Array.to_list results

@@ -124,11 +124,12 @@ let run_one config ~intensity ~index =
   (downtime_frac, ref_line :: algo_lines)
 
 let run ?(progress = fun _ -> ()) ?workers config =
+  Obs.Trace.span ~cat:"experiments" "experiments.churn" @@ fun () ->
   let algo_names = "ref" :: List.map fst config.algorithms in
   let rows = ref [] in
   List.iter
     (fun intensity ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.now_ns () in
       let per_instance =
         Core.Domain_pool.map ?workers
           (fun index -> run_one config ~intensity ~index)
@@ -177,7 +178,7 @@ let run ?(progress = fun _ -> ()) ?workers config =
       progress
         (Printf.sprintf "intensity %g: %d instances in %.1fs" intensity
            config.instances
-           (Unix.gettimeofday () -. t0)))
+           (Obs.Clock.elapsed t0)))
     config.intensities;
   { config; rows = List.rev !rows }
 
@@ -209,23 +210,29 @@ let to_csv t =
     t.rows;
   Buffer.contents buf
 
-let to_json t =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "[\n";
-  List.iteri
-    (fun i r ->
-      if i > 0 then Buffer.add_string buf ",\n";
-      Buffer.add_string buf
-        (Printf.sprintf
-           "  {\"intensity\": %g, \"algorithm\": %S, \"unfairness\": %f, \
-            \"unfairness_stddev\": %f, \"util_ratio\": %f, \"killed\": %f, \
-            \"abandoned\": %f, \"wasted\": %f, \"downtime_frac\": %f, \
-            \"event_instants\": %f, \"rounds\": %f, \"heap_pops\": %f, \
-            \"n\": %d}"
-           r.intensity r.algorithm r.unfairness.mean r.unfairness.stddev
-           r.util_ratio.mean r.killed.mean r.abandoned.mean r.wasted.mean
-           r.downtime.mean r.event_instants.mean r.rounds.mean
-           r.heap_pops.mean r.unfairness.n))
-    t.rows;
-  Buffer.add_string buf "\n]\n";
-  Buffer.contents buf
+let row_json r =
+  Obs.Json.Obj
+    [
+      ("intensity", Obs.Json.Float r.intensity);
+      ("algorithm", Obs.Json.String r.algorithm);
+      ("unfairness", Obs.Json.Float r.unfairness.mean);
+      ("unfairness_stddev", Obs.Json.Float r.unfairness.stddev);
+      ("util_ratio", Obs.Json.Float r.util_ratio.mean);
+      ("killed", Obs.Json.Float r.killed.mean);
+      ("abandoned", Obs.Json.Float r.abandoned.mean);
+      ("wasted", Obs.Json.Float r.wasted.mean);
+      ("downtime_frac", Obs.Json.Float r.downtime.mean);
+      ("event_instants", Obs.Json.Float r.event_instants.mean);
+      ("rounds", Obs.Json.Float r.rounds.mean);
+      ("heap_pops", Obs.Json.Float r.heap_pops.mean);
+      ("n", Obs.Json.Int r.unfairness.n);
+    ]
+
+let json t =
+  Obs.Json.Obj
+    [
+      ("rows", Obs.Json.List (List.map row_json t.rows));
+      ("metrics", Obs.Metrics.to_json ());
+    ]
+
+let to_json t = Obs.Json.to_string ~pretty:true (json t) ^ "\n"

@@ -63,4 +63,11 @@ val run : ?progress:(string -> unit) -> ?workers:int -> config -> study
 
 val pp : Format.formatter -> study -> unit
 val to_csv : study -> string
+
+val json : study -> Obs.Json.t
+(** [{"rows": [...], "metrics": {...}}]: one object per row (same keys as
+    the CSV header) plus the process-wide {!Obs.Metrics} snapshot (an empty
+    object unless metrics collection is on). *)
+
 val to_json : study -> string
+(** {!json}, pretty-printed with a trailing newline. *)

@@ -31,12 +31,13 @@ type series = { algorithm : string; points : point list }
 type figure = { config : config; series : series list }
 
 let run ?(progress = fun _ -> ()) ?workers config =
+  Obs.Trace.span ~cat:"experiments" "experiments.fig10" @@ fun () ->
   let acc =
     List.map (fun (name, _) -> (name, Hashtbl.create 8)) config.algorithms
   in
   List.iter
     (fun norgs ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.now_ns () in
       let ratios =
         Core.Domain_pool.map ?workers
           (fun i ->
@@ -71,7 +72,7 @@ let run ?(progress = fun _ -> ()) ?workers config =
         ratios;
       progress
         (Printf.sprintf "k=%d: %d instances in %.1fs" norgs config.instances
-           (Unix.gettimeofday () -. t0)))
+           (Obs.Clock.elapsed t0)))
     config.org_counts;
   let series =
     List.map

@@ -38,6 +38,7 @@ type cell = { mean : float; stddev : float; n : int }
 type table = { config : config; rows : (string * (string * cell) list) list }
 
 let run ?(progress = fun _ -> ()) ?workers config =
+  Obs.Trace.span ~cat:"experiments" "experiments.tables" @@ fun () ->
   let per_algo : (string, (string * Fstats.Summary.t) list ref) Hashtbl.t =
     Hashtbl.create 16
   in
@@ -63,7 +64,7 @@ let run ?(progress = fun _ -> ()) ?workers config =
      accumulation order deterministic. *)
   List.iter
     (fun model ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.now_ns () in
       let ratios =
         Core.Domain_pool.map ?workers
           (fun i ->
@@ -93,7 +94,7 @@ let run ?(progress = fun _ -> ()) ?workers config =
       progress
         (Printf.sprintf "%s: %d instances in %.1fs"
            model.Workload.Traces.name config.instances
-           (Unix.gettimeofday () -. t0)))
+           (Obs.Clock.elapsed t0)))
     config.models;
   let rows =
     List.map

@@ -39,6 +39,7 @@ let checkpoints_of config =
   List.init (config.horizon / config.step) (fun i -> (i + 1) * config.step)
 
 let run ?workers config =
+  Obs.Trace.span ~cat:"experiments" "experiments.timeline" @@ fun () ->
   let checkpoints = checkpoints_of config in
   let per_instance =
     Core.Domain_pool.map ?workers

@@ -2,6 +2,13 @@ type fault_outcome =
   | Applied
   | Killed of { wasted : int; resubmitted : bool }
 
+(* Process-wide observability handles, shared by every kernel instance
+   (the driver loop and each sub-coalition sim); per-domain shards keep the
+   parallel REF stages from contending.  All of it is a no-op until
+   `--metrics`/`--trace` (or a test) enables collection. *)
+let m_round_latency = Obs.Metrics.histogram "kernel.round_latency_ns"
+let m_round_starts = Obs.Metrics.histogram "kernel.round_starts"
+
 type 'job model = {
   next_completion : unit -> int option;
   pop_completion : time:int -> bool;
@@ -163,12 +170,33 @@ let drain_events t model ~time =
   if time < t.now then invalid_arg "Kernel.Engine: time moved backwards";
   t.now <- time;
   t.stats.Stats.instants <- t.stats.Stats.instants + 1;
-  drain_completions t model ~time;
-  drain_faults t model ~time;
-  drain_releases t model ~time
+  if Obs.Trace.enabled () then begin
+    Obs.Trace.span ~cat:"kernel" "kernel.completions" (fun () ->
+        drain_completions t model ~time);
+    Obs.Trace.span ~cat:"kernel" "kernel.faults" (fun () ->
+        drain_faults t model ~time);
+    Obs.Trace.span ~cat:"kernel" "kernel.releases" (fun () ->
+        drain_releases t model ~time)
+  end
+  else begin
+    drain_completions t model ~time;
+    drain_faults t model ~time;
+    drain_releases t model ~time
+  end
 
 let run_round t model ~time =
-  let n = model.round ~time in
+  let timed = Obs.Metrics.enabled () in
+  let t0 = if timed then Obs.Clock.now_ns () else 0L in
+  let n =
+    if Obs.Trace.enabled () then
+      Obs.Trace.span ~cat:"kernel" "kernel.round" (fun () -> model.round ~time)
+    else model.round ~time
+  in
+  if timed then begin
+    Obs.Metrics.observe m_round_latency
+      (Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0));
+    Obs.Metrics.observe m_round_starts (float_of_int n)
+  end;
   t.stats.Stats.rounds <- t.stats.Stats.rounds + 1;
   t.stats.Stats.starts <- t.stats.Stats.starts + n
 

@@ -63,10 +63,51 @@ let pp ppf t =
     t.instants t.completions t.fault_events t.kills t.abandoned t.wasted
     t.releases t.rounds t.starts t.heap_pops
 
-let to_json t =
-  Printf.sprintf
-    "{\"instants\": %d, \"completions\": %d, \"fault_events\": %d, \
-     \"kills\": %d, \"abandoned\": %d, \"wasted\": %d, \"releases\": %d, \
-     \"rounds\": %d, \"starts\": %d, \"heap_pops\": %d}"
-    t.instants t.completions t.fault_events t.kills t.abandoned t.wasted
-    t.releases t.rounds t.starts t.heap_pops
+let fields t =
+  [
+    ("instants", t.instants);
+    ("completions", t.completions);
+    ("fault_events", t.fault_events);
+    ("kills", t.kills);
+    ("abandoned", t.abandoned);
+    ("wasted", t.wasted);
+    ("releases", t.releases);
+    ("rounds", t.rounds);
+    ("starts", t.starts);
+    ("heap_pops", t.heap_pops);
+  ]
+
+let json t = Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) (fields t))
+let to_json t = Obs.Json.to_string (json t)
+
+let of_json j =
+  let field name =
+    match Obs.Json.member j name with
+    | Some (Obs.Json.Int v) -> Ok v
+    | Some _ -> Error (Printf.sprintf "field %S is not an integer" name)
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* instants = field "instants" in
+  let* completions = field "completions" in
+  let* fault_events = field "fault_events" in
+  let* kills = field "kills" in
+  let* abandoned = field "abandoned" in
+  let* wasted = field "wasted" in
+  let* releases = field "releases" in
+  let* rounds = field "rounds" in
+  let* starts = field "starts" in
+  let* heap_pops = field "heap_pops" in
+  Ok
+    {
+      instants;
+      completions;
+      fault_events;
+      kills;
+      abandoned;
+      wasted;
+      releases;
+      rounds;
+      starts;
+      heap_pops;
+    }

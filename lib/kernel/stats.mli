@@ -36,5 +36,11 @@ val total : t list -> t
 
 val pp : Format.formatter -> t -> unit
 
-val to_json : t -> string
+val json : t -> Obs.Json.t
 (** One flat JSON object, keys matching the field names. *)
+
+val to_json : t -> string
+(** [json] serialized (via {!Obs.Json}, so always well-formed). *)
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Inverse of {!json}: [of_json (json t)] reconstructs [t] exactly. *)

@@ -1,0 +1,32 @@
+let real_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let source : (unit -> int64) Atomic.t = Atomic.make real_ns
+
+(* Largest value ever returned; [now_ns] never reports less than this, so a
+   wall-clock step backwards freezes reported time instead of rewinding it. *)
+let last = Atomic.make Int64.min_int
+
+let now_ns () =
+  let t = (Atomic.get source) () in
+  let rec clamp () =
+    let prev = Atomic.get last in
+    if Int64.compare t prev <= 0 then prev
+    else if Atomic.compare_and_set last prev t then t
+    else clamp ()
+  in
+  clamp ()
+
+let ns_to_s d = Int64.to_float d /. 1e9
+let now_s () = ns_to_s (now_ns ())
+let elapsed t0 = ns_to_s (Int64.sub (now_ns ()) t0)
+
+let with_source f body =
+  let prev_source = Atomic.get source in
+  let prev_last = Atomic.get last in
+  Atomic.set source f;
+  Atomic.set last Int64.min_int;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set source prev_source;
+      Atomic.set last prev_last)
+    body

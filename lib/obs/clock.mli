@@ -1,0 +1,35 @@
+(** One process-wide, monotonic-leaning time source.
+
+    Every wall-clock measurement in the repository goes through this module
+    instead of calling [Unix.gettimeofday] directly, which buys two
+    properties:
+
+    - {b monotonic-leaning}: the reported time never moves backwards, even
+      when the system clock steps (NTP adjustments, VM migrations).  A
+      backwards step freezes the reported time until the wall clock catches
+      up again, so elapsed-time measurements are never negative;
+    - {b mockable}: tests install a synthetic source with {!with_source}
+      and drive time deterministically.
+
+    All operations are domain-safe (the clamp is a CAS loop on an atomic);
+    [now_ns] costs one [gettimeofday] call plus a few atomic operations. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since the Unix epoch under the current source, clamped to
+    be non-decreasing across the whole process. *)
+
+val now_s : unit -> float
+(** [now_ns] in seconds. *)
+
+val elapsed : int64 -> float
+(** [elapsed t0] is the time in seconds since [t0] (a previous {!now_ns}
+    result).  Never negative. *)
+
+val ns_to_s : int64 -> float
+(** Unit conversion: [ns_to_s d] is [d] nanoseconds expressed in seconds. *)
+
+val with_source : (unit -> int64) -> (unit -> 'a) -> 'a
+(** [with_source f body] runs [body] with [f] installed as the time
+    source, then restores the previous source and clamp state (even on
+    exceptions).  Test-only: not intended to race with concurrent
+    measurements on other domains. *)

@@ -1,0 +1,47 @@
+(** Minimal JSON tree: one shared emitter (and parser) for every
+    machine-readable dump in the repository.
+
+    The hand-rolled [Printf]-JSON this replaces could emit invalid documents
+    whenever a string value contained a quote, backslash, or control
+    character; {!to_string} escapes properly, formats floats so they
+    round-trip through {!of_string}, and maps non-finite floats to [null]
+    (JSON has no representation for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize.  [pretty] (default false) adds newlines and two-space
+    indentation. *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** Compact serialization into an existing buffer. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty serialization on a formatter. *)
+
+val escape_string : string -> string
+(** The JSON escape of a string {e including} the surrounding quotes. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document.  Numbers without [.], [e] or [E] parse
+    as [Int] (falling back to [Float] past [max_int]); [\uXXXX] escapes,
+    including surrogate pairs, decode to UTF-8.  Errors carry a byte
+    offset. *)
+
+(** {1 Accessors} (used by the trace validator) *)
+
+val member : t -> string -> t option
+(** Field lookup in an [Obj]; [None] on absence or non-objects. *)
+
+val get_string : t -> string option
+val get_list : t -> t list option
+
+val get_number : t -> float option
+(** [Int] or [Float] payload as a float. *)

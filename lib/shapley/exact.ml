@@ -1,4 +1,5 @@
 let subsets (g : Game.t) =
+  Obs.Trace.span ~cat:"shapley" "shapley.exact.subsets" @@ fun () ->
   let k = g.Game.players in
   let grand = Coalition.grand ~players:k in
   let phi = Array.make k 0. in

@@ -14,6 +14,7 @@ let sample_count ~players ~epsilon ~confidence =
 
 let plan ~rng ~players ~n =
   if n < 1 then invalid_arg "Sample.plan: n < 1";
+  Obs.Trace.span ~cat:"shapley" "shapley.sample.plan" @@ fun () ->
   let orders = Array.init n (fun _ -> Fstats.Rng.permutation rng players) in
   let seen = Hashtbl.create (4 * n * players) in
   let distinct = ref [] in

@@ -14,6 +14,7 @@ type result = {
   abandoned : int;
   wasted : int;
   stats : Kernel.Stats.t;
+  metrics : Obs.Metrics.snapshot;
 }
 
 and snapshot = { at : int; psi_scaled : int array; parts_at : int array }
@@ -30,9 +31,14 @@ let machine_owners instance =
     instance.Instance.machines;
   owners
 
+(* Time from a job's release to its first (or restarted) start, in simulated
+   time units — observed at every slot grant the driver makes. *)
+let m_job_wait = Obs.Metrics.histogram "sim.job_wait"
+
 let run ?(record = true) ?(checkpoints = []) ?workers ?(faults = [])
     ?max_restarts ~instance ~rng (maker : Algorithms.Policy.maker) =
-  let t0 = Unix.gettimeofday () in
+  Obs.Trace.span ~cat:"sim" "driver.run" @@ fun () ->
+  let t0 = Obs.Clock.now_ns () in
   let k = Instance.organizations instance in
   let horizon = instance.Instance.horizon in
   let nmachines = Instance.total_machines instance in
@@ -115,6 +121,8 @@ let run ?(record = true) ?(checkpoints = []) ?workers ?(faults = [])
             in
             Utility.Tracker.on_start trackers.(org)
               ~key:placement.Schedule.job.Job.index ~start:time;
+            Obs.Metrics.observe m_job_wait
+              (float_of_int (time - placement.Schedule.job.Job.release));
             policy.Algorithms.Policy.on_start view ~time placement;
             incr n
           done;
@@ -150,7 +158,7 @@ let run ?(record = true) ?(checkpoints = []) ?workers ?(faults = [])
       (if record then Cluster.to_schedule cluster
        else Schedule.of_placements ~machines:(Cluster.machines cluster) []);
     events = (Kernel.Engine.stats engine).Kernel.Stats.instants;
-    wall_seconds = Unix.gettimeofday () -. t0;
+    wall_seconds = Obs.Clock.elapsed t0;
     checkpoints = List.rev !snapshots;
     killed = Cluster.killed_count cluster;
     abandoned = Cluster.abandoned_count cluster;
@@ -161,6 +169,7 @@ let run ?(record = true) ?(checkpoints = []) ?workers ?(faults = [])
        done;
        !acc);
     stats;
+    metrics = Obs.Metrics.snapshot ();
   }
 
 let utilities r = Array.map (fun v -> float_of_int v /. 2.) r.utilities_scaled

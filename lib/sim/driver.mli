@@ -34,6 +34,12 @@ type result = {
       (** kernel instrumentation: the driver loop's own counters plus the
           policy's internal ones ({!Algorithms.Policy.stats}), e.g. REF's
           sub-coalition simulations and event-heap pops *)
+  metrics : Obs.Metrics.snapshot;
+      (** process-wide {!Obs.Metrics} snapshot taken as the run ends: round
+          latencies, job-wait distribution, heap ops, pool busy/idle times.
+          Empty unless metrics collection was enabled
+          ({!Obs.Metrics.set_enabled}); process-wide, so values aggregate
+          over every run since the last {!Obs.Metrics.reset}. *)
 }
 
 and snapshot = {

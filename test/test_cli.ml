@@ -129,6 +129,50 @@ let test_churn_end_to_end () =
       Alcotest.(check bool) ("output has " ^ needle) true (contains all needle))
     [ "killed"; "abandoned"; "wasted"; "downtime"; "ref"; "fairshare" ]
 
+(* --- observability flags ----------------------------------------------- *)
+
+let test_obs_happy_path () =
+  let trace = Filename.temp_file "cli_obs" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists trace then Sys.remove trace)
+    (fun () ->
+      let code, lines =
+        run_cmd
+          (Printf.sprintf
+             "simulate --orgs 3 --machines 6 --horizon 2000 --workers 2 \
+              --seed 5 --trace %s --metrics"
+             trace)
+      in
+      let all = String.concat "\n" lines in
+      Alcotest.(check int) "traced simulate exits 0" 0 code;
+      Alcotest.(check bool) "reports the trace file" true
+        (contains all ("wrote " ^ trace));
+      (* Bare --metrics prints the registry to stdout. *)
+      Alcotest.(check bool) "metrics on stdout" true
+        (contains all "kernel.round_latency_ns");
+      Alcotest.(check bool) "job-wait histogram present" true
+        (contains all "sim.job_wait");
+      let vcode, vlines = run_cmd ("validate-trace " ^ trace) in
+      Alcotest.(check int) "validate-trace exits 0" 0 vcode;
+      Alcotest.(check bool) "validator says ok" true
+        (List.exists (fun l -> contains l "ok:") vlines))
+
+let test_obs_unwritable_paths () =
+  (* Fail fast, before the simulation runs: both flags pre-open the file. *)
+  check_error
+    "simulate --orgs 2 --machines 2 --horizon 500 --trace \
+     /nonexistent/dir/t.json"
+    ~expect:"fairsched:";
+  check_error
+    "simulate --orgs 2 --machines 2 --horizon 500 \
+     --metrics=/nonexistent/dir/m.json"
+    ~expect:"fairsched:"
+
+let test_validate_trace_rejects_garbage () =
+  (* A non-JSON file exits 2 with a one-line parse error. *)
+  check_error "validate-trace fixtures/demo.outages" ~expect:"fairsched:";
+  check_error "validate-trace /nonexistent/missing.json" ~expect:"fairsched:"
+
 let () =
   Alcotest.run "cli"
     [
@@ -150,4 +194,13 @@ let () =
         ] );
       ( "churn",
         [ Alcotest.test_case "end to end" `Quick test_churn_end_to_end ] );
+      ( "observability",
+        [
+          Alcotest.test_case "trace + metrics happy path" `Quick
+            test_obs_happy_path;
+          Alcotest.test_case "unwritable output paths" `Quick
+            test_obs_unwritable_paths;
+          Alcotest.test_case "validate-trace rejects garbage" `Quick
+            test_validate_trace_rejects_garbage;
+        ] );
     ]

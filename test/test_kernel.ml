@@ -363,6 +363,64 @@ let prop_preemptive_parts_bounded_by_uptime =
       in
       executed <= capacity)
 
+(* --- Stats: counters, aggregation, JSON round-trip ---------------------- *)
+
+let sample_stats () =
+  let s = Kernel.Stats.create () in
+  s.Kernel.Stats.instants <- 1;
+  s.Kernel.Stats.completions <- 2;
+  s.Kernel.Stats.fault_events <- 3;
+  s.Kernel.Stats.kills <- 4;
+  s.Kernel.Stats.abandoned <- 5;
+  s.Kernel.Stats.wasted <- 6;
+  s.Kernel.Stats.releases <- 7;
+  s.Kernel.Stats.rounds <- 8;
+  s.Kernel.Stats.starts <- 9;
+  s.Kernel.Stats.heap_pops <- 10;
+  s
+
+let test_stats_copy_reset () =
+  let s = sample_stats () in
+  let c = Kernel.Stats.copy s in
+  Kernel.Stats.reset s;
+  Alcotest.(check int) "reset zeroes" 0 s.Kernel.Stats.heap_pops;
+  (* The copy is independent of the original. *)
+  Alcotest.(check int) "copy unaffected by reset" 10 c.Kernel.Stats.heap_pops;
+  Alcotest.(check int) "copy keeps instants" 1 c.Kernel.Stats.instants
+
+let test_stats_add_total () =
+  let a = sample_stats () and b = sample_stats () in
+  Kernel.Stats.add a b;
+  Alcotest.(check int) "add sums instants" 2 a.Kernel.Stats.instants;
+  Alcotest.(check int) "add sums heap_pops" 20 a.Kernel.Stats.heap_pops;
+  let t = Kernel.Stats.total [ sample_stats (); sample_stats (); sample_stats () ] in
+  Alcotest.(check int) "total sums starts" 27 t.Kernel.Stats.starts;
+  Alcotest.(check int) "total sums wasted" 18 t.Kernel.Stats.wasted
+
+let test_stats_json_roundtrip () =
+  let s = sample_stats () in
+  let parsed =
+    match Obs.Json.of_string (Kernel.Stats.to_json s) with
+    | Ok j -> j
+    | Error e -> Alcotest.fail ("stats JSON does not reparse: " ^ e)
+  in
+  match Kernel.Stats.of_json parsed with
+  | Ok s' ->
+      Alcotest.(check bool) "round-trips exactly" true (s = s')
+  | Error e -> Alcotest.fail ("of_json failed: " ^ e)
+
+let test_stats_of_json_errors () =
+  let reject s =
+    match Obs.Json.of_string s with
+    | Error e -> Alcotest.fail e
+    | Ok j ->
+        Alcotest.(check bool) ("rejects " ^ s) true
+          (Result.is_error (Kernel.Stats.of_json j))
+  in
+  reject "{}";
+  reject {|{"instants": "many"}|};
+  reject "[1,2,3]"
+
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "capture" then begin
     List.iter print_endline (all_lines ());
@@ -388,4 +446,15 @@ let () =
             prop_rigid_capacity_respects_outages;
             prop_preemptive_parts_bounded_by_uptime;
           ] );
+      ( "stats",
+        [
+          Alcotest.test_case "copy and reset are independent" `Quick
+            test_stats_copy_reset;
+          Alcotest.test_case "add and total sum field-wise" `Quick
+            test_stats_add_total;
+          Alcotest.test_case "JSON round-trip" `Quick
+            test_stats_json_roundtrip;
+          Alcotest.test_case "of_json rejects malformed input" `Quick
+            test_stats_of_json_errors;
+        ] );
     ]
