@@ -326,6 +326,78 @@ let ref_scaling ~ks ~horizon () =
     "  (bit-identical utilities are asserted on every row; the speedup \
      column@.   only means anything on a multi-core machine)@."
 
+(* --- E13: service wire + WAL throughput -------------------------------- *)
+
+(* Off-socket cost of the daemon's hot path (DESIGN.md §12): protocol
+   line encode+decode round trips, and WAL append with one fsync per
+   batch — the two per-submission costs `fairsched serve` adds on top of
+   the engine. *)
+let wire () =
+  section "wire — service protocol encode/decode + WAL batch throughput";
+  let n = 100_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    let line =
+      Service.Protocol.request_to_line
+        (Service.Protocol.Submit
+           { org = i land 7; user = i land 31; release = i; size = 1 + (i land 15) })
+    in
+    match Service.Protocol.request_of_line (String.trim line) with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  done;
+  let codec_s = Unix.gettimeofday () -. t0 in
+  let codec_rate = float_of_int n /. codec_s in
+  Format.printf "protocol round trips: %d in %.2fs (%.0f lines/s)@." n codec_s
+    codec_rate;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fairsched-bench-wal-%d" (Unix.getpid ()))
+  in
+  Unix.mkdir dir 0o755;
+  let config =
+    match
+      Service.Config.make ~machines:[| 2; 2 |] ~horizon:1_000_000
+        ~algorithm:"fifo" ~seed:1 ()
+    with
+    | Ok c -> c
+    | Error e -> failwith e
+  in
+  let records = 20_000 and batch = 64 in
+  let w =
+    match Service.Wal.create ~dir ~config with
+    | Ok w -> w
+    | Error e -> failwith e
+  in
+  let t0 = Unix.gettimeofday () in
+  let seq = ref 0 in
+  while !seq < records do
+    for _ = 1 to batch do
+      incr seq;
+      Service.Wal.append w
+        (Service.Wal.Submit
+           { seq = !seq; org = 0; user = 0; release = !seq; size = 1 })
+    done;
+    match Service.Wal.sync w with Ok () -> () | Error e -> failwith e
+  done;
+  let wal_s = Unix.gettimeofday () -. t0 in
+  let wal_rate = float_of_int records /. wal_s in
+  Service.Wal.close w;
+  (try
+     Sys.remove (Service.Wal.wal_path ~dir);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  Format.printf
+    "WAL: %d records, fsync every %d: %.2fs (%.0f records/s)@." records batch
+    wal_s wal_rate;
+  record_json "wire"
+    (Obs.Json.Obj
+       [
+         ("codec_lines_per_s", Obs.Json.Float codec_rate);
+         ("wal_records_per_s", Obs.Json.Float wal_rate);
+         ("wal_batch", Obs.Json.Int batch);
+       ])
+
 (* --- E12: Bechamel micro-benchmarks ------------------------------------ *)
 
 let micro () =
@@ -426,6 +498,7 @@ let () =
             ~ks:(if quick then [ 4; 6 ] else [ 4; 6; 8 ])
             ~horizon:(if quick then 10_000 else 20_000) );
         ("micro", micro);
+        ("wire", wire);
       ]
   in
   let wanted =

@@ -608,6 +608,415 @@ let report_cmd =
        ~doc:"Generate a self-contained HTML report with SVG charts of every              experiment.")
     Term.(const run $ out_arg $ quick_arg)
 
+(* --- service: serve / submit / status / ctl / loadgen ------------------- *)
+
+let addr_conv =
+  let parse s =
+    match Service.Addr.of_string s with
+    | Ok a -> Ok a
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Service.Addr.pp)
+
+let default_addr = Service.Addr.Unix_sock "/tmp/fairsched.sock"
+
+let to_arg =
+  Arg.(
+    value & opt addr_conv default_addr
+    & info [ "to" ] ~docv:"ADDR"
+        ~doc:
+          "Daemon address: $(b,unix:PATH), $(b,tcp:HOST:PORT), or a bare \
+           socket path.")
+
+let nonneg_float_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v >= 0. -> Ok v
+    | Some _ | None ->
+        Error (`Msg (Printf.sprintf "%s must be >= 0, got %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let split_conv =
+  let parse s =
+    let parts = String.split_on_char ',' s in
+    let ints = List.map int_of_string_opt parts in
+    if List.exists (fun v -> v = None) ints then
+      Error
+        (`Msg
+           (Printf.sprintf "--split must be comma-separated integers, got %S" s))
+    else Ok (Array.of_list (List.map Option.get ints))
+  in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map string_of_int (Array.to_list a)))
+  in
+  Arg.conv (parse, print)
+
+(* The daemon and the load generator must agree on the cluster shape and
+   the user→organization map; deriving both from (model, orgs, machines,
+   seed) through Scenario.split_and_map makes `serve` and `loadgen` with
+   the same flags consistent by construction. *)
+let service_config ~model ~norgs ~machines ~horizon ~algorithm ~seed ~split
+    ~max_restarts ~workers =
+  let machine_split =
+    match split with
+    | Some counts -> counts
+    | None ->
+        let spec = Workload.Scenario.default ~norgs ~machines ~horizon model in
+        fst (Workload.Scenario.split_and_map spec ~seed)
+  in
+  match
+    Service.Config.make ?max_restarts ?workers ~machines:machine_split
+      ~horizon ~algorithm ~seed ()
+  with
+  | Ok c -> c
+  | Error msg -> die "%s" msg
+
+let connect_or_die addr =
+  match Service.Client.connect addr with
+  | Ok c -> c
+  | Error msg -> die "cannot reach daemon at %a: %s" Service.Addr.pp addr msg
+
+let request_or_die client req =
+  match Service.Client.request client req with
+  | Ok (Service.Protocol.Error { code; msg }) ->
+      die "daemon refused (%s): %s"
+        (Service.Protocol.error_code_to_string code)
+        msg
+  | Ok resp -> resp
+  | Error msg -> die "%s" msg
+
+let serve_cmd =
+  let listen_arg =
+    Arg.(
+      value & opt addr_conv default_addr
+      & info [ "listen"; "l" ] ~docv:"ADDR"
+          ~doc:
+            "Listen address: $(b,unix:PATH), $(b,tcp:HOST:PORT), or a bare \
+             socket path.")
+  in
+  let state_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state" ] ~docv:"DIR"
+          ~doc:
+            "State directory for the write-ahead log and snapshots; enables \
+             crash recovery.  Without it the daemon is ephemeral.")
+  in
+  let algo_arg =
+    Arg.(
+      value & opt string "fairshare"
+      & info [ "algorithm"; "a" ] ~docv:"NAME"
+          ~doc:"Scheduling algorithm (see `fairsched algorithms`).")
+  in
+  let split_arg =
+    Arg.(
+      value
+      & opt (some split_conv) None
+      & info [ "split" ] ~docv:"N,N,.."
+          ~doc:
+            "Explicit per-organization machine counts (overrides the \
+             --model/--orgs/--machines/--seed derivation).")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value
+      & opt (positive_int_conv "--queue-cap") 1024
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Admission-queue bound: submissions beyond it are answered with \
+             a typed backpressure error.")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Write a snapshot (and compact the WAL) every N accepted \
+             records; 0 snapshots only on request and at drain.")
+  in
+  let max_restarts_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-restarts" ] ~docv:"N"
+          ~doc:"Kill budget per job under injected faults.")
+  in
+  let run listen state model algo norgs machines horizon seed split workers
+      max_restarts queue_cap snapshot_every trace metrics =
+    (match max_restarts with
+    | Some r when r < 0 -> die "--max-restarts must be >= 0"
+    | Some _ | None -> ());
+    if snapshot_every < 0 then die "--snapshot-every must be >= 0";
+    if Algorithms.Registry.find algo = None then
+      die "unknown algorithm %S (see `fairsched algorithms`)" algo;
+    let service =
+      service_config ~model ~norgs ~machines ~horizon ~algorithm:algo ~seed
+        ~split ~max_restarts ~workers
+    in
+    with_obs ~trace ~metrics @@ fun () ->
+    let cfg =
+      Service.Server.make_config ?state_dir:state ~queue_cap ~snapshot_every
+        ~addr:listen ~service ()
+    in
+    let ready () =
+      Format.printf "fairsched serve: %a listening on %a%s@."
+        Service.Config.pp service Service.Addr.pp listen
+        (match state with
+        | None -> " (ephemeral)"
+        | Some dir -> Printf.sprintf " (state: %s)" dir)
+    in
+    match Service.Server.run ~ready cfg with
+    | Ok () -> Format.printf "fairsched serve: drained, bye@."
+    | Error msg -> die "%s" msg
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the online scheduler daemon: accepts job submissions and \
+          fault events over a socket, schedules them live, and (with \
+          --state) survives kill -9 by WAL replay.")
+    Term.(
+      const run $ listen_arg $ state_arg $ model_arg $ algo_arg $ norgs_arg
+      $ machines_arg $ horizon_arg 50_000 $ seed_arg $ split_arg $ workers_arg
+      $ max_restarts_arg $ queue_cap_arg $ snapshot_every_arg $ trace_arg
+      $ metrics_arg)
+
+let submit_cmd =
+  let org_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "org" ] ~docv:"U" ~doc:"Submitting organization (0-based).")
+  in
+  let size_arg =
+    Arg.(
+      required
+      & opt (some (positive_int_conv "--size")) None
+      & info [ "size"; "p" ] ~docv:"P" ~doc:"Processing time (simulated units).")
+  in
+  let release_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "release"; "r" ] ~docv:"T"
+          ~doc:
+            "Release instant (simulated time).  Default: the daemon's \
+             current admission frontier.")
+  in
+  let user_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "user" ] ~docv:"UID" ~doc:"Originating user id (metadata).")
+  in
+  let run addr org size release user =
+    let client = connect_or_die addr in
+    Fun.protect
+      ~finally:(fun () -> Service.Client.close client)
+      (fun () ->
+        let release =
+          match release with
+          | Some r -> r
+          | None -> (
+              match request_or_die client Service.Protocol.Status with
+              | Service.Protocol.Status_ok st -> st.Service.Protocol.frontier
+              | _ -> die "unexpected response to status")
+        in
+        match
+          request_or_die client
+            (Service.Protocol.Submit { org; user; release; size })
+        with
+        | Service.Protocol.Submit_ok { seq; org; index; now } ->
+            Format.printf "accepted seq=%d org=%d rank=%d release=%d now=%d@."
+              seq org index release now
+        | _ -> die "unexpected response to submit")
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Submit one job to a running daemon.")
+    Term.(const run $ to_arg $ org_arg $ size_arg $ release_arg $ user_arg)
+
+let status_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the raw JSON response.")
+  in
+  let run addr json =
+    let client = connect_or_die addr in
+    Fun.protect
+      ~finally:(fun () -> Service.Client.close client)
+      (fun () ->
+        match request_or_die client Service.Protocol.Status with
+        | Service.Protocol.Status_ok st as resp ->
+            if json then
+              print_string
+                (Service.Protocol.response_to_line resp)
+            else begin
+              Format.printf
+                "now %d  frontier %d  horizon %d  orgs %d  machines %d%s@."
+                st.Service.Protocol.now st.Service.Protocol.frontier
+                st.Service.Protocol.horizon st.Service.Protocol.orgs
+                st.Service.Protocol.machines
+                (if st.Service.Protocol.draining then "  DRAINING" else "");
+              Format.printf "accepted %d  rejected %d  queue %d/%d@."
+                st.Service.Protocol.accepted st.Service.Protocol.rejected
+                st.Service.Protocol.queue_depth st.Service.Protocol.queue_cap;
+              Format.printf "waiting per org: %s@."
+                (String.concat " "
+                   (Array.to_list
+                      (Array.map string_of_int st.Service.Protocol.waiting)));
+              Format.printf "kernel: %a@." Kernel.Stats.pp
+                st.Service.Protocol.stats;
+              match st.Service.Protocol.job_wait with
+              | None -> ()
+              | Some s ->
+                  Format.printf
+                    "job wait (sim time): p50 %.0f  p90 %.0f  p99 %.0f  max \
+                     %.0f (n=%d)@."
+                    s.Obs.Metrics.p50 s.Obs.Metrics.p90 s.Obs.Metrics.p99
+                    s.Obs.Metrics.max s.Obs.Metrics.count
+            end
+        | _ -> die "unexpected response to status")
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Query a running daemon's state.")
+    Term.(const run $ to_arg $ json_arg)
+
+let ctl_cmd =
+  let which_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("psi", `Psi); ("snapshot", `Snapshot);
+                            ("drain", `Drain) ])) None
+      & info [] ~docv:"CMD" ~doc:"psi | snapshot | drain")
+  in
+  let detail_arg =
+    Arg.(
+      value & flag
+      & info [ "detail" ]
+          ~doc:"With drain: include the full schedule in the report.")
+  in
+  let run addr which detail =
+    let client = connect_or_die addr in
+    Fun.protect
+      ~finally:(fun () -> Service.Client.close client)
+      (fun () ->
+        match which with
+        | `Psi -> (
+            match request_or_die client Service.Protocol.Psi with
+            | Service.Protocol.Psi_ok { now; psi_scaled; parts } ->
+                Format.printf "now %d@." now;
+                Array.iteri
+                  (fun u v ->
+                    Format.printf "org %d: psi = %.1f  parts = %d@." u
+                      (float_of_int v /. 2.)
+                      parts.(u))
+                  psi_scaled
+            | _ -> die "unexpected response to psi")
+        | `Snapshot -> (
+            match request_or_die client Service.Protocol.Snapshot with
+            | Service.Protocol.Snapshot_ok { seq; path } ->
+                Format.printf "snapshot through seq %d at %s@." seq path
+            | _ -> die "unexpected response to snapshot")
+        | `Drain -> (
+            match
+              request_or_die client (Service.Protocol.Drain { detail })
+            with
+            | Service.Protocol.Drain_ok r ->
+                Format.printf "drained at %d@." r.Service.Protocol.d_now;
+                Array.iteri
+                  (fun u v ->
+                    Format.printf "org %d: psi = %.1f  parts = %d@." u
+                      (float_of_int v /. 2.)
+                      r.Service.Protocol.d_parts.(u))
+                  r.Service.Protocol.d_psi_scaled;
+                Format.printf "kernel: %a@." Kernel.Stats.pp
+                  r.Service.Protocol.d_stats;
+                (match r.Service.Protocol.d_schedule with
+                | None -> ()
+                | Some rows ->
+                    List.iter
+                      (fun (org, index, start, machine, duration) ->
+                        Format.printf "  J(%d)%d @ %d on m%d for %d@." org
+                          index start machine duration)
+                      rows)
+            | _ -> die "unexpected response to drain"))
+  in
+  Cmd.v
+    (Cmd.info "ctl"
+       ~doc:"Control a running daemon: psi | snapshot | drain.")
+    Term.(const run $ to_arg $ which_arg $ detail_arg)
+
+let loadgen_cmd =
+  let rate_arg =
+    Arg.(
+      value
+      & opt (nonneg_float_conv "--rate") 0.
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Target submissions per wall-clock second; 0 streams as fast \
+             as the daemon acknowledges.")
+  in
+  let count_arg =
+    Arg.(
+      value
+      & opt (positive_int_conv "--count") 1000
+      & info [ "count"; "n" ] ~docv:"N" ~doc:"Submissions to send.")
+  in
+  let drain_flag =
+    Arg.(
+      value & flag
+      & info [ "drain" ]
+          ~doc:"Send a drain when done (shuts the daemon down).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON.")
+  in
+  let run addr model norgs machines horizon seed rate count drain json =
+    check_writable json;
+    let spec = Workload.Scenario.default ~norgs ~machines ~horizon model in
+    let cfg =
+      {
+        Service.Loadgen.addr;
+        spec;
+        seed;
+        rate;
+        count;
+        drain;
+      }
+    in
+    match Service.Loadgen.run cfg with
+    | Error msg -> die "%s" msg
+    | Ok report ->
+        Format.printf "%a@." Service.Loadgen.pp_report report;
+        (match json with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc
+              (Obs.Json.to_string ~pretty:true
+                 (Service.Loadgen.report_to_json report));
+            output_char oc '\n';
+            close_out oc;
+            Format.printf "wrote %s@." path);
+        if report.Service.Loadgen.errors > 0 then
+          die "transport errors during the run"
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Stream a synthetic trace at a running daemon at a target arrival \
+          rate; reports accepted/rejected counts and ack-latency \
+          percentiles.  Use the same --model/--orgs/--machines/--seed as \
+          `fairsched serve` so the cluster shapes agree.")
+    Term.(
+      const run $ to_arg $ model_arg $ norgs_arg $ machines_arg
+      $ horizon_arg 50_000 $ seed_arg $ rate_arg $ count_arg $ drain_flag
+      $ json_arg)
+
 (* --- examples / algorithms -------------------------------------------- *)
 
 let examples_cmd =
@@ -655,6 +1064,7 @@ let () =
         simulate_cmd; table_cmd; fig10_cmd; utilization_cmd; ablate_cmd;
         trace_cmd; timeline_cmd; churn_cmd; analyze_cmd; report_cmd;
         examples_cmd; algorithms_cmd; validate_trace_cmd;
+        serve_cmd; submit_cmd; status_cmd; ctl_cmd; loadgen_cmd;
       ]
   in
   (* Robustness contract: every user error — unknown subcommand, bad flag,

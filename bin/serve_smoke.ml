@@ -1,0 +1,274 @@
+(* End-to-end smoke for the service layer, driven through the REAL
+   `fairsched` binary (argv.(1)):
+
+   1. crash recovery — start `fairsched serve` with a state dir, submit
+      half a golden instance over the socket, SIGKILL the daemon,
+      restart it on the same state dir, submit the rest, drain, and
+      check ψsp and kernel stats bit-identical to the batch
+      Sim.Driver.run of the full instance;
+   2. CLI clients — `fairsched submit`, `status`, and `ctl psi` against
+      a live daemon must exit 0;
+   3. throughput — Loadgen against an ephemeral daemon must sustain the
+      acceptance floor of 1000 submissions/s and report ack-latency
+      percentiles.
+
+   Exit 0 on success, 1 with a one-line reason on any failure. *)
+
+let exe = ref ""
+let failures = ref 0
+
+let fail fmt =
+  Format.kasprintf
+    (fun msg ->
+      incr failures;
+      Format.eprintf "serve-smoke: FAIL %s@." msg)
+    fmt
+
+let fatal fmt =
+  Format.kasprintf
+    (fun msg ->
+      Format.eprintf "serve-smoke: FATAL %s@." msg;
+      exit 1)
+    fmt
+
+let with_tmpdir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fairsched-smoke-%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  (try rm dir with Sys_error _ | Unix.Unix_error _ -> ());
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      try rm dir with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+(* --- child-process plumbing ---------------------------------------------- *)
+
+let devnull () = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0o644
+
+let spawn_serve args =
+  let out = devnull () in
+  let pid =
+    Unix.create_process !exe
+      (Array.of_list ((Filename.basename !exe :: "serve" :: args)))
+      Unix.stdin out Unix.stderr
+  in
+  Unix.close out;
+  pid
+
+let reap pid =
+  try snd (Unix.waitpid [] pid) with Unix.Unix_error _ -> Unix.WEXITED 0
+
+let kill9 pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (reap pid)
+
+let run_cli args =
+  let out = devnull () in
+  let pid =
+    Unix.create_process !exe
+      (Array.of_list (Filename.basename !exe :: args))
+      Unix.stdin out Unix.stderr
+  in
+  Unix.close out;
+  match reap pid with
+  | Unix.WEXITED c -> c
+  | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> 255
+
+let connect_retry addr =
+  let rec go n =
+    match Service.Client.connect addr with
+    | Ok c -> c
+    | Error msg ->
+        if n = 0 then fatal "connect: %s" msg
+        else begin
+          Unix.sleepf 0.05;
+          go (n - 1)
+        end
+  in
+  go 200
+
+let request client req =
+  match Service.Client.request client req with
+  | Ok resp -> resp
+  | Error msg -> fatal "request: %s" msg
+
+let submit_job client (j : Core.Job.t) =
+  match
+    request client
+      (Service.Protocol.Submit
+         {
+           org = j.Core.Job.org;
+           user = j.Core.Job.user;
+           release = j.Core.Job.release;
+           size = j.Core.Job.size;
+         })
+  with
+  | Service.Protocol.Submit_ok { index; _ } ->
+      if index <> j.Core.Job.index then
+        fail "served rank %d <> batch rank %d" index j.Core.Job.index
+  | Service.Protocol.Error { msg; _ } -> fatal "submit rejected: %s" msg
+  | _ -> fatal "submit: unexpected response"
+
+(* --- phase 1: crash recovery --------------------------------------------- *)
+
+let crash_recovery_phase dir =
+  let seed = 2013 and horizon = 20_000 and norgs = 3 and machines = 6 in
+  let algorithm = "fairshare" in
+  let spec =
+    Workload.Scenario.default ~norgs ~machines ~horizon
+      Workload.Traces.lpc_egee
+  in
+  let instance = Workload.Scenario.instance spec ~seed in
+  let batch =
+    Sim.Driver.run ~instance
+      ~rng:(Fstats.Rng.create ~seed)
+      (Algorithms.Registry.find_exn algorithm)
+  in
+  let jobs = instance.Core.Instance.jobs in
+  let split = Array.length jobs / 2 in
+  if split < 3 then fatal "golden instance too small (%d jobs)" (Array.length jobs);
+  let sock = Filename.concat dir "smoke.sock" in
+  let state = Filename.concat dir "state" in
+  let addr = Service.Addr.Unix_sock sock in
+  let serve_args =
+    [
+      "--listen"; "unix:" ^ sock; "--state"; state;
+      "--algorithm"; algorithm; "--orgs"; string_of_int norgs;
+      "--machines"; string_of_int machines;
+      "--horizon"; string_of_int horizon; "--seed"; string_of_int seed;
+    ]
+  in
+  (* First life: half the stream, a forced snapshot, then kill -9. *)
+  let pid = spawn_serve serve_args in
+  let client = connect_retry addr in
+  Array.iteri (fun i j -> if i < split then submit_job client j) jobs;
+  (match request client Service.Protocol.Snapshot with
+  | Service.Protocol.Snapshot_ok _ -> ()
+  | _ -> fatal "snapshot: unexpected response");
+  kill9 pid;
+  Service.Client.close client;
+  (* Second life: recovery must surface every acked submission, and the
+     finished run must match the uninterrupted batch bit for bit. *)
+  let pid = spawn_serve serve_args in
+  let client = connect_retry addr in
+  (match request client Service.Protocol.Status with
+  | Service.Protocol.Status_ok st ->
+      if st.Service.Protocol.accepted <> split then
+        fail "recovered %d acked submissions, expected %d"
+          st.Service.Protocol.accepted split
+  | _ -> fatal "status: unexpected response");
+  (* The CLI clients against the live daemon. *)
+  (let code = run_cli [ "status"; "--to"; sock ] in
+   if code <> 0 then fail "`fairsched status` exited %d" code);
+  (let code = run_cli [ "ctl"; "psi"; "--to"; sock ] in
+   if code <> 0 then fail "`fairsched ctl psi` exited %d" code);
+  Array.iteri (fun i j -> if i >= split then submit_job client j) jobs;
+  (match request client (Service.Protocol.Drain { detail = false }) with
+  | Service.Protocol.Drain_ok r ->
+      if r.Service.Protocol.d_psi_scaled <> batch.Sim.Driver.utilities_scaled
+      then fail "psi after crash differs from batch";
+      if
+        Kernel.Stats.to_json r.Service.Protocol.d_stats
+        <> Kernel.Stats.to_json batch.Sim.Driver.stats
+      then fail "kernel stats after crash differ from batch"
+  | _ -> fatal "drain: unexpected response");
+  Service.Client.close client;
+  (match reap pid with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> fail "drained daemon exited %d" c
+  | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> fail "drained daemon was signaled");
+  if !failures = 0 then
+    Format.printf "serve-smoke: crash recovery OK (%d jobs, split at %d)@."
+      (Array.length jobs) split
+
+(* --- phase 2: submit via CLI against an ephemeral daemon ------------------ *)
+
+let cli_submit_phase dir =
+  let sock = Filename.concat dir "cli.sock" in
+  let pid =
+    spawn_serve
+      [
+        "--listen"; sock; "--orgs"; "2"; "--machines"; "4";
+        "--horizon"; "1000"; "--algorithm"; "fifo";
+      ]
+  in
+  Fun.protect
+    ~finally:(fun () -> kill9 pid)
+    (fun () ->
+      Service.Client.close (connect_retry (Service.Addr.Unix_sock sock));
+      let code =
+        run_cli [ "submit"; "--to"; sock; "--org"; "1"; "--size"; "5" ]
+      in
+      if code <> 0 then fail "`fairsched submit` exited %d" code;
+      let code = run_cli [ "ctl"; "drain"; "--to"; sock ] in
+      if code <> 0 then fail "`fairsched ctl drain` exited %d" code)
+
+(* --- phase 3: loadgen throughput ----------------------------------------- *)
+
+let loadgen_phase dir =
+  let seed = 9 and count = 2_000 in
+  let spec =
+    Workload.Scenario.default ~norgs:3 ~machines:8 ~horizon:1_000_000
+      Workload.Traces.lpc_egee
+  in
+  let sock = Filename.concat dir "load.sock" in
+  let pid =
+    spawn_serve
+      [
+        "--listen"; sock; "--orgs"; "3"; "--machines"; "8";
+        "--horizon"; "1000000"; "--seed"; string_of_int seed;
+        "--algorithm"; "fairshare";
+      ]
+  in
+  Fun.protect
+    ~finally:(fun () -> kill9 pid)
+    (fun () ->
+      let addr = Service.Addr.Unix_sock sock in
+      Service.Client.close (connect_retry addr);
+      let report =
+        match
+          Service.Loadgen.run
+            { Service.Loadgen.addr; spec; seed; rate = 0.; count; drain = true }
+        with
+        | Ok r -> r
+        | Error msg -> fatal "loadgen: %s" msg
+      in
+      Format.printf "serve-smoke: loadgen %a@." Service.Loadgen.pp_report
+        report;
+      if report.Service.Loadgen.accepted <> count then
+        fail "loadgen accepted %d of %d" report.Service.Loadgen.accepted count;
+      if report.Service.Loadgen.errors <> 0 then
+        fail "loadgen transport errors: %d" report.Service.Loadgen.errors;
+      if report.Service.Loadgen.ack_latency.Obs.Metrics.count <> count then
+        fail "ack-latency histogram incomplete";
+      (* The acceptance floor: >= 1000 sustained submissions per second. *)
+      if report.Service.Loadgen.achieved_rate < 1000. then
+        fail "throughput %.0f/s below the 1000/s floor"
+          report.Service.Loadgen.achieved_rate)
+
+let () =
+  if Array.length Sys.argv < 2 then fatal "usage: serve_smoke FAIRSCHED_EXE";
+  exe :=
+    (if Filename.is_relative Sys.argv.(1) then
+       Filename.concat (Sys.getcwd ()) Sys.argv.(1)
+     else Sys.argv.(1));
+  with_tmpdir (fun dir ->
+      crash_recovery_phase dir;
+      cli_submit_phase dir;
+      loadgen_phase dir);
+  if !failures > 0 then begin
+    Format.eprintf "serve-smoke: %d failure(s)@." !failures;
+    exit 1
+  end;
+  Format.printf "serve-smoke: OK@."

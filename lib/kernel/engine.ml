@@ -232,6 +232,16 @@ let run t model ~horizon ?(on_checkpoint = fun ~at:_ -> ()) () =
   loop ();
   fire_checkpoints t ~on_checkpoint horizon
 
+let run_below t model ~time =
+  let rec loop () =
+    match next_event t model with
+    | Some tau when tau < time ->
+        process_instant t model ~time:tau;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
 let advance_to t model ~time =
   let rec loop () =
     match next_event t model with

@@ -117,6 +117,17 @@ val run :
     [c] once every event before [c] has been processed, then flush the
     remaining checkpoints at the horizon. *)
 
+val run_below : 'job t -> 'job model -> time:int -> unit
+(** Process every instant with a pending event {e strictly} before [time],
+    leaving the instant [time] itself untouched — the incremental form used
+    by the online service façade: when a submission with release [r]
+    arrives (events are fed in time order), everything before [r] is final
+    and can be played out, while instant [r] must stay open because more
+    events at [r] may still arrive.  Unlike {!advance_to}, {!now} is not
+    pushed forward past the last processed instant.  Calling it repeatedly
+    with non-decreasing bounds and then {!run} to the horizon processes
+    exactly the instants one closed {!run} would have. *)
+
 val advance_to : 'job t -> 'job model -> time:int -> unit
 (** The lockstep form used by what-if simulators: process every instant
     with an event at or before [time], then advance {!now} to at least

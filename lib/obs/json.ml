@@ -88,12 +88,38 @@ let pp ppf v = Format.pp_print_string ppf (to_string ~pretty:true v)
 
 (* --- parsing ------------------------------------------------------------ *)
 
-exception Parse_error of int * string
+type limits = { max_depth : int; max_bytes : int }
 
-let of_string s =
+(* Generous enough for every in-tree document (traces, metrics, WAL
+   snapshots), tight enough that hostile input cannot blow the stack: the
+   recursive-descent parser burns one stack frame per nesting level. *)
+let default_limits = { max_depth = 128; max_bytes = 64 * 1024 * 1024 }
+
+type error = { offset : int; kind : error_kind }
+
+and error_kind =
+  | Syntax of string
+  | Too_deep of int
+  | Too_large of { size : int; limit : int }
+
+let error_to_string e =
+  match e.kind with
+  | Syntax msg -> Printf.sprintf "invalid JSON at byte %d: %s" e.offset msg
+  | Too_deep limit ->
+      Printf.sprintf "invalid JSON at byte %d: nesting deeper than %d levels"
+        e.offset limit
+  | Too_large { size; limit } ->
+      Printf.sprintf "JSON document too large: %d bytes (limit %d)" size limit
+
+exception Parse_error of error
+
+let parse ?(limits = default_limits) s =
   let n = String.length s in
+  if n > limits.max_bytes then
+    Error { offset = 0; kind = Too_large { size = n; limit = limits.max_bytes } }
+  else
   let pos = ref 0 in
-  let fail msg = raise (Parse_error (!pos, msg)) in
+  let fail msg = raise (Parse_error { offset = !pos; kind = Syntax msg }) in
   let peek () = if !pos < n then Some s.[!pos] else None in
   let advance () = incr pos in
   let skip_ws () =
@@ -119,9 +145,15 @@ let of_string s =
   in
   let hex4 () =
     if !pos + 4 > n then fail "truncated \\u escape";
-    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
-    pos := !pos + 4;
-    v
+    (* int_of_string_opt: the 4 bytes are attacker-controlled and need not
+       be hex digits (and "0x1_2f" style underscores must not sneak by). *)
+    let tok = String.sub s !pos 4 in
+    if String.exists (fun c -> c = '_') tok then fail "bad \\u escape";
+    match int_of_string_opt ("0x" ^ tok) with
+    | None -> fail "bad \\u escape"
+    | Some v ->
+        pos := !pos + 4;
+        v
   in
   let parse_string () =
     expect '"';
@@ -200,7 +232,9 @@ let of_string s =
           | Some f -> Float f
           | None -> fail (Printf.sprintf "bad number %S" tok))
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > limits.max_depth then
+      raise (Parse_error { offset = !pos; kind = Too_deep limits.max_depth });
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -216,11 +250,11 @@ let of_string s =
           List []
         end
         else begin
-          let items = ref [ parse_value () ] in
+          let items = ref [ parse_value (depth + 1) ] in
           skip_ws ();
           while peek () = Some ',' do
             advance ();
-            items := parse_value () :: !items;
+            items := parse_value (depth + 1) :: !items;
             skip_ws ()
           done;
           expect ']';
@@ -239,7 +273,7 @@ let of_string s =
             let name = parse_string () in
             skip_ws ();
             expect ':';
-            (name, parse_value ())
+            (name, parse_value (depth + 1))
           in
           let fields = ref [ field () ] in
           skip_ws ();
@@ -255,14 +289,19 @@ let of_string s =
     | Some c -> fail (Printf.sprintf "unexpected character %C" c)
   in
   match
-    let v = parse_value () in
+    let v = parse_value 1 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage";
     v
   with
   | v -> Ok v
-  | exception Parse_error (at, msg) ->
-      Error (Printf.sprintf "invalid JSON at byte %d: %s" at msg)
+  | exception Parse_error e -> Error e
+  | exception Stack_overflow ->
+      (* The depth limit makes this unreachable in practice; keep the
+         promise that hostile bytes can never raise out of the parser. *)
+      Error { offset = !pos; kind = Too_deep limits.max_depth }
+
+let of_string s = Result.map_error error_to_string (parse s)
 
 (* --- accessors ---------------------------------------------------------- *)
 

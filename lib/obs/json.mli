@@ -33,7 +33,37 @@ val of_string : string -> (t, string) result
 (** Parse a complete JSON document.  Numbers without [.], [e] or [E] parse
     as [Int] (falling back to [Float] past [max_int]); [\uXXXX] escapes,
     including surrogate pairs, decode to UTF-8.  Errors carry a byte
-    offset. *)
+    offset.  Equivalent to {!parse} under {!default_limits} with the error
+    rendered by {!error_to_string}. *)
+
+(** {1 Untrusted input}
+
+    The socket server parses attacker-controlled bytes, so the parser is
+    total: no input may raise.  Both entry points enforce a nesting-depth
+    bound (the recursive-descent parser burns one stack frame per level —
+    without the bound, ["[[[["...] overflows the stack) and a document-size
+    bound, and report violations as typed errors. *)
+
+type limits = {
+  max_depth : int;  (** maximum container nesting (top level = 1) *)
+  max_bytes : int;  (** maximum document size in bytes *)
+}
+
+val default_limits : limits
+(** 128 levels, 64 MiB. *)
+
+type error = { offset : int; kind : error_kind }
+
+and error_kind =
+  | Syntax of string  (** malformed JSON, with a human-readable reason *)
+  | Too_deep of int  (** nesting exceeded the limit (carried) *)
+  | Too_large of { size : int; limit : int }
+
+val parse : ?limits:limits -> string -> (t, error) result
+(** Like {!of_string} with caller-chosen [limits] and structured errors.
+    Never raises, whatever the input bytes. *)
+
+val error_to_string : error -> string
 
 (** {1 Accessors} (used by the trace validator) *)
 

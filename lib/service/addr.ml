@@ -1,0 +1,67 @@
+type t = Unix_sock of string | Tcp of string * int
+
+let of_string s =
+  let parse_tcp rest =
+    match String.rindex_opt rest ':' with
+    | None -> Error (Printf.sprintf "bad tcp address %S: expected HOST:PORT" s)
+    | Some i -> (
+        let host = String.sub rest 0 i in
+        let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 1 && p <= 65_535 ->
+            if host = "" then Error (Printf.sprintf "bad tcp address %S: empty host" s)
+            else Ok (Tcp (host, p))
+        | Some _ | None ->
+            Error (Printf.sprintf "bad tcp address %S: port must be 1-65535" s))
+  in
+  let prefixed prefix =
+    if String.length s > String.length prefix
+       && String.sub s 0 (String.length prefix) = prefix
+    then Some (String.sub s (String.length prefix)
+                 (String.length s - String.length prefix))
+    else None
+  in
+  match prefixed "unix:" with
+  | Some path ->
+      if path = "" then Error "bad unix address: empty path"
+      else Ok (Unix_sock path)
+  | None -> (
+      match prefixed "tcp:" with
+      | Some rest -> parse_tcp rest
+      | None ->
+          if String.contains s '/' then Ok (Unix_sock s)
+          else
+            Error
+              (Printf.sprintf
+                 "bad address %S: expected unix:PATH, tcp:HOST:PORT, or a \
+                  socket path containing '/'"
+                 s))
+
+let to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let to_sockaddr = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) -> (
+      match Unix.inet_addr_of_string host with
+      | addr -> Unix.ADDR_INET (addr, port)
+      | exception Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+              failwith (Printf.sprintf "cannot resolve host %S" host)
+          | { Unix.h_addr_list; _ } -> Unix.ADDR_INET (h_addr_list.(0), port)))
+
+let domain = function
+  | Unix_sock _ -> Unix.PF_UNIX
+  | Tcp _ -> Unix.PF_INET
+
+let cleanup = function
+  | Tcp _ -> ()
+  | Unix_sock path -> (
+      match Unix.lstat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> (try Unix.unlink path with _ -> ())
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ())
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

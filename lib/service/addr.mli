@@ -1,0 +1,34 @@
+(** Listen/connect addresses for the daemon.
+
+    Two transports, one syntax:
+
+    - ["unix:/path/to.sock"] (or a bare path containing ['/']) — a
+      Unix-domain socket, the default for local single-machine use;
+    - ["tcp:HOST:PORT"] — TCP, for the load generator on another host.
+
+    The wire protocol is identical over both (newline-delimited JSON,
+    {!Protocol}). *)
+
+type t =
+  | Unix_sock of string  (** filesystem path of the socket *)
+  | Tcp of string * int  (** host, port *)
+
+val of_string : string -> (t, string) result
+(** Parse ["unix:PATH"], ["tcp:HOST:PORT"], or a bare path (must contain
+    ['/']).  Rejects empty paths, ports outside [1, 65535], and anything
+    else with a one-line message. *)
+
+val to_string : t -> string
+(** Round-trips through {!of_string}. *)
+
+val to_sockaddr : t -> Unix.sockaddr
+(** Resolve for [Unix.bind]/[Unix.connect].  Numeric TCP hosts are used
+    directly; names go through [gethostbyname].
+    @raise Failure if a TCP host does not resolve. *)
+
+val domain : t -> Unix.socket_domain
+
+val cleanup : t -> unit
+(** Remove a stale Unix-socket file if present; no-op for TCP. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+type t = { fd : Unix.file_descr; rbuf : Buffer.t }
+
+let protect f =
+  match f () with
+  | v -> Ok v
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | exception Failure msg -> Error msg
+
+let connect addr =
+  protect (fun () ->
+      let fd = Unix.socket (Addr.domain addr) Unix.SOCK_STREAM 0 in
+      (match addr with
+      | Addr.Tcp _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+      | Addr.Unix_sock _ -> ());
+      (try Unix.connect fd (Addr.to_sockaddr addr)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      { fd; rbuf = Buffer.create 1024 })
+
+let write_fully fd s =
+  let len = String.length s in
+  let bytes = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd bytes off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+(* Read until the buffer holds a full line; tolerate responses split
+   across reads and multiple responses per read (leftover stays
+   buffered for the next call). *)
+let read_line t =
+  let chunk = Bytes.create 4096 in
+  let rec take () =
+    let s = Buffer.contents t.rbuf in
+    match String.index_opt s '\n' with
+    | Some i ->
+        Buffer.clear t.rbuf;
+        Buffer.add_substring t.rbuf s (i + 1) (String.length s - i - 1);
+        Ok (String.sub s 0 i)
+    | None ->
+        if Buffer.length t.rbuf > Protocol.max_line then
+          Error "response line too long"
+        else begin
+          match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Error "connection closed by server"
+          | n ->
+              Buffer.add_subbytes t.rbuf chunk 0 n;
+              take ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> take ()
+          | exception Unix.Unix_error (e, fn, _) ->
+              Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+        end
+  in
+  take ()
+
+let request t req =
+  let ( let* ) = Result.bind in
+  let* () = protect (fun () -> write_fully t.fd (Protocol.request_to_line req)) in
+  let* line = read_line t in
+  Protocol.response_of_line line
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

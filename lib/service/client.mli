@@ -1,0 +1,18 @@
+(** Blocking protocol client: one connection, synchronous request/response.
+
+    The daemon answers requests in order per connection, so a synchronous
+    client needs no correlation ids — write one line, read one line. *)
+
+type t
+
+val connect : Addr.t -> (t, string) result
+(** Connect (TCP sets [TCP_NODELAY]: the protocol is one small line per
+    round trip, and Nagle would serialize the load generator's pace). *)
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request line and block for the response line.  [Error] means
+    a transport failure (connection refused/reset, oversized or
+    unparseable response), not a protocol-level rejection — those arrive
+    as [Ok (Error {code; msg})]. *)
+
+val close : t -> unit

@@ -1,0 +1,53 @@
+(** The serving configuration: everything that determines a daemon's
+    behaviour given its input stream.
+
+    A batch run is determined by its {!Core.Instance.t} plus the policy and
+    seed; an online daemon does not know its jobs up front, so its identity
+    is the remainder — cluster shape, horizon, algorithm, seed, restart
+    budget.  The config is written into the WAL header and every snapshot:
+    crash recovery replays the logged submissions into a daemon rebuilt
+    from this record, and kernel determinism does the rest (DESIGN.md §12).
+    [workers] deliberately stays out of the durable identity checks'
+    semantics: results are bit-identical for every worker count. *)
+
+type t = {
+  machines : int array;  (** per-organization machine endowment *)
+  speeds : float array option;  (** related machines, flattened order *)
+  horizon : int;  (** evaluation end; submissions must be released before *)
+  algorithm : string;  (** registry name, e.g. ["ref"], ["fairshare"] *)
+  seed : int;  (** RNG seed handed to the policy maker *)
+  max_restarts : int option;  (** kill budget under faults *)
+  workers : int option;  (** worker domains for parallel-capable policies *)
+}
+
+val make :
+  ?speeds:float array ->
+  ?max_restarts:int ->
+  ?workers:int ->
+  machines:int array ->
+  horizon:int ->
+  algorithm:string ->
+  seed:int ->
+  unit ->
+  (t, string) result
+(** Validates what {!Core.Instance.make} and {!Algorithms.Registry.find}
+    would reject later: at least one machine, positive horizon, known
+    algorithm, non-negative restart budget, positive workers, speeds length
+    matching the machine count. *)
+
+val organizations : t -> int
+val total_machines : t -> int
+
+val empty_instance : t -> Core.Instance.t
+(** The job-less instance a fresh session starts from. *)
+
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> (t, string) result
+(** Inverse of {!to_json}, re-running the {!make} validation. *)
+
+val equal : t -> t -> bool
+(** Structural equality of the durable identity — [workers] excluded: a
+    resumed daemon may use a different worker count without breaking
+    bit-identity. *)
+
+val pp : Format.formatter -> t -> unit

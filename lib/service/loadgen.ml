@@ -1,0 +1,178 @@
+type config = {
+  addr : Addr.t;
+  spec : Workload.Scenario.spec;
+  seed : int;
+  rate : float;
+  count : int;
+  drain : bool;
+}
+
+type report = {
+  submitted : int;
+  accepted : int;
+  rejected : int;
+  backpressured : int;
+  errors : int;
+  wall_seconds : float;
+  achieved_rate : float;
+  ack_latency : Obs.Metrics.summary;
+  job_wait : Obs.Metrics.summary option;
+}
+
+let empty_summary =
+  { Obs.Metrics.count = 0; p50 = 0.; p90 = 0.; p99 = 0.; max = 0. }
+
+let find_histogram name =
+  List.find_map
+    (function
+      | n, Obs.Metrics.Histogram s when n = name -> Some s | _ -> None)
+    (Obs.Metrics.snapshot ())
+
+let run cfg =
+  let ( let* ) = Result.bind in
+  let horizon = cfg.spec.Workload.Scenario.horizon in
+  let jobs =
+    Workload.Scenario.submission_stream cfg.spec ~seed:cfg.seed
+    |> Seq.take_while (fun (j : Core.Job.t) -> j.Core.Job.release < horizon)
+    |> Seq.take cfg.count
+  in
+  let* client = Client.connect cfg.addr in
+  Fun.protect
+    ~finally:(fun () -> Client.close client)
+    (fun () ->
+      Obs.Metrics.set_enabled true;
+      let hist = Obs.Metrics.histogram "loadgen.ack_latency_us" in
+      let submitted = ref 0 in
+      let accepted = ref 0 in
+      let rejected = ref 0 in
+      let backpressured = ref 0 in
+      let errors = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      let pace () =
+        if cfg.rate > 0. then begin
+          let due = t0 +. (float_of_int !submitted /. cfg.rate) in
+          let slack = due -. Unix.gettimeofday () in
+          if slack > 0. then Unix.sleepf slack
+        end
+      in
+      (* Retry a backpressured submission until the daemon has room —
+         that is the throttling contract: the queue bound turns overload
+         into client-side waiting, not loss. *)
+      let rec send req =
+        let sent_at = Obs.Clock.now_ns () in
+        match Client.request client req with
+        | Error msg ->
+            incr errors;
+            Some msg
+        | Ok resp -> (
+            Obs.Metrics.observe hist (Obs.Clock.elapsed sent_at *. 1e6);
+            match resp with
+            | Protocol.Submit_ok _ ->
+                incr accepted;
+                None
+            | Protocol.Error { code = Protocol.Backpressure; _ } ->
+                incr backpressured;
+                Unix.sleepf 0.002;
+                send req
+            | Protocol.Error _ ->
+                incr rejected;
+                None
+            | _ ->
+                incr rejected;
+                None)
+      in
+      let transport_error = ref None in
+      Seq.iter
+        (fun (j : Core.Job.t) ->
+          if !transport_error = None then begin
+            pace ();
+            incr submitted;
+            let req =
+              Protocol.Submit
+                {
+                  org = j.Core.Job.org;
+                  user = j.Core.Job.user;
+                  release = j.Core.Job.release;
+                  size = j.Core.Job.size;
+                }
+            in
+            transport_error := send req
+          end)
+        jobs;
+      let wall_seconds = Unix.gettimeofday () -. t0 in
+      let job_wait =
+        if !transport_error <> None then None
+        else
+          match Client.request client Protocol.Status with
+          | Ok (Protocol.Status_ok st) -> st.Protocol.job_wait
+          | Ok _ | Error _ -> None
+      in
+      if cfg.drain && !transport_error = None then
+        (match Client.request client (Protocol.Drain { detail = false }) with
+        | Ok _ -> ()
+        | Error _ -> incr errors);
+      let ack_latency =
+        Option.value (find_histogram "loadgen.ack_latency_us")
+          ~default:empty_summary
+      in
+      Ok
+        {
+          submitted = !submitted;
+          accepted = !accepted;
+          rejected = !rejected;
+          backpressured = !backpressured;
+          errors = !errors;
+          wall_seconds;
+          achieved_rate =
+            (if wall_seconds > 0. then float_of_int !accepted /. wall_seconds
+             else 0.);
+          ack_latency;
+          job_wait;
+        })
+
+let summary_json (s : Obs.Metrics.summary) =
+  Obs.Json.Obj
+    [
+      ("count", Obs.Json.Int s.Obs.Metrics.count);
+      ("p50", Obs.Json.Float s.Obs.Metrics.p50);
+      ("p90", Obs.Json.Float s.Obs.Metrics.p90);
+      ("p99", Obs.Json.Float s.Obs.Metrics.p99);
+      ("max", Obs.Json.Float s.Obs.Metrics.max);
+    ]
+
+let report_to_json r =
+  let open Obs.Json in
+  Obj
+    (List.concat
+       [
+         [
+           ("submitted", Int r.submitted);
+           ("accepted", Int r.accepted);
+           ("rejected", Int r.rejected);
+           ("backpressured", Int r.backpressured);
+           ("errors", Int r.errors);
+           ("wall_seconds", Float r.wall_seconds);
+           ("achieved_rate", Float r.achieved_rate);
+           ("ack_latency_us", summary_json r.ack_latency);
+         ];
+         (match r.job_wait with
+         | None -> []
+         | Some s -> [ ("job_wait", summary_json s) ]);
+       ])
+
+let pp_summary ppf (s : Obs.Metrics.summary) =
+  Format.fprintf ppf "p50 %.0f  p90 %.0f  p99 %.0f  max %.0f (n=%d)"
+    s.Obs.Metrics.p50 s.Obs.Metrics.p90 s.Obs.Metrics.p99 s.Obs.Metrics.max
+    s.Obs.Metrics.count
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>submitted %d  accepted %d  rejected %d  backpressured %d  errors %d@,\
+     wall %.2fs  rate %.0f/s@,\
+     ack latency (us): %a@]"
+    r.submitted r.accepted r.rejected r.backpressured r.errors r.wall_seconds
+    r.achieved_rate pp_summary r.ack_latency;
+  match r.job_wait with
+  | None -> ()
+  | Some s ->
+      Format.fprintf ppf "@,@[job wait (sim time): %a@]" pp_summary s

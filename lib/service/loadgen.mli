@@ -1,0 +1,43 @@
+(** Load generator: stream a synthetic trace at a daemon over the socket
+    and measure what comes back.
+
+    Jobs come from {!Workload.Scenario.submission_stream}, so a daemon
+    configured with the matching {!Workload.Scenario.split_and_map}
+    endowment accepts every submission — org assignment and FIFO ranks
+    line up by construction.  The generator paces submissions at a target
+    arrival rate (wall-clock), retries on backpressure, and records the
+    submit-to-ack round trip in an {!Obs.Metrics} histogram
+    (["loadgen.ack_latency_us"], microseconds).  Submit-to-start latency
+    is the {e server's} ["sim.job_wait"] histogram (simulated time),
+    surfaced through the final STATUS response when the daemon runs with
+    [--metrics]. *)
+
+type config = {
+  addr : Addr.t;
+  spec : Workload.Scenario.spec;
+  seed : int;
+  rate : float;  (** target submissions per wall-clock second; 0 = as fast as possible *)
+  count : int;  (** number of submissions to attempt *)
+  drain : bool;  (** send [drain] when done (shuts the daemon down) *)
+}
+
+type report = {
+  submitted : int;  (** distinct jobs attempted *)
+  accepted : int;
+  rejected : int;  (** protocol-level rejections other than backpressure *)
+  backpressured : int;  (** backpressure responses absorbed by retrying *)
+  errors : int;  (** transport failures (run stops at the first) *)
+  wall_seconds : float;
+  achieved_rate : float;  (** accepted / wall_seconds *)
+  ack_latency : Obs.Metrics.summary;  (** submit-to-ack, microseconds *)
+  job_wait : Obs.Metrics.summary option;
+      (** server-side submit-to-start (simulated time units) *)
+}
+
+val run : config -> (report, string) result
+(** [Error] only for failures before the first submission (connect,
+    empty stream); transport failures mid-run come back as a report with
+    [errors > 0]. *)
+
+val report_to_json : report -> Obs.Json.t
+val pp_report : Format.formatter -> report -> unit

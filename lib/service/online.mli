@@ -1,0 +1,89 @@
+(** The incremental engine behind the daemon: {!Sim.Session} plus the
+    admission rules an untrusted submission stream needs.
+
+    An [Online.t] is created from a {!Config.t} with an empty job set; the
+    server feeds it job submissions and fault events as they arrive over
+    the socket.  Admission enforces what a batch {!Core.Instance.make}
+    would have enforced structurally — organization in range, positive
+    size, releases non-decreasing — plus the online-only constraint that
+    time never runs backwards past what the engine has already committed.
+
+    Bit-identity contract: feeding the jobs of a batch instance in release
+    order (with {!submit} assigning the FIFO ranks) and then {!drain}ing
+    reproduces {!Sim.Driver.run}'s schedule, ψsp vector, and kernel
+    counters exactly.  This is what makes WAL replay a complete recovery
+    mechanism: the log stores inputs, not state. *)
+
+type t
+
+type error =
+  | Bad_org of { org : int; norgs : int }
+  | Bad_size of int
+  | Bad_release of { release : int; frontier : int }
+      (** releases must be non-decreasing across submissions *)
+  | Past_horizon of { release : int; horizon : int }
+  | Bad_machine of { machine : int; machines : int }
+  | Bad_fault_time of { time : int; frontier : int }
+  | Drained  (** the session was already drained; no further feeding *)
+
+val error_to_string : error -> string
+
+val create : Config.t -> t
+(** Fresh session over the config's empty instance.  Constructing the
+    policy may be expensive (REF enumerates coalitions) — do it once, at
+    daemon start. *)
+
+val check_submit : t -> org:int -> size:int -> release:int -> (unit, error) result
+(** Validation only — no state change.  The server calls this before
+    writing the submission to the WAL, so the log never contains a record
+    that {!submit} would reject. *)
+
+val submit :
+  t -> org:int -> ?user:int -> size:int -> release:int -> unit ->
+  (int, error) result
+(** Admit one job: validate, assign the organization's next FIFO rank
+    (returned), advance the engine below [release], and feed the job.
+    Instant [release] itself stays open so same-instant arrivals land in
+    the same kernel phase, exactly as in a batch run. *)
+
+val check_fault : t -> time:int -> Faults.Event.t -> (unit, error) result
+
+val fault : t -> time:int -> Faults.Event.t -> (unit, error) result
+(** Admit one fault event (same discipline as {!submit}: validate,
+    advance below [time], feed). *)
+
+val drain : t -> unit
+(** Run every remaining event to the horizon.  Idempotent; after draining,
+    further {!submit}/{!fault} calls return [Error Drained]. *)
+
+(** {2 Inspection} *)
+
+val config : t -> Config.t
+val now : t -> int
+(** Last processed instant ({!Sim.Session.now}). *)
+
+val frontier : t -> int
+(** Largest admitted release/fault time (0 initially) — the earliest time
+    a future submission may carry. *)
+
+val drained : t -> bool
+val submitted : t -> int
+(** Jobs admitted so far. *)
+
+val faults_fed : t -> int
+val psi_scaled : t -> int array
+(** [2·ψsp(u)] per organization at {!now} — the last instant at which the
+    value is exact. *)
+
+val parts : t -> int array
+val queue_depths : t -> int array
+(** Waiting (released, unstarted) jobs per organization. *)
+
+val stats : t -> Kernel.Stats.t
+(** Kernel + policy counters, as {!Sim.Driver.run} reports them. *)
+
+val schedule : t -> Core.Schedule.t
+(** Placements so far (sessions are created with [record:true]). *)
+
+val session : t -> Sim.Session.t
+(** Escape hatch for the equivalence tests. *)

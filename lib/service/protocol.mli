@@ -1,0 +1,89 @@
+(** The daemon's wire protocol: newline-delimited JSON, one request object
+    per line, one response object per line, answered in order per
+    connection.
+
+    Requests carry an ["op"] discriminator; responses carry ["ok"]
+    (boolean) and echo the op.  The full grammar is documented in
+    DESIGN.md §12.  Both sides parse with {!Obs.Json.parse} under
+    {!wire_limits}: socket bytes are untrusted, so depth and size are
+    bounded and a malformed line yields an [Error {code = Parse; _}]
+    response rather than a dead connection. *)
+
+val wire_limits : Obs.Json.limits
+(** 32 nesting levels, 1 MiB per line. *)
+
+val max_line : int
+(** Byte bound on one request line ([wire_limits.max_bytes]). *)
+
+type request =
+  | Submit of { org : int; user : int; release : int; size : int }
+  | Fault of { time : int; event : Faults.Event.t }
+  | Status
+  | Psi
+  | Snapshot  (** force a snapshot + WAL compaction now *)
+  | Drain of { detail : bool }
+      (** run to horizon and shut down; [detail] adds the full schedule *)
+
+type status = {
+  now : int;
+  frontier : int;
+  horizon : int;
+  orgs : int;
+  machines : int;
+  accepted : int;  (** submissions + faults admitted since daemon start *)
+  rejected : int;
+  queue_depth : int;  (** admission queue occupancy *)
+  queue_cap : int;
+  draining : bool;
+  waiting : int array;  (** released-unstarted jobs per organization *)
+  stats : Kernel.Stats.t;
+  job_wait : Obs.Metrics.summary option;
+      (** submit-to-start latency histogram, when server metrics are on *)
+}
+
+type drain_report = {
+  d_now : int;
+  d_psi_scaled : int array;
+  d_parts : int array;
+  d_stats : Kernel.Stats.t;
+  d_schedule : (int * int * int * int * int) list option;
+      (** (org, index, start, machine, duration) rows, oldest first *)
+}
+
+type error_code =
+  | Parse  (** malformed request line *)
+  | Bad_request  (** admission rejected (org/size/release/machine/time) *)
+  | Backpressure  (** admission queue full — retry later *)
+  | Draining  (** daemon is shutting down; no further feeding *)
+  | Wal_error  (** durability failure; the submission was NOT accepted *)
+  | Unsupported  (** unknown op *)
+
+type response =
+  | Submit_ok of { seq : int; org : int; index : int; now : int }
+  | Fault_ok of { seq : int; now : int }
+  | Status_ok of status
+  | Psi_ok of { now : int; psi_scaled : int array; parts : int array }
+  | Snapshot_ok of { seq : int; path : string }
+  | Drain_ok of drain_report
+  | Error of { code : error_code; msg : string }
+
+val error_code_to_string : error_code -> string
+val error_code_of_string : string -> error_code option
+
+(** {2 Requests} *)
+
+val request_to_json : request -> Obs.Json.t
+val request_of_json : Obs.Json.t -> (request, string) result
+val request_to_line : request -> string
+(** One compact JSON document, newline-terminated. *)
+
+val request_of_line : string -> (request, string) result
+(** Parse one line (without requiring the trailing newline) under
+    {!wire_limits}. *)
+
+(** {2 Responses} *)
+
+val response_to_json : response -> Obs.Json.t
+val response_of_json : Obs.Json.t -> (response, string) result
+val response_to_line : response -> string
+val response_of_line : string -> (response, string) result

@@ -1,0 +1,545 @@
+type config = {
+  addr : Addr.t;
+  service : Config.t;
+  state_dir : string option;
+  queue_cap : int;
+  snapshot_every : int;
+  drain_batch : int;
+}
+
+let make_config ?state_dir ?(queue_cap = 1024) ?(snapshot_every = 4096)
+    ?(drain_batch = 256) ~addr ~service () =
+  { addr; service; state_dir; queue_cap; snapshot_every; drain_batch }
+
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;
+  out : Buffer.t;
+  mutable eof : bool;
+  mutable closed : bool;
+}
+
+type queued = Req of Protocol.request | Reject of Protocol.error_code * string
+
+type state = {
+  cfg : config;
+  online : Online.t;
+  mutable writer : Wal.writer option;
+  mutable seq : int;  (* last assigned sequence number *)
+  mutable records_rev : Wal.record list;  (* every accepted record, newest first *)
+  mutable since_snapshot : int;
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable draining : bool;
+  mutable shutdown : bool;
+  queue : (conn * queued) Queue.t;
+  mutable feed_depth : int;  (* submit/fault entries currently queued *)
+  mutable conns : conn list;
+}
+
+(* Acknowledgements of one processing batch, in request order.  [Synced]
+   responses are for feeds whose WAL record must reach disk first — they
+   are replaced by a wal-error if the batch fsync fails. *)
+type ack = Immediate of Protocol.response | Synced of Protocol.response
+
+let term_requested = ref false
+
+let emit conn resp =
+  if not conn.closed then
+    Buffer.add_string conn.out (Protocol.response_to_line resp)
+
+let is_feed = function
+  | Protocol.Submit _ | Protocol.Fault _ -> true
+  | Protocol.Status | Protocol.Psi | Protocol.Snapshot | Protocol.Drain _ ->
+      false
+
+let job_wait_summary () =
+  if not (Obs.Metrics.enabled ()) then None
+  else
+    List.find_map
+      (function
+        | "sim.job_wait", Obs.Metrics.Histogram s -> Some s | _ -> None)
+      (Obs.Metrics.snapshot ())
+
+let build_status s =
+  let service = Online.config s.online in
+  {
+    Protocol.now = Online.now s.online;
+    frontier = Online.frontier s.online;
+    horizon = service.Config.horizon;
+    orgs = Config.organizations service;
+    machines = Config.total_machines service;
+    accepted = s.accepted;
+    rejected = s.rejected;
+    queue_depth = s.feed_depth;
+    queue_cap = s.cfg.queue_cap;
+    draining = s.draining;
+    waiting = Online.queue_depths s.online;
+    stats = Online.stats s.online;
+    job_wait = job_wait_summary ();
+  }
+
+let schedule_rows s =
+  Core.Schedule.placements (Online.schedule s.online)
+  |> List.map (fun (p : Core.Schedule.placement) ->
+         ( p.Core.Schedule.job.Core.Job.org,
+           p.Core.Schedule.job.Core.Job.index,
+           p.Core.Schedule.start,
+           p.Core.Schedule.machine,
+           p.Core.Schedule.duration ))
+
+let build_drain_report s ~detail =
+  {
+    Protocol.d_now = Online.now s.online;
+    d_psi_scaled = Online.psi_scaled s.online;
+    d_parts = Online.parts s.online;
+    d_stats = Online.stats s.online;
+    d_schedule = (if detail then Some (schedule_rows s) else None);
+  }
+
+let do_snapshot s =
+  match s.cfg.state_dir with
+  | None -> Error "no state directory (daemon is ephemeral)"
+  | Some dir -> (
+      let snapshot =
+        {
+          Wal.config = Online.config s.online;
+          last_seq = s.seq;
+          records = List.rev s.records_rev;
+        }
+      in
+      match Wal.write_snapshot ~dir snapshot with
+      | Error _ as e -> e
+      | Ok path -> (
+          (* Compact: every record is covered by the snapshot now. *)
+          Option.iter Wal.close s.writer;
+          match Wal.create ~dir ~config:(Online.config s.online) with
+          | Error _ as e -> e
+          | Ok w ->
+              s.writer <- Some w;
+              s.since_snapshot <- 0;
+              Ok path))
+
+let code_of_online_error = function
+  | Online.Drained -> Protocol.Draining
+  | _ -> Protocol.Bad_request
+
+let reject s code msg =
+  s.rejected <- s.rejected + 1;
+  Immediate (Protocol.Error { code; msg })
+
+(* Run the engine to the horizon, snapshot, and arm shutdown.  Shared by
+   the [drain] request and the SIGTERM path. *)
+let enter_drain s =
+  s.draining <- true;
+  Online.drain s.online;
+  (match s.cfg.state_dir with
+  | None -> ()
+  | Some _ -> (
+      match do_snapshot s with
+      | Ok _ -> ()
+      | Error msg -> Printf.eprintf "fairsched serve: final snapshot: %s\n%!" msg));
+  s.shutdown <- true
+
+let process_one s = function
+  | Reject (code, msg) -> reject s code msg
+  | Req (Protocol.Submit { org; user; release; size }) -> (
+      if s.draining then reject s Protocol.Draining "daemon is draining"
+      else
+        match Online.check_submit s.online ~org ~size ~release with
+        | Error e ->
+            reject s (code_of_online_error e) (Online.error_to_string e)
+        | Ok () -> (
+            let seq = s.seq + 1 in
+            s.seq <- seq;
+            let record = Wal.Submit { seq; org; user; release; size } in
+            Option.iter (fun w -> Wal.append w record) s.writer;
+            s.records_rev <- record :: s.records_rev;
+            s.accepted <- s.accepted + 1;
+            s.since_snapshot <- s.since_snapshot + 1;
+            match Online.submit s.online ~org ~user ~size ~release () with
+            | Ok index ->
+                Synced
+                  (Protocol.Submit_ok
+                     { seq; org; index; now = Online.now s.online })
+            | Error e ->
+                (* unreachable after check_submit; fail loudly *)
+                Immediate
+                  (Protocol.Error
+                     {
+                       code = Protocol.Bad_request;
+                       msg = Online.error_to_string e;
+                     })))
+  | Req (Protocol.Fault { time; event }) -> (
+      if s.draining then reject s Protocol.Draining "daemon is draining"
+      else
+        match Online.check_fault s.online ~time event with
+        | Error e ->
+            reject s (code_of_online_error e) (Online.error_to_string e)
+        | Ok () -> (
+            let seq = s.seq + 1 in
+            s.seq <- seq;
+            let record = Wal.Fault { seq; time; event } in
+            Option.iter (fun w -> Wal.append w record) s.writer;
+            s.records_rev <- record :: s.records_rev;
+            s.accepted <- s.accepted + 1;
+            s.since_snapshot <- s.since_snapshot + 1;
+            match Online.fault s.online ~time event with
+            | Ok () ->
+                Synced (Protocol.Fault_ok { seq; now = Online.now s.online })
+            | Error e ->
+                Immediate
+                  (Protocol.Error
+                     {
+                       code = Protocol.Bad_request;
+                       msg = Online.error_to_string e;
+                     })))
+  | Req Protocol.Status -> Immediate (Protocol.Status_ok (build_status s))
+  | Req Protocol.Psi ->
+      Immediate
+        (Protocol.Psi_ok
+           {
+             now = Online.now s.online;
+             psi_scaled = Online.psi_scaled s.online;
+             parts = Online.parts s.online;
+           })
+  | Req Protocol.Snapshot -> (
+      if s.cfg.state_dir = None then
+        Immediate
+          (Protocol.Error
+             {
+               code = Protocol.Unsupported;
+               msg = "no state directory (daemon is ephemeral)";
+             })
+      else
+        match do_snapshot s with
+        | Ok path -> Immediate (Protocol.Snapshot_ok { seq = s.seq; path })
+        | Error msg ->
+            Immediate (Protocol.Error { code = Protocol.Wal_error; msg }))
+  | Req (Protocol.Drain { detail }) ->
+      if s.draining then
+        Immediate (Protocol.Drain_ok (build_drain_report s ~detail))
+      else begin
+        enter_drain s;
+        Immediate (Protocol.Drain_ok (build_drain_report s ~detail))
+      end
+
+let process_batch s =
+  let batch = ref [] in
+  let n = ref 0 in
+  let appended = ref false in
+  while !n < s.cfg.drain_batch && not (Queue.is_empty s.queue) do
+    let conn, item = Queue.pop s.queue in
+    (match item with
+    | Req r when is_feed r -> s.feed_depth <- s.feed_depth - 1
+    | _ -> ());
+    let ack = process_one s item in
+    (match ack with Synced _ -> appended := true | Immediate _ -> ());
+    batch := (conn, ack) :: !batch;
+    incr n
+  done;
+  let sync_result =
+    if !appended then
+      match s.writer with Some w -> Wal.sync w | None -> Ok ()
+    else Ok ()
+  in
+  List.iter
+    (fun (conn, ack) ->
+      match (ack, sync_result) with
+      | Immediate resp, _ | Synced resp, Ok () -> emit conn resp
+      | Synced _, Error msg ->
+          emit conn (Protocol.Error { code = Protocol.Wal_error; msg }))
+    (List.rev !batch);
+  (* Automatic compaction once enough records accumulated since the last
+     snapshot. *)
+  if
+    s.cfg.state_dir <> None
+    && s.cfg.snapshot_every > 0
+    && s.since_snapshot >= s.cfg.snapshot_every
+  then
+    match do_snapshot s with
+    | Ok _ -> ()
+    | Error msg -> Printf.eprintf "fairsched serve: auto-snapshot: %s\n%!" msg
+
+(* --- Socket plumbing ---------------------------------------------------- *)
+
+let protect f =
+  match f () with
+  | v -> Ok v
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Error
+        (Printf.sprintf "%s%s: %s" fn
+           (if arg = "" then "" else " " ^ arg)
+           (Unix.error_message e))
+
+let enqueue_line s conn line =
+  match Protocol.request_of_line line with
+  | Error msg ->
+      Queue.push (conn, Reject (Protocol.Parse, msg)) s.queue
+  | Ok req ->
+      if is_feed req && s.feed_depth >= s.cfg.queue_cap then
+        Queue.push
+          ( conn,
+            Reject
+              ( Protocol.Backpressure,
+                Printf.sprintf "admission queue full (%d queued)" s.feed_depth
+              ) )
+          s.queue
+      else begin
+        if is_feed req then s.feed_depth <- s.feed_depth + 1;
+        Queue.push (conn, Req req) s.queue
+      end
+
+let split_lines s conn =
+  let data = Buffer.contents conn.rbuf in
+  let len = String.length data in
+  let pos = ref 0 in
+  (try
+     while true do
+       let i = String.index_from data !pos '\n' in
+       enqueue_line s conn (String.sub data !pos (i - !pos));
+       pos := i + 1
+     done
+   with Not_found -> ());
+  Buffer.clear conn.rbuf;
+  Buffer.add_substring conn.rbuf data !pos (len - !pos);
+  if Buffer.length conn.rbuf > Protocol.max_line then begin
+    Buffer.clear conn.rbuf;
+    emit conn
+      (Protocol.Error
+         {
+           code = Protocol.Parse;
+           msg =
+             Printf.sprintf "request line exceeds %d bytes" Protocol.max_line;
+         });
+    conn.eof <- true
+  end
+
+let read_conn s conn =
+  let chunk = Bytes.create 65536 in
+  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> conn.eof <- true
+  | n ->
+      Buffer.add_subbytes conn.rbuf chunk 0 n;
+      split_lines s conn
+  | exception
+      Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      conn.closed <- true
+
+let write_conn conn =
+  let data = Buffer.contents conn.out in
+  if data <> "" then
+    match
+      Unix.write conn.fd (Bytes.unsafe_of_string data) 0 (String.length data)
+    with
+    | n ->
+        Buffer.clear conn.out;
+        Buffer.add_substring conn.out data n (String.length data - n)
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+        ()
+    | exception
+        Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        conn.closed <- true
+
+let close_conn conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+let reap s =
+  let live, dead =
+    List.partition
+      (fun c -> not (c.closed || (c.eof && Buffer.length c.out = 0)))
+      s.conns
+  in
+  List.iter close_conn dead;
+  s.conns <- live
+
+let accept_conn s listen_fd =
+  match Unix.accept listen_fd with
+  | fd, _ ->
+      Unix.set_nonblock fd;
+      (match s.cfg.addr with
+      | Addr.Tcp _ -> ( try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ())
+      | Addr.Unix_sock _ -> ());
+      s.conns <-
+        { fd; rbuf = Buffer.create 1024; out = Buffer.create 1024;
+          eof = false; closed = false }
+        :: s.conns
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+    -> ()
+
+let flush_remaining s =
+  (* After shutdown: give clients a few seconds to receive what they are
+     owed, then close everything. *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec go () =
+    reap s;
+    let writers =
+      List.filter_map
+        (fun c -> if Buffer.length c.out > 0 then Some c.fd else None)
+        s.conns
+    in
+    if writers <> [] && Unix.gettimeofday () < deadline then begin
+      (match Unix.select [] writers [] 0.25 with
+      | _, ws, _ ->
+          List.iter
+            (fun c -> if List.mem c.fd ws then write_conn c)
+            s.conns
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ()
+    end
+  in
+  go ();
+  List.iter close_conn s.conns;
+  s.conns <- []
+
+let rec serve_loop s listen_fd =
+  if !term_requested && not s.draining then enter_drain s;
+  if s.shutdown then flush_remaining s
+  else begin
+    reap s;
+    let readers =
+      listen_fd
+      :: List.filter_map
+           (fun c -> if c.eof || c.closed then None else Some c.fd)
+           s.conns
+    in
+    let writers =
+      List.filter_map
+        (fun c ->
+          if (not c.closed) && Buffer.length c.out > 0 then Some c.fd else None)
+        s.conns
+    in
+    let timeout = if Queue.is_empty s.queue then 1.0 else 0.0 in
+    (match Unix.select readers writers [] timeout with
+    | rs, ws, _ ->
+        if List.mem listen_fd rs then accept_conn s listen_fd;
+        List.iter
+          (fun c -> if (not c.closed) && List.mem c.fd rs then read_conn s c)
+          s.conns;
+        process_batch s;
+        List.iter
+          (fun c -> if (not c.closed) && (List.mem c.fd ws || Buffer.length c.out > 0) then write_conn c)
+          s.conns
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    serve_loop s listen_fd
+  end
+
+(* --- Startup ------------------------------------------------------------ *)
+
+let ensure_dir dir =
+  protect (fun () ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+      else if not (Sys.is_directory dir) then
+        raise
+          (Unix.Unix_error (Unix.ENOTDIR, "state dir", dir)))
+
+let replay online records =
+  let rec go = function
+    | [] -> Ok ()
+    | Wal.Submit { seq; org; user; release; size } :: rest -> (
+        match Online.submit online ~org ~user ~size ~release () with
+        | Ok _ -> go rest
+        | Error e ->
+            Error
+              (Printf.sprintf "replay: record %d rejected: %s" seq
+                 (Online.error_to_string e)))
+    | Wal.Fault { seq; time; event } :: rest -> (
+        match Online.fault online ~time event with
+        | Ok () -> go rest
+        | Error e ->
+            Error
+              (Printf.sprintf "replay: record %d rejected: %s" seq
+                 (Online.error_to_string e)))
+  in
+  go records
+
+let run ?(ready = fun () -> ()) cfg =
+  let ( let* ) = Result.bind in
+  term_requested := false;
+  let* service, records, last_seq =
+    match cfg.state_dir with
+    | None -> Ok (cfg.service, [], 0)
+    | Some dir ->
+        let* () = ensure_dir dir in
+        let* r = Wal.recover ~dir in
+        let service =
+          match r.Wal.r_config with
+          | None -> cfg.service
+          | Some c ->
+              if not (Config.equal c cfg.service) then
+                Printf.eprintf
+                  "fairsched serve: state dir %s holds a different \
+                   configuration; resuming it (the command-line config is \
+                   ignored)\n\
+                   %!"
+                  dir;
+              c
+        in
+        Ok (service, r.Wal.r_records, r.Wal.r_last_seq)
+  in
+  let online = Online.create service in
+  let* () = replay online records in
+  (* Compact on boot: one snapshot covering everything recovered, then a
+     fresh WAL.  A crash right here is safe — the snapshot is atomic and
+     the old WAL only duplicates records the sequence filter drops. *)
+  let* writer =
+    match cfg.state_dir with
+    | None -> Ok None
+    | Some dir ->
+        let* () =
+          if records = [] then Ok ()
+          else
+            Result.map (fun (_ : string) -> ())
+              (Wal.write_snapshot ~dir
+                 { Wal.config = service; last_seq; records })
+        in
+        Result.map Option.some (Wal.create ~dir ~config:service)
+  in
+  Addr.cleanup cfg.addr;
+  let* listen_fd =
+    protect (fun () ->
+        let fd = Unix.socket (Addr.domain cfg.addr) Unix.SOCK_STREAM 0 in
+        (match cfg.addr with
+        | Addr.Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+        | Addr.Unix_sock _ -> ());
+        (try
+           Unix.bind fd (Addr.to_sockaddr cfg.addr);
+           Unix.listen fd 64
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        fd)
+  in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Sys.set_signal Sys.sigterm
+    (Sys.Signal_handle (fun _ -> term_requested := true));
+  let s =
+    {
+      cfg;
+      online;
+      writer;
+      seq = last_seq;
+      records_rev = List.rev records;
+      since_snapshot = 0;
+      accepted = List.length records;
+      rejected = 0;
+      draining = false;
+      shutdown = false;
+      queue = Queue.create ();
+      feed_depth = 0;
+      conns = [];
+    }
+  in
+  ready ();
+  serve_loop s listen_fd;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  Addr.cleanup cfg.addr;
+  Option.iter Wal.close s.writer;
+  Ok ()

@@ -1,0 +1,53 @@
+(** The scheduler daemon: a single-threaded, [select]-driven socket server
+    wrapping one {!Online.t}.
+
+    One thread is enough — and is what makes the service deterministic:
+    requests are admitted in a single global arrival order, so the engine
+    sees one canonical event stream regardless of how many clients race.
+    (Policy-internal parallelism — REF's domain pool — is below this
+    layer and bit-identical by construction.)
+
+    Per iteration the loop: accepts connections, reads available bytes,
+    splits complete lines into a global FIFO (bounded for submissions and
+    fault events — overflow is answered with a [backpressure] error, not
+    dropped), then processes up to [drain_batch] queued requests.
+    Accepted feeds are appended to the WAL, the WAL is [fsync]ed {e once
+    per batch}, and only then are the acknowledgements flushed — an acked
+    submission survives [kill -9].  Responses per connection are emitted
+    in request order.
+
+    Shutdown: a [drain] request or SIGTERM runs the engine to the
+    horizon, writes a final snapshot, answers pending clients, flushes,
+    and returns.  SIGKILL at any point is recoverable: restart with the
+    same state dir and the daemon replays snapshot + WAL into a fresh
+    engine, resuming bit-identically (kernel determinism; see
+    DESIGN.md §12). *)
+
+type config = {
+  addr : Addr.t;
+  service : Config.t;
+  state_dir : string option;  (** [None] = ephemeral (no durability) *)
+  queue_cap : int;  (** bound on queued submissions + faults *)
+  snapshot_every : int;  (** auto-snapshot period in accepted records; 0 = only on request/drain *)
+  drain_batch : int;  (** max requests processed per loop iteration *)
+}
+
+val make_config :
+  ?state_dir:string ->
+  ?queue_cap:int ->
+  ?snapshot_every:int ->
+  ?drain_batch:int ->
+  addr:Addr.t ->
+  service:Config.t ->
+  unit ->
+  config
+(** Defaults: queue_cap 1024, snapshot_every 4096, drain_batch 256. *)
+
+val run : ?ready:(unit -> unit) -> config -> (unit, string) result
+(** Bind, recover, serve until drained.  [ready] fires once the socket is
+    listening and recovery is complete (used by tests and by [serve] to
+    print the listening line).  When the state dir holds a config from a
+    previous life, the {e recovered} config wins over [config.service]
+    (the durable identity must match the log being replayed); a note goes
+    to stderr when they differ.  Errors (bind failure, corrupt state dir)
+    come back as one-line messages. *)

@@ -1,0 +1,281 @@
+type record =
+  | Submit of { seq : int; org : int; user : int; release : int; size : int }
+  | Fault of { seq : int; time : int; event : Faults.Event.t }
+
+let seq_of = function Submit { seq; _ } | Fault { seq; _ } -> seq
+
+open Obs.Json
+
+let ( let* ) = Result.bind
+
+let record_to_json = function
+  | Submit { seq; org; user; release; size } ->
+      Obj
+        [
+          ("rec", String "submit");
+          ("seq", Int seq);
+          ("org", Int org);
+          ("user", Int user);
+          ("release", Int release);
+          ("size", Int size);
+        ]
+  | Fault { seq; time; event } ->
+      let kind, machine =
+        match event with
+        | Faults.Event.Fail m -> ("fail", m)
+        | Faults.Event.Recover m -> ("recover", m)
+      in
+      Obj
+        [
+          ("rec", String "fault");
+          ("seq", Int seq);
+          ("time", Int time);
+          ("kind", String kind);
+          ("machine", Int machine);
+        ]
+
+let int_field j name =
+  match member j name with
+  | Some (Int v) -> Ok v
+  | Some _ -> Error (Printf.sprintf "WAL field %S must be an integer" name)
+  | None -> Error (Printf.sprintf "WAL field %S missing" name)
+
+let record_of_json j =
+  match member j "rec" with
+  | Some (String "submit") ->
+      let* seq = int_field j "seq" in
+      let* org = int_field j "org" in
+      let* user = int_field j "user" in
+      let* release = int_field j "release" in
+      let* size = int_field j "size" in
+      Ok (Submit { seq; org; user; release; size })
+  | Some (String "fault") ->
+      let* seq = int_field j "seq" in
+      let* time = int_field j "time" in
+      let* machine = int_field j "machine" in
+      let* event =
+        match member j "kind" with
+        | Some (String "fail") -> Ok (Faults.Event.Fail machine)
+        | Some (String "recover") -> Ok (Faults.Event.Recover machine)
+        | _ -> Error "WAL field \"kind\" must be \"fail\" or \"recover\""
+      in
+      Ok (Fault { seq; time; event })
+  | _ -> Error "WAL record missing \"rec\" discriminator"
+
+let wal_path ~dir = Filename.concat dir "wal.ndjson"
+let snapshot_path ~dir = Filename.concat dir "snapshot.json"
+
+(* --- Writing ------------------------------------------------------------ *)
+
+type writer = { fd : Unix.file_descr; buf : Buffer.t }
+
+let wal_magic = "fairsched_wal"
+
+let header_json config =
+  Obj [ (wal_magic, Int 1); ("config", Config.to_json config) ]
+
+let write_fully fd s =
+  let len = String.length s in
+  let bytes = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd bytes off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let protect_sys f =
+  match f () with
+  | v -> Ok v
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Error
+        (Printf.sprintf "%s%s: %s" fn
+           (if arg = "" then "" else " " ^ arg)
+           (Unix.error_message e))
+  | exception Sys_error msg -> Error msg
+
+let create ~dir ~config =
+  protect_sys (fun () ->
+      let path = wal_path ~dir in
+      let fd =
+        Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      in
+      write_fully fd (to_string (header_json config) ^ "\n");
+      Unix.fsync fd;
+      { fd; buf = Buffer.create 4096 })
+
+let append w record =
+  to_buffer w.buf (record_to_json record);
+  Buffer.add_char w.buf '\n'
+
+let sync w =
+  protect_sys (fun () ->
+      if Buffer.length w.buf > 0 then begin
+        write_fully w.fd (Buffer.contents w.buf);
+        Buffer.clear w.buf;
+        Unix.fsync w.fd
+      end)
+
+let close w =
+  (match sync w with Ok () | Error _ -> ());
+  try Unix.close w.fd with Unix.Unix_error _ -> ()
+
+(* --- Snapshots ---------------------------------------------------------- *)
+
+type snapshot = { config : Config.t; last_seq : int; records : record list }
+
+let snapshot_json s =
+  Obj
+    [
+      ("fairsched_snapshot", Int 1);
+      ("config", Config.to_json s.config);
+      ("last_seq", Int s.last_seq);
+      ("records", List (List.map record_to_json s.records));
+    ]
+
+let snapshot_of_json j =
+  let* config =
+    match member j "config" with
+    | Some cj -> Config.of_json cj
+    | None -> Error "snapshot missing \"config\""
+  in
+  let* last_seq = int_field j "last_seq" in
+  let* records =
+    match member j "records" with
+    | Some (List items) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | item :: rest ->
+              let* r = record_of_json item in
+              go (r :: acc) rest
+        in
+        go [] items
+    | Some _ | None -> Error "snapshot missing \"records\""
+  in
+  Ok { config; last_seq; records }
+
+let write_snapshot ~dir s =
+  protect_sys (fun () ->
+      let path = snapshot_path ~dir in
+      let tmp = path ^ ".tmp" in
+      let fd =
+        Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      in
+      write_fully fd (to_string (snapshot_json s) ^ "\n");
+      Unix.fsync fd;
+      Unix.close fd;
+      Unix.rename tmp path;
+      (* Persist the rename itself. *)
+      (match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+      | dfd ->
+          (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+          Unix.close dfd
+      | exception Unix.Unix_error _ -> ());
+      path)
+
+(* --- Recovery ----------------------------------------------------------- *)
+
+type recovery = {
+  r_config : Config.t option;
+  r_records : record list;
+  r_last_seq : int;
+}
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* A torn final line (crash mid-append) parses as garbage or truncated
+   JSON: drop it.  Anything malformed before the last line means the log
+   was damaged, not torn — refuse to guess. *)
+let read_wal path =
+  let* lines =
+    match read_lines path with
+    | lines -> Ok lines
+    | exception Sys_error msg -> Error msg
+  in
+  match lines with
+  | [] -> Error (Printf.sprintf "%s: empty WAL (missing header)" path)
+  | header :: body ->
+      let* config =
+        match of_string header with
+        | Ok hj -> (
+            match (member hj wal_magic, member hj "config") with
+            | Some (Int 1), Some cj -> Config.of_json cj
+            | _ -> Error (Printf.sprintf "%s: not a fairsched WAL" path))
+        | Error e -> Error (Printf.sprintf "%s: bad WAL header: %s" path e)
+      in
+      let n = List.length body in
+      let rec go i acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest -> (
+            let parsed =
+              let* j = of_string line in
+              record_of_json j
+            in
+            match parsed with
+            | Ok r -> go (i + 1) (r :: acc) rest
+            | Error _ when i = n - 1 && line <> "" -> Ok (List.rev acc)
+            | Error e ->
+                Error (Printf.sprintf "%s: corrupt WAL record %d: %s" path (i + 2) e))
+      in
+      let* records = go 0 [] body in
+      Ok (config, records)
+
+let recover ~dir =
+  let snap_file = snapshot_path ~dir in
+  let wal_file = wal_path ~dir in
+  let* snap =
+    if Sys.file_exists snap_file then
+      match read_lines snap_file with
+      | exception Sys_error msg -> Error msg
+      | lines -> (
+          let text = String.concat "\n" lines in
+          match of_string text with
+          | Error e -> Error (Printf.sprintf "%s: %s" snap_file e)
+          | Ok j ->
+              Result.map Option.some
+                (Result.map_error
+                   (fun e -> Printf.sprintf "%s: %s" snap_file e)
+                   (snapshot_of_json j)))
+    else Ok None
+  in
+  let* wal =
+    if Sys.file_exists wal_file then Result.map Option.some (read_wal wal_file)
+    else Ok None
+  in
+  let* config =
+    match (snap, wal) with
+    | None, None -> Ok None
+    | Some s, None -> Ok (Some s.config)
+    | None, Some (c, _) -> Ok (Some c)
+    | Some s, Some (c, _) ->
+        if Config.equal s.config c then Ok (Some s.config)
+        else
+          Error
+            (Printf.sprintf
+               "state dir %s: snapshot and WAL disagree on the configuration"
+               dir)
+  in
+  let snap_records, last_snap_seq =
+    match snap with None -> ([], 0) | Some s -> (s.records, s.last_seq)
+  in
+  let wal_records =
+    match wal with
+    | None -> []
+    | Some (_, records) ->
+        List.filter (fun r -> seq_of r > last_snap_seq) records
+  in
+  let records = snap_records @ wal_records in
+  let last_seq =
+    List.fold_left (fun acc r -> Stdlib.max acc (seq_of r)) last_snap_seq records
+  in
+  Ok { r_config = config; r_records = records; r_last_seq = last_seq }

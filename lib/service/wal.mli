@@ -1,0 +1,80 @@
+(** Durability: a write-ahead log of accepted inputs plus periodic
+    snapshots.
+
+    The daemon never serializes engine or policy state — REF's
+    sub-coalition simulations alone would make that intractable.  Instead
+    it logs the {e inputs} (accepted submissions and fault events, each
+    stamped with a monotone sequence number) and relies on kernel
+    determinism: replaying the same inputs into a fresh {!Online.t} built
+    from the same {!Config.t} reproduces the same state bit-for-bit.  A
+    snapshot is therefore just a compaction of the log — config, the last
+    sequence number it covers, and the accepted records — not a memory
+    image.
+
+    Layout under the state directory:
+    - [wal.ndjson] — header line [{"fairsched_wal":1,"config":{...}}]
+      followed by one record per line;
+    - [snapshot.json] — the latest snapshot, written to a temp file and
+      renamed into place (atomic on POSIX).
+
+    Crash windows: a torn final WAL line (power cut mid-append) is
+    dropped silently; a corrupt {e middle} line is a hard error (the log
+    is damaged, not merely truncated).  A crash between snapshot rename
+    and WAL truncation leaves records with [seq <= last_seq] in the log —
+    {!recover} drops them by sequence number.  The server [fsync]s the
+    WAL before acknowledging a batch, so an acked submission is always
+    recovered. *)
+
+type record =
+  | Submit of { seq : int; org : int; user : int; release : int; size : int }
+  | Fault of { seq : int; time : int; event : Faults.Event.t }
+
+val seq_of : record -> int
+val record_to_json : record -> Obs.Json.t
+val record_of_json : Obs.Json.t -> (record, string) result
+
+val wal_path : dir:string -> string
+val snapshot_path : dir:string -> string
+
+(** {2 Writing} *)
+
+type writer
+
+val create : dir:string -> config:Config.t -> (writer, string) result
+(** Truncate/create [wal.ndjson], write and [fsync] the header line.
+    Errors are one-line messages (unwritable directory, etc.). *)
+
+val append : writer -> record -> unit
+(** Buffered; call {!sync} before acknowledging. *)
+
+val sync : writer -> (unit, string) result
+(** Flush the buffer and [fsync].  One call covers every {!append} since
+    the last — the server batches: append the whole admission batch, sync
+    once, then ack. *)
+
+val close : writer -> unit
+
+(** {2 Snapshots} *)
+
+type snapshot = {
+  config : Config.t;
+  last_seq : int;  (** highest sequence number the snapshot covers *)
+  records : record list;  (** every accepted record, oldest first *)
+}
+
+val write_snapshot : dir:string -> snapshot -> (string, string) result
+(** Write [snapshot.json] via temp-file + rename; returns the final path.
+    The caller recreates the WAL ({!create}) afterwards to compact. *)
+
+(** {2 Recovery} *)
+
+type recovery = {
+  r_config : Config.t option;  (** [None] when the state dir is empty *)
+  r_records : record list;  (** snapshot records + WAL tail, deduped, oldest first *)
+  r_last_seq : int;  (** 0 when empty *)
+}
+
+val recover : dir:string -> (recovery, string) result
+(** Read snapshot and WAL, drop WAL records already covered by the
+    snapshot ([seq <= last_seq]), verify the two agree on the config
+    ({!Config.equal}), tolerate a torn final WAL line. *)

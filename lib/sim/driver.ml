@@ -19,115 +19,14 @@ type result = {
 
 and snapshot = { at : int; psi_scaled : int array; parts_at : int array }
 
-let machine_owners instance =
-  let owners = Array.make (Instance.total_machines instance) 0 in
-  let pos = ref 0 in
-  Array.iteri
-    (fun u m ->
-      for _ = 1 to m do
-        owners.(!pos) <- u;
-        incr pos
-      done)
-    instance.Instance.machines;
-  owners
-
-(* Time from a job's release to its first (or restarted) start, in simulated
-   time units — observed at every slot grant the driver makes. *)
-let m_job_wait = Obs.Metrics.histogram "sim.job_wait"
-
 let run ?(record = true) ?(checkpoints = []) ?workers ?(faults = [])
     ?max_restarts ~instance ~rng (maker : Algorithms.Policy.maker) =
   Obs.Trace.span ~cat:"sim" "driver.run" @@ fun () ->
   let t0 = Obs.Clock.now_ns () in
-  let k = Instance.organizations instance in
   let horizon = instance.Instance.horizon in
-  let nmachines = Instance.total_machines instance in
-  let cluster =
-    Cluster.create ~record ?max_restarts
-      ?speeds:instance.Instance.speeds
-      ~machine_owners:(machine_owners instance)
-      ~norgs:k ()
-  in
-  let trackers = Array.init k (fun _ -> Utility.Tracker.create ()) in
-  let view = { Algorithms.Policy.instance; cluster; trackers } in
-  let policy =
-    match workers with
-    | None -> maker instance ~rng
-    | Some w ->
-        Core.Domain_pool.with_default_workers (Some w) (fun () ->
-            maker instance ~rng)
-  in
-  let engine =
-    Kernel.Engine.create ~faults ~machines:nmachines ~checkpoints
-      ~release_time:(fun (j : Job.t) -> j.Job.release)
-      instance.Instance.jobs
-  in
-  let model =
-    {
-      Kernel.Engine.next_completion =
-        (fun () -> Cluster.next_completion cluster);
-      pop_completion =
-        (fun ~time ->
-          match Cluster.pop_completion_le cluster time with
-          | Some c ->
-              Utility.Tracker.on_complete
-                trackers.(c.Cluster.job.Job.org)
-                ~key:c.Cluster.job.Job.index
-                ~size:(c.Cluster.finish - c.Cluster.start);
-              policy.Algorithms.Policy.on_complete view ~time c;
-              true
-          | None -> false);
-      apply_fault =
-        (fun ~time ev ->
-          let outcome =
-            match ev with
-            | Faults.Event.Fail m -> (
-                match Cluster.fail_machine cluster ~time m with
-                | Some kill ->
-                    (* Strategy-proofness under churn (Theorem 4.1): the
-                       killed piece is retracted — lost work counts toward
-                       nobody's ψsp. *)
-                    Utility.Tracker.on_abort
-                      trackers.(kill.Cluster.k_job.Job.org)
-                      ~key:kill.Cluster.k_job.Job.index;
-                    policy.Algorithms.Policy.on_kill view ~time kill;
-                    Kernel.Engine.Killed
-                      {
-                        wasted = kill.Cluster.k_wasted;
-                        resubmitted = kill.Cluster.k_resubmitted;
-                      }
-                | None -> Kernel.Engine.Applied)
-            | Faults.Event.Recover m ->
-                ignore (Cluster.recover_machine cluster m);
-                Kernel.Engine.Applied
-          in
-          policy.Algorithms.Policy.on_fault view ~time ev;
-          outcome);
-      admit =
-        (fun ~time job ->
-          Cluster.release cluster job;
-          policy.Algorithms.Policy.on_release view ~time job);
-      round =
-        (fun ~time ->
-          let n = ref 0 in
-          while Cluster.free_count cluster > 0 && Cluster.has_waiting cluster
-          do
-            let org = policy.Algorithms.Policy.select view ~time in
-            let machine =
-              policy.Algorithms.Policy.pick_machine view ~time ~org
-            in
-            let placement =
-              Cluster.start_front cluster ~org ~time ?machine ()
-            in
-            Utility.Tracker.on_start trackers.(org)
-              ~key:placement.Schedule.job.Job.index ~start:time;
-            Obs.Metrics.observe m_job_wait
-              (float_of_int (time - placement.Schedule.job.Job.release));
-            policy.Algorithms.Policy.on_start view ~time placement;
-            incr n
-          done;
-          !n);
-    }
+  let session =
+    Session.create ~record ~checkpoints ?workers ~faults ?max_restarts
+      ~instance ~rng maker
   in
   (* Checkpoint snapshots: the kernel fires [on_checkpoint ~at:c] once every
      event strictly before [c] has been processed (tracker queries are exact
@@ -137,38 +36,28 @@ let run ?(record = true) ?(checkpoints = []) ?workers ?(faults = [])
     snapshots :=
       {
         at;
-        psi_scaled =
-          Array.map (fun tr -> Utility.Tracker.value_scaled tr ~at) trackers;
-        parts_at = Array.map (fun tr -> Utility.Tracker.parts tr ~at) trackers;
+        psi_scaled = Session.psi_scaled session ~at;
+        parts_at = Session.parts_at session ~at;
       }
       :: !snapshots
   in
-  Kernel.Engine.run engine model ~horizon ~on_checkpoint ();
-  let stats = Kernel.Stats.copy (Kernel.Engine.stats engine) in
-  (match policy.Algorithms.Policy.stats with
-  | Some policy_stats -> Kernel.Stats.add stats (policy_stats ())
-  | None -> ());
+  Session.run_to_horizon session ~on_checkpoint ();
+  let cluster = Session.cluster session in
   {
-    policy = policy.Algorithms.Policy.name;
+    policy = Session.policy_name session;
     instance;
-    utilities_scaled =
-      Array.map (fun tr -> Utility.Tracker.value_scaled tr ~at:horizon) trackers;
-    parts = Array.map (fun tr -> Utility.Tracker.parts tr ~at:horizon) trackers;
+    utilities_scaled = Session.psi_scaled session ~at:horizon;
+    parts = Session.parts_at session ~at:horizon;
     schedule =
-      (if record then Cluster.to_schedule cluster
+      (if record then Session.schedule session
        else Schedule.of_placements ~machines:(Cluster.machines cluster) []);
-    events = (Kernel.Engine.stats engine).Kernel.Stats.instants;
+    events = (Session.engine_stats session).Kernel.Stats.instants;
     wall_seconds = Obs.Clock.elapsed t0;
     checkpoints = List.rev !snapshots;
     killed = Cluster.killed_count cluster;
     abandoned = Cluster.abandoned_count cluster;
-    wasted =
-      (let acc = ref 0 in
-       for u = 0 to k - 1 do
-         acc := !acc + Cluster.wasted_work cluster u
-       done;
-       !acc);
-    stats;
+    wasted = Session.wasted_total session;
+    stats = Session.stats session;
     metrics = Obs.Metrics.snapshot ();
   }
 

@@ -58,6 +58,41 @@ let instance_of_entries spec ~seed entries =
   in
   Core.Instance.make ~machines ~jobs ~horizon:spec.horizon
 
+let split_and_map spec ~seed =
+  let rng = Fstats.Rng.create ~seed in
+  let machines = machine_split spec ~rng in
+  let map = user_map spec ~rng in
+  (machines, map)
+
+let submission_stream spec ~seed =
+  let _, map = split_and_map spec ~seed in
+  let org_of_user u = map.(u mod Array.length map) in
+  let entries =
+    Traces.stream spec.model ~seed:(seed lxor 0x7ace) ~machines:spec.machines
+      ?load:spec.load ?users:spec.users ()
+  in
+  (* FIFO rank within the organization = arrival rank: entries come in
+     submit order, which is exactly how the daemon assigns ranks to
+     submissions and how {!Core.Instance.make} re-indexes a batch.  The
+     rank counters ride in the unfold state (not a shared table) so the
+     resulting sequence, like the underlying stream, replays identically
+     when forced twice. *)
+  let rec go entries next_index () =
+    match entries () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons ((e : Swf.entry), rest) ->
+        let org = org_of_user e.Swf.user in
+        let index =
+          match List.assoc_opt org next_index with None -> 0 | Some i -> i
+        in
+        let job =
+          Core.Job.make ~org ~index ~user:e.Swf.user ~release:e.Swf.submit
+            ~size:e.Swf.run_time ()
+        in
+        Seq.Cons (job, go rest ((org, index + 1) :: List.remove_assoc org next_index))
+  in
+  go entries []
+
 let instance spec ~seed =
   let rng = Fstats.Rng.create ~seed:(seed lxor 0x7ace) in
   let entries =

@@ -40,6 +40,20 @@ val instance : spec -> seed:int -> Core.Instance.t
 (** Generate the synthetic trace window and assemble the instance.
     Deterministic in [seed]. *)
 
+val split_and_map : spec -> seed:int -> int array * int array
+(** The (machine endowment, user → organization map) pair drawn exactly as
+    {!instance} and {!instance_of_entries} draw it from [seed] — the shared
+    derivation that lets a daemon ([fairsched serve]) and a load generator
+    ([fairsched loadgen]) configured from the same spec and seed agree on
+    the cluster shape and on which organization owns each user's jobs. *)
+
+val submission_stream : spec -> seed:int -> Core.Job.t Seq.t
+(** The unbounded, prefix-consistent job stream ({!Traces.stream}) of this
+    spec, with organizations assigned through {!split_and_map}'s user map
+    and FIFO ranks assigned in arrival order.  Deterministic in [seed] and
+    replayable (pure unfold); release times are non-decreasing, so entries
+    can be fed to a live daemon as-is. *)
+
 val instance_of_entries :
   spec -> seed:int -> Swf.entry list -> Core.Instance.t
 (** Same partitioning applied to an existing trace (e.g. a real SWF file);

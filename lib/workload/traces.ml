@@ -150,3 +150,84 @@ let generate m ~rng ~machines ?load ?users ~duration () =
   List.stable_sort
     (fun (a : Swf.entry) b -> Stdlib.compare a.Swf.submit b.Swf.submit)
     !entries
+
+(* --- unbounded stream --------------------------------------------------- *)
+
+(* The daemon's load generator needs submissions past any horizon, so the
+   stream version re-derives [generate]'s session machinery block by block:
+   time is cut into fixed one-day blocks, each block draws its sessions from
+   an RNG seeded by (seed, block index) alone, and a session's jobs — which
+   may spill past the block's end — ride forward in a pending list until
+   their block comes up.  Sessions never produce jobs before their own start,
+   so every entry emitted before the end of block [b] depends only on blocks
+   [<= b]: the first N entries are independent of how far the stream is
+   forced (prefix consistency), and two streams from one seed are equal
+   entry-for-entry. *)
+
+let stream_block_len = 86_400
+
+let stream m ~seed ~machines ?load ?users () =
+  if machines < 1 then invalid_arg "Traces.stream: machines < 1";
+  let load = Option.value load ~default:m.load in
+  let users = Option.value users ~default:m.native_users in
+  let target_work =
+    load *. float_of_int machines *. float_of_int stream_block_len
+  in
+  let sessions_per_block =
+    Stdlib.max 1
+      (int_of_float
+         (Float.round (target_work /. mean_job_seconds m /. m.jobs_per_session)))
+  in
+  let user_weights = Fstats.Dist.zipf_weights ~n:users ~s:m.user_skew in
+  let hour_weights = m.day_profile in
+  (* Jobs of one block's sessions, unsorted; submit may lie in any block at
+     or after [block]. *)
+  let block_jobs block =
+    let rng =
+      Fstats.Rng.create ~seed:(seed lxor (0x5eed + (block * 0x9e3779b9)))
+    in
+    let jobs = ref [] in
+    for _ = 1 to sessions_per_block do
+      let user = Fstats.Dist.categorical rng user_weights in
+      let hour = Fstats.Dist.categorical rng hour_weights in
+      let start =
+        (block * stream_block_len) + (hour * 3600) + Fstats.Rng.int rng 3600
+      in
+      let batch =
+        1 + Fstats.Dist.geometric rng ~p:(1. /. m.jobs_per_session)
+      in
+      let t = ref start in
+      for _ = 1 to batch do
+        let run =
+          Fstats.Dist.lognormal rng ~mu:m.duration_mu ~sigma:m.duration_sigma
+        in
+        let run = Stdlib.max 1 (Stdlib.min 172_800 (int_of_float run)) in
+        jobs := (!t, run, user) :: !jobs;
+        t :=
+          !t
+          + 1
+          + int_of_float
+              (Fstats.Dist.exponential rng ~rate:(1. /. m.session_gap))
+      done
+    done;
+    !jobs
+  in
+  (* State: next block to generate, pending jobs with submit at or past that
+     block's start, next job id.  Pure unfold — forcing the stream twice
+     replays identically. *)
+  let rec emit ready pending block next_id () =
+    match ready with
+    | (submit, run_time, user) :: rest ->
+        Seq.Cons
+          ( { Swf.job_id = next_id; submit; run_time; processors = 1; user },
+            emit rest pending block (next_id + 1) )
+    | [] ->
+        let fresh = block_jobs block in
+        let bound = (block + 1) * stream_block_len in
+        let due, future =
+          List.partition (fun (s, _, _) -> s < bound) (fresh @ pending)
+        in
+        let due = List.stable_sort Stdlib.compare due in
+        emit due future (block + 1) next_id ()
+  in
+  emit [] [] 0 1

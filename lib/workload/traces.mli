@@ -67,3 +67,21 @@ val generate :
 (** A synthetic trace window of [duration] seconds for a pool of [machines]
     processors, sorted by submit time.  [load] overrides the model's target
     ρ; [users] overrides the population (default: the native count). *)
+
+val stream :
+  model ->
+  seed:int ->
+  machines:int ->
+  ?load:float ->
+  ?users:int ->
+  unit ->
+  Swf.entry Seq.t
+(** An {e unbounded} submission stream with the same session structure as
+    {!generate}, for feeding a live scheduler daemon past any horizon:
+    submit times are non-decreasing, job ids count up from 1, and entries
+    are produced lazily one day-length block at a time.  Each block's
+    sessions are drawn from an RNG seeded by [(seed, block)] alone, so the
+    stream is deterministic in [seed] and {b prefix-consistent}: the first
+    [N] entries do not depend on how far the stream is forced, and forcing
+    it twice replays identical entries (the underlying unfold is pure).
+    @raise Invalid_argument if [machines < 1]. *)

@@ -173,6 +173,34 @@ let test_validate_trace_rejects_garbage () =
   check_error "validate-trace fixtures/demo.outages" ~expect:"fairsched:";
   check_error "validate-trace /nonexistent/missing.json" ~expect:"fairsched:"
 
+(* --- service flags ------------------------------------------------------ *)
+
+let test_service_flag_errors () =
+  (* Malformed listen/target addresses fail in the cmdliner conv. *)
+  check_error "serve --listen tcp:host" ~expect:"HOST:PORT";
+  check_error "serve --listen tcp:host:99999" ~expect:"port";
+  check_error "status --to nonsense" ~expect:"nonsense";
+  (* Malformed load-generation rate. *)
+  check_error "loadgen --rate=-3" ~expect:"--rate must be >= 0";
+  check_error "loadgen --rate=oops" ~expect:"--rate must be >= 0";
+  check_error "loadgen --count=0" ~expect:"--count";
+  (* Admission-queue and algorithm validation happen before binding. *)
+  check_error "serve --queue-cap=0" ~expect:"--queue-cap";
+  check_error "serve -a nosuchalgo" ~expect:"unknown algorithm";
+  (* An unwritable state dir is a startup error, not a crash. *)
+  check_error "serve --listen /tmp/cli-test-unused.sock --state \
+               /nonexistent/deep/state"
+    ~expect:"fairsched:"
+
+let test_service_unreachable_daemon () =
+  (* Clients against a daemon that is not there: exit 2, one-line message. *)
+  check_error "status --to unix:/nonexistent/no-daemon.sock"
+    ~expect:"cannot reach daemon";
+  check_error "submit --to unix:/nonexistent/no-daemon.sock --org 0 --size 1"
+    ~expect:"cannot reach daemon";
+  check_error "ctl psi --to unix:/nonexistent/no-daemon.sock"
+    ~expect:"cannot reach daemon"
+
 let () =
   Alcotest.run "cli"
     [
@@ -202,5 +230,11 @@ let () =
             test_obs_unwritable_paths;
           Alcotest.test_case "validate-trace rejects garbage" `Quick
             test_validate_trace_rejects_garbage;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "flag errors" `Quick test_service_flag_errors;
+          Alcotest.test_case "unreachable daemon" `Quick
+            test_service_unreachable_daemon;
         ] );
     ]

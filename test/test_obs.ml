@@ -138,6 +138,63 @@ let test_json_pretty_roundtrip =
       | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e
       | Ok j' -> Obs.Json.to_string j' = Obs.Json.to_string j)
 
+(* --- untrusted-input limits (the wire protocol's parser) ---------------- *)
+
+let test_json_limits () =
+  let limits = { Obs.Json.max_depth = 4; max_bytes = 64 } in
+  (match Obs.Json.parse ~limits "[[[1]]]" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "depth 3 rejected: %s" (Obs.Json.error_to_string e));
+  (match Obs.Json.parse ~limits "[[[[1]]]]" with
+  | Error { kind = Obs.Json.Too_deep 4; _ } -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Obs.Json.error_to_string e)
+  | Ok _ -> Alcotest.fail "depth 5 accepted");
+  (match Obs.Json.parse ~limits (String.make 100 ' ' ^ "1") with
+  | Error { kind = Obs.Json.Too_large { limit = 64; _ }; _ } -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Obs.Json.error_to_string e)
+  | Ok _ -> Alcotest.fail "oversized document accepted");
+  (* A stack-burning payload under default limits must come back as a
+     typed error, not a stack overflow. *)
+  match Obs.Json.parse (String.make 100_000 '[') with
+  | Error { kind = Obs.Json.Too_deep _; _ } -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Obs.Json.error_to_string e)
+  | Ok _ -> Alcotest.fail "bomb accepted"
+
+(* Fuzz: the parser is total — arbitrary bytes never raise, and whatever
+   it accepts must re-serialize and reparse to the same document. *)
+let test_json_fuzz_total =
+  let arb =
+    QCheck.make
+      ~print:(fun s -> Printf.sprintf "%S" s)
+      QCheck.Gen.(
+        oneof
+          [
+            (* Raw bytes. *)
+            string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 80);
+            (* JSON-ish punctuation soup: much denser in near-misses. *)
+            string_size
+              ~gen:(oneofl [ '{'; '}'; '['; ']'; '"'; ':'; ','; '0'; '1';
+                             'e'; '.'; '-'; '+'; 'n'; 't'; 'f'; '\\'; ' ' ])
+              (int_bound 80);
+          ])
+  in
+  QCheck.Test.make ~count:2_000 ~name:"parse never raises, accepts imply roundtrip"
+    arb
+    (fun s ->
+      let limits = { Obs.Json.max_depth = 16; max_bytes = 1024 } in
+      match Obs.Json.parse ~limits s with
+      | exception e ->
+          QCheck.Test.fail_reportf "raised %s on %S" (Printexc.to_string e) s
+      | Error _ -> true
+      | Ok j -> (
+          match Obs.Json.parse ~limits:Obs.Json.default_limits
+                  (Obs.Json.to_string j)
+          with
+          | Ok j' -> Obs.Json.to_string j' = Obs.Json.to_string j
+          | Error e ->
+              QCheck.Test.fail_reportf "accepted %S but reparse failed: %s" s
+                (Obs.Json.error_to_string e)))
+
 (* --- histogram core (pure, property-tested) ----------------------------- *)
 
 let obs_list_gen =
@@ -391,8 +448,10 @@ let () =
           Alcotest.test_case "escaping" `Quick test_json_escaping;
           Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite;
           Alcotest.test_case "parser" `Quick test_json_parse;
+          Alcotest.test_case "limits" `Quick test_json_limits;
           q test_json_roundtrip;
           q test_json_pretty_roundtrip;
+          q test_json_fuzz_total;
         ] );
       ( "hist",
         [

@@ -1,0 +1,760 @@
+(* Tests for the online scheduler daemon (lib/service): config and wire
+   round-trips, WAL durability semantics, the batch/served equivalence
+   contract, backpressure, and crash recovery with a real kill -9. *)
+
+let ( let@ ) f x = f x
+
+(* --- Config ----------------------------------------------------------------- *)
+
+let mk_config ?speeds ?max_restarts ?workers ?(machines = [| 2; 1; 1 |])
+    ?(horizon = 60) ?(algorithm = "fifo") ?(seed = 7) () =
+  match
+    Service.Config.make ?speeds ?max_restarts ?workers ~machines ~horizon
+      ~algorithm ~seed ()
+  with
+  | Ok c -> c
+  | Error msg -> Alcotest.failf "config rejected: %s" msg
+
+let test_config_roundtrip () =
+  let check c =
+    match Service.Config.of_json (Service.Config.to_json c) with
+    | Ok c' ->
+        Alcotest.(check bool) "round-trips" true (Service.Config.equal c c')
+    | Error msg -> Alcotest.failf "of_json: %s" msg
+  in
+  check (mk_config ());
+  check (mk_config ~algorithm:"ref" ~max_restarts:3 ~workers:2 ());
+  check (mk_config ~machines:[| 1; 1 |] ~speeds:[| 2.0; 0.5 |] ())
+
+let test_config_validation () =
+  let reject ?speeds ?max_restarts ?(machines = [| 1 |]) ?(horizon = 10)
+      ?(algorithm = "fifo") label =
+    match
+      Service.Config.make ?speeds ?max_restarts ~machines ~horizon ~algorithm
+        ~seed:0 ()
+    with
+    | Ok _ -> Alcotest.failf "%s: accepted" label
+    | Error _ -> ()
+  in
+  reject "empty" ~machines:[||];
+  reject "negative" ~machines:[| 2; -1 |];
+  reject "all zero" ~machines:[| 0; 0 |];
+  reject "bad horizon" ~horizon:0;
+  reject "unknown algorithm" ~algorithm:"nosuchalgo";
+  reject "bad restarts" ~max_restarts:(-1);
+  reject "speeds length" ~speeds:[| 1.0; 1.0 |];
+  reject "zero speed" ~speeds:[| 0.0 |]
+
+(* --- Addr ------------------------------------------------------------------- *)
+
+let test_addr () =
+  let ok s expect =
+    match Service.Addr.of_string s with
+    | Ok a -> Alcotest.(check string) s expect (Service.Addr.to_string a)
+    | Error msg -> Alcotest.failf "%s rejected: %s" s msg
+  in
+  ok "unix:/tmp/x.sock" "unix:/tmp/x.sock";
+  ok "/tmp/x.sock" "unix:/tmp/x.sock";
+  ok "tcp:127.0.0.1:9000" "tcp:127.0.0.1:9000";
+  ok "tcp:localhost:80" "tcp:localhost:80";
+  let bad s =
+    match Service.Addr.of_string s with
+    | Ok _ -> Alcotest.failf "%s accepted" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "unix:";
+  bad "tcp:host";
+  bad "tcp:host:0";
+  bad "tcp:host:99999";
+  bad "tcp::123";
+  bad "nonsense"
+
+(* --- Protocol --------------------------------------------------------------- *)
+
+let test_protocol_requests () =
+  let roundtrip r =
+    let line = Service.Protocol.request_to_line r in
+    match Service.Protocol.request_of_line (String.trim line) with
+    | Ok r' -> Alcotest.(check bool) line true (r = r')
+    | Error msg -> Alcotest.failf "%s: %s" line msg
+  in
+  roundtrip (Service.Protocol.Submit { org = 1; user = 3; release = 5; size = 2 });
+  roundtrip (Service.Protocol.Fault { time = 9; event = Faults.Event.Fail 2 });
+  roundtrip
+    (Service.Protocol.Fault { time = 12; event = Faults.Event.Recover 2 });
+  roundtrip Service.Protocol.Status;
+  roundtrip Service.Protocol.Psi;
+  roundtrip Service.Protocol.Snapshot;
+  roundtrip (Service.Protocol.Drain { detail = true });
+  (match Service.Protocol.request_of_line "{\"op\":\"nosuch\"}" with
+  | Ok _ -> Alcotest.fail "unknown op accepted"
+  | Error _ -> ());
+  match Service.Protocol.request_of_line "not json" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ()
+
+let test_protocol_responses () =
+  let roundtrip r =
+    let line = Service.Protocol.response_to_line r in
+    match Service.Protocol.response_of_line (String.trim line) with
+    | Ok r' -> Alcotest.(check bool) line true (r = r')
+    | Error msg -> Alcotest.failf "%s: %s" line msg
+  in
+  roundtrip (Service.Protocol.Submit_ok { seq = 4; org = 1; index = 0; now = 3 });
+  roundtrip (Service.Protocol.Fault_ok { seq = 5; now = 9 });
+  roundtrip
+    (Service.Protocol.Psi_ok
+       { now = 7; psi_scaled = [| 4; 0; 9 |]; parts = [| 2; 0; 3 |] });
+  roundtrip (Service.Protocol.Snapshot_ok { seq = 11; path = "/tmp/snap" });
+  roundtrip
+    (Service.Protocol.Error
+       { code = Service.Protocol.Backpressure; msg = "queue full" });
+  let stats = Kernel.Stats.create () in
+  stats.Kernel.Stats.instants <- 42;
+  stats.Kernel.Stats.starts <- 7;
+  roundtrip
+    (Service.Protocol.Status_ok
+       {
+         Service.Protocol.now = 10;
+         frontier = 12;
+         horizon = 100;
+         orgs = 3;
+         machines = 4;
+         accepted = 20;
+         rejected = 2;
+         queue_depth = 1;
+         queue_cap = 1024;
+         draining = false;
+         waiting = [| 1; 0; 2 |];
+         stats;
+         job_wait =
+           Some { Obs.Metrics.count = 5; p50 = 1.; p90 = 2.; p99 = 4.; max = 4. };
+       });
+  roundtrip
+    (Service.Protocol.Drain_ok
+       {
+         Service.Protocol.d_now = 99;
+         d_psi_scaled = [| 10; 20 |];
+         d_parts = [| 5; 6 |];
+         d_stats = stats;
+         d_schedule = Some [ (0, 0, 1, 2, 3); (1, 0, 4, 0, 2) ];
+       })
+
+(* --- WAL -------------------------------------------------------------------- *)
+
+let with_tmpdir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fairsched-test-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+          Unix.rmdir path
+        end
+        else Sys.remove path
+      in
+      try rm dir with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let sample_records =
+  [
+    Service.Wal.Submit { seq = 1; org = 0; user = 2; release = 0; size = 3 };
+    Service.Wal.Fault { seq = 2; time = 1; event = Faults.Event.Fail 0 };
+    Service.Wal.Submit { seq = 3; org = 1; user = 0; release = 2; size = 1 };
+    Service.Wal.Fault { seq = 4; time = 3; event = Faults.Event.Recover 0 };
+  ]
+
+let test_wal_roundtrip () =
+  let@ dir = with_tmpdir in
+  let config = mk_config () in
+  let w =
+    match Service.Wal.create ~dir ~config with
+    | Ok w -> w
+    | Error msg -> Alcotest.failf "create: %s" msg
+  in
+  List.iter (Service.Wal.append w) sample_records;
+  (match Service.Wal.sync w with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "sync: %s" msg);
+  Service.Wal.close w;
+  match Service.Wal.recover ~dir with
+  | Error msg -> Alcotest.failf "recover: %s" msg
+  | Ok r ->
+      Alcotest.(check bool)
+        "config recovered" true
+        (match r.Service.Wal.r_config with
+        | Some c -> Service.Config.equal c config
+        | None -> false);
+      Alcotest.(check bool)
+        "records recovered" true
+        (r.Service.Wal.r_records = sample_records);
+      Alcotest.(check int) "last seq" 4 r.Service.Wal.r_last_seq
+
+let test_wal_torn_tail () =
+  let@ dir = with_tmpdir in
+  let config = mk_config () in
+  let w =
+    match Service.Wal.create ~dir ~config with
+    | Ok w -> w
+    | Error msg -> Alcotest.failf "create: %s" msg
+  in
+  List.iter (Service.Wal.append w) sample_records;
+  ignore (Service.Wal.sync w);
+  Service.Wal.close w;
+  (* Simulate a crash mid-append: a half-written record on the last line. *)
+  let oc =
+    open_out_gen [ Open_append ] 0o644 (Service.Wal.wal_path ~dir)
+  in
+  output_string oc "{\"rec\":\"submit\",\"seq\":5,\"or";
+  close_out oc;
+  (match Service.Wal.recover ~dir with
+  | Error msg -> Alcotest.failf "torn tail should recover: %s" msg
+  | Ok r ->
+      Alcotest.(check int) "torn line dropped" 4 r.Service.Wal.r_last_seq);
+  (* A corrupt line in the MIDDLE means damage, not a torn append. *)
+  let oc =
+    open_out_gen [ Open_append ] 0o644 (Service.Wal.wal_path ~dir)
+  in
+  output_string oc "nsense\n";
+  output_string oc
+    "{\"rec\":\"submit\",\"seq\":6,\"org\":0,\"user\":0,\"release\":9,\"size\":1}\n";
+  close_out oc;
+  match Service.Wal.recover ~dir with
+  | Ok _ -> Alcotest.fail "corrupt middle line accepted"
+  | Error _ -> ()
+
+let test_wal_snapshot_dedupe () =
+  let@ dir = with_tmpdir in
+  let config = mk_config () in
+  (* Snapshot covering seqs 1-2; WAL holding 1-4 (as after a crash between
+     snapshot rename and WAL truncation): recovery must not replay 1-2
+     twice. *)
+  let snap_records = [ List.nth sample_records 0; List.nth sample_records 1 ] in
+  (match
+     Service.Wal.write_snapshot ~dir
+       { Service.Wal.config; last_seq = 2; records = snap_records }
+   with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "write_snapshot: %s" msg);
+  let w =
+    match Service.Wal.create ~dir ~config with
+    | Ok w -> w
+    | Error msg -> Alcotest.failf "create: %s" msg
+  in
+  List.iter (Service.Wal.append w) sample_records;
+  ignore (Service.Wal.sync w);
+  Service.Wal.close w;
+  match Service.Wal.recover ~dir with
+  | Error msg -> Alcotest.failf "recover: %s" msg
+  | Ok r ->
+      Alcotest.(check bool)
+        "seq-deduped" true
+        (r.Service.Wal.r_records = sample_records);
+      Alcotest.(check int) "last seq" 4 r.Service.Wal.r_last_seq
+
+(* --- Online: batch/fed equivalence ------------------------------------------ *)
+
+let spec =
+  Workload.Scenario.default ~norgs:3 ~machines:6 ~horizon:5_000 ~users:12
+    Workload.Traces.lpc_egee
+
+let batch_result ~algorithm ~seed ?faults instance =
+  Sim.Driver.run ?faults ~instance ~rng:(Fstats.Rng.create ~seed)
+    (Algorithms.Registry.find_exn algorithm)
+
+let stats_string st = Kernel.Stats.to_json st
+
+let placements_repr schedule =
+  Core.Schedule.placements schedule
+  |> List.map (fun (p : Core.Schedule.placement) ->
+         Printf.sprintf "%d.%d@%d m%d d%d" p.Core.Schedule.job.Core.Job.org
+           p.Core.Schedule.job.Core.Job.index p.Core.Schedule.start
+           p.Core.Schedule.machine p.Core.Schedule.duration)
+  |> String.concat ";"
+
+(* Feed a batch instance's jobs (and optionally a fault trace) one by one
+   into an Online.t and check every observable against the closed-loop
+   Driver.run on the same instance: schedule, ψsp, parts, kernel stats. *)
+let check_equivalence ~algorithm ?(faults = []) instance =
+  let seed = 5 in
+  let config =
+    match
+      Service.Config.make
+        ~machines:(Array.copy instance.Core.Instance.machines)
+        ~horizon:instance.Core.Instance.horizon ~algorithm ~seed ()
+    with
+    | Ok c -> c
+    | Error msg -> Alcotest.failf "config: %s" msg
+  in
+  let batch =
+    batch_result ~algorithm ~seed
+      ?faults:(if faults = [] then None else Some faults)
+      instance
+  in
+  let online = Service.Online.create config in
+  (* Merge jobs and faults in time order; ties resolved either way (the
+     kernel phase order is per-instant, not per-push). *)
+  let jobs = Array.to_list instance.Core.Instance.jobs in
+  let rec feed jobs faults =
+    match (jobs, faults) with
+    | [], [] -> ()
+    | j :: js, f :: _ when j.Core.Job.release <= f.Faults.Event.time ->
+        submit j;
+        feed js faults
+    | j :: js, [] ->
+        submit j;
+        feed js faults
+    | _, f :: fs ->
+        (match Service.Online.fault online ~time:f.Faults.Event.time
+                 f.Faults.Event.event
+         with
+        | Ok () -> ()
+        | Error e ->
+            Alcotest.failf "fault rejected: %s"
+              (Service.Online.error_to_string e));
+        feed jobs fs
+  and submit (j : Core.Job.t) =
+    match
+      Service.Online.submit online ~org:j.Core.Job.org ~user:j.Core.Job.user
+        ~size:j.Core.Job.size ~release:j.Core.Job.release ()
+    with
+    | Ok index ->
+        Alcotest.(check int) "arrival rank matches batch index"
+          j.Core.Job.index index
+    | Error e ->
+        Alcotest.failf "submit rejected: %s" (Service.Online.error_to_string e)
+  in
+  feed jobs faults;
+  Service.Online.drain online;
+  Alcotest.(check (array int))
+    (algorithm ^ ": psi identical") batch.Sim.Driver.utilities_scaled
+    (Service.Online.psi_scaled online);
+  Alcotest.(check (array int))
+    (algorithm ^ ": parts identical") batch.Sim.Driver.parts
+    (Service.Online.parts online);
+  Alcotest.(check string)
+    (algorithm ^ ": schedule identical")
+    (placements_repr batch.Sim.Driver.schedule)
+    (placements_repr (Service.Online.schedule online));
+  Alcotest.(check string)
+    (algorithm ^ ": kernel stats identical")
+    (stats_string batch.Sim.Driver.stats)
+    (stats_string (Service.Online.stats online))
+
+let test_equivalence_fifo () =
+  check_equivalence ~algorithm:"fifo" (Workload.Scenario.instance spec ~seed:11)
+
+let test_equivalence_random () =
+  check_equivalence ~algorithm:"random"
+    (Workload.Scenario.instance spec ~seed:12)
+
+let test_equivalence_ref () =
+  (* REF is exponential in organizations: keep the instance small. *)
+  let small =
+    Workload.Scenario.default ~norgs:3 ~machines:4 ~horizon:10_000 ~users:6
+      Workload.Traces.lpc_egee
+  in
+  check_equivalence ~algorithm:"ref" (Workload.Scenario.instance small ~seed:3)
+
+let test_equivalence_faults () =
+  let instance = Workload.Scenario.instance spec ~seed:13 in
+  let faults =
+    [
+      { Faults.Event.time = 20; event = Faults.Event.Fail 0 };
+      { Faults.Event.time = 45; event = Faults.Event.Recover 0 };
+      { Faults.Event.time = 50; event = Faults.Event.Fail 2 };
+      { Faults.Event.time = 80; event = Faults.Event.Recover 2 };
+    ]
+  in
+  check_equivalence ~algorithm:"fairshare" ~faults instance
+
+let test_online_admission () =
+  let config = mk_config ~machines:[| 1; 1 |] ~horizon:50 () in
+  let online = Service.Online.create config in
+  let expect_err label r =
+    match r with
+    | Ok _ -> Alcotest.failf "%s accepted" label
+    | Error _ -> ()
+  in
+  expect_err "bad org"
+    (Service.Online.submit online ~org:2 ~size:1 ~release:0 ());
+  expect_err "bad size"
+    (Service.Online.submit online ~org:0 ~size:0 ~release:0 ());
+  expect_err "past horizon"
+    (Service.Online.submit online ~org:0 ~size:1 ~release:50 ());
+  (match Service.Online.submit online ~org:0 ~size:2 ~release:10 () with
+  | Ok 0 -> ()
+  | Ok i -> Alcotest.failf "first rank %d" i
+  | Error e -> Alcotest.failf "rejected: %s" (Service.Online.error_to_string e));
+  expect_err "release regression"
+    (Service.Online.submit online ~org:0 ~size:1 ~release:5 ());
+  expect_err "bad machine"
+    (Service.Online.fault online ~time:10 (Faults.Event.Fail 7));
+  expect_err "fault time regression"
+    (Service.Online.fault online ~time:3 (Faults.Event.Fail 0));
+  Service.Online.drain online;
+  expect_err "drained"
+    (Service.Online.submit online ~org:0 ~size:1 ~release:20 ());
+  Alcotest.(check bool) "drain idempotent" true
+    (Service.Online.drained online);
+  Service.Online.drain online
+
+(* --- Socket-level tests ------------------------------------------------------ *)
+
+(* Fork a daemon, wait for readiness via the ready-pipe trick, run [f],
+   then terminate the child.  [f] gets the server's pid so crash tests
+   can SIGKILL it. *)
+let with_server ?state_dir ?(queue_cap = 1024) ?(drain_batch = 256)
+    ~service addr f =
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close r;
+      let cfg =
+        Service.Server.make_config ?state_dir ~queue_cap ~drain_batch ~addr
+          ~service ()
+      in
+      let ready () =
+        ignore (Unix.write w (Bytes.of_string "R") 0 1);
+        Unix.close w
+      in
+      let code =
+        match Service.Server.run ~ready cfg with
+        | Ok () -> 0
+        | Error msg ->
+            Printf.eprintf "server: %s\n%!" msg;
+            1
+      in
+      Stdlib.exit code
+  | pid ->
+      Unix.close w;
+      let buf = Bytes.create 1 in
+      let got = try Unix.read r buf 0 1 with Unix.Unix_error _ -> 0 in
+      Unix.close r;
+      if got = 0 then begin
+        ignore (Unix.waitpid [] pid);
+        Alcotest.fail "server died before becoming ready"
+      end;
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        (fun () -> f pid)
+
+let connect_retry addr =
+  let rec go n =
+    match Service.Client.connect addr with
+    | Ok c -> c
+    | Error msg ->
+        if n = 0 then Alcotest.failf "connect: %s" msg
+        else begin
+          Unix.sleepf 0.05;
+          go (n - 1)
+        end
+  in
+  go 100
+
+let request_ok client req =
+  match Service.Client.request client req with
+  | Ok resp -> resp
+  | Error msg -> Alcotest.failf "request: %s" msg
+
+let submit_job client (j : Core.Job.t) =
+  match
+    request_ok client
+      (Service.Protocol.Submit
+         {
+           org = j.Core.Job.org;
+           user = j.Core.Job.user;
+           release = j.Core.Job.release;
+           size = j.Core.Job.size;
+         })
+  with
+  | Service.Protocol.Submit_ok { index; _ } ->
+      Alcotest.(check int) "served rank = batch rank" j.Core.Job.index index
+  | Service.Protocol.Error { msg; _ } -> Alcotest.failf "submit: %s" msg
+  | _ -> Alcotest.fail "submit: unexpected response"
+
+(* Satellite (c): the golden instance fed through the socket one submission
+   at a time must match Sim.Driver.run bit for bit. *)
+let test_served_equivalence () =
+  let@ dir = with_tmpdir in
+  let algorithm = "fairshare" and seed = 5 in
+  let instance = Workload.Scenario.instance spec ~seed:21 in
+  let batch = batch_result ~algorithm ~seed instance in
+  let service =
+    match
+      Service.Config.make
+        ~machines:(Array.copy instance.Core.Instance.machines)
+        ~horizon:instance.Core.Instance.horizon ~algorithm ~seed ()
+    with
+    | Ok c -> c
+    | Error msg -> Alcotest.failf "config: %s" msg
+  in
+  let addr = Service.Addr.Unix_sock (Filename.concat dir "d.sock") in
+  let@ _pid = with_server ~service addr in
+  let client = connect_retry addr in
+  Array.iter (submit_job client) instance.Core.Instance.jobs;
+  (match request_ok client (Service.Protocol.Drain { detail = true }) with
+  | Service.Protocol.Drain_ok r ->
+      Alcotest.(check (array int)) "psi identical"
+        batch.Sim.Driver.utilities_scaled r.Service.Protocol.d_psi_scaled;
+      Alcotest.(check (array int)) "parts identical" batch.Sim.Driver.parts
+        r.Service.Protocol.d_parts;
+      Alcotest.(check string) "stats identical"
+        (stats_string batch.Sim.Driver.stats)
+        (stats_string r.Service.Protocol.d_stats);
+      let batch_rows =
+        Core.Schedule.placements batch.Sim.Driver.schedule
+        |> List.map (fun (p : Core.Schedule.placement) ->
+               ( p.Core.Schedule.job.Core.Job.org,
+                 p.Core.Schedule.job.Core.Job.index,
+                 p.Core.Schedule.start,
+                 p.Core.Schedule.machine,
+                 p.Core.Schedule.duration ))
+      in
+      Alcotest.(check bool) "schedule identical" true
+        (r.Service.Protocol.d_schedule = Some batch_rows)
+  | _ -> Alcotest.fail "drain: unexpected response");
+  Service.Client.close client
+
+(* The headline durability property: SIGKILL the daemon mid-stream,
+   restart on the same state dir, feed the rest — the outcome is
+   bit-identical to the uninterrupted batch run.  Only acked submissions
+   count: the WAL is fsynced before every ack. *)
+let test_crash_recovery () =
+  let@ dir = with_tmpdir in
+  let state_dir = Filename.concat dir "state" in
+  let algorithm = "fairshare" and seed = 5 in
+  let instance = Workload.Scenario.instance spec ~seed:22 in
+  let batch = batch_result ~algorithm ~seed instance in
+  let service =
+    match
+      Service.Config.make
+        ~machines:(Array.copy instance.Core.Instance.machines)
+        ~horizon:instance.Core.Instance.horizon ~algorithm ~seed ()
+    with
+    | Ok c -> c
+    | Error msg -> Alcotest.failf "config: %s" msg
+  in
+  let addr = Service.Addr.Unix_sock (Filename.concat dir "d.sock") in
+  let jobs = instance.Core.Instance.jobs in
+  let split = Array.length jobs / 2 in
+  Alcotest.(check bool) "instance non-trivial" true (split > 2);
+  (* First life: submit the first half, then SIGKILL — no drain, no
+     graceful anything. *)
+  (let@ pid = with_server ~state_dir ~service addr in
+   let client = connect_retry addr in
+   Array.iteri (fun i j -> if i < split then submit_job client j) jobs;
+   Unix.kill pid Sys.sigkill;
+   ignore (Unix.waitpid [] pid);
+   Service.Client.close client);
+  (* Second life: recovery replays the WAL; the daemon resumes exactly
+     where the acked stream left off. *)
+  let@ _pid = with_server ~state_dir ~service addr in
+  let client = connect_retry addr in
+  (match request_ok client Service.Protocol.Status with
+  | Service.Protocol.Status_ok st ->
+      Alcotest.(check int) "all acked submissions recovered" split
+        st.Service.Protocol.accepted
+  | _ -> Alcotest.fail "status: unexpected response");
+  Array.iteri (fun i j -> if i >= split then submit_job client j) jobs;
+  (match request_ok client (Service.Protocol.Drain { detail = false }) with
+  | Service.Protocol.Drain_ok r ->
+      Alcotest.(check (array int)) "psi identical after crash"
+        batch.Sim.Driver.utilities_scaled r.Service.Protocol.d_psi_scaled;
+      Alcotest.(check string) "stats identical after crash"
+        (stats_string batch.Sim.Driver.stats)
+        (stats_string r.Service.Protocol.d_stats)
+  | _ -> Alcotest.fail "drain: unexpected response");
+  Service.Client.close client
+
+let test_backpressure () =
+  let@ dir = with_tmpdir in
+  let service = mk_config ~machines:[| 2; 2 |] ~horizon:100_000 () in
+  let addr = Service.Addr.Unix_sock (Filename.concat dir "d.sock") in
+  let@ _pid = with_server ~queue_cap:2 ~drain_batch:1 ~service addr in
+  (* Blast a pipelined burst without reading: the bounded admission queue
+     must reject some with a typed backpressure error, never drop or
+     crash. *)
+  let client = connect_retry addr in
+  let n = 64 in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Service.Addr.to_sockaddr addr);
+  let burst = Buffer.create 4096 in
+  for i = 1 to n do
+    Buffer.add_string burst
+      (Service.Protocol.request_to_line
+         (Service.Protocol.Submit { org = 0; user = 0; release = i; size = 1 }))
+  done;
+  let payload = Buffer.contents burst in
+  ignore (Unix.write_substring fd payload 0 (String.length payload));
+  (* Read n newline-terminated responses back. *)
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let count_lines () =
+    String.fold_left
+      (fun acc c -> if c = '\n' then acc + 1 else acc)
+      0 (Buffer.contents buf)
+  in
+  while count_lines () < n do
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Alcotest.fail "server closed mid-burst"
+    | k -> Buffer.add_subbytes buf chunk 0 k
+  done;
+  Unix.close fd;
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one response per request" n (List.length lines);
+  let ok, backpressure, other =
+    List.fold_left
+      (fun (ok, bp, other) line ->
+        match Service.Protocol.response_of_line line with
+        | Ok (Service.Protocol.Submit_ok _) -> (ok + 1, bp, other)
+        | Ok
+            (Service.Protocol.Error
+               { code = Service.Protocol.Backpressure; _ }) ->
+            (ok, bp + 1, other)
+        | _ -> (ok, bp, other + 1))
+      (0, 0, 0) lines
+  in
+  Alcotest.(check int) "no other outcome" 0 other;
+  Alcotest.(check bool) "some accepted" true (ok > 0);
+  Alcotest.(check bool) "some backpressured" true (backpressure > 0);
+  (* The daemon is still healthy afterwards. *)
+  (match request_ok client Service.Protocol.Status with
+  | Service.Protocol.Status_ok st ->
+      Alcotest.(check int) "accepted = acked" ok st.Service.Protocol.accepted
+  | _ -> Alcotest.fail "status after burst");
+  Service.Client.close client
+
+let test_malformed_lines () =
+  let@ dir = with_tmpdir in
+  let service = mk_config () in
+  let addr = Service.Addr.Unix_sock (Filename.concat dir "d.sock") in
+  let@ _pid = with_server ~service addr in
+  let client = connect_retry addr in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Service.Addr.to_sockaddr addr);
+  let payload = "}{ garbage \n{\"op\":\"warp\"}\n{\"op\":\"status\"}\n" in
+  ignore (Unix.write_substring fd payload 0 (String.length payload));
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 1024 in
+  let count_lines () =
+    String.fold_left
+      (fun acc c -> if c = '\n' then acc + 1 else acc)
+      0 (Buffer.contents buf)
+  in
+  while count_lines () < 3 do
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Alcotest.fail "server closed on garbage"
+    | k -> Buffer.add_subbytes buf chunk 0 k
+  done;
+  Unix.close fd;
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  (match List.map Service.Protocol.response_of_line lines with
+  | [ Ok (Service.Protocol.Error { code = Service.Protocol.Parse; _ });
+      Ok (Service.Protocol.Error { code = Service.Protocol.Parse; _ });
+      Ok (Service.Protocol.Status_ok _) ] ->
+      ()
+  | _ -> Alcotest.fail "expected parse, parse, status responses");
+  (* And the daemon survives to serve the well-behaved client. *)
+  (match request_ok client Service.Protocol.Psi with
+  | Service.Protocol.Psi_ok _ -> ()
+  | _ -> Alcotest.fail "psi after garbage");
+  Service.Client.close client
+
+let test_loadgen () =
+  let@ dir = with_tmpdir in
+  let lspec =
+    Workload.Scenario.default ~norgs:3 ~machines:8 ~horizon:100_000 ~users:12
+      Workload.Traces.lpc_egee
+  in
+  let seed = 9 in
+  let machines, _ = Workload.Scenario.split_and_map lspec ~seed in
+  let service =
+    match
+      Service.Config.make ~machines ~horizon:lspec.Workload.Scenario.horizon
+        ~algorithm:"fairshare" ~seed ()
+    with
+    | Ok c -> c
+    | Error msg -> Alcotest.failf "config: %s" msg
+  in
+  let addr = Service.Addr.Unix_sock (Filename.concat dir "d.sock") in
+  let@ _pid = with_server ~service addr in
+  (* Wait for readiness through a throwaway connection. *)
+  Service.Client.close (connect_retry addr);
+  let report =
+    match
+      Service.Loadgen.run
+        {
+          Service.Loadgen.addr;
+          spec = lspec;
+          seed;
+          rate = 0.;
+          count = 200;
+          drain = true;
+        }
+    with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "loadgen: %s" msg
+  in
+  Alcotest.(check int) "all submitted" 200 report.Service.Loadgen.submitted;
+  Alcotest.(check int) "all accepted" 200 report.Service.Loadgen.accepted;
+  Alcotest.(check int) "no rejections" 0 report.Service.Loadgen.rejected;
+  Alcotest.(check int) "no transport errors" 0 report.Service.Loadgen.errors;
+  Alcotest.(check int) "latency histogram complete" 200
+    report.Service.Loadgen.ack_latency.Obs.Metrics.count
+
+let () =
+  Random.self_init ();
+  Alcotest.run "service"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_config_roundtrip;
+          Alcotest.test_case "validation" `Quick test_config_validation;
+        ] );
+      ("addr", [ Alcotest.test_case "parse" `Quick test_addr ]);
+      ( "protocol",
+        [
+          Alcotest.test_case "requests" `Quick test_protocol_requests;
+          Alcotest.test_case "responses" `Quick test_protocol_responses;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "torn-tail" `Quick test_wal_torn_tail;
+          Alcotest.test_case "snapshot-dedupe" `Quick test_wal_snapshot_dedupe;
+        ] );
+      ( "online",
+        [
+          Alcotest.test_case "equivalence-fifo" `Quick test_equivalence_fifo;
+          Alcotest.test_case "equivalence-random" `Quick
+            test_equivalence_random;
+          Alcotest.test_case "equivalence-ref" `Quick test_equivalence_ref;
+          Alcotest.test_case "equivalence-faults" `Quick
+            test_equivalence_faults;
+          Alcotest.test_case "admission" `Quick test_online_admission;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "served-equivalence" `Quick
+            test_served_equivalence;
+          Alcotest.test_case "crash-recovery" `Quick test_crash_recovery;
+          Alcotest.test_case "backpressure" `Quick test_backpressure;
+          Alcotest.test_case "malformed-lines" `Quick test_malformed_lines;
+          Alcotest.test_case "loadgen" `Quick test_loadgen;
+        ] );
+    ]

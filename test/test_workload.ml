@@ -206,6 +206,46 @@ let test_window_instances () =
            (Scenario.default ~horizon:200_000 Traces.lpc_egee)
            ~seed:1 ~trace ~count:1))
 
+(* The unbounded submission stream behind `fairsched serve`/`loadgen`:
+   prefix-consistent (a longer read never rewrites an earlier entry),
+   ordered, ranked in arrival order, and in agreement with
+   [split_and_map]'s user→organization assignment. *)
+let test_submission_stream () =
+  let sspec = Scenario.default ~norgs:3 ~machines:6 ~horizon:5_000 Traces.lpc_egee in
+  let seed = 11 in
+  let take n = List.of_seq (Seq.take n (Scenario.submission_stream sspec ~seed)) in
+  let short = take 40 and long = take 160 in
+  Alcotest.(check int) "long prefix complete" 160 (List.length long);
+  let rec is_prefix a b =
+    match (a, b) with
+    | [], _ -> true
+    | x :: a', y :: b' -> x = y && is_prefix a' b'
+    | _ :: _, [] -> false
+  in
+  Alcotest.(check bool) "prefix-consistent" true (is_prefix short long);
+  Alcotest.(check bool) "replayable" true (take 160 = long);
+  (* Releases never decrease — entries can be fed to a live daemon as-is —
+     and per-org ranks count up from 0 in arrival order. *)
+  let next_rank = Array.make 3 0 in
+  List.fold_left
+    (fun last (j : Core.Job.t) ->
+      Alcotest.(check bool) "release non-decreasing" true
+        (j.Core.Job.release >= last);
+      Alcotest.(check int) "fifo rank" next_rank.(j.Core.Job.org)
+        j.Core.Job.index;
+      next_rank.(j.Core.Job.org) <- j.Core.Job.index + 1;
+      Alcotest.(check bool) "positive size" true (j.Core.Job.size > 0);
+      j.Core.Job.release)
+    0 long
+  |> ignore;
+  (* The org assignment agrees with the shared derivation. *)
+  let _, user_map = Scenario.split_and_map sspec ~seed in
+  List.iter
+    (fun (j : Core.Job.t) ->
+      Alcotest.(check int) "org = user_map(user)"
+        user_map.(j.Core.Job.user) j.Core.Job.org)
+    long
+
 let qcheck_swf_fuzz =
   QCheck.Test.make ~name:"parser never raises on garbage" ~count:500
     QCheck.(string_gen QCheck.Gen.printable)
@@ -306,6 +346,7 @@ let () =
           Alcotest.test_case "machine split" `Quick test_machine_split;
           Alcotest.test_case "user map" `Quick test_user_map;
           Alcotest.test_case "instance assembly" `Quick test_instance_assembly;
+          Alcotest.test_case "submission stream" `Quick test_submission_stream;
           Alcotest.test_case "window sampling" `Quick test_window_instances;
         ] );
     ]
