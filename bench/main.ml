@@ -265,10 +265,18 @@ let preemption ~instances () =
 let ref_scaling ~ks ~horizon () =
   section "ref_scaling — sequential vs domain-parallel REF wall-clock";
   let cores = Domain.recommended_domain_count () in
+  let single_core = cores < 2 in
   let par_workers = Stdlib.max 2 (cores - 1) in
   let machines = 16 in
   Format.printf "  cores=%d  parallel workers=%d  machines=%d@.@." cores
     par_workers machines;
+  if single_core then
+    Format.printf
+      "  !! single-core machine: the parallel run below time-shares %d \
+       domains on 1 core,@.     so its wall time measures dispatch overhead, \
+       not speedup — rows are flagged@.     \"single_core\": true and the \
+       speedup column is not meaningful here.@.@."
+      par_workers;
   Format.printf "  %-3s %-8s | %-10s %-10s %-8s %-9s@." "k" "horizon"
     "seq (s)" "par (s)" "speedup" "identical";
   let rows =
@@ -308,6 +316,7 @@ let ref_scaling ~ks ~horizon () =
             ("horizon", Obs.Json.Int horizon);
             ("machines", Obs.Json.Int machines);
             ("cores", Obs.Json.Int cores);
+            ("single_core", Obs.Json.Bool single_core);
             ("workers_seq", Obs.Json.Int 1);
             ("workers_par", Obs.Json.Int par_workers);
             ("seq_seconds", Obs.Json.Float seq_s);
@@ -325,6 +334,102 @@ let ref_scaling ~ks ~horizon () =
   Format.printf
     "  (bit-identical utilities are asserted on every row; the speedup \
      column@.   only means anything on a multi-core machine)@."
+
+(* --- E24: approximation tier (DESIGN.md §13) --------------------------- *)
+
+(* Exact REF vs the sampled RAND estimator: the audit rows check the
+   measured max |φ̂ − φ| against the Theorem 5.6 tolerance ε/k·v(grand) at
+   small k where exact is computable; the scaling rows run the online RAND
+   policy at k up to 50 where exact REF's 2^k sub-schedules are infeasible.
+   `--only approx --json BENCH_approx.json` regenerates the checked-in
+   snapshot.  In smoke mode ([strict]) a bound violation or a blown
+   wall-time budget is a hard failure. *)
+let approx ?(strict = false) ~audit_ks ~scaling_ks ~horizon () =
+  section "approx — RAND estimator vs exact REF (Thm 5.6 bound + scaling)";
+  let seed = 1213 in
+  let epsilon = 0.5 and confidence = 0.9 in
+  let audit_rows =
+    Experiments.Approx.audit ~ks:audit_ks ~epsilon ~confidence ~seed ()
+  in
+  Format.printf "  audit: ε=%.2f λ=%.2f (tolerance = ε/k · v(grand))@."
+    epsilon confidence;
+  Format.printf "%a@." Experiments.Approx.pp_audit audit_rows;
+  let budget_s = 60. in
+  let scaling_rows =
+    Experiments.Approx.scaling ~ks:scaling_ks ~n:15 ~horizon ~seed ()
+  in
+  Format.printf "  scaling: online RAND-15 simulation, horizon %d@." horizon;
+  Format.printf "%a" Experiments.Approx.pp_scaling scaling_rows;
+  Format.printf
+    "  (exact REF keeps 2^k−1 sub-schedules — at k=50 that is ~10^15, hence \
+     @.   \"infeasible\"; RAND's cost grows with N·k instead)@.";
+  let violations =
+    List.filter
+      (fun (r : Experiments.Approx.audit_row) -> not r.within_bound)
+      audit_rows
+  in
+  let over_budget =
+    List.filter
+      (fun (r : Experiments.Approx.scaling_row) ->
+        r.rand_ms > budget_s *. 1000.)
+      scaling_rows
+  in
+  List.iter
+    (fun (r : Experiments.Approx.audit_row) ->
+      Format.printf "  !! bound violated at k=%d: err %.2f > tol %.2f@." r.k
+        r.max_abs_err r.tolerance)
+    violations;
+  List.iter
+    (fun (r : Experiments.Approx.scaling_row) ->
+      Format.printf "  !! k=%d blew the %.0fs budget: %.1fs@." r.s_k budget_s
+        (r.rand_ms /. 1000.))
+    over_budget;
+  record_json "approx"
+    (Obs.Json.Obj
+       [
+         ( "audit",
+           Obs.Json.List
+             (List.map
+                (fun (r : Experiments.Approx.audit_row) ->
+                  Obs.Json.Obj
+                    [
+                      ("k", Obs.Json.Int r.k);
+                      ("samples", Obs.Json.Int r.n);
+                      ("epsilon", Obs.Json.Float r.epsilon);
+                      ("confidence", Obs.Json.Float r.confidence);
+                      ("exact_ms", Obs.Json.Float r.exact_ms);
+                      ("sampled_ms", Obs.Json.Float r.sampled_ms);
+                      ("max_abs_err", Obs.Json.Float r.max_abs_err);
+                      ("tolerance", Obs.Json.Float r.tolerance);
+                      ("within_bound", Obs.Json.Bool r.within_bound);
+                    ])
+                audit_rows) );
+         ( "scaling",
+           Obs.Json.List
+             (List.map
+                (fun (r : Experiments.Approx.scaling_row) ->
+                  Obs.Json.Obj
+                    [
+                      ("k", Obs.Json.Int r.s_k);
+                      ("samples", Obs.Json.Int r.s_n);
+                      ("jobs", Obs.Json.Int r.s_jobs);
+                      ("events", Obs.Json.Int r.s_events);
+                      ("horizon", Obs.Json.Int horizon);
+                      ("rand_ms", Obs.Json.Float r.rand_ms);
+                      ( "exact_ms",
+                        match r.exact_ms_opt with
+                        | Some m -> Obs.Json.Float m
+                        | None -> Obs.Json.Null );
+                      ( "exact_feasible",
+                        Obs.Json.Bool (r.exact_ms_opt <> None) );
+                      ("budget_seconds", Obs.Json.Float budget_s);
+                    ])
+                scaling_rows) );
+       ]);
+  if strict && (violations <> [] || over_budget <> []) then begin
+    Format.eprintf "approx smoke FAILED@.";
+    exit 1
+  end
 
 (* --- E13: service wire + WAL throughput -------------------------------- *)
 
@@ -455,6 +560,7 @@ let () =
   in
   let quick = has "--quick" in
   let smoke = has "--smoke" in
+  let approx_smoke = has "--approx-smoke" in
   let only = value_of "--only" in
   if has "--metrics" then Obs.Metrics.set_enabled true;
   let json_path =
@@ -466,6 +572,15 @@ let () =
     if smoke then
       (* Tiny ref_scaling only: the `dune build @bench-smoke` alias. *)
       [ ("ref_scaling", ref_scaling ~ks:[ 4 ] ~horizon:4_000) ]
+    else if approx_smoke then
+      (* `dune build @approx-smoke`: the Thm 5.6 bound check at small k plus
+         a k=24 online RAND run, failing hard on a violated bound or a blown
+         wall-time budget. *)
+      [
+        ( "approx",
+          approx ~strict:true ~audit_ks:[ 4; 5 ] ~scaling_ks:[ 24 ]
+            ~horizon:300 );
+      ]
     else
       [
         ("fig2", fig2);
@@ -497,6 +612,11 @@ let () =
           ref_scaling
             ~ks:(if quick then [ 4; 6 ] else [ 4; 6; 8 ])
             ~horizon:(if quick then 10_000 else 20_000) );
+        ( "approx",
+          approx ~strict:false
+            ~audit_ks:(if quick then [ 4; 5 ] else [ 4; 5; 6; 8 ])
+            ~scaling_ks:(if quick then [ 6; 12; 24 ] else [ 6; 8; 12; 24; 50 ])
+            ~horizon:(if quick then 200 else 400) );
         ("micro", micro);
         ("wire", wire);
       ]

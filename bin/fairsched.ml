@@ -189,6 +189,42 @@ let metrics_arg =
            them to stdout after the run; the glued form \
            $(b,--metrics=FILE) writes pretty JSON to FILE.")
 
+let estimator_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "estimator" ] ~docv:"SPEC"
+        ~doc:
+          "Contribution estimator, overriding $(b,--algorithm): \
+           $(b,exact) (Algorithm REF, all 2^k sub-coalitions — k <= 16), \
+           $(b,rand-N) (Algorithm RAND with N sampled joining orders), or \
+           $(b,rand:EPS,CONF) (RAND with the Theorem 5.6 Hoeffding sample \
+           count: with probability >= CONF every contribution estimate is \
+           within EPS/k of the relative coalition value).  The sampled \
+           tiers run at k far beyond REF's exponential wall.")
+
+(* `--estimator SPEC` overrides `--algorithm`; the spec doubles as a
+   registry-resolvable algorithm name, so it flows into service configs and
+   the WAL unchanged.  Malformed specs honour the exit-2 contract. *)
+let resolve_estimator ~algo = function
+  | None -> algo
+  | Some spec -> (
+      match Algorithms.Estimator.of_string spec with
+      | Ok e -> Algorithms.Estimator.algorithm_name e
+      | Error msg -> die "%s" msg)
+
+(* Surface the resolved sample count before a run: the Hoeffding count grows
+   as k²/ε²·ln(k/(1−CONF)) and the user should see what they signed up for. *)
+let report_estimator ~algo ~norgs =
+  match Algorithms.Estimator.of_string algo with
+  | Ok e -> (
+      match Algorithms.Estimator.sample_count e ~players:norgs with
+      | Some n ->
+          Format.printf "estimator %s: %d sampled joining orders at k=%d@."
+            algo n norgs
+      | None -> ())
+  | Error _ -> ()
+
 (* Fail fast on an unwritable output path — before minutes of simulation —
    honouring the exit-2 contract ([die]). *)
 let check_writable = function
@@ -249,15 +285,33 @@ let simulate_cmd =
             "Kill budget per job under faults: after N restarts a killed \
              job is abandoned (default: unbounded).")
   in
-  let run model algo norgs machines horizon seed workers gantt fault_spec
-      fault_script max_restarts trace metrics =
+  let run model algo estimator no_value_cache norgs machines horizon seed
+      workers gantt fault_spec fault_script max_restarts trace metrics =
     (match max_restarts with
     | Some r when r < 0 -> die "--max-restarts must be >= 0"
     | Some _ | None -> ());
-    match Algorithms.Registry.find algo with
-    | None -> die "unknown algorithm %S (see `fairsched algorithms`)" algo
-    | Some maker ->
-        with_obs ~trace ~metrics @@ fun () ->
+    let algo = resolve_estimator ~algo estimator in
+    let maker =
+      if no_value_cache then
+        (* The cache toggle needs a maker built with [value_cache:false];
+           only the estimator-backed algorithms (ref / rand tiers) have
+           one. *)
+        match Algorithms.Estimator.of_string algo with
+        | Ok e -> Algorithms.Estimator.maker ~value_cache:false e
+        | Error _ ->
+            die
+              "--no-value-cache only applies to the ref/rand estimators, \
+               not %S"
+              algo
+      else
+        match Algorithms.Registry.find algo with
+        | Some maker -> maker
+        | None ->
+            die "unknown algorithm %S (see `fairsched algorithms`)" algo
+    in
+    with_obs ~trace ~metrics @@ fun () ->
+    let body () =
+        report_estimator ~algo ~norgs;
         let spec =
           Workload.Scenario.default ~norgs ~machines ~horizon model
         in
@@ -285,13 +339,26 @@ let simulate_cmd =
         if gantt then
           print_string
             (Core.Gantt.render ~upto:horizon result.Sim.Driver.schedule)
+    in
+    body ()
+  in
+  let no_value_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-value-cache" ]
+          ~doc:
+            "Disable the cross-instant coalition-value cache (DESIGN.md \
+             §13).  Schedules are bit-identical with or without it; the \
+             flag exists for benchmarking and for the differential tests.  \
+             Only meaningful for the ref/rand estimators.")
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one algorithm on one synthetic scenario.")
     Term.(
-      const run $ model_arg $ algo_arg $ norgs_arg $ machines_arg
-      $ horizon_arg 50_000 $ seed_arg $ workers_arg $ gantt_arg $ faults_arg
-      $ faults_script_arg $ max_restarts_arg $ trace_arg $ metrics_arg)
+      const run $ model_arg $ algo_arg $ estimator_arg $ no_value_cache_arg
+      $ norgs_arg $ machines_arg $ horizon_arg 50_000 $ seed_arg $ workers_arg
+      $ gantt_arg $ faults_arg $ faults_script_arg $ max_restarts_arg
+      $ trace_arg $ metrics_arg)
 
 (* --- table ----------------------------------------------------------- *)
 
@@ -744,14 +811,16 @@ let serve_cmd =
       & info [ "max-restarts" ] ~docv:"N"
           ~doc:"Kill budget per job under injected faults.")
   in
-  let run listen state model algo norgs machines horizon seed split workers
-      max_restarts queue_cap snapshot_every trace metrics =
+  let run listen state model algo estimator norgs machines horizon seed split
+      workers max_restarts queue_cap snapshot_every trace metrics =
     (match max_restarts with
     | Some r when r < 0 -> die "--max-restarts must be >= 0"
     | Some _ | None -> ());
     if snapshot_every < 0 then die "--snapshot-every must be >= 0";
+    let algo = resolve_estimator ~algo estimator in
     if Algorithms.Registry.find algo = None then
       die "unknown algorithm %S (see `fairsched algorithms`)" algo;
+    report_estimator ~algo ~norgs;
     let service =
       service_config ~model ~norgs ~machines ~horizon ~algorithm:algo ~seed
         ~split ~max_restarts ~workers
@@ -779,7 +848,8 @@ let serve_cmd =
           fault events over a socket, schedules them live, and (with \
           --state) survives kill -9 by WAL replay.")
     Term.(
-      const run $ listen_arg $ state_arg $ model_arg $ algo_arg $ norgs_arg
+      const run $ listen_arg $ state_arg $ model_arg $ algo_arg
+      $ estimator_arg $ norgs_arg
       $ machines_arg $ horizon_arg 50_000 $ seed_arg $ split_arg $ workers_arg
       $ max_restarts_arg $ queue_cap_arg $ snapshot_every_arg $ trace_arg
       $ metrics_arg)

@@ -167,6 +167,24 @@ let value_scaled t ~at =
     (fun u acc -> acc + Utility.Tracker.value_scaled t.trackers.(u) ~at)
     t.members 0
 
+(* Closed-form coalition value: 2·v(C, t) = a·t² + b·t + c between state
+   changes (sum of the members' tracker polynomials — exact integers, so
+   evaluating it is bit-identical to [value_scaled]).  [epoch] is the sum of
+   the members' monotone tracker epochs: unchanged epoch ⇒ unchanged
+   coefficients, which is what lets REF/RAND cache coalition values across
+   instants (DESIGN.md §13). *)
+let value_coeffs t =
+  Shapley.Coalition.fold
+    (fun u (a, b, c) ->
+      let ua, ub, uc = Utility.Tracker.coeffs_scaled t.trackers.(u) in
+      (a + ua, b + ub, c + uc))
+    t.members (0, 0, 0)
+
+let epoch t =
+  Shapley.Coalition.fold
+    (fun u acc -> acc + Utility.Tracker.epoch t.trackers.(u))
+    t.members 0
+
 let utility_scaled t ~org ~at = Utility.Tracker.value_scaled t.trackers.(org) ~at
 let pending t = t.pending
 let waiting_orgs t = Cluster.waiting_orgs t.cluster

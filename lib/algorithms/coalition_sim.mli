@@ -80,6 +80,18 @@ val value_scaled : t -> at:int -> int
 val utility_scaled : t -> org:int -> at:int -> int
 (** [2·ψsp(org)] within this coalition's schedule. *)
 
+val value_coeffs : t -> int * int * int
+(** [(a, b, c)] with [value_scaled ~at = a·at² + b·at + c] for every [at]
+    at or after this simulator's latest event — the coalition value between
+    state changes is an exact integer polynomial in time.  Valid until
+    {!epoch} changes. *)
+
+val epoch : t -> int
+(** Monotone counter of tracker state changes (starts, completions, kills)
+    inside this simulator.  An unchanged epoch guarantees {!value_coeffs}
+    is still valid: the basis of the cross-instant coalition-value cache
+    (DESIGN.md §13). *)
+
 val pending : t -> Instant.t
 (** Started-this-instant counters (the selection convention). *)
 

@@ -2,7 +2,36 @@
 open Core
 module Coalition = Shapley.Coalition
 
-let make_policy ~name ~n instance ~rng =
+(* Same cross-instant coalition-value cache as REF (DESIGN.md §13): between
+   two events of a sim its value 2·v(t) is an exact integer polynomial, so a
+   query at a new instant only re-folds the member trackers when the sim's
+   epoch moved — otherwise it evaluates the cached coefficients,
+   bit-identically. *)
+type cached_sim = {
+  sim : Coalition_sim.t;
+  mutable c_epoch : int;  (* epoch at extraction; min_int = never *)
+  mutable c_a : int;
+  mutable c_b : int;
+  mutable c_c : int;
+}
+
+let m_vcache_hits = Obs.Metrics.counter "rand.vcache_hits"
+let m_vcache_misses = Obs.Metrics.counter "rand.vcache_misses"
+
+let cached_v2 cs ~time =
+  let e = Coalition_sim.epoch cs.sim in
+  if cs.c_epoch = e then Obs.Metrics.incr m_vcache_hits
+  else begin
+    Obs.Metrics.incr m_vcache_misses;
+    let a, b, c = Coalition_sim.value_coeffs cs.sim in
+    cs.c_a <- a;
+    cs.c_b <- b;
+    cs.c_c <- c;
+    cs.c_epoch <- e
+  end;
+  ((cs.c_a * time) + cs.c_b) * time + cs.c_c
+
+let make_policy ?(value_cache = true) ~name ~n instance ~rng =
   let rng = Fstats.Rng.split rng in
   let k = Instance.organizations instance in
   let plan = Shapley.Sample.plan ~rng ~players:k ~n in
@@ -12,12 +41,18 @@ let make_policy ~name ~n instance ~rng =
   in
   (* One simplified schedule per distinct sampled coalition (machine-less
      coalitions have value 0 and need no simulation). *)
-  let sims : (Coalition.t, Coalition_sim.t) Hashtbl.t = Hashtbl.create 64 in
+  let sims : (Coalition.t, cached_sim) Hashtbl.t = Hashtbl.create 64 in
   Array.iter
     (fun mask ->
       if mask <> Coalition.empty && has_machines mask then
         Hashtbl.replace sims mask
-          (Coalition_sim.create ~instance ~members:mask ()))
+          {
+            sim = Coalition_sim.create ~instance ~members:mask ();
+            c_epoch = min_int;
+            c_a = 0;
+            c_b = 0;
+            c_c = 0;
+          })
     plan.Shapley.Sample.distinct;
   let pending = Instant.create ~norgs:k in
   let phi_stamp = ref min_int in
@@ -25,12 +60,16 @@ let make_policy ~name ~n instance ~rng =
   let phi2 ~time =
     if !phi_stamp <> time then begin
       Hashtbl.iter
-        (fun _ sim ->
-          Coalition_sim.advance_to sim ~time ~select:Baselines.fifo_select_sim)
+        (fun _ cs ->
+          Coalition_sim.advance_to cs.sim ~time
+            ~select:Baselines.fifo_select_sim)
         sims;
       let v2 mask =
         match Hashtbl.find_opt sims mask with
-        | Some sim -> float_of_int (Coalition_sim.value_scaled sim ~at:time)
+        | Some cs ->
+            float_of_int
+              (if value_cache then cached_v2 cs ~time
+               else Coalition_sim.value_scaled cs.sim ~at:time)
         | None -> 0.
       in
       phi_memo := Shapley.Sample.estimate_from_plan plan ~value:v2;
@@ -41,14 +80,15 @@ let make_policy ~name ~n instance ~rng =
   Policy.make ~name
     ~on_release:(fun _view ~time:_ job ->
       Hashtbl.iter
-        (fun mask sim ->
+        (fun mask cs ->
           if Coalition.mem mask job.Job.org then
-            Coalition_sim.add_release sim job)
+            Coalition_sim.add_release cs.sim job)
         sims)
     ~on_fault:(fun _view ~time event ->
       (* Coalition_sim drops events for machines its members do not own. *)
       Hashtbl.iter
-        (fun _mask sim -> Coalition_sim.add_fault sim { Faults.Event.time; event })
+        (fun _mask cs ->
+          Coalition_sim.add_fault cs.sim { Faults.Event.time; event })
         sims)
     ~on_start:(fun _view ~time p ->
       Instant.bump pending ~time ~org:p.Schedule.job.Job.org)
@@ -67,14 +107,16 @@ let make_policy ~name ~n instance ~rng =
             first rest)
     ()
 
-let rand ~n instance ~rng =
+let rand ?value_cache ~n instance ~rng =
   if n < 1 then invalid_arg "Rand.rand: n < 1";
-  make_policy ~name:(Printf.sprintf "rand-%d" n) ~n instance ~rng
+  make_policy ?value_cache ~name:(Printf.sprintf "rand-%d" n) ~n instance ~rng
 
 let rand15 instance ~rng = rand ~n:15 instance ~rng
 let rand75 instance ~rng = rand ~n:75 instance ~rng
 
-let rand_with_guarantee ~epsilon ~confidence instance ~rng =
+let rand_with_guarantee ?value_cache ~epsilon ~confidence instance ~rng =
   let k = Instance.organizations instance in
   let n = Shapley.Sample.sample_count ~players:k ~epsilon ~confidence in
-  make_policy ~name:(Printf.sprintf "rand-fpras-%d" n) ~n instance ~rng
+  make_policy ?value_cache
+    ~name:(Printf.sprintf "rand-fpras-%d" n)
+    ~n instance ~rng

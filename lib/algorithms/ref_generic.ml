@@ -270,8 +270,11 @@ let advance_all st ~time =
       match st.sims.(masks.(i)) with None -> () | Some sim -> f sim
     in
     if st.workers > 1 then
-      Core.Domain_pool.parallel_iter ~workers:st.workers task
-        (Array.length masks)
+      (* Chunk 1 with a sequential cutoff: generic-utility round tasks are
+         heavy (schedule re-evaluation per decision) but few, so per-task
+         claiming balances load while tiny stages stay inline. *)
+      Core.Domain_pool.parallel_chunks ~workers:st.workers ~chunk:1 ~cutoff:2
+        task (Array.length masks)
     else
       for i = 0 to Array.length masks - 1 do
         task i

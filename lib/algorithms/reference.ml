@@ -39,6 +39,7 @@ type internals = {
   concept : concept;
   k : int;
   workers : int;
+  vc_on : bool;  (* cross-instant coalition-value cache enabled *)
   grand : Coalition.t;
   sims : Coalition_sim.t option array;
       (* indexed by mask; None for the grand coalition (the driver's own
@@ -58,7 +59,16 @@ type internals = {
          inline" (k > 12, where 3^k ints would not be worth the memory) *)
   v2_val : int array;
   v2_stamp : int array;  (* instant at which v2_val was computed *)
+  vc_a : int array;  (* cached coalition-value polynomial 2·v(t) = a·t²+b·t+c *)
+  vc_b : int array;
+  vc_c : int array;
+  vc_epoch : int array;
+      (* Coalition_sim epoch at which the polynomial was extracted; min_int
+         = never.  Unchanged epoch ⇒ the sim had no event since, so the
+         cached coefficients are still exact (DESIGN.md §13). *)
   phi2_val : float array array;
+      (* preallocated per simulated mask (and the grand coalition) at
+         construction and filled in place — no per-instant allocation *)
   phi2_stamp : int array;  (* instant at which phi2_val was computed *)
   m_owner : int array;  (* global machine id -> owning organization *)
   heap : int Heap.t;  (* global event queue: prio = time, value = mask *)
@@ -76,7 +86,7 @@ type internals = {
 }
 
 let create_internals ?(concept = Shapley_value) ?workers ?max_restarts
-    instance =
+    ?(value_cache = true) instance =
   let workers =
     match workers with
     | Some w -> Stdlib.max 1 w
@@ -157,10 +167,14 @@ let create_internals ?(concept = Shapley_value) ?workers ?max_restarts
       (List.init k (fun u ->
            Array.make instance.Instance.machines.(u) u))
   in
+  let phi2_val = Array.make nmasks [||] in
+  Array.iter (fun mask -> phi2_val.(mask) <- Array.make k 0.) all_masks;
+  phi2_val.(grand) <- Array.make k 0.;
   {
     concept;
     k;
     workers;
+    vc_on = value_cache;
     grand;
     sims;
     all_masks;
@@ -171,7 +185,11 @@ let create_internals ?(concept = Shapley_value) ?workers ?max_restarts
     m_owner;
     v2_val = Array.make nmasks 0;
     v2_stamp = Array.make nmasks min_int;
-    phi2_val = Array.make nmasks [||];
+    vc_a = Array.make nmasks 0;
+    vc_b = Array.make nmasks 0;
+    vc_c = Array.make nmasks 0;
+    vc_epoch = Array.make nmasks min_int;
+    phi2_val;
     phi2_stamp = Array.make nmasks min_int;
     heap = Heap.create ();
     heap_key = Array.make nmasks max_int;
@@ -181,6 +199,30 @@ let create_internals ?(concept = Shapley_value) ?workers ?max_restarts
     pending = Instant.create ~norgs:k;
     own_stats = Kernel.Stats.create ();
   }
+
+(* Cross-instant coalition-value cache: between two events of a sim its
+   2·v(t) is an exact integer polynomial a·t² + b·t + c (Tracker.coeffs);
+   re-extracting the coefficients is only needed when the sim's epoch moved.
+   Hit = polynomial evaluation, miss = one fold over the members' trackers —
+   either way bit-identical to Coalition_sim.value_scaled. *)
+let m_vcache_hits = Obs.Metrics.counter "ref.vcache_hits"
+let m_vcache_misses = Obs.Metrics.counter "ref.vcache_misses"
+
+let compute_v2 st sim ~mask ~time =
+  if not st.vc_on then Coalition_sim.value_scaled sim ~at:time
+  else begin
+    let e = Coalition_sim.epoch sim in
+    if st.vc_epoch.(mask) = e then Obs.Metrics.incr m_vcache_hits
+    else begin
+      Obs.Metrics.incr m_vcache_misses;
+      let a, b, c = Coalition_sim.value_coeffs sim in
+      st.vc_a.(mask) <- a;
+      st.vc_b.(mask) <- b;
+      st.vc_c.(mask) <- c;
+      st.vc_epoch.(mask) <- e
+    end;
+    ((st.vc_a.(mask) * time) + st.vc_b.(mask)) * time + st.vc_c.(mask)
+  end
 
 (* 2·v(mask) at [time] for simulated masks; machine-less or empty masks are
    identically 0.  During a parallel scheduling stage every simulated mask
@@ -193,7 +235,7 @@ let v2_sim st ~mask ~time =
     | None -> 0
     | Some sim ->
         if st.v2_stamp.(mask) <> time then begin
-          st.v2_val.(mask) <- Coalition_sim.value_scaled sim ~at:time;
+          st.v2_val.(mask) <- compute_v2 st sim ~mask ~time;
           st.v2_stamp.(mask) <- time
         end;
         st.v2_val.(mask)
@@ -204,7 +246,10 @@ let v2_sim st ~mask ~time =
    Allocation-free inner loop: one float array out, no closures per subset,
    weights and popcounts from tables. *)
 let phi2_of st ~mask ~time ~v2_top =
-  let phi = Array.make st.k 0. in
+  (* Preallocated per-mask scratch (construction time), zeroed and refilled
+     in place: the inner loop allocates nothing. *)
+  let phi = st.phi2_val.(mask) in
+  Array.fill phi 0 st.k 0.;
   let w_tbl = st.weights.(st.size_tbl.(mask)) in
   let add_subset sub =
     let w = w_tbl.(st.size_tbl.(sub) - 1) in
@@ -242,8 +287,7 @@ let phi2_of st ~mask ~time ~v2_top =
       if total <> 0. then begin
         let factor = float_of_int v2_top /. total in
         Coalition.iter_members (fun u -> phi.(u) <- phi.(u) *. factor) mask
-      end);
-  phi
+      end)
 
 (* φ2 arrays are memoized per (mask, instant): coalition values do not
    change within an instant (a job started now has no executed part yet).
@@ -251,7 +295,7 @@ let phi2_of st ~mask ~time ~v2_top =
    the per-mask arrays need no locking. *)
 let phi2_cached st ~mask ~time ~v2_top =
   if st.phi2_stamp.(mask) <> time then begin
-    st.phi2_val.(mask) <- phi2_of st ~mask ~time ~v2_top;
+    phi2_of st ~mask ~time ~v2_top;
     st.phi2_stamp.(mask) <- time
   end;
   st.phi2_val.(mask)
@@ -336,11 +380,23 @@ let gather st ~tau =
 
 (* --- per-instant processing --------------------------------------------- *)
 
+(* Dispatch cutoffs (see DESIGN.md §8/§13): stages at or below the cutoff
+   run inline on the calling domain — waking a pool helper costs more than
+   the stage itself.  Scheduling-round tasks are heavyweight (a 3^s subset
+   walk each) so even a handful are worth dispatching; event-step tasks are
+   moderate; refresh tasks are one cache lookup + polynomial evaluation, so
+   only large refresh sweeps leave the calling domain, claimed in chunks
+   rather than one by one. *)
+let round_cutoff = 2
+let step_cutoff = 7
+let refresh_cutoff = 48
+
 let process_instant st ~tau ~n_active =
   let active = st.active_buf in
   let par = st.workers > 1 in
-  let iter f n =
-    if par then Domain_pool.parallel_iter ~workers:st.workers f n
+  let iter ~chunk ~cutoff f n =
+    if par then
+      Domain_pool.parallel_chunks ~workers:st.workers ?chunk ~cutoff f n
     else
       for i = 0 to n - 1 do
         f i
@@ -352,7 +408,7 @@ let process_instant st ~tau ~n_active =
     | Some sim -> Coalition_sim.step_releases_and_completions sim ~time:tau
     | None -> ()
   in
-  iter step n_active;
+  iter ~chunk:(Some 1) ~cutoff:step_cutoff step n_active;
   let need_round = ref false in
   for i = 0 to n_active - 1 do
     match st.sims.(active.(i)) with
@@ -371,17 +427,24 @@ let process_instant st ~tau ~n_active =
         let mask = st.all_masks.(i) in
         if st.v2_stamp.(mask) <> tau then begin
           (match st.sims.(mask) with
-          | Some sim ->
-              st.v2_val.(mask) <- Coalition_sim.value_scaled sim ~at:tau
+          | Some sim -> st.v2_val.(mask) <- compute_v2 st sim ~mask ~time:tau
           | None -> ());
           st.v2_stamp.(mask) <- tau
         end
       in
-      iter refresh (Array.length st.all_masks)
+      let run_refresh () =
+        iter ~chunk:None ~cutoff:refresh_cutoff refresh
+          (Array.length st.all_masks)
+      in
+      if Obs.Trace.enabled () then
+        Obs.Trace.span ~cat:"ref" "ref.refresh" run_refresh
+      else run_refresh ()
     end;
     (* Stage 3: scheduling rounds, size-ascending (Fig. 1's [for s <- 1 to
        ||C||]); masks of equal size never read each other's state, so each
-       size class is one parallel stage. *)
+       size class is one parallel stage.  Chunk size 1: round tasks are few
+       and uneven (the 3^s walk grows with s), so per-task claiming load
+       balances better than contiguous ranges. *)
     for s = 1 to st.k - 1 do
       let stage = st.stage_buf in
       let m = ref 0 in
@@ -401,7 +464,7 @@ let process_instant st ~tau ~n_active =
                 ~select:(fun sim ~time -> select_in_sim st ~mask sim ~time)
           | None -> ()
         in
-        let run_stage () = iter run !m in
+        let run_stage () = iter ~chunk:(Some 1) ~cutoff:round_cutoff run !m in
         if Obs.Trace.enabled () then
           Obs.Trace.span ~cat:"ref"
             ("ref.stage.s" ^ string_of_int s)
@@ -443,9 +506,11 @@ let coalition_value_scaled st ~mask ~time =
   advance_all st ~time;
   v2_sim st ~mask ~time
 
-let make_with_internals ?(name = "ref") ?concept ?workers ?max_restarts ()
-    instance ~rng:_ =
-  let st = create_internals ?concept ?workers ?max_restarts instance in
+let make_with_internals ?(name = "ref") ?concept ?workers ?max_restarts
+    ?value_cache () instance ~rng:_ =
+  let st =
+    create_internals ?concept ?workers ?max_restarts ?value_cache instance
+  in
   let policy =
     Policy.make ~name
       ~on_release:(fun _view ~time:_ job ->
@@ -509,8 +574,10 @@ let make_with_internals ?(name = "ref") ?concept ?workers ?max_restarts ()
   in
   (policy, st)
 
-let make ?name ?concept ?workers ?max_restarts () instance ~rng =
-  fst (make_with_internals ?name ?concept ?workers ?max_restarts () instance ~rng)
+let make ?name ?concept ?workers ?max_restarts ?value_cache () instance ~rng =
+  fst
+    (make_with_internals ?name ?concept ?workers ?max_restarts ?value_cache ()
+       instance ~rng)
 
 let reference instance ~rng = make () instance ~rng
 

@@ -47,7 +47,7 @@ type concept = Shapley_value | Banzhaf_value
 
 val make :
   ?name:string -> ?concept:concept -> ?workers:int -> ?max_restarts:int ->
-  unit -> Policy.maker
+  ?value_cache:bool -> unit -> Policy.maker
 (** [make ?name ?concept ?workers ()] builds a REF maker.  [workers] caps
     the number of domains the engine may use per stage (1 = strictly
     sequential, never touches the pool); it defaults to the driver's
@@ -55,6 +55,15 @@ val make :
     [Domain.recommended_domain_count () - 1] unless overridden via
     [Sim.Driver.run ?workers]).  The schedule produced is bit-identical for
     every worker count.
+
+    [value_cache] (default [true]) enables the cross-instant coalition-value
+    cache (DESIGN.md §13): between two events of a sub-coalition simulation
+    its value 2·v(t) is an exact integer polynomial in [t], so REF caches
+    the coefficients keyed by the simulation's state epoch and re-evaluates
+    instead of re-folding the member trackers.  Values are exact integers
+    either way, so schedules are bit-identical with the cache on or off;
+    hit/miss counters surface as [ref.vcache_hits]/[ref.vcache_misses] in
+    {!Obs.Metrics}.
 
     Machine faults delivered through {!Policy.t.on_fault} are mirrored into
     every sub-coalition simulation containing the machine's owner, so the
@@ -68,7 +77,8 @@ type internals
 
 val make_with_internals :
   ?name:string -> ?concept:concept -> ?workers:int -> ?max_restarts:int ->
-  unit -> Instance.t -> rng:Fstats.Rng.t -> Policy.t * internals
+  ?value_cache:bool -> unit -> Instance.t -> rng:Fstats.Rng.t ->
+  Policy.t * internals
 
 val contributions_scaled : internals -> view:Policy.view -> time:int -> float array
 (** [2·φ(u)] of every organization in the grand coalition, at [time]

@@ -21,12 +21,13 @@ let find name =
   match List.assoc_opt name fixed with
   | Some maker -> Some maker
   | None -> (
-      match String.split_on_char '-' name with
-      | [ "rand"; n ] -> (
-          match int_of_string_opt n with
-          | Some n when n > 0 -> Some (Rand.rand ~n)
-          | Some _ | None -> None)
-      | _ -> None)
+      (* Estimator specs double as algorithm names ("rand-N",
+         "rand:EPS,CONF") so service configs and WAL records round-trip
+         through the registry unchanged. *)
+      match Estimator.of_string name with
+      | Ok (Estimator.Fixed _ as spec) | Ok (Estimator.Sampled _ as spec) ->
+          Some (Estimator.maker spec)
+      | Ok Estimator.Exact | Error _ -> None)
 
 let find_exn name =
   match find name with

@@ -67,6 +67,14 @@ let run_tasks p batch =
    put an extra atomic on every task). *)
 let m_queue_depth = Obs.Metrics.gauge "pool.queue_depth"
 
+(* Dispatch-shape counters: how many batches went through the pool vs ran
+   inline (sequential cutoff, nested submission, workers <= 1), and how many
+   chunks the chunked API claimed.  The inline/batch ratio is the first
+   thing to read when parallelism is not paying off. *)
+let m_batches = Obs.Metrics.counter "pool.batches"
+let m_inline = Obs.Metrics.counter "pool.inline_batches"
+let m_chunks = Obs.Metrics.counter "pool.chunks"
+
 let worker p idx ~on_ready () =
   (* Per-worker busy/idle accounting, registered once per helper domain.
      [Obs.Metrics.add] is a no-op while collection is disabled, but the
@@ -196,17 +204,23 @@ let sequential_iter f n =
 let parallel_iter ?workers f n =
   let w = match workers with Some w -> w | None -> default_workers () in
   if n <= 0 then ()
-  else if w <= 1 || n < 2 then sequential_iter f n
+  else if w <= 1 || n < 2 then begin
+    Obs.Metrics.incr m_inline;
+    sequential_iter f n
+  end
   else
     let p = get_pool () in
     if p.nhelpers = 0 then
       (* Helper spawning failed at pool creation: degrade gracefully. *)
       sequential_iter f n
-    else if not (Mutex.try_lock p.submit) then
+    else if not (Mutex.try_lock p.submit) then begin
       (* A batch is already in flight (nested or concurrent submission):
          run inline rather than wait — never deadlocks, stays deterministic. *)
+      Obs.Metrics.incr m_inline;
       sequential_iter f n
+    end
     else begin
+      Obs.Metrics.incr m_batches;
       let batch =
         {
           f;
@@ -236,6 +250,71 @@ let parallel_iter ?workers f n =
       | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
       | None -> ()
     end
+
+(* --- chunked dispatch ---------------------------------------------------- *)
+
+(* Per-task handoff costs one atomic fetch-and-add per task; for the
+   thousands of tiny stages the REF engine submits per run that overhead
+   swamps the work.  The chunked path claims contiguous index ranges
+   instead — one atomic per chunk — and skips the pool entirely below
+   [cutoff] tasks, where waking a helper domain costs more than the stage.
+
+   Exception parity with [parallel_iter]: every task is attempted (a raise
+   does not abort the rest of its chunk), and the exception of the
+   lowest-indexed failing task is re-raised with its backtrace once the
+   whole batch has drained. *)
+
+let default_cutoff = 2
+
+let parallel_chunks ?workers ?chunk ?(cutoff = default_cutoff) f n =
+  let w = match workers with Some w -> w | None -> default_workers () in
+  if n <= 0 then ()
+  else if w <= 1 || n <= Stdlib.max 1 cutoff then begin
+    Obs.Metrics.incr m_inline;
+    sequential_iter f n
+  end
+  else begin
+    (* ~4 chunks per participating domain: coarse enough that the atomic
+       claims are negligible, fine enough to balance uneven task costs. *)
+    let chunk =
+      match chunk with
+      | Some c -> Stdlib.max 1 c
+      | None -> Stdlib.max 1 (n / (4 * w))
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    if nchunks <= 1 then begin
+      Obs.Metrics.incr m_inline;
+      sequential_iter f n
+    end
+    else begin
+      Obs.Metrics.add m_chunks nchunks;
+      (* Lowest-indexed failure wins, like [record_error]; kept outside the
+         pool's own error slot because the chunk runner below never raises. *)
+      let err = Atomic.make None in
+      let note i e bt =
+        let rec cas () =
+          let cur = Atomic.get err in
+          match cur with
+          | Some (j, _, _) when j <= i -> ()
+          | Some _ | None ->
+              if not (Atomic.compare_and_set err cur (Some (i, e, bt))) then
+                cas ()
+        in
+        cas ()
+      in
+      let run_chunk ci =
+        let lo = ci * chunk in
+        let hi = Stdlib.min n (lo + chunk) in
+        for j = lo to hi - 1 do
+          try f j with e -> note j e (Printexc.get_raw_backtrace ())
+        done
+      in
+      parallel_iter ~workers:w run_chunk nchunks;
+      match Atomic.get err with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
 
 (* --- one-shot map over independent tasks -------------------------------- *)
 
@@ -279,3 +358,27 @@ let map ?workers f tasks =
            | Done v -> v
            | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
            | Pending -> assert false)
+
+(* Chunked map over an array, on the persistent pool: result slot [i] always
+   holds [f a.(i)] (order preservation is structural — tasks write disjoint
+   indices).  First-failure (in input order) re-raise like [map], via the
+   [parallel_chunks] error slot. *)
+let map_chunked ?workers ?chunk ?cutoff f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n Pending in
+    parallel_chunks ?workers ?chunk ?cutoff
+      (fun i ->
+        results.(i) <-
+          (match f a.(i) with
+          | v -> Done v
+          | exception e -> Failed (e, Printexc.get_raw_backtrace ())))
+      n;
+    Array.map
+      (function
+        | Done v -> v
+        | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Pending -> assert false)
+      results
+  end

@@ -49,6 +49,25 @@ val parallel_iter : ?workers:int -> (int -> unit) -> int -> unit
     failing task is re-raised (with its backtrace) after the whole batch has
     been attempted. *)
 
+val parallel_chunks :
+  ?workers:int -> ?chunk:int -> ?cutoff:int -> (int -> unit) -> int -> unit
+(** [parallel_chunks ~workers ~chunk ~cutoff f n] runs [f 0 .. f (n-1)] like
+    {!parallel_iter}, but workers claim {e contiguous chunks} of indices
+    (default chunk size [n / (4·workers)], at least 1) — one atomic
+    operation per chunk instead of one per task, which is what makes
+    dispatching the REF engine's thousands of tiny per-instant stages
+    affordable.  Batches of at most [cutoff] tasks (default
+    {!default_cutoff}) run inline on the calling domain and never touch the
+    pool: below that size the handoff costs more than the stage.
+
+    Exception parity with {!parallel_iter}: every task is attempted even if
+    an earlier task in the same chunk raised, and the exception of the
+    lowest-indexed failing task is re-raised (with its original backtrace)
+    after the whole batch has drained.  Tasks must be independent. *)
+
+val default_cutoff : int
+(** The default sequential cutoff of {!parallel_chunks}. *)
+
 val map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
 (** One-shot map for embarrassingly-parallel experiment sweeps: [map
     ~workers f tasks] applies [f] to every task using freshly spawned
@@ -58,6 +77,16 @@ val map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
     first exception (in input order) is re-raised — with its original
     backtrace — after all workers finish.  With [workers = 1] no domain is
     spawned (plain [List.map]). *)
+
+val map_chunked :
+  ?workers:int -> ?chunk:int -> ?cutoff:int -> ('a -> 'b) -> 'a array ->
+  'b array
+(** Chunked map on the {e persistent} pool (no domain spawning, unlike
+    {!map}): [map_chunked f a] returns [Array.map f a], with the
+    applications dispatched through {!parallel_chunks}.  Order preservation
+    is structural — task [i] writes result slot [i].  If applications raise,
+    the first exception in input order is re-raised with its backtrace after
+    the batch drains. *)
 
 (**/**)
 

@@ -35,7 +35,8 @@ let rand_sample_sweep ?(samples = [ 5; 15; 75 ]) ?(instances = 5)
     (fun n ->
       evaluate_set
         ~label:(Printf.sprintf "N=%d" n)
-        ~algorithms:[ (Printf.sprintf "rand-%d" n, Algorithms.Rand.rand ~n) ]
+        ~algorithms:
+          [ (Printf.sprintf "rand-%d" n, Algorithms.Rand.rand ?value_cache:None ~n) ]
         ~instances ~seed make_instance)
     samples
 

@@ -1,0 +1,50 @@
+(** The approximation-tier study (DESIGN.md §13): exact REF vs the sampled
+    RAND estimator, in accuracy and in wall time.
+
+    [audit] checks the FPRAS guarantee where exact is feasible: for each k
+    it builds a unit-job scheduling game (values rule-independent by
+    Proposition 5.4), computes the exact Shapley value and the
+    Hoeffding-sized sampled estimate, and reports the measured max |φ̂ − φ|
+    against the Theorem 5.6 tolerance ε/k · v(grand) — with probability at
+    least [confidence] every audited row stays within it.
+
+    [scaling] shows why the tier exists: a full online simulation with the
+    RAND policy at k up to 50, with exact REF run alongside only while its
+    2^k sub-schedules are practical ([exact_ms_opt = None] beyond). *)
+
+type audit_row = {
+  k : int;
+  n : int;  (** Hoeffding sample count for (epsilon, confidence) *)
+  epsilon : float;
+  confidence : float;
+  exact_ms : float;
+  sampled_ms : float;
+  max_abs_err : float;
+  tolerance : float;  (** ε/k · v(grand) *)
+  within_bound : bool;
+}
+
+type scaling_row = {
+  s_k : int;
+  s_n : int;  (** sampled joining orders *)
+  s_jobs : int;
+  s_events : int;
+  rand_ms : float;
+  exact_ms_opt : float option;
+      (** REF on the same workload, [None] where infeasible (k > 8 here) *)
+}
+
+val audit_one :
+  k:int -> jobs_per_org:int -> at:int -> epsilon:float -> confidence:float ->
+  seed:int -> audit_row
+
+val audit :
+  ?ks:int list -> ?jobs_per_org:int -> ?at:int -> ?epsilon:float ->
+  ?confidence:float -> seed:int -> unit -> audit_row list
+
+val scaling :
+  ?ks:int list -> ?n:int -> ?jobs_per_org:int -> ?horizon:int -> seed:int ->
+  unit -> scaling_row list
+
+val pp_audit : Format.formatter -> audit_row list -> unit
+val pp_scaling : Format.formatter -> scaling_row list -> unit

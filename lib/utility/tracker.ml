@@ -2,19 +2,22 @@ type t = {
   mutable slope : int;  (* Σ size over completed pieces *)
   mutable const : int;  (* −Σ size·(2·start + size − 1) over completed *)
   active : (int, int) Hashtbl.t;  (* key -> start *)
+  mutable epoch : int;  (* bumped on every state change *)
 }
 
-let create () = { slope = 0; const = 0; active = Hashtbl.create 8 }
+let create () = { slope = 0; const = 0; active = Hashtbl.create 8; epoch = 0 }
 
 let on_start t ~key ~start =
   if Hashtbl.mem t.active key then
     invalid_arg "Tracker.on_start: duplicate active key";
+  t.epoch <- t.epoch + 1;
   Hashtbl.add t.active key start
 
 let on_complete t ~key ~size =
   match Hashtbl.find_opt t.active key with
   | None -> invalid_arg "Tracker.on_complete: unknown key"
   | Some start ->
+      t.epoch <- t.epoch + 1;
       Hashtbl.remove t.active key;
       t.slope <- t.slope + size;
       t.const <- t.const - (size * ((2 * start) + size - 1))
@@ -22,7 +25,22 @@ let on_complete t ~key ~size =
 let on_abort t ~key =
   if not (Hashtbl.mem t.active key) then
     invalid_arg "Tracker.on_abort: unknown key";
+  t.epoch <- t.epoch + 1;
   Hashtbl.remove t.active key
+
+let epoch t = t.epoch
+
+(* (a, b, c) with value_scaled ~at = a·at² + b·at + c for every [at] at or
+   after the latest start: each active piece contributes
+   (at−s)(at−s+1) = at² + at·(1−2s) + (s²−s), completed pieces are linear.
+   Exact integer identity — evaluating the polynomial gives bit-identical
+   results to the direct fold in [value_scaled]. *)
+let coeffs_scaled t =
+  Hashtbl.fold
+    (fun _ start (a, b, c) ->
+      (a + 1, b + 1 - (2 * start), c + (start * (start - 1))))
+    t.active
+    (0, 2 * t.slope, t.const)
 
 let value_scaled t ~at =
   let finished = (2 * t.slope * at) + t.const in

@@ -50,3 +50,18 @@ val parts : t -> at:int -> int
     [finUt]/[finCon] counters). *)
 
 val active_count : t -> int
+
+val epoch : t -> int
+(** Monotone state-change counter: bumped by every {!on_start},
+    {!on_complete} and {!on_abort}.  Two calls observing the same epoch are
+    guaranteed the same internal state, so any value derived from it (e.g.
+    {!coeffs_scaled}) may be cached across instants and invalidated by
+    comparing epochs — the basis of the coalition-value cache
+    (DESIGN.md §13). *)
+
+val coeffs_scaled : t -> int * int * int
+(** [(a, b, c)] such that [value_scaled ~at = a·at² + b·at + c] for every
+    [at] at or after the latest start — ψsp between two state changes is an
+    exact integer polynomial in time (completed pieces are linear, each
+    running piece adds one triangular term).  Evaluating the polynomial is
+    bit-identical to {!value_scaled}. *)

@@ -106,6 +106,45 @@ let test_faults_end_to_end () =
   Alcotest.(check bool) "reports the scripted downtime" true
     (contains (String.concat "\n" lines) "3 failures, 3 recoveries")
 
+(* `--estimator` specs are part of the persistent interface (they double as
+   algorithm names in service configs), so malformed ones must die with the
+   standard exit-2 one-liner — naming what is wrong — before any work. *)
+let test_malformed_estimator_specs () =
+  check_error "simulate --estimator rand:" ~expect:"missing EPS,CONF";
+  check_error "simulate --estimator rand:0.5" ~expect:"missing confidence";
+  check_error "simulate --estimator rand:0.5,1.5"
+    ~expect:"strictly between 0 and 1";
+  check_error "simulate --estimator rand:0.5,0" ~expect:"strictly between";
+  check_error "simulate --estimator rand:-1,0.9" ~expect:"EPS must be > 0";
+  check_error "simulate --estimator rand:x,0.9" ~expect:"EPS is not a number";
+  check_error "simulate --estimator rand:0.5,0.9,7" ~expect:"too many commas";
+  check_error "simulate --estimator rand-0" ~expect:"must be positive";
+  check_error "simulate --estimator bogus" ~expect:"unknown estimator";
+  check_error "serve --estimator rand:0.5" ~expect:"missing confidence";
+  (* The cache toggle only exists for estimator-backed algorithms. *)
+  check_error "simulate -a fifo --no-value-cache" ~expect:"--no-value-cache"
+
+let test_estimator_end_to_end () =
+  let code, lines =
+    run_cmd
+      "simulate --estimator rand:0.5,0.9 --orgs 6 --machines 12 --horizon \
+       2000"
+  in
+  Alcotest.(check int) "sampled estimator exits 0" 0 code;
+  let all = String.concat "\n" lines in
+  Alcotest.(check bool) "reports the resolved sample count" true
+    (contains all "sampled joining orders at k=6");
+  Alcotest.(check bool) "policy is named by its spec" true
+    (contains all "rand:0.5,0.9");
+  let code, lines =
+    run_cmd
+      "simulate --estimator exact --no-value-cache --orgs 3 --machines 6 \
+       --horizon 2000"
+  in
+  Alcotest.(check int) "exact estimator with cache off exits 0" 0 code;
+  Alcotest.(check bool) "exact resolves to ref" true
+    (contains (String.concat "\n" lines) "ref")
+
 let test_success_paths () =
   let code, lines = run_cmd "algorithms" in
   Alcotest.(check int) "algorithms exits 0" 0 code;
@@ -218,6 +257,10 @@ let () =
             test_fault_script_errors;
           Alcotest.test_case "fault injection end to end" `Quick
             test_faults_end_to_end;
+          Alcotest.test_case "malformed estimator specs" `Quick
+            test_malformed_estimator_specs;
+          Alcotest.test_case "estimator end to end" `Quick
+            test_estimator_end_to_end;
           Alcotest.test_case "success paths" `Quick test_success_paths;
         ] );
       ( "churn",
