@@ -445,7 +445,14 @@ let wire () =
     let line =
       Service.Protocol.request_to_line
         (Service.Protocol.Submit
-           { org = i land 7; user = i land 31; release = i; size = 1 + (i land 15) })
+           {
+             org = i land 7;
+             user = i land 31;
+             release = i;
+             size = 1 + (i land 15);
+             cid = 0;
+             cseq = 0;
+           })
     in
     match Service.Protocol.request_of_line (String.trim line) with
     | Ok _ -> ()
@@ -481,7 +488,7 @@ let wire () =
       incr seq;
       Service.Wal.append w
         (Service.Wal.Submit
-           { seq = !seq; org = 0; user = 0; release = !seq; size = 1 })
+           { seq = !seq; org = 0; user = 0; release = !seq; size = 1; cid = 0; cseq = 0 })
     done;
     match Service.Wal.sync w with Ok () -> () | Error e -> failwith e
   done;

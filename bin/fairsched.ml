@@ -740,19 +740,30 @@ let service_config ~model ~norgs ~machines ~horizon ~algorithm ~seed ~split
   | Ok c -> c
   | Error msg -> die "%s" msg
 
-let connect_or_die addr =
-  match Service.Client.connect addr with
+let timeout_arg =
+  Arg.(
+    value
+    & opt (nonneg_float_conv "--timeout") 5.
+    & info [ "timeout" ] ~docv:"SEC"
+        ~doc:
+          "Deadline for connecting and for each request phase; 0 waits \
+           forever.")
+
+let connect_or_die ?timeout_s addr =
+  match Service.Client.connect ?timeout_s addr with
   | Ok c -> c
-  | Error msg -> die "cannot reach daemon at %a: %s" Service.Addr.pp addr msg
+  | Error e ->
+      die "cannot reach daemon at %a: %s" Service.Addr.pp addr
+        (Service.Client.error_to_string e)
 
 let request_or_die client req =
   match Service.Client.request client req with
-  | Ok (Service.Protocol.Error { code; msg }) ->
+  | Ok (Service.Protocol.Error { code; msg; _ }) ->
       die "daemon refused (%s): %s"
         (Service.Protocol.error_code_to_string code)
         msg
   | Ok resp -> resp
-  | Error msg -> die "%s" msg
+  | Error e -> die "%s" (Service.Client.error_to_string e)
 
 let serve_cmd =
   let listen_arg =
@@ -811,8 +822,61 @@ let serve_cmd =
       & info [ "max-restarts" ] ~docv:"N"
           ~doc:"Kill budget per job under injected faults.")
   in
+  let chaos_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Arm deterministic fault injection on the daemon's durability \
+             syscalls.  SPEC is comma-separated ACTION@TARGET[:N][+][=BYTES] \
+             clauses: $(b,crash@after-wal-append), $(b,enospc@wal-fsync:3+), \
+             $(b,torn@wal-append=5).  Actions: crash, enospc, eio, short, \
+             torn.  Testing only.")
+  in
+  let degrade_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "degrade" ] ~docv:"SPEC"
+          ~doc:
+            "Estimator to switch to under sustained overload (e.g. \
+             $(b,rand:0.1,0.9)), switching back once load recovers.  The \
+             switch is WAL-logged and crash-safe.")
+  in
+  let overload_queue_arg =
+    Arg.(
+      value
+      & opt (nonneg_float_conv "--overload-queue") 0.8
+      & info [ "overload-queue" ] ~docv:"FRAC"
+          ~doc:
+            "Admission-queue occupancy fraction treated as overload \
+             pressure.")
+  in
+  let overload_ms_arg =
+    Arg.(
+      value
+      & opt (nonneg_float_conv "--overload-ms") 50.
+      & info [ "overload-ms" ] ~docv:"MS"
+          ~doc:"Smoothed ack latency (EWMA, ms) treated as overload pressure.")
+  in
+  let overload_trip_arg =
+    Arg.(
+      value
+      & opt (nonneg_float_conv "--overload-trip") 100.
+      & info [ "overload-trip" ] ~docv:"MS"
+          ~doc:"Sustained pressure (ms) before degrading.")
+  in
+  let overload_recover_arg =
+    Arg.(
+      value
+      & opt (nonneg_float_conv "--overload-recover") 500.
+      & info [ "overload-recover" ] ~docv:"MS"
+          ~doc:"Sustained calm (ms) before recovering.")
+  in
   let run listen state model algo estimator norgs machines horizon seed split
-      workers max_restarts queue_cap snapshot_every trace metrics =
+      workers max_restarts queue_cap snapshot_every chaos degrade
+      overload_queue overload_ms overload_trip overload_recover trace metrics =
     (match max_restarts with
     | Some r when r < 0 -> die "--max-restarts must be >= 0"
     | Some _ | None -> ());
@@ -820,15 +884,42 @@ let serve_cmd =
     let algo = resolve_estimator ~algo estimator in
     if Algorithms.Registry.find algo = None then
       die "unknown algorithm %S (see `fairsched algorithms`)" algo;
+    (match degrade with
+    | None -> ()
+    | Some spec ->
+        if Algorithms.Registry.find spec = None then
+          die "unknown --degrade estimator %S (see `fairsched algorithms`)"
+            spec);
+    (match chaos with
+    | None -> ()
+    | Some spec -> (
+        match Chaos.Fs.of_string spec with
+        | Ok rules -> Chaos.Fs.arm rules
+        | Error msg -> die "%s" msg));
     report_estimator ~algo ~norgs;
     let service =
       service_config ~model ~norgs ~machines ~horizon ~algorithm:algo ~seed
         ~split ~max_restarts ~workers
     in
     with_obs ~trace ~metrics @@ fun () ->
+    let overload =
+      {
+        Service.Overload.default with
+        queue_high = Float.min 1.0 overload_queue;
+        queue_low =
+          Float.min Service.Overload.default.Service.Overload.queue_low
+            (overload_queue /. 2.);
+        ack_high_ms = overload_ms;
+        ack_low_ms =
+          Float.min Service.Overload.default.Service.Overload.ack_low_ms
+            (overload_ms /. 4.);
+        trip_ms = overload_trip;
+        recover_ms = overload_recover;
+      }
+    in
     let cfg =
       Service.Server.make_config ?state_dir:state ~queue_cap ~snapshot_every
-        ~addr:listen ~service ()
+        ?degrade_to:degrade ~overload ~addr:listen ~service ()
     in
     let ready () =
       Format.printf "fairsched serve: %a listening on %a%s@."
@@ -851,8 +942,9 @@ let serve_cmd =
       const run $ listen_arg $ state_arg $ model_arg $ algo_arg
       $ estimator_arg $ norgs_arg
       $ machines_arg $ horizon_arg 50_000 $ seed_arg $ split_arg $ workers_arg
-      $ max_restarts_arg $ queue_cap_arg $ snapshot_every_arg $ trace_arg
-      $ metrics_arg)
+      $ max_restarts_arg $ queue_cap_arg $ snapshot_every_arg $ chaos_arg
+      $ degrade_arg $ overload_queue_arg $ overload_ms_arg $ overload_trip_arg
+      $ overload_recover_arg $ trace_arg $ metrics_arg)
 
 let submit_cmd =
   let org_arg =
@@ -881,8 +973,8 @@ let submit_cmd =
       value & opt int 0
       & info [ "user" ] ~docv:"UID" ~doc:"Originating user id (metadata).")
   in
-  let run addr org size release user =
-    let client = connect_or_die addr in
+  let run addr org size release user timeout_s =
+    let client = connect_or_die ~timeout_s addr in
     Fun.protect
       ~finally:(fun () -> Service.Client.close client)
       (fun () ->
@@ -896,7 +988,8 @@ let submit_cmd =
         in
         match
           request_or_die client
-            (Service.Protocol.Submit { org; user; release; size })
+            (Service.Protocol.Submit
+               { org; user; release; size; cid = 0; cseq = 0 })
         with
         | Service.Protocol.Submit_ok { seq; org; index; now } ->
             Format.printf "accepted seq=%d org=%d rank=%d release=%d now=%d@."
@@ -905,14 +998,16 @@ let submit_cmd =
   in
   Cmd.v
     (Cmd.info "submit" ~doc:"Submit one job to a running daemon.")
-    Term.(const run $ to_arg $ org_arg $ size_arg $ release_arg $ user_arg)
+    Term.(
+      const run $ to_arg $ org_arg $ size_arg $ release_arg $ user_arg
+      $ timeout_arg)
 
 let status_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Print the raw JSON response.")
   in
-  let run addr json =
-    let client = connect_or_die addr in
+  let run addr json timeout_s =
+    let client = connect_or_die ~timeout_s addr in
     Fun.protect
       ~finally:(fun () -> Service.Client.close client)
       (fun () ->
@@ -931,6 +1026,10 @@ let status_cmd =
               Format.printf "accepted %d  rejected %d  queue %d/%d@."
                 st.Service.Protocol.accepted st.Service.Protocol.rejected
                 st.Service.Protocol.queue_depth st.Service.Protocol.queue_cap;
+              Format.printf "estimator %s%s  shed %d  ack ewma %.1fms@."
+                st.Service.Protocol.estimator
+                (if st.Service.Protocol.degraded then " (DEGRADED)" else "")
+                st.Service.Protocol.shed st.Service.Protocol.ack_ewma_ms;
               Format.printf "waiting per org: %s@."
                 (String.concat " "
                    (Array.to_list
@@ -950,15 +1049,25 @@ let status_cmd =
   in
   Cmd.v
     (Cmd.info "status" ~doc:"Query a running daemon's state.")
-    Term.(const run $ to_arg $ json_arg)
+    Term.(const run $ to_arg $ json_arg $ timeout_arg)
 
 let ctl_cmd =
   let which_arg =
     Arg.(
       required
       & pos 0 (some (enum [ ("psi", `Psi); ("snapshot", `Snapshot);
-                            ("drain", `Drain) ])) None
-      & info [] ~docv:"CMD" ~doc:"psi | snapshot | drain")
+                            ("drain", `Drain); ("wal-check", `Wal_check) ]))
+          None
+      & info [] ~docv:"CMD" ~doc:"psi | snapshot | drain | wal-check")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "For wal-check: a WAL file, a snapshot file, or a state \
+             directory to inspect offline.")
   in
   let detail_arg =
     Arg.(
@@ -966,8 +1075,19 @@ let ctl_cmd =
       & info [ "detail" ]
           ~doc:"With drain: include the full schedule in the report.")
   in
-  let run addr which detail =
-    let client = connect_or_die addr in
+  let wal_check file =
+    match file with
+    | None -> die "wal-check needs a FILE argument (WAL, snapshot, or state dir)"
+    | Some path -> (
+        match Service.Wal.check path with
+        | Ok report -> Format.printf "%a" Service.Wal.pp_check report
+        | Error e -> die "%s" (Service.Wal.boot_error_to_string e))
+  in
+  let run addr which detail file timeout_s =
+    match which with
+    | `Wal_check -> wal_check file
+    | (`Psi | `Snapshot | `Drain) as which ->
+    let client = connect_or_die ~timeout_s addr in
     Fun.protect
       ~finally:(fun () -> Service.Client.close client)
       (fun () ->
@@ -1014,8 +1134,10 @@ let ctl_cmd =
   in
   Cmd.v
     (Cmd.info "ctl"
-       ~doc:"Control a running daemon: psi | snapshot | drain.")
-    Term.(const run $ to_arg $ which_arg $ detail_arg)
+       ~doc:
+         "Control a running daemon (psi | snapshot | drain) or inspect \
+          durability state offline (wal-check FILE).")
+    Term.(const run $ to_arg $ which_arg $ detail_arg $ file_arg $ timeout_arg)
 
 let loadgen_cmd =
   let rate_arg =
@@ -1045,7 +1167,25 @@ let loadgen_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON.")
   in
-  let run addr model norgs machines horizon seed rate count drain json =
+  let retry_attempts_arg =
+    Arg.(
+      value
+      & opt (positive_int_conv "--retry-attempts") 8
+      & info [ "retry-attempts" ] ~docv:"N"
+          ~doc:
+            "Tries per submission (including the first) before giving up \
+             on backpressure or transport errors.")
+  in
+  let retry_budget_arg =
+    Arg.(
+      value
+      & opt (nonneg_float_conv "--retry-budget") 30.
+      & info [ "retry-budget" ] ~docv:"SEC"
+          ~doc:
+            "Wall-clock retry budget per submission; 0 removes the bound.")
+  in
+  let run addr model norgs machines horizon seed rate count drain json
+      retry_attempts retry_budget timeout_s =
     check_writable json;
     let spec = Workload.Scenario.default ~norgs ~machines ~horizon model in
     let cfg =
@@ -1056,6 +1196,10 @@ let loadgen_cmd =
         rate;
         count;
         drain;
+        policy =
+          Service.Retry.policy ~max_attempts:retry_attempts
+            ~budget_ms:(retry_budget *. 1000.) ();
+        timeout_s;
       }
     in
     match Service.Loadgen.run cfg with
@@ -1072,20 +1216,22 @@ let loadgen_cmd =
             output_char oc '\n';
             close_out oc;
             Format.printf "wrote %s@." path);
-        if report.Service.Loadgen.errors > 0 then
-          die "transport errors during the run"
+        if
+          report.Service.Loadgen.errors > 0
+          || report.Service.Loadgen.gave_up > 0
+        then die "submissions lost to exhausted retry budgets"
   in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
          "Stream a synthetic trace at a running daemon at a target arrival \
-          rate; reports accepted/rejected counts and ack-latency \
+          rate; reports accepted/rejected/retry counts and ack-latency \
           percentiles.  Use the same --model/--orgs/--machines/--seed as \
           `fairsched serve` so the cluster shapes agree.")
     Term.(
       const run $ to_arg $ model_arg $ norgs_arg $ machines_arg
       $ horizon_arg 50_000 $ seed_arg $ rate_arg $ count_arg $ drain_flag
-      $ json_arg)
+      $ json_arg $ retry_attempts_arg $ retry_budget_arg $ timeout_arg)
 
 (* --- examples / algorithms -------------------------------------------- *)
 

@@ -89,8 +89,8 @@ let connect_retry addr =
   let rec go n =
     match Service.Client.connect addr with
     | Ok c -> c
-    | Error msg ->
-        if n = 0 then fatal "connect: %s" msg
+    | Error e ->
+        if n = 0 then fatal "connect: %s" (Service.Client.error_to_string e)
         else begin
           Unix.sleepf 0.05;
           go (n - 1)
@@ -101,7 +101,7 @@ let connect_retry addr =
 let request client req =
   match Service.Client.request client req with
   | Ok resp -> resp
-  | Error msg -> fatal "request: %s" msg
+  | Error e -> fatal "request: %s" (Service.Client.error_to_string e)
 
 let submit_job client (j : Core.Job.t) =
   match
@@ -112,6 +112,8 @@ let submit_job client (j : Core.Job.t) =
            user = j.Core.Job.user;
            release = j.Core.Job.release;
            size = j.Core.Job.size;
+           cid = 0;
+           cseq = 0;
          })
   with
   | Service.Protocol.Submit_ok { index; _ } ->
@@ -239,7 +241,16 @@ let loadgen_phase dir =
       let report =
         match
           Service.Loadgen.run
-            { Service.Loadgen.addr; spec; seed; rate = 0.; count; drain = true }
+            {
+              Service.Loadgen.addr;
+              spec;
+              seed;
+              rate = 0.;
+              count;
+              drain = true;
+              policy = Service.Retry.default;
+              timeout_s = 5.0;
+            }
         with
         | Ok r -> r
         | Error msg -> fatal "loadgen: %s" msg

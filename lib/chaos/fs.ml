@@ -1,0 +1,204 @@
+type action = Fail of Unix.error | Short of int | Torn of int | Crash
+
+type rule = { target : string; nth : int; sticky : bool; action : action }
+
+(* One armed rule with its live hit counter.  The plan is process-global
+   and single-domain (the daemon's I/O is single-threaded); a plain ref
+   is enough. *)
+type live = { rule : rule; mutable seen : int; mutable spent : bool }
+
+let plan : live list ref = ref []
+let injected_count = ref 0
+let hit_tbl : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let arm rules =
+  plan := List.map (fun rule -> { rule; seen = 0; spent = false }) rules;
+  injected_count := 0;
+  Hashtbl.reset hit_tbl
+
+let disarm () = arm []
+let armed () = !plan <> []
+let injected () = !injected_count
+let hits name = Option.value ~default:0 (Hashtbl.find_opt hit_tbl name)
+let exit_code = 137
+
+(* Find the action to apply at [name], advancing hit counters.  At most
+   one rule fires per hit (the first armed match wins). *)
+let fire name =
+  match !plan with
+  | [] -> None
+  | lives ->
+      Hashtbl.replace hit_tbl name (hits name + 1);
+      let rec go = function
+        | [] -> None
+        | l :: rest ->
+            if l.rule.target = "*" || l.rule.target = name then begin
+              l.seen <- l.seen + 1;
+              if
+                (l.seen = l.rule.nth || (l.rule.sticky && l.seen > l.rule.nth))
+                && not l.spent
+              then begin
+                if not l.rule.sticky then l.spent <- l.seen >= l.rule.nth;
+                Some l.rule.action
+              end
+              else go rest
+            end
+            else go rest
+      in
+      go lives
+
+let die () = Unix._exit exit_code
+
+let point name =
+  match fire name with
+  | Some Crash -> die ()
+  | Some (Fail _ | Short _ | Torn _) | None -> ()
+
+let inject_fail e fn site =
+  incr injected_count;
+  raise (Unix.Unix_error (e, fn, site))
+
+let rec retry_eintr f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
+let write ~site fd bytes off len =
+  match fire site with
+  | Some Crash -> die ()
+  | Some (Fail e) -> inject_fail e "write" site
+  | Some (Short n) ->
+      incr injected_count;
+      retry_eintr (fun () -> Unix.write fd bytes off (min len (max 0 n)))
+  | Some (Torn n) ->
+      (try ignore (Unix.write fd bytes off (min len (max 0 n)))
+       with Unix.Unix_error _ -> ());
+      die ()
+  | None -> retry_eintr (fun () -> Unix.write fd bytes off len)
+
+let fsync ~site fd =
+  match fire site with
+  | Some Crash -> die ()
+  | Some (Fail e) -> inject_fail e "fsync" site
+  | Some (Short _ | Torn _) | None -> Unix.fsync fd
+
+let rename ~site src dst =
+  match fire site with
+  | Some Crash -> die ()
+  | Some (Fail e) -> inject_fail e "rename" site
+  | Some (Short _ | Torn _) | None -> Unix.rename src dst
+
+let openfile ~site path flags perm =
+  match fire site with
+  | Some Crash -> die ()
+  | Some (Fail e) -> inject_fail e "open" site
+  | Some (Short _ | Torn _) | None -> Unix.openfile path flags perm
+
+let ftruncate ~site fd len =
+  match fire site with
+  | Some Crash -> die ()
+  | Some (Fail e) -> inject_fail e "ftruncate" site
+  | Some (Short _ | Torn _) | None -> Unix.ftruncate fd len
+
+(* --- Plan syntax --------------------------------------------------------- *)
+
+let action_name = function
+  | Fail Unix.ENOSPC -> "enospc"
+  | Fail Unix.EIO -> "eio"
+  | Fail e -> "fail-" ^ Unix.error_message e
+  | Short _ -> "short"
+  | Torn _ -> "torn"
+  | Crash -> "crash"
+
+let to_string rules =
+  String.concat ","
+    (List.map
+       (fun r ->
+         let bytes =
+           match r.action with
+           | Short n | Torn n -> Printf.sprintf "=%d" n
+           | Fail _ | Crash -> ""
+         in
+         Printf.sprintf "%s@%s:%d%s%s" (action_name r.action) r.target r.nth
+           (if r.sticky then "+" else "")
+           bytes)
+       rules)
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let parse_clause clause =
+    match String.index_opt clause '@' with
+    | None ->
+        err "chaos clause %S: expected ACTION@TARGET (see --chaos docs)" clause
+    | Some i -> (
+        let verb = String.sub clause 0 i in
+        let rest = String.sub clause (i + 1) (String.length clause - i - 1) in
+        (* rest = TARGET[:N][+][=BYTES] *)
+        let rest, bytes =
+          match String.index_opt rest '=' with
+          | None -> (rest, None)
+          | Some j ->
+              ( String.sub rest 0 j,
+                Some (String.sub rest (j + 1) (String.length rest - j - 1)) )
+        in
+        let rest, sticky =
+          let n = String.length rest in
+          if n > 0 && rest.[n - 1] = '+' then (String.sub rest 0 (n - 1), true)
+          else (rest, false)
+        in
+        let target, nth =
+          match String.index_opt rest ':' with
+          | None -> (rest, Ok 1)
+          | Some j -> (
+              let num = String.sub rest (j + 1) (String.length rest - j - 1) in
+              ( String.sub rest 0 j,
+                match int_of_string_opt num with
+                | Some n when n >= 1 -> Ok n
+                | Some _ | None ->
+                    Error
+                      (Printf.sprintf "chaos clause %S: bad hit count %S"
+                         clause num) ))
+        in
+        let* nth = nth in
+        if target = "" then err "chaos clause %S: empty target" clause
+        else
+          let* bytes_n =
+            match bytes with
+            | None -> Ok None
+            | Some b -> (
+                match int_of_string_opt b with
+                | Some n when n >= 0 -> Ok (Some n)
+                | Some _ | None ->
+                    err "chaos clause %S: bad byte count %S" clause b)
+          in
+          let* action =
+            match (verb, bytes_n) with
+            | "crash", None -> Ok Crash
+            | "enospc", None -> Ok (Fail Unix.ENOSPC)
+            | "eio", None -> Ok (Fail Unix.EIO)
+            | "short", Some n -> Ok (Short n)
+            | "torn", Some n -> Ok (Torn n)
+            | ("short" | "torn"), None ->
+                err "chaos clause %S: %s needs =BYTES" clause verb
+            | _, Some _ ->
+                err "chaos clause %S: =BYTES only applies to short/torn" clause
+            | v, None ->
+                err
+                  "chaos clause %S: unknown action %S (crash, enospc, eio, \
+                   short, torn)"
+                  clause v
+          in
+          if sticky && action = Crash then
+            err "chaos clause %S: crash cannot be sticky" clause
+          else Ok { target; nth; sticky; action })
+  in
+  if String.trim s = "" then Error "empty chaos spec"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | c :: rest ->
+          let* r = parse_clause (String.trim c) in
+          go (r :: acc) rest
+    in
+    go [] (String.split_on_char ',' s)

@@ -1,0 +1,84 @@
+type mutation =
+  | Bit_flip of { offset : int; bit : int }
+  | Truncate of { length : int }
+  | Dup_line of { line : int }
+  | Swap_lines of { a : int; b : int }
+  | Drop_line of { line : int }
+  | Garbage_tail of { bytes : string }
+
+(* Split into lines, each including its trailing newline when present, so
+   concatenation is the identity. *)
+let lines_of s =
+  let n = String.length s in
+  let rec go acc start =
+    if start >= n then List.rev acc
+    else
+      match String.index_from_opt s start '\n' with
+      | None -> List.rev (String.sub s start (n - start) :: acc)
+      | Some i -> go (String.sub s start (i - start + 1) :: acc) (i + 1)
+  in
+  go [] 0
+
+let clamp lo hi v = max lo (min hi v)
+
+let apply s m =
+  if s = "" then s
+  else
+    match m with
+    | Bit_flip { offset; bit } ->
+        let b = Bytes.of_string s in
+        let offset = clamp 0 (Bytes.length b - 1) offset in
+        let bit = clamp 0 7 bit in
+        Bytes.set b offset
+          (Char.chr (Char.code (Bytes.get b offset) lxor (1 lsl bit)));
+        Bytes.to_string b
+    | Truncate { length } -> String.sub s 0 (clamp 0 (String.length s) length)
+    | Dup_line { line } ->
+        let ls = lines_of s in
+        let line = clamp 0 (List.length ls - 1) line in
+        String.concat ""
+          (List.concat (List.mapi (fun i l -> if i = line then [ l; l ] else [ l ]) ls))
+    | Swap_lines { a; b } ->
+        let ls = Array.of_list (lines_of s) in
+        let n = Array.length ls in
+        let a = clamp 0 (n - 1) a and b = clamp 0 (n - 1) b in
+        let tmp = ls.(a) in
+        ls.(a) <- ls.(b);
+        ls.(b) <- tmp;
+        String.concat "" (Array.to_list ls)
+    | Drop_line { line } ->
+        let ls = lines_of s in
+        let line = clamp 0 (List.length ls - 1) line in
+        String.concat ""
+          (List.concat (List.mapi (fun i l -> if i = line then [] else [ l ]) ls))
+    | Garbage_tail { bytes } -> s ^ bytes
+
+let random rng s =
+  let n = max 1 (String.length s) in
+  let nlines = max 1 (List.length (lines_of s)) in
+  match Fstats.Rng.int rng 6 with
+  | 0 -> Bit_flip { offset = Fstats.Rng.int rng n; bit = Fstats.Rng.int rng 8 }
+  | 1 -> Truncate { length = Fstats.Rng.int rng n }
+  | 2 -> Dup_line { line = Fstats.Rng.int rng nlines }
+  | 3 ->
+      Swap_lines
+        { a = Fstats.Rng.int rng nlines; b = Fstats.Rng.int rng nlines }
+  | 4 -> Drop_line { line = Fstats.Rng.int rng nlines }
+  | _ ->
+      let len = 1 + Fstats.Rng.int rng 40 in
+      let bytes =
+        String.init len (fun _ ->
+            (* printable-ish junk plus the occasional brace/quote so the
+               JSON parser sees realistic near-misses *)
+            Char.chr (32 + Fstats.Rng.int rng 95))
+      in
+      Garbage_tail { bytes }
+
+let describe = function
+  | Bit_flip { offset; bit } -> Printf.sprintf "bit-flip @%d.%d" offset bit
+  | Truncate { length } -> Printf.sprintf "truncate to %d bytes" length
+  | Dup_line { line } -> Printf.sprintf "duplicate line %d" line
+  | Swap_lines { a; b } -> Printf.sprintf "swap lines %d and %d" a b
+  | Drop_line { line } -> Printf.sprintf "drop line %d" line
+  | Garbage_tail { bytes } ->
+      Printf.sprintf "append %d garbage bytes" (String.length bytes)

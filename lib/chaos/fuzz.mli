@@ -1,0 +1,27 @@
+(** Seeded corruption fuzzer for NDJSON logs (the WAL and snapshots).
+
+    Produces single mutations of a file's bytes — bit flips, truncation,
+    duplicated / swapped / deleted lines — for the recovery property the
+    chaos campaign asserts: after any mutation, boot either recovers a
+    consistent prefix of the original records or refuses to start with a
+    typed error naming the corrupt offset.  Never both silently wrong.
+
+    Mutations are values, so a failing trial can print exactly what it
+    did ({!describe}) and replay it. *)
+
+type mutation =
+  | Bit_flip of { offset : int; bit : int }  (** flip one bit *)
+  | Truncate of { length : int }  (** keep the first [length] bytes *)
+  | Dup_line of { line : int }  (** duplicate the 0-based [line] in place *)
+  | Swap_lines of { a : int; b : int }  (** exchange two lines *)
+  | Drop_line of { line : int }  (** delete one line *)
+  | Garbage_tail of { bytes : string }  (** append raw bytes (torn write) *)
+
+val apply : string -> mutation -> string
+(** Out-of-range offsets/lines clamp to the nearest valid one; applying
+    to the empty string returns it unchanged. *)
+
+val random : Fstats.Rng.t -> string -> mutation
+(** One mutation drawn for the given content (offsets in range). *)
+
+val describe : mutation -> string

@@ -196,10 +196,23 @@ let unsafe_reset_for_testing ~spawn =
 
 let helpers () = (get_pool ()).nhelpers
 
+(* Inline fallback for every dispatch path.  Must honor the same batch
+   exception contract as the pool: attempt every task, then re-raise the
+   lowest-indexed failure (which, running in order, is the first one) —
+   otherwise whether a caller sees the later tasks run would depend on
+   which dispatch path happened to be taken. *)
 let sequential_iter f n =
+  let err = ref None in
   for i = 0 to n - 1 do
-    f i
-  done
+    try f i
+    with e -> (
+      match !err with
+      | None -> err := Some (e, Printexc.get_raw_backtrace ())
+      | Some _ -> ())
+  done;
+  match !err with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
 
 let parallel_iter ?workers f n =
   let w = match workers with Some w -> w | None -> default_workers () in

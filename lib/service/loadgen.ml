@@ -5,6 +5,8 @@ type config = {
   rate : float;
   count : int;
   drain : bool;
+  policy : Retry.policy;
+  timeout_s : float;
 }
 
 type report = {
@@ -12,7 +14,11 @@ type report = {
   accepted : int;
   rejected : int;
   backpressured : int;
+  retries : int;
+  reconnects : int;
+  gave_up : int;
   errors : int;
+  server_shed : int option;
   wall_seconds : float;
   achieved_rate : float;
   ack_latency : Obs.Metrics.summary;
@@ -29,23 +35,27 @@ let find_histogram name =
     (Obs.Metrics.snapshot ())
 
 let run cfg =
-  let ( let* ) = Result.bind in
   let horizon = cfg.spec.Workload.Scenario.horizon in
   let jobs =
     Workload.Scenario.submission_stream cfg.spec ~seed:cfg.seed
     |> Seq.take_while (fun (j : Core.Job.t) -> j.Core.Job.release < horizon)
     |> Seq.take cfg.count
   in
-  let* client = Client.connect cfg.addr in
+  (* The retry jitter stream must not perturb the workload: the job
+     stream consumes [seed] directly, the client a split of it. *)
+  let rng = Fstats.Rng.split (Fstats.Rng.create ~seed:cfg.seed) in
+  let conn =
+    Client.Resilient.create ~policy:cfg.policy ~timeout_s:cfg.timeout_s ~rng
+      cfg.addr
+  in
   Fun.protect
-    ~finally:(fun () -> Client.close client)
+    ~finally:(fun () -> Client.Resilient.close conn)
     (fun () ->
       Obs.Metrics.set_enabled true;
       let hist = Obs.Metrics.histogram "loadgen.ack_latency_us" in
       let submitted = ref 0 in
       let accepted = ref 0 in
       let rejected = ref 0 in
-      let backpressured = ref 0 in
       let errors = ref 0 in
       let t0 = Unix.gettimeofday () in
       let pace () =
@@ -55,80 +65,73 @@ let run cfg =
           if slack > 0. then Unix.sleepf slack
         end
       in
-      (* Retry a backpressured submission until the daemon has room —
-         that is the throttling contract: the queue bound turns overload
-         into client-side waiting, not loss. *)
-      let rec send req =
+      (* Backpressure and transient transport failures are absorbed by
+         the resilient client within its budget — the queue bound turns
+         overload into client-side waiting, not loss.  A job whose
+         budget runs out is abandoned and the run continues. *)
+      let send req =
         let sent_at = Obs.Clock.now_ns () in
-        match Client.request client req with
-        | Error msg ->
-            incr errors;
-            Some msg
-        | Ok resp -> (
-            Obs.Metrics.observe hist (Obs.Clock.elapsed sent_at *. 1e6);
-            match resp with
-            | Protocol.Submit_ok _ ->
-                incr accepted;
-                None
-            | Protocol.Error { code = Protocol.Backpressure; _ } ->
-                incr backpressured;
-                Unix.sleepf 0.002;
-                send req
-            | Protocol.Error _ ->
-                incr rejected;
-                None
-            | _ ->
-                incr rejected;
-                None)
+        let outcome = Client.Resilient.call conn req in
+        Obs.Metrics.observe hist (Obs.Clock.elapsed sent_at *. 1e6);
+        match outcome with
+        | Ok (Protocol.Submit_ok _) -> incr accepted
+        | Ok (Protocol.Error { code = Protocol.Backpressure; _ }) ->
+            (* budget exhausted while still backpressured *)
+            ()
+        | Ok _ -> incr rejected
+        | Error _ -> incr errors
       in
-      let transport_error = ref None in
       Seq.iter
         (fun (j : Core.Job.t) ->
-          if !transport_error = None then begin
-            pace ();
-            incr submitted;
-            let req =
-              Protocol.Submit
-                {
-                  org = j.Core.Job.org;
-                  user = j.Core.Job.user;
-                  release = j.Core.Job.release;
-                  size = j.Core.Job.size;
-                }
-            in
-            transport_error := send req
-          end)
+          pace ();
+          incr submitted;
+          send
+            (Protocol.Submit
+               {
+                 org = j.Core.Job.org;
+                 user = j.Core.Job.user;
+                 release = j.Core.Job.release;
+                 size = j.Core.Job.size;
+                 cid = 0;
+                 cseq = 0;
+               }))
         jobs;
       let wall_seconds = Unix.gettimeofday () -. t0 in
-      let job_wait =
-        if !transport_error <> None then None
-        else
-          match Client.request client Protocol.Status with
-          | Ok (Protocol.Status_ok st) -> st.Protocol.job_wait
-          | Ok _ | Error _ -> None
+      let job_wait, server_shed =
+        match Client.Resilient.call conn Protocol.Status with
+        | Ok (Protocol.Status_ok st) ->
+            (st.Protocol.job_wait, Some st.Protocol.shed)
+        | Ok _ | Error _ -> (None, None)
       in
-      if cfg.drain && !transport_error = None then
-        (match Client.request client (Protocol.Drain { detail = false }) with
+      if cfg.drain then
+        (match Client.Resilient.call conn (Protocol.Drain { detail = false }) with
         | Ok _ -> ()
         | Error _ -> incr errors);
+      let stats = Client.Resilient.stats conn in
       let ack_latency =
         Option.value (find_histogram "loadgen.ack_latency_us")
           ~default:empty_summary
       in
-      Ok
-        {
-          submitted = !submitted;
-          accepted = !accepted;
-          rejected = !rejected;
-          backpressured = !backpressured;
-          errors = !errors;
-          wall_seconds;
-          achieved_rate =
-            (if wall_seconds > 0. then float_of_int !accepted /. wall_seconds
-             else 0.);
-          ack_latency;
-          job_wait;
-        })
+      if !submitted = 0 then Error "empty submission stream"
+      else
+        Ok
+          {
+            submitted = !submitted;
+            accepted = !accepted;
+            rejected = !rejected;
+            backpressured = stats.Client.Resilient.backpressured;
+            retries = stats.Client.Resilient.retries;
+            reconnects = stats.Client.Resilient.reconnects;
+            gave_up = stats.Client.Resilient.gave_up;
+            errors = !errors;
+            server_shed;
+            wall_seconds;
+            achieved_rate =
+              (if wall_seconds > 0. then float_of_int !accepted /. wall_seconds
+               else 0.);
+            ack_latency;
+            job_wait;
+          })
 
 let summary_json (s : Obs.Metrics.summary) =
   Obs.Json.Obj
@@ -150,7 +153,15 @@ let report_to_json r =
            ("accepted", Int r.accepted);
            ("rejected", Int r.rejected);
            ("backpressured", Int r.backpressured);
+           ("retries", Int r.retries);
+           ("reconnects", Int r.reconnects);
+           ("gave_up", Int r.gave_up);
            ("errors", Int r.errors);
+         ];
+         (match r.server_shed with
+         | None -> []
+         | Some n -> [ ("server_shed", Int n) ]);
+         [
            ("wall_seconds", Float r.wall_seconds);
            ("achieved_rate", Float r.achieved_rate);
            ("ack_latency_us", summary_json r.ack_latency);
@@ -168,10 +179,15 @@ let pp_summary ppf (s : Obs.Metrics.summary) =
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>submitted %d  accepted %d  rejected %d  backpressured %d  errors %d@,\
+     retries %d  reconnects %d  gave up %d%s@,\
      wall %.2fs  rate %.0f/s@,\
      ack latency (us): %a@]"
-    r.submitted r.accepted r.rejected r.backpressured r.errors r.wall_seconds
-    r.achieved_rate pp_summary r.ack_latency;
+    r.submitted r.accepted r.rejected r.backpressured r.errors r.retries
+    r.reconnects r.gave_up
+    (match r.server_shed with
+    | None -> ""
+    | Some n -> Printf.sprintf "  server shed %d" n)
+    r.wall_seconds r.achieved_rate pp_summary r.ack_latency;
   match r.job_wait with
   | None -> ()
   | Some s ->

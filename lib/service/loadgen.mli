@@ -5,12 +5,19 @@
     configured with the matching {!Workload.Scenario.split_and_map}
     endowment accepts every submission — org assignment and FIFO ranks
     line up by construction.  The generator paces submissions at a target
-    arrival rate (wall-clock), retries on backpressure, and records the
-    submit-to-ack round trip in an {!Obs.Metrics} histogram
-    (["loadgen.ack_latency_us"], microseconds).  Submit-to-start latency
-    is the {e server's} ["sim.job_wait"] histogram (simulated time),
-    surfaced through the final STATUS response when the daemon runs with
-    [--metrics]. *)
+    arrival rate (wall-clock) and records the submit-to-ack round trip in
+    an {!Obs.Metrics} histogram (["loadgen.ack_latency_us"],
+    microseconds).  Submit-to-start latency is the {e server's}
+    ["sim.job_wait"] histogram (simulated time), surfaced through the
+    final STATUS response when the daemon runs with [--metrics].
+
+    Submissions go through {!Client.Resilient}: jittered exponential
+    backoff over [Backpressure] rejections and transient transport
+    errors (reconnecting as needed), with (cid, cseq) stamping so a
+    retransmission is never double-applied.  A SIGKILLed-and-restarted
+    daemon therefore costs the run some retries, not lost acks.  A
+    request whose retry budget runs out counts in [gave_up] and the run
+    moves on to the next job. *)
 
 type config = {
   addr : Addr.t;
@@ -19,6 +26,8 @@ type config = {
   rate : float;  (** target submissions per wall-clock second; 0 = as fast as possible *)
   count : int;  (** number of submissions to attempt *)
   drain : bool;  (** send [drain] when done (shuts the daemon down) *)
+  policy : Retry.policy;  (** retry/backoff budget for every request *)
+  timeout_s : float;  (** per-phase socket deadline *)
 }
 
 type report = {
@@ -26,7 +35,12 @@ type report = {
   accepted : int;
   rejected : int;  (** protocol-level rejections other than backpressure *)
   backpressured : int;  (** backpressure responses absorbed by retrying *)
-  errors : int;  (** transport failures (run stops at the first) *)
+  retries : int;  (** re-sends after transient transport errors *)
+  reconnects : int;  (** fresh connections made mid-run *)
+  gave_up : int;  (** jobs abandoned with the retry budget exhausted *)
+  errors : int;  (** transport failures that exhausted the budget *)
+  server_shed : int option;
+      (** daemon-reported shed count from the final STATUS, when reachable *)
   wall_seconds : float;
   achieved_rate : float;  (** accepted / wall_seconds *)
   ack_latency : Obs.Metrics.summary;  (** submit-to-ack, microseconds *)
@@ -35,9 +49,9 @@ type report = {
 }
 
 val run : config -> (report, string) result
-(** [Error] only for failures before the first submission (connect,
-    empty stream); transport failures mid-run come back as a report with
-    [errors > 0]. *)
+(** [Error] only for an empty submission stream; connection failures are
+    absorbed by the retry policy and surface as [gave_up]/[errors] in the
+    report. *)
 
 val report_to_json : report -> Obs.Json.t
 val pp_report : Format.formatter -> report -> unit

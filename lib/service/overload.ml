@@ -1,0 +1,93 @@
+type config = {
+  queue_high : float;
+  queue_low : float;
+  ack_high_ms : float;
+  ack_low_ms : float;
+  alpha : float;
+  trip_ms : float;
+  recover_ms : float;
+}
+
+let default =
+  {
+    queue_high = 0.8;
+    queue_low = 0.3;
+    ack_high_ms = 50.0;
+    ack_low_ms = 10.0;
+    alpha = 0.2;
+    trip_ms = 100.0;
+    recover_ms = 500.0;
+  }
+
+type level = Normal | Overloaded
+
+type t = {
+  cfg : config;
+  now_ms : unit -> float;
+  mutable ewma : float option;
+  mutable occupancy : float;
+  mutable lvl : level;
+  mutable pressure_since : float option;  (* high signal continuously since *)
+  mutable calm_since : float option;  (* low signal continuously since *)
+}
+
+let create ?(config = default) ~now_ms () =
+  {
+    cfg = config;
+    now_ms;
+    ewma = None;
+    occupancy = 0.0;
+    lvl = Normal;
+    pressure_since = None;
+    calm_since = None;
+  }
+
+let ack_ewma_ms t = Option.value ~default:0.0 t.ewma
+let level t = t.lvl
+
+(* Either signal high => pressure; both low => calm; in between, neither
+   dwell clock runs (the current level holds). *)
+let evaluate t =
+  let now = t.now_ms () in
+  let ewma = ack_ewma_ms t in
+  let high =
+    t.occupancy >= t.cfg.queue_high || ewma >= t.cfg.ack_high_ms
+  in
+  let low = t.occupancy <= t.cfg.queue_low && ewma <= t.cfg.ack_low_ms in
+  if high then begin
+    t.calm_since <- None;
+    match t.pressure_since with
+    | None -> t.pressure_since <- Some now
+    | Some since ->
+        if t.lvl = Normal && now -. since >= t.cfg.trip_ms then
+          t.lvl <- Overloaded
+  end
+  else if low then begin
+    t.pressure_since <- None;
+    match t.calm_since with
+    | None -> t.calm_since <- Some now
+    | Some since ->
+        if t.lvl = Overloaded && now -. since >= t.cfg.recover_ms then
+          t.lvl <- Normal
+  end
+  else begin
+    t.pressure_since <- None;
+    t.calm_since <- None
+  end
+
+let observe_ack t ~latency_ms =
+  let latency_ms = Float.max 0.0 latency_ms in
+  (t.ewma <-
+     (match t.ewma with
+     | None -> Some latency_ms
+     | Some e -> Some (((1.0 -. t.cfg.alpha) *. e) +. (t.cfg.alpha *. latency_ms))));
+  evaluate t
+
+let observe_queue t ~depth ~cap =
+  t.occupancy <-
+    (if cap <= 0 then 0.0 else float_of_int depth /. float_of_int cap);
+  evaluate t
+
+let retry_after_ms t =
+  let ms = 4.0 *. ack_ewma_ms t in
+  int_of_float (Float.min 2000.0 (Float.max 25.0 ms))

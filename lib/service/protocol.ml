@@ -2,8 +2,15 @@ let wire_limits = { Obs.Json.max_depth = 32; max_bytes = 1 lsl 20 }
 let max_line = wire_limits.Obs.Json.max_bytes
 
 type request =
-  | Submit of { org : int; user : int; release : int; size : int }
-  | Fault of { time : int; event : Faults.Event.t }
+  | Submit of {
+      org : int;
+      user : int;
+      release : int;
+      size : int;
+      cid : int;
+      cseq : int;
+    }
+  | Fault of { time : int; event : Faults.Event.t; cid : int; cseq : int }
   | Status
   | Psi
   | Snapshot
@@ -23,6 +30,10 @@ type status = {
   waiting : int array;
   stats : Kernel.Stats.t;
   job_wait : Obs.Metrics.summary option;
+  estimator : string;
+  degraded : bool;
+  shed : int;
+  ack_ewma_ms : float;
 }
 
 type drain_report = {
@@ -48,7 +59,7 @@ type response =
   | Psi_ok of { now : int; psi_scaled : int array; parts : int array }
   | Snapshot_ok of { seq : int; path : string }
   | Drain_ok of drain_report
-  | Error of { code : error_code; msg : string }
+  | Error of { code : error_code; msg : string; retry_after_ms : int option }
 
 let error_code_to_string = function
   | Parse -> "parse"
@@ -139,29 +150,37 @@ let summary_of_json j =
 
 (* --- Requests ----------------------------------------------------------- *)
 
+(* Omitted when zero, so clients that do not opt into idempotent
+   retransmission produce the same bytes as before the fields existed. *)
+let client_fields cid cseq =
+  if cid = 0 && cseq = 0 then []
+  else [ ("cid", Int cid); ("cseq", Int cseq) ]
+
 let request_to_json = function
-  | Submit { org; user; release; size } ->
+  | Submit { org; user; release; size; cid; cseq } ->
       Obj
-        [
-          ("op", String "submit");
-          ("org", Int org);
-          ("user", Int user);
-          ("release", Int release);
-          ("size", Int size);
-        ]
-  | Fault { time; event } ->
+        ([
+           ("op", String "submit");
+           ("org", Int org);
+           ("user", Int user);
+           ("release", Int release);
+           ("size", Int size);
+         ]
+        @ client_fields cid cseq)
+  | Fault { time; event; cid; cseq } ->
       let kind, machine =
         match event with
         | Faults.Event.Fail m -> ("fail", m)
         | Faults.Event.Recover m -> ("recover", m)
       in
       Obj
-        [
-          ("op", String "fault");
-          ("time", Int time);
-          ("kind", String kind);
-          ("machine", Int machine);
-        ]
+        ([
+           ("op", String "fault");
+           ("time", Int time);
+           ("kind", String kind);
+           ("machine", Int machine);
+         ]
+        @ client_fields cid cseq)
   | Status -> Obj [ ("op", String "status") ]
   | Psi -> Obj [ ("op", String "psi") ]
   | Snapshot -> Obj [ ("op", String "snapshot") ]
@@ -176,18 +195,22 @@ let request_of_json j =
       let* user = opt_int_field j "user" ~default:0 in
       let* release = int_field j "release" in
       let* size = int_field j "size" in
-      Ok (Submit { org; user; release; size })
+      let* cid = opt_int_field j "cid" ~default:0 in
+      let* cseq = opt_int_field j "cseq" ~default:0 in
+      Ok (Submit { org; user; release; size; cid; cseq })
   | "fault" ->
       let* time = int_field j "time" in
       let* kind = string_field j "kind" in
       let* machine = int_field j "machine" in
+      let* cid = opt_int_field j "cid" ~default:0 in
+      let* cseq = opt_int_field j "cseq" ~default:0 in
       let* event =
         match kind with
         | "fail" -> Ok (Faults.Event.Fail machine)
         | "recover" -> Ok (Faults.Event.Recover machine)
         | k -> Error (Printf.sprintf "unknown fault kind %S" k)
       in
-      Ok (Fault { time; event })
+      Ok (Fault { time; event; cid; cseq })
   | "status" -> Ok Status
   | "psi" -> Ok Psi
   | "snapshot" -> Ok Snapshot
@@ -215,6 +238,10 @@ let status_json s =
       ("draining", Bool s.draining);
       ("waiting", int_array_json s.waiting);
       ("stats", Kernel.Stats.json s.stats);
+      ("estimator", String s.estimator);
+      ("degraded", Bool s.degraded);
+      ("shed", Int s.shed);
+      ("ack_ewma_ms", Float s.ack_ewma_ms);
     ]
   in
   let fields =
@@ -246,6 +273,22 @@ let status_of_json j =
     | None -> Ok None
     | Some sj -> Result.map Option.some (summary_of_json sj)
   in
+  let* estimator =
+    match member j "estimator" with
+    | None -> Ok ""
+    | Some (String s) -> Ok s
+    | Some _ -> Error "field \"estimator\" must be a string"
+  in
+  let* degraded = bool_field j "degraded" ~default:false in
+  let* shed = opt_int_field j "shed" ~default:0 in
+  let* ack_ewma_ms =
+    match member j "ack_ewma_ms" with
+    | None -> Ok 0.0
+    | Some v -> (
+        match get_number v with
+        | Some f -> Ok f
+        | None -> Error "field \"ack_ewma_ms\" must be numeric")
+  in
   Ok
     (Status_ok
        {
@@ -262,6 +305,10 @@ let status_of_json j =
          waiting;
          stats;
          job_wait;
+         estimator;
+         degraded;
+         shed;
+         ack_ewma_ms;
        })
 
 let schedule_rows_json rows =
@@ -366,13 +413,17 @@ let response_to_json = function
           ("path", String path);
         ]
   | Drain_ok r -> drain_json r
-  | Error { code; msg } ->
+  | Error { code; msg; retry_after_ms } ->
       Obj
-        [
-          ("ok", Bool false);
-          ("code", String (error_code_to_string code));
-          ("msg", String msg);
-        ]
+        ([
+           ("ok", Bool false);
+           ("code", String (error_code_to_string code));
+           ("msg", String msg);
+         ]
+        @
+        match retry_after_ms with
+        | None -> []
+        | Some ms -> [ ("retry_after_ms", Int ms) ])
 
 let response_of_json j =
   let* ok =
@@ -383,8 +434,14 @@ let response_of_json j =
   if not ok then
     let* code_s = string_field j "code" in
     let* msg = string_field j "msg" in
+    let* retry_after_ms =
+      match member j "retry_after_ms" with
+      | None -> Ok None
+      | Some (Int ms) -> Ok (Some ms)
+      | Some _ -> Error "field \"retry_after_ms\" must be an integer"
+    in
     match error_code_of_string code_s with
-    | Some code -> Ok (Error { code; msg })
+    | Some code -> Ok (Error { code; msg; retry_after_ms })
     | None -> Result.Error (Printf.sprintf "unknown error code %S" code_s)
   else
     let* op = string_field j "op" in

@@ -16,8 +16,20 @@ val max_line : int
 (** Byte bound on one request line ([wire_limits.max_bytes]). *)
 
 type request =
-  | Submit of { org : int; user : int; release : int; size : int }
-  | Fault of { time : int; event : Faults.Event.t }
+  | Submit of {
+      org : int;
+      user : int;
+      release : int;
+      size : int;
+      cid : int;
+          (** client identity for at-most-once retransmission; [0] opts
+              out (no dedupe).  Omitted from the wire when 0. *)
+      cseq : int;
+          (** client-chosen sequence under [cid]; the server remembers
+              the last applied [cseq] per [cid] and answers a replayed
+              one with the cached ack instead of double-applying *)
+    }
+  | Fault of { time : int; event : Faults.Event.t; cid : int; cseq : int }
   | Status
   | Psi
   | Snapshot  (** force a snapshot + WAL compaction now *)
@@ -39,6 +51,10 @@ type status = {
   stats : Kernel.Stats.t;
   job_wait : Obs.Metrics.summary option;
       (** submit-to-start latency histogram, when server metrics are on *)
+  estimator : string;  (** live estimator spec (e.g. ["ref"], ["rand:0.1,0.95"]) *)
+  degraded : bool;  (** true while overload has switched the estimator *)
+  shed : int;  (** feed requests shed by overload protection since boot *)
+  ack_ewma_ms : float;  (** smoothed submit-to-ack latency *)
 }
 
 type drain_report = {
@@ -65,7 +81,9 @@ type response =
   | Psi_ok of { now : int; psi_scaled : int array; parts : int array }
   | Snapshot_ok of { seq : int; path : string }
   | Drain_ok of drain_report
-  | Error of { code : error_code; msg : string }
+  | Error of { code : error_code; msg : string; retry_after_ms : int option }
+      (** [retry_after_ms] is a server hint on [Backpressure]: how long a
+          well-behaved client should wait before retrying *)
 
 val error_code_to_string : error_code -> string
 val error_code_of_string : string -> error_code option

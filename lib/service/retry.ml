@@ -1,0 +1,53 @@
+type policy = {
+  max_attempts : int;
+  base_delay_ms : float;
+  max_delay_ms : float;
+  multiplier : float;
+  jitter : float;
+  budget_ms : float;
+}
+
+let default =
+  {
+    max_attempts = 8;
+    base_delay_ms = 25.0;
+    max_delay_ms = 2_000.0;
+    multiplier = 2.0;
+    jitter = 0.25;
+    budget_ms = 30_000.0;
+  }
+
+let policy ?(max_attempts = default.max_attempts)
+    ?(base_delay_ms = default.base_delay_ms)
+    ?(max_delay_ms = default.max_delay_ms) ?(multiplier = default.multiplier)
+    ?(jitter = default.jitter) ?(budget_ms = default.budget_ms) () =
+  {
+    max_attempts = max 1 max_attempts;
+    base_delay_ms = Float.max 0.0 base_delay_ms;
+    max_delay_ms = Float.max 0.0 max_delay_ms;
+    multiplier = Float.max 1.0 multiplier;
+    jitter = Float.min 0.999 (Float.max 0.0 jitter);
+    budget_ms = (if budget_ms <= 0.0 then infinity else budget_ms);
+  }
+
+type verdict = Sleep of float | Give_up
+
+let next p ~rng ~attempt ~elapsed_ms ~retry_after_ms =
+  if attempt >= p.max_attempts then Give_up
+  else
+    let backoff =
+      Float.min p.max_delay_ms
+        (p.base_delay_ms *. (p.multiplier ** float_of_int (max 0 (attempt - 1))))
+    in
+    let floor_ms =
+      match retry_after_ms with
+      | Some ms when ms > 0 -> float_of_int ms
+      | Some _ | None -> 0.0
+    in
+    let delay = Float.max backoff floor_ms in
+    let delay =
+      if p.jitter = 0.0 then delay
+      else
+        delay *. (1.0 -. p.jitter +. (2.0 *. p.jitter *. Fstats.Rng.unit_float rng))
+    in
+    if elapsed_ms +. delay > p.budget_ms then Give_up else Sleep delay

@@ -1,0 +1,54 @@
+(** Jittered exponential backoff with a bounded budget.
+
+    Pure policy arithmetic — no sleeping, no sockets — so the retry
+    schedule is unit-testable and every consumer ({!Client.Resilient},
+    {!Loadgen}) shares one implementation.  The caller loops: attempt the
+    operation, and on a retryable failure ask {!next} whether to sleep
+    and go again or give up.
+
+    The delay for failure [attempt] (1-based) is
+    [base_delay_ms * multiplier^(attempt-1)] capped at [max_delay_ms],
+    raised to the server's [retry_after_ms] hint when one was given, then
+    jittered by a uniform factor in [1 - jitter, 1 + jitter].  Jitter
+    breaks retry synchronization: a fleet of clients bounced by the same
+    overloaded server must not come back in lockstep. *)
+
+type policy = {
+  max_attempts : int;  (** total tries including the first; >= 1 *)
+  base_delay_ms : float;
+  max_delay_ms : float;
+  multiplier : float;
+  jitter : float;  (** fraction in [0, 1); 0 = deterministic delays *)
+  budget_ms : float;  (** wall-clock cap across all attempts; [infinity] = none *)
+}
+
+val default : policy
+(** 8 attempts, 25 ms base, 2 s cap, x2 growth, 0.25 jitter, 30 s budget. *)
+
+val policy :
+  ?max_attempts:int ->
+  ?base_delay_ms:float ->
+  ?max_delay_ms:float ->
+  ?multiplier:float ->
+  ?jitter:float ->
+  ?budget_ms:float ->
+  unit ->
+  policy
+(** {!default} with overrides; out-of-range values are clamped sane. *)
+
+type verdict =
+  | Sleep of float  (** wait this many milliseconds, then try again *)
+  | Give_up  (** attempts or budget exhausted *)
+
+val next :
+  policy ->
+  rng:Fstats.Rng.t ->
+  attempt:int ->
+  elapsed_ms:float ->
+  retry_after_ms:int option ->
+  verdict
+(** [next p ~rng ~attempt ~elapsed_ms ~retry_after_ms] decides after the
+    [attempt]-th failure (1-based).  Gives up when [attempt >=
+    max_attempts] or when [elapsed_ms] plus the computed delay would
+    exceed [budget_ms] — better to fail now than to sleep into certain
+    failure. *)

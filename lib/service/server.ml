@@ -5,11 +5,32 @@ type config = {
   queue_cap : int;
   snapshot_every : int;
   drain_batch : int;
+  degrade_to : string option;
+  overload : Overload.config;
 }
 
 let make_config ?state_dir ?(queue_cap = 1024) ?(snapshot_every = 4096)
-    ?(drain_batch = 256) ~addr ~service () =
-  { addr; service; state_dir; queue_cap; snapshot_every; drain_batch }
+    ?(drain_batch = 256) ?degrade_to ?(overload = Overload.default) ~addr
+    ~service () =
+  {
+    addr;
+    service;
+    state_dir;
+    queue_cap;
+    snapshot_every;
+    drain_batch;
+    degrade_to;
+    overload;
+  }
+
+(* Health counters; no-ops unless the process enables Obs.Metrics. *)
+let m_shed = Obs.Metrics.counter "service.shed"
+let m_dup_acks = Obs.Metrics.counter "service.dup_acks"
+let m_degrade = Obs.Metrics.counter "service.degrade_switches"
+let m_recover = Obs.Metrics.counter "service.recover_switches"
+let m_wal_sync_failures = Obs.Metrics.counter "service.wal_sync_failures"
+let g_queue_depth = Obs.Metrics.gauge "service.queue_depth"
+let g_ack_ewma = Obs.Metrics.gauge "service.ack_ewma_ms"
 
 type conn = {
   fd : Unix.file_descr;
@@ -23,18 +44,27 @@ type queued = Req of Protocol.request | Reject of Protocol.error_code * string
 
 type state = {
   cfg : config;
-  online : Online.t;
+  base : Config.t;
+      (* the durable identity: what the WAL header and snapshots carry.
+         [online]'s own config may differ in [algorithm] while degraded. *)
+  mutable online : Online.t;
+  mutable estimator : string;  (* algorithm the live engine runs *)
   mutable writer : Wal.writer option;
   mutable seq : int;  (* last assigned sequence number *)
   mutable records_rev : Wal.record list;  (* every accepted record, newest first *)
   mutable since_snapshot : int;
   mutable accepted : int;
   mutable rejected : int;
+  mutable shed : int;  (* feeds refused with backpressure since boot *)
   mutable draining : bool;
   mutable shutdown : bool;
-  queue : (conn * queued) Queue.t;
+  queue : (conn * queued * float) Queue.t;  (* item + enqueue time *)
   mutable feed_depth : int;  (* submit/fault entries currently queued *)
   mutable conns : conn list;
+  dedupe : (int, int * Protocol.response) Hashtbl.t;
+      (* cid -> (last applied cseq, its cached ack).  Only *applied*
+         feeds enter the table: rejections must stay retryable. *)
+  detector : Overload.t;
 }
 
 (* Acknowledgements of one processing batch, in request order.  [Synced]
@@ -53,6 +83,8 @@ let is_feed = function
   | Protocol.Status | Protocol.Psi | Protocol.Snapshot | Protocol.Drain _ ->
       false
 
+let degraded s = s.estimator <> s.base.Config.algorithm
+
 let job_wait_summary () =
   if not (Obs.Metrics.enabled ()) then None
   else
@@ -62,13 +94,12 @@ let job_wait_summary () =
       (Obs.Metrics.snapshot ())
 
 let build_status s =
-  let service = Online.config s.online in
   {
     Protocol.now = Online.now s.online;
     frontier = Online.frontier s.online;
-    horizon = service.Config.horizon;
-    orgs = Config.organizations service;
-    machines = Config.total_machines service;
+    horizon = s.base.Config.horizon;
+    orgs = Config.organizations s.base;
+    machines = Config.total_machines s.base;
     accepted = s.accepted;
     rejected = s.rejected;
     queue_depth = s.feed_depth;
@@ -77,6 +108,10 @@ let build_status s =
     waiting = Online.queue_depths s.online;
     stats = Online.stats s.online;
     job_wait = job_wait_summary ();
+    estimator = s.estimator;
+    degraded = degraded s;
+    shed = s.shed;
+    ack_ewma_ms = Overload.ack_ewma_ms s.detector;
   }
 
 let schedule_rows s =
@@ -103,7 +138,7 @@ let do_snapshot s =
   | Some dir -> (
       let snapshot =
         {
-          Wal.config = Online.config s.online;
+          Wal.config = s.base;
           last_seq = s.seq;
           records = List.rev s.records_rev;
         }
@@ -113,20 +148,23 @@ let do_snapshot s =
       | Ok path -> (
           (* Compact: every record is covered by the snapshot now. *)
           Option.iter Wal.close s.writer;
-          match Wal.create ~dir ~config:(Online.config s.online) with
+          s.writer <- None;
+          Chaos.Fs.point "before-wal-reset";
+          match Wal.create ~dir ~config:s.base with
           | Error _ as e -> e
           | Ok w ->
               s.writer <- Some w;
               s.since_snapshot <- 0;
+              Chaos.Fs.point "after-wal-reset";
               Ok path))
 
 let code_of_online_error = function
   | Online.Drained -> Protocol.Draining
   | _ -> Protocol.Bad_request
 
-let reject s code msg =
+let reject ?retry_after_ms s code msg =
   s.rejected <- s.rejected + 1;
-  Immediate (Protocol.Error { code; msg })
+  Immediate (Protocol.Error { code; msg; retry_after_ms })
 
 (* Run the engine to the horizon, snapshot, and arm shutdown.  Shared by
    the [drain] request and the SIGTERM path. *)
@@ -141,59 +179,103 @@ let enter_drain s =
       | Error msg -> Printf.eprintf "fairsched serve: final snapshot: %s\n%!" msg));
   s.shutdown <- true
 
+(* At-most-once retransmission.  A feed carrying the (cid, cseq) of an
+   already-applied one is answered from the cache — as [Synced], so a
+   cached OK is still gated on the WAL fsync that covers the original
+   record (a sync failure keeps the record's bytes pending; the cached
+   ack must not outrun them to the client). *)
+let dedupe_hit s ~cid ~cseq =
+  if cid = 0 then None
+  else
+    match Hashtbl.find_opt s.dedupe cid with
+    | Some (last, resp) when cseq = last ->
+        Obs.Metrics.incr m_dup_acks;
+        Some (Synced resp)
+    | Some (last, _) when cseq < last && cseq > 0 ->
+        Some
+          (reject s Protocol.Bad_request
+             (Printf.sprintf "stale cseq %d (last applied %d)" cseq last))
+    | Some _ | None -> None
+
+let remember s ~cid ~cseq resp =
+  if cid <> 0 && cseq > 0 then Hashtbl.replace s.dedupe cid (cseq, resp)
+
 let process_one s = function
-  | Reject (code, msg) -> reject s code msg
-  | Req (Protocol.Submit { org; user; release; size }) -> (
-      if s.draining then reject s Protocol.Draining "daemon is draining"
-      else
-        match Online.check_submit s.online ~org ~size ~release with
-        | Error e ->
-            reject s (code_of_online_error e) (Online.error_to_string e)
-        | Ok () -> (
-            let seq = s.seq + 1 in
-            s.seq <- seq;
-            let record = Wal.Submit { seq; org; user; release; size } in
-            Option.iter (fun w -> Wal.append w record) s.writer;
-            s.records_rev <- record :: s.records_rev;
-            s.accepted <- s.accepted + 1;
-            s.since_snapshot <- s.since_snapshot + 1;
-            match Online.submit s.online ~org ~user ~size ~release () with
-            | Ok index ->
-                Synced
-                  (Protocol.Submit_ok
-                     { seq; org; index; now = Online.now s.online })
+  | Reject (code, msg) ->
+      let retry_after_ms =
+        if code = Protocol.Backpressure then
+          Some (Overload.retry_after_ms s.detector)
+        else None
+      in
+      reject ?retry_after_ms s code msg
+  | Req (Protocol.Submit { org; user; release; size; cid; cseq }) -> (
+      match dedupe_hit s ~cid ~cseq with
+      | Some ack -> ack
+      | None -> (
+          if s.draining then reject s Protocol.Draining "daemon is draining"
+          else
+            match Online.check_submit s.online ~org ~size ~release with
             | Error e ->
-                (* unreachable after check_submit; fail loudly *)
-                Immediate
-                  (Protocol.Error
-                     {
-                       code = Protocol.Bad_request;
-                       msg = Online.error_to_string e;
-                     })))
-  | Req (Protocol.Fault { time; event }) -> (
-      if s.draining then reject s Protocol.Draining "daemon is draining"
-      else
-        match Online.check_fault s.online ~time event with
-        | Error e ->
-            reject s (code_of_online_error e) (Online.error_to_string e)
-        | Ok () -> (
-            let seq = s.seq + 1 in
-            s.seq <- seq;
-            let record = Wal.Fault { seq; time; event } in
-            Option.iter (fun w -> Wal.append w record) s.writer;
-            s.records_rev <- record :: s.records_rev;
-            s.accepted <- s.accepted + 1;
-            s.since_snapshot <- s.since_snapshot + 1;
-            match Online.fault s.online ~time event with
-            | Ok () ->
-                Synced (Protocol.Fault_ok { seq; now = Online.now s.online })
+                reject s (code_of_online_error e) (Online.error_to_string e)
+            | Ok () -> (
+                let seq = s.seq + 1 in
+                s.seq <- seq;
+                let record =
+                  Wal.Submit { seq; org; user; release; size; cid; cseq }
+                in
+                Option.iter (fun w -> Wal.append w record) s.writer;
+                s.records_rev <- record :: s.records_rev;
+                s.accepted <- s.accepted + 1;
+                s.since_snapshot <- s.since_snapshot + 1;
+                match Online.submit s.online ~org ~user ~size ~release () with
+                | Ok index ->
+                    let resp =
+                      Protocol.Submit_ok
+                        { seq; org; index; now = Online.now s.online }
+                    in
+                    remember s ~cid ~cseq resp;
+                    Synced resp
+                | Error e ->
+                    (* unreachable after check_submit; fail loudly *)
+                    Immediate
+                      (Protocol.Error
+                         {
+                           code = Protocol.Bad_request;
+                           msg = Online.error_to_string e;
+                           retry_after_ms = None;
+                         }))))
+  | Req (Protocol.Fault { time; event; cid; cseq }) -> (
+      match dedupe_hit s ~cid ~cseq with
+      | Some ack -> ack
+      | None -> (
+          if s.draining then reject s Protocol.Draining "daemon is draining"
+          else
+            match Online.check_fault s.online ~time event with
             | Error e ->
-                Immediate
-                  (Protocol.Error
-                     {
-                       code = Protocol.Bad_request;
-                       msg = Online.error_to_string e;
-                     })))
+                reject s (code_of_online_error e) (Online.error_to_string e)
+            | Ok () -> (
+                let seq = s.seq + 1 in
+                s.seq <- seq;
+                let record = Wal.Fault { seq; time; event; cid; cseq } in
+                Option.iter (fun w -> Wal.append w record) s.writer;
+                s.records_rev <- record :: s.records_rev;
+                s.accepted <- s.accepted + 1;
+                s.since_snapshot <- s.since_snapshot + 1;
+                match Online.fault s.online ~time event with
+                | Ok () ->
+                    let resp =
+                      Protocol.Fault_ok { seq; now = Online.now s.online }
+                    in
+                    remember s ~cid ~cseq resp;
+                    Synced resp
+                | Error e ->
+                    Immediate
+                      (Protocol.Error
+                         {
+                           code = Protocol.Bad_request;
+                           msg = Online.error_to_string e;
+                           retry_after_ms = None;
+                         }))))
   | Req Protocol.Status -> Immediate (Protocol.Status_ok (build_status s))
   | Req Protocol.Psi ->
       Immediate
@@ -210,12 +292,15 @@ let process_one s = function
              {
                code = Protocol.Unsupported;
                msg = "no state directory (daemon is ephemeral)";
+               retry_after_ms = None;
              })
       else
         match do_snapshot s with
         | Ok path -> Immediate (Protocol.Snapshot_ok { seq = s.seq; path })
         | Error msg ->
-            Immediate (Protocol.Error { code = Protocol.Wal_error; msg }))
+            Immediate
+              (Protocol.Error
+                 { code = Protocol.Wal_error; msg; retry_after_ms = None }))
   | Req (Protocol.Drain { detail }) ->
       if s.draining then
         Immediate (Protocol.Drain_ok (build_drain_report s ~detail))
@@ -227,29 +312,55 @@ let process_one s = function
 let process_batch s =
   let batch = ref [] in
   let n = ref 0 in
-  let appended = ref false in
+  (* [drain_batch] bounds the expensive work — feeds entering the engine
+     — per iteration.  Rejects and control requests are answered without
+     consuming the budget: shedding must stay cheap under the very flood
+     that caused it, or the backlog of Backpressure answers would starve
+     the queue it was shed to protect.  FIFO order is preserved either
+     way. *)
   while !n < s.cfg.drain_batch && not (Queue.is_empty s.queue) do
-    let conn, item = Queue.pop s.queue in
-    (match item with
-    | Req r when is_feed r -> s.feed_depth <- s.feed_depth - 1
-    | _ -> ());
+    let conn, item, t_enq = Queue.pop s.queue in
+    let feed =
+      match item with
+      | Req r when is_feed r ->
+          s.feed_depth <- s.feed_depth - 1;
+          true
+      | _ -> false
+    in
     let ack = process_one s item in
-    (match ack with Synced _ -> appended := true | Immediate _ -> ());
-    batch := (conn, ack) :: !batch;
-    incr n
+    batch := (conn, ack, (if feed then Some t_enq else None)) :: !batch;
+    if feed then incr n
   done;
+  (* Sync whenever the WAL owes bytes to disk — not only when this batch
+     appended.  A previously failed sync leaves records pending (and
+     their clients answered with wal-error); retrying here is what makes
+     a transient ENOSPC recoverable without a restart. *)
   let sync_result =
-    if !appended then
-      match s.writer with Some w -> Wal.sync w | None -> Ok ()
-    else Ok ()
+    match s.writer with
+    | Some w when Wal.pending w ->
+        let r = Wal.sync w in
+        (match r with
+        | Error _ -> Obs.Metrics.incr m_wal_sync_failures
+        | Ok () -> ());
+        r
+    | Some _ | None -> Ok ()
   in
+  let ack_time = Unix.gettimeofday () in
   List.iter
-    (fun (conn, ack) ->
-      match (ack, sync_result) with
+    (fun (conn, ack, t_enq) ->
+      (match (ack, sync_result) with
       | Immediate resp, _ | Synced resp, Ok () -> emit conn resp
       | Synced _, Error msg ->
-          emit conn (Protocol.Error { code = Protocol.Wal_error; msg }))
+          emit conn
+            (Protocol.Error
+               { code = Protocol.Wal_error; msg; retry_after_ms = None }));
+      match t_enq with
+      | Some t -> Overload.observe_ack s.detector ~latency_ms:((ack_time -. t) *. 1000.0)
+      | None -> ())
     (List.rev !batch);
+  Overload.observe_queue s.detector ~depth:s.feed_depth ~cap:s.cfg.queue_cap;
+  Obs.Metrics.set g_queue_depth (float_of_int s.feed_depth);
+  Obs.Metrics.set g_ack_ewma (Overload.ack_ewma_ms s.detector);
   (* Automatic compaction once enough records accumulated since the last
      snapshot. *)
   if
@@ -260,6 +371,103 @@ let process_batch s =
     match do_snapshot s with
     | Ok _ -> ()
     | Error msg -> Printf.eprintf "fairsched serve: auto-snapshot: %s\n%!" msg
+
+(* --- Degraded mode ------------------------------------------------------- *)
+
+(* Replay previously accepted feeds into a fresh engine.  [Mode] records
+   are skipped (they describe estimator switches, not engine input);
+   [dedupe], when given, is rebuilt alongside — the cached acks of a
+   deterministic replay are identical to the originals. *)
+let replay ?dedupe online records =
+  let rec go = function
+    | [] -> Ok ()
+    | Wal.Submit { seq; org; user; release; size; cid; cseq } :: rest -> (
+        match Online.submit online ~org ~user ~size ~release () with
+        | Ok index ->
+            (match dedupe with
+            | Some tbl when cid <> 0 && cseq > 0 ->
+                Hashtbl.replace tbl cid
+                  ( cseq,
+                    Protocol.Submit_ok
+                      { seq; org; index; now = Online.now online } )
+            | Some _ | None -> ());
+            go rest
+        | Error e ->
+            Error
+              (Printf.sprintf "replay: record %d rejected: %s" seq
+                 (Online.error_to_string e)))
+    | Wal.Fault { seq; time; event; cid; cseq } :: rest -> (
+        match Online.fault online ~time event with
+        | Ok () ->
+            (match dedupe with
+            | Some tbl when cid <> 0 && cseq > 0 ->
+                Hashtbl.replace tbl cid
+                  (cseq, Protocol.Fault_ok { seq; now = Online.now online })
+            | Some _ | None -> ());
+            go rest
+        | Error e ->
+            Error
+              (Printf.sprintf "replay: record %d rejected: %s" seq
+                 (Online.error_to_string e)))
+    | Wal.Mode _ :: rest -> go rest
+  in
+  go records
+
+(* The estimator a record list leaves the daemon in: the last Mode
+   record wins, the base algorithm otherwise. *)
+let final_estimator ~base records =
+  List.fold_left
+    (fun acc r -> match r with Wal.Mode { estimator; _ } -> estimator | _ -> acc)
+    base.Config.algorithm records
+
+(* Switch the live estimator by rebuild-and-replay: log a Mode record,
+   construct a fresh engine under the new algorithm, and feed it every
+   accepted record.  Kernel determinism makes this exactly "a fresh
+   session with the new estimator given the same history" — which is
+   also precisely what crash recovery reproduces from the log, so a
+   crash at any point around the switch stays bit-identical. *)
+let switch_estimator s spec =
+  let seq = s.seq + 1 in
+  s.seq <- seq;
+  let record = Wal.Mode { seq; estimator = spec } in
+  Option.iter (fun w -> Wal.append w record) s.writer;
+  s.records_rev <- record :: s.records_rev;
+  s.since_snapshot <- s.since_snapshot + 1;
+  let online = Online.create { s.base with Config.algorithm = spec } in
+  match replay online (List.rev s.records_rev) with
+  | Ok () ->
+      s.online <- online;
+      s.estimator <- spec;
+      true
+  | Error msg ->
+      (* Accepted records cannot be rejected on replay (determinism);
+         reaching here is an invariant violation.  Keep the old engine
+         rather than serve from a half-fed one. *)
+      Printf.eprintf "fairsched serve: estimator switch to %s failed: %s\n%!"
+        spec msg;
+      false
+
+let maybe_switch s =
+  match s.cfg.degrade_to with
+  | None -> ()
+  | Some spec ->
+      if not (s.draining || s.shutdown) then begin
+        match Overload.level s.detector with
+        | Overload.Overloaded when s.estimator <> spec ->
+            if switch_estimator s spec then begin
+              Obs.Metrics.incr m_degrade;
+              Printf.eprintf
+                "fairsched serve: overload: degrading estimator to %s\n%!" spec
+            end
+        | Overload.Normal when degraded s ->
+            if switch_estimator s s.base.Config.algorithm then begin
+              Obs.Metrics.incr m_recover;
+              Printf.eprintf
+                "fairsched serve: recovered: estimator back to %s\n%!"
+                s.base.Config.algorithm
+            end
+        | Overload.Overloaded | Overload.Normal -> ()
+      end
 
 (* --- Socket plumbing ---------------------------------------------------- *)
 
@@ -273,22 +481,37 @@ let protect f =
            (Unix.error_message e))
 
 let enqueue_line s conn line =
+  let now = Unix.gettimeofday () in
   match Protocol.request_of_line line with
-  | Error msg ->
-      Queue.push (conn, Reject (Protocol.Parse, msg)) s.queue
+  | Error msg -> Queue.push (conn, Reject (Protocol.Parse, msg), now) s.queue
   | Ok req ->
-      if is_feed req && s.feed_depth >= s.cfg.queue_cap then
-        Queue.push
-          ( conn,
-            Reject
-              ( Protocol.Backpressure,
-                Printf.sprintf "admission queue full (%d queued)" s.feed_depth
-              ) )
-          s.queue
-      else begin
-        if is_feed req then s.feed_depth <- s.feed_depth + 1;
-        Queue.push (conn, Req req) s.queue
+      if is_feed req then begin
+        let full = s.feed_depth >= s.cfg.queue_cap in
+        (* Under sustained overload, shed before the hard cap: refusing
+           cheaply at half occupancy keeps ack latency bounded for the
+           feeds already admitted. *)
+        let shedding =
+          Overload.level s.detector = Overload.Overloaded
+          && s.feed_depth >= max 1 (s.cfg.queue_cap / 2)
+        in
+        if full || shedding then begin
+          s.shed <- s.shed + 1;
+          Obs.Metrics.incr m_shed;
+          let msg =
+            if full then
+              Printf.sprintf "admission queue full (%d queued)" s.feed_depth
+            else
+              Printf.sprintf "shedding load (overloaded, %d queued)"
+                s.feed_depth
+          in
+          Queue.push (conn, Reject (Protocol.Backpressure, msg), now) s.queue
+        end
+        else begin
+          s.feed_depth <- s.feed_depth + 1;
+          Queue.push (conn, Req req, now) s.queue
+        end
       end
+      else Queue.push (conn, Req req, now) s.queue
 
 let split_lines s conn =
   let data = Buffer.contents conn.rbuf in
@@ -311,6 +534,7 @@ let split_lines s conn =
            code = Protocol.Parse;
            msg =
              Printf.sprintf "request line exceeds %d bytes" Protocol.max_line;
+           retry_after_ms = None;
          });
     conn.eof <- true
   end
@@ -371,8 +595,15 @@ let accept_conn s listen_fd =
         { fd; rbuf = Buffer.create 1024; out = Buffer.create 1024;
           eof = false; closed = false }
         :: s.conns
-  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-    -> ()
+  | exception
+      Unix.Unix_error
+        ( ( Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED
+          | Unix.ECONNRESET ),
+          _,
+          _ ) ->
+      (* A connection that died between accept-readiness and accept(2)
+         must not take the daemon down. *)
+      ()
 
 let flush_remaining s =
   (* After shutdown: give clients a few seconds to receive what they are
@@ -424,10 +655,16 @@ let rec serve_loop s listen_fd =
           (fun c -> if (not c.closed) && List.mem c.fd rs then read_conn s c)
           s.conns;
         process_batch s;
+        maybe_switch s;
         List.iter
           (fun c -> if (not c.closed) && (List.mem c.fd ws || Buffer.length c.out > 0) then write_conn c)
           s.conns
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        (* An idle tick still updates the detector: recovery from
+           overload is observed calm, not absence of traffic. *)
+        Overload.observe_queue s.detector ~depth:s.feed_depth
+          ~cap:s.cfg.queue_cap;
+        maybe_switch s);
     serve_loop s listen_fd
   end
 
@@ -440,36 +677,18 @@ let ensure_dir dir =
         raise
           (Unix.Unix_error (Unix.ENOTDIR, "state dir", dir)))
 
-let replay online records =
-  let rec go = function
-    | [] -> Ok ()
-    | Wal.Submit { seq; org; user; release; size } :: rest -> (
-        match Online.submit online ~org ~user ~size ~release () with
-        | Ok _ -> go rest
-        | Error e ->
-            Error
-              (Printf.sprintf "replay: record %d rejected: %s" seq
-                 (Online.error_to_string e)))
-    | Wal.Fault { seq; time; event } :: rest -> (
-        match Online.fault online ~time event with
-        | Ok () -> go rest
-        | Error e ->
-            Error
-              (Printf.sprintf "replay: record %d rejected: %s" seq
-                 (Online.error_to_string e)))
-  in
-  go records
-
 let run ?(ready = fun () -> ()) cfg =
   let ( let* ) = Result.bind in
   term_requested := false;
-  let* service, records, last_seq =
+  let* base, records, last_seq =
     match cfg.state_dir with
     | None -> Ok (cfg.service, [], 0)
     | Some dir ->
         let* () = ensure_dir dir in
-        let* r = Wal.recover ~dir in
-        let service =
+        let* r =
+          Result.map_error Wal.boot_error_to_string (Wal.recover ~dir)
+        in
+        let base =
           match r.Wal.r_config with
           | None -> cfg.service
           | Some c ->
@@ -482,10 +701,20 @@ let run ?(ready = fun () -> ()) cfg =
                   dir;
               c
         in
-        Ok (service, r.Wal.r_records, r.Wal.r_last_seq)
+        Ok (base, r.Wal.r_records, r.Wal.r_last_seq)
   in
-  let online = Online.create service in
-  let* () = replay online records in
+  (* Recovery shortcut for Mode records: rather than re-enacting every
+     mid-life estimator switch, build the engine once under the final
+     estimator and feed it everything.  Equivalent by induction — each
+     switch was itself defined as "fresh engine + full history". *)
+  let estimator = final_estimator ~base records in
+  let online =
+    Online.create
+      (if estimator = base.Config.algorithm then base
+       else { base with Config.algorithm = estimator })
+  in
+  let dedupe = Hashtbl.create 64 in
+  let* () = replay ~dedupe online records in
   (* Compact on boot: one snapshot covering everything recovered, then a
      fresh WAL.  A crash right here is safe — the snapshot is atomic and
      the old WAL only duplicates records the sequence filter drops. *)
@@ -498,9 +727,9 @@ let run ?(ready = fun () -> ()) cfg =
           else
             Result.map (fun (_ : string) -> ())
               (Wal.write_snapshot ~dir
-                 { Wal.config = service; last_seq; records })
+                 { Wal.config = base; last_seq; records })
         in
-        Result.map Option.some (Wal.create ~dir ~config:service)
+        Result.map Option.some (Wal.create ~dir ~config:base)
   in
   Addr.cleanup cfg.addr;
   let* listen_fd =
@@ -523,18 +752,26 @@ let run ?(ready = fun () -> ()) cfg =
   let s =
     {
       cfg;
+      base;
       online;
+      estimator;
       writer;
       seq = last_seq;
       records_rev = List.rev records;
       since_snapshot = 0;
-      accepted = List.length records;
+      accepted = List.length (List.filter Wal.is_feed records);
       rejected = 0;
+      shed = 0;
       draining = false;
       shutdown = false;
       queue = Queue.create ();
       feed_depth = 0;
       conns = [];
+      dedupe;
+      detector =
+        Overload.create ~config:cfg.overload
+          ~now_ms:(fun () -> Obs.Clock.now_s () *. 1000.0)
+          ();
     }
   in
   ready ();

@@ -16,6 +16,19 @@
     submission survives [kill -9].  Responses per connection are emitted
     in request order.
 
+    Robustness (DESIGN.md §14): feeds carrying a (cid, cseq) stamp are
+    deduplicated against a per-client table rebuilt from the WAL on
+    recovery, so client retransmissions are at-most-once even across a
+    crash.  An {!Overload} detector (queue occupancy + ack-latency EWMA
+    with dwell hysteresis) drives load shedding — [Backpressure] with a
+    [retry_after_ms] hint before the hard queue cap — and, when
+    [degrade_to] is set, switches the live estimator under sustained
+    overload and back on recovery.  Health is visible in [status]
+    (estimator/degraded/shed/ack_ewma_ms) and in [Obs.Metrics]
+    ([service.shed], [service.dup_acks], [service.degrade_switches],
+    [service.recover_switches], [service.wal_sync_failures],
+    [service.queue_depth], [service.ack_ewma_ms]).
+
     Shutdown: a [drain] request or SIGTERM runs the engine to the
     horizon, writes a final snapshot, answers pending clients, flushes,
     and returns.  SIGKILL at any point is recoverable: restart with the
@@ -29,7 +42,19 @@ type config = {
   state_dir : string option;  (** [None] = ephemeral (no durability) *)
   queue_cap : int;  (** bound on queued submissions + faults *)
   snapshot_every : int;  (** auto-snapshot period in accepted records; 0 = only on request/drain *)
-  drain_batch : int;  (** max requests processed per loop iteration *)
+  drain_batch : int;
+      (** max {e feed} requests entering the engine per loop iteration;
+          rejects and control requests are answered without consuming
+          the budget (shedding must stay cheap under the flood that
+          caused it) *)
+  degrade_to : string option;
+      (** estimator spec to switch to under sustained overload (e.g.
+          ["rand:0.1,0.9"]); [None] disables degraded mode.  The switch —
+          and the switch back on recovery — is logged as a [Mode] WAL
+          record and enacted by rebuilding the engine from the full
+          record history under the new estimator, so crash recovery
+          reproduces it bit-identically. *)
+  overload : Overload.config;  (** detector thresholds and dwell times *)
 }
 
 val make_config :
@@ -37,11 +62,14 @@ val make_config :
   ?queue_cap:int ->
   ?snapshot_every:int ->
   ?drain_batch:int ->
+  ?degrade_to:string ->
+  ?overload:Overload.config ->
   addr:Addr.t ->
   service:Config.t ->
   unit ->
   config
-(** Defaults: queue_cap 1024, snapshot_every 4096, drain_batch 256. *)
+(** Defaults: queue_cap 1024, snapshot_every 4096, drain_batch 256, no
+    degraded mode, {!Overload.default} thresholds. *)
 
 val run : ?ready:(unit -> unit) -> config -> (unit, string) result
 (** Bind, recover, serve until drained.  [ready] fires once the socket is

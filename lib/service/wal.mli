@@ -17,24 +17,73 @@
     - [snapshot.json] — the latest snapshot, written to a temp file and
       renamed into place (atomic on POSIX).
 
-    Crash windows: a torn final WAL line (power cut mid-append) is
-    dropped silently; a corrupt {e middle} line is a hard error (the log
-    is damaged, not merely truncated).  A crash between snapshot rename
-    and WAL truncation leaves records with [seq <= last_seq] in the log —
-    {!recover} drops them by sequence number.  The server [fsync]s the
-    WAL before acknowledging a batch, so an acked submission is always
-    recovered. *)
+    Every durability-critical syscall goes through {!Chaos.Fs}, so tests
+    can fail or tear any write/fsync/rename and die at any named crash
+    point deterministically.  Sites used here: [wal-open], [wal-header],
+    [wal-append], [wal-fsync], [wal-truncate], [snap-open], [snap-write],
+    [snap-fsync], [snap-rename], [dir-fsync]; points: [before-wal-append],
+    [after-wal-append], [after-wal-fsync], [after-snapshot-write],
+    [before-snapshot-rename], [after-snapshot-rename].
+
+    Crash and corruption windows (DESIGN.md §14):
+    - a torn final WAL line (power cut mid-append) is dropped and
+      reported in {!check} as torn-tail diagnosis;
+    - a corrupt {e middle} line, a sequence regression/duplicate, or a
+      damaged snapshot refuses to boot with a typed {!boot_error} naming
+      the file, line, and byte offset — the log is damaged, not merely
+      truncated, and guessing could double-apply or drop acked work;
+    - a failed or torn {e append} (ENOSPC, EIO, crash mid-write) is
+      repaired on the next {!sync}: the writer tracks the last durable
+      offset and truncates back to it before rewriting, so a retried
+      batch can never leave interleaved half-records;
+    - a crash between snapshot rename and WAL truncation leaves records
+      with [seq <= last_seq] in the log — {!recover} drops them by
+      sequence number; an orphaned [snapshot.json.tmp] is deleted.
+
+    The server [fsync]s the WAL before acknowledging a batch, so an acked
+    submission is always recovered. *)
 
 type record =
-  | Submit of { seq : int; org : int; user : int; release : int; size : int }
-  | Fault of { seq : int; time : int; event : Faults.Event.t }
+  | Submit of {
+      seq : int;
+      org : int;
+      user : int;
+      release : int;
+      size : int;
+      cid : int;  (** client id for idempotent retransmission; 0 = none *)
+      cseq : int;  (** client-chosen sequence under [cid]; 0 = none *)
+    }
+  | Fault of { seq : int; time : int; event : Faults.Event.t; cid : int; cseq : int }
+  | Mode of { seq : int; estimator : string }
+      (** the server switched the live estimator (degraded mode); logged
+          so WAL replay reproduces the switch deterministically *)
 
 val seq_of : record -> int
 val record_to_json : record -> Obs.Json.t
 val record_of_json : Obs.Json.t -> (record, string) result
 
+val is_feed : record -> bool
+(** [Submit]/[Fault] — records that feed the engine (a [Mode] switch does
+    not count toward accepted submissions). *)
+
 val wal_path : dir:string -> string
 val snapshot_path : dir:string -> string
+
+(** {2 Typed boot errors} *)
+
+type corruption = {
+  c_file : string;
+  c_line : int;  (** 1-based line number of the damage *)
+  c_offset : int;  (** byte offset of that line's start *)
+  c_reason : string;
+}
+
+type boot_error =
+  | Io of string  (** unreadable file, permission, short read *)
+  | Corrupt of corruption  (** refuse-to-start: damaged log or snapshot *)
+  | Mismatch of string  (** snapshot and WAL disagree on the config *)
+
+val boot_error_to_string : boot_error -> string
 
 (** {2 Writing} *)
 
@@ -49,8 +98,15 @@ val append : writer -> record -> unit
 
 val sync : writer -> (unit, string) result
 (** Flush the buffer and [fsync].  One call covers every {!append} since
-    the last — the server batches: append the whole admission batch, sync
-    once, then ack. *)
+    the last successful sync — the server batches: append the whole
+    admission batch, sync once, then ack.  On failure (ENOSPC, EIO, torn
+    write) the buffered records are {e kept} and the file is repaired
+    back to the last durable offset on the next call, so a later retry
+    can still make them durable without corrupting the log. *)
+
+val pending : writer -> bool
+(** Appended records not yet known durable (buffered, or written but not
+    fsynced). *)
 
 val close : writer -> unit
 
@@ -63,8 +119,9 @@ type snapshot = {
 }
 
 val write_snapshot : dir:string -> snapshot -> (string, string) result
-(** Write [snapshot.json] via temp-file + rename; returns the final path.
-    The caller recreates the WAL ({!create}) afterwards to compact. *)
+(** Write [snapshot.json] via temp-file + [fsync] + rename; returns the
+    final path.  The caller recreates the WAL ({!create}) afterwards to
+    compact. *)
 
 (** {2 Recovery} *)
 
@@ -74,7 +131,33 @@ type recovery = {
   r_last_seq : int;  (** 0 when empty *)
 }
 
-val recover : dir:string -> (recovery, string) result
+val recover : dir:string -> (recovery, boot_error) result
 (** Read snapshot and WAL, drop WAL records already covered by the
     snapshot ([seq <= last_seq]), verify the two agree on the config
-    ({!Config.equal}), tolerate a torn final WAL line. *)
+    ({!Config.equal}), tolerate a torn final WAL line, delete an orphaned
+    [snapshot.json.tmp].  Sequence numbers must be strictly increasing
+    within each file — a regression or duplicate is {!Corrupt}. *)
+
+(** {2 Offline inspection — [fairsched ctl wal-check]} *)
+
+type check_report = {
+  ck_kind : [ `Wal | `Snapshot | `State_dir ];
+  ck_config : Config.t option;
+  ck_submits : int;
+  ck_faults : int;
+  ck_modes : int;
+  ck_first_seq : int;  (** 0 when no records *)
+  ck_last_seq : int;
+  ck_gaps : (int * int) list;
+      (** adjacent seq pairs [(a, b)] with [b > a + 1]; expected after
+          compaction, suspicious otherwise *)
+  ck_torn : (int * int * int) option;
+      (** [(line, offset, bytes)] of a dropped torn tail *)
+}
+
+val check : string -> (check_report, boot_error) result
+(** Inspect a WAL file, a snapshot file (sniffed by content), or a state
+    directory (both, merged as {!recover} would).  Corrupt input comes
+    back as the same typed error a refused boot produces. *)
+
+val pp_check : Format.formatter -> check_report -> unit

@@ -231,6 +231,69 @@ let test_service_flag_errors () =
                /nonexistent/deep/state"
     ~expect:"fairsched:"
 
+(* Chaos/degrade plans are validated before the daemon binds anything. *)
+let test_chaos_flag_errors () =
+  check_error "serve --chaos explode@wal-append" ~expect:"unknown action";
+  check_error "serve --chaos crash" ~expect:"ACTION@TARGET";
+  check_error "serve --chaos crash@x:0" ~expect:"bad hit count";
+  check_error "serve --degrade nosuchestimator" ~expect:"unknown --degrade"
+
+(* --- durability inspection (ctl wal-check) ------------------------------ *)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let with_scratch_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fairsched-cli-wal-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e ->
+          try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let wal_header =
+  "{\"fairsched_wal\":1,\"config\":{\"machines\":[2,2],\"horizon\":1000,\"algorithm\":\"fifo\",\"seed\":1}}\n"
+
+let submit_line seq =
+  Printf.sprintf
+    "{\"rec\":\"submit\",\"seq\":%d,\"org\":0,\"user\":0,\"release\":%d,\"size\":1}\n"
+    seq seq
+
+(* The offline inspector's exit-code contract: 0 for an intact log
+   (a torn tail is a survivable crash artifact, diagnosed but fine),
+   2 with a typed one-liner naming the damage for anything corrupt. *)
+let test_wal_check () =
+  with_scratch_dir @@ fun dir ->
+  let wal = Filename.concat dir "wal.ndjson" in
+  write_file wal (wal_header ^ submit_line 1 ^ submit_line 2);
+  let code, lines = run_cmd ("ctl wal-check " ^ wal) in
+  Alcotest.(check int) "intact wal exits 0" 0 code;
+  let all = String.concat "\n" lines in
+  Alcotest.(check bool) "counts the records" true (contains all "2 submit");
+  Alcotest.(check bool) "no gaps" true (contains all "seq gaps: none");
+  write_file wal (wal_header ^ submit_line 1 ^ "{\"rec\":\"submit\",\"se");
+  let code, lines = run_cmd ("ctl wal-check " ^ wal) in
+  Alcotest.(check int) "torn tail exits 0" 0 code;
+  Alcotest.(check bool) "torn tail diagnosed" true
+    (contains (String.concat "\n" lines) "torn tail: line 3");
+  write_file wal (wal_header ^ "garbage\n" ^ submit_line 2);
+  let code, lines = run_cmd ("ctl wal-check " ^ wal) in
+  Alcotest.(check int) "corrupt middle exits 2" 2 code;
+  Alcotest.(check bool) "names line and offset" true
+    (contains (String.concat "\n" lines) "corrupt at line 2");
+  check_error "ctl wal-check" ~expect:"FILE";
+  check_error "ctl wal-check /nonexistent/wal.ndjson" ~expect:"fairsched:"
+
 let test_service_unreachable_daemon () =
   (* Clients against a daemon that is not there: exit 2, one-line message. *)
   check_error "status --to unix:/nonexistent/no-daemon.sock"
@@ -277,6 +340,8 @@ let () =
       ( "service",
         [
           Alcotest.test_case "flag errors" `Quick test_service_flag_errors;
+          Alcotest.test_case "chaos flag errors" `Quick test_chaos_flag_errors;
+          Alcotest.test_case "wal-check" `Quick test_wal_check;
           Alcotest.test_case "unreachable daemon" `Quick
             test_service_unreachable_daemon;
         ] );

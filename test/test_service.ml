@@ -79,10 +79,18 @@ let test_protocol_requests () =
     | Ok r' -> Alcotest.(check bool) line true (r = r')
     | Error msg -> Alcotest.failf "%s: %s" line msg
   in
-  roundtrip (Service.Protocol.Submit { org = 1; user = 3; release = 5; size = 2 });
-  roundtrip (Service.Protocol.Fault { time = 9; event = Faults.Event.Fail 2 });
   roundtrip
-    (Service.Protocol.Fault { time = 12; event = Faults.Event.Recover 2 });
+    (Service.Protocol.Submit
+       { org = 1; user = 3; release = 5; size = 2; cid = 0; cseq = 0 });
+  roundtrip
+    (Service.Protocol.Submit
+       { org = 1; user = 3; release = 5; size = 2; cid = 71; cseq = 4 });
+  roundtrip
+    (Service.Protocol.Fault
+       { time = 9; event = Faults.Event.Fail 2; cid = 0; cseq = 0 });
+  roundtrip
+    (Service.Protocol.Fault
+       { time = 12; event = Faults.Event.Recover 2; cid = 3; cseq = 9 });
   roundtrip Service.Protocol.Status;
   roundtrip Service.Protocol.Psi;
   roundtrip Service.Protocol.Snapshot;
@@ -109,7 +117,18 @@ let test_protocol_responses () =
   roundtrip (Service.Protocol.Snapshot_ok { seq = 11; path = "/tmp/snap" });
   roundtrip
     (Service.Protocol.Error
-       { code = Service.Protocol.Backpressure; msg = "queue full" });
+       {
+         code = Service.Protocol.Backpressure;
+         msg = "queue full";
+         retry_after_ms = None;
+       });
+  roundtrip
+    (Service.Protocol.Error
+       {
+         code = Service.Protocol.Backpressure;
+         msg = "shedding load";
+         retry_after_ms = Some 120;
+       });
   let stats = Kernel.Stats.create () in
   stats.Kernel.Stats.instants <- 42;
   stats.Kernel.Stats.starts <- 7;
@@ -130,6 +149,10 @@ let test_protocol_responses () =
          stats;
          job_wait =
            Some { Obs.Metrics.count = 5; p50 = 1.; p90 = 2.; p99 = 4.; max = 4. };
+         estimator = "rand:0.1,0.9";
+         degraded = true;
+         shed = 17;
+         ack_ewma_ms = 3.5;
        });
   roundtrip
     (Service.Protocol.Drain_ok
@@ -164,10 +187,14 @@ let with_tmpdir f =
 
 let sample_records =
   [
-    Service.Wal.Submit { seq = 1; org = 0; user = 2; release = 0; size = 3 };
-    Service.Wal.Fault { seq = 2; time = 1; event = Faults.Event.Fail 0 };
-    Service.Wal.Submit { seq = 3; org = 1; user = 0; release = 2; size = 1 };
-    Service.Wal.Fault { seq = 4; time = 3; event = Faults.Event.Recover 0 };
+    Service.Wal.Submit
+      { seq = 1; org = 0; user = 2; release = 0; size = 3; cid = 0; cseq = 0 };
+    Service.Wal.Fault
+      { seq = 2; time = 1; event = Faults.Event.Fail 0; cid = 12; cseq = 1 };
+    Service.Wal.Submit
+      { seq = 3; org = 1; user = 0; release = 2; size = 1; cid = 12; cseq = 2 };
+    Service.Wal.Fault
+      { seq = 4; time = 3; event = Faults.Event.Recover 0; cid = 0; cseq = 0 };
   ]
 
 let test_wal_roundtrip () =
@@ -184,7 +211,8 @@ let test_wal_roundtrip () =
   | Error msg -> Alcotest.failf "sync: %s" msg);
   Service.Wal.close w;
   match Service.Wal.recover ~dir with
-  | Error msg -> Alcotest.failf "recover: %s" msg
+  | Error e ->
+      Alcotest.failf "recover: %s" (Service.Wal.boot_error_to_string e)
   | Ok r ->
       Alcotest.(check bool)
         "config recovered" true
@@ -214,7 +242,9 @@ let test_wal_torn_tail () =
   output_string oc "{\"rec\":\"submit\",\"seq\":5,\"or";
   close_out oc;
   (match Service.Wal.recover ~dir with
-  | Error msg -> Alcotest.failf "torn tail should recover: %s" msg
+  | Error e ->
+      Alcotest.failf "torn tail should recover: %s"
+        (Service.Wal.boot_error_to_string e)
   | Ok r ->
       Alcotest.(check int) "torn line dropped" 4 r.Service.Wal.r_last_seq);
   (* A corrupt line in the MIDDLE means damage, not a torn append. *)
@@ -251,12 +281,214 @@ let test_wal_snapshot_dedupe () =
   ignore (Service.Wal.sync w);
   Service.Wal.close w;
   match Service.Wal.recover ~dir with
-  | Error msg -> Alcotest.failf "recover: %s" msg
+  | Error e ->
+      Alcotest.failf "recover: %s" (Service.Wal.boot_error_to_string e)
   | Ok r ->
       Alcotest.(check bool)
         "seq-deduped" true
         (r.Service.Wal.r_records = sample_records);
       Alcotest.(check int) "last seq" 4 r.Service.Wal.r_last_seq
+
+(* A failed sync (ENOSPC here, via the chaos shim) must leave the batch
+   pending and the file repairable: the retried sync lands every record
+   exactly once, with no interleaved half-records. *)
+let test_wal_sync_repair () =
+  let@ dir = with_tmpdir in
+  let config = mk_config () in
+  Fun.protect ~finally:Chaos.Fs.disarm @@ fun () ->
+  let w =
+    match Service.Wal.create ~dir ~config with
+    | Ok w -> w
+    | Error msg -> Alcotest.failf "create: %s" msg
+  in
+  Service.Wal.append w (List.nth sample_records 0);
+  Service.Wal.append w (List.nth sample_records 1);
+  Chaos.Fs.arm
+    [
+      {
+        Chaos.Fs.target = "wal-fsync";
+        nth = 1;
+        sticky = false;
+        action = Chaos.Fs.Fail Unix.ENOSPC;
+      };
+    ];
+  (match Service.Wal.sync w with
+  | Ok () -> Alcotest.fail "sync must surface ENOSPC"
+  | Error _ -> ());
+  Alcotest.(check bool) "batch still pending" true (Service.Wal.pending w);
+  Chaos.Fs.disarm ();
+  (* Space comes back; a later append joins the retried batch in order. *)
+  Service.Wal.append w (List.nth sample_records 2);
+  (match Service.Wal.sync w with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "retried sync: %s" msg);
+  Alcotest.(check bool) "nothing pending" false (Service.Wal.pending w);
+  Service.Wal.close w;
+  match Service.Wal.recover ~dir with
+  | Error e ->
+      Alcotest.failf "recover: %s" (Service.Wal.boot_error_to_string e)
+  | Ok r ->
+      Alcotest.(check bool)
+        "each record exactly once, in order" true
+        (r.Service.Wal.r_records
+        = [
+            List.nth sample_records 0;
+            List.nth sample_records 1;
+            List.nth sample_records 2;
+          ])
+
+(* --- Retry policy ------------------------------------------------------------ *)
+
+let test_retry_backoff () =
+  let rng = Fstats.Rng.create ~seed:1 in
+  let p =
+    Service.Retry.policy ~max_attempts:5 ~base_delay_ms:10. ~max_delay_ms:40.
+      ~multiplier:2. ~jitter:0. ~budget_ms:0. ()
+  in
+  let delay ?retry_after_ms attempt =
+    match
+      Service.Retry.next p ~rng ~attempt ~elapsed_ms:0. ~retry_after_ms
+    with
+    | Service.Retry.Sleep d -> d
+    | Service.Retry.Give_up -> Alcotest.failf "gave up at attempt %d" attempt
+  in
+  Alcotest.(check (float 0.001)) "attempt 1" 10. (delay 1);
+  Alcotest.(check (float 0.001)) "attempt 2 doubles" 20. (delay 2);
+  Alcotest.(check (float 0.001)) "attempt 3 doubles" 40. (delay 3);
+  Alcotest.(check (float 0.001)) "attempt 4 capped" 40. (delay 4);
+  (match
+     Service.Retry.next p ~rng ~attempt:5 ~elapsed_ms:0. ~retry_after_ms:None
+   with
+  | Service.Retry.Give_up -> ()
+  | Service.Retry.Sleep _ -> Alcotest.fail "attempt = max_attempts must give up");
+  (* The server's hint is a floor, never a cap. *)
+  Alcotest.(check (float 0.001))
+    "hint raises the delay" 500.
+    (delay ~retry_after_ms:500 1);
+  Alcotest.(check (float 0.001))
+    "hint below backoff is ignored" 20.
+    (delay ~retry_after_ms:5 2)
+
+let test_retry_budget_and_jitter () =
+  let rng = Fstats.Rng.create ~seed:2 in
+  let p =
+    Service.Retry.policy ~max_attempts:100 ~base_delay_ms:100. ~jitter:0.
+      ~budget_ms:250. ()
+  in
+  (* Better to fail now than to sleep into certain failure. *)
+  (match
+     Service.Retry.next p ~rng ~attempt:1 ~elapsed_ms:200. ~retry_after_ms:None
+   with
+  | Service.Retry.Sleep _ -> Alcotest.fail "slept past the budget"
+  | Service.Retry.Give_up -> ());
+  (match
+     Service.Retry.next p ~rng ~attempt:1 ~elapsed_ms:100. ~retry_after_ms:None
+   with
+  | Service.Retry.Sleep d ->
+      Alcotest.(check (float 0.001)) "within budget" 100. d
+  | Service.Retry.Give_up -> Alcotest.fail "budget not yet exhausted");
+  let pj =
+    Service.Retry.policy ~max_attempts:10 ~base_delay_ms:100. ~max_delay_ms:100.
+      ~jitter:0.25 ~budget_ms:0. ()
+  in
+  for _ = 1 to 200 do
+    match
+      Service.Retry.next pj ~rng ~attempt:1 ~elapsed_ms:0. ~retry_after_ms:None
+    with
+    | Service.Retry.Sleep d ->
+        if d < 74.999 || d > 125.001 then
+          Alcotest.failf "jittered delay %g outside [75, 125]" d
+    | Service.Retry.Give_up -> Alcotest.fail "gave up under no budget"
+  done
+
+(* --- Overload detector ------------------------------------------------------- *)
+
+let overload_cfg =
+  {
+    Service.Overload.default with
+    queue_high = 0.8;
+    queue_low = 0.3;
+    ack_high_ms = 1e9;
+    (* occupancy alone drives these tests *)
+    ack_low_ms = 1e9;
+    trip_ms = 100.;
+    recover_ms = 200.;
+  }
+
+let test_overload_dwell () =
+  let now = ref 0.0 in
+  let d =
+    Service.Overload.create ~config:overload_cfg ~now_ms:(fun () -> !now) ()
+  in
+  let obs ~t ~depth =
+    now := t;
+    Service.Overload.observe_queue d ~depth ~cap:10
+  in
+  let expect label lvl =
+    Alcotest.(check bool) label true (Service.Overload.level d = lvl)
+  in
+  obs ~t:0. ~depth:9;
+  expect "high, dwell just started" Service.Overload.Normal;
+  obs ~t:50. ~depth:9;
+  expect "still within trip dwell" Service.Overload.Normal;
+  obs ~t:100. ~depth:9;
+  expect "tripped after sustained pressure" Service.Overload.Overloaded;
+  (* Calm must also dwell before recovery. *)
+  obs ~t:200. ~depth:0;
+  obs ~t:350. ~depth:0;
+  expect "calm dwell not elapsed" Service.Overload.Overloaded;
+  obs ~t:400. ~depth:0;
+  expect "recovered after sustained calm" Service.Overload.Normal
+
+let test_overload_no_flap () =
+  let now = ref 0.0 in
+  let d =
+    Service.Overload.create ~config:overload_cfg ~now_ms:(fun () -> !now) ()
+  in
+  let obs ~t ~depth =
+    now := t;
+    Service.Overload.observe_queue d ~depth ~cap:10
+  in
+  (* A burst interrupted by an in-between observation resets the dwell
+     clock: pressure must be continuous to trip. *)
+  obs ~t:0. ~depth:9;
+  obs ~t:90. ~depth:5;
+  obs ~t:95. ~depth:9;
+  obs ~t:180. ~depth:9;
+  Alcotest.(check bool)
+    "interrupted pressure does not trip" true
+    (Service.Overload.level d = Service.Overload.Normal);
+  obs ~t:400. ~depth:9;
+  Alcotest.(check bool)
+    "re-sustained pressure trips" true
+    (Service.Overload.level d = Service.Overload.Overloaded)
+
+let test_overload_ack_signal () =
+  let now = ref 0.0 in
+  let cfg =
+    {
+      overload_cfg with
+      ack_high_ms = 50.;
+      ack_low_ms = 10.;
+      alpha = 1.0 (* EWMA = last observation: exact assertions *);
+    }
+  in
+  let d = Service.Overload.create ~config:cfg ~now_ms:(fun () -> !now) () in
+  Alcotest.(check int)
+    "hint floor before any ack" 25
+    (Service.Overload.retry_after_ms d);
+  Service.Overload.observe_ack d ~latency_ms:100.;
+  now := 150.;
+  Service.Overload.observe_ack d ~latency_ms:100.;
+  Alcotest.(check bool)
+    "ack latency alone trips" true
+    (Service.Overload.level d = Service.Overload.Overloaded);
+  Alcotest.(check (float 0.001))
+    "ewma tracks" 100.
+    (Service.Overload.ack_ewma_ms d);
+  Alcotest.(check int)
+    "hint scales with ewma" 400
+    (Service.Overload.retry_after_ms d)
 
 (* --- Online: batch/fed equivalence ------------------------------------------ *)
 
@@ -451,8 +683,9 @@ let connect_retry addr =
   let rec go n =
     match Service.Client.connect addr with
     | Ok c -> c
-    | Error msg ->
-        if n = 0 then Alcotest.failf "connect: %s" msg
+    | Error e ->
+        if n = 0 then
+          Alcotest.failf "connect: %s" (Service.Client.error_to_string e)
         else begin
           Unix.sleepf 0.05;
           go (n - 1)
@@ -463,7 +696,8 @@ let connect_retry addr =
 let request_ok client req =
   match Service.Client.request client req with
   | Ok resp -> resp
-  | Error msg -> Alcotest.failf "request: %s" msg
+  | Error e ->
+      Alcotest.failf "request: %s" (Service.Client.error_to_string e)
 
 let submit_job client (j : Core.Job.t) =
   match
@@ -474,6 +708,8 @@ let submit_job client (j : Core.Job.t) =
            user = j.Core.Job.user;
            release = j.Core.Job.release;
            size = j.Core.Job.size;
+           cid = 0;
+           cseq = 0;
          })
   with
   | Service.Protocol.Submit_ok { index; _ } ->
@@ -591,7 +827,8 @@ let test_backpressure () =
   for i = 1 to n do
     Buffer.add_string burst
       (Service.Protocol.request_to_line
-         (Service.Protocol.Submit { org = 0; user = 0; release = i; size = 1 }))
+         (Service.Protocol.Submit
+            { org = 0; user = 0; release = i; size = 1; cid = 0; cseq = 0 }))
   done;
   let payload = Buffer.contents burst in
   ignore (Unix.write_substring fd payload 0 (String.length payload));
@@ -621,7 +858,13 @@ let test_backpressure () =
         | Ok (Service.Protocol.Submit_ok _) -> (ok + 1, bp, other)
         | Ok
             (Service.Protocol.Error
-               { code = Service.Protocol.Backpressure; _ }) ->
+               {
+                 code = Service.Protocol.Backpressure;
+                 retry_after_ms = Some ms;
+                 _;
+               })
+          when ms > 0 ->
+            (* Every shed carries a back-off hint for the retry loop. *)
             (ok, bp + 1, other)
         | _ -> (ok, bp, other + 1))
       (0, 0, 0) lines
@@ -635,6 +878,131 @@ let test_backpressure () =
       Alcotest.(check int) "accepted = acked" ok st.Service.Protocol.accepted
   | _ -> Alcotest.fail "status after burst");
   Service.Client.close client
+
+(* At-most-once retransmission: a (cid, cseq)-stamped feed re-sent after
+   its ack was lost must come back from the dedupe cache — applied once,
+   counted once — and the table must survive a kill -9 (it is rebuilt
+   from the WAL). *)
+let test_dedupe () =
+  let@ dir = with_tmpdir in
+  let state_dir = Filename.concat dir "state" in
+  let service = mk_config ~machines:[| 2; 2 |] ~horizon:100_000 () in
+  let addr = Service.Addr.Unix_sock (Filename.concat dir "d.sock") in
+  let submit client ~release ~cseq =
+    request_ok client
+      (Service.Protocol.Submit
+         { org = 0; user = 0; release; size = 1; cid = 7; cseq })
+  in
+  (let@ pid = with_server ~state_dir ~service addr in
+   let client = connect_retry addr in
+   let first = submit client ~release:1 ~cseq:1 in
+   (match first with
+   | Service.Protocol.Submit_ok { index = 0; _ } -> ()
+   | _ -> Alcotest.fail "first submit");
+   Alcotest.(check bool)
+     "retransmission answered from the cache" true
+     (submit client ~release:1 ~cseq:1 = first);
+   (match request_ok client Service.Protocol.Status with
+   | Service.Protocol.Status_ok st ->
+       Alcotest.(check int) "applied once" 1 st.Service.Protocol.accepted
+   | _ -> Alcotest.fail "status");
+   (match submit client ~release:2 ~cseq:2 with
+   | Service.Protocol.Submit_ok { index = 1; _ } -> ()
+   | _ -> Alcotest.fail "second submit");
+   (* A regressed cseq is a client bug, not a retry: typed rejection. *)
+   (match submit client ~release:3 ~cseq:1 with
+   | Service.Protocol.Error { code = Service.Protocol.Bad_request; _ } -> ()
+   | _ -> Alcotest.fail "stale cseq must be rejected");
+   Service.Client.close client;
+   Unix.kill pid Sys.sigkill;
+   ignore (Unix.waitpid [] pid));
+  let@ _pid = with_server ~state_dir ~service addr in
+  let client = connect_retry addr in
+  (match submit client ~release:2 ~cseq:2 with
+  | Service.Protocol.Submit_ok { index = 1; _ } -> ()
+  | _ -> Alcotest.fail "post-crash retransmission not deduped");
+  (match request_ok client Service.Protocol.Status with
+  | Service.Protocol.Status_ok st ->
+      Alcotest.(check int)
+        "still applied once each" 2 st.Service.Protocol.accepted
+  | _ -> Alcotest.fail "status after recovery");
+  Service.Client.close client
+
+(* Resilient stamps feeds once, before the first attempt, so any manual
+   re-send of the same stamp is deduped server-side. *)
+let test_resilient_stamping () =
+  let@ dir = with_tmpdir in
+  let service = mk_config ~machines:[| 2; 2 |] ~horizon:100_000 () in
+  let addr = Service.Addr.Unix_sock (Filename.concat dir "d.sock") in
+  let@ _pid = with_server ~service addr in
+  Service.Client.close (connect_retry addr);
+  let conn =
+    Service.Client.Resilient.create ~cid:42
+      ~rng:(Fstats.Rng.create ~seed:3)
+      addr
+  in
+  let submit release =
+    match
+      Service.Client.Resilient.call conn
+        (Service.Protocol.Submit
+           { org = 0; user = 0; release; size = 1; cid = 0; cseq = 0 })
+    with
+    | Ok (Service.Protocol.Submit_ok { index; _ }) -> index
+    | Ok _ -> Alcotest.fail "unexpected response"
+    | Error e ->
+        Alcotest.failf "call: %s" (Service.Client.error_to_string e)
+  in
+  Alcotest.(check int) "first" 0 (submit 1);
+  Alcotest.(check int) "second" 1 (submit 2);
+  let client = connect_retry addr in
+  (match
+     request_ok client
+       (Service.Protocol.Submit
+          { org = 0; user = 0; release = 2; size = 1; cid = 42; cseq = 2 })
+   with
+  | Service.Protocol.Submit_ok { index = 1; _ } -> ()
+  | _ -> Alcotest.fail "re-send of the resilient stamp not deduped");
+  (match request_ok client Service.Protocol.Status with
+  | Service.Protocol.Status_ok st ->
+      Alcotest.(check int) "applied once each" 2 st.Service.Protocol.accepted
+  | _ -> Alcotest.fail "status");
+  let st = Service.Client.Resilient.stats conn in
+  Alcotest.(check int)
+    "healthy server needs no retries" 0
+    st.Service.Client.Resilient.retries;
+  Service.Client.Resilient.close conn;
+  Service.Client.close client
+
+(* Deadlines: a mute server turns into a typed Timeout, an absent one
+   into Refused — never an indefinite block. *)
+let test_client_timeout () =
+  let@ dir = with_tmpdir in
+  let path = Filename.concat dir "mute.sock" in
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 8;
+  (* Listening but never accepting: connect lands in the backlog, the
+     response never comes. *)
+  (match Service.Client.connect ~timeout_s:1.0 (Service.Addr.Unix_sock path) with
+  | Error e -> Alcotest.failf "connect: %s" (Service.Client.error_to_string e)
+  | Ok c -> (
+      (match Service.Client.request ~timeout_s:0.2 c Service.Protocol.Status with
+      | Error (Service.Client.Timeout _) -> ()
+      | Ok _ -> Alcotest.fail "mute server answered"
+      | Error e ->
+          Alcotest.failf "expected timeout, got %s"
+            (Service.Client.error_to_string e));
+      Service.Client.close c));
+  Unix.close srv;
+  match
+    Service.Client.connect ~timeout_s:0.5
+      (Service.Addr.Unix_sock (Filename.concat dir "absent.sock"))
+  with
+  | Error (Service.Client.Refused _) -> ()
+  | Ok _ -> Alcotest.fail "connected to nothing"
+  | Error e ->
+      Alcotest.failf "expected refused, got %s"
+        (Service.Client.error_to_string e)
 
 let test_malformed_lines () =
   let@ dir = with_tmpdir in
@@ -705,6 +1073,8 @@ let test_loadgen () =
           rate = 0.;
           count = 200;
           drain = true;
+          policy = Service.Retry.default;
+          timeout_s = 5.0;
         }
     with
     | Ok r -> r
@@ -737,6 +1107,19 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
           Alcotest.test_case "torn-tail" `Quick test_wal_torn_tail;
           Alcotest.test_case "snapshot-dedupe" `Quick test_wal_snapshot_dedupe;
+          Alcotest.test_case "sync-repair" `Quick test_wal_sync_repair;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "backoff" `Quick test_retry_backoff;
+          Alcotest.test_case "budget-and-jitter" `Quick
+            test_retry_budget_and_jitter;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "dwell" `Quick test_overload_dwell;
+          Alcotest.test_case "no-flap" `Quick test_overload_no_flap;
+          Alcotest.test_case "ack-signal" `Quick test_overload_ack_signal;
         ] );
       ( "online",
         [
@@ -754,6 +1137,10 @@ let () =
             test_served_equivalence;
           Alcotest.test_case "crash-recovery" `Quick test_crash_recovery;
           Alcotest.test_case "backpressure" `Quick test_backpressure;
+          Alcotest.test_case "dedupe" `Quick test_dedupe;
+          Alcotest.test_case "resilient-stamping" `Quick
+            test_resilient_stamping;
+          Alcotest.test_case "client-timeout" `Quick test_client_timeout;
           Alcotest.test_case "malformed-lines" `Quick test_malformed_lines;
           Alcotest.test_case "loadgen" `Quick test_loadgen;
         ] );
