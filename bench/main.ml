@@ -477,7 +477,7 @@ let wire () =
   in
   let records = 20_000 and batch = 64 in
   let w =
-    match Service.Wal.create ~dir ~config with
+    match Service.Wal.create ~dir ~config () with
     | Ok w -> w
     | Error e -> failwith e
   in
@@ -509,6 +509,247 @@ let wire () =
          ("wal_records_per_s", Obs.Json.Float wal_rate);
          ("wal_batch", Obs.Json.Int batch);
        ])
+
+(* --- E25: service saturation — sharded daemon throughput ---------------- *)
+
+(* Spawn the REAL `fairsched serve` (path from --serve-exe; fork+exec, so
+   safe even after this process has run domains) with a sharded,
+   group-committing configuration, saturate it with the pipelined
+   multi-connection load generator, and record throughput per
+   (shards × connections) cell.  Single-shard rows are the baseline; on a
+   multi-core machine the sharded rows must show real speedup, on a
+   single-core one the rows are flagged "single_core": true and the
+   speedup column only measures scheduling overhead.  [strict] (the
+   @bench-smoke row) turns lost submissions, unamortized fsyncs, and — on
+   multi-core — a sub-2x best speedup into hard failures. *)
+let service_scaling ?(strict = false) ~serve_exe ~shard_counts ~conn_counts
+    ~groups ~count () =
+  section "service_scaling — sharded daemon saturation (shards × connections)";
+  match serve_exe with
+  | None ->
+      Format.printf
+        "  !! skipped: pass --serve-exe PATH (the fairsched binary) to run \
+         this section@.";
+      record_json "service_scaling"
+        (Obs.Json.Obj [ ("skipped", Obs.Json.Bool true) ]);
+      if strict then begin
+        Format.eprintf "service_scaling smoke needs --serve-exe@.";
+        exit 1
+      end
+  | Some exe ->
+      let exe =
+        if Filename.is_relative exe then Filename.concat (Sys.getcwd ()) exe
+        else exe
+      in
+      let cores = Domain.recommended_domain_count () in
+      let single_core = cores < 2 in
+      let norgs = 2 * groups and machines = 4 * groups in
+      let horizon = 1_000_000 and seed = 4242 in
+      let window = 32 and commit_interval_ms = 2 in
+      Format.printf
+        "  cores=%d  groups=%d  orgs=%d  machines=%d  window=%d  \
+         commit-interval=%dms  jobs=%d@.@."
+        cores groups norgs machines window commit_interval_ms count;
+      if single_core then
+        Format.printf
+          "  !! single-core machine: worker domains time-share 1 core, so \
+           the speedup@.     column measures dispatch overhead, not scaling \
+           — rows are flagged@.     \"single_core\": true and the >= 2x \
+           floor is not enforced.@.@.";
+      let spec =
+        Workload.Scenario.default ~norgs ~machines ~horizon
+          Workload.Traces.lpc_egee
+      in
+      let tmp_root =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "fairsched-bench-serve-%d" (Unix.getpid ()))
+      in
+      let rec rm path =
+        if Sys.file_exists path then
+          if Sys.is_directory path then begin
+            Array.iter
+              (fun e -> rm (Filename.concat path e))
+              (Sys.readdir path);
+            Unix.rmdir path
+          end
+          else Sys.remove path
+      in
+      (try rm tmp_root with Sys_error _ | Unix.Unix_error _ -> ());
+      Unix.mkdir tmp_root 0o755;
+      let failed = ref [] in
+      let run_cell ~shards ~conns =
+        let cell = Printf.sprintf "s%d-c%d" shards conns in
+        let dir = Filename.concat tmp_root cell in
+        Unix.mkdir dir 0o755;
+        let sock = Filename.concat dir "d.sock" in
+        let out = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0o644 in
+        let pid =
+          Unix.create_process exe
+            [|
+              "fairsched"; "serve"; "--listen"; sock;
+              "--state"; Filename.concat dir "state";
+              "--orgs"; string_of_int norgs;
+              "--machines"; string_of_int machines;
+              "--horizon"; string_of_int horizon;
+              "--seed"; string_of_int seed;
+              "--algorithm"; "fairshare";
+              "--groups"; string_of_int groups;
+              "--shards"; string_of_int shards;
+              "--commit-interval"; string_of_int commit_interval_ms;
+            |]
+            Unix.stdin out Unix.stderr
+        in
+        Unix.close out;
+        let addr = Service.Addr.Unix_sock sock in
+        let rec connect_retry n =
+          match Service.Client.connect addr with
+          | Ok c -> c
+          | Error e ->
+              if n = 0 then
+                failwith
+                  (Printf.sprintf "connect %s: %s" cell
+                     (Service.Client.error_to_string e))
+              else begin
+                Unix.sleepf 0.05;
+                connect_retry (n - 1)
+              end
+        in
+        Service.Client.close (connect_retry 200);
+        let report =
+          match
+            Service.Loadgen.run
+              {
+                Service.Loadgen.addr;
+                spec;
+                seed;
+                rate = 0.;
+                count;
+                drain = false;
+                policy = Service.Retry.default;
+                timeout_s = 10.0;
+                connections = conns;
+                groups;
+                window;
+              }
+          with
+          | Ok r -> r
+          | Error msg -> failwith (cell ^ ": " ^ msg)
+        in
+        let client = connect_retry 20 in
+        let fsyncs, acks =
+          match Service.Client.request client Service.Protocol.Status with
+          | Ok (Service.Protocol.Status_ok st) ->
+              (st.Service.Protocol.fsyncs, st.Service.Protocol.accepted)
+          | Ok _ | Error _ -> (0, 0)
+        in
+        (match
+           Service.Client.request client
+             (Service.Protocol.Drain { detail = false })
+         with
+        | Ok _ | Error _ -> ());
+        Service.Client.close client;
+        ignore (try snd (Unix.waitpid [] pid) with Unix.Unix_error _ -> Unix.WEXITED 0);
+        let lost =
+          report.Service.Loadgen.gave_up + report.Service.Loadgen.errors
+        in
+        if lost > 0 then
+          failed := Printf.sprintf "%s: %d submissions lost" cell lost :: !failed;
+        if fsyncs >= acks && acks > 0 then
+          failed :=
+            Printf.sprintf "%s: group commit did not amortize (%d fsyncs / %d acks)"
+              cell fsyncs acks
+            :: !failed;
+        (report, fsyncs, acks)
+      in
+      Format.printf "  %-7s %-5s | %-9s %-9s %-9s %-7s %-7s@." "shards"
+        "conns" "rate/s" "p50 (us)" "p99 (us)" "fsyncs" "acks";
+      let cells =
+        List.concat_map
+          (fun shards -> List.map (fun conns -> (shards, conns)) conn_counts)
+          shard_counts
+      in
+      let rows =
+        List.map
+          (fun (shards, conns) ->
+            let report, fsyncs, acks = run_cell ~shards ~conns in
+            let rate = report.Service.Loadgen.achieved_rate in
+            let lat = report.Service.Loadgen.ack_latency in
+            Format.printf "  %-7d %-5d | %-9.0f %-9.0f %-9.0f %-7d %-7d@."
+              shards conns rate lat.Obs.Metrics.p50 lat.Obs.Metrics.p99 fsyncs
+              acks;
+            ((shards, conns, rate),
+             Obs.Json.Obj
+               [
+                 ("shards", Obs.Json.Int shards);
+                 ("connections", Obs.Json.Int conns);
+                 ("groups", Obs.Json.Int groups);
+                 ("jobs", Obs.Json.Int count);
+                 ("accepted", Obs.Json.Int report.Service.Loadgen.accepted);
+                 ("backpressured",
+                  Obs.Json.Int report.Service.Loadgen.backpressured);
+                 ("rate_per_s", Obs.Json.Float rate);
+                 ("ack_p50_us", Obs.Json.Float lat.Obs.Metrics.p50);
+                 ("ack_p99_us", Obs.Json.Float lat.Obs.Metrics.p99);
+                 ("fsyncs", Obs.Json.Int fsyncs);
+                 ("acks", Obs.Json.Int acks);
+               ]))
+          cells
+      in
+      (try rm tmp_root with Sys_error _ | Unix.Unix_error _ -> ());
+      let max_conns = List.fold_left Stdlib.max 1 conn_counts in
+      let rate_at s =
+        List.find_map
+          (fun ((s', c, r), _) -> if s' = s && c = max_conns then Some r else None)
+          rows
+      in
+      let base = rate_at 1 in
+      let best =
+        List.fold_left
+          (fun acc ((s, c, r), _) ->
+            if c = max_conns && s > 1 then Stdlib.max acc r else acc)
+          0. rows
+      in
+      let speedup =
+        match base with
+        | Some b when b > 0. && best > 0. -> Some (best /. b)
+        | _ -> None
+      in
+      (match speedup with
+      | Some sp ->
+          Format.printf "@.  best sharded / single-shard (at %d conns): %.2fx%s@."
+            max_conns sp
+            (if single_core then "  (single-core: overhead, not scaling)"
+             else "")
+      | None -> ());
+      record_json "service_scaling"
+        (Obs.Json.Obj
+           [
+             ("cores", Obs.Json.Int cores);
+             ("single_core", Obs.Json.Bool single_core);
+             ("window", Obs.Json.Int window);
+             ("commit_interval_ms", Obs.Json.Int commit_interval_ms);
+             ("rows", Obs.Json.List (List.map snd rows));
+             ( "speedup",
+               match speedup with
+               | Some sp -> Obs.Json.Float sp
+               | None -> Obs.Json.Null );
+           ]);
+      if strict then begin
+        List.iter (fun m -> Format.eprintf "  !! %s@." m) !failed;
+        (match speedup with
+        | Some sp when (not single_core) && sp < 2.0 ->
+            Format.eprintf
+              "  !! sharded throughput %.2fx single-shard baseline, below \
+               the 2x floor on a %d-core machine@."
+              sp cores;
+            failed := "speedup floor" :: !failed
+        | _ -> ());
+        if !failed <> [] then begin
+          Format.eprintf "service_scaling smoke FAILED@.";
+          exit 1
+        end
+      end
 
 (* --- E12: Bechamel micro-benchmarks ------------------------------------ *)
 
@@ -569,6 +810,7 @@ let () =
   let smoke = has "--smoke" in
   let approx_smoke = has "--approx-smoke" in
   let only = value_of "--only" in
+  let serve_exe = value_of "--serve-exe" in
   if has "--metrics" then Obs.Metrics.set_enabled true;
   let json_path =
     match value_of "--json" with
@@ -577,8 +819,14 @@ let () =
   in
   let sections =
     if smoke then
-      (* Tiny ref_scaling only: the `dune build @bench-smoke` alias. *)
-      [ ("ref_scaling", ref_scaling ~ks:[ 4 ] ~horizon:4_000) ]
+      (* Tiny ref_scaling plus a strict 2-group daemon saturation row: the
+         `dune build @bench-smoke` alias. *)
+      [
+        ("ref_scaling", ref_scaling ~ks:[ 4 ] ~horizon:4_000);
+        ( "service_scaling",
+          service_scaling ~strict:true ~serve_exe ~shard_counts:[ 1; 2 ]
+            ~conn_counts:[ 2 ] ~groups:2 ~count:600 );
+      ]
     else if approx_smoke then
       (* `dune build @approx-smoke`: the Thm 5.6 bound check at small k plus
          a k=24 online RAND run, failing hard on a violated bound or a blown
@@ -626,6 +874,12 @@ let () =
             ~horizon:(if quick then 200 else 400) );
         ("micro", micro);
         ("wire", wire);
+        ( "service_scaling",
+          service_scaling ~strict:false ~serve_exe
+            ~shard_counts:(if quick then [ 1; 2 ] else [ 1; 2; 4 ])
+            ~conn_counts:(if quick then [ 2 ] else [ 1; 4 ])
+            ~groups:4
+            ~count:(if quick then 1_000 else 5_000) );
       ]
   in
   let wanted =

@@ -343,7 +343,7 @@ let build_golden dir =
   Unix.mkdir dir 0o755;
   let config = golden_config () in
   let w =
-    match Service.Wal.create ~dir ~config with
+    match Service.Wal.create ~dir ~config () with
     | Ok w -> w
     | Error msg -> fatal "golden wal: %s" msg
   in
@@ -550,6 +550,9 @@ let sigkill_loadgen_phase root =
           drain = false;
           policy = Service.Retry.default;
           timeout_s = 5.0;
+          connections = 1;
+          groups = 1;
+          window = 1;
         }
     with
     | Ok r -> r

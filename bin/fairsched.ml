@@ -720,12 +720,22 @@ let split_conv =
   in
   Arg.conv (parse, print)
 
+let groups_arg =
+  Arg.(
+    value
+    & opt (positive_int_conv "--groups") 1
+    & info [ "groups" ] ~docv:"G"
+        ~doc:
+          "Org-group partition: split the organizations into G contiguous \
+           balanced scheduling domains, each with its own engine and WAL \
+           segment.  Durable — a state dir remembers its group count.")
+
 (* The daemon and the load generator must agree on the cluster shape and
    the user→organization map; deriving both from (model, orgs, machines,
    seed) through Scenario.split_and_map makes `serve` and `loadgen` with
    the same flags consistent by construction. *)
 let service_config ~model ~norgs ~machines ~horizon ~algorithm ~seed ~split
-    ~max_restarts ~workers =
+    ~max_restarts ~workers ~groups =
   let machine_split =
     match split with
     | Some counts -> counts
@@ -734,8 +744,8 @@ let service_config ~model ~norgs ~machines ~horizon ~algorithm ~seed ~split
         fst (Workload.Scenario.split_and_map spec ~seed)
   in
   match
-    Service.Config.make ?max_restarts ?workers ~machines:machine_split
-      ~horizon ~algorithm ~seed ()
+    Service.Config.make ?max_restarts ?workers ~groups
+      ~machines:machine_split ~horizon ~algorithm ~seed ()
   with
   | Ok c -> c
   | Error msg -> die "%s" msg
@@ -874,9 +884,32 @@ let serve_cmd =
       & info [ "overload-recover" ] ~docv:"MS"
           ~doc:"Sustained calm (ms) before recovering.")
   in
+  let shards_arg =
+    Arg.(
+      value
+      & opt (positive_int_conv "--shards") 1
+      & info [ "shards" ] ~docv:"W"
+          ~doc:
+            "Worker domains executing the org-groups (clamped to the group \
+             count).  Pure execution: scheduling state is bit-identical \
+             across any value for a fixed --groups.  1 runs everything \
+             inline on the router thread.")
+  in
+  let commit_interval_arg =
+    Arg.(
+      value
+      & opt (nonneg_float_conv "--commit-interval") 0.
+      & info [ "commit-interval" ] ~docv:"MS"
+          ~doc:
+            "Group-commit window in milliseconds: hold acks so one fsync \
+             covers a batch, bounding the added latency by this window.  0 \
+             fsyncs every pump (the classic behaviour).  Acked submissions \
+             survive kill -9 either way.")
+  in
   let run listen state model algo estimator norgs machines horizon seed split
       workers max_restarts queue_cap snapshot_every chaos degrade
-      overload_queue overload_ms overload_trip overload_recover trace metrics =
+      overload_queue overload_ms overload_trip overload_recover groups shards
+      commit_interval trace metrics =
     (match max_restarts with
     | Some r when r < 0 -> die "--max-restarts must be >= 0"
     | Some _ | None -> ());
@@ -899,7 +932,7 @@ let serve_cmd =
     report_estimator ~algo ~norgs;
     let service =
       service_config ~model ~norgs ~machines ~horizon ~algorithm:algo ~seed
-        ~split ~max_restarts ~workers
+        ~split ~max_restarts ~workers ~groups
     in
     with_obs ~trace ~metrics @@ fun () ->
     let overload =
@@ -919,7 +952,8 @@ let serve_cmd =
     in
     let cfg =
       Service.Server.make_config ?state_dir:state ~queue_cap ~snapshot_every
-        ?degrade_to:degrade ~overload ~addr:listen ~service ()
+        ?degrade_to:degrade ~overload ~shards
+        ~commit_interval:(commit_interval /. 1000.) ~addr:listen ~service ()
     in
     let ready () =
       Format.printf "fairsched serve: %a listening on %a%s@."
@@ -944,7 +978,8 @@ let serve_cmd =
       $ machines_arg $ horizon_arg 50_000 $ seed_arg $ split_arg $ workers_arg
       $ max_restarts_arg $ queue_cap_arg $ snapshot_every_arg $ chaos_arg
       $ degrade_arg $ overload_queue_arg $ overload_ms_arg $ overload_trip_arg
-      $ overload_recover_arg $ trace_arg $ metrics_arg)
+      $ overload_recover_arg $ groups_arg $ shards_arg $ commit_interval_arg
+      $ trace_arg $ metrics_arg)
 
 let submit_cmd =
   let org_arg =
@@ -1030,6 +1065,10 @@ let status_cmd =
                 st.Service.Protocol.estimator
                 (if st.Service.Protocol.degraded then " (DEGRADED)" else "")
                 st.Service.Protocol.shed st.Service.Protocol.ack_ewma_ms;
+              if st.Service.Protocol.groups > 1 then
+                Format.printf "groups %d  shards %d  fsyncs %d@."
+                  st.Service.Protocol.groups st.Service.Protocol.shards
+                  st.Service.Protocol.fsyncs;
               Format.printf "waiting per org: %s@."
                 (String.concat " "
                    (Array.to_list
@@ -1079,9 +1118,37 @@ let ctl_cmd =
     match file with
     | None -> die "wal-check needs a FILE argument (WAL, snapshot, or state dir)"
     | Some path -> (
-        match Service.Wal.check path with
-        | Ok report -> Format.printf "%a" Service.Wal.pp_check report
-        | Error e -> die "%s" (Service.Wal.boot_error_to_string e))
+        (* A segmented state dir (wal-<g>/ per org-group) gets every
+           segment checked independently; one corrupt segment fails the
+           whole inspection, same exit-2 contract as a corrupt flat WAL. *)
+        let seg_groups =
+          if Sys.file_exists path && Sys.is_directory path then
+            Service.Wal.segments ~dir:path
+          else []
+        in
+        match seg_groups with
+        | [] -> (
+            match Service.Wal.check path with
+            | Ok report -> Format.printf "%a" Service.Wal.pp_check report
+            | Error e -> die "%s" (Service.Wal.boot_error_to_string e))
+        | groups ->
+            let corrupt =
+              List.fold_left
+                (fun corrupt g ->
+                  let dir = Service.Wal.segment_dir ~dir:path ~group:g in
+                  Format.printf "segment %d (%s):@." g dir;
+                  match Service.Wal.check dir with
+                  | Ok report ->
+                      Format.printf "%a" Service.Wal.pp_check report;
+                      corrupt
+                  | Error e ->
+                      Format.printf "  %s@."
+                        (Service.Wal.boot_error_to_string e);
+                      corrupt + 1)
+                0 groups
+            in
+            if corrupt > 0 then
+              die "%d of %d segments corrupt" corrupt (List.length groups))
   in
   let run addr which detail file timeout_s =
     match which with
@@ -1184,8 +1251,28 @@ let loadgen_cmd =
           ~doc:
             "Wall-clock retry budget per submission; 0 removes the bound.")
   in
+  let connections_arg =
+    Arg.(
+      value
+      & opt (positive_int_conv "--connections") 1
+      & info [ "connections" ] ~docv:"N"
+          ~doc:
+            "Client connections, one domain each.  Jobs are assigned by \
+             org-group (see --groups) so each group's submissions stay on \
+             one socket in order.")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt (positive_int_conv "--window") 1
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "Max unacked submissions in flight per connection.  1 is the \
+             classic closed loop; larger windows pipeline (open loop: \
+             backpressure drops instead of retrying).")
+  in
   let run addr model norgs machines horizon seed rate count drain json
-      retry_attempts retry_budget timeout_s =
+      retry_attempts retry_budget connections groups window timeout_s =
     check_writable json;
     let spec = Workload.Scenario.default ~norgs ~machines ~horizon model in
     let cfg =
@@ -1200,6 +1287,9 @@ let loadgen_cmd =
           Service.Retry.policy ~max_attempts:retry_attempts
             ~budget_ms:(retry_budget *. 1000.) ();
         timeout_s;
+        connections;
+        groups;
+        window;
       }
     in
     match Service.Loadgen.run cfg with
@@ -1231,7 +1321,8 @@ let loadgen_cmd =
     Term.(
       const run $ to_arg $ model_arg $ norgs_arg $ machines_arg
       $ horizon_arg 50_000 $ seed_arg $ rate_arg $ count_arg $ drain_flag
-      $ json_arg $ retry_attempts_arg $ retry_budget_arg $ timeout_arg)
+      $ json_arg $ retry_attempts_arg $ retry_budget_arg $ connections_arg
+      $ groups_arg $ window_arg $ timeout_arg)
 
 (* --- examples / algorithms -------------------------------------------- *)
 

@@ -12,9 +12,26 @@
       acceptance floor of 1000 submissions/s and report ack-latency
       percentiles.
 
+   Any argv after the exe path is passed through to every `serve`
+   invocation — `serve_smoke fairsched --groups 2 --shards 2
+   --commit-interval 2` re-runs the whole gauntlet against a sharded,
+   group-committing daemon.  The smoke parses --groups/--shards/
+   --commit-interval out of the passthrough to shape its expectations:
+   with groups > 1 the golden ψsp/stats come from per-group batch-
+   equivalent engines over Partition.sub_config (grouping changes the
+   game — each consortium pools only its own machines), loadgen mirrors
+   the partition with one pipelined connection per group, and a group-
+   committing daemon must report fewer fsyncs than acks.
+
    Exit 0 on success, 1 with a one-line reason on any failure. *)
 
 let exe = ref ""
+let extra_serve_args = ref []
+
+(* Parsed back out of [extra_serve_args] to shape expectations. *)
+let groups = ref 1
+let shards = ref 1
+let commit_interval_ms = ref 0.
 let failures = ref 0
 
 let fail fmt =
@@ -60,7 +77,8 @@ let spawn_serve args =
   let out = devnull () in
   let pid =
     Unix.create_process !exe
-      (Array.of_list ((Filename.basename !exe :: "serve" :: args)))
+      (Array.of_list
+         (Filename.basename !exe :: "serve" :: (args @ !extra_serve_args)))
       Unix.stdin out Unix.stderr
   in
   Unix.close out;
@@ -124,18 +142,71 @@ let submit_job client (j : Core.Job.t) =
 
 (* --- phase 1: crash recovery --------------------------------------------- *)
 
+(* The golden outcome the daemon must reproduce.  Unsharded, that is the
+   batch Sim.Driver.run of the full instance.  With --groups G > 1 the
+   daemon plays G independent games (each group pools only its own
+   machine block), so the golden ψsp/stats come from one batch-equivalent
+   Online engine per group over Partition.sub_config, fed the same jobs
+   with org ids localized — scattered and summed back to global shape. *)
+let expected_outcome ~service ~algorithm ~seed instance =
+  if !groups = 1 then
+    let batch =
+      Sim.Driver.run ~instance
+        ~rng:(Fstats.Rng.create ~seed)
+        (Algorithms.Registry.find_exn algorithm)
+    in
+    (batch.Sim.Driver.utilities_scaled, batch.Sim.Driver.stats)
+  else begin
+    let p = Service.Partition.make service in
+    let sessions =
+      Array.init !groups (fun g ->
+          Service.Online.create (Service.Partition.sub_config p g))
+    in
+    Array.iter
+      (fun (j : Core.Job.t) ->
+        let g = Service.Partition.group_of_org p j.Core.Job.org in
+        match
+          Service.Online.submit sessions.(g)
+            ~org:(Service.Partition.local_org p j.Core.Job.org)
+            ~user:j.Core.Job.user ~size:j.Core.Job.size
+            ~release:j.Core.Job.release ()
+        with
+        | Ok _ -> ()
+        | Error e ->
+            fatal "grouped golden submit: %s" (Service.Online.error_to_string e))
+      instance.Core.Instance.jobs;
+    Array.iter Service.Online.drain sessions;
+    let psi =
+      Service.Partition.scatter_int p (fun g ->
+          Service.Online.psi_scaled sessions.(g))
+    in
+    let stats =
+      Kernel.Stats.total
+        (Array.to_list (Array.map Service.Online.stats sessions))
+    in
+    (psi, stats)
+  end
+
 let crash_recovery_phase dir =
   let seed = 2013 and horizon = 20_000 and norgs = 3 and machines = 6 in
+  let norgs = if !groups > norgs then !groups else norgs in
   let algorithm = "fairshare" in
   let spec =
     Workload.Scenario.default ~norgs ~machines ~horizon
       Workload.Traces.lpc_egee
   in
   let instance = Workload.Scenario.instance spec ~seed in
-  let batch =
-    Sim.Driver.run ~instance
-      ~rng:(Fstats.Rng.create ~seed)
-      (Algorithms.Registry.find_exn algorithm)
+  let service =
+    match
+      Service.Config.make ~groups:!groups
+        ~machines:(fst (Workload.Scenario.split_and_map spec ~seed))
+        ~horizon ~algorithm ~seed ()
+    with
+    | Ok c -> c
+    | Error msg -> fatal "config: %s" msg
+  in
+  let expected_psi, expected_stats =
+    expected_outcome ~service ~algorithm ~seed instance
   in
   let jobs = instance.Core.Instance.jobs in
   let split = Array.length jobs / 2 in
@@ -175,14 +246,18 @@ let crash_recovery_phase dir =
    if code <> 0 then fail "`fairsched status` exited %d" code);
   (let code = run_cli [ "ctl"; "psi"; "--to"; sock ] in
    if code <> 0 then fail "`fairsched ctl psi` exited %d" code);
+  (* Offline durability inspection of the live state dir (flat, or one
+     wal-<g>/ segment per group under sharding). *)
+  (let code = run_cli [ "ctl"; "wal-check"; state ] in
+   if code <> 0 then fail "`fairsched ctl wal-check` exited %d" code);
   Array.iteri (fun i j -> if i >= split then submit_job client j) jobs;
   (match request client (Service.Protocol.Drain { detail = false }) with
   | Service.Protocol.Drain_ok r ->
-      if r.Service.Protocol.d_psi_scaled <> batch.Sim.Driver.utilities_scaled
-      then fail "psi after crash differs from batch";
+      if r.Service.Protocol.d_psi_scaled <> expected_psi then
+        fail "psi after crash differs from batch";
       if
         Kernel.Stats.to_json r.Service.Protocol.d_stats
-        <> Kernel.Stats.to_json batch.Sim.Driver.stats
+        <> Kernel.Stats.to_json expected_stats
       then fail "kernel stats after crash differ from batch"
   | _ -> fatal "drain: unexpected response");
   Service.Client.close client;
@@ -227,17 +302,28 @@ let loadgen_phase dir =
   let sock = Filename.concat dir "load.sock" in
   let pid =
     spawn_serve
-      [
-        "--listen"; sock; "--orgs"; "3"; "--machines"; "8";
-        "--horizon"; "1000000"; "--seed"; string_of_int seed;
-        "--algorithm"; "fairshare";
-      ]
+      ([
+         "--listen"; sock; "--orgs"; "3"; "--machines"; "8";
+         "--horizon"; "1000000"; "--seed"; string_of_int seed;
+         "--algorithm"; "fairshare";
+       ]
+      @
+      (* Group commit is about WAL fsyncs: give the daemon a state dir
+         when that is what this run exercises (otherwise stay ephemeral,
+         the classic throughput floor). *)
+      if !commit_interval_ms > 0. then
+        [ "--state"; Filename.concat dir "load-state" ]
+      else [])
   in
   Fun.protect
     ~finally:(fun () -> kill9 pid)
     (fun () ->
       let addr = Service.Addr.Unix_sock sock in
       Service.Client.close (connect_retry addr);
+      (* Mirror the daemon's shape: one connection per org-group, and —
+         when group commit is on — a pipelined window so one fsync can
+         cover many acks. *)
+      let window = if !commit_interval_ms > 0. then 32 else 1 in
       let report =
         match
           Service.Loadgen.run
@@ -247,9 +333,12 @@ let loadgen_phase dir =
               seed;
               rate = 0.;
               count;
-              drain = true;
+              drain = false;
               policy = Service.Retry.default;
               timeout_s = 5.0;
+              connections = !groups;
+              groups = !groups;
+              window;
             }
         with
         | Ok r -> r
@@ -266,14 +355,56 @@ let loadgen_phase dir =
       (* The acceptance floor: >= 1000 sustained submissions per second. *)
       if report.Service.Loadgen.achieved_rate < 1000. then
         fail "throughput %.0f/s below the 1000/s floor"
-          report.Service.Loadgen.achieved_rate)
+          report.Service.Loadgen.achieved_rate;
+      (* The daemon's own view: the partition it reported must be the one
+         we asked for, and group commit must have amortized fsyncs. *)
+      let client = connect_retry addr in
+      (match request client Service.Protocol.Status with
+      | Service.Protocol.Status_ok st ->
+          if st.Service.Protocol.groups <> !groups then
+            fail "daemon reports %d groups, expected %d"
+              st.Service.Protocol.groups !groups;
+          let w = if !shards < !groups then !shards else !groups in
+          let w = if w < 1 then 1 else w in
+          if st.Service.Protocol.shards <> w then
+            fail "daemon reports %d shards, expected %d"
+              st.Service.Protocol.shards w;
+          if
+            !commit_interval_ms > 0.
+            && st.Service.Protocol.fsyncs >= st.Service.Protocol.accepted
+          then
+            fail "group commit did not amortize: %d fsyncs for %d accepted"
+              st.Service.Protocol.fsyncs st.Service.Protocol.accepted
+      | _ -> fatal "status: unexpected response");
+      (match request client (Service.Protocol.Drain { detail = false }) with
+      | Service.Protocol.Drain_ok _ -> ()
+      | _ -> fatal "drain: unexpected response");
+      Service.Client.close client)
 
 let () =
-  if Array.length Sys.argv < 2 then fatal "usage: serve_smoke FAIRSCHED_EXE";
+  if Array.length Sys.argv < 2 then
+    fatal "usage: serve_smoke FAIRSCHED_EXE [SERVE_ARGS...]";
   exe :=
     (if Filename.is_relative Sys.argv.(1) then
        Filename.concat (Sys.getcwd ()) Sys.argv.(1)
      else Sys.argv.(1));
+  extra_serve_args :=
+    Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2));
+  (let rec scan = function
+     | "--groups" :: v :: rest ->
+         groups := int_of_string v;
+         scan rest
+     | "--shards" :: v :: rest ->
+         shards := int_of_string v;
+         scan rest
+     | "--commit-interval" :: v :: rest ->
+         commit_interval_ms := float_of_string v;
+         scan rest
+     | _ :: rest -> scan rest
+     | [] -> ()
+   in
+   try scan !extra_serve_args
+   with Failure _ -> fatal "bad --groups/--shards/--commit-interval value");
   with_tmpdir (fun dir ->
       crash_recovery_phase dir;
       cli_submit_phase dir;

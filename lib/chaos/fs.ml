@@ -2,24 +2,32 @@ type action = Fail of Unix.error | Short of int | Torn of int | Crash
 
 type rule = { target : string; nth : int; sticky : bool; action : action }
 
-(* One armed rule with its live hit counter.  The plan is process-global
-   and single-domain (the daemon's I/O is single-threaded); a plain ref
-   is enough. *)
+(* One armed rule with its live hit counter.  The plan is process-global;
+   a sharded daemon does WAL I/O from several worker domains at once, so
+   the armed path takes [lock] — hit counts stay exact (the chaos smoke
+   replays plans by hit ordinal).  The unarmed fast path stays lock-free:
+   the plan only changes at arm/disarm time, before any worker exists. *)
 type live = { rule : rule; mutable seen : int; mutable spent : bool }
 
 let plan : live list ref = ref []
 let injected_count = ref 0
 let hit_tbl : (string, int) Hashtbl.t = Hashtbl.create 16
+let lock = Mutex.create ()
 
 let arm rules =
-  plan := List.map (fun rule -> { rule; seen = 0; spent = false }) rules;
-  injected_count := 0;
-  Hashtbl.reset hit_tbl
+  Mutex.protect lock (fun () ->
+      plan := List.map (fun rule -> { rule; seen = 0; spent = false }) rules;
+      injected_count := 0;
+      Hashtbl.reset hit_tbl)
 
 let disarm () = arm []
 let armed () = !plan <> []
 let injected () = !injected_count
-let hits name = Option.value ~default:0 (Hashtbl.find_opt hit_tbl name)
+
+let hits name =
+  Mutex.protect lock (fun () ->
+      Option.value ~default:0 (Hashtbl.find_opt hit_tbl name))
+
 let exit_code = 137
 
 (* Find the action to apply at [name], advancing hit counters.  At most
@@ -27,25 +35,31 @@ let exit_code = 137
 let fire name =
   match !plan with
   | [] -> None
-  | lives ->
-      Hashtbl.replace hit_tbl name (hits name + 1);
-      let rec go = function
-        | [] -> None
-        | l :: rest ->
-            if l.rule.target = "*" || l.rule.target = name then begin
-              l.seen <- l.seen + 1;
-              if
-                (l.seen = l.rule.nth || (l.rule.sticky && l.seen > l.rule.nth))
-                && not l.spent
-              then begin
-                if not l.rule.sticky then l.spent <- l.seen >= l.rule.nth;
-                Some l.rule.action
-              end
-              else go rest
-            end
-            else go rest
-      in
-      go lives
+  | _ ->
+      Mutex.protect lock (fun () ->
+          match !plan with
+          | [] -> None
+          | lives ->
+              Hashtbl.replace hit_tbl name
+                (Option.value ~default:0 (Hashtbl.find_opt hit_tbl name) + 1);
+              let rec go = function
+                | [] -> None
+                | l :: rest ->
+                    if l.rule.target = "*" || l.rule.target = name then begin
+                      l.seen <- l.seen + 1;
+                      if
+                        (l.seen = l.rule.nth
+                        || (l.rule.sticky && l.seen > l.rule.nth))
+                        && not l.spent
+                      then begin
+                        if not l.rule.sticky then l.spent <- l.seen >= l.rule.nth;
+                        Some l.rule.action
+                      end
+                      else go rest
+                    end
+                    else go rest
+              in
+              go lives)
 
 let die () = Unix._exit exit_code
 

@@ -6,11 +6,32 @@ type t = {
   seed : int;
   max_restarts : int option;
   workers : int option;
+  groups : int;
 }
 
-let make ?speeds ?max_restarts ?workers ~machines ~horizon ~algorithm ~seed ()
-    =
+(* Org-groups partition the organizations into contiguous balanced blocks:
+   group [g] owns orgs [g*k/G, (g+1)*k/G).  Machines follow their orgs. *)
+let group_org_lo ~orgs ~groups g = g * orgs / groups
+
+let make ?speeds ?max_restarts ?workers ?(groups = 1) ~machines ~horizon
+    ~algorithm ~seed () =
   let total = Array.fold_left ( + ) 0 machines in
+  let orgs = Array.length machines in
+  let empty_group () =
+    (* every group needs at least one machine, or its session is invalid *)
+    let rec go g =
+      if g >= groups then false
+      else
+        let lo = group_org_lo ~orgs ~groups g
+        and hi = group_org_lo ~orgs ~groups (g + 1) in
+        let sum = ref 0 in
+        for o = lo to hi - 1 do
+          sum := !sum + machines.(o)
+        done;
+        if !sum = 0 then true else go (g + 1)
+    in
+    go 0
+  in
   if Array.length machines = 0 then Error "no organizations"
   else if Array.exists (fun m -> m < 0) machines then
     Error "negative machine count"
@@ -22,13 +43,17 @@ let make ?speeds ?max_restarts ?workers ~machines ~horizon ~algorithm ~seed ()
     Error "max_restarts must be >= 0"
   else if (match workers with Some w -> w < 1 | None -> false) then
     Error "workers must be >= 1"
+  else if groups < 1 then Error "groups must be >= 1"
+  else if groups > orgs then Error "groups must not exceed the organization count"
+  else if empty_group () then Error "every org-group needs at least one machine"
   else
     match speeds with
     | Some sp when Array.length sp <> total ->
         Error "speeds length must match the machine count"
     | Some sp when Array.exists (fun s -> s <= 0.) sp ->
         Error "speeds must be positive"
-    | _ -> Ok { machines; speeds; horizon; algorithm; seed; max_restarts; workers }
+    | _ ->
+        Ok { machines; speeds; horizon; algorithm; seed; max_restarts; workers; groups }
 
 let organizations t = Array.length t.machines
 let total_machines t = Array.fold_left ( + ) 0 t.machines
@@ -63,6 +88,9 @@ let to_json t =
          (match t.workers with
          | None -> []
          | Some w -> [ ("workers", Int w) ]);
+         (* omitted when 1 so single-group WAL headers stay byte-identical
+            with logs written before sharding existed *)
+         (if t.groups = 1 then [] else [ ("groups", Int t.groups) ]);
        ])
 
 let int_field j name =
@@ -113,12 +141,19 @@ let of_json j =
   let* seed = int_field j "seed" in
   let* max_restarts = opt_int_field j "max_restarts" in
   let* workers = opt_int_field j "workers" in
-  make ?speeds ?max_restarts ?workers ~machines ~horizon ~algorithm ~seed ()
+  let* groups =
+    match opt_int_field j "groups" with
+    | Ok None -> Ok 1
+    | Ok (Some g) -> Ok g
+    | Error e -> Error e
+  in
+  make ?speeds ?max_restarts ?workers ~groups ~machines ~horizon ~algorithm
+    ~seed ()
 
 let equal a b =
   a.machines = b.machines && a.speeds = b.speeds && a.horizon = b.horizon
   && a.algorithm = b.algorithm && a.seed = b.seed
-  && a.max_restarts = b.max_restarts
+  && a.max_restarts = b.max_restarts && a.groups = b.groups
 
 let pp ppf t =
   Format.fprintf ppf "%s k=%d m=%d horizon=%d seed=%d" t.algorithm

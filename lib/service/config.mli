@@ -18,12 +18,20 @@ type t = {
   seed : int;  (** RNG seed handed to the policy maker *)
   max_restarts : int option;  (** kill budget under faults *)
   workers : int option;  (** worker domains for parallel-capable policies *)
+  groups : int;
+      (** org-groups: the number of independent scheduling domains the
+          organizations are partitioned into ({!Partition}).  Each group
+          owns a contiguous block of orgs (and their machines), its own
+          session, and its own WAL segment.  Part of the durable identity:
+          the partition determines ψsp, so a resumed daemon must keep it.
+          [1] (the default) is the unsharded daemon. *)
 }
 
 val make :
   ?speeds:float array ->
   ?max_restarts:int ->
   ?workers:int ->
+  ?groups:int ->
   machines:int array ->
   horizon:int ->
   algorithm:string ->
@@ -33,7 +41,8 @@ val make :
 (** Validates what {!Core.Instance.make} and {!Algorithms.Registry.find}
     would reject later: at least one machine, positive horizon, known
     algorithm, non-negative restart budget, positive workers, speeds length
-    matching the machine count. *)
+    matching the machine count, [1 <= groups <= organizations] with at
+    least one machine per org-group. *)
 
 val organizations : t -> int
 val total_machines : t -> int

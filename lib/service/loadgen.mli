@@ -17,7 +17,27 @@
     retransmission is never double-applied.  A SIGKILLed-and-restarted
     daemon therefore costs the run some retries, not lost acks.  A
     request whose retry budget runs out counts in [gave_up] and the run
-    moves on to the next job. *)
+    moves on to the next job.
+
+    {b Multi-connection mode.}  With [connections > 1] the generator
+    opens that many sockets, each driven by its own domain.  Jobs are
+    assigned by {e org-group} (group [g] to connection [g mod N], under
+    the same contiguous balanced partition the server uses when [groups]
+    matches its [--groups]): the admission frontier is monotone per
+    group, so splitting one group's stream across sockets would race the
+    releases.  The target [rate] is divided across connections in
+    proportion to their job counts; counters are summed and the latency
+    histogram shared (it is domain-safe).
+
+    {b Windowed (open-loop) mode.}  [window > 1] switches a connection
+    from the resilient closed loop to a raw pipelined socket keeping up
+    to [window] stamped submissions in flight.  One server fsync can
+    then cover many acks — this is what makes [--commit-interval] group
+    commit measurable.  Semantics become open-loop: [Backpressure]
+    answers are counted and the job dropped (not retried); transport
+    failures reconnect and retransmit every unacked request with its
+    original (cid, cseq) stamp, so crashes still cost retries rather
+    than double-applies. *)
 
 type config = {
   addr : Addr.t;
@@ -28,6 +48,13 @@ type config = {
   drain : bool;  (** send [drain] when done (shuts the daemon down) *)
   policy : Retry.policy;  (** retry/backoff budget for every request *)
   timeout_s : float;  (** per-phase socket deadline *)
+  connections : int;  (** sockets (one domain each); 1 = the classic single-connection run *)
+  groups : int;
+      (** org-group partition to mirror when assigning jobs to
+          connections; set to the server's [--groups] *)
+  window : int;
+      (** max unacked submissions in flight per connection; 1 = closed
+          loop via {!Client.Resilient}, >1 = pipelined open loop *)
 }
 
 type report = {

@@ -45,6 +45,12 @@ let create ?(config = default) ~now_ms () =
 let ack_ewma_ms t = Option.value ~default:0.0 t.ewma
 let level t = t.lvl
 
+(* Roll per-shard detectors up to one service health: any overloaded
+   shard makes the service overloaded (it is the one clients of that
+   org-group experience). *)
+let worst levels =
+  if List.exists (fun l -> l = Overloaded) levels then Overloaded else Normal
+
 (* Either signal high => pressure; both low => calm; in between, neither
    dwell clock runs (the current level holds). *)
 let evaluate t =

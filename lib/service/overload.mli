@@ -44,6 +44,10 @@ val observe_queue : t -> depth:int -> cap:int -> unit
 
 val level : t -> level
 
+val worst : level list -> level
+(** Roll per-shard levels up to one service health: [Overloaded] if any
+    shard is. *)
+
 val ack_ewma_ms : t -> float
 (** Current EWMA; 0 before the first observation. *)
 

@@ -34,6 +34,9 @@ type status = {
   degraded : bool;
   shed : int;
   ack_ewma_ms : float;
+  groups : int;
+  shards : int;
+  fsyncs : int;
 }
 
 type drain_report = {
@@ -242,6 +245,9 @@ let status_json s =
       ("degraded", Bool s.degraded);
       ("shed", Int s.shed);
       ("ack_ewma_ms", Float s.ack_ewma_ms);
+      ("groups", Int s.groups);
+      ("shards", Int s.shards);
+      ("fsyncs", Int s.fsyncs);
     ]
   in
   let fields =
@@ -289,6 +295,10 @@ let status_of_json j =
         | Some f -> Ok f
         | None -> Error "field \"ack_ewma_ms\" must be numeric")
   in
+  (* defaults keep pre-sharding daemons parseable *)
+  let* groups = opt_int_field j "groups" ~default:1 in
+  let* shards = opt_int_field j "shards" ~default:1 in
+  let* fsyncs = opt_int_field j "fsyncs" ~default:0 in
   Ok
     (Status_ok
        {
@@ -309,6 +319,9 @@ let status_of_json j =
          degraded;
          shed;
          ack_ewma_ms;
+         groups;
+         shards;
+         fsyncs;
        })
 
 let schedule_rows_json rows =

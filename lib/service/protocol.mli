@@ -54,7 +54,12 @@ type status = {
   estimator : string;  (** live estimator spec (e.g. ["ref"], ["rand:0.1,0.95"]) *)
   degraded : bool;  (** true while overload has switched the estimator *)
   shed : int;  (** feed requests shed by overload protection since boot *)
-  ack_ewma_ms : float;  (** smoothed submit-to-ack latency *)
+  ack_ewma_ms : float;  (** smoothed submit-to-ack latency (worst shard) *)
+  groups : int;  (** org-group partition size (1 = unsharded) *)
+  shards : int;  (** worker domains executing the groups *)
+  fsyncs : int;
+      (** WAL fsyncs since boot, summed over segments; under group-commit
+          this stays well below [accepted] (one fsync acks a batch) *)
 }
 
 type drain_report = {

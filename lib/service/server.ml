@@ -1,3 +1,12 @@
+(* The daemon's router.  It owns the listening socket and every
+   connection, parses request lines, and routes each feed to the shard
+   owning its org-group; control requests are broadcast to all groups
+   and their per-group parts merged back into one response.  Engine
+   work, WAL appends, group commit, dedupe, and overload detection all
+   live in Shard — one per org-group, executed by 1..shards worker
+   domains (inline on this thread when single-shard, preserving the
+   pre-sharding single-threaded daemon exactly).  DESIGN.md §15. *)
+
 type config = {
   addr : Addr.t;
   service : Config.t;
@@ -7,11 +16,13 @@ type config = {
   drain_batch : int;
   degrade_to : string option;
   overload : Overload.config;
+  shards : int;
+  commit_interval : float;
 }
 
 let make_config ?state_dir ?(queue_cap = 1024) ?(snapshot_every = 4096)
-    ?(drain_batch = 256) ?degrade_to ?(overload = Overload.default) ~addr
-    ~service () =
+    ?(drain_batch = 256) ?degrade_to ?(overload = Overload.default)
+    ?(shards = 1) ?(commit_interval = 0.0) ~addr ~service () =
   {
     addr;
     service;
@@ -21,56 +32,57 @@ let make_config ?state_dir ?(queue_cap = 1024) ?(snapshot_every = 4096)
     drain_batch;
     degrade_to;
     overload;
+    shards;
+    commit_interval;
   }
 
-(* Health counters; no-ops unless the process enables Obs.Metrics. *)
 let m_shed = Obs.Metrics.counter "service.shed"
-let m_dup_acks = Obs.Metrics.counter "service.dup_acks"
-let m_degrade = Obs.Metrics.counter "service.degrade_switches"
-let m_recover = Obs.Metrics.counter "service.recover_switches"
-let m_wal_sync_failures = Obs.Metrics.counter "service.wal_sync_failures"
-let g_queue_depth = Obs.Metrics.gauge "service.queue_depth"
-let g_ack_ewma = Obs.Metrics.gauge "service.ack_ewma_ms"
 
+(* Per-connection responses must come back in request order even though
+   different shards answer at different speeds, so every request gets a
+   slot and completions park in [pending] until their turn. *)
 type conn = {
   fd : Unix.file_descr;
   rbuf : Buffer.t;
   out : Buffer.t;
   mutable eof : bool;
   mutable closed : bool;
+  mutable next_slot : int;  (* next slot to assign *)
+  mutable next_emit : int;  (* next slot to write out *)
+  pending : (int, Protocol.response) Hashtbl.t;  (* done out of order *)
 }
 
-type queued = Req of Protocol.request | Reject of Protocol.error_code * string
+(* One broadcast control request: a part expected from every group. *)
+type gather = {
+  g_conn : conn option;  (* None: SIGTERM-driven drain, nobody to answer *)
+  g_slot : int;
+  g_kind : [ `Status | `Psi | `Snapshot | `Drain ];
+  g_parts : Shard.part option array;
+  mutable g_waiting : int;
+}
+
+type tok = Feed_tok of conn * int | Gather_tok of gather
 
 type state = {
   cfg : config;
   base : Config.t;
-      (* the durable identity: what the WAL header and snapshots carry.
-         [online]'s own config may differ in [algorithm] while degraded. *)
-  mutable online : Online.t;
-  mutable estimator : string;  (* algorithm the live engine runs *)
-  mutable writer : Wal.writer option;
-  mutable seq : int;  (* last assigned sequence number *)
-  mutable records_rev : Wal.record list;  (* every accepted record, newest first *)
-  mutable since_snapshot : int;
-  mutable accepted : int;
-  mutable rejected : int;
-  mutable shed : int;  (* feeds refused with backpressure since boot *)
+      (* the durable identity: what WAL headers and snapshots carry.
+         A shard's engine config may differ in [algorithm] while
+         degraded. *)
+  part : Partition.t;
+  sh : tok Shard.t array;  (* by group *)
+  workers : tok Shard.worker array;
+  worker_of : int array;  (* group -> index into [workers] *)
+  threaded : bool;
+  comp : tok Shard.completion Shard.Mailbox.t;
+  cap_g : int;  (* per-group admission bound *)
+  mutable conns : conn list;
+  mutable router_rejected : int;  (* parse/range/shed rejects *)
+  mutable shed : int;
   mutable draining : bool;
   mutable shutdown : bool;
-  queue : (conn * queued * float) Queue.t;  (* item + enqueue time *)
-  mutable feed_depth : int;  (* submit/fault entries currently queued *)
-  mutable conns : conn list;
-  dedupe : (int, int * Protocol.response) Hashtbl.t;
-      (* cid -> (last applied cseq, its cached ack).  Only *applied*
-         feeds enter the table: rejections must stay retryable. *)
-  detector : Overload.t;
+  mutable pending_gathers : int;
 }
-
-(* Acknowledgements of one processing batch, in request order.  [Synced]
-   responses are for feeds whose WAL record must reach disk first — they
-   are replaced by a wal-error if the batch fsync fails. *)
-type ack = Immediate of Protocol.response | Synced of Protocol.response
 
 let term_requested = ref false
 
@@ -83,7 +95,29 @@ let is_feed = function
   | Protocol.Status | Protocol.Psi | Protocol.Snapshot | Protocol.Drain _ ->
       false
 
-let degraded s = s.estimator <> s.base.Config.algorithm
+let take_slot conn =
+  let s = conn.next_slot in
+  conn.next_slot <- s + 1;
+  s
+
+let deliver conn slot resp =
+  if not conn.closed then begin
+    if slot = conn.next_emit then begin
+      emit conn resp;
+      conn.next_emit <- conn.next_emit + 1;
+      let rec flush () =
+        match Hashtbl.find_opt conn.pending conn.next_emit with
+        | Some r ->
+            Hashtbl.remove conn.pending conn.next_emit;
+            emit conn r;
+            conn.next_emit <- conn.next_emit + 1;
+            flush ()
+        | None -> ()
+      in
+      flush ()
+    end
+    else Hashtbl.replace conn.pending slot resp
+  end
 
 let job_wait_summary () =
   if not (Obs.Metrics.enabled ()) then None
@@ -93,383 +127,249 @@ let job_wait_summary () =
         | "sim.job_wait", Obs.Metrics.Histogram s -> Some s | _ -> None)
       (Obs.Metrics.snapshot ())
 
-let build_status s =
+(* --- Merging per-group parts --------------------------------------------
+   Clocks (now/frontier) merge by max: every group advanced at least to
+   its own value, and the org-group partition makes their event streams
+   independent.  Counters sum; per-org arrays scatter back into global
+   org indexing by the partition's block offsets. *)
+
+let merge_status s (parts : Shard.status_part array) =
+  let open Shard in
+  let sum f = Array.fold_left (fun a p -> a + f p) 0 parts in
+  let fmax f = Array.fold_left (fun a p -> Float.max a (f p)) 0.0 parts in
+  let imax f = Array.fold_left (fun a p -> max a (f p)) 0 parts in
+  let estimator =
+    let e0 = parts.(0).st_estimator in
+    if Array.for_all (fun p -> p.st_estimator = e0) parts then e0 else "mixed"
+  in
   {
-    Protocol.now = Online.now s.online;
-    frontier = Online.frontier s.online;
+    Protocol.now = imax (fun p -> p.st_now);
+    frontier = imax (fun p -> p.st_frontier);
     horizon = s.base.Config.horizon;
     orgs = Config.organizations s.base;
     machines = Config.total_machines s.base;
-    accepted = s.accepted;
-    rejected = s.rejected;
-    queue_depth = s.feed_depth;
+    accepted = sum (fun p -> p.st_accepted);
+    rejected = s.router_rejected + sum (fun p -> p.st_rejected);
+    queue_depth = Array.fold_left (fun a sh -> a + Shard.depth sh) 0 s.sh;
     queue_cap = s.cfg.queue_cap;
     draining = s.draining;
-    waiting = Online.queue_depths s.online;
-    stats = Online.stats s.online;
+    waiting = Partition.scatter_int s.part (fun g -> parts.(g).st_waiting);
+    stats =
+      Kernel.Stats.total
+        (Array.to_list (Array.map (fun p -> p.st_stats) parts));
     job_wait = job_wait_summary ();
-    estimator = s.estimator;
-    degraded = degraded s;
+    estimator;
+    degraded = Array.exists (fun p -> p.st_degraded) parts;
     shed = s.shed;
-    ack_ewma_ms = Overload.ack_ewma_ms s.detector;
+    ack_ewma_ms = fmax (fun p -> p.st_ewma);
+    groups = Partition.groups s.part;
+    shards = Array.length s.workers;
+    fsyncs = sum (fun p -> p.st_fsyncs);
   }
 
-let schedule_rows s =
-  Core.Schedule.placements (Online.schedule s.online)
-  |> List.map (fun (p : Core.Schedule.placement) ->
-         ( p.Core.Schedule.job.Core.Job.org,
-           p.Core.Schedule.job.Core.Job.index,
-           p.Core.Schedule.start,
-           p.Core.Schedule.machine,
-           p.Core.Schedule.duration ))
+let merge_psi s (parts : Shard.psi_part array) =
+  Protocol.Psi_ok
+    {
+      now = Array.fold_left (fun a p -> max a p.Shard.ps_now) 0 parts;
+      psi_scaled =
+        Partition.scatter_int s.part (fun g -> parts.(g).Shard.ps_psi);
+      parts = Partition.scatter_int s.part (fun g -> parts.(g).Shard.ps_parts);
+    }
 
-let build_drain_report s ~detail =
-  {
-    Protocol.d_now = Online.now s.online;
-    d_psi_scaled = Online.psi_scaled s.online;
-    d_parts = Online.parts s.online;
-    d_stats = Online.stats s.online;
-    d_schedule = (if detail then Some (schedule_rows s) else None);
-  }
-
-let do_snapshot s =
-  match s.cfg.state_dir with
-  | None -> Error "no state directory (daemon is ephemeral)"
-  | Some dir -> (
-      let snapshot =
-        {
-          Wal.config = s.base;
-          last_seq = s.seq;
-          records = List.rev s.records_rev;
-        }
+let merge_snapshot s (parts : (int * string, string) result array) =
+  let err =
+    Array.fold_left
+      (fun acc r ->
+        match (acc, r) with
+        | (Some _ as e), _ -> e
+        | None, Error e -> Some e
+        | None, Ok _ -> None)
+      None parts
+  in
+  match err with
+  | Some msg ->
+      Protocol.Error { code = Protocol.Wal_error; msg; retry_after_ms = None }
+  | None ->
+      let seq =
+        Array.fold_left
+          (fun a r -> match r with Ok (sq, _) -> max a sq | Error _ -> a)
+          0 parts
       in
-      match Wal.write_snapshot ~dir snapshot with
-      | Error _ as e -> e
-      | Ok path -> (
-          (* Compact: every record is covered by the snapshot now. *)
-          Option.iter Wal.close s.writer;
-          s.writer <- None;
-          Chaos.Fs.point "before-wal-reset";
-          match Wal.create ~dir ~config:s.base with
-          | Error _ as e -> e
-          | Ok w ->
-              s.writer <- Some w;
-              s.since_snapshot <- 0;
-              Chaos.Fs.point "after-wal-reset";
-              Ok path))
-
-let code_of_online_error = function
-  | Online.Drained -> Protocol.Draining
-  | _ -> Protocol.Bad_request
-
-let reject ?retry_after_ms s code msg =
-  s.rejected <- s.rejected + 1;
-  Immediate (Protocol.Error { code; msg; retry_after_ms })
-
-(* Run the engine to the horizon, snapshot, and arm shutdown.  Shared by
-   the [drain] request and the SIGTERM path. *)
-let enter_drain s =
-  s.draining <- true;
-  Online.drain s.online;
-  (match s.cfg.state_dir with
-  | None -> ()
-  | Some _ -> (
-      match do_snapshot s with
-      | Ok _ -> ()
-      | Error msg -> Printf.eprintf "fairsched serve: final snapshot: %s\n%!" msg));
-  s.shutdown <- true
-
-(* At-most-once retransmission.  A feed carrying the (cid, cseq) of an
-   already-applied one is answered from the cache — as [Synced], so a
-   cached OK is still gated on the WAL fsync that covers the original
-   record (a sync failure keeps the record's bytes pending; the cached
-   ack must not outrun them to the client). *)
-let dedupe_hit s ~cid ~cseq =
-  if cid = 0 then None
-  else
-    match Hashtbl.find_opt s.dedupe cid with
-    | Some (last, resp) when cseq = last ->
-        Obs.Metrics.incr m_dup_acks;
-        Some (Synced resp)
-    | Some (last, _) when cseq < last && cseq > 0 ->
-        Some
-          (reject s Protocol.Bad_request
-             (Printf.sprintf "stale cseq %d (last applied %d)" cseq last))
-    | Some _ | None -> None
-
-let remember s ~cid ~cseq resp =
-  if cid <> 0 && cseq > 0 then Hashtbl.replace s.dedupe cid (cseq, resp)
-
-let process_one s = function
-  | Reject (code, msg) ->
-      let retry_after_ms =
-        if code = Protocol.Backpressure then
-          Some (Overload.retry_after_ms s.detector)
-        else None
+      let path =
+        if Partition.groups s.part = 1 then
+          match parts.(0) with Ok (_, p) -> p | Error _ -> assert false
+        else Option.value ~default:"" s.cfg.state_dir
       in
-      reject ?retry_after_ms s code msg
-  | Req (Protocol.Submit { org; user; release; size; cid; cseq }) -> (
-      match dedupe_hit s ~cid ~cseq with
-      | Some ack -> ack
-      | None -> (
-          if s.draining then reject s Protocol.Draining "daemon is draining"
-          else
-            match Online.check_submit s.online ~org ~size ~release with
-            | Error e ->
-                reject s (code_of_online_error e) (Online.error_to_string e)
-            | Ok () -> (
-                let seq = s.seq + 1 in
-                s.seq <- seq;
-                let record =
-                  Wal.Submit { seq; org; user; release; size; cid; cseq }
-                in
-                Option.iter (fun w -> Wal.append w record) s.writer;
-                s.records_rev <- record :: s.records_rev;
-                s.accepted <- s.accepted + 1;
-                s.since_snapshot <- s.since_snapshot + 1;
-                match Online.submit s.online ~org ~user ~size ~release () with
-                | Ok index ->
-                    let resp =
-                      Protocol.Submit_ok
-                        { seq; org; index; now = Online.now s.online }
-                    in
-                    remember s ~cid ~cseq resp;
-                    Synced resp
-                | Error e ->
-                    (* unreachable after check_submit; fail loudly *)
-                    Immediate
-                      (Protocol.Error
-                         {
-                           code = Protocol.Bad_request;
-                           msg = Online.error_to_string e;
-                           retry_after_ms = None;
-                         }))))
-  | Req (Protocol.Fault { time; event; cid; cseq }) -> (
-      match dedupe_hit s ~cid ~cseq with
-      | Some ack -> ack
-      | None -> (
-          if s.draining then reject s Protocol.Draining "daemon is draining"
-          else
-            match Online.check_fault s.online ~time event with
-            | Error e ->
-                reject s (code_of_online_error e) (Online.error_to_string e)
-            | Ok () -> (
-                let seq = s.seq + 1 in
-                s.seq <- seq;
-                let record = Wal.Fault { seq; time; event; cid; cseq } in
-                Option.iter (fun w -> Wal.append w record) s.writer;
-                s.records_rev <- record :: s.records_rev;
-                s.accepted <- s.accepted + 1;
-                s.since_snapshot <- s.since_snapshot + 1;
-                match Online.fault s.online ~time event with
-                | Ok () ->
-                    let resp =
-                      Protocol.Fault_ok { seq; now = Online.now s.online }
-                    in
-                    remember s ~cid ~cseq resp;
-                    Synced resp
-                | Error e ->
-                    Immediate
-                      (Protocol.Error
-                         {
-                           code = Protocol.Bad_request;
-                           msg = Online.error_to_string e;
-                           retry_after_ms = None;
-                         }))))
-  | Req Protocol.Status -> Immediate (Protocol.Status_ok (build_status s))
-  | Req Protocol.Psi ->
-      Immediate
-        (Protocol.Psi_ok
-           {
-             now = Online.now s.online;
-             psi_scaled = Online.psi_scaled s.online;
-             parts = Online.parts s.online;
-           })
-  | Req Protocol.Snapshot -> (
-      if s.cfg.state_dir = None then
-        Immediate
-          (Protocol.Error
-             {
-               code = Protocol.Unsupported;
-               msg = "no state directory (daemon is ephemeral)";
-               retry_after_ms = None;
-             })
-      else
-        match do_snapshot s with
-        | Ok path -> Immediate (Protocol.Snapshot_ok { seq = s.seq; path })
-        | Error msg ->
-            Immediate
-              (Protocol.Error
-                 { code = Protocol.Wal_error; msg; retry_after_ms = None }))
-  | Req (Protocol.Drain { detail }) ->
-      if s.draining then
-        Immediate (Protocol.Drain_ok (build_drain_report s ~detail))
+      Protocol.Snapshot_ok { seq; path }
+
+let merge_drain s (parts : Shard.drain_part array) =
+  let open Shard in
+  let detail = Array.exists (fun p -> p.dr_schedule <> None) parts in
+  Protocol.Drain_ok
+    {
+      Protocol.d_now = Array.fold_left (fun a p -> max a p.dr_now) 0 parts;
+      d_psi_scaled = Partition.scatter_int s.part (fun g -> parts.(g).dr_psi);
+      d_parts = Partition.scatter_int s.part (fun g -> parts.(g).dr_parts);
+      d_stats =
+        Kernel.Stats.total
+          (Array.to_list (Array.map (fun p -> p.dr_stats) parts));
+      d_schedule =
+        (if detail then
+           Some
+             (List.concat_map
+                (fun p -> Option.value ~default:[] p.dr_schedule)
+                (Array.to_list parts))
+         else None);
+    }
+
+let finish_gather s g =
+  s.pending_gathers <- s.pending_gathers - 1;
+  let all extract =
+    Array.map
+      (fun p -> match p with Some x -> extract x | None -> assert false)
+      g.g_parts
+  in
+  let resp =
+    match g.g_kind with
+    | `Status ->
+        Protocol.Status_ok
+          (merge_status s
+             (all (function Shard.P_status p -> p | _ -> assert false)))
+    | `Psi ->
+        merge_psi s (all (function Shard.P_psi p -> p | _ -> assert false))
+    | `Snapshot ->
+        merge_snapshot s
+          (all (function Shard.P_snapshot r -> r | _ -> assert false))
+    | `Drain ->
+        merge_drain s (all (function Shard.P_drain p -> p | _ -> assert false))
+  in
+  (match g.g_conn with Some c -> deliver c g.g_slot resp | None -> ());
+  if g.g_kind = `Drain then s.shutdown <- true
+
+let start_gather s ~conn ~slot kind q =
+  let groups = Partition.groups s.part in
+  let g =
+    {
+      g_conn = conn;
+      g_slot = slot;
+      g_kind = kind;
+      g_parts = Array.make groups None;
+      g_waiting = groups;
+    }
+  in
+  s.pending_gathers <- s.pending_gathers + 1;
+  let tok = Gather_tok g in
+  for grp = 0 to groups - 1 do
+    Shard.post_msg s.workers.(s.worker_of.(grp)) ~group:grp
+      (Shard.Query { tok; q })
+  done
+
+(* --- Routing ------------------------------------------------------------- *)
+
+let route_feed s conn slot req ~now =
+  let reject code msg retry_after_ms =
+    s.router_rejected <- s.router_rejected + 1;
+    deliver conn slot (Protocol.Error { code; msg; retry_after_ms })
+  in
+  let norgs = Config.organizations s.base in
+  let machines = Config.total_machines s.base in
+  (* Range checks the shards cannot do: routing needs a valid global id
+     before a group can be chosen.  Error texts match the engine's. *)
+  let target =
+    match req with
+    | Protocol.Submit { org; _ } ->
+        if org < 0 || org >= norgs then
+          Error (Online.error_to_string (Online.Bad_org { org; norgs }))
+        else Ok (Partition.group_of_org s.part org)
+    | Protocol.Fault { event; _ } ->
+        let m = Faults.Event.machine event in
+        if m < 0 || m >= machines then
+          Error
+            (Online.error_to_string
+               (Online.Bad_machine { machine = m; machines }))
+        else Ok (Partition.group_of_machine s.part m)
+    | Protocol.Status | Protocol.Psi | Protocol.Snapshot | Protocol.Drain _ ->
+        assert false
+  in
+  match target with
+  | Error msg -> reject Protocol.Bad_request msg None
+  | Ok grp ->
+      let sh = s.sh.(grp) in
+      let depth = Shard.depth sh in
+      let full = depth >= s.cap_g in
+      (* Under sustained overload, shed before the hard cap: refusing
+         cheaply at half occupancy keeps ack latency bounded for the
+         feeds already admitted.  Per-group, so one hot org-group sheds
+         while the others keep absorbing. *)
+      let shedding =
+        Shard.published_overloaded sh && depth >= max 1 (s.cap_g / 2)
+      in
+      if full || shedding then begin
+        s.shed <- s.shed + 1;
+        Obs.Metrics.incr m_shed;
+        let msg =
+          if full then Printf.sprintf "admission queue full (%d queued)" depth
+          else Printf.sprintf "shedding load (overloaded, %d queued)" depth
+        in
+        reject Protocol.Backpressure msg (Some (Shard.published_retry_ms sh))
+      end
       else begin
-        enter_drain s;
-        Immediate (Protocol.Drain_ok (build_drain_report s ~detail))
+        Shard.depth_incr sh;
+        Shard.post_msg s.workers.(s.worker_of.(grp)) ~group:grp
+          (Shard.Feed { tok = Feed_tok (conn, slot); req; t_enq = now })
       end
 
-let process_batch s =
-  let batch = ref [] in
-  let n = ref 0 in
-  (* [drain_batch] bounds the expensive work — feeds entering the engine
-     — per iteration.  Rejects and control requests are answered without
-     consuming the budget: shedding must stay cheap under the very flood
-     that caused it, or the backlog of Backpressure answers would starve
-     the queue it was shed to protect.  FIFO order is preserved either
-     way. *)
-  while !n < s.cfg.drain_batch && not (Queue.is_empty s.queue) do
-    let conn, item, t_enq = Queue.pop s.queue in
-    let feed =
-      match item with
-      | Req r when is_feed r ->
-          s.feed_depth <- s.feed_depth - 1;
-          true
-      | _ -> false
-    in
-    let ack = process_one s item in
-    batch := (conn, ack, (if feed then Some t_enq else None)) :: !batch;
-    if feed then incr n
-  done;
-  (* Sync whenever the WAL owes bytes to disk — not only when this batch
-     appended.  A previously failed sync leaves records pending (and
-     their clients answered with wal-error); retrying here is what makes
-     a transient ENOSPC recoverable without a restart. *)
-  let sync_result =
-    match s.writer with
-    | Some w when Wal.pending w ->
-        let r = Wal.sync w in
-        (match r with
-        | Error _ -> Obs.Metrics.incr m_wal_sync_failures
-        | Ok () -> ());
-        r
-    | Some _ | None -> Ok ()
-  in
-  let ack_time = Unix.gettimeofday () in
-  List.iter
-    (fun (conn, ack, t_enq) ->
-      (match (ack, sync_result) with
-      | Immediate resp, _ | Synced resp, Ok () -> emit conn resp
-      | Synced _, Error msg ->
-          emit conn
+let route_request s conn req ~now =
+  let slot = take_slot conn in
+  if is_feed req then route_feed s conn slot req ~now
+  else
+    match req with
+    | Protocol.Status ->
+        start_gather s ~conn:(Some conn) ~slot `Status Shard.Q_status
+    | Protocol.Psi -> start_gather s ~conn:(Some conn) ~slot `Psi Shard.Q_psi
+    | Protocol.Snapshot ->
+        if s.cfg.state_dir = None then
+          deliver conn slot
             (Protocol.Error
-               { code = Protocol.Wal_error; msg; retry_after_ms = None }));
-      match t_enq with
-      | Some t -> Overload.observe_ack s.detector ~latency_ms:((ack_time -. t) *. 1000.0)
-      | None -> ())
-    (List.rev !batch);
-  Overload.observe_queue s.detector ~depth:s.feed_depth ~cap:s.cfg.queue_cap;
-  Obs.Metrics.set g_queue_depth (float_of_int s.feed_depth);
-  Obs.Metrics.set g_ack_ewma (Overload.ack_ewma_ms s.detector);
-  (* Automatic compaction once enough records accumulated since the last
-     snapshot. *)
-  if
-    s.cfg.state_dir <> None
-    && s.cfg.snapshot_every > 0
-    && s.since_snapshot >= s.cfg.snapshot_every
-  then
-    match do_snapshot s with
-    | Ok _ -> ()
-    | Error msg -> Printf.eprintf "fairsched serve: auto-snapshot: %s\n%!" msg
+               {
+                 code = Protocol.Unsupported;
+                 msg = "no state directory (daemon is ephemeral)";
+                 retry_after_ms = None;
+               })
+        else start_gather s ~conn:(Some conn) ~slot `Snapshot Shard.Q_snapshot
+    | Protocol.Drain { detail } ->
+        s.draining <- true;
+        start_gather s ~conn:(Some conn) ~slot `Drain
+          (Shard.Q_drain { detail })
+    | Protocol.Submit _ | Protocol.Fault _ -> assert false
 
-(* --- Degraded mode ------------------------------------------------------- *)
-
-(* Replay previously accepted feeds into a fresh engine.  [Mode] records
-   are skipped (they describe estimator switches, not engine input);
-   [dedupe], when given, is rebuilt alongside — the cached acks of a
-   deterministic replay are identical to the originals. *)
-let replay ?dedupe online records =
-  let rec go = function
-    | [] -> Ok ()
-    | Wal.Submit { seq; org; user; release; size; cid; cseq } :: rest -> (
-        match Online.submit online ~org ~user ~size ~release () with
-        | Ok index ->
-            (match dedupe with
-            | Some tbl when cid <> 0 && cseq > 0 ->
-                Hashtbl.replace tbl cid
-                  ( cseq,
-                    Protocol.Submit_ok
-                      { seq; org; index; now = Online.now online } )
-            | Some _ | None -> ());
-            go rest
-        | Error e ->
-            Error
-              (Printf.sprintf "replay: record %d rejected: %s" seq
-                 (Online.error_to_string e)))
-    | Wal.Fault { seq; time; event; cid; cseq } :: rest -> (
-        match Online.fault online ~time event with
-        | Ok () ->
-            (match dedupe with
-            | Some tbl when cid <> 0 && cseq > 0 ->
-                Hashtbl.replace tbl cid
-                  (cseq, Protocol.Fault_ok { seq; now = Online.now online })
-            | Some _ | None -> ());
-            go rest
-        | Error e ->
-            Error
-              (Printf.sprintf "replay: record %d rejected: %s" seq
-                 (Online.error_to_string e)))
-    | Wal.Mode _ :: rest -> go rest
-  in
-  go records
-
-(* The estimator a record list leaves the daemon in: the last Mode
-   record wins, the base algorithm otherwise. *)
-let final_estimator ~base records =
-  List.fold_left
-    (fun acc r -> match r with Wal.Mode { estimator; _ } -> estimator | _ -> acc)
-    base.Config.algorithm records
-
-(* Switch the live estimator by rebuild-and-replay: log a Mode record,
-   construct a fresh engine under the new algorithm, and feed it every
-   accepted record.  Kernel determinism makes this exactly "a fresh
-   session with the new estimator given the same history" — which is
-   also precisely what crash recovery reproduces from the log, so a
-   crash at any point around the switch stays bit-identical. *)
-let switch_estimator s spec =
-  let seq = s.seq + 1 in
-  s.seq <- seq;
-  let record = Wal.Mode { seq; estimator = spec } in
-  Option.iter (fun w -> Wal.append w record) s.writer;
-  s.records_rev <- record :: s.records_rev;
-  s.since_snapshot <- s.since_snapshot + 1;
-  let online = Online.create { s.base with Config.algorithm = spec } in
-  match replay online (List.rev s.records_rev) with
-  | Ok () ->
-      s.online <- online;
-      s.estimator <- spec;
-      true
+let enqueue_line s conn line =
+  let now = Unix.gettimeofday () in
+  match Protocol.request_of_line line with
   | Error msg ->
-      (* Accepted records cannot be rejected on replay (determinism);
-         reaching here is an invariant violation.  Keep the old engine
-         rather than serve from a half-fed one. *)
-      Printf.eprintf "fairsched serve: estimator switch to %s failed: %s\n%!"
-        spec msg;
-      false
+      let slot = take_slot conn in
+      s.router_rejected <- s.router_rejected + 1;
+      deliver conn slot
+        (Protocol.Error { code = Protocol.Parse; msg; retry_after_ms = None })
+  | Ok req -> route_request s conn req ~now
 
-let maybe_switch s =
-  match s.cfg.degrade_to with
-  | None -> ()
-  | Some spec ->
-      if not (s.draining || s.shutdown) then begin
-        match Overload.level s.detector with
-        | Overload.Overloaded when s.estimator <> spec ->
-            if switch_estimator s spec then begin
-              Obs.Metrics.incr m_degrade;
-              Printf.eprintf
-                "fairsched serve: overload: degrading estimator to %s\n%!" spec
-            end
-        | Overload.Normal when degraded s ->
-            if switch_estimator s s.base.Config.algorithm then begin
-              Obs.Metrics.incr m_recover;
-              Printf.eprintf
-                "fairsched serve: recovered: estimator back to %s\n%!"
-                s.base.Config.algorithm
-            end
-        | Overload.Overloaded | Overload.Normal -> ()
-      end
+let handle_completions s =
+  List.iter
+    (function
+      | Shard.Ack { tok = Feed_tok (conn, slot); resp } ->
+          deliver conn slot resp
+      | Shard.Ack { tok = Gather_tok _; _ } -> assert false
+      | Shard.Part { tok = Gather_tok g; group; part } -> (
+          match g.g_parts.(group) with
+          | Some _ -> ()
+          | None ->
+              g.g_parts.(group) <- Some part;
+              g.g_waiting <- g.g_waiting - 1;
+              if g.g_waiting = 0 then finish_gather s g)
+      | Shard.Part { tok = Feed_tok _; _ } -> assert false)
+    (Shard.Mailbox.drain s.comp)
 
-(* --- Socket plumbing ---------------------------------------------------- *)
+(* --- Socket plumbing ----------------------------------------------------- *)
 
 let protect f =
   match f () with
@@ -479,39 +379,6 @@ let protect f =
         (Printf.sprintf "%s%s: %s" fn
            (if arg = "" then "" else " " ^ arg)
            (Unix.error_message e))
-
-let enqueue_line s conn line =
-  let now = Unix.gettimeofday () in
-  match Protocol.request_of_line line with
-  | Error msg -> Queue.push (conn, Reject (Protocol.Parse, msg), now) s.queue
-  | Ok req ->
-      if is_feed req then begin
-        let full = s.feed_depth >= s.cfg.queue_cap in
-        (* Under sustained overload, shed before the hard cap: refusing
-           cheaply at half occupancy keeps ack latency bounded for the
-           feeds already admitted. *)
-        let shedding =
-          Overload.level s.detector = Overload.Overloaded
-          && s.feed_depth >= max 1 (s.cfg.queue_cap / 2)
-        in
-        if full || shedding then begin
-          s.shed <- s.shed + 1;
-          Obs.Metrics.incr m_shed;
-          let msg =
-            if full then
-              Printf.sprintf "admission queue full (%d queued)" s.feed_depth
-            else
-              Printf.sprintf "shedding load (overloaded, %d queued)"
-                s.feed_depth
-          in
-          Queue.push (conn, Reject (Protocol.Backpressure, msg), now) s.queue
-        end
-        else begin
-          s.feed_depth <- s.feed_depth + 1;
-          Queue.push (conn, Req req, now) s.queue
-        end
-      end
-      else Queue.push (conn, Req req, now) s.queue
 
 let split_lines s conn =
   let data = Buffer.contents conn.rbuf in
@@ -528,7 +395,9 @@ let split_lines s conn =
   Buffer.add_substring conn.rbuf data !pos (len - !pos);
   if Buffer.length conn.rbuf > Protocol.max_line then begin
     Buffer.clear conn.rbuf;
-    emit conn
+    let slot = take_slot conn in
+    s.router_rejected <- s.router_rejected + 1;
+    deliver conn slot
       (Protocol.Error
          {
            code = Protocol.Parse;
@@ -565,8 +434,7 @@ let write_conn conn =
         Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
       ->
         ()
-    | exception
-        Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
         conn.closed <- true
 
 let close_conn conn =
@@ -575,10 +443,16 @@ let close_conn conn =
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
   end
 
+(* A connection is dead when closed, or at EOF with nothing left to
+   write {e and} nothing still in flight in the shards (next_emit has
+   caught up with next_slot). *)
 let reap s =
   let live, dead =
     List.partition
-      (fun c -> not (c.closed || (c.eof && Buffer.length c.out = 0)))
+      (fun c ->
+        not
+          (c.closed
+          || (c.eof && Buffer.length c.out = 0 && c.next_emit = c.next_slot)))
       s.conns
   in
   List.iter close_conn dead;
@@ -589,11 +463,20 @@ let accept_conn s listen_fd =
   | fd, _ ->
       Unix.set_nonblock fd;
       (match s.cfg.addr with
-      | Addr.Tcp _ -> ( try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ())
+      | Addr.Tcp _ -> (
+          try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ())
       | Addr.Unix_sock _ -> ());
       s.conns <-
-        { fd; rbuf = Buffer.create 1024; out = Buffer.create 1024;
-          eof = false; closed = false }
+        {
+          fd;
+          rbuf = Buffer.create 1024;
+          out = Buffer.create 1024;
+          eof = false;
+          closed = false;
+          next_slot = 0;
+          next_emit = 0;
+          pending = Hashtbl.create 8;
+        }
         :: s.conns
   | exception
       Unix.Unix_error
@@ -619,9 +502,7 @@ let flush_remaining s =
     if writers <> [] && Unix.gettimeofday () < deadline then begin
       (match Unix.select [] writers [] 0.25 with
       | _, ws, _ ->
-          List.iter
-            (fun c -> if List.mem c.fd ws then write_conn c)
-            s.conns
+          List.iter (fun c -> if List.mem c.fd ws then write_conn c) s.conns
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       go ()
     end
@@ -631,12 +512,16 @@ let flush_remaining s =
   s.conns <- []
 
 let rec serve_loop s listen_fd =
-  if !term_requested && not s.draining then enter_drain s;
-  if s.shutdown then flush_remaining s
+  if !term_requested && not s.draining then begin
+    s.draining <- true;
+    start_gather s ~conn:None ~slot:0 `Drain (Shard.Q_drain { detail = false })
+  end;
+  if s.shutdown && s.pending_gathers = 0 then ()
   else begin
     reap s;
     let readers =
       listen_fd
+      :: Shard.Mailbox.wait_fd s.comp
       :: List.filter_map
            (fun c -> if c.eof || c.closed then None else Some c.fd)
            s.conns
@@ -647,89 +532,149 @@ let rec serve_loop s listen_fd =
           if (not c.closed) && Buffer.length c.out > 0 then Some c.fd else None)
         s.conns
     in
-    let timeout = if Queue.is_empty s.queue then 1.0 else 0.0 in
+    let timeout =
+      if not (Shard.Mailbox.is_empty s.comp) then 0.0
+      else if s.threaded then 1.0
+      else Float.min 1.0 (Shard.wait_timeout s.workers.(0))
+    in
     (match Unix.select readers writers [] timeout with
     | rs, ws, _ ->
         if List.mem listen_fd rs then accept_conn s listen_fd;
         List.iter
           (fun c -> if (not c.closed) && List.mem c.fd rs then read_conn s c)
           s.conns;
-        process_batch s;
-        maybe_switch s;
+        if not s.threaded then Shard.pump s.workers.(0);
+        handle_completions s;
         List.iter
-          (fun c -> if (not c.closed) && (List.mem c.fd ws || Buffer.length c.out > 0) then write_conn c)
+          (fun c ->
+            if (not c.closed) && (List.mem c.fd ws || Buffer.length c.out > 0)
+            then write_conn c)
           s.conns
     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-        (* An idle tick still updates the detector: recovery from
-           overload is observed calm, not absence of traffic. *)
-        Overload.observe_queue s.detector ~depth:s.feed_depth
-          ~cap:s.cfg.queue_cap;
-        maybe_switch s);
+        (* An idle tick still pumps the inline worker: overload recovery
+           is observed calm, not absence of traffic. *)
+        if not s.threaded then Shard.pump s.workers.(0);
+        handle_completions s);
     serve_loop s listen_fd
   end
 
-(* --- Startup ------------------------------------------------------------ *)
+(* --- Startup ------------------------------------------------------------- *)
 
 let ensure_dir dir =
   protect (fun () ->
       if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
       else if not (Sys.is_directory dir) then
-        raise
-          (Unix.Unix_error (Unix.ENOTDIR, "state dir", dir)))
+        raise (Unix.Unix_error (Unix.ENOTDIR, "state dir", dir)))
+
+(* Resolve the durable identity and the on-disk layout.  A state dir is
+   either flat (the pre-sharding layout: wal.ndjson + snapshot.json at
+   top level, still written when groups = 1) or segmented (wal-0/ ..
+   wal-<G-1>/, one per org-group).  When the dir holds a previous life,
+   the recovered config wins over the command line — the durable
+   identity must match the log being replayed. *)
+let resolve_base cfg =
+  let ( let* ) = Result.bind in
+  let resume dir c =
+    if not (Config.equal c cfg.service) then
+      Printf.eprintf
+        "fairsched serve: state dir %s holds a different configuration; \
+         resuming it (the command-line config is ignored)\n\
+         %!"
+        dir;
+    c
+  in
+  match cfg.state_dir with
+  | None -> Ok cfg.service
+  | Some dir -> (
+      let* () = ensure_dir dir in
+      match Wal.segments ~dir with
+      | [] -> (
+          let* r =
+            Result.map_error Wal.boot_error_to_string (Wal.recover ~dir)
+          in
+          match r.Wal.r_config with
+          | None -> Ok cfg.service
+          | Some c ->
+              if c.Config.groups > 1 then
+                Error
+                  (Printf.sprintf
+                     "state dir %s: flat WAL layout holds a %d-group config"
+                     dir c.Config.groups)
+              else Ok (resume dir c))
+      | segs -> (
+          let n = List.length segs in
+          if segs <> List.init n Fun.id then
+            Error
+              (Printf.sprintf
+                 "state dir %s: segment directories are not contiguous \
+                  (found %s)"
+                 dir
+                 (String.concat ", "
+                    (List.map (fun g -> Printf.sprintf "wal-%d" g) segs)))
+          else
+            let* r0 =
+              Result.map_error Wal.boot_error_to_string
+                (Wal.recover ~dir:(Wal.segment_dir ~dir ~group:0))
+            in
+            match r0.Wal.r_config with
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "state dir %s: segment wal-0 has no config header" dir)
+            | Some c ->
+                if c.Config.groups <> n then
+                  Error
+                    (Printf.sprintf
+                       "state dir %s: config declares %d org-groups but %d \
+                        segments exist"
+                       dir c.Config.groups n)
+                else Ok (resume dir c)))
 
 let run ?(ready = fun () -> ()) cfg =
   let ( let* ) = Result.bind in
   term_requested := false;
-  let* base, records, last_seq =
-    match cfg.state_dir with
-    | None -> Ok (cfg.service, [], 0)
-    | Some dir ->
-        let* () = ensure_dir dir in
-        let* r =
-          Result.map_error Wal.boot_error_to_string (Wal.recover ~dir)
-        in
-        let base =
-          match r.Wal.r_config with
-          | None -> cfg.service
-          | Some c ->
-              if not (Config.equal c cfg.service) then
-                Printf.eprintf
-                  "fairsched serve: state dir %s holds a different \
-                   configuration; resuming it (the command-line config is \
-                   ignored)\n\
-                   %!"
-                  dir;
-              c
-        in
-        Ok (base, r.Wal.r_records, r.Wal.r_last_seq)
-  in
-  (* Recovery shortcut for Mode records: rather than re-enacting every
-     mid-life estimator switch, build the engine once under the final
-     estimator and feed it everything.  Equivalent by induction — each
-     switch was itself defined as "fresh engine + full history". *)
-  let estimator = final_estimator ~base records in
-  let online =
-    Online.create
-      (if estimator = base.Config.algorithm then base
-       else { base with Config.algorithm = estimator })
-  in
-  let dedupe = Hashtbl.create 64 in
-  let* () = replay ~dedupe online records in
-  (* Compact on boot: one snapshot covering everything recovered, then a
-     fresh WAL.  A crash right here is safe — the snapshot is atomic and
-     the old WAL only duplicates records the sequence filter drops. *)
-  let* writer =
+  let* base = resolve_base cfg in
+  let part = Partition.make base in
+  let groups = Partition.groups part in
+  let seg_dir grp =
     match cfg.state_dir with
     | None -> Ok None
     | Some dir ->
-        let* () =
-          if records = [] then Ok ()
-          else
-            Result.map (fun (_ : string) -> ())
-              (Wal.write_snapshot ~dir
-                 { Wal.config = base; last_seq; records })
+        if groups = 1 then Ok (Some dir)
+        else
+          let d = Wal.segment_dir ~dir ~group:grp in
+          let* () = ensure_dir d in
+          Ok (Some d)
+  in
+  let* sh =
+    let rec go acc grp =
+      if grp = groups then Ok (Array.of_list (List.rev acc))
+      else
+        let* sd = seg_dir grp in
+        let* shard =
+          Shard.create ~partition:part ~group:grp ~state_dir:sd
+            ~overload:cfg.overload ~degrade_to:cfg.degrade_to
+            ~snapshot_every:cfg.snapshot_every
+            ~commit_interval:cfg.commit_interval ~commit_max:cfg.drain_batch ()
         in
-        Result.map Option.some (Wal.create ~dir ~config:base)
+        go (shard :: acc) (grp + 1)
+    in
+    go [] 0
+  in
+  let w_count = max 1 (min cfg.shards groups) in
+  let threaded = w_count > 1 in
+  let comp = Shard.Mailbox.create () in
+  let cap_g = max 1 (cfg.queue_cap / groups) in
+  let worker_of = Array.init groups (fun g -> g mod w_count) in
+  let workers =
+    Array.init w_count (fun w ->
+        let shards =
+          List.filter_map
+            (fun g -> if worker_of.(g) = w then Some (g, sh.(g)) else None)
+            (List.init groups Fun.id)
+        in
+        Shard.make_worker ~id:w ~shards ~drain_batch:cfg.drain_batch ~cap:cap_g
+          ~post:(fun c -> Shard.Mailbox.push comp c))
   in
   Addr.cleanup cfg.addr;
   let* listen_fd =
@@ -753,30 +698,27 @@ let run ?(ready = fun () -> ()) cfg =
     {
       cfg;
       base;
-      online;
-      estimator;
-      writer;
-      seq = last_seq;
-      records_rev = List.rev records;
-      since_snapshot = 0;
-      accepted = List.length (List.filter Wal.is_feed records);
-      rejected = 0;
+      part;
+      sh;
+      workers;
+      worker_of;
+      threaded;
+      comp;
+      cap_g;
+      conns = [];
+      router_rejected = 0;
       shed = 0;
       draining = false;
       shutdown = false;
-      queue = Queue.create ();
-      feed_depth = 0;
-      conns = [];
-      dedupe;
-      detector =
-        Overload.create ~config:cfg.overload
-          ~now_ms:(fun () -> Obs.Clock.now_s () *. 1000.0)
-          ();
+      pending_gathers = 0;
     }
   in
+  if threaded then Array.iter Shard.start_worker workers;
   ready ();
   serve_loop s listen_fd;
+  flush_remaining s;
   (try Unix.close listen_fd with Unix.Unix_error _ -> ());
   Addr.cleanup cfg.addr;
-  Option.iter Wal.close s.writer;
+  Array.iter Shard.stop_worker workers;
+  Shard.Mailbox.close comp;
   Ok ()

@@ -1,0 +1,778 @@
+(* One org-group's scheduling domain: its engine, WAL segment, dedupe
+   table, overload detector, and group-commit buffer — everything the
+   old single-threaded server owned, minus the sockets.  The router
+   (Server) feeds it messages through a mailbox and receives
+   completions; in single-shard mode the same code runs inline on the
+   router thread.  See DESIGN.md §15. *)
+
+(* Per-service counters aggregated across shards; no-ops unless the
+   process enables Obs.Metrics.  [service.shed] lives in Server — the
+   router sheds before a feed ever reaches a shard. *)
+let m_dup_acks = Obs.Metrics.counter "service.dup_acks"
+let m_degrade = Obs.Metrics.counter "service.degrade_switches"
+let m_recover = Obs.Metrics.counter "service.recover_switches"
+let m_wal_sync_failures = Obs.Metrics.counter "service.wal_sync_failures"
+let m_fsync = Obs.Metrics.counter "service.fsync_total"
+let m_acks = Obs.Metrics.counter "service.acks_total"
+let g_queue_depth = Obs.Metrics.gauge "service.queue_depth"
+let g_ack_ewma = Obs.Metrics.gauge "service.ack_ewma_ms"
+
+(* --- Mailbox -------------------------------------------------------------
+   A mutex-protected queue with a pipe for readiness: the producer writes
+   one wake byte on the empty->non-empty transition, the consumer selects
+   on the read end (a timed wait — OCaml's Condition has no timeout, and
+   group-commit needs deadline wakeups).  Single producer (the router),
+   single consumer (one worker domain), but safe for any number. *)
+module Mailbox = struct
+  type 'a t = {
+    q : 'a Queue.t;
+    m : Mutex.t;
+    rd : Unix.file_descr;
+    wr : Unix.file_descr;
+  }
+
+  let create () =
+    let rd, wr = Unix.pipe () in
+    Unix.set_nonblock rd;
+    Unix.set_nonblock wr;
+    { q = Queue.create (); m = Mutex.create (); rd; wr }
+
+  let push t x =
+    let was_empty =
+      Mutex.protect t.m (fun () ->
+          let e = Queue.is_empty t.q in
+          Queue.push x t.q;
+          e)
+    in
+    if was_empty then
+      try ignore (Unix.write t.wr (Bytes.make 1 'x') 0 1)
+      with
+      | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        (* pipe full = consumer already has pending wakeups *)
+        ()
+
+  let drain t =
+    let buf = Bytes.create 64 in
+    (try
+       while Unix.read t.rd buf 0 64 > 0 do
+         ()
+       done
+     with
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ());
+    Mutex.protect t.m (fun () ->
+        let xs = List.of_seq (Queue.to_seq t.q) in
+        Queue.clear t.q;
+        xs)
+
+  let is_empty t = Mutex.protect t.m (fun () -> Queue.is_empty t.q)
+  let wait_fd t = t.rd
+
+  let close t =
+    (try Unix.close t.rd with Unix.Unix_error _ -> ());
+    try Unix.close t.wr with Unix.Unix_error _ -> ()
+end
+
+(* --- Messages ------------------------------------------------------------ *)
+
+type query = Q_status | Q_psi | Q_snapshot | Q_drain of { detail : bool }
+
+type 'tok msg =
+  | Feed of { tok : 'tok; req : Protocol.request; t_enq : float }
+  | Query of { tok : 'tok; q : query }
+  | Tick  (* wake only: commit deadlines, stop checks *)
+
+(* Per-shard slices of the aggregated control responses.  Arrays are
+   local to the group's org block; the router scatters them into global
+   vectors by the partition's offsets. *)
+type status_part = {
+  st_now : int;
+  st_frontier : int;
+  st_accepted : int;
+  st_rejected : int;
+  st_waiting : int array;
+  st_stats : Kernel.Stats.t;
+  st_estimator : string;
+  st_degraded : bool;
+  st_ewma : float;
+  st_fsyncs : int;
+}
+
+type psi_part = { ps_now : int; ps_psi : int array; ps_parts : int array }
+
+type drain_part = {
+  dr_now : int;
+  dr_psi : int array;
+  dr_parts : int array;
+  dr_stats : Kernel.Stats.t;
+  dr_schedule : (int * int * int * int * int) list option;
+      (* rows already translated to global org/machine ids *)
+}
+
+type part =
+  | P_status of status_part
+  | P_psi of psi_part
+  | P_snapshot of (int * string, string) result
+  | P_drain of drain_part
+
+type 'tok completion =
+  | Ack of { tok : 'tok; resp : Protocol.response }
+  | Part of { tok : 'tok; group : int; part : part }
+
+(* --- Shard state --------------------------------------------------------- *)
+
+type 'tok t = {
+  group : int;
+  part : Partition.t;
+  base : Config.t;  (* the global durable identity (WAL headers) *)
+  sub : Config.t;  (* this group's induced config (drives the engine) *)
+  state_dir : string option;  (* this segment's directory *)
+  site_prefix : string;
+  snapshot_every : int;
+  degrade_to : string option;
+  commit_interval : float;  (* seconds; 0 = fsync every pump *)
+  commit_max : int;  (* held-ack count that forces an early commit *)
+  mutable online : Online.t;
+  mutable estimator : string;
+  mutable writer : Wal.writer option;
+  mutable seq : int;
+  mutable records_rev : Wal.record list;
+  mutable since_snapshot : int;
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable draining : bool;
+  dedupe : (int, int * Protocol.response) Hashtbl.t;
+  detector : Overload.t;
+  (* group-commit: acks awaiting the fsync that covers their records *)
+  mutable held : ('tok * Protocol.response * float) list;  (* newest first *)
+  mutable held_n : int;
+  mutable first_held : float;
+  mutable fsyncs : int;
+  (* published for the router's routing/shedding decisions *)
+  pub_overloaded : bool Atomic.t;
+  pub_retry_ms : int Atomic.t;
+  depth : int Atomic.t;  (* mailbox+backlog feeds: router ++, worker -- *)
+}
+
+let group t = t.group
+let sub_config t = t.sub
+let fsyncs t = t.fsyncs
+let accepted t = t.accepted
+let depth t = Atomic.get t.depth
+let depth_incr t = Atomic.incr t.depth
+let published_overloaded t = Atomic.get t.pub_overloaded
+let published_retry_ms t = Atomic.get t.pub_retry_ms
+
+(* --- Global<->local translation ------------------------------------------ *)
+
+let local_event t = function
+  | Faults.Event.Fail m -> Faults.Event.Fail (Partition.local_machine t.part m)
+  | Faults.Event.Recover m ->
+      Faults.Event.Recover (Partition.local_machine t.part m)
+
+(* --- Replay (recovery and estimator switches) ----------------------------
+   Records carry global org/machine ids; feeding the group engine
+   translates them.  [Mode] records are skipped (they describe estimator
+   switches, not engine input); [dedupe], when given, is rebuilt
+   alongside — the cached acks of a deterministic replay are identical
+   to the originals. *)
+let replay ?dedupe ~part online records =
+  let lorg o = Partition.local_org part o in
+  let levent = function
+    | Faults.Event.Fail m -> Faults.Event.Fail (Partition.local_machine part m)
+    | Faults.Event.Recover m ->
+        Faults.Event.Recover (Partition.local_machine part m)
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | Wal.Submit { seq; org; user; release; size; cid; cseq } :: rest -> (
+        match Online.submit online ~org:(lorg org) ~user ~size ~release () with
+        | Ok index ->
+            (match dedupe with
+            | Some tbl when cid <> 0 && cseq > 0 ->
+                Hashtbl.replace tbl cid
+                  ( cseq,
+                    Protocol.Submit_ok
+                      { seq; org; index; now = Online.now online } )
+            | Some _ | None -> ());
+            go rest
+        | Error e ->
+            Error
+              (Printf.sprintf "replay: record %d rejected: %s" seq
+                 (Online.error_to_string e)))
+    | Wal.Fault { seq; time; event; cid; cseq } :: rest -> (
+        match Online.fault online ~time (levent event) with
+        | Ok () ->
+            (match dedupe with
+            | Some tbl when cid <> 0 && cseq > 0 ->
+                Hashtbl.replace tbl cid
+                  (cseq, Protocol.Fault_ok { seq; now = Online.now online })
+            | Some _ | None -> ());
+            go rest
+        | Error e ->
+            Error
+              (Printf.sprintf "replay: record %d rejected: %s" seq
+                 (Online.error_to_string e)))
+    | Wal.Mode _ :: rest -> go rest
+  in
+  go records
+
+(* The estimator a record list leaves the shard in: the last Mode record
+   wins, the base algorithm otherwise. *)
+let final_estimator ~base records =
+  List.fold_left
+    (fun acc r ->
+      match r with Wal.Mode { estimator; _ } -> estimator | _ -> acc)
+    base.Config.algorithm records
+
+(* --- Creation / recovery ------------------------------------------------- *)
+
+let create ~partition ~group ~state_dir ~overload ~degrade_to ~snapshot_every
+    ~commit_interval ~commit_max () =
+  let ( let* ) = Result.bind in
+  let base = Partition.config partition in
+  let sub = Partition.sub_config partition group in
+  let site_prefix =
+    if Partition.groups partition = 1 then ""
+    else Wal.segment_site_prefix ~group
+  in
+  let* records, last_seq =
+    match state_dir with
+    | None -> Ok ([], 0)
+    | Some dir ->
+        let* r = Result.map_error Wal.boot_error_to_string (Wal.recover ~dir) in
+        let* () =
+          match r.Wal.r_config with
+          | Some c when not (Config.equal c base) ->
+              Error
+                (Printf.sprintf
+                   "segment %d: stored config disagrees with the service \
+                    config"
+                   group)
+          | Some _ | None -> Ok ()
+        in
+        Ok (r.Wal.r_records, r.Wal.r_last_seq)
+  in
+  (* Recovery shortcut for Mode records: build the engine once under the
+     final estimator and feed it everything — equivalent by induction,
+     each switch was itself defined as "fresh engine + full history". *)
+  let estimator = final_estimator ~base records in
+  let online =
+    Online.create
+      (if estimator = sub.Config.algorithm then sub
+       else { sub with Config.algorithm = estimator })
+  in
+  let dedupe = Hashtbl.create 64 in
+  let* () = replay ~dedupe ~part:partition online records in
+  (* Compact on boot: one snapshot covering everything recovered, then a
+     fresh WAL.  A crash right here is safe — the snapshot is atomic and
+     the old WAL only duplicates records the sequence filter drops. *)
+  let* writer =
+    match state_dir with
+    | None -> Ok None
+    | Some dir ->
+        let* () =
+          if records = [] then Ok ()
+          else
+            Result.map
+              (fun (_ : string) -> ())
+              (Wal.write_snapshot ~site_prefix ~dir
+                 { Wal.config = base; last_seq; records })
+        in
+        Result.map Option.some (Wal.create ~site_prefix ~dir ~config:base ())
+  in
+  Ok
+    {
+      group;
+      part = partition;
+      base;
+      sub;
+      state_dir;
+      site_prefix;
+      snapshot_every;
+      degrade_to;
+      commit_interval;
+      commit_max;
+      online;
+      estimator;
+      writer;
+      seq = last_seq;
+      records_rev = List.rev records;
+      since_snapshot = 0;
+      accepted = List.length (List.filter Wal.is_feed records);
+      rejected = 0;
+      draining = false;
+      dedupe;
+      detector =
+        Overload.create ~config:overload
+          ~now_ms:(fun () -> Obs.Clock.now_s () *. 1000.0)
+          ();
+      held = [];
+      held_n = 0;
+      first_held = 0.;
+      fsyncs = 0;
+      pub_overloaded = Atomic.make false;
+      pub_retry_ms = Atomic.make 25;
+      depth = Atomic.make 0;
+    }
+
+let close t =
+  Option.iter Wal.close t.writer;
+  t.writer <- None
+
+(* --- Snapshot / compaction ----------------------------------------------- *)
+
+let do_snapshot t =
+  match t.state_dir with
+  | None -> Error "no state directory (daemon is ephemeral)"
+  | Some dir -> (
+      let snapshot =
+        { Wal.config = t.base; last_seq = t.seq; records = List.rev t.records_rev }
+      in
+      match Wal.write_snapshot ~site_prefix:t.site_prefix ~dir snapshot with
+      | Error _ as e -> e
+      | Ok path -> (
+          (* Compact: every record is covered by the snapshot now. *)
+          Option.iter Wal.close t.writer;
+          t.writer <- None;
+          Chaos.Fs.point (t.site_prefix ^ "before-wal-reset");
+          match Wal.create ~site_prefix:t.site_prefix ~dir ~config:t.base () with
+          | Error _ as e -> e
+          | Ok w ->
+              t.writer <- Some w;
+              t.since_snapshot <- 0;
+              Chaos.Fs.point (t.site_prefix ^ "after-wal-reset");
+              Ok path))
+
+(* --- Group commit --------------------------------------------------------
+   Acks of accepted feeds are held until one fsync covers the whole
+   batch.  With [commit_interval = 0] every pump that appended syncs
+   immediately (the pre-sharding behaviour: one fsync per select round);
+   with an interval, appends accumulate until the deadline or
+   [commit_max] held acks, amortizing the fsync across them.  A sync
+   failure answers the held batch with wal-error and keeps the records
+   buffered — the next successful commit repairs and lands them. *)
+
+let hold t tok resp t_enq =
+  if t.held_n = 0 then t.first_held <- t_enq;
+  (* first_held is set from the enqueue time of the oldest held ack, so a
+     commit interval bounds the *total* added latency, not just the
+     server-side part *)
+  t.held <- (tok, resp, t_enq) :: t.held;
+  t.held_n <- t.held_n + 1
+
+let commit_due t ~now ~force =
+  let wal_pending =
+    match t.writer with Some w -> Wal.pending w | None -> false
+  in
+  (t.held_n > 0 || wal_pending)
+  && (force
+     || t.commit_interval <= 0.
+     || t.held_n >= t.commit_max
+     || (t.held_n > 0 && now -. t.first_held >= t.commit_interval))
+
+(* Seconds until the commit deadline, when acks are held; [None] = no
+   deadline pending. *)
+let commit_deadline t ~now =
+  if t.held_n = 0 || t.commit_interval <= 0. then None
+  else Some (Float.max 0. (t.first_held +. t.commit_interval -. now))
+
+(* Returns the completions this commit releases (in request order). *)
+let commit t ~now ~force =
+  if not (commit_due t ~now ~force) then []
+  else begin
+    let sync_result =
+      match t.writer with
+      | Some w when Wal.pending w ->
+          let r = Wal.sync w in
+          (match r with
+          | Error _ -> Obs.Metrics.incr m_wal_sync_failures
+          | Ok () ->
+              t.fsyncs <- t.fsyncs + 1;
+              Obs.Metrics.incr m_fsync);
+          r
+      | Some _ | None -> Ok ()
+    in
+    let held = List.rev t.held in
+    t.held <- [];
+    t.held_n <- 0;
+    List.map
+      (fun (tok, resp, t_enq) ->
+        Overload.observe_ack t.detector ~latency_ms:((now -. t_enq) *. 1000.);
+        Obs.Metrics.incr m_acks;
+        let resp =
+          match sync_result with
+          | Ok () -> resp
+          | Error msg ->
+              Protocol.Error
+                { code = Protocol.Wal_error; msg; retry_after_ms = None }
+        in
+        Ack { tok; resp })
+      held
+  end
+
+(* --- Feed processing ----------------------------------------------------- *)
+
+let code_of_online_error = function
+  | Online.Drained -> Protocol.Draining
+  | _ -> Protocol.Bad_request
+
+let observe_and_post t ~post ~now ~t_enq tok resp =
+  Overload.observe_ack t.detector ~latency_ms:((now -. t_enq) *. 1000.);
+  Obs.Metrics.incr m_acks;
+  post (Ack { tok; resp })
+
+let reject t ~post ~now ~t_enq ?retry_after_ms tok code msg =
+  t.rejected <- t.rejected + 1;
+  observe_and_post t ~post ~now ~t_enq tok
+    (Protocol.Error { code; msg; retry_after_ms })
+
+(* At-most-once retransmission.  A feed carrying the (cid, cseq) of an
+   already-applied one is answered from the cache — held like a fresh
+   ack, so a cached OK is still gated on the commit that covers the
+   original record (a sync failure keeps the record's bytes pending; the
+   cached ack must not outrun them to the client). *)
+let dedupe_hit t ~cid ~cseq =
+  if cid = 0 then None
+  else
+    match Hashtbl.find_opt t.dedupe cid with
+    | Some (last, resp) when cseq = last ->
+        Obs.Metrics.incr m_dup_acks;
+        Some (`Cached resp)
+    | Some (last, _) when cseq < last && cseq > 0 -> Some (`Stale last)
+    | Some _ | None -> None
+
+let remember t ~cid ~cseq resp =
+  if cid <> 0 && cseq > 0 then Hashtbl.replace t.dedupe cid (cseq, resp)
+
+let feed t ~post ~now tok (req : Protocol.request) ~t_enq =
+  match req with
+  | Protocol.Submit { org; user; release; size; cid; cseq } -> (
+      match dedupe_hit t ~cid ~cseq with
+      | Some (`Cached resp) -> hold t tok resp t_enq
+      | Some (`Stale last) ->
+          reject t ~post ~now ~t_enq tok Protocol.Bad_request
+            (Printf.sprintf "stale cseq %d (last applied %d)" cseq last)
+      | None -> (
+          if t.draining then
+            reject t ~post ~now ~t_enq tok Protocol.Draining
+              "daemon is draining"
+          else
+            let lorg = Partition.local_org t.part org in
+            match Online.check_submit t.online ~org:lorg ~size ~release with
+            | Error e ->
+                reject t ~post ~now ~t_enq tok (code_of_online_error e)
+                  (Online.error_to_string e)
+            | Ok () -> (
+                let seq = t.seq + 1 in
+                t.seq <- seq;
+                let record =
+                  Wal.Submit { seq; org; user; release; size; cid; cseq }
+                in
+                Option.iter (fun w -> Wal.append w record) t.writer;
+                t.records_rev <- record :: t.records_rev;
+                t.accepted <- t.accepted + 1;
+                t.since_snapshot <- t.since_snapshot + 1;
+                match
+                  Online.submit t.online ~org:lorg ~user ~size ~release ()
+                with
+                | Ok index ->
+                    let resp =
+                      Protocol.Submit_ok
+                        { seq; org; index; now = Online.now t.online }
+                    in
+                    remember t ~cid ~cseq resp;
+                    hold t tok resp t_enq
+                | Error e ->
+                    (* unreachable after check_submit; fail loudly *)
+                    observe_and_post t ~post ~now ~t_enq tok
+                      (Protocol.Error
+                         {
+                           code = Protocol.Bad_request;
+                           msg = Online.error_to_string e;
+                           retry_after_ms = None;
+                         }))))
+  | Protocol.Fault { time; event; cid; cseq } -> (
+      match dedupe_hit t ~cid ~cseq with
+      | Some (`Cached resp) -> hold t tok resp t_enq
+      | Some (`Stale last) ->
+          reject t ~post ~now ~t_enq tok Protocol.Bad_request
+            (Printf.sprintf "stale cseq %d (last applied %d)" cseq last)
+      | None -> (
+          if t.draining then
+            reject t ~post ~now ~t_enq tok Protocol.Draining
+              "daemon is draining"
+          else
+            let lev = local_event t event in
+            match Online.check_fault t.online ~time lev with
+            | Error e ->
+                reject t ~post ~now ~t_enq tok (code_of_online_error e)
+                  (Online.error_to_string e)
+            | Ok () -> (
+                let seq = t.seq + 1 in
+                t.seq <- seq;
+                let record = Wal.Fault { seq; time; event; cid; cseq } in
+                Option.iter (fun w -> Wal.append w record) t.writer;
+                t.records_rev <- record :: t.records_rev;
+                t.accepted <- t.accepted + 1;
+                t.since_snapshot <- t.since_snapshot + 1;
+                match Online.fault t.online ~time lev with
+                | Ok () ->
+                    let resp =
+                      Protocol.Fault_ok { seq; now = Online.now t.online }
+                    in
+                    remember t ~cid ~cseq resp;
+                    hold t tok resp t_enq
+                | Error e ->
+                    observe_and_post t ~post ~now ~t_enq tok
+                      (Protocol.Error
+                         {
+                           code = Protocol.Bad_request;
+                           msg = Online.error_to_string e;
+                           retry_after_ms = None;
+                         }))))
+  | Protocol.Status | Protocol.Psi | Protocol.Snapshot | Protocol.Drain _ ->
+      (* control requests travel as [Query], never as [Feed] *)
+      assert false
+
+(* --- Control queries ------------------------------------------------------ *)
+
+let status_part t =
+  {
+    st_now = Online.now t.online;
+    st_frontier = Online.frontier t.online;
+    st_accepted = t.accepted;
+    st_rejected = t.rejected;
+    st_waiting = Online.queue_depths t.online;
+    st_stats = Kernel.Stats.copy (Online.stats t.online);
+    st_estimator = t.estimator;
+    st_degraded = t.estimator <> t.base.Config.algorithm;
+    st_ewma = Overload.ack_ewma_ms t.detector;
+    st_fsyncs = t.fsyncs;
+  }
+
+let schedule_rows t =
+  Core.Schedule.placements (Online.schedule t.online)
+  |> List.map (fun (p : Core.Schedule.placement) ->
+         ( Partition.global_org t.part ~group:t.group
+             p.Core.Schedule.job.Core.Job.org,
+           p.Core.Schedule.job.Core.Job.index,
+           p.Core.Schedule.start,
+           Partition.global_machine t.part ~group:t.group
+             p.Core.Schedule.machine,
+           p.Core.Schedule.duration ))
+
+let drain_part t ~detail =
+  {
+    dr_now = Online.now t.online;
+    dr_psi = Online.psi_scaled t.online;
+    dr_parts = Online.parts t.online;
+    dr_stats = Kernel.Stats.copy (Online.stats t.online);
+    dr_schedule = (if detail then Some (schedule_rows t) else None);
+  }
+
+let query t ~post ~now tok q =
+  let part p = post (Part { tok; group = t.group; part = p }) in
+  match q with
+  | Q_status -> part (P_status (status_part t))
+  | Q_psi ->
+      part
+        (P_psi
+           {
+             ps_now = Online.now t.online;
+             ps_psi = Online.psi_scaled t.online;
+             ps_parts = Online.parts t.online;
+           })
+  | Q_snapshot ->
+      (* the snapshot persists any still-buffered records, so the held
+         acks it covers are released right after *)
+      let r =
+        Result.map (fun path -> (t.seq, path)) (do_snapshot t)
+      in
+      List.iter post (commit t ~now ~force:true);
+      part (P_snapshot r)
+  | Q_drain { detail } ->
+      if not t.draining then begin
+        t.draining <- true;
+        Online.drain t.online;
+        (match t.state_dir with
+        | None -> List.iter post (commit t ~now ~force:true)
+        | Some _ -> (
+            match do_snapshot t with
+            | Ok _ -> List.iter post (commit t ~now ~force:true)
+            | Error msg ->
+                Printf.eprintf "fairsched serve: final snapshot: %s\n%!" msg;
+                List.iter post (commit t ~now ~force:true)))
+      end;
+      part (P_drain (drain_part t ~detail))
+
+(* --- Degraded mode -------------------------------------------------------
+   Switch the live estimator by rebuild-and-replay: log a Mode record,
+   construct a fresh engine under the new algorithm, and feed it every
+   accepted record.  Kernel determinism makes this exactly "a fresh
+   session with the new estimator given the same history" — which is
+   also precisely what crash recovery reproduces from the log, so a
+   crash at any point around the switch stays bit-identical. *)
+
+let switch_estimator t spec =
+  let seq = t.seq + 1 in
+  t.seq <- seq;
+  let record = Wal.Mode { seq; estimator = spec } in
+  Option.iter (fun w -> Wal.append w record) t.writer;
+  t.records_rev <- record :: t.records_rev;
+  t.since_snapshot <- t.since_snapshot + 1;
+  let online = Online.create { t.sub with Config.algorithm = spec } in
+  match replay ~part:t.part online (List.rev t.records_rev) with
+  | Ok () ->
+      t.online <- online;
+      t.estimator <- spec;
+      true
+  | Error msg ->
+      (* Accepted records cannot be rejected on replay (determinism);
+         reaching here is an invariant violation.  Keep the old engine
+         rather than serve from a half-fed one. *)
+      Printf.eprintf "fairsched serve: estimator switch to %s failed: %s\n%!"
+        spec msg;
+      false
+
+let maybe_switch t =
+  match t.degrade_to with
+  | None -> ()
+  | Some spec ->
+      if not t.draining then begin
+        match Overload.level t.detector with
+        | Overload.Overloaded when t.estimator <> spec ->
+            if switch_estimator t spec then begin
+              Obs.Metrics.incr m_degrade;
+              Printf.eprintf
+                "fairsched serve: overload: shard %d degrading estimator to \
+                 %s\n\
+                 %!"
+                t.group spec
+            end
+        | Overload.Normal when t.estimator <> t.base.Config.algorithm ->
+            if switch_estimator t t.base.Config.algorithm then begin
+              Obs.Metrics.incr m_recover;
+              Printf.eprintf
+                "fairsched serve: recovered: shard %d estimator back to %s\n%!"
+                t.group t.base.Config.algorithm
+            end
+        | Overload.Overloaded | Overload.Normal -> ()
+      end
+
+(* --- Worker: one domain (or the router thread) executing >= 1 shards ----- *)
+
+type 'tok worker = {
+  w_id : int;
+  w_shards : (int * 'tok t) list;  (* group id -> shard, ascending *)
+  w_mb : (int * 'tok msg) Mailbox.t;  (* messages tagged with group *)
+  w_backlog : (int * 'tok msg) Queue.t;
+  w_drain_batch : int;
+  w_cap : int;  (* per-group admission bound, for occupancy observation *)
+  w_stop : bool Atomic.t;
+  w_post : 'tok completion -> unit;
+  mutable w_domain : unit Domain.t option;
+}
+
+let make_worker ~id ~shards ~drain_batch ~cap ~post =
+  {
+    w_id = id;
+    w_shards = shards;
+    w_mb = Mailbox.create ();
+    w_backlog = Queue.create ();
+    w_drain_batch = drain_batch;
+    w_cap = cap;
+    w_stop = Atomic.make false;
+    w_post = post;
+    w_domain = None;
+  }
+
+let worker_shard w g = List.assoc g w.w_shards
+let post_msg w ~group msg = Mailbox.push w.w_mb (group, msg)
+
+(* One processing round: pull queued messages, feed at most
+   [drain_batch] engine entries (control queries don't consume the
+   budget, matching the pre-sharding server), run the group-commit
+   policy, compact, re-evaluate overload.  Runs on the worker domain —
+   or inline on the router thread when the daemon is single-shard. *)
+let pump w =
+  List.iter (fun m -> Queue.push m w.w_backlog) (Mailbox.drain w.w_mb);
+  let now = Unix.gettimeofday () in
+  let feeds = ref 0 in
+  while !feeds < w.w_drain_batch && not (Queue.is_empty w.w_backlog) do
+    let g, msg = Queue.pop w.w_backlog in
+    match msg with
+    | Feed { tok; req; t_enq } ->
+        let sh = worker_shard w g in
+        Atomic.decr sh.depth;
+        feed sh ~post:w.w_post ~now tok req ~t_enq;
+        incr feeds
+    | Query { tok; q } -> query (worker_shard w g) ~post:w.w_post ~now tok q
+    | Tick -> ()
+  done;
+  List.iter
+    (fun (_, sh) ->
+      List.iter w.w_post (commit sh ~now ~force:false);
+      (* automatic compaction once enough records accumulated — but not
+         while acks are held: the WAL reset below a held batch would
+         drop its buffered bytes before snapshot covers them *)
+      if
+        sh.state_dir <> None && sh.snapshot_every > 0
+        && sh.since_snapshot >= sh.snapshot_every
+        && sh.held_n = 0
+      then (
+        match do_snapshot sh with
+        | Ok _ -> ()
+        | Error msg ->
+            Printf.eprintf "fairsched serve: auto-snapshot: %s\n%!" msg);
+      maybe_switch sh;
+      let depth = Atomic.get sh.depth in
+      Overload.observe_queue sh.detector ~depth ~cap:w.w_cap;
+      Atomic.set sh.pub_overloaded
+        (Overload.level sh.detector = Overload.Overloaded);
+      Atomic.set sh.pub_retry_ms (Overload.retry_after_ms sh.detector);
+      Obs.Metrics.set g_queue_depth (float_of_int depth);
+      Obs.Metrics.set g_ack_ewma (Overload.ack_ewma_ms sh.detector))
+    w.w_shards
+
+(* Seconds the worker may sleep before something needs it: 0 when work
+   is queued, else the nearest commit deadline, else a 1 s idle tick
+   (the overload detector recovers by observing calm). *)
+let wait_timeout w =
+  if not (Queue.is_empty w.w_backlog) then 0.
+  else
+    let now = Unix.gettimeofday () in
+    List.fold_left
+      (fun acc (_, sh) ->
+        match commit_deadline sh ~now with
+        | Some d -> Float.min acc d
+        | None -> acc)
+      1.0 w.w_shards
+
+let worker_loop w =
+  try
+    while not (Atomic.get w.w_stop) do
+      let timeout = wait_timeout w in
+      (if timeout > 0. then
+         match Unix.select [ Mailbox.wait_fd w.w_mb ] [] [] timeout with
+         | _ -> ()
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      pump w
+    done
+  with e ->
+    (* a dead shard would hang its org-groups' clients silently; take the
+       daemon down loudly instead *)
+    Printf.eprintf "fairsched serve: shard worker %d died: %s\n%!" w.w_id
+      (Printexc.to_string e);
+    Unix._exit 2
+
+let start_worker w = w.w_domain <- Some (Domain.spawn (fun () -> worker_loop w))
+
+let stop_worker w =
+  Atomic.set w.w_stop true;
+  Mailbox.push w.w_mb (0, Tick);
+  (match w.w_domain with Some d -> Domain.join d | None -> ());
+  w.w_domain <- None;
+  Mailbox.close w.w_mb;
+  List.iter (fun (_, sh) -> close sh) w.w_shards

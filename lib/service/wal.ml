@@ -110,6 +110,38 @@ let record_of_json j =
 let wal_path ~dir = Filename.concat dir "wal.ndjson"
 let snapshot_path ~dir = Filename.concat dir "snapshot.json"
 
+(* --- Segment layout (sharded state dirs) --------------------------------- *)
+
+(* A single-group daemon keeps the flat pre-sharding layout (wal.ndjson +
+   snapshot.json directly under the state dir); a multi-group daemon gives
+   each org-group its own segment subdirectory wal-<g>/ with the same two
+   files inside.  The layout itself says which world we are in — recovery
+   must know before it can read any config. *)
+
+let segment_dir ~dir ~group = Filename.concat dir (Printf.sprintf "wal-%d" group)
+
+let segment_site_prefix ~group = Printf.sprintf "g%d/" group
+
+let segments ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      let groups =
+        Array.to_list entries
+        |> List.filter_map (fun name ->
+               match
+                 if String.length name > 4 && String.sub name 0 4 = "wal-" then
+                   int_of_string_opt
+                     (String.sub name 4 (String.length name - 4))
+                 else None
+               with
+               | Some g
+                 when g >= 0 && Sys.is_directory (Filename.concat dir name) ->
+                   Some g
+               | _ -> None)
+      in
+      List.sort compare groups
+
 (* --- Typed boot errors --------------------------------------------------- *)
 
 type corruption = {
@@ -145,6 +177,9 @@ type writer = {
   buf : Buffer.t;
   mutable durable_len : int;
   mutable file_len : int;
+  prefix : string;
+      (* chaos site/point prefix, e.g. "g1/" — lets a fault plan target
+         one shard's segment while the others stay healthy *)
 }
 
 let wal_magic = "fairsched_wal"
@@ -186,19 +221,25 @@ let protect_sys f =
            (Unix.error_message e))
   | exception Sys_error msg -> Error msg
 
-let create ~dir ~config =
+let create ?(site_prefix = "") ~dir ~config () =
   protect_sys (fun () ->
       let path = wal_path ~dir in
       let fd =
-        Chaos.Fs.openfile ~site:"wal-open" path
+        Chaos.Fs.openfile ~site:(site_prefix ^ "wal-open") path
           [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
           0o644
       in
       let header = to_string (header_json config) ^ "\n" in
-      write_fully ~site:"wal-header" fd header;
-      Chaos.Fs.fsync ~site:"wal-fsync" fd;
+      write_fully ~site:(site_prefix ^ "wal-header") fd header;
+      Chaos.Fs.fsync ~site:(site_prefix ^ "wal-fsync") fd;
       let len = String.length header in
-      { fd; buf = Buffer.create 4096; durable_len = len; file_len = len })
+      {
+        fd;
+        buf = Buffer.create 4096;
+        durable_len = len;
+        file_len = len;
+        prefix = site_prefix;
+      })
 
 let append w record =
   to_buffer w.buf (record_to_json record);
@@ -211,17 +252,18 @@ let sync w =
       if pending w then begin
         if w.file_len > w.durable_len then begin
           (* Repair a torn append from a previously failed sync. *)
-          Chaos.Fs.ftruncate ~site:"wal-truncate" w.fd w.durable_len;
+          Chaos.Fs.ftruncate ~site:(w.prefix ^ "wal-truncate") w.fd
+            w.durable_len;
           ignore (Unix.LargeFile.lseek w.fd (Int64.of_int w.durable_len) Unix.SEEK_SET);
           w.file_len <- w.durable_len
         end;
-        Chaos.Fs.point "before-wal-append";
-        write_tracked ~site:"wal-append" w (Buffer.contents w.buf);
-        Chaos.Fs.point "after-wal-append";
-        Chaos.Fs.fsync ~site:"wal-fsync" w.fd;
+        Chaos.Fs.point (w.prefix ^ "before-wal-append");
+        write_tracked ~site:(w.prefix ^ "wal-append") w (Buffer.contents w.buf);
+        Chaos.Fs.point (w.prefix ^ "after-wal-append");
+        Chaos.Fs.fsync ~site:(w.prefix ^ "wal-fsync") w.fd;
         w.durable_len <- w.file_len;
         Buffer.clear w.buf;
-        Chaos.Fs.point "after-wal-fsync"
+        Chaos.Fs.point (w.prefix ^ "after-wal-fsync")
       end)
 
 let close w =
@@ -262,26 +304,27 @@ let snapshot_of_json j =
   in
   Ok { config; last_seq; records }
 
-let write_snapshot ~dir s =
+let write_snapshot ?(site_prefix = "") ~dir s =
   protect_sys (fun () ->
       let path = snapshot_path ~dir in
       let tmp = path ^ ".tmp" in
       let fd =
-        Chaos.Fs.openfile ~site:"snap-open" tmp
+        Chaos.Fs.openfile ~site:(site_prefix ^ "snap-open") tmp
           [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
           0o644
       in
-      write_fully ~site:"snap-write" fd (to_string (snapshot_json s) ^ "\n");
-      Chaos.Fs.fsync ~site:"snap-fsync" fd;
+      write_fully ~site:(site_prefix ^ "snap-write") fd
+        (to_string (snapshot_json s) ^ "\n");
+      Chaos.Fs.fsync ~site:(site_prefix ^ "snap-fsync") fd;
       Unix.close fd;
-      Chaos.Fs.point "after-snapshot-write";
-      Chaos.Fs.point "before-snapshot-rename";
-      Chaos.Fs.rename ~site:"snap-rename" tmp path;
-      Chaos.Fs.point "after-snapshot-rename";
+      Chaos.Fs.point (site_prefix ^ "after-snapshot-write");
+      Chaos.Fs.point (site_prefix ^ "before-snapshot-rename");
+      Chaos.Fs.rename ~site:(site_prefix ^ "snap-rename") tmp path;
+      Chaos.Fs.point (site_prefix ^ "after-snapshot-rename");
       (* Persist the rename itself. *)
       (match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
       | dfd ->
-          (try Chaos.Fs.fsync ~site:"dir-fsync" dfd
+          (try Chaos.Fs.fsync ~site:(site_prefix ^ "dir-fsync") dfd
            with Unix.Unix_error _ -> ());
           Unix.close dfd
       | exception Unix.Unix_error _ -> ());

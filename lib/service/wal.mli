@@ -69,6 +69,28 @@ val is_feed : record -> bool
 val wal_path : dir:string -> string
 val snapshot_path : dir:string -> string
 
+(** {2 Segment layout — sharded state dirs}
+
+    A single-group daemon keeps the flat layout described above; a
+    multi-group daemon ([Config.groups > 1]) gives every org-group its
+    own segment subdirectory [wal-<g>/] containing the same two files.
+    Each segment header stores the {e global} config, so any one segment
+    identifies the whole partition, and recovery cross-checks that all
+    segments agree. *)
+
+val segment_dir : dir:string -> group:int -> string
+(** [dir/wal-<group>]. *)
+
+val segment_site_prefix : group:int -> string
+(** The {!Chaos.Fs} site/point prefix of a segment's syscalls, ["g<g>/"]
+    — a fault plan like [eio@g1/wal-fsync:1+] hits only that shard's
+    WAL. Single-group daemons use no prefix, so pre-sharding plans keep
+    working. *)
+
+val segments : dir:string -> int list
+(** Group ids of the [wal-<g>/] segment subdirectories found under a
+    state dir, sorted; [[]] for a flat (or empty, or missing) dir. *)
+
 (** {2 Typed boot errors} *)
 
 type corruption = {
@@ -89,9 +111,13 @@ val boot_error_to_string : boot_error -> string
 
 type writer
 
-val create : dir:string -> config:Config.t -> (writer, string) result
+val create :
+  ?site_prefix:string -> dir:string -> config:Config.t -> unit ->
+  (writer, string) result
 (** Truncate/create [wal.ndjson], write and [fsync] the header line.
-    Errors are one-line messages (unwritable directory, etc.). *)
+    [site_prefix] (default [""]) prefixes every {!Chaos.Fs} site and
+    point this writer touches — see {!segment_site_prefix}.  Errors are
+    one-line messages (unwritable directory, etc.). *)
 
 val append : writer -> record -> unit
 (** Buffered; call {!sync} before acknowledging. *)
@@ -118,7 +144,8 @@ type snapshot = {
   records : record list;  (** every accepted record, oldest first *)
 }
 
-val write_snapshot : dir:string -> snapshot -> (string, string) result
+val write_snapshot :
+  ?site_prefix:string -> dir:string -> snapshot -> (string, string) result
 (** Write [snapshot.json] via temp-file + [fsync] + rename; returns the
     final path.  The caller recreates the WAL ({!create}) afterwards to
     compact. *)

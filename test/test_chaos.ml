@@ -265,7 +265,7 @@ let test_torn_multi_record () =
         };
       ]
     (fun () ->
-      match Service.Wal.create ~dir ~config with
+      match Service.Wal.create ~dir ~config () with
       | Error _ -> ()
       | Ok w ->
           Service.Wal.append w (List.nth records 0);
@@ -319,7 +319,7 @@ let test_snapshot_rename_atomicity () =
        with
       | Ok _ -> ()
       | Error msg -> Alcotest.failf "%s: golden snapshot: %s" window msg);
-      (match Service.Wal.create ~dir ~config with
+      (match Service.Wal.create ~dir ~config () with
       | Ok w ->
           List.iter (Service.Wal.append w) records;
           (match Service.Wal.sync w with

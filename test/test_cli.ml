@@ -294,6 +294,49 @@ let test_wal_check () =
   check_error "ctl wal-check" ~expect:"FILE";
   check_error "ctl wal-check /nonexistent/wal.ndjson" ~expect:"fairsched:"
 
+(* A sharded state dir holds one wal-<g>/ segment per org-group, each
+   with the same global config in its header; wal-check inspects every
+   segment and fails the whole inspection if any one is corrupt. *)
+let grouped_wal_header =
+  "{\"fairsched_wal\":1,\"config\":{\"machines\":[2,2],\"horizon\":1000,\"algorithm\":\"fifo\",\"seed\":1,\"groups\":2}}\n"
+
+let test_wal_check_segmented () =
+  with_scratch_dir @@ fun dir ->
+  let seg g = Filename.concat dir (Printf.sprintf "wal-%d" g) in
+  Unix.mkdir (seg 0) 0o700;
+  Unix.mkdir (seg 1) 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun g ->
+          Array.iter
+            (fun e ->
+              try Sys.remove (Filename.concat (seg g) e) with Sys_error _ -> ())
+            (try Sys.readdir (seg g) with Sys_error _ -> [||]);
+          try Unix.rmdir (seg g) with Unix.Unix_error _ -> ())
+        [ 0; 1 ])
+    (fun () ->
+      write_file
+        (Filename.concat (seg 0) "wal.ndjson")
+        (grouped_wal_header ^ submit_line 1 ^ submit_line 2);
+      write_file
+        (Filename.concat (seg 1) "wal.ndjson")
+        (grouped_wal_header
+        ^ "{\"rec\":\"submit\",\"seq\":1,\"org\":1,\"user\":0,\"release\":3,\"size\":1}\n"
+        );
+      let code, lines = run_cmd ("ctl wal-check " ^ dir) in
+      let all = String.concat "\n" lines in
+      Alcotest.(check int) "intact segments exit 0" 0 code;
+      Alcotest.(check bool) "reports segment 0" true (contains all "segment 0");
+      Alcotest.(check bool) "reports segment 1" true (contains all "segment 1");
+      write_file
+        (Filename.concat (seg 1) "wal.ndjson")
+        (grouped_wal_header ^ "garbage\n" ^ submit_line 2);
+      let code, lines = run_cmd ("ctl wal-check " ^ dir) in
+      Alcotest.(check int) "one corrupt segment exits 2" 2 code;
+      Alcotest.(check bool) "names the corrupt count" true
+        (contains (String.concat "\n" lines) "1 of 2 segments corrupt"))
+
 let test_service_unreachable_daemon () =
   (* Clients against a daemon that is not there: exit 2, one-line message. *)
   check_error "status --to unix:/nonexistent/no-daemon.sock"
@@ -342,6 +385,8 @@ let () =
           Alcotest.test_case "flag errors" `Quick test_service_flag_errors;
           Alcotest.test_case "chaos flag errors" `Quick test_chaos_flag_errors;
           Alcotest.test_case "wal-check" `Quick test_wal_check;
+          Alcotest.test_case "wal-check-segmented" `Quick
+            test_wal_check_segmented;
           Alcotest.test_case "unreachable daemon" `Quick
             test_service_unreachable_daemon;
         ] );

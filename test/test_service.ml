@@ -6,11 +6,12 @@ let ( let@ ) f x = f x
 
 (* --- Config ----------------------------------------------------------------- *)
 
-let mk_config ?speeds ?max_restarts ?workers ?(machines = [| 2; 1; 1 |])
-    ?(horizon = 60) ?(algorithm = "fifo") ?(seed = 7) () =
+let mk_config ?speeds ?max_restarts ?workers ?groups
+    ?(machines = [| 2; 1; 1 |]) ?(horizon = 60) ?(algorithm = "fifo")
+    ?(seed = 7) () =
   match
-    Service.Config.make ?speeds ?max_restarts ?workers ~machines ~horizon
-      ~algorithm ~seed ()
+    Service.Config.make ?speeds ?max_restarts ?workers ?groups ~machines
+      ~horizon ~algorithm ~seed ()
   with
   | Ok c -> c
   | Error msg -> Alcotest.failf "config rejected: %s" msg
@@ -153,6 +154,9 @@ let test_protocol_responses () =
          degraded = true;
          shed = 17;
          ack_ewma_ms = 3.5;
+         groups = 2;
+         shards = 2;
+         fsyncs = 9;
        });
   roundtrip
     (Service.Protocol.Drain_ok
@@ -201,7 +205,7 @@ let test_wal_roundtrip () =
   let@ dir = with_tmpdir in
   let config = mk_config () in
   let w =
-    match Service.Wal.create ~dir ~config with
+    match Service.Wal.create ~dir ~config () with
     | Ok w -> w
     | Error msg -> Alcotest.failf "create: %s" msg
   in
@@ -228,7 +232,7 @@ let test_wal_torn_tail () =
   let@ dir = with_tmpdir in
   let config = mk_config () in
   let w =
-    match Service.Wal.create ~dir ~config with
+    match Service.Wal.create ~dir ~config () with
     | Ok w -> w
     | Error msg -> Alcotest.failf "create: %s" msg
   in
@@ -273,7 +277,7 @@ let test_wal_snapshot_dedupe () =
   | Ok _ -> ()
   | Error msg -> Alcotest.failf "write_snapshot: %s" msg);
   let w =
-    match Service.Wal.create ~dir ~config with
+    match Service.Wal.create ~dir ~config () with
     | Ok w -> w
     | Error msg -> Alcotest.failf "create: %s" msg
   in
@@ -297,7 +301,7 @@ let test_wal_sync_repair () =
   let config = mk_config () in
   Fun.protect ~finally:Chaos.Fs.disarm @@ fun () ->
   let w =
-    match Service.Wal.create ~dir ~config with
+    match Service.Wal.create ~dir ~config () with
     | Ok w -> w
     | Error msg -> Alcotest.failf "create: %s" msg
   in
@@ -642,15 +646,23 @@ let test_online_admission () =
 (* Fork a daemon, wait for readiness via the ready-pipe trick, run [f],
    then terminate the child.  [f] gets the server's pid so crash tests
    can SIGKILL it. *)
-let with_server ?state_dir ?(queue_cap = 1024) ?(drain_batch = 256)
-    ~service addr f =
+let with_server ?state_dir ?(queue_cap = 1024) ?(drain_batch = 256) ?shards
+    ?commit_interval ?chaos ~service addr f =
   let r, w = Unix.pipe () in
   match Unix.fork () with
   | 0 ->
       Unix.close r;
+      (match chaos with
+      | None -> ()
+      | Some spec -> (
+          match Chaos.Fs.of_string spec with
+          | Ok rules -> Chaos.Fs.arm rules
+          | Error msg ->
+              Printf.eprintf "chaos: %s\n%!" msg;
+              Stdlib.exit 1));
       let cfg =
-        Service.Server.make_config ?state_dir ~queue_cap ~drain_batch ~addr
-          ~service ()
+        Service.Server.make_config ?state_dir ~queue_cap ~drain_batch ?shards
+          ?commit_interval ~addr ~service ()
       in
       let ready () =
         ignore (Unix.write w (Bytes.of_string "R") 0 1);
@@ -1075,6 +1087,9 @@ let test_loadgen () =
           drain = true;
           policy = Service.Retry.default;
           timeout_s = 5.0;
+          connections = 1;
+          groups = 1;
+          window = 1;
         }
     with
     | Ok r -> r
@@ -1086,6 +1101,291 @@ let test_loadgen () =
   Alcotest.(check int) "no transport errors" 0 report.Service.Loadgen.errors;
   Alcotest.(check int) "latency histogram complete" 200
     report.Service.Loadgen.ack_latency.Obs.Metrics.count
+
+(* --- Sharding: org-group partition, group commit, fault isolation ----------- *)
+
+(* The partition is a pure function of the durable config: contiguous
+   balanced org blocks, each owning exactly the machines its orgs endow. *)
+let test_partition_groups () =
+  (match
+     Service.Config.make ~groups:3 ~machines:[| 1; 1 |] ~horizon:10
+       ~algorithm:"fifo" ~seed:1 ()
+   with
+  | Ok _ -> Alcotest.fail "groups > orgs accepted"
+  | Error _ -> ());
+  (match
+     Service.Config.make ~groups:2 ~machines:[| 0; 1 |] ~horizon:10
+       ~algorithm:"fifo" ~seed:1 ()
+   with
+  | Ok _ -> Alcotest.fail "machine-less group accepted"
+  | Error _ -> ());
+  let config = mk_config ~groups:2 ~machines:[| 2; 1; 1; 3 |] ~horizon:60 () in
+  (match Service.Config.of_json (Service.Config.to_json config) with
+  | Ok c ->
+      Alcotest.(check bool) "grouped config round-trips" true
+        (Service.Config.equal config c)
+  | Error msg -> Alcotest.failf "of_json: %s" msg);
+  let p = Service.Partition.make config in
+  Alcotest.(check int) "groups" 2 (Service.Partition.groups p);
+  Alcotest.(check (pair int int)) "org block 0" (0, 2)
+    (Service.Partition.org_range p 0);
+  Alcotest.(check (pair int int)) "org block 1" (2, 4)
+    (Service.Partition.org_range p 1);
+  Alcotest.(check (pair int int)) "machine block 0" (0, 3)
+    (Service.Partition.machine_range p 0);
+  Alcotest.(check (pair int int)) "machine block 1" (3, 7)
+    (Service.Partition.machine_range p 1);
+  for org = 0 to 3 do
+    let g = Service.Partition.group_of_org p org in
+    Alcotest.(check int) "org local/global round-trip" org
+      (Service.Partition.global_org p ~group:g
+         (Service.Partition.local_org p org))
+  done;
+  for m = 0 to 6 do
+    let g = Service.Partition.group_of_machine p m in
+    Alcotest.(check int) "machine local/global round-trip" m
+      (Service.Partition.global_machine p ~group:g
+         (Service.Partition.local_machine p m))
+  done;
+  let sub1 = Service.Partition.sub_config p 1 in
+  Alcotest.(check (array int)) "sub-config machines" [| 1; 3 |]
+    sub1.Service.Config.machines;
+  Alcotest.(check int) "sub-config is single-group" 1
+    sub1.Service.Config.groups;
+  Alcotest.(check (array int)) "scatter reassembles blocks" [| 10; 11; 20; 21 |]
+    (Service.Partition.scatter_int p (fun g ->
+         if g = 0 then [| 10; 11 |] else [| 20; 21 |]))
+
+(* Golden outcome of a grouped daemon: one batch Sim.Driver.run per
+   org-group over the Partition.sub_config sub-instance, scattered and
+   summed back into global shape. *)
+let grouped_golden ~config instance =
+  let p = Service.Partition.make config in
+  let runs =
+    Array.init (Service.Partition.groups p) (fun grp ->
+        let sub = Service.Partition.sub_config p grp in
+        let lo, _ = Service.Partition.org_range p grp in
+        let sub_jobs =
+          Array.to_list instance.Core.Instance.jobs
+          |> List.filter_map (fun (j : Core.Job.t) ->
+                 if Service.Partition.group_of_org p j.Core.Job.org = grp then
+                   Some
+                     (Core.Job.make ~org:(j.Core.Job.org - lo) ~index:0
+                        ~user:j.Core.Job.user ~release:j.Core.Job.release
+                        ~size:j.Core.Job.size ())
+                 else None)
+        in
+        let sub_instance =
+          Core.Instance.make ~machines:sub.Service.Config.machines
+            ~jobs:sub_jobs ~horizon:sub.Service.Config.horizon
+        in
+        Sim.Driver.run ~instance:sub_instance
+          ~rng:(Fstats.Rng.create ~seed:sub.Service.Config.seed)
+          (Algorithms.Registry.find_exn sub.Service.Config.algorithm))
+  in
+  let psi =
+    Service.Partition.scatter_int p (fun g ->
+        runs.(g).Sim.Driver.utilities_scaled)
+  in
+  let parts = Service.Partition.scatter_int p (fun g -> runs.(g).Sim.Driver.parts) in
+  let stats =
+    Kernel.Stats.total
+      (Array.to_list (Array.map (fun r -> r.Sim.Driver.stats) runs))
+  in
+  (psi, parts, stats)
+
+(* The differential the refactor hangs on: for a fixed --groups, the
+   worker-domain count is pure execution — ψsp, parts, and kernel stats
+   from a served run are bit-identical across --shards 1, 2, 4, and all
+   equal the per-group batch runs. *)
+let sharded_differential_qcheck =
+  let gen =
+    QCheck.Gen.(
+      let* njobs = int_range 8 30 in
+      list_size (return njobs)
+        (let* org = int_range 0 3 in
+         let* user = int_range 0 7 in
+         let* release = int_range 0 280 in
+         let* size = int_range 1 5 in
+         return (org, user, release, size)))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun raw ->
+        String.concat ";"
+          (List.map
+             (fun (o, u, r, s) -> Printf.sprintf "J(o%d,u%d,r%d,s%d)" o u r s)
+             raw))
+      gen
+  in
+  QCheck.Test.make ~name:"psi bit-identical across shards 1|2|4" ~count:4 arb
+    (fun raw ->
+      let machines = [| 2; 2; 2; 2 |] and horizon = 300 in
+      let jobs =
+        List.map
+          (fun (org, user, release, size) ->
+            Core.Job.make ~org ~index:0 ~user ~release ~size ())
+          raw
+      in
+      let instance = Core.Instance.make ~machines ~jobs ~horizon in
+      let config =
+        mk_config ~groups:4 ~machines ~horizon ~algorithm:"fairshare" ~seed:5
+          ()
+      in
+      let golden_psi, golden_parts, golden_stats =
+        grouped_golden ~config instance
+      in
+      List.iter
+        (fun shards ->
+          let@ dir = with_tmpdir in
+          let addr = Service.Addr.Unix_sock (Filename.concat dir "d.sock") in
+          let@ _pid = with_server ~shards ~service:config addr in
+          let client = connect_retry addr in
+          Array.iter (submit_job client) instance.Core.Instance.jobs;
+          (match
+             request_ok client (Service.Protocol.Drain { detail = false })
+           with
+          | Service.Protocol.Drain_ok r ->
+              if r.Service.Protocol.d_psi_scaled <> golden_psi then
+                QCheck.Test.fail_reportf "shards=%d: psi diverged" shards;
+              if r.Service.Protocol.d_parts <> golden_parts then
+                QCheck.Test.fail_reportf "shards=%d: parts diverged" shards;
+              if
+                stats_string r.Service.Protocol.d_stats
+                <> stats_string golden_stats
+              then QCheck.Test.fail_reportf "shards=%d: stats diverged" shards
+          | _ -> QCheck.Test.fail_reportf "shards=%d: drain failed" shards);
+          Service.Client.close client)
+        [ 1; 2; 4 ];
+      true)
+
+(* Group commit: a pipelined burst is acked with far fewer fsyncs than
+   acks, and — the durability contract — everything acked before a
+   kill -9 is recovered from the per-group segments. *)
+let test_group_commit_recovery () =
+  let@ dir = with_tmpdir in
+  let state_dir = Filename.concat dir "state" in
+  let service =
+    mk_config ~groups:2 ~machines:[| 2; 2 |] ~horizon:100_000 ()
+  in
+  let addr = Service.Addr.Unix_sock (Filename.concat dir "d.sock") in
+  let n = 64 in
+  (let@ pid =
+     with_server ~state_dir ~shards:2 ~commit_interval:0.05 ~service addr
+   in
+   (* Pipeline the burst on a raw socket: one write, n acks. *)
+   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+   Unix.connect fd (Service.Addr.to_sockaddr addr);
+   let burst = Buffer.create 4096 in
+   for i = 1 to n do
+     Buffer.add_string burst
+       (Service.Protocol.request_to_line
+          (Service.Protocol.Submit
+             {
+               org = i land 1;
+               user = 0;
+               release = i;
+               size = 1;
+               cid = 0;
+               cseq = 0;
+             }))
+   done;
+   let payload = Buffer.contents burst in
+   ignore (Unix.write_substring fd payload 0 (String.length payload));
+   let buf = Buffer.create 4096 in
+   let chunk = Bytes.create 4096 in
+   let count_lines () =
+     String.fold_left
+       (fun acc c -> if c = '\n' then acc + 1 else acc)
+       0 (Buffer.contents buf)
+   in
+   while count_lines () < n do
+     match Unix.read fd chunk 0 (Bytes.length chunk) with
+     | 0 -> Alcotest.fail "server closed mid-burst"
+     | k -> Buffer.add_subbytes buf chunk 0 k
+   done;
+   Unix.close fd;
+   String.split_on_char '\n' (Buffer.contents buf)
+   |> List.filter (fun l -> l <> "")
+   |> List.iter (fun line ->
+          match Service.Protocol.response_of_line line with
+          | Ok (Service.Protocol.Submit_ok _) -> ()
+          | _ -> Alcotest.failf "burst response not an ack: %s" line);
+   let client = connect_retry addr in
+   (match request_ok client Service.Protocol.Status with
+   | Service.Protocol.Status_ok st ->
+       Alcotest.(check int) "groups" 2 st.Service.Protocol.groups;
+       Alcotest.(check int) "shards" 2 st.Service.Protocol.shards;
+       Alcotest.(check int) "all acked" n st.Service.Protocol.accepted;
+       Alcotest.(check bool) "acks were fsynced" true
+         (st.Service.Protocol.fsyncs > 0);
+       Alcotest.(check bool)
+         (Printf.sprintf "group commit amortized (%d fsyncs / %d acks)"
+            st.Service.Protocol.fsyncs n)
+         true
+         (st.Service.Protocol.fsyncs < n)
+   | _ -> Alcotest.fail "status: unexpected response");
+   Service.Client.close client;
+   Unix.kill pid Sys.sigkill;
+   ignore (Unix.waitpid [] pid));
+  (* Second life: every acked submission must come back from the two
+     wal-<g>/ segments. *)
+  let@ _pid =
+    with_server ~state_dir ~shards:2 ~commit_interval:0.05 ~service addr
+  in
+  let client = connect_retry addr in
+  (match request_ok client Service.Protocol.Status with
+  | Service.Protocol.Status_ok st ->
+      Alcotest.(check int) "acked burst recovered" n
+        st.Service.Protocol.accepted
+  | _ -> Alcotest.fail "status: unexpected response");
+  (match request_ok client (Service.Protocol.Drain { detail = false }) with
+  | Service.Protocol.Drain_ok _ -> ()
+  | _ -> Alcotest.fail "drain: unexpected response");
+  Service.Client.close client
+
+(* Fault isolation: a chaos plan targeting one segment's fsyncs
+   (site prefix g1/) turns that group's submissions into wal-errors while
+   the other group keeps acking — the blast radius of a sick WAL is one
+   org-group, not the daemon.  (:2+ skips the segment's header fsync at
+   boot.) *)
+let test_shard_chaos_isolation () =
+  let@ dir = with_tmpdir in
+  let state_dir = Filename.concat dir "state" in
+  let service =
+    mk_config ~groups:2 ~machines:[| 2; 2 |] ~horizon:100_000 ()
+  in
+  let addr = Service.Addr.Unix_sock (Filename.concat dir "d.sock") in
+  let submit client ~org ~release =
+    request_ok client
+      (Service.Protocol.Submit
+         { org; user = 0; release; size = 1; cid = 0; cseq = 0 })
+  in
+  let@ _pid =
+    with_server ~state_dir ~chaos:"eio@g1/wal-fsync:2+" ~service addr
+  in
+  let client = connect_retry addr in
+  (match submit client ~org:0 ~release:1 with
+  | Service.Protocol.Submit_ok _ -> ()
+  | _ -> Alcotest.fail "healthy group rejected a submission");
+  (match submit client ~org:1 ~release:1 with
+  | Service.Protocol.Error { code = Service.Protocol.Wal_error; _ } -> ()
+  | Service.Protocol.Submit_ok _ ->
+      Alcotest.fail "sick group acked without a durable record"
+  | _ -> Alcotest.fail "sick group: unexpected response");
+  (* The healthy group is unaffected by its neighbour's sick disk. *)
+  (match submit client ~org:0 ~release:2 with
+  | Service.Protocol.Submit_ok _ -> ()
+  | _ -> Alcotest.fail "healthy group stopped acking");
+  (match request_ok client Service.Protocol.Status with
+  | Service.Protocol.Status_ok st ->
+      (* The wal-errored feed stays admitted (its record is pending until
+         a later sync repairs it) — same books as the pre-sharding server
+         kept under a sick disk. *)
+      Alcotest.(check int) "admitted feeds counted" 3
+        st.Service.Protocol.accepted
+  | _ -> Alcotest.fail "status: unexpected response");
+  Service.Client.close client
 
 let () =
   Random.self_init ();
@@ -1143,5 +1443,14 @@ let () =
           Alcotest.test_case "client-timeout" `Quick test_client_timeout;
           Alcotest.test_case "malformed-lines" `Quick test_malformed_lines;
           Alcotest.test_case "loadgen" `Quick test_loadgen;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "partition" `Quick test_partition_groups;
+          QCheck_alcotest.to_alcotest sharded_differential_qcheck;
+          Alcotest.test_case "group-commit-recovery" `Quick
+            test_group_commit_recovery;
+          Alcotest.test_case "chaos-isolation" `Quick
+            test_shard_chaos_isolation;
         ] );
     ]
