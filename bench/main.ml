@@ -17,6 +17,20 @@ let json_acc : (string * Obs.Json.t) list ref = ref []
 let record_json name value = json_acc := (name, value) :: !json_acc
 let wall_acc : (string * float) list ref = ref []
 
+(* Headline throughput numbers, tracked across runs in the bench history
+   (BENCH_history.jsonl): sections push the rates a regression would most
+   likely show up in.  Re-recording a name keeps the best value, so a
+   multi-cell section contributes its fastest configuration. *)
+let rates_acc : (string * float) list ref = ref []
+
+let record_rate name v =
+  let v =
+    match List.assoc_opt name !rates_acc with
+    | Some prev -> Float.max prev v
+    | None -> v
+  in
+  rates_acc := (name, v) :: List.remove_assoc name !rates_acc
+
 let write_json path =
   let sections =
     Obs.Json.Obj
@@ -36,6 +50,105 @@ let write_json path =
   output_char oc '\n';
   close_out oc;
   Format.printf "@.wrote %s@." path
+
+(* --- Bench trajectory: BENCH_history.jsonl ------------------------------ *)
+
+(* One compact line per recorded run — git sha, date, per-section wall
+   seconds, and the headline rates from [rates_acc] — appended to a JSONL
+   file so the repo carries its own performance trajectory.  `--json` runs
+   append; `--smoke` additionally compares against the last entry and warns
+   (never fails: machines differ) when a tracked rate fell more than 20%. *)
+
+let git_sha () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> None
+  | ic -> (
+      let line = try String.trim (input_line ic) with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> Some line
+      | _ | (exception Unix.Unix_error _) -> None)
+
+let history_record () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  let date =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  let sha =
+    match git_sha () with Some s -> s | None -> "unknown"
+  in
+  Obs.Json.Obj
+    [
+      ("date", Obs.Json.String date);
+      ("sha", Obs.Json.String sha);
+      ( "sections",
+        Obs.Json.Obj
+          (List.rev_map (fun (n, s) -> (n, Obs.Json.Float s)) !wall_acc) );
+      ( "rates",
+        Obs.Json.Obj
+          (List.map (fun (n, v) -> (n, Obs.Json.Float v)) !rates_acc) );
+    ]
+
+let append_history path =
+  match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+  | exception Sys_error msg ->
+      Format.eprintf "  !! bench history: cannot append to %s: %s@." path msg
+  | oc ->
+      output_string oc (Obs.Json.to_string (history_record ()));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "appended history entry to %s@." path
+
+let last_history_entry path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error _ -> None
+  | contents -> (
+      let lines =
+        String.split_on_char '\n' contents
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      match List.rev lines with
+      | [] -> None
+      | last :: _ -> (
+          match Obs.Json.of_string last with
+          | Ok j -> Some j
+          | Error msg ->
+              Format.eprintf "  !! bench history: unreadable last entry: %s@."
+                msg;
+              None))
+
+(* Warn — never fail — when a rate this run is >20% below the previous
+   recorded entry.  A hard gate would make @bench-smoke flaky across
+   machines of different speed; the warning is for a human eyeballing the
+   alias output on one machine over time. *)
+let warn_regressions path =
+  match last_history_entry path with
+  | None -> ()
+  | Some prev ->
+      let prev_rates =
+        match Obs.Json.member prev "rates" with
+        | Some (Obs.Json.Obj fields) -> fields
+        | _ -> []
+      in
+      let prev_sha =
+        match Option.bind (Obs.Json.member prev "sha") Obs.Json.get_string with
+        | Some s -> s
+        | None -> "?"
+      in
+      List.iter
+        (fun (name, now) ->
+          match Option.bind (List.assoc_opt name prev_rates) Obs.Json.get_number
+          with
+          | Some before when before > 0. && now < 0.8 *. before ->
+              Format.eprintf
+                "  !! bench history: %s %.0f/s is %.0f%% below the last \
+                 recorded %.0f/s (sha %s)@."
+                name now
+                ((1. -. (now /. before)) *. 100.)
+                before prev_sha
+          | Some _ | None -> ())
+        !rates_acc
 
 (* --- E1: Figure 2 worked example -------------------------------------- *)
 
@@ -452,6 +565,7 @@ let wire () =
              size = 1 + (i land 15);
              cid = 0;
              cseq = 0;
+             trace = 0;
            })
     in
     match Service.Protocol.request_of_line (String.trim line) with
@@ -502,6 +616,8 @@ let wire () =
   Format.printf
     "WAL: %d records, fsync every %d: %.2fs (%.0f records/s)@." records batch
     wal_s wal_rate;
+  record_rate "codec_lines_per_s" codec_rate;
+  record_rate "wal_records_per_s" wal_rate;
   record_json "wire"
     (Obs.Json.Obj
        [
@@ -722,6 +838,9 @@ let service_scaling ?(strict = false) ~serve_exe ~shard_counts ~conn_counts
             (if single_core then "  (single-core: overhead, not scaling)"
              else "")
       | None -> ());
+      List.iter
+        (fun ((_, _, r), _) -> record_rate "service_rate_per_s" r)
+        rows;
       record_json "service_scaling"
         (Obs.Json.Obj
            [
@@ -817,6 +936,11 @@ let () =
     | Some _ as p -> p
     | None -> Sys.getenv_opt "BENCH_JSON"
   in
+  let history_path =
+    match value_of "--history" with
+    | Some _ as p -> p
+    | None -> Sys.getenv_opt "BENCH_HISTORY"
+  in
   let sections =
     if smoke then
       (* Tiny ref_scaling plus a strict 2-group daemon saturation row: the
@@ -903,4 +1027,11 @@ let () =
       wall_acc := (name, Obs.Clock.elapsed s0) :: !wall_acc)
     wanted;
   Option.iter write_json json_path;
+  (* History trajectory: smoke compares against the last recorded entry
+     (warn-only); `--json` runs — the recorded ones — append a new line. *)
+  Option.iter
+    (fun h ->
+      if smoke then warn_regressions h;
+      if json_path <> None then append_history h)
+    history_path;
   Format.printf "@.total wall time: %.1fs@." (Obs.Clock.elapsed t0)

@@ -248,6 +248,7 @@ let crash_trial ~root ~tid ~spec ~expect_crash ~snap ~seed ~serve_flags ~jobs
                size = j.Core.Job.size;
                cid = 7;
                cseq = i + 1;
+               trace = 0;
              })
           100
       with
@@ -680,6 +681,7 @@ let degrade_phase root =
                       size = 2;
                       cid = 0;
                       cseq = 0;
+                      trace = 0;
                     }))
           done;
           let s = Buffer.to_bytes b in
@@ -730,6 +732,7 @@ let degrade_phase root =
              size = 2;
              cid = 0;
              cseq = 0;
+             trace = 0;
            })
     with
     | Ok (Service.Protocol.Error

@@ -906,14 +906,44 @@ let serve_cmd =
              fsyncs every pump (the classic behaviour).  Acked submissions \
              survive kill -9 either way.")
   in
+  let log_level_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Structured-log threshold: $(b,debug), $(b,info), $(b,warn) \
+             (default), or $(b,error).")
+  in
+  let log_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-file" ] ~docv:"FILE"
+          ~doc:
+            "Append structured logs to FILE as NDJSON (one JSON record per \
+             line) instead of text on stderr.")
+  in
   let run listen state model algo estimator norgs machines horizon seed split
       workers max_restarts queue_cap snapshot_every chaos degrade
       overload_queue overload_ms overload_trip overload_recover groups shards
-      commit_interval trace metrics =
+      commit_interval log_level log_file trace metrics =
     (match max_restarts with
     | Some r when r < 0 -> die "--max-restarts must be >= 0"
     | Some _ | None -> ());
     if snapshot_every < 0 then die "--snapshot-every must be >= 0";
+    (match log_level with
+    | None -> ()
+    | Some s -> (
+        match Obs.Log.level_of_string s with
+        | Ok l -> Obs.Log.set_level l
+        | Error msg -> die "%s" msg));
+    (match log_file with
+    | None -> ()
+    | Some path -> (
+        match Obs.Log.open_file path with
+        | Ok () -> ()
+        | Error msg -> die "%s" msg));
     let algo = resolve_estimator ~algo estimator in
     if Algorithms.Registry.find algo = None then
       die "unknown algorithm %S (see `fairsched algorithms`)" algo;
@@ -935,6 +965,12 @@ let serve_cmd =
         ~split ~max_restarts ~workers ~groups
     in
     with_obs ~trace ~metrics @@ fun () ->
+    (* The live observability plane is always on for a daemon: `ctl
+       metrics` and `ctl trace` must answer without a restart, and the
+       per-request cost is one atomic load per instrument when nothing
+       scrapes.  --trace/--metrics still control the exit-time dumps. *)
+    Obs.Metrics.set_enabled true;
+    Obs.Trace.set_enabled true;
     let overload =
       {
         Service.Overload.default with
@@ -979,7 +1015,7 @@ let serve_cmd =
       $ max_restarts_arg $ queue_cap_arg $ snapshot_every_arg $ chaos_arg
       $ degrade_arg $ overload_queue_arg $ overload_ms_arg $ overload_trip_arg
       $ overload_recover_arg $ groups_arg $ shards_arg $ commit_interval_arg
-      $ trace_arg $ metrics_arg)
+      $ log_level_arg $ log_file_arg $ trace_arg $ metrics_arg)
 
 let submit_cmd =
   let org_arg =
@@ -1024,7 +1060,7 @@ let submit_cmd =
         match
           request_or_die client
             (Service.Protocol.Submit
-               { org; user; release; size; cid = 0; cseq = 0 })
+               { org; user; release; size; cid = 0; cseq = 0; trace = 0 })
         with
         | Service.Protocol.Submit_ok { seq; org; index; now } ->
             Format.printf "accepted seq=%d org=%d rank=%d release=%d now=%d@."
@@ -1090,14 +1126,270 @@ let status_cmd =
     (Cmd.info "status" ~doc:"Query a running daemon's state.")
     Term.(const run $ to_arg $ json_arg $ timeout_arg)
 
+(* --- top: the live dashboard over ctl metrics ----------------------------- *)
+
+let top_cmd =
+  let addr_pos =
+    Arg.(
+      value & pos 0 addr_conv default_addr
+      & info [] ~docv:"ADDR"
+          ~doc:
+            "Daemon address: $(b,unix:PATH), $(b,tcp:HOST:PORT), or a bare \
+             socket path.")
+  in
+  let interval_arg =
+    Arg.(
+      value
+      & opt (nonneg_float_conv "--interval") 1.0
+      & info [ "interval" ] ~docv:"SEC" ~doc:"Seconds between refreshes.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "count"; "n" ] ~docv:"N"
+          ~doc:
+            "Stop after N refreshes; 0 polls until interrupted or the \
+             daemon goes away.")
+  in
+  let run addr interval count timeout_s =
+    let client = connect_or_die ~timeout_s addr in
+    let request req =
+      match Service.Client.request client req with
+      | Ok (Service.Protocol.Error { code; msg; _ }) ->
+          die "daemon refused (%s): %s"
+            (Service.Protocol.error_code_to_string code)
+            msg
+      | Ok resp -> resp
+      | Error e ->
+          (* the daemon drained or died mid-watch: that's a normal way for
+             a dashboard to end, not a usage error *)
+          Format.printf "daemon at %a gone: %s@." Service.Addr.pp addr
+            (Service.Client.error_to_string e);
+          exit 0
+    in
+    let render () =
+      let st =
+        match request Service.Protocol.Status with
+        | Service.Protocol.Status_ok st -> st
+        | _ -> die "unexpected response to status"
+      in
+      let m =
+        match request Service.Protocol.Metrics with
+        | Service.Protocol.Metrics_ok { metrics } -> metrics
+        | _ -> die "unexpected response to metrics"
+      in
+      let fields = match m with Obs.Json.Obj l -> l | _ -> [] in
+      let num = function
+        | Obs.Json.Int n -> Some (float_of_int n)
+        | Obs.Json.Float f -> Some f
+        | _ -> None
+      in
+      let metric name = Option.bind (List.assoc_opt name fields) num in
+      let summary name =
+        match List.assoc_opt name fields with
+        | Some (Obs.Json.Obj _ as s) -> (
+            let g k = Option.bind (Obs.Json.member s k) Obs.Json.get_number in
+            match (g "count", g "p50", g "p99", g "max") with
+            | Some count, Some p50, Some p99, Some max when count > 0. ->
+                Some (int_of_float count, p50, p99, max)
+            | _ -> None)
+        | _ -> None
+      in
+      (* gauges published under a numbered suffix, e.g. fair.psi_org<N> *)
+      let by_suffix prefix =
+        let plen = String.length prefix in
+        List.filter_map
+          (fun (n, v) ->
+            if String.length n > plen && String.sub n 0 plen = prefix then
+              match
+                (int_of_string_opt (String.sub n plen (String.length n - plen)),
+                 num v)
+              with
+              | Some i, Some f -> Some (i, f)
+              | _ -> None
+            else None)
+          fields
+        |> List.sort compare
+      in
+      if Unix.isatty Unix.stdout then print_string "\027[H\027[2J";
+      let tm = Unix.localtime (Unix.gettimeofday ()) in
+      Format.printf "fairsched top — %a — %02d:%02d:%02d@." Service.Addr.pp
+        addr tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec;
+      Format.printf "now %d  frontier %d  horizon %d  orgs %d  machines %d%s@."
+        st.Service.Protocol.now st.Service.Protocol.frontier
+        st.Service.Protocol.horizon st.Service.Protocol.orgs
+        st.Service.Protocol.machines
+        (if st.Service.Protocol.draining then "  DRAINING" else "");
+      Format.printf
+        "accepted %d  rejected %d  shed %d  queue %d/%d  estimator %s%s@."
+        st.Service.Protocol.accepted st.Service.Protocol.rejected
+        st.Service.Protocol.shed st.Service.Protocol.queue_depth
+        st.Service.Protocol.queue_cap st.Service.Protocol.estimator
+        (if st.Service.Protocol.degraded then " (DEGRADED)" else "");
+      Format.printf "groups %d  shards %d  fsyncs %d  ack ewma %.1fms@."
+        st.Service.Protocol.groups st.Service.Protocol.shards
+        st.Service.Protocol.fsyncs st.Service.Protocol.ack_ewma_ms;
+      let psi = by_suffix "fair.psi_org" in
+      let p = by_suffix "fair.p_org" in
+      if psi <> [] then begin
+        Format.printf "@.fairness (utility psi vs executed parts p, per org):@.";
+        Format.printf "  %4s  %12s  %12s  %10s@." "org" "psi" "p" "|psi-p|";
+        List.iter
+          (fun (org, v) ->
+            match List.assoc_opt org p with
+            | Some pv ->
+                Format.printf "  %4d  %12.1f  %12.1f  %10.1f@." org v pv
+                  (Float.abs (v -. pv))
+            | None -> Format.printf "  %4d  %12.1f  %12s  %10s@." org v "-" "-")
+          psi;
+        let drifts = by_suffix "fair.drift_max_g" in
+        let budgets = by_suffix "fair.estimator_budget_g" in
+        let pp_pairs ppf l =
+          List.iter (fun (g, v) -> Format.fprintf ppf "  g%d %.0f" g v) l
+        in
+        if drifts <> [] then
+          Format.printf "  max drift per group:%a@." pp_pairs drifts;
+        if budgets <> [] then
+          Format.printf "  estimator sample budget (Thm 5.6):%a@." pp_pairs
+            budgets
+      end;
+      let counter_row =
+        [
+          ("acks", "service.acks_total");
+          ("fsyncs", "service.fsync_total");
+          ("shed", "service.shed");
+          ("dup acks", "service.dup_acks");
+          ("wal failures", "service.wal_sync_failures");
+          ("degrades", "service.degrade_switches");
+          ("recovers", "service.recover_switches");
+        ]
+      in
+      Format.printf "@.service:";
+      List.iter
+        (fun (label, name) ->
+          match metric name with
+          | Some v -> Format.printf "  %s %.0f" label v
+          | None -> ())
+        counter_row;
+      Format.printf "@.";
+      List.iter
+        (fun (label, name) ->
+          match summary name with
+          | Some (n, p50, p99, max) ->
+              Format.printf "  %-16s p50 %8.0f  p99 %8.0f  max %8.0f  (n=%d)@."
+                label p50 p99 max n
+          | None -> ())
+        [
+          ("fsync (us)", "service.fsync_us");
+          ("commit hold (us)", "service.commit_hold_us");
+          ("job wait (sim)", "sim.job_wait");
+        ];
+      let estimator_row =
+        [
+          ("vcache hits", "rand.vcache_hits");
+          ("vcache misses", "rand.vcache_misses");
+          ("orders sampled", "rand.orders_sampled");
+        ]
+      in
+      if List.exists (fun (_, n) -> metric n <> None) estimator_row then begin
+        Format.printf "estimator:";
+        List.iter
+          (fun (label, name) ->
+            match metric name with
+            | Some v -> Format.printf "  %s %.0f" label v
+            | None -> ())
+          estimator_row;
+        Format.printf "@."
+      end
+    in
+    Fun.protect
+      ~finally:(fun () -> Service.Client.close client)
+      (fun () ->
+        let rec loop i =
+          render ();
+          if count = 0 || i < count then begin
+            Unix.sleepf (Float.max 0.05 interval);
+            loop (i + 1)
+          end
+        in
+        loop 1)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a running daemon: polls status and the \
+          metrics scrape, rendering fairness SLOs (per-org psi vs executed \
+          parts, drift, estimator sample budget), throughput counters, and \
+          durability latency percentiles.")
+    Term.(const run $ addr_pos $ interval_arg $ count_arg $ timeout_arg)
+
+(* JSON rows for `ctl wal-check --json`: one object per inspected file or
+   segment, status plus the counters pp_check prints, corruption with its
+   file/line/offset/reason so tooling can point at the damage. *)
+let check_report_json (r : Service.Wal.check_report) =
+  let open Obs.Json in
+  Obj
+    (List.concat
+       [
+         [
+           ("status", String "ok");
+           ( "kind",
+             String
+               (match r.Service.Wal.ck_kind with
+               | `Wal -> "wal"
+               | `Snapshot -> "snapshot"
+               | `State_dir -> "state-dir") );
+           ("submits", Int r.Service.Wal.ck_submits);
+           ("faults", Int r.Service.Wal.ck_faults);
+           ("modes", Int r.Service.Wal.ck_modes);
+           ("first_seq", Int r.Service.Wal.ck_first_seq);
+           ("last_seq", Int r.Service.Wal.ck_last_seq);
+           ( "gaps",
+             List
+               (List.map
+                  (fun (a, b) -> Obj [ ("after", Int a); ("next", Int b) ])
+                  r.Service.Wal.ck_gaps) );
+         ];
+         (match r.Service.Wal.ck_torn with
+         | None -> []
+         | Some (line, offset, bytes) ->
+             [
+               ( "torn_tail",
+                 Obj
+                   [
+                     ("line", Int line);
+                     ("offset", Int offset);
+                     ("bytes", Int bytes);
+                   ] );
+             ]);
+       ])
+
+let boot_error_json (e : Service.Wal.boot_error) =
+  let open Obs.Json in
+  match e with
+  | Service.Wal.Io msg -> Obj [ ("status", String "io-error"); ("error", String msg) ]
+  | Service.Wal.Mismatch msg ->
+      Obj [ ("status", String "mismatch"); ("error", String msg) ]
+  | Service.Wal.Corrupt c ->
+      Obj
+        [
+          ("status", String "corrupt");
+          ("file", String c.Service.Wal.c_file);
+          ("line", Int c.Service.Wal.c_line);
+          ("offset", Int c.Service.Wal.c_offset);
+          ("reason", String c.Service.Wal.c_reason);
+        ]
+
 let ctl_cmd =
   let which_arg =
     Arg.(
       required
       & pos 0 (some (enum [ ("psi", `Psi); ("snapshot", `Snapshot);
-                            ("drain", `Drain); ("wal-check", `Wal_check) ]))
+                            ("drain", `Drain); ("wal-check", `Wal_check);
+                            ("metrics", `Metrics); ("trace", `Trace) ]))
           None
-      & info [] ~docv:"CMD" ~doc:"psi | snapshot | drain | wal-check")
+      & info [] ~docv:"CMD"
+          ~doc:"psi | snapshot | drain | wal-check | metrics | trace")
   in
   let file_arg =
     Arg.(
@@ -1106,7 +1398,8 @@ let ctl_cmd =
       & info [] ~docv:"FILE"
           ~doc:
             "For wal-check: a WAL file, a snapshot file, or a state \
-             directory to inspect offline.")
+             directory to inspect offline.  For metrics/trace: write the \
+             scraped JSON there instead of stdout.")
   in
   let detail_arg =
     Arg.(
@@ -1114,7 +1407,36 @@ let ctl_cmd =
       & info [ "detail" ]
           ~doc:"With drain: include the full schedule in the report.")
   in
-  let wal_check file =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "With wal-check: machine-readable output — one JSON document \
+             with a per-segment status array.  The exit code contract is \
+             unchanged (0 intact, 2 corrupt).")
+  in
+  let limit_arg =
+    Arg.(
+      value
+      & opt (positive_int_conv "--limit") Service.Protocol.default_trace_limit
+      & info [ "limit" ] ~docv:"N"
+          ~doc:
+            "With trace: keep only the most recent N events (the response \
+             must fit the wire's line limit).")
+  in
+  let emit_json ~file doc =
+    let text = Obs.Json.to_string ~pretty:true doc in
+    match file with
+    | None -> print_string (text ^ "\n")
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "wrote %s@." path
+  in
+  let wal_check ~json file =
     match file with
     | None -> die "wal-check needs a FILE argument (WAL, snapshot, or state dir)"
     | Some path -> (
@@ -1129,36 +1451,95 @@ let ctl_cmd =
         match seg_groups with
         | [] -> (
             match Service.Wal.check path with
-            | Ok report -> Format.printf "%a" Service.Wal.pp_check report
-            | Error e -> die "%s" (Service.Wal.boot_error_to_string e))
+            | Ok report ->
+                if json then
+                  emit_json ~file:None
+                    (Obs.Json.Obj
+                       [
+                         ("path", Obs.Json.String path);
+                         ("segments", Obs.Json.List [ check_report_json report ]);
+                       ])
+                else Format.printf "%a" Service.Wal.pp_check report
+            | Error e ->
+                if json then begin
+                  emit_json ~file:None
+                    (Obs.Json.Obj
+                       [
+                         ("path", Obs.Json.String path);
+                         ("segments", Obs.Json.List [ boot_error_json e ]);
+                       ]);
+                  exit 2
+                end
+                else die "%s" (Service.Wal.boot_error_to_string e))
         | groups ->
+            let seg_json = ref [] in
             let corrupt =
               List.fold_left
                 (fun corrupt g ->
                   let dir = Service.Wal.segment_dir ~dir:path ~group:g in
-                  Format.printf "segment %d (%s):@." g dir;
+                  if not json then Format.printf "segment %d (%s):@." g dir;
                   match Service.Wal.check dir with
                   | Ok report ->
-                      Format.printf "%a" Service.Wal.pp_check report;
+                      if json then
+                        seg_json :=
+                          (match check_report_json report with
+                          | Obs.Json.Obj fields ->
+                              Obs.Json.Obj
+                                (("group", Obs.Json.Int g) :: fields)
+                          | j -> j)
+                          :: !seg_json
+                      else Format.printf "%a" Service.Wal.pp_check report;
                       corrupt
                   | Error e ->
-                      Format.printf "  %s@."
-                        (Service.Wal.boot_error_to_string e);
+                      if json then
+                        seg_json :=
+                          (match boot_error_json e with
+                          | Obs.Json.Obj fields ->
+                              Obs.Json.Obj
+                                (("group", Obs.Json.Int g) :: fields)
+                          | j -> j)
+                          :: !seg_json
+                      else
+                        Format.printf "  %s@."
+                          (Service.Wal.boot_error_to_string e);
                       corrupt + 1)
                 0 groups
             in
+            if json then
+              emit_json ~file:None
+                (Obs.Json.Obj
+                   [
+                     ("path", Obs.Json.String path);
+                     ("segments", Obs.Json.List (List.rev !seg_json));
+                   ]);
             if corrupt > 0 then
-              die "%d of %d segments corrupt" corrupt (List.length groups))
+              if json then exit 2
+              else die "%d of %d segments corrupt" corrupt (List.length groups))
   in
-  let run addr which detail file timeout_s =
+  let run addr which detail json limit file timeout_s =
     match which with
-    | `Wal_check -> wal_check file
-    | (`Psi | `Snapshot | `Drain) as which ->
+    | `Wal_check -> wal_check ~json file
+    | (`Psi | `Snapshot | `Drain | `Metrics | `Trace) as which ->
     let client = connect_or_die ~timeout_s addr in
     Fun.protect
       ~finally:(fun () -> Service.Client.close client)
       (fun () ->
         match which with
+        | `Metrics -> (
+            match request_or_die client Service.Protocol.Metrics with
+            | Service.Protocol.Metrics_ok { metrics } ->
+                emit_json ~file metrics
+            | _ -> die "unexpected response to metrics")
+        | `Trace -> (
+            match
+              request_or_die client (Service.Protocol.Trace { limit })
+            with
+            | Service.Protocol.Trace_ok { events; dropped; trace } ->
+                emit_json ~file trace;
+                Format.eprintf "%d trace events%s@." events
+                  (if dropped = 0 then ""
+                   else Printf.sprintf ", %d dropped by the ring buffer" dropped)
+            | _ -> die "unexpected response to trace")
         | `Psi -> (
             match request_or_die client Service.Protocol.Psi with
             | Service.Protocol.Psi_ok { now; psi_scaled; parts } ->
@@ -1202,9 +1583,12 @@ let ctl_cmd =
   Cmd.v
     (Cmd.info "ctl"
        ~doc:
-         "Control a running daemon (psi | snapshot | drain) or inspect \
+         "Control a running daemon (psi | snapshot | drain), scrape its \
+          live observability plane (metrics | trace), or inspect \
           durability state offline (wal-check FILE).")
-    Term.(const run $ to_arg $ which_arg $ detail_arg $ file_arg $ timeout_arg)
+    Term.(
+      const run $ to_arg $ which_arg $ detail_arg $ json_arg $ limit_arg
+      $ file_arg $ timeout_arg)
 
 let loadgen_cmd =
   let rate_arg =
@@ -1371,7 +1755,7 @@ let () =
         simulate_cmd; table_cmd; fig10_cmd; utilization_cmd; ablate_cmd;
         trace_cmd; timeline_cmd; churn_cmd; analyze_cmd; report_cmd;
         examples_cmd; algorithms_cmd; validate_trace_cmd;
-        serve_cmd; submit_cmd; status_cmd; ctl_cmd; loadgen_cmd;
+        serve_cmd; submit_cmd; status_cmd; top_cmd; ctl_cmd; loadgen_cmd;
       ]
   in
   (* Robustness contract: every user error — unknown subcommand, bad flag,

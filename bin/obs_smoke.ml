@@ -1,0 +1,295 @@
+(* End-to-end smoke for the live observability plane, driven through the
+   REAL `fairsched` binary (argv.(1)):
+
+   1. boot a sharded daemon (4 org-groups on 4 worker domains, group
+      commit, the rand-4 sampled estimator) with structured NDJSON logs;
+   2. saturate it with a rate-limited `fairsched loadgen` subprocess and,
+      while the load is still flowing, scrape `ctl metrics` and
+      `ctl trace` — the plane must answer mid-run, not just at rest;
+   3. after the load drains, scrape again and check the merged metrics
+      snapshot carries every fairness SLO instrument (per-org ψ/p gauges,
+      per-group max-drift and estimator ε-budget), the service counters,
+      and the estimator's value-cache counters;
+   4. run the in-tree `validate-trace` over the merged Chrome trace and
+      check it contains spans from the router lane and from EVERY shard
+      worker lane, plus client-issued trace ids on routed requests;
+   5. check the NDJSON log file parses line by line.
+
+   Exit 0 on success, 1 with a one-line reason on any failure. *)
+
+let exe = ref ""
+let failures = ref 0
+
+let fail fmt =
+  Format.kasprintf
+    (fun msg ->
+      incr failures;
+      Format.eprintf "obs-smoke: FAIL %s@." msg)
+    fmt
+
+let fatal fmt =
+  Format.kasprintf
+    (fun msg ->
+      Format.eprintf "obs-smoke: FATAL %s@." msg;
+      exit 1)
+    fmt
+
+let with_tmpdir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fairsched-obs-smoke-%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  (try rm dir with Sys_error _ | Unix.Unix_error _ -> ());
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> try rm dir with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let devnull () = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0o644
+
+let spawn args =
+  let out = devnull () in
+  let pid =
+    Unix.create_process !exe
+      (Array.of_list (Filename.basename !exe :: args))
+      Unix.stdin out Unix.stderr
+  in
+  Unix.close out;
+  pid
+
+let reap pid =
+  try snd (Unix.waitpid [] pid) with Unix.Unix_error _ -> Unix.WEXITED 0
+
+let kill9 pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (reap pid)
+
+let run_cli args =
+  match reap (spawn args) with
+  | Unix.WEXITED c -> c
+  | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> 255
+
+let connect_retry addr =
+  let rec go n =
+    match Service.Client.connect addr with
+    | Ok c -> c
+    | Error e ->
+        if n = 0 then fatal "connect: %s" (Service.Client.error_to_string e)
+        else begin
+          Unix.sleepf 0.05;
+          go (n - 1)
+        end
+  in
+  go 200
+
+let read_json path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> fatal "read %s: %s" path msg
+  | contents -> (
+      match Obs.Json.of_string contents with
+      | Ok j -> j
+      | Error msg -> fatal "parse %s: %s" path msg)
+
+(* --- metrics assertions -------------------------------------------------- *)
+
+let number_of metrics name =
+  Option.bind (Obs.Json.member metrics name) (fun v ->
+      match v with
+      (* Histograms serialize as objects; counters/gauges as numbers. *)
+      | Obs.Json.Obj _ -> Obs.Json.(Option.bind (member v "count") get_number)
+      | v -> Obs.Json.get_number v)
+
+let check_metrics ~orgs ~shard_groups metrics =
+  let require ?(positive = false) name =
+    match number_of metrics name with
+    | None -> fail "metrics: %s missing from merged snapshot" name
+    | Some v -> if positive && v <= 0. then fail "metrics: %s = %g, want > 0" name v
+  in
+  (* Per-shard engine work merged into one snapshot: every org-group's
+     acks and fsyncs are summed here, so the totals must cover the load. *)
+  require ~positive:true "service.acks_total";
+  require ~positive:true "service.fsync_total";
+  require ~positive:true "service.fsync_us";
+  (* The live estimator (rand-4) folds coalition values through its
+     cross-instant cache on every scheduling instant. *)
+  (match
+     (number_of metrics "rand.vcache_hits", number_of metrics "rand.vcache_misses")
+   with
+  | Some h, Some m when h +. m > 0. -> ()
+  | Some _, Some _ -> fail "metrics: rand value cache never consulted"
+  | _ -> fail "metrics: rand.vcache_{hits,misses} missing");
+  require ~positive:true "rand.orders_sampled";
+  (* Fairness SLO instruments: ψ and executed-parts gauges for every org,
+     drift and ε-budget for every group. *)
+  for o = 0 to orgs - 1 do
+    require (Printf.sprintf "fair.psi_org%d" o);
+    require (Printf.sprintf "fair.p_org%d" o)
+  done;
+  for g = 0 to shard_groups - 1 do
+    require (Printf.sprintf "fair.drift_max_g%d" g);
+    require ~positive:true (Printf.sprintf "fair.estimator_budget_g%d" g)
+  done
+
+(* --- trace assertions ---------------------------------------------------- *)
+
+let check_trace ~workers trace =
+  let events =
+    match
+      Option.bind (Obs.Json.member trace "traceEvents") Obs.Json.get_list
+    with
+    | Some evs -> evs
+    | None -> fatal "trace: missing traceEvents array"
+  in
+  if events = [] then fail "trace: no events captured";
+  let span_pids = Hashtbl.create 8 in
+  let client_traced = ref 0 in
+  List.iter
+    (fun ev ->
+      let str k = Option.bind (Obs.Json.member ev k) Obs.Json.get_string in
+      let num k = Option.bind (Obs.Json.member ev k) Obs.Json.get_number in
+      (match (str "ph", num "pid") with
+      | Some ("X" | "B" | "i" | "I"), Some pid ->
+          Hashtbl.replace span_pids (int_of_float pid) ()
+      | _ -> ());
+      match Option.bind (Obs.Json.member ev "args") (fun a ->
+                Option.bind (Obs.Json.member a "trace") Obs.Json.get_number)
+      with
+      (* Client-issued ids are (cid << 20) | cseq with cid >= 1, so any
+         properly stamped request carries at least 2^20. *)
+      | Some t when t >= 1048576. -> incr client_traced
+      | Some _ | None -> ())
+    events;
+  if not (Hashtbl.mem span_pids 1) then
+    fail "trace: no spans from the router lane (pid 1)";
+  for w = 0 to workers - 1 do
+    if not (Hashtbl.mem span_pids (2 + w)) then
+      fail "trace: no spans from shard worker %d (pid %d)" w (2 + w)
+  done;
+  if !client_traced = 0 then
+    fail "trace: no event carries a client-issued trace id";
+  Format.printf
+    "obs-smoke: trace OK (%d events, %d with client trace ids, lanes %s)@."
+    (List.length events) !client_traced
+    (Hashtbl.fold (fun p () acc -> string_of_int p :: acc) span_pids []
+    |> List.sort compare |> String.concat ",")
+
+(* --- log assertions ------------------------------------------------------ *)
+
+let check_log path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> fail "log file: %s" msg
+  | contents ->
+      let lines =
+        String.split_on_char '\n' contents
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      if lines = [] then fail "log file: no NDJSON records"
+      else
+        List.iteri
+          (fun i line ->
+            match Obs.Json.of_string line with
+            | Error msg -> fail "log line %d is not JSON: %s" (i + 1) msg
+            | Ok j ->
+                List.iter
+                  (fun k ->
+                    if Obs.Json.member j k = None then
+                      fail "log line %d lacks %S" (i + 1) k)
+                  [ "ts_ns"; "level"; "component"; "msg" ])
+          lines
+
+(* --- the run ------------------------------------------------------------- *)
+
+let () =
+  if Array.length Sys.argv < 2 then fatal "usage: obs_smoke FAIRSCHED_EXE";
+  exe :=
+    (if Filename.is_relative Sys.argv.(1) then
+       Filename.concat (Sys.getcwd ()) Sys.argv.(1)
+     else Sys.argv.(1));
+  let orgs = 8 and machines = 16 and groups = 4 and shards = 4 in
+  let horizon = 1_000_000 and seed = 7 and count = 1_200 in
+  with_tmpdir (fun dir ->
+      let sock = Filename.concat dir "obs.sock" in
+      let log = Filename.concat dir "daemon.ndjson" in
+      let shape =
+        [
+          "--orgs"; string_of_int orgs; "--machines"; string_of_int machines;
+          "--horizon"; string_of_int horizon; "--seed"; string_of_int seed;
+        ]
+      in
+      let pid =
+        spawn
+          ([
+             "serve"; "--listen"; "unix:" ^ sock;
+             "--state"; Filename.concat dir "state";
+             "--algorithm"; "rand-4";
+             "--groups"; string_of_int groups;
+             "--shards"; string_of_int shards;
+             "--commit-interval"; "2";
+             "--log-level"; "info"; "--log-file"; log;
+           ]
+          @ shape)
+      in
+      Fun.protect
+        ~finally:(fun () -> kill9 pid)
+        (fun () ->
+          let addr = Service.Addr.Unix_sock sock in
+          Service.Client.close (connect_retry addr);
+          (* Rate-limited so the stream is still flowing when we scrape:
+             1200 jobs at 600/s is a ~2 s window. *)
+          let load_pid =
+            spawn
+              ([
+                 "loadgen"; "--to"; sock; "--count"; string_of_int count;
+                 "--rate"; "600";
+                 "--connections"; string_of_int groups;
+                 "--groups"; string_of_int groups; "--window"; "8";
+               ]
+              @ shape)
+          in
+          Unix.sleepf 0.7;
+          (* Mid-run scrape: the plane must answer while shards are busy. *)
+          let mid_metrics = Filename.concat dir "metrics-mid.json" in
+          let mid_trace = Filename.concat dir "trace-mid.json" in
+          (let code = run_cli [ "ctl"; "metrics"; "--to"; sock; mid_metrics ] in
+           if code <> 0 then fail "mid-run `ctl metrics` exited %d" code);
+          (let code = run_cli [ "ctl"; "trace"; "--to"; sock; mid_trace ] in
+           if code <> 0 then fail "mid-run `ctl trace` exited %d" code);
+          (match reap load_pid with
+          | Unix.WEXITED 0 -> ()
+          | Unix.WEXITED c -> fail "loadgen exited %d" c
+          | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> fail "loadgen was signaled");
+          (* Post-run scrape: by now every org has submitted, so the full
+             gauge set must be live. *)
+          let metrics_file = Filename.concat dir "metrics.json" in
+          let trace_file = Filename.concat dir "trace.json" in
+          (let code = run_cli [ "ctl"; "metrics"; "--to"; sock; metrics_file ] in
+           if code <> 0 then fail "`ctl metrics` exited %d" code);
+          (let code =
+             run_cli
+               [ "ctl"; "trace"; "--to"; sock; trace_file; "--limit"; "3000" ]
+           in
+           if code <> 0 then fail "`ctl trace` exited %d" code);
+          check_metrics ~orgs ~shard_groups:groups (read_json metrics_file);
+          (* The merged trace must satisfy the in-tree validator and carry
+             every lane: router pid 1, shard workers pids 2..2+W-1. *)
+          (let code = run_cli [ "validate-trace"; trace_file ] in
+           if code <> 0 then fail "`validate-trace` exited %d" code);
+          let workers = if shards < groups then shards else groups in
+          check_trace ~workers (read_json trace_file);
+          check_log log;
+          let code = run_cli [ "ctl"; "drain"; "--to"; sock ] in
+          if code <> 0 then fail "`ctl drain` exited %d" code));
+  if !failures > 0 then begin
+    Format.eprintf "obs-smoke: %d failure(s)@." !failures;
+    exit 1
+  end;
+  Format.printf "obs-smoke: OK@."

@@ -132,6 +132,7 @@ let submit_job client (j : Core.Job.t) =
            size = j.Core.Job.size;
            cid = 0;
            cseq = 0;
+           trace = 0;
          })
   with
   | Service.Protocol.Submit_ok { index; _ } ->

@@ -18,6 +18,10 @@ type cached_sim = {
 let m_vcache_hits = Obs.Metrics.counter "rand.vcache_hits"
 let m_vcache_misses = Obs.Metrics.counter "rand.vcache_misses"
 
+(* How many joining orders each live sampled policy drew — the n of its
+   ε-guarantee, observable next to fair.estimator_budget in a scrape. *)
+let m_orders_sampled = Obs.Metrics.counter "rand.orders_sampled"
+
 let cached_v2 cs ~time =
   let e = Coalition_sim.epoch cs.sim in
   if cs.c_epoch = e then Obs.Metrics.incr m_vcache_hits
@@ -35,6 +39,7 @@ let make_policy ?(value_cache = true) ~name ~n instance ~rng =
   let rng = Fstats.Rng.split rng in
   let k = Instance.organizations instance in
   let plan = Shapley.Sample.plan ~rng ~players:k ~n in
+  Obs.Metrics.add m_orders_sampled n;
   let has_machines mask =
     Coalition.fold (fun u acc -> acc + instance.Instance.machines.(u)) mask 0
     > 0

@@ -127,10 +127,10 @@ let spawn_warned = ref false
 let warn_spawn_failure e nspawned =
   if not !spawn_warned then begin
     spawn_warned := true;
-    Printf.eprintf
-      "domain_pool: Domain.spawn failed (%s); continuing with %d helper \
-       domain(s), parallel batches may run sequentially\n\
-       %!"
+    Obs.Log.warn ~component:"pool"
+      ~fields:[ ("helpers", Obs.Json.Int nspawned) ]
+      "Domain.spawn failed (%s); continuing with %d helper domain(s), \
+       parallel batches may run sequentially"
       (Printexc.to_string e) nspawned
   end
 

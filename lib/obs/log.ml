@@ -1,0 +1,105 @@
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Ok Debug
+  | "info" -> Ok Info
+  | "warn" | "warning" -> Ok Warn
+  | "error" -> Ok Error
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown log level %S (expected debug|info|warn|error)" other)
+
+type format = Text | Ndjson
+
+(* The threshold is an atomic so [enabled] stays a lock-free fast path;
+   the sink itself is only touched under the mutex. *)
+let threshold = Atomic.make (severity Warn)
+let set_level l = Atomic.set threshold (severity l)
+
+let level () =
+  match Atomic.get threshold with
+  | 0 -> Debug
+  | 1 -> Info
+  | 2 -> Warn
+  | _ -> Error
+
+let enabled l = severity l >= Atomic.get threshold
+
+type sink = { oc : out_channel; fmt : format; owned : bool }
+
+let sink = ref { oc = stderr; fmt = Text; owned = false }
+let sink_mutex = Mutex.create ()
+
+let replace_sink s =
+  Mutex.lock sink_mutex;
+  let old = !sink in
+  sink := s;
+  Mutex.unlock sink_mutex;
+  if old.owned then close_out_noerr old.oc
+
+let set_sink ?(format = Text) oc = replace_sink { oc; fmt = format; owned = false }
+
+let open_file ?(format = Ndjson) path =
+  match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+  | oc ->
+      replace_sink { oc; fmt = format; owned = true };
+      Ok ()
+  | exception Sys_error msg -> Error msg
+
+let render fmt ~ts_ns lvl ~component ~fields msg =
+  match fmt with
+  | Ndjson ->
+      Json.to_string
+        (Json.Obj
+           ([
+              ("ts_ns", Json.String (Int64.to_string ts_ns));
+              ("level", Json.String (level_to_string lvl));
+              ("component", Json.String component);
+              ("msg", Json.String msg);
+            ]
+           @ fields))
+  | Text ->
+      let b = Buffer.create 96 in
+      Buffer.add_string b
+        (Printf.sprintf "fairsched[%s] %s: %s" (level_to_string lvl) component
+           msg);
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char b ' ';
+          Buffer.add_string b k;
+          Buffer.add_char b '=';
+          Buffer.add_string b
+            (match v with Json.String s -> s | v -> Json.to_string v))
+        fields;
+      Buffer.contents b
+
+let emit lvl ~component ~fields msg =
+  let ts_ns = Clock.now_ns () in
+  Mutex.lock sink_mutex;
+  let { oc; fmt; _ } = !sink in
+  (try
+     output_string oc (render fmt ~ts_ns lvl ~component ~fields msg);
+     output_char oc '\n';
+     flush oc
+   with Sys_error _ -> () (* a dead sink must never kill the daemon *));
+  Mutex.unlock sink_mutex
+
+let log lvl ~component ?(fields = []) f =
+  if enabled lvl then
+    Format.kasprintf (fun msg -> emit lvl ~component ~fields msg) f
+  else Format.ikfprintf ignore Format.str_formatter f
+
+let debug ~component ?fields f = log Debug ~component ?fields f
+let info ~component ?fields f = log Info ~component ?fields f
+let warn ~component ?fields f = log Warn ~component ?fields f
+let error ~component ?fields f = log Error ~component ?fields f

@@ -4,10 +4,22 @@ type event = {
   ph : char;
   ts_ns : int64;
   dur_ns : int64;
+  pid : int;
   tid : int;
+  args : (string * Json.t) list;
 }
 
-let dummy = { name = ""; cat = ""; ph = ' '; ts_ns = 0L; dur_ns = 0L; tid = 0 }
+let dummy =
+  {
+    name = "";
+    cat = "";
+    ph = ' ';
+    ts_ns = 0L;
+    dur_ns = 0L;
+    pid = 1;
+    tid = 0;
+    args = [];
+  }
 
 (* One ring buffer per domain: recording never locks or contends.  Rings
    register themselves in a global list on first use and are kept after
@@ -15,6 +27,7 @@ let dummy = { name = ""; cat = ""; ph = ' '; ts_ns = 0L; dur_ns = 0L; tid = 0 }
    events to the dump). *)
 type ring = {
   tid : int;
+  mutable pid : int; (* Chrome process lane; 1 unless {!set_pid} is called *)
   buf : event array;
   mutable pos : int; (* next write slot *)
   mutable written : int; (* total events ever recorded *)
@@ -35,6 +48,7 @@ let ring_key : ring Domain.DLS.key =
       let r =
         {
           tid = (Domain.self () :> int);
+          pid = 1;
           buf = Array.make (Atomic.get capacity) dummy;
           pos = 0;
           written = 0;
@@ -54,28 +68,46 @@ let set_enabled b =
 
 let enabled () = Atomic.get enabled_flag
 
-let record name cat ph ts_ns dur_ns =
+(* Process-lane names ([process_name] metadata in the dump): registered
+   by {!set_pid}, global so the merge sees every lane. *)
+let pid_names : (int * string) list ref = ref []
+let pid_names_mutex = Mutex.create ()
+
+let set_pid ?name pid =
   let r = Domain.DLS.get ring_key in
-  r.buf.(r.pos) <- { name; cat; ph; ts_ns; dur_ns; tid = r.tid };
+  r.pid <- pid;
+  match name with
+  | None -> ()
+  | Some n ->
+      Mutex.lock pid_names_mutex;
+      if not (List.mem_assoc pid !pid_names) then
+        pid_names := (pid, n) :: !pid_names;
+      Mutex.unlock pid_names_mutex
+
+let record ?(args = []) name cat ph ts_ns dur_ns =
+  let r = Domain.DLS.get ring_key in
+  r.buf.(r.pos) <- { name; cat; ph; ts_ns; dur_ns; pid = r.pid; tid = r.tid; args };
   r.pos <- (r.pos + 1) mod Array.length r.buf;
   r.written <- r.written + 1
 
-let span ?(cat = "fairsched") name f =
+let span ?(cat = "fairsched") ?args name f =
   if not (Atomic.get enabled_flag) then f ()
   else begin
     let t0 = Clock.now_ns () in
     Fun.protect
       ~finally:(fun () ->
         let t1 = Clock.now_ns () in
-        record name cat 'X'
+        record ?args name cat 'X'
           (Int64.sub t0 (Atomic.get epoch))
           (Int64.sub t1 t0))
       f
   end
 
-let instant ?(cat = "fairsched") name =
+let instant ?(cat = "fairsched") ?args name =
   if Atomic.get enabled_flag then
-    record name cat 'i' (Int64.sub (Clock.now_ns ()) (Atomic.get epoch)) 0L
+    record ?args name cat 'i'
+      (Int64.sub (Clock.now_ns ()) (Atomic.get epoch))
+      0L
 
 let all_rings () =
   Mutex.lock rings_mutex;
@@ -121,18 +153,45 @@ let event_json e =
       ("cat", Json.String e.cat);
       ("ph", Json.String (String.make 1 e.ph));
       ("ts", Json.Float (ns_to_us e.ts_ns));
-      ("pid", Json.Int 1);
+      ("pid", Json.Int e.pid);
       ("tid", Json.Int e.tid);
     ]
   in
+  let base =
+    if e.ph = 'X' then base @ [ ("dur", Json.Float (ns_to_us e.dur_ns)) ]
+    else base
+  in
   Json.Obj
-    (if e.ph = 'X' then base @ [ ("dur", Json.Float (ns_to_us e.dur_ns)) ]
-     else base)
+    (if e.args = [] then base else base @ [ ("args", Json.Obj e.args) ])
 
-let to_json () =
+(* [process_name] metadata rows so Perfetto labels the router and each
+   shard-worker lane; the validator skips timing checks on 'M'. *)
+let metadata_events () =
+  Mutex.lock pid_names_mutex;
+  let names = !pid_names in
+  Mutex.unlock pid_names_mutex;
+  List.sort (fun (a, _) (b, _) -> compare a b) names
+  |> List.map (fun (pid, name) ->
+         Json.Obj
+           [
+             ("name", Json.String "process_name");
+             ("ph", Json.String "M");
+             ("pid", Json.Int pid);
+             ("tid", Json.Int 0);
+             ("args", Json.Obj [ ("name", Json.String name) ]);
+           ])
+
+let take_last n l =
+  let rec drop k l = if k <= 0 then l else drop (k - 1) (List.tl l) in
+  drop (List.length l - n) l
+
+let to_json ?limit () =
+  let evs = events () in
+  let evs = match limit with None -> evs | Some n -> take_last n evs in
   Json.Obj
     [
-      ("traceEvents", Json.List (List.map event_json (events ())));
+      ( "traceEvents",
+        Json.List (metadata_events () @ List.map event_json evs) );
       ("displayTimeUnit", Json.String "ms");
     ]
 

@@ -23,13 +23,21 @@ val set_capacity : int -> unit
 (** Ring capacity per domain (default 65536 events), for rings created
     after the call.  @raise Invalid_argument on non-positive capacity. *)
 
-val span : ?cat:string -> string -> (unit -> 'a) -> 'a
+val span : ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f ()]; while tracing is enabled it records a
     complete event covering the call (also when [f] raises).  [cat] is the
-    Chrome trace category (default ["fairsched"]). *)
+    Chrome trace category (default ["fairsched"]); [args] become the
+    event's [args] object (e.g. the request's trace id). *)
 
-val instant : ?cat:string -> string -> unit
+val instant : ?cat:string -> ?args:(string * Json.t) list -> string -> unit
 (** A zero-duration marker. *)
+
+val set_pid : ?name:string -> int -> unit
+(** Assign the {e calling domain}'s events to Chrome process lane [pid]
+    (default lane is 1).  The sharded daemon gives the router and every
+    shard worker a distinct lane, so a merged dump renders one swimlane
+    group per shard.  [name] labels the lane via a [process_name]
+    metadata event in the dump. *)
 
 val reset : unit -> unit
 (** Drop every recorded event (ring registrations survive). *)
@@ -40,7 +48,9 @@ type event = {
   ph : char;  (** ['X'] complete span, ['i'] instant *)
   ts_ns : int64;  (** start, relative to the trace epoch *)
   dur_ns : int64;  (** 0 for instants *)
+  pid : int;  (** Chrome process lane ({!set_pid}; 1 by default) *)
   tid : int;  (** OCaml domain id *)
+  args : (string * Json.t) list;  (** the event's [args] payload *)
 }
 
 val events : unit -> event list
@@ -50,9 +60,12 @@ val events : unit -> event list
 val dropped : unit -> int
 (** Events lost to ring overflow since the last {!reset}. *)
 
-val to_json : unit -> Json.t
+val to_json : ?limit:int -> unit -> Json.t
 (** [{"traceEvents": [...], "displayTimeUnit": "ms"}] with timestamps in
-    microseconds, as Chrome/Perfetto expect. *)
+    microseconds, as Chrome/Perfetto expect.  [limit] keeps only the most
+    recent [limit] events (the live [ctl trace] scrape bounds its response
+    to the wire's line limit this way); [process_name] metadata events for
+    lanes named via {!set_pid} are always included. *)
 
 val write : string -> int
 (** Serialize {!to_json} to a file; returns the number of events written.

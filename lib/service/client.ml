@@ -220,15 +220,28 @@ module Resilient = struct
 
   (* Stamp Submit/Fault with this connection's identity exactly once —
      before the first attempt — so every retransmission of the request
-     carries the same (cid, cseq) and the server can deduplicate. *)
+     carries the same (cid, cseq) and the server can deduplicate.  The
+     trace id rides the same discipline: derived from the (cid, cseq)
+     stamp, so retransmissions keep one identity in the server's trace
+     and a caller-chosen id survives untouched. *)
+  let trace_of ~cid ~cseq = (cid lsl 20) lor (cseq land 0xFFFFF)
+
   let stamp c req =
     match req with
     | Protocol.Submit s when s.cid = 0 ->
         c.next_cseq <- c.next_cseq + 1;
-        Protocol.Submit { s with cid = c.r_cid; cseq = c.next_cseq }
+        let trace =
+          if s.trace = 0 then trace_of ~cid:c.r_cid ~cseq:c.next_cseq
+          else s.trace
+        in
+        Protocol.Submit { s with cid = c.r_cid; cseq = c.next_cseq; trace }
     | Protocol.Fault f when f.cid = 0 ->
         c.next_cseq <- c.next_cseq + 1;
-        Protocol.Fault { f with cid = c.r_cid; cseq = c.next_cseq }
+        let trace =
+          if f.trace = 0 then trace_of ~cid:c.r_cid ~cseq:c.next_cseq
+          else f.trace
+        in
+        Protocol.Fault { f with cid = c.r_cid; cseq = c.next_cseq; trace }
     | req -> req
 
   let call c req =

@@ -80,7 +80,7 @@ let sum_agg a b =
     a_errors = a.a_errors + b.a_errors;
   }
 
-let submit_of_job ~cid ~cseq (j : Core.Job.t) =
+let submit_of_job ~cid ~cseq ~trace (j : Core.Job.t) =
   Protocol.Submit
     {
       org = j.Core.Job.org;
@@ -89,6 +89,7 @@ let submit_of_job ~cid ~cseq (j : Core.Job.t) =
       size = j.Core.Job.size;
       cid;
       cseq;
+      trace;
     }
 
 (* --- Closed loop: one Resilient client, one request in flight ----------- *)
@@ -122,7 +123,7 @@ let closed_loop cfg ~hist ~rng ~t0 ~rate (jobs : Core.Job.t array) =
           incr submitted;
           let sent_at = Obs.Clock.now_ns () in
           let outcome =
-            Client.Resilient.call conn (submit_of_job ~cid:0 ~cseq:0 j)
+            Client.Resilient.call conn (submit_of_job ~cid:0 ~cseq:0 ~trace:0 j)
           in
           Obs.Metrics.observe hist (Obs.Clock.elapsed sent_at *. 1e6);
           match outcome with
@@ -270,7 +271,11 @@ let open_loop cfg ~hist ~cid ~t0 ~rate (jobs : Core.Job.t array) =
         let j = jobs.(!submitted) in
         incr submitted;
         let line =
-          Protocol.request_to_line (submit_of_job ~cid ~cseq:!submitted j)
+          (* same trace-id scheme as Client.Resilient.stamp: the open
+             loop bypasses the resilient client, so it stamps its own *)
+          let trace = (cid lsl 20) lor (!submitted land 0xFFFFF) in
+          Protocol.request_to_line
+            (submit_of_job ~cid ~cseq:!submitted ~trace j)
         in
         Queue.push (line, Unix.gettimeofday ()) pending;
         match write_all fd line with

@@ -9,12 +9,23 @@ type request =
       size : int;
       cid : int;
       cseq : int;
+      trace : int;
     }
-  | Fault of { time : int; event : Faults.Event.t; cid : int; cseq : int }
+  | Fault of {
+      time : int;
+      event : Faults.Event.t;
+      cid : int;
+      cseq : int;
+      trace : int;
+    }
   | Status
   | Psi
   | Snapshot
   | Drain of { detail : bool }
+  | Metrics
+  | Trace of { limit : int }
+
+let default_trace_limit = 3000
 
 type status = {
   now : int;
@@ -62,6 +73,8 @@ type response =
   | Psi_ok of { now : int; psi_scaled : int array; parts : int array }
   | Snapshot_ok of { seq : int; path : string }
   | Drain_ok of drain_report
+  | Metrics_ok of { metrics : Obs.Json.t }
+  | Trace_ok of { events : int; dropped : int; trace : Obs.Json.t }
   | Error of { code : error_code; msg : string; retry_after_ms : int option }
 
 let error_code_to_string = function
@@ -159,8 +172,12 @@ let client_fields cid cseq =
   if cid = 0 && cseq = 0 then []
   else [ ("cid", Int cid); ("cseq", Int cseq) ]
 
+(* Same omitted-when-zero discipline as [client_fields]: requests without
+   a trace id produce the same bytes as before the field existed. *)
+let trace_field trace = if trace = 0 then [] else [ ("trace", Int trace) ]
+
 let request_to_json = function
-  | Submit { org; user; release; size; cid; cseq } ->
+  | Submit { org; user; release; size; cid; cseq; trace } ->
       Obj
         ([
            ("op", String "submit");
@@ -169,8 +186,8 @@ let request_to_json = function
            ("release", Int release);
            ("size", Int size);
          ]
-        @ client_fields cid cseq)
-  | Fault { time; event; cid; cseq } ->
+        @ client_fields cid cseq @ trace_field trace)
+  | Fault { time; event; cid; cseq; trace } ->
       let kind, machine =
         match event with
         | Faults.Event.Fail m -> ("fail", m)
@@ -183,12 +200,15 @@ let request_to_json = function
            ("kind", String kind);
            ("machine", Int machine);
          ]
-        @ client_fields cid cseq)
+        @ client_fields cid cseq @ trace_field trace)
   | Status -> Obj [ ("op", String "status") ]
   | Psi -> Obj [ ("op", String "psi") ]
   | Snapshot -> Obj [ ("op", String "snapshot") ]
   | Drain { detail } ->
       Obj [ ("op", String "drain"); ("detail", Bool detail) ]
+  | Metrics -> Obj [ ("op", String "metrics") ]
+  | Trace { limit } ->
+      Obj [ ("op", String "trace"); ("limit", Int limit) ]
 
 let request_of_json j =
   let* op = string_field j "op" in
@@ -200,26 +220,33 @@ let request_of_json j =
       let* size = int_field j "size" in
       let* cid = opt_int_field j "cid" ~default:0 in
       let* cseq = opt_int_field j "cseq" ~default:0 in
-      Ok (Submit { org; user; release; size; cid; cseq })
+      let* trace = opt_int_field j "trace" ~default:0 in
+      Ok (Submit { org; user; release; size; cid; cseq; trace })
   | "fault" ->
       let* time = int_field j "time" in
       let* kind = string_field j "kind" in
       let* machine = int_field j "machine" in
       let* cid = opt_int_field j "cid" ~default:0 in
       let* cseq = opt_int_field j "cseq" ~default:0 in
+      let* trace = opt_int_field j "trace" ~default:0 in
       let* event =
         match kind with
         | "fail" -> Ok (Faults.Event.Fail machine)
         | "recover" -> Ok (Faults.Event.Recover machine)
         | k -> Error (Printf.sprintf "unknown fault kind %S" k)
       in
-      Ok (Fault { time; event; cid; cseq })
+      Ok (Fault { time; event; cid; cseq; trace })
   | "status" -> Ok Status
   | "psi" -> Ok Psi
   | "snapshot" -> Ok Snapshot
   | "drain" ->
       let* detail = bool_field j "detail" ~default:false in
       Ok (Drain { detail })
+  | "metrics" -> Ok Metrics
+  | "trace" ->
+      let* limit = opt_int_field j "limit" ~default:default_trace_limit in
+      if limit < 1 then Error "field \"limit\" must be >= 1"
+      else Ok (Trace { limit })
   | op -> Error (Printf.sprintf "unknown op %S" op)
 
 (* --- Responses ---------------------------------------------------------- *)
@@ -426,6 +453,17 @@ let response_to_json = function
           ("path", String path);
         ]
   | Drain_ok r -> drain_json r
+  | Metrics_ok { metrics } ->
+      Obj [ ("ok", Bool true); ("op", String "metrics"); ("metrics", metrics) ]
+  | Trace_ok { events; dropped; trace } ->
+      Obj
+        [
+          ("ok", Bool true);
+          ("op", String "trace");
+          ("events", Int events);
+          ("dropped", Int dropped);
+          ("trace", trace);
+        ]
   | Error { code; msg; retry_after_ms } ->
       Obj
         ([
@@ -480,6 +518,16 @@ let response_of_json j =
         let* path = string_field j "path" in
         Ok (Snapshot_ok { seq; path })
     | "drain" -> drain_of_json j
+    | "metrics" -> (
+        match member j "metrics" with
+        | Some metrics -> Ok (Metrics_ok { metrics })
+        | None -> Error "field \"metrics\" missing")
+    | "trace" -> (
+        let* events = int_field j "events" in
+        let* dropped = opt_int_field j "dropped" ~default:0 in
+        match member j "trace" with
+        | Some trace -> Ok (Trace_ok { events; dropped; trace })
+        | None -> Error "field \"trace\" missing")
     | op -> Error (Printf.sprintf "unknown response op %S" op)
 
 (* --- Lines -------------------------------------------------------------- *)

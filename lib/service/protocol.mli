@@ -28,13 +28,35 @@ type request =
           (** client-chosen sequence under [cid]; the server remembers
               the last applied [cseq] per [cid] and answers a replayed
               one with the cached ack instead of double-applying *)
+      trace : int;
+          (** client-issued trace id for cross-shard correlation: echoed
+              into the router's and the owning shard's {!Obs.Trace} spans
+              so one request can be followed through the merged Chrome
+              trace.  [0] opts out and is omitted from the wire. *)
     }
-  | Fault of { time : int; event : Faults.Event.t; cid : int; cseq : int }
+  | Fault of {
+      time : int;
+      event : Faults.Event.t;
+      cid : int;
+      cseq : int;
+      trace : int;
+    }
   | Status
   | Psi
   | Snapshot  (** force a snapshot + WAL compaction now *)
   | Drain of { detail : bool }
       (** run to horizon and shut down; [detail] adds the full schedule *)
+  | Metrics
+      (** live scrape: the merged cross-domain {!Obs.Metrics.snapshot}
+          of the running daemon, as JSON — no restart, no file *)
+  | Trace of { limit : int }
+      (** live scrape of the daemon's merged {!Obs.Trace} buffers as one
+          Chrome trace document; [limit] bounds the event count so the
+          response stays inside {!max_line} *)
+
+val default_trace_limit : int
+(** Event cap a [{"op":"trace"}] request gets when it names none (3000 —
+    comfortably under {!max_line} once serialized). *)
 
 type status = {
   now : int;
@@ -86,6 +108,13 @@ type response =
   | Psi_ok of { now : int; psi_scaled : int array; parts : int array }
   | Snapshot_ok of { seq : int; path : string }
   | Drain_ok of drain_report
+  | Metrics_ok of { metrics : Obs.Json.t }
+      (** the merged registry dump ({!Obs.Metrics.to_json} shape: counter
+          name to int, gauge to float, histogram to summary object) *)
+  | Trace_ok of { events : int; dropped : int; trace : Obs.Json.t }
+      (** [trace] is a complete Chrome trace document ([{"traceEvents":
+          [...]}]) that {!Obs.Trace.validate} accepts; [dropped] counts
+          ring-buffer evictions since tracing started *)
   | Error of { code : error_code; msg : string; retry_after_ms : int option }
       (** [retry_after_ms] is a server hint on [Backpressure]: how long a
           well-behaved client should wait before retrying *)

@@ -92,7 +92,8 @@ let emit conn resp =
 
 let is_feed = function
   | Protocol.Submit _ | Protocol.Fault _ -> true
-  | Protocol.Status | Protocol.Psi | Protocol.Snapshot | Protocol.Drain _ ->
+  | Protocol.Status | Protocol.Psi | Protocol.Snapshot | Protocol.Drain _
+  | Protocol.Metrics | Protocol.Trace _ ->
       false
 
 let take_slot conn =
@@ -288,7 +289,8 @@ let route_feed s conn slot req ~now =
             (Online.error_to_string
                (Online.Bad_machine { machine = m; machines }))
         else Ok (Partition.group_of_machine s.part m)
-    | Protocol.Status | Protocol.Psi | Protocol.Snapshot | Protocol.Drain _ ->
+    | Protocol.Status | Protocol.Psi | Protocol.Snapshot | Protocol.Drain _
+    | Protocol.Metrics | Protocol.Trace _ ->
         assert false
   in
   match target with
@@ -314,6 +316,21 @@ let route_feed s conn slot req ~now =
         reject Protocol.Backpressure msg (Some (Shard.published_retry_ms sh))
       end
       else begin
+        (* The router-side leg of the request's trace: an instant on
+           lane 1 carrying the client-issued trace id, paired with the
+           owning shard's [shard.feed] span on its own lane. *)
+        (if Obs.Trace.enabled () then
+           let trace =
+             match req with
+             | Protocol.Submit { trace; _ } | Protocol.Fault { trace; _ } ->
+                 trace
+             | _ -> 0
+           in
+           let args =
+             ("group", Obs.Json.Int grp)
+             :: (if trace = 0 then [] else [ ("trace", Obs.Json.Int trace) ])
+           in
+           Obs.Trace.instant ~cat:"service" ~args "router.route");
         Shard.depth_incr sh;
         Shard.post_msg s.workers.(s.worker_of.(grp)) ~group:grp
           (Shard.Feed { tok = Feed_tok (conn, slot); req; t_enq = now })
@@ -341,6 +358,20 @@ let route_request s conn req ~now =
         s.draining <- true;
         start_gather s ~conn:(Some conn) ~slot `Drain
           (Shard.Q_drain { detail })
+    (* Live scrapes answered on the router thread: the metrics registry
+       and trace rings are process-global, so no shard round-trip is
+       needed — the snapshot merges every domain's cells as-is. *)
+    | Protocol.Metrics ->
+        deliver conn slot (Protocol.Metrics_ok { metrics = Obs.Metrics.to_json () })
+    | Protocol.Trace { limit } ->
+        let events = List.length (Obs.Trace.events ()) in
+        deliver conn slot
+          (Protocol.Trace_ok
+             {
+               events = min events limit;
+               dropped = Obs.Trace.dropped ();
+               trace = Obs.Trace.to_json ~limit ();
+             })
     | Protocol.Submit _ | Protocol.Fault _ -> assert false
 
 let enqueue_line s conn line =
@@ -576,11 +607,10 @@ let resolve_base cfg =
   let ( let* ) = Result.bind in
   let resume dir c =
     if not (Config.equal c cfg.service) then
-      Printf.eprintf
-        "fairsched serve: state dir %s holds a different configuration; \
-         resuming it (the command-line config is ignored)\n\
-         %!"
-        dir;
+      Obs.Log.warn ~component:"server"
+        ~fields:[ ("state_dir", Obs.Json.String dir) ]
+        "state dir holds a different configuration; resuming it (the \
+         command-line config is ignored)";
     c
   in
   match cfg.state_dir with
@@ -633,6 +663,7 @@ let resolve_base cfg =
 let run ?(ready = fun () -> ()) cfg =
   let ( let* ) = Result.bind in
   term_requested := false;
+  Obs.Trace.set_pid ~name:"router" 1;
   let* base = resolve_base cfg in
   let part = Partition.make base in
   let groups = Partition.groups part in

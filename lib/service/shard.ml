@@ -17,6 +17,12 @@ let m_acks = Obs.Metrics.counter "service.acks_total"
 let g_queue_depth = Obs.Metrics.gauge "service.queue_depth"
 let g_ack_ewma = Obs.Metrics.gauge "service.ack_ewma_ms"
 
+(* Durability latency instruments (DESIGN.md §16): how long one WAL
+   fsync takes, and how long an accepted feed's ack was held before the
+   commit covering it released it. *)
+let h_fsync_us = Obs.Metrics.histogram "service.fsync_us"
+let h_commit_hold_us = Obs.Metrics.histogram "service.commit_hold_us"
+
 (* --- Mailbox -------------------------------------------------------------
    A mutex-protected queue with a pipe for readiness: the producer writes
    one wake byte on the empty->non-empty transition, the consumer selects
@@ -153,6 +159,14 @@ type 'tok t = {
   pub_overloaded : bool Atomic.t;
   pub_retry_ms : int Atomic.t;
   depth : int Atomic.t;  (* mailbox+backlog feeds: router ++, worker -- *)
+  (* fairness SLO instruments (DESIGN.md §16): per-org ψ/p gauges under
+     global org ids, the group's max |ψ−p| drift, and the estimator's
+     Thm 5.6 sample budget — refreshed by the pump, throttled *)
+  slo_psi : Obs.Metrics.gauge array;
+  slo_p : Obs.Metrics.gauge array;
+  slo_drift : Obs.Metrics.gauge;
+  slo_budget : Obs.Metrics.gauge;
+  mutable slo_last : float;
 }
 
 let group t = t.group
@@ -226,6 +240,18 @@ let final_estimator ~base records =
       match r with Wal.Mode { estimator; _ } -> estimator | _ -> acc)
     base.Config.algorithm records
 
+(* The Thm 5.6 sample budget of the live estimator spec: how many joining
+   orders one contribution evaluation draws (0 for exact REF).  Published
+   as a gauge so [rand.orders_sampled] can be read against it — the
+   ε-budget consumption SLO. *)
+let estimator_budget ~spec ~players =
+  match Algorithms.Estimator.of_string spec with
+  | Ok est ->
+      float_of_int
+        (Option.value ~default:0
+           (Algorithms.Estimator.sample_count est ~players))
+  | Error _ -> 0.
+
 (* --- Creation / recovery ------------------------------------------------- *)
 
 let create ~partition ~group ~state_dir ~overload ~degrade_to ~snapshot_every
@@ -265,6 +291,15 @@ let create ~partition ~group ~state_dir ~overload ~degrade_to ~snapshot_every
   in
   let dedupe = Hashtbl.create 64 in
   let* () = replay ~dedupe ~part:partition online records in
+  Obs.Log.info ~component:"wal"
+    ~fields:
+      [
+        ("group", Obs.Json.Int group);
+        ("records", Obs.Json.Int (List.length records));
+        ("last_seq", Obs.Json.Int last_seq);
+        ("estimator", Obs.Json.String estimator);
+      ]
+    "segment recovered";
   (* Compact on boot: one snapshot covering everything recovered, then a
      fresh WAL.  A crash right here is safe — the snapshot is atomic and
      the old WAL only duplicates records the sequence filter drops. *)
@@ -282,6 +317,23 @@ let create ~partition ~group ~state_dir ~overload ~degrade_to ~snapshot_every
         in
         Result.map Option.some (Wal.create ~site_prefix ~dir ~config:base ())
   in
+  let org_lo, org_hi = Partition.org_range partition group in
+  let slo_psi =
+    Array.init (org_hi - org_lo) (fun i ->
+        Obs.Metrics.gauge (Printf.sprintf "fair.psi_org%d" (org_lo + i)))
+  in
+  let slo_p =
+    Array.init (org_hi - org_lo) (fun i ->
+        Obs.Metrics.gauge (Printf.sprintf "fair.p_org%d" (org_lo + i)))
+  in
+  let slo_drift =
+    Obs.Metrics.gauge (Printf.sprintf "fair.drift_max_g%d" group)
+  in
+  let slo_budget =
+    Obs.Metrics.gauge (Printf.sprintf "fair.estimator_budget_g%d" group)
+  in
+  Obs.Metrics.set slo_budget
+    (estimator_budget ~spec:estimator ~players:(org_hi - org_lo));
   Ok
     {
       group;
@@ -315,6 +367,11 @@ let create ~partition ~group ~state_dir ~overload ~degrade_to ~snapshot_every
       pub_overloaded = Atomic.make false;
       pub_retry_ms = Atomic.make 25;
       depth = Atomic.make 0;
+      slo_psi;
+      slo_p;
+      slo_drift;
+      slo_budget;
+      slo_last = 0.;
     }
 
 let close t =
@@ -385,7 +442,20 @@ let commit t ~now ~force =
     let sync_result =
       match t.writer with
       | Some w when Wal.pending w ->
-          let r = Wal.sync w in
+          let r =
+            Obs.Trace.span ~cat:"service"
+              ~args:
+                [
+                  ("group", Obs.Json.Int t.group);
+                  ("acks", Obs.Json.Int t.held_n);
+                ]
+              "wal.commit"
+              (fun () ->
+                let t0 = Obs.Clock.now_ns () in
+                let r = Wal.sync w in
+                Obs.Metrics.observe h_fsync_us (Obs.Clock.elapsed t0 *. 1e6);
+                r)
+          in
           (match r with
           | Error _ -> Obs.Metrics.incr m_wal_sync_failures
           | Ok () ->
@@ -401,6 +471,7 @@ let commit t ~now ~force =
       (fun (tok, resp, t_enq) ->
         Overload.observe_ack t.detector ~latency_ms:((now -. t_enq) *. 1000.);
         Obs.Metrics.incr m_acks;
+        Obs.Metrics.observe h_commit_hold_us (Float.max 0. (now -. t_enq) *. 1e6);
         let resp =
           match sync_result with
           | Ok () -> resp
@@ -446,9 +517,9 @@ let dedupe_hit t ~cid ~cseq =
 let remember t ~cid ~cseq resp =
   if cid <> 0 && cseq > 0 then Hashtbl.replace t.dedupe cid (cseq, resp)
 
-let feed t ~post ~now tok (req : Protocol.request) ~t_enq =
+let feed_inner t ~post ~now tok (req : Protocol.request) ~t_enq =
   match req with
-  | Protocol.Submit { org; user; release; size; cid; cseq } -> (
+  | Protocol.Submit { org; user; release; size; cid; cseq; trace = _ } -> (
       match dedupe_hit t ~cid ~cseq with
       | Some (`Cached resp) -> hold t tok resp t_enq
       | Some (`Stale last) ->
@@ -493,7 +564,7 @@ let feed t ~post ~now tok (req : Protocol.request) ~t_enq =
                            msg = Online.error_to_string e;
                            retry_after_ms = None;
                          }))))
-  | Protocol.Fault { time; event; cid; cseq } -> (
+  | Protocol.Fault { time; event; cid; cseq; trace = _ } -> (
       match dedupe_hit t ~cid ~cseq with
       | Some (`Cached resp) -> hold t tok resp t_enq
       | Some (`Stale last) ->
@@ -532,9 +603,30 @@ let feed t ~post ~now tok (req : Protocol.request) ~t_enq =
                            msg = Online.error_to_string e;
                            retry_after_ms = None;
                          }))))
-  | Protocol.Status | Protocol.Psi | Protocol.Snapshot | Protocol.Drain _ ->
+  | Protocol.Status | Protocol.Psi | Protocol.Snapshot | Protocol.Drain _
+  | Protocol.Metrics | Protocol.Trace _ ->
       (* control requests travel as [Query], never as [Feed] *)
       assert false
+
+(* The shard-side leg of a request's trace: the feed runs inside a span
+   on the worker domain carrying the client-issued trace id, so the
+   merged dump correlates the router's admission instant with the engine
+   work it caused, across the domain boundary. *)
+let feed t ~post ~now tok (req : Protocol.request) ~t_enq =
+  if not (Obs.Trace.enabled ()) then feed_inner t ~post ~now tok req ~t_enq
+  else begin
+    let trace_id =
+      match req with
+      | Protocol.Submit { trace; _ } | Protocol.Fault { trace; _ } -> trace
+      | _ -> 0
+    in
+    let args =
+      ("group", Obs.Json.Int t.group)
+      :: (if trace_id = 0 then [] else [ ("trace", Obs.Json.Int trace_id) ])
+    in
+    Obs.Trace.span ~cat:"service" ~args "shard.feed" (fun () ->
+        feed_inner t ~post ~now tok req ~t_enq)
+  end
 
 (* --- Control queries ------------------------------------------------------ *)
 
@@ -602,7 +694,9 @@ let query t ~post ~now tok q =
             match do_snapshot t with
             | Ok _ -> List.iter post (commit t ~now ~force:true)
             | Error msg ->
-                Printf.eprintf "fairsched serve: final snapshot: %s\n%!" msg;
+                Obs.Log.error ~component:"shard"
+                  ~fields:[ ("group", Obs.Json.Int t.group) ]
+                  "final snapshot failed: %s" msg;
                 List.iter post (commit t ~now ~force:true)))
       end;
       part (P_drain (drain_part t ~detail))
@@ -632,8 +726,13 @@ let switch_estimator t spec =
       (* Accepted records cannot be rejected on replay (determinism);
          reaching here is an invariant violation.  Keep the old engine
          rather than serve from a half-fed one. *)
-      Printf.eprintf "fairsched serve: estimator switch to %s failed: %s\n%!"
-        spec msg;
+      Obs.Log.error ~component:"shard"
+        ~fields:
+          [
+            ("group", Obs.Json.Int t.group);
+            ("estimator", Obs.Json.String spec);
+          ]
+        "estimator switch failed: %s" msg;
       false
 
 let maybe_switch t =
@@ -645,18 +744,32 @@ let maybe_switch t =
         | Overload.Overloaded when t.estimator <> spec ->
             if switch_estimator t spec then begin
               Obs.Metrics.incr m_degrade;
-              Printf.eprintf
-                "fairsched serve: overload: shard %d degrading estimator to \
-                 %s\n\
-                 %!"
-                t.group spec
+              Obs.Metrics.set t.slo_budget
+                (estimator_budget ~spec
+                   ~players:(Config.organizations t.sub));
+              Obs.Log.warn ~component:"shard"
+                ~fields:
+                  [
+                    ("group", Obs.Json.Int t.group);
+                    ("event", Obs.Json.String "degrade");
+                    ("estimator", Obs.Json.String spec);
+                  ]
+                "overload: degrading estimator to %s" spec
             end
         | Overload.Normal when t.estimator <> t.base.Config.algorithm ->
             if switch_estimator t t.base.Config.algorithm then begin
               Obs.Metrics.incr m_recover;
-              Printf.eprintf
-                "fairsched serve: recovered: shard %d estimator back to %s\n%!"
-                t.group t.base.Config.algorithm
+              Obs.Metrics.set t.slo_budget
+                (estimator_budget ~spec:t.estimator
+                   ~players:(Config.organizations t.sub));
+              Obs.Log.warn ~component:"shard"
+                ~fields:
+                  [
+                    ("group", Obs.Json.Int t.group);
+                    ("event", Obs.Json.String "recover");
+                    ("estimator", Obs.Json.String t.estimator);
+                  ]
+                "recovered: estimator back to %s" t.estimator
             end
         | Overload.Overloaded | Overload.Normal -> ()
       end
@@ -690,6 +803,27 @@ let make_worker ~id ~shards ~drain_batch ~cap ~post =
 
 let worker_shard w g = List.assoc g w.w_shards
 let post_msg w ~group msg = Mailbox.push w.w_mb (group, msg)
+
+(* Fairness SLO publication (DESIGN.md §16): copy the engine's live
+   ψ/p vectors into the per-org gauges and refresh the group's max
+   drift.  Scaled ints halve to utilities (Online keeps 2·value to stay
+   integral); throttled so a busy pump doesn't pay the gauge stores on
+   every round. *)
+let publish_slo t ~now =
+  if Obs.Metrics.enabled () && now -. t.slo_last >= 0.25 then begin
+    t.slo_last <- now;
+    let psi = Online.psi_scaled t.online in
+    let parts = Online.parts t.online in
+    let drift = ref 0. in
+    Array.iteri
+      (fun i s ->
+        let p = parts.(i) in
+        Obs.Metrics.set t.slo_psi.(i) (float_of_int s /. 2.);
+        Obs.Metrics.set t.slo_p.(i) (float_of_int p /. 2.);
+        drift := Float.max !drift (float_of_int (abs (s - p)) /. 2.))
+      psi;
+    Obs.Metrics.set t.slo_drift !drift
+  end
 
 (* One processing round: pull queued messages, feed at most
    [drain_batch] engine entries (control queries don't consume the
@@ -725,8 +859,11 @@ let pump w =
         match do_snapshot sh with
         | Ok _ -> ()
         | Error msg ->
-            Printf.eprintf "fairsched serve: auto-snapshot: %s\n%!" msg);
+            Obs.Log.error ~component:"shard"
+              ~fields:[ ("group", Obs.Json.Int sh.group) ]
+              "auto-snapshot: %s" msg);
       maybe_switch sh;
+      publish_slo sh ~now;
       let depth = Atomic.get sh.depth in
       Overload.observe_queue sh.detector ~depth ~cap:w.w_cap;
       Atomic.set sh.pub_overloaded
@@ -751,6 +888,8 @@ let wait_timeout w =
       1.0 w.w_shards
 
 let worker_loop w =
+  (* own Chrome trace lane per worker domain; lane 1 is the router *)
+  Obs.Trace.set_pid ~name:(Printf.sprintf "shard-worker-%d" w.w_id) (2 + w.w_id);
   try
     while not (Atomic.get w.w_stop) do
       let timeout = wait_timeout w in
@@ -763,8 +902,9 @@ let worker_loop w =
   with e ->
     (* a dead shard would hang its org-groups' clients silently; take the
        daemon down loudly instead *)
-    Printf.eprintf "fairsched serve: shard worker %d died: %s\n%!" w.w_id
-      (Printexc.to_string e);
+    Obs.Log.error ~component:"shard"
+      ~fields:[ ("worker", Obs.Json.Int w.w_id) ]
+      "shard worker %d died: %s" w.w_id (Printexc.to_string e);
     Unix._exit 2
 
 let start_worker w = w.w_domain <- Some (Domain.spawn (fun () -> worker_loop w))

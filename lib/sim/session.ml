@@ -5,6 +5,11 @@ open Core
    time units — observed at every slot grant the session makes. *)
 let m_job_wait = Obs.Metrics.histogram "sim.job_wait"
 
+(* Slot grants and work units lost to machine failures, across every live
+   session (the sharded daemon sums its per-group engines through these). *)
+let m_starts = Obs.Metrics.counter "sim.starts_total"
+let m_wasted = Obs.Metrics.counter "sim.wasted_units"
+
 type t = {
   instance : Instance.t;
   cluster : Cluster.t;
@@ -79,6 +84,7 @@ let create ?(record = true) ?(checkpoints = []) ?workers ?(faults = [])
                       trackers.(kill.Cluster.k_job.Job.org)
                       ~key:kill.Cluster.k_job.Job.index;
                     policy.Algorithms.Policy.on_kill view ~time kill;
+                    Obs.Metrics.add m_wasted kill.Cluster.k_wasted;
                     Kernel.Engine.Killed
                       {
                         wasted = kill.Cluster.k_wasted;
@@ -111,6 +117,7 @@ let create ?(record = true) ?(checkpoints = []) ?workers ?(faults = [])
               ~key:placement.Schedule.job.Job.index ~start:time;
             Obs.Metrics.observe m_job_wait
               (float_of_int (time - placement.Schedule.job.Job.release));
+            Obs.Metrics.incr m_starts;
             policy.Algorithms.Policy.on_start view ~time placement;
             incr n
           done;

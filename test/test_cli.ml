@@ -337,6 +337,108 @@ let test_wal_check_segmented () =
       Alcotest.(check bool) "names the corrupt count" true
         (contains (String.concat "\n" lines) "1 of 2 segments corrupt"))
 
+(* `--json` is the machine-readable face of the same inspection: one JSON
+   document with a per-segment status array, same exit codes (0 intact,
+   2 corrupt), and a typed record naming the damage — offset and all. *)
+let parse_json lines =
+  match Obs.Json.of_string (String.concat "\n" lines) with
+  | Ok j -> j
+  | Error e ->
+      Alcotest.failf "wal-check --json output does not parse: %s" e
+
+let segments doc =
+  match Option.bind (Obs.Json.member doc "segments") Obs.Json.get_list with
+  | Some segs -> segs
+  | None -> Alcotest.fail "wal-check --json lacks a segments array"
+
+let seg_field seg name = Obs.Json.member seg name
+
+let test_wal_check_json () =
+  with_scratch_dir @@ fun dir ->
+  let wal = Filename.concat dir "wal.ndjson" in
+  write_file wal (wal_header ^ submit_line 1 ^ submit_line 2);
+  let code, lines = run_cmd ("ctl wal-check --json " ^ wal) in
+  Alcotest.(check int) "intact wal exits 0" 0 code;
+  (match segments (parse_json lines) with
+  | [ seg ] ->
+      Alcotest.(check bool) "status ok" true
+        (seg_field seg "status" = Some (Obs.Json.String "ok"));
+      Alcotest.(check bool) "kind wal" true
+        (seg_field seg "kind" = Some (Obs.Json.String "wal"));
+      Alcotest.(check bool) "counts submits" true
+        (seg_field seg "submits" = Some (Obs.Json.Int 2));
+      Alcotest.(check bool) "no torn tail field" true
+        (seg_field seg "torn_tail" = None)
+  | segs -> Alcotest.failf "expected 1 segment, got %d" (List.length segs));
+  (* A torn tail is a survivable crash artifact: still exit 0, but the
+     record carries the cut point. *)
+  write_file wal (wal_header ^ submit_line 1 ^ "{\"rec\":\"submit\",\"se");
+  let code, lines = run_cmd ("ctl wal-check --json " ^ wal) in
+  Alcotest.(check int) "torn tail exits 0" 0 code;
+  (match segments (parse_json lines) with
+  | [ seg ] ->
+      Alcotest.(check bool) "torn tail recorded" true
+        (match seg_field seg "torn_tail" with
+        | Some tt -> Obs.Json.member tt "line" = Some (Obs.Json.Int 3)
+        | None -> false)
+  | segs -> Alcotest.failf "expected 1 segment, got %d" (List.length segs));
+  (* Mid-log garbage is corruption: exit 2 AND a typed record naming the
+     line, byte offset, and reason. *)
+  write_file wal (wal_header ^ "garbage\n" ^ submit_line 2);
+  let code, lines = run_cmd ("ctl wal-check --json " ^ wal) in
+  Alcotest.(check int) "corrupt exits 2" 2 code;
+  match segments (parse_json lines) with
+  | [ seg ] ->
+      Alcotest.(check bool) "status corrupt" true
+        (seg_field seg "status" = Some (Obs.Json.String "corrupt"));
+      Alcotest.(check bool) "names line 2" true
+        (seg_field seg "line" = Some (Obs.Json.Int 2));
+      Alcotest.(check bool) "carries a byte offset" true
+        (match seg_field seg "offset" with
+        | Some (Obs.Json.Int n) -> n > 0
+        | _ -> false);
+      Alcotest.(check bool) "carries a reason" true
+        (match seg_field seg "reason" with
+        | Some (Obs.Json.String _) -> true
+        | _ -> false)
+  | segs -> Alcotest.failf "expected 1 segment, got %d" (List.length segs)
+
+let test_wal_check_json_segmented () =
+  with_scratch_dir @@ fun dir ->
+  let seg_dir g = Filename.concat dir (Printf.sprintf "wal-%d" g) in
+  Unix.mkdir (seg_dir 0) 0o700;
+  Unix.mkdir (seg_dir 1) 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun g ->
+          Array.iter
+            (fun e ->
+              try Sys.remove (Filename.concat (seg_dir g) e)
+              with Sys_error _ -> ())
+            (try Sys.readdir (seg_dir g) with Sys_error _ -> [||]);
+          try Unix.rmdir (seg_dir g) with Unix.Unix_error _ -> ())
+        [ 0; 1 ])
+    (fun () ->
+      write_file
+        (Filename.concat (seg_dir 0) "wal.ndjson")
+        (grouped_wal_header ^ submit_line 1 ^ submit_line 2);
+      write_file
+        (Filename.concat (seg_dir 1) "wal.ndjson")
+        (grouped_wal_header ^ "garbage\n" ^ submit_line 2);
+      let code, lines = run_cmd ("ctl wal-check --json " ^ dir) in
+      Alcotest.(check int) "one corrupt segment exits 2" 2 code;
+      match segments (parse_json lines) with
+      | [ s0; s1 ] ->
+          (* Each entry is tagged with its org-group. *)
+          Alcotest.(check bool) "segment 0 tagged and ok" true
+            (seg_field s0 "group" = Some (Obs.Json.Int 0)
+            && seg_field s0 "status" = Some (Obs.Json.String "ok"));
+          Alcotest.(check bool) "segment 1 tagged and corrupt" true
+            (seg_field s1 "group" = Some (Obs.Json.Int 1)
+            && seg_field s1 "status" = Some (Obs.Json.String "corrupt"))
+      | segs -> Alcotest.failf "expected 2 segments, got %d" (List.length segs))
+
 let test_service_unreachable_daemon () =
   (* Clients against a daemon that is not there: exit 2, one-line message. *)
   check_error "status --to unix:/nonexistent/no-daemon.sock"
@@ -387,6 +489,9 @@ let () =
           Alcotest.test_case "wal-check" `Quick test_wal_check;
           Alcotest.test_case "wal-check-segmented" `Quick
             test_wal_check_segmented;
+          Alcotest.test_case "wal-check --json" `Quick test_wal_check_json;
+          Alcotest.test_case "wal-check --json segmented" `Quick
+            test_wal_check_json_segmented;
           Alcotest.test_case "unreachable daemon" `Quick
             test_service_unreachable_daemon;
         ] );

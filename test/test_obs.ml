@@ -322,6 +322,75 @@ let test_metrics_json_and_reset () =
   check Alcotest.int "reset zeroes, handle survives" 0
     (Obs.Metrics.counter_value c)
 
+(* qcheck: arbitrary per-domain operation lists hammered at ONE counter and
+   ONE histogram from concurrently spawned domains must merge to exactly
+   the sequential sum — the per-domain cells may lose no update and
+   double-count none, whatever the interleaving. *)
+let test_metrics_merge_is_sequential_sum =
+  let ops_gen =
+    (* One (counter increment, histogram observation) list per domain. *)
+    QCheck.(
+      list_of_size
+        Gen.(1 -- 4)
+        (list_of_size Gen.(int_bound 200)
+           (pair (int_bound 50) (float_bound_exclusive 1e9))))
+  in
+  QCheck.Test.make ~count:20 ~name:"cross-domain merge = sequential sum"
+    ops_gen (fun per_domain ->
+      Obs.Metrics.reset ();
+      Obs.Metrics.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Metrics.set_enabled false;
+          Obs.Metrics.reset ())
+        (fun () ->
+          let c = Obs.Metrics.counter "t.q.c" in
+          let h = Obs.Metrics.histogram "t.q.h" in
+          let apply ops =
+            List.iter
+              (fun (k, x) ->
+                Obs.Metrics.add c k;
+                Obs.Metrics.observe h x)
+              ops
+          in
+          let ds =
+            List.map (fun ops -> Domain.spawn (fun () -> apply ops)) per_domain
+          in
+          List.iter Domain.join ds;
+          let want_count =
+            List.fold_left (fun a ops -> a + List.length ops) 0 per_domain
+          in
+          let want_sum =
+            List.fold_left
+              (fun a ops -> List.fold_left (fun a (k, _) -> a + k) a ops)
+              0 per_domain
+          in
+          let got_sum = Obs.Metrics.counter_value c in
+          if got_sum <> want_sum then
+            QCheck.Test.fail_reportf "counter merged to %d, sequential sum %d"
+              got_sum want_sum;
+          match List.assoc "t.q.h" (Obs.Metrics.snapshot ()) with
+          | Obs.Metrics.Histogram s ->
+              if s.Obs.Metrics.count <> want_count then
+                QCheck.Test.fail_reportf
+                  "histogram merged %d observations, expected %d"
+                  s.Obs.Metrics.count want_count;
+              if want_count > 0 then begin
+                let want_max =
+                  List.fold_left
+                    (fun a ops ->
+                      List.fold_left (fun a (_, x) -> Float.max a x) a ops)
+                    0. per_domain
+                in
+                if s.Obs.Metrics.max <> want_max then
+                  QCheck.Test.fail_reportf
+                    "histogram max %g, sequential max %g" s.Obs.Metrics.max
+                    want_max
+              end;
+              true
+          | _ | (exception Not_found) ->
+              QCheck.Test.fail_reportf "histogram missing from snapshot"))
+
 (* --- trace recorder + validator ----------------------------------------- *)
 
 let test_trace_disabled_records_nothing () =
@@ -473,6 +542,7 @@ let () =
             test_metrics_kind_collision;
           Alcotest.test_case "json dump and reset" `Quick
             test_metrics_json_and_reset;
+          q test_metrics_merge_is_sequential_sum;
         ] );
       ( "trace",
         [

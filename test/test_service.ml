@@ -82,16 +82,16 @@ let test_protocol_requests () =
   in
   roundtrip
     (Service.Protocol.Submit
-       { org = 1; user = 3; release = 5; size = 2; cid = 0; cseq = 0 });
+       { org = 1; user = 3; release = 5; size = 2; cid = 0; cseq = 0; trace = 0 });
   roundtrip
     (Service.Protocol.Submit
-       { org = 1; user = 3; release = 5; size = 2; cid = 71; cseq = 4 });
+       { org = 1; user = 3; release = 5; size = 2; cid = 71; cseq = 4; trace = 9 });
   roundtrip
     (Service.Protocol.Fault
-       { time = 9; event = Faults.Event.Fail 2; cid = 0; cseq = 0 });
+       { time = 9; event = Faults.Event.Fail 2; cid = 0; cseq = 0; trace = 0 });
   roundtrip
     (Service.Protocol.Fault
-       { time = 12; event = Faults.Event.Recover 2; cid = 3; cseq = 9 });
+       { time = 12; event = Faults.Event.Recover 2; cid = 3; cseq = 9; trace = 5 });
   roundtrip Service.Protocol.Status;
   roundtrip Service.Protocol.Psi;
   roundtrip Service.Protocol.Snapshot;
@@ -722,6 +722,7 @@ let submit_job client (j : Core.Job.t) =
            size = j.Core.Job.size;
            cid = 0;
            cseq = 0;
+           trace = 0;
          })
   with
   | Service.Protocol.Submit_ok { index; _ } ->
@@ -840,7 +841,7 @@ let test_backpressure () =
     Buffer.add_string burst
       (Service.Protocol.request_to_line
          (Service.Protocol.Submit
-            { org = 0; user = 0; release = i; size = 1; cid = 0; cseq = 0 }))
+            { org = 0; user = 0; release = i; size = 1; cid = 0; cseq = 0; trace = 0 }))
   done;
   let payload = Buffer.contents burst in
   ignore (Unix.write_substring fd payload 0 (String.length payload));
@@ -903,7 +904,7 @@ let test_dedupe () =
   let submit client ~release ~cseq =
     request_ok client
       (Service.Protocol.Submit
-         { org = 0; user = 0; release; size = 1; cid = 7; cseq })
+         { org = 0; user = 0; release; size = 1; cid = 7; cseq; trace = 0 })
   in
   (let@ pid = with_server ~state_dir ~service addr in
    let client = connect_retry addr in
@@ -957,7 +958,7 @@ let test_resilient_stamping () =
     match
       Service.Client.Resilient.call conn
         (Service.Protocol.Submit
-           { org = 0; user = 0; release; size = 1; cid = 0; cseq = 0 })
+           { org = 0; user = 0; release; size = 1; cid = 0; cseq = 0; trace = 0 })
     with
     | Ok (Service.Protocol.Submit_ok { index; _ }) -> index
     | Ok _ -> Alcotest.fail "unexpected response"
@@ -970,7 +971,7 @@ let test_resilient_stamping () =
   (match
      request_ok client
        (Service.Protocol.Submit
-          { org = 0; user = 0; release = 2; size = 1; cid = 42; cseq = 2 })
+          { org = 0; user = 0; release = 2; size = 1; cid = 42; cseq = 2; trace = 0 })
    with
   | Service.Protocol.Submit_ok { index = 1; _ } -> ()
   | _ -> Alcotest.fail "re-send of the resilient stamp not deduped");
@@ -1288,6 +1289,7 @@ let test_group_commit_recovery () =
                size = 1;
                cid = 0;
                cseq = 0;
+               trace = 0;
              }))
    done;
    let payload = Buffer.contents burst in
@@ -1359,7 +1361,7 @@ let test_shard_chaos_isolation () =
   let submit client ~org ~release =
     request_ok client
       (Service.Protocol.Submit
-         { org; user = 0; release; size = 1; cid = 0; cseq = 0 })
+         { org; user = 0; release; size = 1; cid = 0; cseq = 0; trace = 0 })
   in
   let@ _pid =
     with_server ~state_dir ~chaos:"eio@g1/wal-fsync:2+" ~service addr
