@@ -155,6 +155,67 @@ let resolve_faults ~machines ~horizon ~seed spec script =
           trace
       | Error msg -> die "%s" msg)
 
+(* --- endowment churn flags (shared by simulate and serve) --------------- *)
+
+let federation_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "federation" ] ~docv:"SPEC|FILE"
+        ~doc:
+          "Inject endowment churn — consortium joins/leaves and machine \
+           lends/reclaims (DESIGN.md §17).  A FILE is a script of $(b,TIME \
+           join|leave|lend|reclaim ...) lines; anything else is a \
+           peak-offloading model spec \
+           $(b,period:P,lend:N[,correlation:R][,jitter:J]) drawn from \
+           --seed.  On $(b,serve), the bare flag marks the daemon federated \
+           (it accepts $(b,endow) requests over the socket); a SPEC|FILE is \
+           additionally validated against the cluster shape at boot.")
+
+(* Flattened machine -> home-org map of an org-contiguous machine split. *)
+let homes_of_split machines_per_org =
+  Array.concat
+    (List.mapi (fun u n -> Array.make n u) (Array.to_list machines_per_org))
+
+(* Compile the --federation value into a concrete endowment trace for a
+   known cluster shape: an existing file is a script, anything else is a
+   generative-model spec.  The empty string (bare `--federation` on serve)
+   is an empty trace.  Exit-2 contract on malformed input. *)
+let resolve_federation ~machines_per_org ~horizon ~seed = function
+  | None | Some "" -> []
+  | Some spec_or_file ->
+      let trace =
+        if Sys.file_exists spec_or_file then
+          match Federation.Model.load_script spec_or_file with
+          | Ok trace -> trace
+          | Error msg -> die "%s" msg
+        else
+          match Federation.Model.spec_of_string spec_or_file with
+          | Ok spec ->
+              Federation.Model.random
+                ~rng:(Fstats.Rng.create ~seed:(seed lxor 0xfed))
+                ~machines_per_org ~horizon ~spec ()
+          | Error msg ->
+              die "--federation %S is not a file, and %s" spec_or_file msg
+      in
+      (match
+         Federation.Event.validate
+           ~orgs:(Array.length machines_per_org)
+           ~homes:(homes_of_split machines_per_org)
+           trace
+       with
+      | Ok () -> ()
+      | Error msg -> die "--federation: %s" msg);
+      trace
+
+let report_federation trace =
+  if trace <> [] then begin
+    let joins, leaves, lends, reclaims = Federation.Model.count_kind trace in
+    Format.printf
+      "federation: %d events (%d join, %d leave, %d lend, %d reclaim)@."
+      (List.length trace) joins leaves lends reclaims
+  end
+
 let progress line = Format.eprintf "  %s@." line
 
 let write_csv path contents =
@@ -286,7 +347,8 @@ let simulate_cmd =
              job is abandoned (default: unbounded).")
   in
   let run model algo estimator no_value_cache norgs machines horizon seed
-      workers gantt fault_spec fault_script max_restarts trace metrics =
+      workers gantt fault_spec fault_script federation_spec max_restarts trace
+      metrics =
     (match max_restarts with
     | Some r when r < 0 -> die "--max-restarts must be >= 0"
     | Some _ | None -> ());
@@ -319,6 +381,11 @@ let simulate_cmd =
         let faults =
           resolve_faults ~machines ~horizon ~seed fault_spec fault_script
         in
+        let federation =
+          resolve_federation
+            ~machines_per_org:instance.Core.Instance.machines ~horizon ~seed
+            federation_spec
+        in
         Format.printf "%a@." Core.Instance.pp instance;
         if faults <> [] then begin
           let failures, recoveries = Faults.Model.count_kind faults in
@@ -327,9 +394,11 @@ let simulate_cmd =
             failures recoveries
             (Faults.Model.downtime ~machines ~horizon faults)
         end;
+        report_federation federation;
         let rng = Fstats.Rng.create ~seed in
         let result =
-          Sim.Driver.run ?workers ~faults ?max_restarts ~instance ~rng maker
+          Sim.Driver.run ?workers ~faults ~federation ?max_restarts ~instance
+            ~rng maker
         in
         Format.printf "%a@." Sim.Driver.pp_result result;
         Format.printf "utilization: %.3f  wall: %.2fs@."
@@ -357,8 +426,8 @@ let simulate_cmd =
     Term.(
       const run $ model_arg $ algo_arg $ estimator_arg $ no_value_cache_arg
       $ norgs_arg $ machines_arg $ horizon_arg 50_000 $ seed_arg $ workers_arg
-      $ gantt_arg $ faults_arg $ faults_script_arg $ max_restarts_arg
-      $ trace_arg $ metrics_arg)
+      $ gantt_arg $ faults_arg $ faults_script_arg $ federation_arg
+      $ max_restarts_arg $ trace_arg $ metrics_arg)
 
 (* --- table ----------------------------------------------------------- *)
 
@@ -596,6 +665,109 @@ let churn_cmd =
       $ max_restarts_arg $ seed_arg $ workers_arg $ csv_arg $ json_arg
       $ trace_arg $ metrics_arg)
 
+(* --- federation: the peak-offloading study ----------------------------- *)
+
+let federation_cmd =
+  let orgs_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "orgs"; "k" ] ~docv:"K" ~doc:"Number of organizations (>= 2).")
+  in
+  let mpo_arg =
+    Arg.(
+      value
+      & opt (positive_int_conv "--machines-per-org") 2
+      & info [ "machines-per-org" ] ~docv:"N"
+          ~doc:"Home machines per organization (uniform endowment).")
+  in
+  let correlations_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.; 0.25; 0.5; 0.75; 1. ]
+      & info [ "correlations" ] ~docv:"R,R,.."
+          ~doc:
+            "Peak-phase correlations to sweep: 0 staggers the orgs' load \
+             peaks evenly (cooperation should pay), 1 makes everyone peak \
+             at once.")
+  in
+  let period_arg =
+    Arg.(
+      value
+      & opt (positive_int_conv "--period") 200
+      & info [ "period" ] ~docv:"T" ~doc:"Peak cycle length.")
+  in
+  let lend_arg =
+    Arg.(
+      value
+      & opt (positive_int_conv "--lend") 1
+      & info [ "lend" ] ~docv:"N"
+          ~doc:"Machines each org lends during its off-peak half-cycle.")
+  in
+  let jitter_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "jitter" ] ~docv:"F"
+          ~doc:"Per-org phase jitter of the lending trace, in [0, 1].")
+  in
+  let burst_arg =
+    Arg.(
+      value
+      & opt (positive_int_conv "--burst") 6
+      & info [ "burst" ] ~docv:"N"
+          ~doc:"Jobs each org submits at its peak.")
+  in
+  let job_size_arg =
+    Arg.(
+      value
+      & opt (positive_int_conv "--job-size") 20
+      & info [ "job-size" ] ~docv:"P" ~doc:"Processing time of each job.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write results as JSON.")
+  in
+  let run norgs machines_per_org horizon instances correlations period lend
+      jitter burst job_size seed workers csv json trace metrics =
+    if norgs < 2 then die "--orgs must be >= 2";
+    if jitter < 0. || jitter > 1. then die "--jitter must be in [0, 1]";
+    if List.exists (fun r -> r < 0. || r > 1.) correlations then
+      die "--correlations must be in [0, 1]";
+    with_obs ~trace ~metrics @@ fun () ->
+    let config =
+      Experiments.Federation.default_config ~norgs ~machines_per_org ~horizon
+        ~instances ~correlations ~period ~lend ~jitter ~burst ~job_size ~seed
+        ()
+    in
+    let study = Experiments.Federation.run ~progress ?workers config in
+    Format.printf
+      "Peak offloading under endowment churn (k=%d, %d machines/org, \
+       horizon %d, period %d, lend %d, burst %d x %d s, %d instances)@.@."
+      norgs machines_per_org horizon period lend burst job_size instances;
+    Format.printf "%a@." Experiments.Federation.pp study;
+    write_csv csv (Experiments.Federation.to_csv study);
+    match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Experiments.Federation.to_json study);
+        close_out oc;
+        Format.printf "wrote %s@." path
+  in
+  Cmd.v
+    (Cmd.info "federation"
+       ~doc:
+         "Peak-offloading study: sweep the peak-phase correlation across \
+          organizations and report when lending pays — REF's Σψsp with the \
+          endowment churn applied vs the static pooled consortium vs every \
+          org standalone.")
+    Term.(
+      const run $ orgs_arg $ mpo_arg $ horizon_arg 1_200 $ instances_arg 3
+      $ correlations_arg $ period_arg $ lend_arg $ jitter_arg $ burst_arg
+      $ job_size_arg $ seed_arg $ workers_arg $ csv_arg $ json_arg $ trace_arg
+      $ metrics_arg)
+
 (* --- validate-trace ----------------------------------------------------- *)
 
 let validate_trace_cmd =
@@ -735,7 +907,7 @@ let groups_arg =
    seed) through Scenario.split_and_map makes `serve` and `loadgen` with
    the same flags consistent by construction. *)
 let service_config ~model ~norgs ~machines ~horizon ~algorithm ~seed ~split
-    ~max_restarts ~workers ~groups =
+    ~max_restarts ~workers ~groups ~federated =
   let machine_split =
     match split with
     | Some counts -> counts
@@ -744,7 +916,7 @@ let service_config ~model ~norgs ~machines ~horizon ~algorithm ~seed ~split
         fst (Workload.Scenario.split_and_map spec ~seed)
   in
   match
-    Service.Config.make ?max_restarts ?workers ~groups
+    Service.Config.make ?max_restarts ?workers ~groups ~federated
       ~machines:machine_split ~horizon ~algorithm ~seed ()
   with
   | Ok c -> c
@@ -927,7 +1099,7 @@ let serve_cmd =
   let run listen state model algo estimator norgs machines horizon seed split
       workers max_restarts queue_cap snapshot_every chaos degrade
       overload_queue overload_ms overload_trip overload_recover groups shards
-      commit_interval log_level log_file trace metrics =
+      commit_interval federation_spec log_level log_file trace metrics =
     (match max_restarts with
     | Some r when r < 0 -> die "--max-restarts must be >= 0"
     | Some _ | None -> ());
@@ -960,10 +1132,17 @@ let serve_cmd =
         | Ok rules -> Chaos.Fs.arm rules
         | Error msg -> die "%s" msg));
     report_estimator ~algo ~norgs;
+    let federated = federation_spec <> None in
     let service =
       service_config ~model ~norgs ~machines ~horizon ~algorithm:algo ~seed
-        ~split ~max_restarts ~workers ~groups
+        ~split ~max_restarts ~workers ~groups ~federated
     in
+    (* A SPEC|FILE value is validated against the booted cluster shape now
+       (fail fast, exit 2); the events themselves arrive over the socket —
+       `fairsched endow --script FILE` replays the same script live. *)
+    report_federation
+      (resolve_federation ~machines_per_org:service.Service.Config.machines
+         ~horizon ~seed federation_spec);
     with_obs ~trace ~metrics @@ fun () ->
     (* The live observability plane is always on for a daemon: `ctl
        metrics` and `ctl trace` must answer without a restart, and the
@@ -1015,7 +1194,8 @@ let serve_cmd =
       $ max_restarts_arg $ queue_cap_arg $ snapshot_every_arg $ chaos_arg
       $ degrade_arg $ overload_queue_arg $ overload_ms_arg $ overload_trip_arg
       $ overload_recover_arg $ groups_arg $ shards_arg $ commit_interval_arg
-      $ log_level_arg $ log_file_arg $ trace_arg $ metrics_arg)
+      $ federation_arg $ log_level_arg $ log_file_arg $ trace_arg
+      $ metrics_arg)
 
 let submit_cmd =
   let org_arg =
@@ -1072,6 +1252,130 @@ let submit_cmd =
     Term.(
       const run $ to_arg $ org_arg $ size_arg $ release_arg $ user_arg
       $ timeout_arg)
+
+let endow_cmd =
+  let kind_arg =
+    Arg.(
+      value
+      & pos 0
+          (some
+             (enum
+                [
+                  ("join", `Join); ("leave", `Leave); ("lend", `Lend);
+                  ("reclaim", `Reclaim);
+                ]))
+          None
+      & info [] ~docv:"KIND" ~doc:"join | leave | lend | reclaim")
+  in
+  let org_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "org" ] ~docv:"U" ~doc:"Acting organization (0-based).")
+  in
+  let to_org_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "to-org" ] ~docv:"V" ~doc:"Borrowing organization (lend only).")
+  in
+  let machines_arg =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "machines" ] ~docv:"M,M,.."
+          ~doc:
+            "Global machine ids the event names.  Required for lend and \
+             reclaim; optional for join (empty readmits all of the org's \
+             absent home machines).")
+  in
+  let time_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "time" ] ~docv:"T"
+          ~doc:
+            "Event instant (simulated time).  Default: the daemon's current \
+             admission frontier.")
+  in
+  let script_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:
+            "Replay a whole endowment script (the --federation file format) \
+             against the daemon, one $(b,endow) request per event in trace \
+             order.  Mutually exclusive with KIND.")
+  in
+  let run addr kind org to_org machines time script timeout_s =
+    let client = connect_or_die ~timeout_s addr in
+    Fun.protect
+      ~finally:(fun () -> Service.Client.close client)
+      (fun () ->
+        let frontier () =
+          match request_or_die client Service.Protocol.Status with
+          | Service.Protocol.Status_ok st -> st.Service.Protocol.frontier
+          | _ -> die "unexpected response to status"
+        in
+        let send time event =
+          match
+            request_or_die client
+              (Service.Protocol.Endow
+                 { time; event; cid = 0; cseq = 0; trace = 0 })
+          with
+          | Service.Protocol.Endow_ok { seq; now } ->
+              Format.printf "accepted seq=%d %a now=%d@." seq
+                Federation.Event.pp_timed
+                { Federation.Event.time; event }
+                now
+          | _ -> die "unexpected response to endow"
+        in
+        match (script, kind) with
+        | Some _, Some _ -> die "--script and KIND are mutually exclusive"
+        | Some path, None -> (
+            match Federation.Model.load_script path with
+            | Error msg -> die "%s" msg
+            | Ok trace ->
+                List.iter
+                  (fun { Federation.Event.time; event } -> send time event)
+                  trace)
+        | None, None -> die "endow needs KIND (join|leave|lend|reclaim) or --script"
+        | None, Some kind ->
+            let org =
+              match org with
+              | Some org -> org
+              | None -> die "endow KIND needs --org"
+            in
+            let event =
+              match kind with
+              | `Join -> Federation.Event.Join { org; machines }
+              | `Leave ->
+                  if machines <> [] then die "leave names no machines";
+                  Federation.Event.Leave { org }
+              | `Lend -> (
+                  if machines = [] then die "lend needs --machines";
+                  match to_org with
+                  | Some to_org -> Federation.Event.Lend { org; to_org; machines }
+                  | None -> die "lend needs --to-org")
+              | `Reclaim ->
+                  if machines = [] then die "reclaim needs --machines";
+                  Federation.Event.Reclaim { org; machines }
+            in
+            let time =
+              match time with Some t -> t | None -> frontier ()
+            in
+            send time event)
+  in
+  Cmd.v
+    (Cmd.info "endow"
+       ~doc:
+         "Send endowment events — consortium joins/leaves, machine \
+          lends/reclaims — to a running federated daemon (one started with \
+          --federation).")
+    Term.(
+      const run $ to_arg $ kind_arg $ org_arg $ to_org_arg $ machines_arg
+      $ time_arg $ script_arg $ timeout_arg)
 
 let status_cmd =
   let json_arg =
@@ -1253,6 +1557,15 @@ let top_cmd =
           Format.printf "  estimator sample budget (Thm 5.6):%a@." pp_pairs
             budgets
       end;
+      (* consortium membership gauges, published only by federated daemons *)
+      (match metric "fed.orgs_active" with
+      | Some active ->
+          Format.printf "@.federation: orgs active %.0f" active;
+          List.iter
+            (fun (g, v) -> Format.printf "  lent out g%d %.0f" g v)
+            (by_suffix "fed.machines_lent_g");
+          Format.printf "@."
+      | None -> ());
       let counter_row =
         [
           ("acks", "service.acks_total");
@@ -1753,9 +2066,10 @@ let () =
     Cmd.group info
       [
         simulate_cmd; table_cmd; fig10_cmd; utilization_cmd; ablate_cmd;
-        trace_cmd; timeline_cmd; churn_cmd; analyze_cmd; report_cmd;
-        examples_cmd; algorithms_cmd; validate_trace_cmd;
-        serve_cmd; submit_cmd; status_cmd; top_cmd; ctl_cmd; loadgen_cmd;
+        trace_cmd; timeline_cmd; churn_cmd; federation_cmd; analyze_cmd;
+        report_cmd; examples_cmd; algorithms_cmd; validate_trace_cmd;
+        serve_cmd; submit_cmd; endow_cmd; status_cmd; top_cmd; ctl_cmd;
+        loadgen_cmd;
       ]
   in
   (* Robustness contract: every user error — unknown subcommand, bad flag,

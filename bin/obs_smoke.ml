@@ -6,10 +6,13 @@
    2. saturate it with a rate-limited `fairsched loadgen` subprocess and,
       while the load is still flowing, scrape `ctl metrics` and
       `ctl trace` — the plane must answer mid-run, not just at rest;
-   3. after the load drains, scrape again and check the merged metrics
-      snapshot carries every fairness SLO instrument (per-org ψ/p gauges,
-      per-group max-drift and estimator ε-budget), the service counters,
-      and the estimator's value-cache counters;
+   3. after the load drains, bounce one org through `endow leave`/`endow
+      join` (the daemon is federated), then scrape again and check the
+      merged metrics snapshot carries every fairness SLO instrument
+      (per-org ψ/p gauges, per-group max-drift and estimator ε-budget),
+      the consortium membership gauges (fed.orgs_active, per-group
+      fed.machines_lent_g<g>), the service counters, and the estimator's
+      value-cache counters;
    4. run the in-tree `validate-trace` over the merged Chrome trace and
       check it contains spans from the router lane and from EVERY shard
       worker lane, plus client-issued trace ids on routed requests;
@@ -137,6 +140,16 @@ let check_metrics ~orgs ~shard_groups metrics =
   for g = 0 to shard_groups - 1 do
     require (Printf.sprintf "fair.drift_max_g%d" g);
     require ~positive:true (Printf.sprintf "fair.estimator_budget_g%d" g)
+  done;
+  (* Consortium membership gauges: the daemon is federated, and after the
+     leave/join bounce every org is active again. *)
+  (match number_of metrics "fed.orgs_active" with
+  | None -> fail "metrics: fed.orgs_active missing from merged snapshot"
+  | Some v ->
+      if v <> float_of_int orgs then
+        fail "metrics: fed.orgs_active = %g, want %d" v orgs);
+  for g = 0 to shard_groups - 1 do
+    require (Printf.sprintf "fed.machines_lent_g%d" g)
   done
 
 (* --- trace assertions ---------------------------------------------------- *)
@@ -233,7 +246,7 @@ let () =
              "--algorithm"; "rand-4";
              "--groups"; string_of_int groups;
              "--shards"; string_of_int shards;
-             "--commit-interval"; "2";
+             "--commit-interval"; "2"; "--federation";
              "--log-level"; "info"; "--log-file"; log;
            ]
           @ shape)
@@ -267,6 +280,18 @@ let () =
           | Unix.WEXITED 0 -> ()
           | Unix.WEXITED c -> fail "loadgen exited %d" c
           | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> fail "loadgen was signaled");
+          (* Endowment churn through the real CLI: org 0 leaves the
+             consortium and rejoins (readmit-all), so the membership
+             gauges have seen an actual transition, not just the boot
+             state. *)
+          (let code = run_cli [ "endow"; "leave"; "--to"; sock; "--org"; "0" ] in
+           if code <> 0 then fail "`endow leave` exited %d" code);
+          (let code = run_cli [ "endow"; "join"; "--to"; sock; "--org"; "0" ] in
+           if code <> 0 then fail "`endow join` exited %d" code);
+          (* Let a worker pump publish the post-join membership: the SLO
+             publication is throttled to 0.25 s and the join's own pump may
+             fall inside the throttle window, so cover the 1 s idle tick. *)
+          Unix.sleepf 1.2;
           (* Post-run scrape: by now every org has submitted, so the full
              gauge set must be live. *)
           let metrics_file = Filename.concat dir "metrics.json" in

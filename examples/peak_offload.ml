@@ -1,18 +1,25 @@
-(* Peak offloading — the motivating scenario of the paper's introduction:
-   organizations federate so that peak loads can spill onto partners' idle
-   machines.
+(* Peak offloading — the motivating scenario of the paper's introduction,
+   run through the real federation subsystem (lib/federation).
 
    Org 0 ("bursty lab") is idle most of the time but submits a large batch
-   every 200 s; org 1 ("steady lab") runs a constant trickle.  With separate
-   clusters the bursty lab's batch queues behind its own 2 machines; in the
-   federation it borrows the steady lab's idle capacity — and the
-   Shapley-fair scheduler later pays the steady lab back with priority.
+   every 200 s; org 1 ("steady lab") runs a constant trickle.  The two labs
+   pool their clusters, and on top of the pooling the steady lab *lends*
+   one of its machines to the bursty lab for the duration of each burst
+   (a Lend/Reclaim endowment cycle): from the lend instant that machine's
+   capacity counts toward the bursty lab in every coalition value, so the
+   Shapley-fair scheduler sees the loan and prices it into psi.
+
+   Three runs are compared:
+   - each lab alone on its own 2 machines (the standalone floor);
+   - the static consortium (pooled, no endowment events);
+   - the federated consortium with the lend/reclaim script applied.
 
    Run with:  dune exec examples/peak_offload.exe *)
 
 open Core
 
 let horizon = 1_000
+let period = 200
 
 let bursty_jobs =
   (* Every 200 s: a batch of 12 jobs x 20 s on only 2 own machines. *)
@@ -21,7 +28,7 @@ let bursty_jobs =
       List.init 12 (fun i ->
           Job.make ~org:0
             ~index:((batch * 12) + i)
-            ~release:(batch * 200) ~size:20 ()))
+            ~release:(batch * period) ~size:20 ()))
     [ 0; 1; 2; 3; 4 ]
 
 let steady_jobs =
@@ -30,6 +37,26 @@ let steady_jobs =
   List.init (horizon / 25) (fun i ->
       Job.make ~org:1 ~index:i ~release:(i * 25) ~size:25 ())
 
+(* The endowment script: at each burst the steady lab lends machine 3 (the
+   second of its home block) to the bursty lab, reclaiming it at
+   mid-cycle, once the batch has drained.  Global machine ids follow the
+   flattened org-contiguous order: 0-1 are org 0's, 2-3 are org 1's. *)
+let federation =
+  Federation.Model.scripted
+    (List.concat_map
+       (fun batch ->
+         [
+           {
+             Federation.Event.time = batch * period;
+             event = Federation.Event.Lend { org = 1; to_org = 0; machines = [ 3 ] };
+           };
+           {
+             Federation.Event.time = (batch * period) + (period / 2);
+             event = Federation.Event.Reclaim { org = 1; machines = [ 3 ] };
+           };
+         ])
+       [ 0; 1; 2; 3; 4 ])
+
 let flow_of_schedule result (instance : Instance.t) =
   Utility.Metrics.flow_time result.Sim.Driver.schedule
     ~all_jobs:(Array.to_list instance.Instance.jobs)
@@ -37,42 +64,59 @@ let flow_of_schedule result (instance : Instance.t) =
 
 let () =
   (* Alone: each org schedules only its own jobs on its own machines. *)
-  let alone org machines jobs =
-    let instance = Instance.make ~machines ~jobs ~horizon in
+  let alone jobs =
+    let instance =
+      Instance.make ~machines:[| 2 |]
+        ~jobs:(List.map (fun j -> { j with Job.org = 0 }) jobs)
+        ~horizon
+    in
     let r =
       Sim.Driver.run ~instance
         ~rng:(Fstats.Rng.create ~seed:1)
         (Algorithms.Registry.find_exn "fifo")
     in
-    (Sim.Driver.utilities r).(org)
+    (Sim.Driver.utilities r).(0)
   in
-  let alone0 = alone 0 [| 2 |] (List.map (fun j -> { j with Job.org = 0 }) bursty_jobs) in
-  let alone1 = alone 0 [| 2 |] (List.map (fun j -> { j with Job.org = 0 }) steady_jobs) in
+  let alone0 = alone bursty_jobs in
+  let alone1 = alone steady_jobs in
 
-  (* Federated under the Shapley-fair scheduler. *)
+  (* Pooled under the Shapley-fair scheduler, with and without the lending
+     script. *)
   let instance =
     Instance.make ~machines:[| 2; 2 |] ~jobs:(bursty_jobs @ steady_jobs)
       ~horizon
   in
-  let fair =
-    Sim.Driver.run ~instance
+  let fair ?(federation = []) () =
+    Sim.Driver.run ~federation ~instance
       ~rng:(Fstats.Rng.create ~seed:1)
       (Algorithms.Registry.find_exn "ref")
   in
-  let u = Sim.Driver.utilities fair in
+  let static = fair () in
+  let federated = fair ~federation () in
+  let us = Sim.Driver.utilities static in
+  let uf = Sim.Driver.utilities federated in
 
-  Format.printf "Peak-offloading federation (horizon %d s)@.@." horizon;
-  Format.printf "  %-22s %14s %14s@." "" "bursty lab" "steady lab";
-  Format.printf "  %-22s %14.0f %14.0f@." "psi alone" alone0 alone1;
-  Format.printf "  %-22s %14.0f %14.0f@." "psi federated (REF)" u.(0) u.(1);
-  Format.printf "  %-22s %13.1f%% %13.1f%%@." "gain"
-    ((u.(0) -. alone0) /. alone0 *. 100.)
-    ((u.(1) -. alone1) /. alone1 *. 100.);
+  let joins, leaves, lends, reclaims = Federation.Model.count_kind federation in
+  Format.printf "Peak-offloading federation (horizon %d s)@." horizon;
+  Format.printf
+    "endowment script: %d events (%d join, %d leave, %d lend, %d reclaim)@.@."
+    (List.length federation) joins leaves lends reclaims;
+  Format.printf "  %-26s %14s %14s@." "" "bursty lab" "steady lab";
+  Format.printf "  %-26s %14.0f %14.0f@." "psi alone" alone0 alone1;
+  Format.printf "  %-26s %14.0f %14.0f@." "psi pooled (REF)" us.(0) us.(1);
+  Format.printf "  %-26s %14.0f %14.0f@." "psi federated (REF + lend)" uf.(0)
+    uf.(1);
+  Format.printf "  %-26s %13.1f%% %13.1f%%@." "gain vs alone"
+    ((uf.(0) -. alone0) /. alone0 *. 100.)
+    ((uf.(1) -. alone1) /. alone1 *. 100.);
   Format.printf
     "@.Individual rationality holds: the bursty lab's batches finish sooner \
-     on@.borrowed machines, while the steady lab — which is never queued \
-     when alone —@.loses nothing, because the fair scheduler gives it \
-     priority whenever it has@.work of its own.@.@.";
-  let flow = flow_of_schedule fair instance in
+     on@.borrowed machines, while the steady lab — never queued when alone \
+     —@.gives up only the sliver of psi the lend windows attribute to the \
+     borrower:@.from each lend instant machine 3's capacity counts toward \
+     the bursty lab in@.every coalition value, so the fair scheduler \
+     prices the loan into psi@.instead of treating the steady lab as the \
+     idle donor.@.@.";
+  let flow = flow_of_schedule federated instance in
   Format.printf "Federated total flow time: %d s; utilization: %.1f%%@." flow
-    (100. *. Schedule.utilization fair.Sim.Driver.schedule ~upto:horizon)
+    (100. *. Schedule.utilization federated.Sim.Driver.schedule ~upto:horizon)

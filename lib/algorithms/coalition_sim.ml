@@ -6,6 +6,12 @@ type t = {
   cluster : Cluster.t;
   trackers : Utility.Tracker.t array;  (* indexed by global org id *)
   local_of_global : int array;  (* global machine id -> local id, or -1 *)
+  (* Federated mode: the sim hosts the full global machine universe under
+     identity ids and replays the endowment stream against its own
+     ownership state, so which machines the coalition can use varies with
+     time (a machine is visible iff its *current* owner is a member).
+     [None] = the static consortium of the paper. *)
+  ownership : Federation.Event.Ownership.t option;
   pending : Instant.t;
   engine : Job.t Kernel.Engine.t;
   model : Job.t Kernel.Engine.model;
@@ -15,56 +21,146 @@ type t = {
   mutable current_select : t -> time:int -> int;
 }
 
-let create ?max_restarts ~instance ~members () =
+(* Retire one machine from a federated sim's cluster, retracting the killed
+   piece from ψsp like a fault does (Theorem 4.1), and fold the kill into
+   the endowment outcome. *)
+let sim_retire t ~time (acc : Kernel.Engine.endow_outcome) m =
+  match Cluster.retire_machine t.cluster ~time m with
+  | None -> acc
+  | Some k ->
+      Utility.Tracker.on_abort
+        t.trackers.(k.Cluster.k_job.Job.org)
+        ~key:k.Cluster.k_job.Job.index;
+      {
+        Kernel.Engine.e_kills = acc.Kernel.Engine.e_kills + 1;
+        e_wasted = acc.Kernel.Engine.e_wasted + k.Cluster.k_wasted;
+        e_abandoned =
+          (acc.Kernel.Engine.e_abandoned
+          + if k.Cluster.k_resubmitted then 0 else 1);
+      }
+
+(* Replay one endowment event against the sim's own ownership state and
+   mirror the changes into its cluster.  The invariant is: a machine is
+   present in the sim's cluster iff it is present in the consortium and its
+   current owner is a member — so a transfer in/out of the member set
+   becomes an admit/retire here, and everything else is invisible. *)
+let apply_endow_global t own ~time ev =
+  match Federation.Event.Ownership.apply own ev with
+  | Error msg -> invalid_arg ("Coalition_sim: bad endowment event: " ^ msg)
+  | Ok changes ->
+      List.fold_left
+        (fun acc change ->
+          match change with
+          | Federation.Event.Ownership.Activate u ->
+              if Shapley.Coalition.mem t.members u then
+                Cluster.resume_org t.cluster u;
+              acc
+          | Federation.Event.Ownership.Deactivate u ->
+              if Shapley.Coalition.mem t.members u then
+                Cluster.suspend_org t.cluster u;
+              acc
+          | Federation.Event.Ownership.Admit { machine = m; org } ->
+              if Shapley.Coalition.mem t.members org then
+                Cluster.admit_machine t.cluster ~org m;
+              acc
+          | Federation.Event.Ownership.Retire m ->
+              if Cluster.machine_present t.cluster m then sim_retire t ~time acc m
+              else acc
+          | Federation.Event.Ownership.Transfer { machine = m; org } ->
+              let visible = Cluster.machine_present t.cluster m in
+              let member = Shapley.Coalition.mem t.members org in
+              if visible && member then begin
+                Cluster.transfer_machine t.cluster ~org m;
+                acc
+              end
+              else if visible then sim_retire t ~time acc m
+              else if member then begin
+                Cluster.admit_machine t.cluster ~org m;
+                acc
+              end
+              else acc)
+        Kernel.Engine.no_endow_effect changes
+
+let global_homes instance =
+  let norgs = Instance.organizations instance in
+  let acc = ref [] in
+  for u = norgs - 1 downto 0 do
+    acc :=
+      List.rev_append (List.init instance.Instance.machines.(u) (fun _ -> u))
+        !acc
+  done;
+  Array.of_list !acc
+
+let create ?max_restarts ?(federated = false) ~instance ~members () =
   if members = Shapley.Coalition.empty then
     invalid_arg "Coalition_sim.create: empty coalition";
   let norgs = Instance.organizations instance in
+  let nglobal = Array.fold_left ( + ) 0 instance.Instance.machines in
   let machine_owners =
-    Shapley.Coalition.fold
-      (fun u acc ->
-        List.rev_append
-          (List.init instance.Instance.machines.(u) (fun _ -> u))
-          acc)
-      members []
-    |> List.rev |> Array.of_list
+    if federated then global_homes instance
+    else
+      Shapley.Coalition.fold
+        (fun u acc ->
+          List.rev_append
+            (List.init instance.Instance.machines.(u) (fun _ -> u))
+            acc)
+        members []
+      |> List.rev |> Array.of_list
   in
   if Array.length machine_owners = 0 then
     invalid_arg "Coalition_sim.create: coalition owns no machine";
   (* Related machines: carry over the members' machine speeds, flattened in
-     the same member-ascending order as [machine_owners]. *)
+     the same member-ascending order as [machine_owners] (federated mode
+     hosts everyone's machines, so the global array carries over as is). *)
   let speeds =
-    match instance.Instance.speeds with
-    | None -> None
-    | Some _ ->
-        Some
-          (Shapley.Coalition.fold
-             (fun u acc ->
-               Array.to_list (Instance.speeds_of_org instance u) :: acc)
-             members []
-          |> List.rev |> List.concat |> Array.of_list)
+    if federated then instance.Instance.speeds
+    else
+      match instance.Instance.speeds with
+      | None -> None
+      | Some _ ->
+          Some
+            (Shapley.Coalition.fold
+               (fun u acc ->
+                 Array.to_list (Instance.speeds_of_org instance u) :: acc)
+               members []
+            |> List.rev |> List.concat |> Array.of_list)
   in
   (* The driver lays machines out org-contiguously ascending; a coalition
      keeps the member orgs' blocks in the same order, so a global machine id
-     maps to (member prefix count) + (slot within the owner's block). *)
-  let nglobal = Array.fold_left ( + ) 0 instance.Instance.machines in
-  let local_of_global = Array.make nglobal (-1) in
-  let next_local = ref 0 and next_global = ref 0 in
-  for u = 0 to norgs - 1 do
-    let c = instance.Instance.machines.(u) in
-    if Shapley.Coalition.mem members u then begin
-      for s = 0 to c - 1 do
-        local_of_global.(!next_global + s) <- !next_local + s
+     maps to (member prefix count) + (slot within the owner's block).  In
+     federated mode the map is the identity: ownership moves at runtime, so
+     the compile-time compaction is impossible — non-member machines are
+     instead kept absent. *)
+  let local_of_global =
+    if federated then Array.init nglobal Fun.id
+    else begin
+      let local_of_global = Array.make nglobal (-1) in
+      let next_local = ref 0 and next_global = ref 0 in
+      for u = 0 to norgs - 1 do
+        let c = instance.Instance.machines.(u) in
+        if Shapley.Coalition.mem members u then begin
+          for s = 0 to c - 1 do
+            local_of_global.(!next_global + s) <- !next_local + s
+          done;
+          next_local := !next_local + c
+        end;
+        next_global := !next_global + c
       done;
-      next_local := !next_local + c
-    end;
-    next_global := !next_global + c
-  done;
+      local_of_global
+    end
+  in
   let rec t =
     {
       members;
       cluster = Cluster.create ?speeds ?max_restarts ~machine_owners ~norgs ();
       trackers = Array.init norgs (fun _ -> Utility.Tracker.create ());
       local_of_global;
+      ownership =
+        (if federated then
+           Some
+             (Federation.Event.Ownership.create ~homes:machine_owners
+                ~orgs:norgs)
+         else None);
       pending = Instant.create ~norgs;
       engine =
         Kernel.Engine.create
@@ -103,6 +199,11 @@ let create ?max_restarts ~instance ~members () =
               | Faults.Event.Recover m ->
                   ignore (Cluster.recover_machine t.cluster m);
                   Kernel.Engine.Applied);
+          apply_endow =
+            (fun ~time ev ->
+              match t.ownership with
+              | None -> Kernel.Engine.no_endow_effect
+              | Some own -> apply_endow_global t own ~time ev);
           admit = (fun ~time:_ job -> Cluster.release t.cluster job);
           round =
             (fun ~time ->
@@ -125,6 +226,13 @@ let create ?max_restarts ~instance ~members () =
           invalid_arg "Coalition_sim: scheduling round without a select rule");
     }
   in
+  if federated then
+    (* Non-members' machines start absent; lends make them appear. *)
+    Array.iteri
+      (fun m h ->
+        if not (Shapley.Coalition.mem members h) then
+          ignore (Cluster.retire_machine t.cluster ~time:0 m))
+      machine_owners;
   t
 
 let members t = t.members
@@ -148,6 +256,15 @@ let add_fault t (ev : Faults.Event.timed) =
       | Faults.Event.Recover _ -> Faults.Event.Recover m
     in
     Kernel.Engine.push_fault t.engine { ev with Faults.Event.event }
+
+let add_endow t (ev : Federation.Event.timed) =
+  if t.ownership = None then
+    invalid_arg "Coalition_sim.add_endow: sim is not federated";
+  Kernel.Engine.push_endow t.engine ev
+
+let federated t = t.ownership <> None
+
+let visible_machines t = Cluster.present_count t.cluster
 
 let next_event t = Kernel.Engine.next_event t.engine t.model
 

@@ -20,12 +20,25 @@ open Core
 type t
 
 val create :
-  ?max_restarts:int -> instance:Instance.t -> members:Shapley.Coalition.t ->
+  ?max_restarts:int ->
+  ?federated:bool ->
+  instance:Instance.t ->
+  members:Shapley.Coalition.t ->
   unit -> t
 (** Machines of the member organizations only; machine owners preserved.
     [max_restarts] bounds per-job resubmissions after kills, as in
     {!Core.Cluster.create}.
-    @raise Invalid_argument if the coalition is empty or owns no machine. *)
+
+    [federated] (default [false]) prepares the simulator for a live
+    endowment stream: it hosts the {e full} global machine universe under
+    identity machine ids, with non-members' machines absent, and replays
+    events handed over via {!add_endow} against its own copy of the
+    consortium ownership state — so the machine set backing the coalition's
+    value tracks the {e current} owners, not the static endowment.  A
+    federated simulator is valid even for coalitions that own no machine
+    right now (a lend can endow them later).
+    @raise Invalid_argument if the coalition is empty, or (non-federated)
+    owns no machine. *)
 
 val members : t -> Shapley.Coalition.t
 val now : t -> int
@@ -48,6 +61,22 @@ val add_fault : t -> Faults.Event.timed -> unit
     retracted — lost work counts for nobody) and resubmits it at the head
     of the owner's queue; a recovery returns the machine to the free
     pool.  @raise Invalid_argument on an out-of-range machine id. *)
+
+val add_endow : t -> Federation.Event.timed -> unit
+(** Hand over an endowment event (global machine ids; no translation —
+    federated simulators host the full universe).  Events must arrive in
+    non-decreasing time order, never earlier than [now]; the kernel applies
+    them between faults and releases.  Machines transferred to a member
+    appear in the free pool; machines transferred away or retired vanish,
+    killing their running job exactly like a fault (the ψsp piece is
+    retracted); a member org leaving is suspended, rejoining resumed.
+    @raise Invalid_argument if the simulator was not created [~federated]. *)
+
+val federated : t -> bool
+
+val visible_machines : t -> int
+(** Machines currently usable by this coalition (present in its cluster) —
+    in static mode a constant, in federated mode k(t)-dependent. *)
 
 val next_event : t -> int option
 (** Earliest pending event: the front of the release backlog, the first

@@ -16,13 +16,14 @@ type t = {
   on_complete : view -> time:int -> Cluster.completion -> unit;
   on_kill : view -> time:int -> Cluster.kill -> unit;
   on_fault : view -> time:int -> Faults.Event.t -> unit;
+  on_endow : view -> time:int -> Federation.Event.t -> unit;
   stats : (unit -> Kernel.Stats.t) option;
 }
 
 let nop3 _ ~time:_ _ = ()
 
 let make ~name ?pick_machine ?on_release ?on_start ?on_complete ?on_kill
-    ?on_fault ?stats ~select () =
+    ?on_fault ?on_endow ?stats ~select () =
   {
     name;
     select;
@@ -33,6 +34,7 @@ let make ~name ?pick_machine ?on_release ?on_start ?on_complete ?on_kill
     on_complete = Option.value on_complete ~default:nop3;
     on_kill = Option.value on_kill ~default:nop3;
     on_fault = Option.value on_fault ~default:nop3;
+    on_endow = Option.value on_endow ~default:nop3;
     stats;
   }
 

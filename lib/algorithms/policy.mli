@@ -44,6 +44,12 @@ type t = {
       (** A machine went down or came back up (fired after {!on_kill} for
           the casualty, if any).  Policies running internal what-if
           simulations (REF, RAND) mirror the capacity change here. *)
+  on_endow : view -> time:int -> Federation.Event.t -> unit;
+      (** An endowment event moved consortium membership or machine
+          ownership (fired after the driver updated the cluster and
+          retracted any killed pieces).  Policies running internal what-if
+          simulations broadcast the event to them here, so every coalition
+          value tracks the live org set k(t). *)
   stats : (unit -> Kernel.Stats.t) option;
       (** Internal instrumentation of policies that run their own kernels
           (REF's sub-coalition simulations, its event-heap pops); merged
@@ -58,6 +64,7 @@ val make :
   ?on_complete:(view -> time:int -> Cluster.completion -> unit) ->
   ?on_kill:(view -> time:int -> Cluster.kill -> unit) ->
   ?on_fault:(view -> time:int -> Faults.Event.t -> unit) ->
+  ?on_endow:(view -> time:int -> Federation.Event.t -> unit) ->
   ?stats:(unit -> Kernel.Stats.t) ->
   select:(view -> time:int -> int) ->
   unit ->

@@ -35,30 +35,53 @@ let cached_v2 cs ~time =
   end;
   ((cs.c_a * time) + cs.c_b) * time + cs.c_c
 
-let make_policy ?(value_cache = true) ~name ~n instance ~rng =
+(* Live FPRAS budget under endowment churn: n joining orders over the
+   construction-time player count k.  Orgs can only leave and rejoin, never
+   exceed k, and Hoeffding's n is non-decreasing in the player count, so
+   the construction-time plan stays a valid ε/δ budget for every live org
+   set k(t) ⊆ k; this gauge re-derives and publishes the count the live
+   set actually requires, so a scrape shows the (smaller) budget k(t)
+   would need next to the planned one. *)
+let m_live_budget = Obs.Metrics.gauge "rand.live_budget"
+
+let make_policy ?(value_cache = true) ?guarantee ~name ~n instance ~rng =
   let rng = Fstats.Rng.split rng in
   let k = Instance.organizations instance in
+  let federated = Federation.Mode.enabled () in
   let plan = Shapley.Sample.plan ~rng ~players:k ~n in
   Obs.Metrics.add m_orders_sampled n;
   let has_machines mask =
     Coalition.fold (fun u acc -> acc + instance.Instance.machines.(u)) mask 0
     > 0
   in
-  (* One simplified schedule per distinct sampled coalition (machine-less
-     coalitions have value 0 and need no simulation). *)
+  (* One simplified schedule per distinct sampled coalition.  Statically a
+     machine-less coalition has value 0 and needs no simulation; under
+     endowment churn any coalition can be lent machines later, so every
+     distinct sampled mask gets a (federated) simulator. *)
   let sims : (Coalition.t, cached_sim) Hashtbl.t = Hashtbl.create 64 in
   Array.iter
     (fun mask ->
-      if mask <> Coalition.empty && has_machines mask then
+      if mask <> Coalition.empty && (federated || has_machines mask) then
         Hashtbl.replace sims mask
           {
-            sim = Coalition_sim.create ~instance ~members:mask ();
+            sim = Coalition_sim.create ~federated ~instance ~members:mask ();
             c_epoch = min_int;
             c_a = 0;
             c_b = 0;
             c_c = 0;
           })
     plan.Shapley.Sample.distinct;
+  let live_orgs = ref k in
+  let publish_live_budget () =
+    match guarantee with
+    | Some (epsilon, confidence) when federated && !live_orgs > 0 ->
+        Obs.Metrics.set m_live_budget
+          (float_of_int
+             (Shapley.Sample.sample_count ~players:!live_orgs ~epsilon
+                ~confidence))
+    | _ -> ()
+  in
+  publish_live_budget ();
   let pending = Instant.create ~norgs:k in
   let phi_stamp = ref min_int in
   let phi_memo = ref [||] in
@@ -95,6 +118,21 @@ let make_policy ?(value_cache = true) ~name ~n instance ~rng =
         (fun _mask cs ->
           Coalition_sim.add_fault cs.sim { Faults.Event.time; event })
         sims)
+    ~on_endow:(fun _view ~time event ->
+      if federated then begin
+        (match event with
+        | Federation.Event.Join _ -> incr live_orgs
+        | Federation.Event.Leave _ -> decr live_orgs
+        | Federation.Event.Lend _ | Federation.Event.Reclaim _ -> ());
+        publish_live_budget ();
+        (* The event can retire machines mid-instant; drop the φ memo so
+           the estimate re-derives after the sims replay it. *)
+        phi_stamp := min_int;
+        Hashtbl.iter
+          (fun _mask cs ->
+            Coalition_sim.add_endow cs.sim { Federation.Event.time; event })
+          sims
+      end)
     ~on_start:(fun _view ~time p ->
       Instant.bump pending ~time ~org:p.Schedule.job.Job.org)
     ~select:(fun view ~time ->
@@ -122,6 +160,6 @@ let rand75 instance ~rng = rand ~n:75 instance ~rng
 let rand_with_guarantee ?value_cache ~epsilon ~confidence instance ~rng =
   let k = Instance.organizations instance in
   let n = Shapley.Sample.sample_count ~players:k ~epsilon ~confidence in
-  make_policy ?value_cache
+  make_policy ?value_cache ~guarantee:(epsilon, confidence)
     ~name:(Printf.sprintf "rand-fpras-%d" n)
     ~n instance ~rng

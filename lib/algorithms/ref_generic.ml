@@ -105,6 +105,9 @@ let create_state ~utility ?workers ?max_restarts instance =
                   | Faults.Event.Recover m ->
                       ignore (Cluster.recover_machine sim.cluster m);
                       Kernel.Engine.Applied);
+              (* The generic REF engine predates the federation layer and
+                 keeps the static consortium. *)
+              apply_endow = (fun ~time:_ _ -> Kernel.Engine.no_endow_effect);
               admit = (fun ~time:_ job -> Cluster.release sim.cluster job);
               round = (fun ~time -> sim.round_body ~time);
             };

@@ -40,11 +40,21 @@ type internals = {
   k : int;
   workers : int;
   vc_on : bool;  (* cross-instant coalition-value cache enabled *)
+  federated : bool;
+      (* endowment churn in play (Federation.Mode at construction): sims
+         exist for every mask, events are broadcast, and the top-level value
+         is computed over the live consortium instead of the grand mask *)
+  mutable consortium : Coalition.t;
+      (* the currently active organizations k(t); equals [grand] until a
+         Leave arrives.  Only mutated by the on_endow handler (driver
+         domain), only read between instants — no synchronization needed. *)
   grand : Coalition.t;
   sims : Coalition_sim.t option array;
       (* indexed by mask; None for the grand coalition (the driver's own
-         cluster plays that role), the empty mask, and machine-less
-         coalitions (their value is identically 0: nothing ever runs). *)
+         cluster plays that role), the empty mask, and — in static mode —
+         machine-less coalitions (their value is identically 0: nothing
+         ever runs).  Federated mode keeps sims for every proper mask: a
+         lend can endow a machine-less coalition at any instant. *)
   all_masks : int array;  (* simulated masks, ascending *)
   by_size : int array array;
       (* by_size.(s-1): simulated masks of size s, ascending — grouped at
@@ -96,6 +106,7 @@ let create_internals ?(concept = Shapley_value) ?workers ?max_restarts
   if k > 16 then
     invalid_arg "Reference: more than 16 organizations is impractical (2^k \
                  schedules)";
+  let federated = Federation.Mode.enabled () in
   let grand = Coalition.grand ~players:k in
   let nmasks = grand + 1 in
   let size_tbl = Array.make nmasks 0 in
@@ -109,9 +120,11 @@ let create_internals ?(concept = Shapley_value) ?workers ?max_restarts
   let sims = Array.make nmasks None in
   let n_sims = ref 0 in
   for mask = 1 to grand - 1 do
-    if has_machines mask then begin
+    if federated || has_machines mask then begin
       sims.(mask) <-
-        Some (Coalition_sim.create ?max_restarts ~instance ~members:mask ());
+        Some
+          (Coalition_sim.create ?max_restarts ~federated ~instance
+             ~members:mask ());
       incr n_sims
     end
   done;
@@ -175,6 +188,8 @@ let create_internals ?(concept = Shapley_value) ?workers ?max_restarts
     k;
     workers;
     vc_on = value_cache;
+    federated;
+    consortium = grand;
     grand;
     sims;
     all_masks;
@@ -242,13 +257,17 @@ let v2_sim st ~mask ~time =
 
 (* Shapley/Banzhaf contributions (×2) of the members of [mask], from the
    current sub-coalition values; [v2_top] supplies v2 of [mask] itself (for
-   the grand coalition it comes from the driver's trackers, not a sim).
+   the top-level call it comes from the driver's trackers, not a sim).
+   [slot] picks the memo array; it differs from [mask] only for the
+   federated top-level computation, which runs over the live consortium but
+   must not clobber that mask's own sim-side memo (their v2_top differ: the
+   real cluster's value vs the what-if schedule's).
    Allocation-free inner loop: one float array out, no closures per subset,
    weights and popcounts from tables. *)
-let phi2_of st ~mask ~time ~v2_top =
+let phi2_of st ~slot ~mask ~time ~v2_top =
   (* Preallocated per-mask scratch (construction time), zeroed and refilled
      in place: the inner loop allocates nothing. *)
-  let phi = st.phi2_val.(mask) in
+  let phi = st.phi2_val.(slot) in
   Array.fill phi 0 st.k 0.;
   let w_tbl = st.weights.(st.size_tbl.(mask)) in
   let add_subset sub =
@@ -293,17 +312,18 @@ let phi2_of st ~mask ~time ~v2_top =
    change within an instant (a job started now has no executed part yet).
    Each slot is only ever touched by the domain scheduling that mask, so
    the per-mask arrays need no locking. *)
-let phi2_cached st ~mask ~time ~v2_top =
-  if st.phi2_stamp.(mask) <> time then begin
-    phi2_of st ~mask ~time ~v2_top;
-    st.phi2_stamp.(mask) <- time
+let phi2_cached st ?slot ~mask ~time ~v2_top () =
+  let slot = Option.value slot ~default:mask in
+  if st.phi2_stamp.(slot) <> time then begin
+    phi2_of st ~slot ~mask ~time ~v2_top;
+    st.phi2_stamp.(slot) <- time
   end;
-  st.phi2_val.(mask)
+  st.phi2_val.(slot)
 
 (* Selection rule inside a simulated coalition: argmax (φ − ψ) among waiting
    members, ψ evaluated with the pending (+1 per started part) convention. *)
 let select_in_sim st ~mask sim ~time =
-  let phi2 = phi2_cached st ~mask ~time ~v2_top:(v2_sim st ~mask ~time) in
+  let phi2 = phi2_cached st ~mask ~time ~v2_top:(v2_sim st ~mask ~time) () in
   let score u =
     let psi2 =
       Coalition_sim.utility_scaled sim ~org:u ~at:time
@@ -498,9 +518,28 @@ let grand_v2 (view : Policy.view) ~time =
     (fun acc tracker -> acc + Utility.Tracker.value_scaled tracker ~at:time)
     0 view.Policy.trackers
 
+(* The top of the recursion: in static mode the grand coalition, in
+   federated mode the live consortium k(t) — suspended organizations drop
+   out of the player set, so both the characteristic values and the weight
+   tables re-derive from the active org count.  Its value comes from the
+   real cluster's trackers (Fig. 1 uses the actual schedule for the
+   deciding coalition), restricted to the active members. *)
+let top_v2 st (view : Policy.view) ~time =
+  if st.consortium = st.grand then grand_v2 view ~time
+  else
+    Coalition.fold
+      (fun u acc ->
+        acc + Utility.Tracker.value_scaled view.Policy.trackers.(u) ~at:time)
+      st.consortium 0
+
+let top_phi2 st ~view ~time =
+  phi2_cached st ~slot:st.grand ~mask:st.consortium ~time
+    ~v2_top:(top_v2 st view ~time)
+    ()
+
 let contributions_scaled st ~view ~time =
   advance_all st ~time;
-  phi2_cached st ~mask:st.grand ~time ~v2_top:(grand_v2 view ~time)
+  top_phi2 st ~view ~time
 
 let coalition_value_scaled st ~mask ~time =
   advance_all st ~time;
@@ -530,11 +569,14 @@ let make_with_internals ?(name = "ref") ?concept ?workers ?max_restarts
       ~on_fault:(fun _view ~time event ->
         (* Mirror the capacity change into every what-if schedule whose
            coalition includes the machine's owner; others are unaffected
-           (they never had the machine). *)
+           (they never had the machine).  Under endowment churn the owner
+           is time-varying and differs per sim, so the static home map
+           cannot route: broadcast, and let each sim's own ownership state
+           decide whether the machine is visible. *)
         let owner = st.m_owner.(Faults.Event.machine event) in
         Array.iter
           (fun mask ->
-            if Coalition.mem mask owner then
+            if st.federated || Coalition.mem mask owner then
               match st.sims.(mask) with
               | Some sim ->
                   Coalition_sim.add_fault sim { Faults.Event.time; event };
@@ -542,6 +584,33 @@ let make_with_internals ?(name = "ref") ?concept ?workers ?max_restarts
                     mask
               | None -> ())
           st.all_masks)
+      ~on_endow:(fun _view ~time event ->
+        if st.federated then begin
+          (match event with
+          | Federation.Event.Join { org; _ } ->
+              st.consortium <- Coalition.add st.consortium org
+          | Federation.Event.Leave { org } ->
+              st.consortium <- Coalition.remove st.consortium org
+          | Federation.Event.Lend _ | Federation.Event.Reclaim _ -> ());
+          (* The event can retire machines and kill their jobs at this very
+             instant, and it may change the consortium mask the top-level φ
+             walks over; drop the per-instant memo stamps so every value is
+             re-derived after the sims replay the event.  Recomputation is
+             bit-exact (the epoch-keyed polynomial cache still short-cuts
+             unchanged sims), so this only costs time, and endowments are
+             rare next to completions. *)
+          Array.fill st.v2_stamp 0 (Array.length st.v2_stamp) min_int;
+          Array.fill st.phi2_stamp 0 (Array.length st.phi2_stamp) min_int;
+          Array.iter
+            (fun mask ->
+              match st.sims.(mask) with
+              | Some sim ->
+                  Coalition_sim.add_endow sim { Federation.Event.time; event };
+                  heap_push st ~time:(Stdlib.max time (Coalition_sim.now sim))
+                    mask
+              | None -> ())
+            st.all_masks
+        end)
       ~on_start:(fun _view ~time p ->
         Instant.bump st.pending ~time ~org:p.Schedule.job.Job.org)
       ~stats:(fun () ->
@@ -554,9 +623,7 @@ let make_with_internals ?(name = "ref") ?concept ?workers ?max_restarts
              [ st.own_stats ] st.all_masks))
       ~select:(fun view ~time ->
         advance_all st ~time;
-        let phi2 =
-          phi2_cached st ~mask:st.grand ~time ~v2_top:(grand_v2 view ~time)
-        in
+        let phi2 = top_phi2 st ~view ~time in
         let score u =
           let psi2 =
             Policy.utility_plus_pending_scaled view ~pending:st.pending

@@ -34,6 +34,15 @@ type t = {
   (* Fault state. *)
   up : bool array;
   mutable down_count : int;
+  (* Federation state: a machine retired from the consortium is [present =
+     false] — out of the free pool and hosting nothing — until readmitted;
+     a suspended organization keeps its queue but is invisible to
+     scheduling ([waiting_total] counts only active orgs' jobs).  The
+     static seed has everything present and active, so the fields are
+     inert unless an endowment stream drives them. *)
+  present : bool array;
+  mutable absent_count : int;
+  active : bool array;
   max_restarts : int option;
   restarts : (int * int, int) Hashtbl.t; (* job id -> kills so far *)
   mutable killed : Schedule.placement list;
@@ -81,6 +90,9 @@ let create ?(record = false) ?speeds ?max_restarts ~machine_owners ~norgs () =
     placements = [];
     up = Array.make m true;
     down_count = 0;
+    present = Array.make m true;
+    absent_count = 0;
+    active = Array.make norgs true;
     max_restarts;
     restarts = Hashtbl.create 8;
     killed = [];
@@ -124,7 +136,7 @@ let release t (job : Job.t) =
   if job.Job.org < 0 || job.Job.org >= t.norgs then
     invalid_arg "Cluster.release: organization out of range";
   Queue.add job t.queues.(job.Job.org);
-  t.waiting_total <- t.waiting_total + 1
+  if t.active.(job.Job.org) then t.waiting_total <- t.waiting_total + 1
 
 let next_completion t = Heap.min_prio t.heap
 
@@ -150,8 +162,10 @@ let has_waiting t = t.waiting_total > 0
 let waiting_orgs t =
   let rec go u acc =
     if u < 0 then acc
-    else if Queue.is_empty t.queues.(u) && t.resubmitted.(u) = [] then
-      go (u - 1) acc
+    else if
+      (not t.active.(u))
+      || (Queue.is_empty t.queues.(u) && t.resubmitted.(u) = [])
+    then go (u - 1) acc
     else go (u - 1) (u :: acc)
   in
   go (t.norgs - 1) []
@@ -183,6 +197,8 @@ let take_free_machine t = function
       find 0
 
 let start_front t ~org ~time ?machine () =
+  if not t.active.(org) then
+    invalid_arg "Cluster.start_front: organization suspended";
   if Queue.is_empty t.queues.(org) && t.resubmitted.(org) = [] then
     invalid_arg "Cluster.start_front: empty queue";
   let machine = take_free_machine t machine in
@@ -237,6 +253,56 @@ let rec insert_by_index (job : Job.t) = function
   | j :: _ as rest when job.Job.index < j.Job.index -> job :: rest
   | j :: rest -> j :: insert_by_index job rest
 
+(* Kill whatever job machine [m] currently hosts (shared by machine faults
+   and consortium retirements).  The caller has already taken [m] out of
+   circulation (marked down or absent) and checked it is not free. *)
+let kill_running t ~time ~what m =
+  match Heap.remove_first t.heap (fun r -> r.r_machine = m) with
+  | None -> None (* out of circulation before it ever hosted the next job *)
+  | Some (_finish, r) ->
+      let job = r.r_job in
+      let org = job.Job.org in
+      if time < r.r_start then
+        invalid_arg (what ^ ": time before the job's start");
+      t.running_per_org.(org) <- t.running_per_org.(org) - 1;
+      let wasted = time - r.r_start in
+      t.wasted_work.(org) <- t.wasted_work.(org) + wasted;
+      t.killed_count <- t.killed_count + 1;
+      if t.record then begin
+        (* Replace the optimistic full-duration placement recorded at
+           start with a truncated killed segment (dropped entirely when
+           the kill lands on the start instant: nothing ran). *)
+        t.placements <-
+          List.filter
+            (fun (p : Schedule.placement) ->
+              not (Job.equal p.Schedule.job job && p.Schedule.start = r.r_start))
+            t.placements;
+        if wasted > 0 then
+          t.killed <-
+            Schedule.placement ~duration:wasted ~job ~start:r.r_start
+              ~machine:m ()
+            :: t.killed
+      end;
+      let id = Job.id job in
+      let kills = 1 + Option.value (Hashtbl.find_opt t.restarts id) ~default:0 in
+      Hashtbl.replace t.restarts id kills;
+      let resubmit =
+        match t.max_restarts with None -> true | Some r -> kills <= r
+      in
+      if resubmit then begin
+        t.resubmitted.(org) <- insert_by_index job t.resubmitted.(org);
+        if t.active.(org) then t.waiting_total <- t.waiting_total + 1
+      end
+      else t.abandoned <- job :: t.abandoned;
+      Some
+        {
+          k_job = job;
+          k_start = r.r_start;
+          k_machine = m;
+          k_wasted = wasted;
+          k_resubmitted = resubmit;
+        }
+
 let fail_machine t ~time m =
   if m < 0 || m >= Array.length t.owners then
     invalid_arg "Cluster.fail_machine";
@@ -245,52 +311,8 @@ let fail_machine t ~time m =
     t.up.(m) <- false;
     t.down_count <- t.down_count + 1;
     if remove_from_free t m then None
-    else
-      match Heap.remove_first t.heap (fun r -> r.r_machine = m) with
-      | None -> None (* down before it ever hosted the next job *)
-      | Some (_finish, r) ->
-          let job = r.r_job in
-          let org = job.Job.org in
-          if time < r.r_start then
-            invalid_arg "Cluster.fail_machine: time before the job's start";
-          t.running_per_org.(org) <- t.running_per_org.(org) - 1;
-          let wasted = time - r.r_start in
-          t.wasted_work.(org) <- t.wasted_work.(org) + wasted;
-          t.killed_count <- t.killed_count + 1;
-          if t.record then begin
-            (* Replace the optimistic full-duration placement recorded at
-               start with a truncated killed segment (dropped entirely when
-               the kill lands on the start instant: nothing ran). *)
-            t.placements <-
-              List.filter
-                (fun (p : Schedule.placement) ->
-                  not (Job.equal p.Schedule.job job && p.Schedule.start = r.r_start))
-                t.placements;
-            if wasted > 0 then
-              t.killed <-
-                Schedule.placement ~duration:wasted ~job ~start:r.r_start
-                  ~machine:m ()
-                :: t.killed
-          end;
-          let id = Job.id job in
-          let kills = 1 + Option.value (Hashtbl.find_opt t.restarts id) ~default:0 in
-          Hashtbl.replace t.restarts id kills;
-          let resubmit =
-            match t.max_restarts with None -> true | Some r -> kills <= r
-          in
-          if resubmit then begin
-            t.resubmitted.(org) <- insert_by_index job t.resubmitted.(org);
-            t.waiting_total <- t.waiting_total + 1
-          end
-          else t.abandoned <- job :: t.abandoned;
-          Some
-            {
-              k_job = job;
-              k_start = r.r_start;
-              k_machine = m;
-              k_wasted = wasted;
-              k_resubmitted = resubmit;
-            }
+    else if not t.present.(m) then None (* retired machines host nothing *)
+    else kill_running t ~time ~what:"Cluster.fail_machine" m
   end
 
 let recover_machine t m =
@@ -300,9 +322,74 @@ let recover_machine t m =
   else begin
     t.up.(m) <- true;
     t.down_count <- t.down_count - 1;
-    t.free.(t.free_size) <- m;
-    t.free_size <- t.free_size + 1;
+    (* A machine retired while down stays out of the pool until readmitted. *)
+    if t.present.(m) then begin
+      t.free.(t.free_size) <- m;
+      t.free_size <- t.free_size + 1
+    end;
     true
+  end
+
+(* --- consortium endowments --------------------------------------------- *)
+
+let machine_present t m =
+  if m < 0 || m >= Array.length t.owners then
+    invalid_arg "Cluster.machine_present";
+  t.present.(m)
+
+let present_count t = Array.length t.owners - t.absent_count
+let org_active t u = t.active.(u)
+
+let active_count t =
+  Array.fold_left (fun n a -> if a then n + 1 else n) 0 t.active
+
+let retire_machine t ~time m =
+  if m < 0 || m >= Array.length t.owners then
+    invalid_arg "Cluster.retire_machine";
+  if not t.present.(m) then None
+  else begin
+    t.present.(m) <- false;
+    t.absent_count <- t.absent_count + 1;
+    if not t.up.(m) then None (* its job already died with the fault *)
+    else if remove_from_free t m then None
+    else kill_running t ~time ~what:"Cluster.retire_machine" m
+  end
+
+let admit_machine t ~org m =
+  if m < 0 || m >= Array.length t.owners then
+    invalid_arg "Cluster.admit_machine";
+  if org < 0 || org >= t.norgs then
+    invalid_arg "Cluster.admit_machine: organization out of range";
+  if t.present.(m) then invalid_arg "Cluster.admit_machine: already present";
+  t.present.(m) <- true;
+  t.absent_count <- t.absent_count - 1;
+  t.owners.(m) <- org;
+  if t.up.(m) then begin
+    t.free.(t.free_size) <- m;
+    t.free_size <- t.free_size + 1
+  end
+
+let transfer_machine t ~org m =
+  if m < 0 || m >= Array.length t.owners then
+    invalid_arg "Cluster.transfer_machine";
+  if org < 0 || org >= t.norgs then
+    invalid_arg "Cluster.transfer_machine: organization out of range";
+  if not t.present.(m) then
+    invalid_arg "Cluster.transfer_machine: machine not present";
+  t.owners.(m) <- org
+
+let suspend_org t u =
+  if u < 0 || u >= t.norgs then invalid_arg "Cluster.suspend_org";
+  if t.active.(u) then begin
+    t.active.(u) <- false;
+    t.waiting_total <- t.waiting_total - waiting_count t u
+  end
+
+let resume_org t u =
+  if u < 0 || u >= t.norgs then invalid_arg "Cluster.resume_org";
+  if not t.active.(u) then begin
+    t.active.(u) <- true;
+    t.waiting_total <- t.waiting_total + waiting_count t u
   end
 
 let killed_segments t = t.killed

@@ -133,6 +133,48 @@ val machine_up : t -> int -> bool
 val up_count : t -> int
 val down_count : t -> int
 
+(** {2 Consortium endowments}
+
+    The federation layer ({!module:Federation}) generalizes the static
+    endowment: machines can be retired from the consortium (an org leaves
+    and takes them home) and readmitted later, present machines can change
+    owner (lending), and a departed organization is {e suspended} — its
+    queued jobs stay put but are invisible to scheduling until it rejoins.
+    Without endowment events every machine is present, every org active,
+    and these operations are never called, so behaviour is bit-identical
+    to the static cluster. *)
+
+val retire_machine : t -> time:int -> int -> kill option
+(** Remove machine [m] from the consortium at [time].  Like a fault, this
+    kills the job it hosts (returned as a kill record, resubmitted under
+    the same restart budget); unlike a fault the machine does not return
+    on {!recover_machine} — only {!admit_machine} brings it back.  The
+    up/down fault state keeps evolving while absent.  Returns [None] if
+    already absent.  @raise Invalid_argument on a bad machine id. *)
+
+val admit_machine : t -> org:int -> int -> unit
+(** Readmit an absent machine under owner [org]; it joins the free pool
+    immediately if it is up.  @raise Invalid_argument if already present
+    or on a bad id. *)
+
+val transfer_machine : t -> org:int -> int -> unit
+(** Change the current owner of a present machine (lend/reclaim).  The job
+    it may be running is unaffected — only future capacity attribution
+    moves.  @raise Invalid_argument if absent or on a bad id. *)
+
+val suspend_org : t -> int -> unit
+(** Make an organization invisible to scheduling: its queue survives but
+    {!waiting_orgs}/{!has_waiting} skip it and {!start_front} refuses it.
+    Idempotent. *)
+
+val resume_org : t -> int -> unit
+(** Undo {!suspend_org}; queued jobs become schedulable again.  Idempotent. *)
+
+val machine_present : t -> int -> bool
+val present_count : t -> int
+val org_active : t -> int -> bool
+val active_count : t -> int
+
 val killed_segments : t -> Schedule.placement list
 (** Truncated segments of killed attempts, most recent first; empty unless
     [record] was set. *)

@@ -11,7 +11,7 @@
     Batches are serialized: if a batch is already in flight (or the pool has
     no helpers, or [workers <= 1]), [parallel_iter] degrades to an inline
     sequential loop on the calling domain.  This makes nested or concurrent
-    use (e.g. REF instances running inside an {!Experiments.Pool.map} sweep)
+    use (e.g. REF instances running inside a {!map} experiment sweep)
     safe by construction — no deadlock, at worst no extra parallelism.
 
     Tasks must be independent: the pool guarantees nothing about execution

@@ -1,0 +1,252 @@
+(* This compilation unit is [Experiments.Federation], which shadows the
+   [Federation] library's alias module everywhere inside the wrapped
+   [experiments] library.  Rebind the endowment-model units by their
+   mangled unit name — the one place in the tree that needs to. *)
+module Fed_model = Federation__Model
+
+type config = {
+  norgs : int;
+  machines_per_org : int;
+  horizon : int;
+  instances : int;
+  correlations : float list;
+  period : int;
+  lend : int;
+  jitter : float;
+  burst : int;
+  job_size : int;
+  seed : int;
+}
+
+let default_config ?(norgs = 3) ?(machines_per_org = 2) ?(horizon = 1_200)
+    ?(instances = 3) ?(correlations = [ 0.; 0.25; 0.5; 0.75; 1. ])
+    ?(period = 200) ?(lend = 1) ?(jitter = 0.05) ?(burst = 6) ?(job_size = 20)
+    ?(seed = 2013) () =
+  {
+    norgs;
+    machines_per_org;
+    horizon;
+    instances;
+    correlations;
+    period;
+    lend;
+    jitter;
+    burst;
+    job_size;
+    seed;
+  }
+
+type cell = { mean : float; stddev : float; n : int }
+
+type row = {
+  correlation : float;
+  lends : cell;
+  psi_federated : cell;
+  psi_static : cell;
+  psi_standalone : cell;
+  psi_shift : cell;
+  gain_federated : cell;
+  gain_static : cell;
+}
+
+type study = { config : config; rows : row list }
+
+(* Each org's workload peaks once per cycle, with the same phase rule the
+   lending model uses ({!Federation.Model.random} without the jitter):
+   at correlation 0 the bursts are evenly staggered, at 1 they coincide.
+   The lending trace carries the jitter, so the lend/reclaim instants
+   wander around the (deterministic) workload peaks across seeds. *)
+let peak_jobs config ~correlation =
+  let k = config.norgs in
+  let phase u =
+    int_of_float
+      ((1. -. correlation)
+      *. float_of_int u /. float_of_int k
+      *. float_of_int config.period)
+  in
+  let jobs = ref [] in
+  for u = 0 to k - 1 do
+    let index = ref 0 in
+    let rec cycles c =
+      let peak = (c * config.period) + phase u in
+      if peak < config.horizon then begin
+        for _ = 1 to config.burst do
+          jobs :=
+            Core.Job.make ~org:u ~index:!index ~release:peak
+              ~size:config.job_size ()
+            :: !jobs;
+          incr index
+        done;
+        cycles (c + 1)
+      end
+    in
+    cycles 0
+  done;
+  List.rev !jobs
+
+(* One instance of one correlation: the federated, static-pooled, and
+   per-org-standalone runs all under REF.  Returns
+   [| lends; psi_fed; psi_static; psi_standalone; psi_shift; gain_fed;
+      gain_static |]. *)
+let run_one config ~correlation ~index =
+  let seed = config.seed + (7919 * index) in
+  let machines = Array.make config.norgs config.machines_per_org in
+  let jobs = peak_jobs config ~correlation in
+  let spec =
+    {
+      Fed_model.period = config.period;
+      lend = config.lend;
+      correlation;
+      jitter = config.jitter;
+    }
+  in
+  let federation =
+    Fed_model.random
+      ~rng:(Fstats.Rng.create ~seed:(seed lxor 0xfed))
+      ~machines_per_org:machines ~horizon:config.horizon ~spec ()
+  in
+  let _, _, n_lends, _ = Fed_model.count_kind federation in
+  let run ?(federation = []) instance =
+    Sim.Driver.run ~record:false ~federation ~instance
+      ~rng:(Fstats.Rng.create ~seed:(seed lxor 0xbeef))
+      Algorithms.Reference.reference
+  in
+  let pooled =
+    Core.Instance.make ~machines ~jobs ~horizon:config.horizon
+  in
+  let per_org_fed = Sim.Driver.utilities (run ~federation pooled) in
+  let per_org_static = Sim.Driver.utilities (run pooled) in
+  let psi_fed = Array.fold_left ( +. ) 0. per_org_fed in
+  let psi_static = Array.fold_left ( +. ) 0. per_org_static in
+  (* Lending is placement-neutral (the consortium pools every present
+     machine), so Σψ matches the static run; what the churn moves is the
+     per-org attribution — capacity counts for its current owner.  The
+     shift is that moved mass, as a fraction of the static total. *)
+  let psi_shift =
+    if psi_static = 0. then 0.
+    else
+      let moved = ref 0. in
+      Array.iteri
+        (fun u v -> moved := !moved +. Float.abs (v -. per_org_static.(u)))
+        per_org_fed;
+      !moved /. psi_static
+  in
+  let psi_standalone =
+    List.fold_left ( +. ) 0.
+      (List.init config.norgs (fun u ->
+           let own =
+             List.filter_map
+               (fun j ->
+                 if j.Core.Job.org = u then Some { j with Core.Job.org = 0 }
+                 else None)
+               jobs
+           in
+           let alone =
+             Core.Instance.make
+               ~machines:[| config.machines_per_org |]
+               ~jobs:own ~horizon:config.horizon
+           in
+           (Sim.Driver.utilities (run alone)).(0)))
+  in
+  let gain psi =
+    if psi_standalone = 0. then 0.
+    else (psi -. psi_standalone) /. psi_standalone
+  in
+  [|
+    float_of_int n_lends;
+    psi_fed;
+    psi_static;
+    psi_standalone;
+    psi_shift;
+    gain psi_fed;
+    gain psi_static;
+  |]
+
+let run ?(progress = fun _ -> ()) ?workers config =
+  Obs.Trace.span ~cat:"experiments" "experiments.federation" @@ fun () ->
+  let rows = ref [] in
+  List.iter
+    (fun correlation ->
+      let t0 = Obs.Clock.now_ns () in
+      let per_instance =
+        Core.Domain_pool.map ?workers
+          (fun index -> run_one config ~correlation ~index)
+          (List.init config.instances (fun i -> i + 1))
+      in
+      let summaries = Array.init 7 (fun _ -> Fstats.Summary.create ()) in
+      List.iter
+        (fun values ->
+          Array.iteri (fun i v -> Fstats.Summary.add summaries.(i) v) values)
+        per_instance;
+      let cell s =
+        {
+          mean = Fstats.Summary.mean s;
+          stddev = Fstats.Summary.stddev s;
+          n = Fstats.Summary.count s;
+        }
+      in
+      rows :=
+        {
+          correlation;
+          lends = cell summaries.(0);
+          psi_federated = cell summaries.(1);
+          psi_static = cell summaries.(2);
+          psi_standalone = cell summaries.(3);
+          psi_shift = cell summaries.(4);
+          gain_federated = cell summaries.(5);
+          gain_static = cell summaries.(6);
+        }
+        :: !rows;
+      progress
+        (Printf.sprintf "correlation %g: %d instances in %.1fs" correlation
+           config.instances
+           (Obs.Clock.elapsed t0)))
+    config.correlations;
+  { config; rows = List.rev !rows }
+
+let pp ppf t =
+  Format.fprintf ppf "%-12s | %6s %12s %12s %14s %9s %10s %10s@." "correlation"
+    "lends" "psi_fed" "psi_static" "psi_standalone" "shift" "gain_fed"
+    "gain_stat";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "%-12g | %6.1f %12.1f %12.1f %14.1f %8.2f%% %9.1f%% %9.1f%%@."
+        r.correlation r.lends.mean r.psi_federated.mean r.psi_static.mean
+        r.psi_standalone.mean
+        (100. *. r.psi_shift.mean)
+        (100. *. r.gain_federated.mean)
+        (100. *. r.gain_static.mean))
+    t.rows
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "correlation,lends,psi_federated,psi_federated_stddev,psi_static,psi_standalone,psi_shift,gain_federated,gain_static,n\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%g,%f,%f,%f,%f,%f,%f,%f,%f,%d\n" r.correlation
+           r.lends.mean r.psi_federated.mean r.psi_federated.stddev
+           r.psi_static.mean r.psi_standalone.mean r.psi_shift.mean
+           r.gain_federated.mean r.gain_static.mean r.psi_federated.n))
+    t.rows;
+  Buffer.contents buf
+
+let row_json r =
+  Obs.Json.Obj
+    [
+      ("correlation", Obs.Json.Float r.correlation);
+      ("lends", Obs.Json.Float r.lends.mean);
+      ("psi_federated", Obs.Json.Float r.psi_federated.mean);
+      ("psi_federated_stddev", Obs.Json.Float r.psi_federated.stddev);
+      ("psi_static", Obs.Json.Float r.psi_static.mean);
+      ("psi_standalone", Obs.Json.Float r.psi_standalone.mean);
+      ("psi_shift", Obs.Json.Float r.psi_shift.mean);
+      ("gain_federated", Obs.Json.Float r.gain_federated.mean);
+      ("gain_static", Obs.Json.Float r.gain_static.mean);
+      ("n", Obs.Json.Int r.psi_federated.n);
+    ]
+
+let json t = Obs.Json.Obj [ ("rows", Obs.Json.List (List.map row_json t.rows)) ]
+let to_json t = Obs.Json.to_string ~pretty:true (json t) ^ "\n"

@@ -65,6 +65,8 @@ let simulate ?(faults = []) ?max_restarts:_ ~instance policy =
                 incr capacity
               end);
           Kernel.Engine.Applied);
+      (* The preemptive extension keeps the paper's static consortium. *)
+      apply_endow = (fun ~time:_ _ -> Kernel.Engine.no_endow_effect);
       admit =
         (fun ~time:_ (j : Job.t) ->
           Queue.add { job = j; left = j.Job.size } queues.(j.Job.org));

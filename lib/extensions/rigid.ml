@@ -159,6 +159,8 @@ let simulate ?(faults = []) ?max_restarts instance policy =
                 if occupant.(m) = None then incr free
               end;
               Kernel.Engine.Applied);
+      (* The rigid extension keeps the paper's static consortium. *)
+      apply_endow = (fun ~time:_ _ -> Kernel.Engine.no_endow_effect);
       admit = (fun ~time:_ r -> Queue.add r queues.(r.job.Job.org));
       round =
         (fun ~time ->

@@ -1,0 +1,259 @@
+type t =
+  | Join of { org : int; machines : int list }
+  | Leave of { org : int }
+  | Lend of { org : int; to_org : int; machines : int list }
+  | Reclaim of { org : int; machines : int list }
+
+type timed = { time : int; event : t }
+
+let org = function
+  | Join { org; _ } | Leave { org } | Lend { org; _ } | Reclaim { org; _ } ->
+      org
+
+let machines = function
+  | Leave _ -> []
+  | Join { machines; _ } | Lend { machines; _ } | Reclaim { machines; _ } ->
+      machines
+
+let tag = function Join _ -> 0 | Leave _ -> 1 | Lend _ -> 2 | Reclaim _ -> 3
+
+let to_org = function Lend { to_org; _ } -> Some to_org | _ -> None
+
+let compare_timed a b =
+  match Stdlib.compare a.time b.time with
+  | 0 -> (
+      match Stdlib.compare (org a.event) (org b.event) with
+      | 0 -> (
+          match Stdlib.compare (tag a.event) (tag b.event) with
+          | 0 -> (
+              match Stdlib.compare (to_org a.event) (to_org b.event) with
+              | 0 -> Stdlib.compare (machines a.event) (machines b.event)
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let pp_machines ppf = function
+  | [] -> ()
+  | ms ->
+      Format.fprintf ppf " [%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+           (fun ppf m -> Format.fprintf ppf "m%d" m))
+        ms
+
+let pp ppf = function
+  | Join { org; machines } ->
+      Format.fprintf ppf "join(o%d%a)" org pp_machines machines
+  | Leave { org } -> Format.fprintf ppf "leave(o%d)" org
+  | Lend { org; to_org; machines } ->
+      Format.fprintf ppf "lend(o%d->o%d%a)" org to_org pp_machines machines
+  | Reclaim { org; machines } ->
+      Format.fprintf ppf "reclaim(o%d%a)" org pp_machines machines
+
+let pp_timed ppf e = Format.fprintf ppf "t=%d %a" e.time pp e.event
+
+(* --- Consortium ownership state ---------------------------------------- *)
+
+module Ownership = struct
+  type t = {
+    home : int array;
+    owner : int array;
+    present : bool array;
+    active : bool array;
+  }
+
+  type change =
+    | Admit of { machine : int; org : int }
+    | Retire of int
+    | Transfer of { machine : int; org : int }
+    | Activate of int
+    | Deactivate of int
+
+  let create ~homes ~orgs =
+    Array.iter
+      (fun h ->
+        if h < 0 || h >= orgs then
+          invalid_arg "Federation.Ownership.create: home org out of range")
+      homes;
+    {
+      home = Array.copy homes;
+      owner = Array.copy homes;
+      present = Array.make (Array.length homes) true;
+      active = Array.make orgs true;
+    }
+
+  let copy t =
+    {
+      home = t.home;
+      owner = Array.copy t.owner;
+      present = Array.copy t.present;
+      active = Array.copy t.active;
+    }
+
+  let machines t = Array.length t.owner
+  let orgs t = Array.length t.active
+  let owner t m = t.owner.(m)
+  let home t m = t.home.(m)
+  let present t m = t.present.(m)
+  let active t u = t.active.(u)
+
+  let orgs_active t =
+    Array.fold_left (fun n a -> if a then n + 1 else n) 0 t.active
+
+  let present_count t =
+    Array.fold_left (fun n p -> if p then n + 1 else n) 0 t.present
+
+  let owned_count t u =
+    let n = ref 0 in
+    for m = 0 to machines t - 1 do
+      if t.present.(m) && t.owner.(m) = u then incr n
+    done;
+    !n
+
+  let lent_out t u =
+    let n = ref 0 in
+    for m = 0 to machines t - 1 do
+      if t.present.(m) && t.home.(m) = u && t.owner.(m) <> u then incr n
+    done;
+    !n
+
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt
+
+  let check_machines t ~what ms =
+    let rec go last = function
+      | [] -> Ok ()
+      | m :: rest ->
+          if m < 0 || m >= machines t then
+            err "%s: machine m%d out of range [0, %d)" what m (machines t)
+          else if m <= last then err "%s: machines not strictly increasing" what
+          else go m rest
+    in
+    go (-1) ms
+
+  (* Applies [event], mutating the state, and returns the primitive changes
+     in a deterministic order (org activation first, then machines by
+     ascending id).  On error the state is left unchanged. *)
+  let apply t event =
+    let ( let* ) = Result.bind in
+    let* () =
+      let u = org event in
+      if u < 0 || u >= orgs t then
+        err "%a: org out of range [0, %d)" pp event (orgs t)
+      else Ok ()
+    in
+    match event with
+    | Join { org = u; machines = ms } ->
+        if t.active.(u) then err "%a: org already active" pp event
+        else
+          let* () = check_machines t ~what:"join" ms in
+          let ms =
+            match ms with
+            | [] ->
+                (* All of the org's absent home machines rejoin. *)
+                List.filter
+                  (fun m -> t.home.(m) = u && not t.present.(m))
+                  (List.init (machines t) Fun.id)
+            | ms -> ms
+          in
+          let* () =
+            List.fold_left
+              (fun acc m ->
+                let* () = acc in
+                if t.home.(m) <> u then
+                  err "%a: machine m%d is homed to o%d" pp event m t.home.(m)
+                else if t.present.(m) then
+                  err "%a: machine m%d is already present" pp event m
+                else Ok ())
+              (Ok ()) ms
+          in
+          t.active.(u) <- true;
+          List.iter
+            (fun m ->
+              t.present.(m) <- true;
+              t.owner.(m) <- u)
+            ms;
+          Ok
+            (Activate u
+            :: List.map (fun m -> Admit { machine = m; org = u }) ms)
+    | Leave { org = u } ->
+        if not t.active.(u) then err "%a: org not active" pp event
+        else begin
+          t.active.(u) <- false;
+          let changes = ref [] in
+          for m = machines t - 1 downto 0 do
+            if t.present.(m) then
+              if t.home.(m) = u then begin
+                (* The org takes its machines home, wherever they are lent. *)
+                t.present.(m) <- false;
+                changes := Retire m :: !changes
+              end
+              else if t.owner.(m) = u then begin
+                (* Borrowed machines revert to their (active) home owner. *)
+                t.owner.(m) <- t.home.(m);
+                changes :=
+                  Transfer { machine = m; org = t.home.(m) } :: !changes
+              end
+          done;
+          Ok (Deactivate u :: !changes)
+        end
+    | Lend { org = u; to_org = v; machines = ms } ->
+        if v < 0 || v >= orgs t then
+          err "%a: to_org out of range [0, %d)" pp event (orgs t)
+        else if v = u then err "%a: lend to self" pp event
+        else if not t.active.(u) then err "%a: org not active" pp event
+        else if not t.active.(v) then err "%a: to_org not active" pp event
+        else if ms = [] then err "%a: empty machine set" pp event
+        else
+          let* () = check_machines t ~what:"lend" ms in
+          let* () =
+            List.fold_left
+              (fun acc m ->
+                let* () = acc in
+                if not t.present.(m) then
+                  err "%a: machine m%d is not present" pp event m
+                else if t.owner.(m) <> u then
+                  err "%a: machine m%d is owned by o%d" pp event m t.owner.(m)
+                else Ok ())
+              (Ok ()) ms
+          in
+          List.iter (fun m -> t.owner.(m) <- v) ms;
+          Ok (List.map (fun m -> Transfer { machine = m; org = v }) ms)
+    | Reclaim { org = u; machines = ms } ->
+        if not t.active.(u) then err "%a: org not active" pp event
+        else if ms = [] then err "%a: empty machine set" pp event
+        else
+          let* () = check_machines t ~what:"reclaim" ms in
+          let* () =
+            List.fold_left
+              (fun acc m ->
+                let* () = acc in
+                if not t.present.(m) then
+                  err "%a: machine m%d is not present" pp event m
+                else if t.home.(m) <> u then
+                  err "%a: machine m%d is homed to o%d" pp event m t.home.(m)
+                else if t.owner.(m) = u then
+                  err "%a: machine m%d is not lent out" pp event m
+                else Ok ())
+              (Ok ()) ms
+          in
+          List.iter (fun m -> t.owner.(m) <- u) ms;
+          Ok (List.map (fun m -> Transfer { machine = m; org = u }) ms)
+end
+
+let validate ~orgs ~homes trace =
+  let state = Ownership.create ~homes ~orgs in
+  let rec go last = function
+    | [] -> Ok ()
+    | e :: rest ->
+        if e.time < 0 then Error (Format.asprintf "%a: negative time" pp_timed e)
+        else if e.time < last then
+          Error
+            (Format.asprintf "%a: out of order (previous at %d)" pp_timed e
+               last)
+        else (
+          match Ownership.apply state e.event with
+          | Error msg -> Error (Format.asprintf "t=%d %s" e.time msg)
+          | Ok _ -> go e.time rest)
+  in
+  go 0 trace

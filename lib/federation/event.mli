@@ -1,0 +1,111 @@
+(** Endowment events: dynamic consortium membership and machine lending.
+
+    The paper's model fixes the consortium and each organization's machine
+    endowment up front; this module generalizes both along the lines of the
+    federated-cloud follow-up (Pacholczyk & Skowron): organizations may
+    [Leave] the consortium (taking their machines home) and [Join] again
+    later, and while members they may [Lend] machines to a partner and
+    [Reclaim] them.  Machines are identified by global machine id — the
+    index into the driver's flattened, organization-contiguous machine
+    array — and each machine has a fixed {e home} organization (its slot in
+    that array); [Lend]/[Reclaim] move the current {e owner}, which is what
+    ψsp capacity attribution and coalition values follow.
+
+    An endowment {e trace} is a time-ordered stream of such events; the
+    generators in {!Model} produce them, and the kernel applies them in the
+    canonical within-instant phase order between machine faults and job
+    releases. *)
+
+type t =
+  | Join of { org : int; machines : int list }
+      (** The org (currently inactive) rejoins; the listed machines — which
+          must be homed to it and absent — come back under its ownership.
+          An empty list readmits all of its absent home machines. *)
+  | Leave of { org : int }
+      (** The org departs: jobs it has queued stop being scheduled (running
+          jobs finish), every machine homed to it is retired wherever it is
+          currently lent (killing the job it hosts, like a fault), and
+          machines it borrowed revert to their home owners. *)
+  | Lend of { org : int; to_org : int; machines : int list }
+      (** Transfers ownership of present machines currently owned by [org]
+          to [to_org]; running jobs are unaffected, but from this instant
+          the capacity counts toward [to_org] in every coalition value. *)
+  | Reclaim of { org : int; machines : int list }
+      (** The home org takes back machines currently lent out. *)
+
+type timed = { time : int; event : t }
+
+val org : t -> int
+(** The acting organization. *)
+
+val machines : t -> int list
+(** The machine set named by the event ([[]] for [Leave] and for a
+    readmit-all [Join]). *)
+
+val compare_timed : timed -> timed -> int
+(** Orders by time, then acting org, then [Join] < [Leave] < [Lend] <
+    [Reclaim], then borrower and machine set — a total deterministic order
+    for sorting generator output. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_timed : Format.formatter -> timed -> unit
+
+type event := t
+
+(** Replayable consortium state: per-machine home and current owner,
+    per-machine presence, per-org activity.  One implementation shared by
+    trace validation, the grand cluster, the sub-coalition simulations and
+    the live membership gauges, so they cannot drift apart. *)
+module Ownership : sig
+  type t
+
+  (** Primitive effects of one event, for the cluster to mirror.  [Admit]
+      and [Retire] change presence (a retired machine kills its running
+      job); [Transfer] moves ownership of a present machine without
+      touching the job it runs. *)
+  type change =
+    | Admit of { machine : int; org : int }
+    | Retire of int
+    | Transfer of { machine : int; org : int }
+    | Activate of int
+    | Deactivate of int
+
+  val create : homes:int array -> orgs:int -> t
+  (** Everyone starts active, every machine present and owned by its home
+      org.  @raise Invalid_argument if a home org is out of range. *)
+
+  val copy : t -> t
+
+  val machines : t -> int
+  val orgs : t -> int
+  val owner : t -> int -> int
+  val home : t -> int -> int
+  val present : t -> int -> bool
+  val active : t -> int -> bool
+
+  val orgs_active : t -> int
+  (** k(t): the number of currently active organizations. *)
+
+  val present_count : t -> int
+
+  val owned_count : t -> int -> int
+  (** Present machines currently owned by the org (home and borrowed). *)
+
+  val lent_out : t -> int -> int
+  (** Present machines homed to the org but currently owned elsewhere. *)
+
+  val apply : t -> event -> (change list, string) result
+  (** Applies one event, mutating the state, and returns the primitive
+      changes in deterministic order (org (de)activation first, then
+      machines by ascending id).  [Error] on a precondition violation
+      (lending a machine one does not own, joining while active, …) leaves
+      the state unchanged. *)
+end
+
+val validate :
+  orgs:int -> homes:int array -> timed list -> (unit, string) result
+(** Checks that times are non-negative and non-decreasing and that the
+    whole trace replays cleanly from the initial endowment ([homes] is the
+    flattened machine→home-org map): every event's preconditions hold in
+    the ownership state produced by its predecessors.  The driver rejects
+    invalid traces with [Invalid_argument] carrying this message. *)

@@ -1,0 +1,243 @@
+let scripted events = List.sort Event.compare_timed events
+
+(* --- Seeded generative model ------------------------------------------- *)
+
+type spec = {
+  period : int;
+  lend : int;
+  correlation : float;
+  jitter : float;
+}
+
+let default_spec = { period = 200; lend = 1; correlation = 0.; jitter = 0.1 }
+
+(* Peak-offloading cycles: every org's load peaks once per [period]; during
+   its off-peak half it lends [lend] of its home machines to the org whose
+   peak is (roughly) half a cycle away, and reclaims them just before its
+   own next peak.  [correlation] in [0, 1] compresses the peak phases
+   together: at 0 the peaks are evenly staggered (someone always has spare
+   capacity — federation should pay), at 1 everyone peaks at once (the lent
+   machines arrive exactly when the lender needs them back).  A per-org
+   phase jitter of up to [jitter * period], drawn from the seeded [rng],
+   keeps instances distinct while preserving the per-org event order. *)
+let random ~rng ~machines_per_org ~horizon ~spec () =
+  let k = Array.length machines_per_org in
+  if k < 2 then invalid_arg "Federation.Model.random: need >= 2 orgs";
+  if horizon < 1 then invalid_arg "Federation.Model.random: horizon < 1";
+  if spec.period < 2 then invalid_arg "Federation.Model.random: period < 2";
+  if spec.lend < 1 then invalid_arg "Federation.Model.random: lend < 1";
+  if spec.correlation < 0. || spec.correlation > 1. then
+    invalid_arg "Federation.Model.random: correlation outside [0, 1]";
+  let starts = Array.make k 0 in
+  for u = 1 to k - 1 do
+    starts.(u) <- starts.(u - 1) + machines_per_org.(u - 1)
+  done;
+  let jitter_max =
+    int_of_float (spec.jitter *. float_of_int spec.period) |> Stdlib.max 0
+  in
+  let phase u =
+    let base =
+      (1. -. spec.correlation)
+      *. float_of_int u /. float_of_int k
+      *. float_of_int spec.period
+    in
+    let j = if jitter_max = 0 then 0 else Fstats.Rng.int rng (jitter_max + 1) in
+    int_of_float base + j
+  in
+  let phases = Array.init k phase in
+  let acc = ref [] in
+  for u = 0 to k - 1 do
+    let n = Stdlib.min spec.lend machines_per_org.(u) in
+    if n > 0 then begin
+      (* Lend the top ids of the org's home block — borrowed machines are
+         never re-lent, so ownership round-trips org -> partner -> org. *)
+      let ms = List.init n (fun i -> starts.(u) + machines_per_org.(u) - n + i) in
+      let partner = (u + Stdlib.max 1 (k / 2)) mod k in
+      let rec cycles c =
+        let peak = (c * spec.period) + phases.(u) in
+        let offpeak = peak + (spec.period / 2) in
+        if offpeak >= horizon then ()
+        else begin
+          acc :=
+            {
+              Event.time = offpeak;
+              event = Event.Lend { org = u; to_org = partner; machines = ms };
+            }
+            :: !acc;
+          let back = peak + spec.period in
+          if back < horizon then begin
+            acc :=
+              {
+                Event.time = back;
+                event = Event.Reclaim { org = u; machines = ms };
+              }
+              :: !acc;
+            cycles (c + 1)
+          end
+        end
+      in
+      cycles 0
+    end
+  done;
+  List.sort Event.compare_timed !acc
+
+(* --- CLI-facing parsers ------------------------------------------------ *)
+
+let spec_of_string s =
+  let ( let* ) = Result.bind in
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  let fields =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun f -> f <> "")
+  in
+  let* pairs =
+    List.fold_left
+      (fun acc field ->
+        let* acc = acc in
+        match String.index_opt field ':' with
+        | None ->
+            err
+              "federation spec field %S is not key:value (expected \
+               period:P,lend:N[,correlation:R][,jitter:J])"
+              field
+        | Some i ->
+            let key = String.sub field 0 i in
+            let value = String.sub field (i + 1) (String.length field - i - 1) in
+            Ok ((key, value) :: acc))
+      (Ok []) fields
+  in
+  let lookup key = List.assoc_opt key pairs in
+  let* () =
+    match
+      List.find_opt
+        (fun (k, _) ->
+          not (List.mem k [ "period"; "lend"; "correlation"; "jitter" ]))
+        pairs
+    with
+    | Some (k, _) -> err "unknown federation spec key %S" k
+    | None -> Ok ()
+  in
+  let int_at_least key floor default =
+    match lookup key with
+    | None -> Ok default
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n when n >= floor -> Ok n
+        | Some _ | None ->
+            err "federation spec %s must be an integer >= %d, got %S" key
+              floor v)
+  in
+  let unit_float key default =
+    match lookup key with
+    | None -> Ok default
+    | Some v -> (
+        match float_of_string_opt v with
+        | Some f when f >= 0. && f <= 1. -> Ok f
+        | Some _ | None ->
+            err "federation spec %s must be a number in [0, 1], got %S" key v)
+  in
+  let* period = int_at_least "period" 2 default_spec.period in
+  let* lend = int_at_least "lend" 1 default_spec.lend in
+  let* correlation = unit_float "correlation" default_spec.correlation in
+  let* jitter = unit_float "jitter" default_spec.jitter in
+  Ok { period; lend; correlation; jitter }
+
+(* One event per line:
+     TIME join ORG [MACHINE...]
+     TIME leave ORG
+     TIME lend ORG TO_ORG MACHINE [MACHINE...]
+     TIME reclaim ORG MACHINE [MACHINE...]
+   '#' starts a comment; blank lines are ignored. *)
+let script_of_lines lines =
+  let ( let* ) = Result.bind in
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  let* events =
+    List.fold_left
+      (fun acc (lineno, line) ->
+        let* acc = acc in
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let nat what tok =
+          match int_of_string_opt tok with
+          | Some n when n >= 0 -> Ok n
+          | Some _ | None ->
+              err "line %d: %s must be a non-negative integer, got %S" lineno
+                what tok
+        in
+        let nats what toks =
+          let* ms =
+            List.fold_left
+              (fun acc tok ->
+                let* acc = acc in
+                let* m = nat what tok in
+                Ok (m :: acc))
+              (Ok []) toks
+          in
+          Ok (List.sort_uniq Stdlib.compare ms)
+        in
+        match
+          String.split_on_char ' ' line
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun t -> String.trim t <> "")
+        with
+        | [] -> Ok acc
+        | time :: verb :: rest -> (
+            let* time = nat "TIME" time in
+            let* event =
+              match (String.lowercase_ascii verb, rest) with
+              | "join", org :: ms ->
+                  let* org = nat "ORG" org in
+                  let* machines = nats "MACHINE" ms in
+                  Ok (Event.Join { org; machines })
+              | "leave", [ org ] ->
+                  let* org = nat "ORG" org in
+                  Ok (Event.Leave { org })
+              | "lend", org :: to_org :: (_ :: _ as ms) ->
+                  let* org = nat "ORG" org in
+                  let* to_org = nat "TO_ORG" to_org in
+                  let* machines = nats "MACHINE" ms in
+                  Ok (Event.Lend { org; to_org; machines })
+              | "reclaim", org :: (_ :: _ as ms) ->
+                  let* org = nat "ORG" org in
+                  let* machines = nats "MACHINE" ms in
+                  Ok (Event.Reclaim { org; machines })
+              | _ ->
+                  err
+                    "line %d: expected TIME join ORG [M...] | TIME leave ORG \
+                     | TIME lend ORG TO_ORG M... | TIME reclaim ORG M..., \
+                     got %S"
+                    lineno (String.trim line)
+            in
+            Ok ({ Event.time; event } :: acc))
+        | _ -> err "line %d: truncated event %S" lineno (String.trim line))
+      (Ok [])
+      (List.mapi (fun i l -> (i + 1, l)) lines)
+  in
+  Ok (scripted (List.rev events))
+
+let load_script path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      Result.map_error
+        (fun msg -> Printf.sprintf "%s: %s" path msg)
+        (script_of_lines (List.rev !lines))
+
+let count_kind trace =
+  List.fold_left
+    (fun (j, l, ld, r) e ->
+      match e.Event.event with
+      | Event.Join _ -> (j + 1, l, ld, r)
+      | Event.Leave _ -> (j, l + 1, ld, r)
+      | Event.Lend _ -> (j, l, ld + 1, r)
+      | Event.Reclaim _ -> (j, l, ld, r + 1))
+    (0, 0, 0, 0) trace

@@ -1,0 +1,60 @@
+(** Endowment models: compile a seeded peak-offloading description (or a
+    scripted event list) into a time-ordered endowment-event trace.
+
+    The stochastic model is the motivating scenario of the federated-cloud
+    setting: each organization's load peaks once per cycle, and during its
+    off-peak half-cycle it lends part of its home endowment to the partner
+    whose peak is half a cycle away, reclaiming the machines just before
+    its own next peak.  The [correlation] knob compresses the peak phases
+    together — anti-correlated peaks are where cooperation pays, fully
+    correlated peaks are where it cannot.  All randomness (per-org phase
+    jitter) comes from the provided {!Fstats.Rng.t}, so traces are
+    reproducible. *)
+
+type spec = {
+  period : int;  (** cycle length in time units *)
+  lend : int;  (** machines each org lends per cycle *)
+  correlation : float;  (** peak-phase correlation in [0, 1] *)
+  jitter : float;  (** per-org phase jitter as a fraction of [period] *)
+}
+
+val default_spec : spec
+(** [period:200, lend:1, correlation:0, jitter:0.1]. *)
+
+val scripted : Event.timed list -> Event.timed list
+(** Sorts an explicit event list into canonical trace order (validation is
+    the driver's job, via {!Event.validate}). *)
+
+val random :
+  rng:Fstats.Rng.t ->
+  machines_per_org:int array ->
+  horizon:int ->
+  spec:spec ->
+  unit ->
+  Event.timed list
+(** Per-org lend/reclaim renewal trace over [0, horizon).  Each org lends
+    the top [spec.lend] ids of its home machine block (so borrowed machines
+    are never re-lent and the trace always validates); events at or after
+    the horizon are dropped (machines lent near the horizon stay lent).
+    Orgs are processed in id order from the single [rng], so the trace is a
+    deterministic function of the seed.
+    @raise Invalid_argument on fewer than 2 orgs or a malformed spec. *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parses the CLI federation spec
+    [period:P,lend:N[,correlation:R][,jitter:J]]; omitted keys take their
+    {!default_spec} values.  The error string is a one-line diagnostic
+    ready for the CLI's exit-2 contract. *)
+
+val script_of_lines : string list -> (Event.timed list, string) result
+(** Parses scripted-endowment lines — one event per line,
+    [TIME join ORG [MACHINE...]] | [TIME leave ORG] |
+    [TIME lend ORG TO_ORG MACHINE...] | [TIME reclaim ORG MACHINE...],
+    whitespace-separated, [#] starts a comment, blank lines ignored — into
+    a canonical sorted trace. *)
+
+val load_script : string -> (Event.timed list, string) result
+(** {!script_of_lines} over a file; the error string carries the path. *)
+
+val count_kind : Event.timed list -> int * int * int * int
+(** [(joins, leaves, lends, reclaims)] in the trace. *)

@@ -2,6 +2,10 @@ type fault_outcome =
   | Applied
   | Killed of { wasted : int; resubmitted : bool }
 
+type endow_outcome = { e_kills : int; e_wasted : int; e_abandoned : int }
+
+let no_endow_effect = { e_kills = 0; e_wasted = 0; e_abandoned = 0 }
+
 (* Process-wide observability handles, shared by every kernel instance
    (the driver loop and each sub-coalition sim); per-domain shards keep the
    parallel REF stages from contending.  All of it is a no-op until
@@ -13,6 +17,7 @@ type 'job model = {
   next_completion : unit -> int option;
   pop_completion : time:int -> bool;
   apply_fault : time:int -> Faults.Event.t -> fault_outcome;
+  apply_endow : time:int -> Federation.Event.t -> endow_outcome;
   admit : time:int -> 'job -> unit;
   round : time:int -> int;
 }
@@ -25,12 +30,16 @@ type 'job t = {
   faults : Faults.Event.timed array;
   mutable next_fault : int;
   pushed_faults : Faults.Event.timed Queue.t;
+  endowments : Federation.Event.timed array;
+  mutable next_endow : int;
+  pushed_endows : Federation.Event.timed Queue.t;
   mutable pending_checkpoints : int list;
   mutable now : int;
   stats : Stats.t;
 }
 
-let create ?(faults = []) ?machines ?(checkpoints = []) ~release_time jobs =
+let create ?(faults = []) ?(endowments = []) ?machines ?(checkpoints = [])
+    ~release_time jobs =
   (match machines with
   | Some m -> (
       match Faults.Event.validate ~machines:m faults with
@@ -45,6 +54,10 @@ let create ?(faults = []) ?machines ?(checkpoints = []) ~release_time jobs =
     faults = Array.of_list (List.sort Faults.Event.compare_timed faults);
     next_fault = 0;
     pushed_faults = Queue.create ();
+    endowments =
+      Array.of_list (List.sort Federation.Event.compare_timed endowments);
+    next_endow = 0;
+    pushed_endows = Queue.create ();
     pending_checkpoints = List.sort_uniq Stdlib.compare checkpoints;
     now = 0;
     stats = Stats.create ();
@@ -52,6 +65,7 @@ let create ?(faults = []) ?machines ?(checkpoints = []) ~release_time jobs =
 
 let push_job t job = Queue.add job t.pushed_jobs
 let push_fault t ev = Queue.add ev t.pushed_faults
+let push_endow t ev = Queue.add ev t.pushed_endows
 let now t = t.now
 let stats t = t.stats
 
@@ -86,11 +100,26 @@ let next_fault_time t =
   in
   min_opt static pushed
 
+let next_endow_time t =
+  let static =
+    if t.next_endow < Array.length t.endowments then
+      Some t.endowments.(t.next_endow).Federation.Event.time
+    else None
+  in
+  let pushed =
+    match Queue.peek_opt t.pushed_endows with
+    | Some e -> Some e.Federation.Event.time
+    | None -> None
+  in
+  min_opt static pushed
+
 let next_event t model =
   Option.map
     (fun tau -> Stdlib.max tau t.now)
     (min_opt
-       (min_opt (next_release t) (next_fault_time t))
+       (min_opt
+          (min_opt (next_release t) (next_fault_time t))
+          (next_endow_time t))
        (model.next_completion ()))
 
 (* Phase 1: completions. *)
@@ -138,7 +167,42 @@ let rec drain_faults t model ~time =
       drain_faults t model ~time
   | _ -> ()
 
-(* Phase 3: releases; same merge rule as faults. *)
+(* Phase 3: endowments — after faults (a machine that fails and is lent at
+   the same instant hands its borrower a down machine) and before releases
+   (a job released the instant its org joins is admitted); same merge rule
+   as faults. *)
+let account_endow t (o : endow_outcome) =
+  t.stats.Stats.endow_events <- t.stats.Stats.endow_events + 1;
+  t.stats.Stats.kills <- t.stats.Stats.kills + o.e_kills;
+  t.stats.Stats.wasted <- t.stats.Stats.wasted + o.e_wasted;
+  t.stats.Stats.abandoned <- t.stats.Stats.abandoned + o.e_abandoned
+
+let rec drain_endows t model ~time =
+  let static =
+    if t.next_endow < Array.length t.endowments then
+      Some t.endowments.(t.next_endow).Federation.Event.time
+    else None
+  in
+  let pushed =
+    match Queue.peek_opt t.pushed_endows with
+    | Some e -> Some e.Federation.Event.time
+    | None -> None
+  in
+  match (static, pushed) with
+  | Some ts, _
+    when ts <= time && (match pushed with Some tp -> ts <= tp | None -> true)
+    ->
+      let ev = t.endowments.(t.next_endow) in
+      t.next_endow <- t.next_endow + 1;
+      account_endow t (model.apply_endow ~time ev.Federation.Event.event);
+      drain_endows t model ~time
+  | _, Some tp when tp <= time ->
+      let ev = Queue.pop t.pushed_endows in
+      account_endow t (model.apply_endow ~time ev.Federation.Event.event);
+      drain_endows t model ~time
+  | _ -> ()
+
+(* Phase 4: releases; same merge rule as faults. *)
 let rec drain_releases t model ~time =
   let static =
     if t.next_job < Array.length t.jobs then
@@ -175,12 +239,15 @@ let drain_events t model ~time =
         drain_completions t model ~time);
     Obs.Trace.span ~cat:"kernel" "kernel.faults" (fun () ->
         drain_faults t model ~time);
+    Obs.Trace.span ~cat:"kernel" "kernel.endowments" (fun () ->
+        drain_endows t model ~time);
     Obs.Trace.span ~cat:"kernel" "kernel.releases" (fun () ->
         drain_releases t model ~time)
   end
   else begin
     drain_completions t model ~time;
     drain_faults t model ~time;
+    drain_endows t model ~time;
     drain_releases t model ~time
   end
 

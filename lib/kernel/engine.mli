@@ -18,6 +18,8 @@
       failure at [t]);
     + fault events with [time <= t] (a machine down at [t] hosts nothing
       at [t]; one recovering at [t] is usable at [t]);
+    + endowment events with [time <= t] (consortium membership and machine
+      ownership as of [t] are in force before anything is placed at [t]);
     + job releases with [release <= t];
     + the greedy scheduling round (so a job started at [t] can never be
       killed at [t]: all faults at [t] were already delivered).
@@ -37,6 +39,14 @@ type fault_outcome =
           [resubmitted = false] means the restart budget was exhausted and
           the job was abandoned *)
 
+(** What applying one endowment event did.  A [Leave] can retire several
+    machines at once, so the kill effects come aggregated. *)
+type endow_outcome = { e_kills : int; e_wasted : int; e_abandoned : int }
+
+val no_endow_effect : endow_outcome
+(** All zeroes — the outcome of pure ownership transfers, and the value
+    models without a federation layer return unconditionally. *)
+
 (** The cluster model: how one concrete simulation reacts to each phase.
     All closures are called with the instant being processed; the kernel
     guarantees the canonical phase order and monotone time. *)
@@ -49,6 +59,10 @@ type 'job model = {
   apply_fault : time:int -> Faults.Event.t -> fault_outcome;
       (** apply one fault event: take the machine down (killing and
           resubmitting/abandoning its job) or bring it back up *)
+  apply_endow : time:int -> Federation.Event.t -> endow_outcome;
+      (** apply one endowment event: move consortium membership and machine
+          ownership (retiring machines kills their jobs like a fault);
+          models over a static consortium return {!no_endow_effect} *)
   admit : time:int -> 'job -> unit;  (** enqueue one released job *)
   round : time:int -> int;
       (** run the greedy scheduling round; returns the number of
@@ -59,6 +73,7 @@ type 'job t
 
 val create :
   ?faults:Faults.Event.timed list ->
+  ?endowments:Federation.Event.timed list ->
   ?machines:int ->
   ?checkpoints:int list ->
   release_time:('job -> int) ->
@@ -69,8 +84,11 @@ val create :
     {!push_job}).  [faults] is the static fault trace, sorted on entry;
     when [machines] is given the trace is validated against it
     ({!Faults.Event.validate}) and an invalid trace raises
-    [Invalid_argument].  [checkpoints] are instants at which {!run} fires
-    its [on_checkpoint] callback (clamped to the horizon). *)
+    [Invalid_argument].  [endowments] is the static endowment trace, sorted
+    on entry (validate it against the instance with
+    {!Federation.Event.validate} before handing it over — the engine has no
+    machine→org map of its own).  [checkpoints] are instants at which
+    {!run} fires its [on_checkpoint] callback (clamped to the horizon). *)
 
 val push_job : 'job t -> 'job -> unit
 (** Feed a job dynamically (the REF sub-coalition simulators receive their
@@ -81,6 +99,9 @@ val push_job : 'job t -> 'job -> unit
 val push_fault : 'job t -> Faults.Event.timed -> unit
 (** Feed a fault event dynamically, in time order. *)
 
+val push_endow : 'job t -> Federation.Event.timed -> unit
+(** Feed an endowment event dynamically, in time order. *)
+
 val now : _ t -> int
 (** Last processed instant (0 before any). *)
 
@@ -88,22 +109,23 @@ val stats : _ t -> Stats.t
 (** The kernel's live instrumentation counters. *)
 
 val next_event : 'job t -> 'job model -> int option
-(** Earliest pending event — release, fault, or completion — clamped to
+(** Earliest pending event — release, fault, endowment, or completion —
     {!now} (an event fed late fires at the next instant, never in the
     past). *)
 
 val process_instant : 'job t -> 'job model -> time:int -> unit
-(** Run all four phases at one instant.  @raise Invalid_argument if [time]
+(** Run all five phases at one instant.  @raise Invalid_argument if [time]
     precedes {!now}. *)
 
 val drain_events : 'job t -> 'job model -> time:int -> unit
-(** Phases 1–3 only (completions, faults, releases) — the split entry
+(** Phases 1–4 only (completions, faults, endowments, releases) — the split
+    entry
     point for the staged parallel REF engine, which runs the scheduling
     rounds of its simulations grouped by coalition size ({!run_round}).
     Counts the instant in {!Stats}. *)
 
 val run_round : 'job t -> 'job model -> time:int -> unit
-(** Phase 4 only: the scheduling round, counted into {!Stats}. *)
+(** Phase 5 only: the scheduling round, counted into {!Stats}. *)
 
 val run :
   'job t ->

@@ -2,6 +2,7 @@ type t = {
   mutable instants : int;
   mutable completions : int;
   mutable fault_events : int;
+  mutable endow_events : int;
   mutable kills : int;
   mutable abandoned : int;
   mutable wasted : int;
@@ -16,6 +17,7 @@ let create () =
     instants = 0;
     completions = 0;
     fault_events = 0;
+    endow_events = 0;
     kills = 0;
     abandoned = 0;
     wasted = 0;
@@ -29,6 +31,7 @@ let reset t =
   t.instants <- 0;
   t.completions <- 0;
   t.fault_events <- 0;
+  t.endow_events <- 0;
   t.kills <- 0;
   t.abandoned <- 0;
   t.wasted <- 0;
@@ -43,6 +46,7 @@ let add acc x =
   acc.instants <- acc.instants + x.instants;
   acc.completions <- acc.completions + x.completions;
   acc.fault_events <- acc.fault_events + x.fault_events;
+  acc.endow_events <- acc.endow_events + x.endow_events;
   acc.kills <- acc.kills + x.kills;
   acc.abandoned <- acc.abandoned + x.abandoned;
   acc.wasted <- acc.wasted + x.wasted;
@@ -58,16 +62,17 @@ let total xs =
 
 let pp ppf t =
   Format.fprintf ppf
-    "instants=%d completions=%d faults=%d kills=%d abandoned=%d wasted=%d \
-     releases=%d rounds=%d starts=%d heap_pops=%d"
-    t.instants t.completions t.fault_events t.kills t.abandoned t.wasted
-    t.releases t.rounds t.starts t.heap_pops
+    "instants=%d completions=%d faults=%d endows=%d kills=%d abandoned=%d \
+     wasted=%d releases=%d rounds=%d starts=%d heap_pops=%d"
+    t.instants t.completions t.fault_events t.endow_events t.kills t.abandoned
+    t.wasted t.releases t.rounds t.starts t.heap_pops
 
 let fields t =
   [
     ("instants", t.instants);
     ("completions", t.completions);
     ("fault_events", t.fault_events);
+    ("endow_events", t.endow_events);
     ("kills", t.kills);
     ("abandoned", t.abandoned);
     ("wasted", t.wasted);
@@ -91,6 +96,10 @@ let of_json j =
   let* instants = field "instants" in
   let* completions = field "completions" in
   let* fault_events = field "fault_events" in
+  (* Absent in snapshots written before the federation layer existed. *)
+  let endow_events =
+    match field "endow_events" with Ok v -> v | Error _ -> 0
+  in
   let* kills = field "kills" in
   let* abandoned = field "abandoned" in
   let* wasted = field "wasted" in
@@ -103,6 +112,7 @@ let of_json j =
       instants;
       completions;
       fault_events;
+      endow_events;
       kills;
       abandoned;
       wasted;

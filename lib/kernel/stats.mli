@@ -15,7 +15,8 @@ type t = {
   mutable instants : int;  (** event instants processed *)
   mutable completions : int;  (** completion events popped *)
   mutable fault_events : int;  (** fault events applied (fail + recover) *)
-  mutable kills : int;  (** jobs killed by machine failures *)
+  mutable endow_events : int;  (** endowment events applied (join/leave/lend/reclaim) *)
+  mutable kills : int;  (** jobs killed by machine failures or retirements *)
   mutable abandoned : int;  (** kills that exhausted the restart budget *)
   mutable wasted : int;  (** executed-then-lost parts across kills *)
   mutable releases : int;  (** job releases admitted *)

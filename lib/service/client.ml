@@ -242,6 +242,13 @@ module Resilient = struct
           else f.trace
         in
         Protocol.Fault { f with cid = c.r_cid; cseq = c.next_cseq; trace }
+    | Protocol.Endow e when e.cid = 0 ->
+        c.next_cseq <- c.next_cseq + 1;
+        let trace =
+          if e.trace = 0 then trace_of ~cid:c.r_cid ~cseq:c.next_cseq
+          else e.trace
+        in
+        Protocol.Endow { e with cid = c.r_cid; cseq = c.next_cseq; trace }
     | req -> req
 
   let call c req =

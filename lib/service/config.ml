@@ -7,14 +7,15 @@ type t = {
   max_restarts : int option;
   workers : int option;
   groups : int;
+  federated : bool;
 }
 
 (* Org-groups partition the organizations into contiguous balanced blocks:
    group [g] owns orgs [g*k/G, (g+1)*k/G).  Machines follow their orgs. *)
 let group_org_lo ~orgs ~groups g = g * orgs / groups
 
-let make ?speeds ?max_restarts ?workers ?(groups = 1) ~machines ~horizon
-    ~algorithm ~seed () =
+let make ?speeds ?max_restarts ?workers ?(groups = 1) ?(federated = false)
+    ~machines ~horizon ~algorithm ~seed () =
   let total = Array.fold_left ( + ) 0 machines in
   let orgs = Array.length machines in
   let empty_group () =
@@ -53,7 +54,18 @@ let make ?speeds ?max_restarts ?workers ?(groups = 1) ~machines ~horizon
     | Some sp when Array.exists (fun s -> s <= 0.) sp ->
         Error "speeds must be positive"
     | _ ->
-        Ok { machines; speeds; horizon; algorithm; seed; max_restarts; workers; groups }
+        Ok
+          {
+            machines;
+            speeds;
+            horizon;
+            algorithm;
+            seed;
+            max_restarts;
+            workers;
+            groups;
+            federated;
+          }
 
 let organizations t = Array.length t.machines
 let total_machines t = Array.fold_left ( + ) 0 t.machines
@@ -91,6 +103,8 @@ let to_json t =
          (* omitted when 1 so single-group WAL headers stay byte-identical
             with logs written before sharding existed *)
          (if t.groups = 1 then [] else [ ("groups", Int t.groups) ]);
+         (* same discipline: only federated daemons mark their headers *)
+         (if t.federated then [ ("federated", Bool true) ] else []);
        ])
 
 let int_field j name =
@@ -147,13 +161,20 @@ let of_json j =
     | Ok (Some g) -> Ok g
     | Error e -> Error e
   in
-  make ?speeds ?max_restarts ?workers ~groups ~machines ~horizon ~algorithm
-    ~seed ()
+  let* federated =
+    match Obs.Json.member j "federated" with
+    | None -> Ok false
+    | Some (Obs.Json.Bool b) -> Ok b
+    | Some _ -> Error "config field \"federated\" must be a boolean"
+  in
+  make ?speeds ?max_restarts ?workers ~groups ~federated ~machines ~horizon
+    ~algorithm ~seed ()
 
 let equal a b =
   a.machines = b.machines && a.speeds = b.speeds && a.horizon = b.horizon
   && a.algorithm = b.algorithm && a.seed = b.seed
   && a.max_restarts = b.max_restarts && a.groups = b.groups
+  && a.federated = b.federated
 
 let pp ppf t =
   Format.fprintf ppf "%s k=%d m=%d horizon=%d seed=%d" t.algorithm

@@ -25,6 +25,12 @@ type t = {
           session, and its own WAL segment.  Part of the durable identity:
           the partition determines ψsp, so a resumed daemon must keep it.
           [1] (the default) is the unsharded daemon. *)
+  federated : bool;
+      (** the daemon accepts [endow] feeds: its sessions are constructed in
+          federated mode ({!Federation.Mode}), so estimator policies build
+          live sub-coalition simulators that follow the ownership stream.
+          Part of the durable identity — recovery must rebuild sessions the
+          same way to replay logged [Endow] records bit-identically. *)
 }
 
 val make :
@@ -32,6 +38,7 @@ val make :
   ?max_restarts:int ->
   ?workers:int ->
   ?groups:int ->
+  ?federated:bool ->
   machines:int array ->
   horizon:int ->
   algorithm:string ->

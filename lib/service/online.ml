@@ -2,9 +2,15 @@ type t = {
   config : Config.t;
   session : Sim.Session.t;
   next_index : int array;  (* per-org FIFO rank counter *)
+  (* Admission-time ownership: the session's own copy only advances when
+     the engine processes an instant, so same-instant endow sequences
+     would validate against stale state.  This copy replays every event
+     at admission, mirroring Federation.Event.validate. *)
+  ownership : Federation.Event.Ownership.t;
   mutable frontier : int;
   mutable submitted : int;
   mutable faults_fed : int;
+  mutable endows_fed : int;
   mutable drained : bool;
 }
 
@@ -15,6 +21,9 @@ type error =
   | Past_horizon of { release : int; horizon : int }
   | Bad_machine of { machine : int; machines : int }
   | Bad_fault_time of { time : int; frontier : int }
+  | Bad_endow_time of { time : int; frontier : int }
+  | Bad_endow of string
+  | Not_federated
   | Drained
 
 let error_to_string = function
@@ -33,7 +42,26 @@ let error_to_string = function
   | Bad_fault_time { time; frontier } ->
       Printf.sprintf "fault time %d before the admission frontier %d" time
         frontier
+  | Bad_endow_time { time; frontier } ->
+      Printf.sprintf "endowment time %d before the admission frontier %d" time
+        frontier
+  | Bad_endow msg -> msg
+  | Not_federated ->
+      "daemon is not federated (start it with --federation to accept \
+       endowment events)"
   | Drained -> "session already drained"
+
+let machine_homes config =
+  let homes = Array.make (Config.total_machines config) 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun u m ->
+      for _ = 1 to m do
+        homes.(!pos) <- u;
+        incr pos
+      done)
+    config.Config.machines;
+  homes
 
 let create config =
   let instance = Config.empty_instance config in
@@ -41,15 +69,20 @@ let create config =
   let rng = Fstats.Rng.create ~seed:config.Config.seed in
   let session =
     Sim.Session.create ~record:true ?workers:config.Config.workers
-      ?max_restarts:config.Config.max_restarts ~instance ~rng maker
+      ?max_restarts:config.Config.max_restarts
+      ~federated:config.Config.federated ~instance ~rng maker
   in
   {
     config;
     session;
     next_index = Array.make (Config.organizations config) 0;
+    ownership =
+      Federation.Event.Ownership.create ~homes:(machine_homes config)
+        ~orgs:(Config.organizations config);
     frontier = 0;
     submitted = 0;
     faults_fed = 0;
+    endows_fed = 0;
     drained = false;
   }
 
@@ -96,6 +129,42 @@ let fault t ~time event =
       Sim.Session.feed_fault t.session { Faults.Event.time; event };
       Ok ()
 
+let check_endow_time t ~time =
+  if t.drained then Error Drained
+  else if not t.config.Config.federated then Error Not_federated
+  else if time < 0 || time < t.frontier then
+    Error (Bad_endow_time { time; frontier = t.frontier })
+  else Ok ()
+
+let check_endow t ~time event =
+  match check_endow_time t ~time with
+  | Error _ as e -> e
+  | Ok () -> (
+      (* Replay preconditions on a throwaway copy: check must not move
+         the admission state (the caller may still reject the feed). *)
+      match
+        Federation.Event.Ownership.apply
+          (Federation.Event.Ownership.copy t.ownership)
+          event
+      with
+      | Ok _ -> Ok ()
+      | Error msg -> Error (Bad_endow msg))
+
+let endow t ~time event =
+  match check_endow_time t ~time with
+  | Error _ as e -> e
+  | Ok () -> (
+      (* [apply] leaves the state unchanged on [Error], so mutating the
+         real admission copy here is itself the validation. *)
+      match Federation.Event.Ownership.apply t.ownership event with
+      | Error msg -> Error (Bad_endow msg)
+      | Ok _changes ->
+          t.frontier <- time;
+          t.endows_fed <- t.endows_fed + 1;
+          Sim.Session.advance_below t.session ~time;
+          Sim.Session.feed_endow t.session { Federation.Event.time; event };
+          Ok ())
+
 let drain t =
   if not t.drained then begin
     Sim.Session.run_to_horizon t.session ();
@@ -108,6 +177,8 @@ let frontier t = t.frontier
 let drained t = t.drained
 let submitted t = t.submitted
 let faults_fed t = t.faults_fed
+let endows_fed t = t.endows_fed
+let ownership t = t.ownership
 (* Before drain, values are exact only at the last processed instant;
    after drain every event is final and the batch convention applies:
    evaluate at the horizon (Definition 3.2 judges ψsp there). *)

@@ -24,6 +24,11 @@ type error =
   | Past_horizon of { release : int; horizon : int }
   | Bad_machine of { machine : int; machines : int }
   | Bad_fault_time of { time : int; frontier : int }
+  | Bad_endow_time of { time : int; frontier : int }
+  | Bad_endow of string
+      (** the event violates an ownership precondition (lending a machine
+          the org does not own, joining while active, …) *)
+  | Not_federated  (** endow feeds need a [federated] config *)
   | Drained  (** the session was already drained; no further feeding *)
 
 val error_to_string : error -> string
@@ -52,6 +57,16 @@ val fault : t -> time:int -> Faults.Event.t -> (unit, error) result
 (** Admit one fault event (same discipline as {!submit}: validate,
     advance below [time], feed). *)
 
+val check_endow : t -> time:int -> Federation.Event.t -> (unit, error) result
+(** Validation only: frontier discipline plus the event's ownership
+    preconditions, replayed against a copy of the admission-time
+    consortium state — no state change. *)
+
+val endow : t -> time:int -> Federation.Event.t -> (unit, error) result
+(** Admit one endowment event: validate against (and advance) the
+    admission-time ownership state, advance the engine below [time], and
+    feed the event.  Requires a [federated] config ({!Config.t}). *)
+
 val drain : t -> unit
 (** Run every remaining event to the horizon.  Idempotent; after draining,
     further {!submit}/{!fault} calls return [Error Drained]. *)
@@ -71,6 +86,13 @@ val submitted : t -> int
 (** Jobs admitted so far. *)
 
 val faults_fed : t -> int
+val endows_fed : t -> int
+
+val ownership : t -> Federation.Event.Ownership.t
+(** The admission-time consortium state: every admitted endow event has
+    been applied (even if the engine has not yet processed its instant).
+    Feeds the live membership gauges. *)
+
 val psi_scaled : t -> int array
 (** [2·ψsp(u)] per organization at {!now} — the last instant at which the
     value is exact. *)

@@ -18,6 +18,13 @@ type request =
       cseq : int;
       trace : int;
     }
+  | Endow of {
+      time : int;
+      event : Federation.Event.t;
+      cid : int;
+      cseq : int;
+      trace : int;
+    }
   | Status
   | Psi
   | Snapshot
@@ -69,6 +76,7 @@ type error_code =
 type response =
   | Submit_ok of { seq : int; org : int; index : int; now : int }
   | Fault_ok of { seq : int; now : int }
+  | Endow_ok of { seq : int; now : int }
   | Status_ok of status
   | Psi_ok of { now : int; psi_scaled : int array; parts : int array }
   | Snapshot_ok of { seq : int; path : string }
@@ -146,6 +154,56 @@ let float_field j name =
       | None -> Error (Printf.sprintf "field %S must be numeric" name))
   | None -> Error (Printf.sprintf "field %S missing" name)
 
+(* One wire encoding for endowment events, shared by the [endow] request
+   and the WAL's [Endow] record so the log and the socket cannot drift:
+   kind join|leave|lend|reclaim, acting org, optional borrower, machine
+   list omitted when empty (a readmit-all [Join] has no list). *)
+let endow_event_fields event =
+  let machines_field = function
+    | [] -> []
+    | ms -> [ ("machines", List (List.map (fun m -> Int m) ms)) ]
+  in
+  match event with
+  | Federation.Event.Join { org; machines } ->
+      (("kind", String "join") :: ("org", Int org) :: machines_field machines)
+  | Federation.Event.Leave { org } ->
+      [ ("kind", String "leave"); ("org", Int org) ]
+  | Federation.Event.Lend { org; to_org; machines } ->
+      ("kind", String "lend") :: ("org", Int org) :: ("to_org", Int to_org)
+      :: machines_field machines
+  | Federation.Event.Reclaim { org; machines } ->
+      ("kind", String "reclaim") :: ("org", Int org)
+      :: machines_field machines
+
+let machine_list_field j =
+  match member j "machines" with
+  | None -> Ok []
+  | Some (List items) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Int m :: rest -> go (m :: acc) rest
+        | _ -> Error "field \"machines\" must be a list of integers"
+      in
+      go [] items
+  | Some _ -> Error "field \"machines\" must be a list of integers"
+
+let endow_event_of_json j =
+  let* kind = string_field j "kind" in
+  let* org = int_field j "org" in
+  match kind with
+  | "join" ->
+      let* machines = machine_list_field j in
+      Ok (Federation.Event.Join { org; machines })
+  | "leave" -> Ok (Federation.Event.Leave { org })
+  | "lend" ->
+      let* to_org = int_field j "to_org" in
+      let* machines = machine_list_field j in
+      Ok (Federation.Event.Lend { org; to_org; machines })
+  | "reclaim" ->
+      let* machines = machine_list_field j in
+      Ok (Federation.Event.Reclaim { org; machines })
+  | k -> Error (Printf.sprintf "unknown endow kind %S" k)
+
 let summary_json (s : Obs.Metrics.summary) =
   Obj
     [
@@ -201,6 +259,11 @@ let request_to_json = function
            ("machine", Int machine);
          ]
         @ client_fields cid cseq @ trace_field trace)
+  | Endow { time; event; cid; cseq; trace } ->
+      Obj
+        ((("op", String "endow") :: ("time", Int time)
+         :: endow_event_fields event)
+        @ client_fields cid cseq @ trace_field trace)
   | Status -> Obj [ ("op", String "status") ]
   | Psi -> Obj [ ("op", String "psi") ]
   | Snapshot -> Obj [ ("op", String "snapshot") ]
@@ -236,6 +299,13 @@ let request_of_json j =
         | k -> Error (Printf.sprintf "unknown fault kind %S" k)
       in
       Ok (Fault { time; event; cid; cseq; trace })
+  | "endow" ->
+      let* time = int_field j "time" in
+      let* event = endow_event_of_json j in
+      let* cid = opt_int_field j "cid" ~default:0 in
+      let* cseq = opt_int_field j "cseq" ~default:0 in
+      let* trace = opt_int_field j "trace" ~default:0 in
+      Ok (Endow { time; event; cid; cseq; trace })
   | "status" -> Ok Status
   | "psi" -> Ok Psi
   | "snapshot" -> Ok Snapshot
@@ -434,6 +504,14 @@ let response_to_json = function
           ("seq", Int seq);
           ("now", Int now);
         ]
+  | Endow_ok { seq; now } ->
+      Obj
+        [
+          ("ok", Bool true);
+          ("op", String "endow");
+          ("seq", Int seq);
+          ("now", Int now);
+        ]
   | Status_ok s -> status_json s
   | Psi_ok { now; psi_scaled; parts } ->
       Obj
@@ -507,6 +585,10 @@ let response_of_json j =
         let* seq = int_field j "seq" in
         let* now = int_field j "now" in
         Ok (Fault_ok { seq; now })
+    | "endow" ->
+        let* seq = int_field j "seq" in
+        let* now = int_field j "now" in
+        Ok (Endow_ok { seq; now })
     | "status" -> status_of_json j
     | "psi" ->
         let* now = int_field j "now" in

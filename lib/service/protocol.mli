@@ -41,6 +41,17 @@ type request =
       cseq : int;
       trace : int;
     }
+  | Endow of {
+      time : int;
+      event : Federation.Event.t;
+      cid : int;
+      cseq : int;
+      trace : int;
+    }
+      (** an endowment event (consortium join/leave, machine lend/reclaim)
+          fed to a federated daemon; on the wire: ["kind"]
+          join|leave|lend|reclaim, ["org"], optional ["to_org"] (lend) and
+          ["machines"] (omitted when empty — a readmit-all join) *)
   | Status
   | Psi
   | Snapshot  (** force a snapshot + WAL compaction now *)
@@ -104,6 +115,7 @@ type error_code =
 type response =
   | Submit_ok of { seq : int; org : int; index : int; now : int }
   | Fault_ok of { seq : int; now : int }
+  | Endow_ok of { seq : int; now : int }
   | Status_ok of status
   | Psi_ok of { now : int; psi_scaled : int array; parts : int array }
   | Snapshot_ok of { seq : int; path : string }
@@ -121,6 +133,14 @@ type response =
 
 val error_code_to_string : error_code -> string
 val error_code_of_string : string -> error_code option
+
+(** {2 Endowment-event wire encoding}
+
+    Shared by the [endow] request and the WAL's [Endow] record so the
+    socket and the log cannot drift. *)
+
+val endow_event_fields : Federation.Event.t -> (string * Obs.Json.t) list
+val endow_event_of_json : Obs.Json.t -> (Federation.Event.t, string) result
 
 (** {2 Requests} *)
 

@@ -91,7 +91,7 @@ let emit conn resp =
     Buffer.add_string conn.out (Protocol.response_to_line resp)
 
 let is_feed = function
-  | Protocol.Submit _ | Protocol.Fault _ -> true
+  | Protocol.Submit _ | Protocol.Fault _ | Protocol.Endow _ -> true
   | Protocol.Status | Protocol.Psi | Protocol.Snapshot | Protocol.Drain _
   | Protocol.Metrics | Protocol.Trace _ ->
       false
@@ -289,6 +289,44 @@ let route_feed s conn slot req ~now =
             (Online.error_to_string
                (Online.Bad_machine { machine = m; machines }))
         else Ok (Partition.group_of_machine s.part m)
+    | Protocol.Endow { event; _ } -> (
+        (* Every org and machine the event names must live in one group:
+           the group's engine owns them, and a cross-group transfer would
+           need the shards to share ownership state.  The partition is
+           org-contiguous, so a consortium whose lending crosses groups
+           should be served with fewer groups. *)
+        let named_orgs =
+          Federation.Event.org event
+          ::
+          (match event with
+          | Federation.Event.Lend { to_org; _ } -> [ to_org ]
+          | _ -> [])
+        in
+        let named_machines = Federation.Event.machines event in
+        match
+          ( List.find_opt (fun o -> o < 0 || o >= norgs) named_orgs,
+            List.find_opt (fun m -> m < 0 || m >= machines) named_machines )
+        with
+        | Some org, _ ->
+            Error (Online.error_to_string (Online.Bad_org { org; norgs }))
+        | None, Some m ->
+            Error
+              (Online.error_to_string
+                 (Online.Bad_machine { machine = m; machines }))
+        | None, None ->
+            let grp = Partition.group_of_org s.part (List.hd named_orgs) in
+            if
+              List.for_all
+                (fun o -> Partition.group_of_org s.part o = grp)
+                named_orgs
+              && List.for_all
+                   (fun m -> Partition.group_of_machine s.part m = grp)
+                   named_machines
+            then Ok grp
+            else
+              Error
+                "endowment event spans multiple org-groups (members of a \
+                 lending consortium must share one group)")
     | Protocol.Status | Protocol.Psi | Protocol.Snapshot | Protocol.Drain _
     | Protocol.Metrics | Protocol.Trace _ ->
         assert false
@@ -322,7 +360,9 @@ let route_feed s conn slot req ~now =
         (if Obs.Trace.enabled () then
            let trace =
              match req with
-             | Protocol.Submit { trace; _ } | Protocol.Fault { trace; _ } ->
+             | Protocol.Submit { trace; _ }
+             | Protocol.Fault { trace; _ }
+             | Protocol.Endow { trace; _ } ->
                  trace
              | _ -> 0
            in
@@ -372,7 +412,7 @@ let route_request s conn req ~now =
                dropped = Obs.Trace.dropped ();
                trace = Obs.Trace.to_json ~limit ();
              })
-    | Protocol.Submit _ | Protocol.Fault _ -> assert false
+    | Protocol.Submit _ | Protocol.Fault _ | Protocol.Endow _ -> assert false
 
 let enqueue_line s conn line =
   let now = Unix.gettimeofday () in

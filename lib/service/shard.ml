@@ -8,6 +8,14 @@
 (* Per-service counters aggregated across shards; no-ops unless the
    process enables Obs.Metrics.  [service.shed] lives in Server — the
    router sheds before a feed ever reaches a shard. *)
+(* Live consortium membership (federated daemons): [fed.orgs_active] is
+   the global k(t) summed over every group's contribution — groups
+   publish from their own worker domains, so contributions live in a
+   mutex-protected table and each publish re-sums it. *)
+let g_fed_orgs_active = Obs.Metrics.gauge "fed.orgs_active"
+let fed_active_lock = Mutex.create ()
+let fed_active : (int, int) Hashtbl.t = Hashtbl.create 8
+
 let m_dup_acks = Obs.Metrics.counter "service.dup_acks"
 let m_degrade = Obs.Metrics.counter "service.degrade_switches"
 let m_recover = Obs.Metrics.counter "service.recover_switches"
@@ -166,6 +174,9 @@ type 'tok t = {
   slo_p : Obs.Metrics.gauge array;
   slo_drift : Obs.Metrics.gauge;
   slo_budget : Obs.Metrics.gauge;
+  (* consortium membership gauge (federated daemons): machines homed in
+     this group currently lent to another owner *)
+  fed_lent : Obs.Metrics.gauge;
   mutable slo_last : float;
 }
 
@@ -184,6 +195,24 @@ let local_event t = function
   | Faults.Event.Fail m -> Faults.Event.Fail (Partition.local_machine t.part m)
   | Faults.Event.Recover m ->
       Faults.Event.Recover (Partition.local_machine t.part m)
+
+(* Endowment events arrive under global ids; the engine speaks the
+   group's local ones.  The router guarantees every org and machine the
+   event names lives in this group (cross-group endows are rejected at
+   admission), so the translation is total. *)
+let local_endow_event ~part event =
+  let lorg o = Partition.local_org part o in
+  let lmachs ms = List.map (Partition.local_machine part) ms in
+  match event with
+  | Federation.Event.Join { org; machines } ->
+      Federation.Event.Join { org = lorg org; machines = lmachs machines }
+  | Federation.Event.Leave { org } ->
+      Federation.Event.Leave { org = lorg org }
+  | Federation.Event.Lend { org; to_org; machines } ->
+      Federation.Event.Lend
+        { org = lorg org; to_org = lorg to_org; machines = lmachs machines }
+  | Federation.Event.Reclaim { org; machines } ->
+      Federation.Event.Reclaim { org = lorg org; machines = lmachs machines }
 
 (* --- Replay (recovery and estimator switches) ----------------------------
    Records carry global org/machine ids; feeding the group engine
@@ -222,6 +251,19 @@ let replay ?dedupe ~part online records =
             | Some tbl when cid <> 0 && cseq > 0 ->
                 Hashtbl.replace tbl cid
                   (cseq, Protocol.Fault_ok { seq; now = Online.now online })
+            | Some _ | None -> ());
+            go rest
+        | Error e ->
+            Error
+              (Printf.sprintf "replay: record %d rejected: %s" seq
+                 (Online.error_to_string e)))
+    | Wal.Endow { seq; time; event; cid; cseq } :: rest -> (
+        match Online.endow online ~time (local_endow_event ~part event) with
+        | Ok () ->
+            (match dedupe with
+            | Some tbl when cid <> 0 && cseq > 0 ->
+                Hashtbl.replace tbl cid
+                  (cseq, Protocol.Endow_ok { seq; now = Online.now online })
             | Some _ | None -> ());
             go rest
         | Error e ->
@@ -332,8 +374,15 @@ let create ~partition ~group ~state_dir ~overload ~degrade_to ~snapshot_every
   let slo_budget =
     Obs.Metrics.gauge (Printf.sprintf "fair.estimator_budget_g%d" group)
   in
+  let fed_lent =
+    Obs.Metrics.gauge (Printf.sprintf "fed.machines_lent_g%d" group)
+  in
   Obs.Metrics.set slo_budget
     (estimator_budget ~spec:estimator ~players:(org_hi - org_lo));
+  if base.Config.federated then
+    Mutex.protect fed_active_lock (fun () ->
+        Hashtbl.replace fed_active group
+          (Federation.Event.Ownership.orgs_active (Online.ownership online)));
   Ok
     {
       group;
@@ -371,10 +420,12 @@ let create ~partition ~group ~state_dir ~overload ~degrade_to ~snapshot_every
       slo_p;
       slo_drift;
       slo_budget;
+      fed_lent;
       slo_last = 0.;
     }
 
 let close t =
+  Mutex.protect fed_active_lock (fun () -> Hashtbl.remove fed_active t.group);
   Option.iter Wal.close t.writer;
   t.writer <- None
 
@@ -603,6 +654,45 @@ let feed_inner t ~post ~now tok (req : Protocol.request) ~t_enq =
                            msg = Online.error_to_string e;
                            retry_after_ms = None;
                          }))))
+  | Protocol.Endow { time; event; cid; cseq; trace = _ } -> (
+      match dedupe_hit t ~cid ~cseq with
+      | Some (`Cached resp) -> hold t tok resp t_enq
+      | Some (`Stale last) ->
+          reject t ~post ~now ~t_enq tok Protocol.Bad_request
+            (Printf.sprintf "stale cseq %d (last applied %d)" cseq last)
+      | None -> (
+          if t.draining then
+            reject t ~post ~now ~t_enq tok Protocol.Draining
+              "daemon is draining"
+          else
+            let lev = local_endow_event ~part:t.part event in
+            match Online.check_endow t.online ~time lev with
+            | Error e ->
+                reject t ~post ~now ~t_enq tok (code_of_online_error e)
+                  (Online.error_to_string e)
+            | Ok () -> (
+                let seq = t.seq + 1 in
+                t.seq <- seq;
+                let record = Wal.Endow { seq; time; event; cid; cseq } in
+                Option.iter (fun w -> Wal.append w record) t.writer;
+                t.records_rev <- record :: t.records_rev;
+                t.accepted <- t.accepted + 1;
+                t.since_snapshot <- t.since_snapshot + 1;
+                match Online.endow t.online ~time lev with
+                | Ok () ->
+                    let resp =
+                      Protocol.Endow_ok { seq; now = Online.now t.online }
+                    in
+                    remember t ~cid ~cseq resp;
+                    hold t tok resp t_enq
+                | Error e ->
+                    observe_and_post t ~post ~now ~t_enq tok
+                      (Protocol.Error
+                         {
+                           code = Protocol.Bad_request;
+                           msg = Online.error_to_string e;
+                           retry_after_ms = None;
+                         }))))
   | Protocol.Status | Protocol.Psi | Protocol.Snapshot | Protocol.Drain _
   | Protocol.Metrics | Protocol.Trace _ ->
       (* control requests travel as [Query], never as [Feed] *)
@@ -617,7 +707,10 @@ let feed t ~post ~now tok (req : Protocol.request) ~t_enq =
   else begin
     let trace_id =
       match req with
-      | Protocol.Submit { trace; _ } | Protocol.Fault { trace; _ } -> trace
+      | Protocol.Submit { trace; _ }
+      | Protocol.Fault { trace; _ }
+      | Protocol.Endow { trace; _ } ->
+          trace
       | _ -> 0
     in
     let args =
@@ -822,7 +915,20 @@ let publish_slo t ~now =
         Obs.Metrics.set t.slo_p.(i) (float_of_int p /. 2.);
         drift := Float.max !drift (float_of_int (abs (s - p)) /. 2.))
       psi;
-    Obs.Metrics.set t.slo_drift !drift
+    Obs.Metrics.set t.slo_drift !drift;
+    if t.base.Config.federated then begin
+      let ownership = Online.ownership t.online in
+      let lent = ref 0 in
+      for u = 0 to Federation.Event.Ownership.orgs ownership - 1 do
+        lent := !lent + Federation.Event.Ownership.lent_out ownership u
+      done;
+      Obs.Metrics.set t.fed_lent (float_of_int !lent);
+      let active = Federation.Event.Ownership.orgs_active ownership in
+      Mutex.protect fed_active_lock (fun () ->
+          Hashtbl.replace fed_active t.group active;
+          let total = Hashtbl.fold (fun _ v acc -> acc + v) fed_active 0 in
+          Obs.Metrics.set g_fed_orgs_active (float_of_int total))
+    end
   end
 
 (* One processing round: pull queued messages, feed at most

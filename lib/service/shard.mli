@@ -55,8 +55,8 @@ type query =
 
 type 'tok msg =
   | Feed of { tok : 'tok; req : Protocol.request; t_enq : float }
-      (** a [Submit]/[Fault] already range-validated and admitted by the
-          router; [t_enq] is its enqueue wall-clock time *)
+      (** a [Submit]/[Fault]/[Endow] already range-validated and admitted
+          by the router; [t_enq] is its enqueue wall-clock time *)
   | Query of { tok : 'tok; q : query }
   | Tick  (** wake only — commit deadlines, stop checks *)
 

@@ -9,12 +9,23 @@ type record =
       cseq : int;
     }
   | Fault of { seq : int; time : int; event : Faults.Event.t; cid : int; cseq : int }
+  | Endow of {
+      seq : int;
+      time : int;
+      event : Federation.Event.t;
+      cid : int;
+      cseq : int;
+    }
   | Mode of { seq : int; estimator : string }
 
 let seq_of = function
-  | Submit { seq; _ } | Fault { seq; _ } | Mode { seq; _ } -> seq
+  | Submit { seq; _ } | Fault { seq; _ } | Endow { seq; _ } | Mode { seq; _ }
+    ->
+      seq
 
-let is_feed = function Submit _ | Fault _ -> true | Mode _ -> false
+let is_feed = function
+  | Submit _ | Fault _ | Endow _ -> true
+  | Mode _ -> false
 
 open Obs.Json
 
@@ -52,6 +63,13 @@ let record_to_json = function
            ("kind", String kind);
            ("machine", Int machine);
          ]
+        @ client_fields cid cseq)
+  | Endow { seq; time; event; cid; cseq } ->
+      (* Same event encoding as the socket (Protocol.endow_event_fields)
+         so the log replays exactly what was fed. *)
+      Obj
+        ((("rec", String "endow") :: ("seq", Int seq) :: ("time", Int time)
+         :: Protocol.endow_event_fields event)
         @ client_fields cid cseq)
   | Mode { seq; estimator } ->
       Obj
@@ -97,6 +115,13 @@ let record_of_json j =
         | _ -> Error "WAL field \"kind\" must be \"fail\" or \"recover\""
       in
       Ok (Fault { seq; time; event; cid; cseq })
+  | Some (String "endow") ->
+      let* seq = int_field j "seq" in
+      let* time = int_field j "time" in
+      let* event = Protocol.endow_event_of_json j in
+      let* cid = opt_int_field j "cid" ~default:0 in
+      let* cseq = opt_int_field j "cseq" ~default:0 in
+      Ok (Endow { seq; time; event; cid; cseq })
   | Some (String "mode") ->
       let* seq = int_field j "seq" in
       let* estimator =
@@ -529,6 +554,7 @@ type check_report = {
   ck_config : Config.t option;
   ck_submits : int;
   ck_faults : int;
+  ck_endows : int;
   ck_modes : int;
   ck_first_seq : int;
   ck_last_seq : int;
@@ -537,13 +563,14 @@ type check_report = {
 }
 
 let report_of_records ~kind ~config ~torn records =
-  let submits, faults, modes =
+  let submits, faults, endows, modes =
     List.fold_left
-      (fun (s, f, m) -> function
-        | Submit _ -> (s + 1, f, m)
-        | Fault _ -> (s, f + 1, m)
-        | Mode _ -> (s, f, m + 1))
-      (0, 0, 0) records
+      (fun (s, f, e, m) -> function
+        | Submit _ -> (s + 1, f, e, m)
+        | Fault _ -> (s, f + 1, e, m)
+        | Endow _ -> (s, f, e + 1, m)
+        | Mode _ -> (s, f, e, m + 1))
+      (0, 0, 0, 0) records
   in
   let seqs = List.map seq_of records in
   let first_seq = match seqs with [] -> 0 | s :: _ -> s in
@@ -558,6 +585,7 @@ let report_of_records ~kind ~config ~torn records =
     ck_config = config;
     ck_submits = submits;
     ck_faults = faults;
+    ck_endows = endows;
     ck_modes = modes;
     ck_first_seq = first_seq;
     ck_last_seq = last_seq;
@@ -621,8 +649,8 @@ let pp_check ppf r =
         (Config.organizations c) (Config.total_machines c) c.Config.horizon
         c.Config.algorithm
   | None -> Format.fprintf ppf "config: (empty state)@.");
-  Format.fprintf ppf "records: %d submit, %d fault, %d mode@." r.ck_submits
-    r.ck_faults r.ck_modes;
+  Format.fprintf ppf "records: %d submit, %d fault, %d endow, %d mode@."
+    r.ck_submits r.ck_faults r.ck_endows r.ck_modes;
   Format.fprintf ppf "seq range: %d..%d@." r.ck_first_seq r.ck_last_seq;
   (match r.ck_gaps with
   | [] -> Format.fprintf ppf "seq gaps: none@."

@@ -54,6 +54,17 @@ type record =
       cseq : int;  (** client-chosen sequence under [cid]; 0 = none *)
     }
   | Fault of { seq : int; time : int; event : Faults.Event.t; cid : int; cseq : int }
+  | Endow of {
+      seq : int;
+      time : int;
+      event : Federation.Event.t;
+      cid : int;
+      cseq : int;
+    }
+      (** an accepted endowment event (consortium membership / machine
+          ownership change), encoded on disk exactly as on the wire
+          ({!Protocol.endow_event_fields}); replay feeds it back through
+          {!Online.endow} so recovered ownership is bit-identical *)
   | Mode of { seq : int; estimator : string }
       (** the server switched the live estimator (degraded mode); logged
           so WAL replay reproduces the switch deterministically *)
@@ -63,8 +74,8 @@ val record_to_json : record -> Obs.Json.t
 val record_of_json : Obs.Json.t -> (record, string) result
 
 val is_feed : record -> bool
-(** [Submit]/[Fault] — records that feed the engine (a [Mode] switch does
-    not count toward accepted submissions). *)
+(** [Submit]/[Fault]/[Endow] — records that feed the engine (a [Mode]
+    switch does not count toward accepted submissions). *)
 
 val wal_path : dir:string -> string
 val snapshot_path : dir:string -> string
@@ -172,6 +183,7 @@ type check_report = {
   ck_config : Config.t option;
   ck_submits : int;
   ck_faults : int;
+  ck_endows : int;
   ck_modes : int;
   ck_first_seq : int;  (** 0 when no records *)
   ck_last_seq : int;

@@ -53,6 +53,7 @@ val run :
   ?checkpoints:int list ->
   ?workers:int ->
   ?faults:Faults.Event.timed list ->
+  ?federation:Federation.Event.timed list ->
   ?max_restarts:int ->
   instance:Instance.t ->
   rng:Fstats.Rng.t ->
@@ -82,7 +83,18 @@ val run :
     exceeded the job is abandoned (counted in the result).  An empty
     [faults] list (the default) leaves every code path and result
     bit-identical to a fault-free run.
-    @raise Invalid_argument on an unsorted/out-of-range fault trace. *)
+
+    [federation] injects endowment events (see {!Federation}): consortium
+    joins/leaves and machine lends/reclaims, applied within an instant
+    after faults and before releases, so ψsp and every coalition value
+    attribute capacity to the machine's {e current} owner and re-derive
+    from the live org set k(t).  Policy construction happens in federated
+    mode ({!Federation.Mode}) whenever the trace is non-empty.  An empty
+    trace (the default) is bit-identical to the static consortium across
+    all policies and worker counts.
+    @raise Invalid_argument on an unsorted/out-of-range fault trace or an
+    endowment trace that does not replay cleanly
+    ({!Federation.Event.validate}). *)
 
 val utilities : result -> float array
 (** Unscaled ψsp per organization. *)

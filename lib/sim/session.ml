@@ -17,6 +17,9 @@ type t = {
   policy : Algorithms.Policy.t;
   engine : Job.t Kernel.Engine.t;
   model : Job.t Kernel.Engine.model;
+  (* Live consortium ownership (home/owner/presence/activity), replayed in
+     lockstep with the endowment stream; inert without one. *)
+  ownership : Federation.Event.Ownership.t;
 }
 
 let machine_owners instance =
@@ -32,26 +35,41 @@ let machine_owners instance =
   owners
 
 let create ?(record = true) ?(checkpoints = []) ?workers ?(faults = [])
-    ?max_restarts ~instance ~rng (maker : Algorithms.Policy.maker) =
+    ?(endowments = []) ?federated ?max_restarts ~instance ~rng
+    (maker : Algorithms.Policy.maker) =
   let k = Instance.organizations instance in
   let nmachines = Instance.total_machines instance in
+  let homes = machine_owners instance in
+  (match Federation.Event.validate ~orgs:k ~homes endowments with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Sim: bad endowment trace: " ^ msg));
+  (* Federated construction also without a static trace when asked (the
+     online service feeds endowment events after boot). *)
+  let federated =
+    match federated with Some f -> f | None -> endowments <> []
+  in
   let cluster =
     Cluster.create ~record ?max_restarts
       ?speeds:instance.Instance.speeds
-      ~machine_owners:(machine_owners instance)
+      ~machine_owners:homes
       ~norgs:k ()
   in
+  let ownership = Federation.Event.Ownership.create ~homes ~orgs:k in
   let trackers = Array.init k (fun _ -> Utility.Tracker.create ()) in
   let view = { Algorithms.Policy.instance; cluster; trackers } in
   let policy =
-    match workers with
-    | None -> maker instance ~rng
-    | Some w ->
-        Core.Domain_pool.with_default_workers (Some w) (fun () ->
-            maker instance ~rng)
+    let construct () =
+      match workers with
+      | None -> maker instance ~rng
+      | Some w ->
+          Core.Domain_pool.with_default_workers (Some w) (fun () ->
+              maker instance ~rng)
+    in
+    if federated then Federation.Mode.with_enabled true construct
+    else construct ()
   in
   let engine =
-    Kernel.Engine.create ~faults ~machines:nmachines ~checkpoints
+    Kernel.Engine.create ~faults ~endowments ~machines:nmachines ~checkpoints
       ~release_time:(fun (j : Job.t) -> j.Job.release)
       instance.Instance.jobs
   in
@@ -97,6 +115,54 @@ let create ?(record = true) ?(checkpoints = []) ?workers ?(faults = [])
           in
           policy.Algorithms.Policy.on_fault view ~time ev;
           outcome);
+      apply_endow =
+        (fun ~time ev ->
+          let changes =
+            match Federation.Event.Ownership.apply ownership ev with
+            | Ok changes -> changes
+            | Error msg -> invalid_arg ("Sim: bad endowment event: " ^ msg)
+          in
+          let outcome =
+            List.fold_left
+              (fun (acc : Kernel.Engine.endow_outcome) change ->
+                match change with
+                | Federation.Event.Ownership.Activate u ->
+                    Cluster.resume_org cluster u;
+                    acc
+                | Federation.Event.Ownership.Deactivate u ->
+                    Cluster.suspend_org cluster u;
+                    acc
+                | Federation.Event.Ownership.Admit { machine; org } ->
+                    Cluster.admit_machine cluster ~org machine;
+                    acc
+                | Federation.Event.Ownership.Transfer { machine; org } ->
+                    Cluster.transfer_machine cluster ~org machine;
+                    acc
+                | Federation.Event.Ownership.Retire m -> (
+                    match Cluster.retire_machine cluster ~time m with
+                    | None -> acc
+                    | Some kill ->
+                        (* Same retraction as a fault kill: the piece lost
+                           to a retirement counts toward nobody's ψsp. *)
+                        Utility.Tracker.on_abort
+                          trackers.(kill.Cluster.k_job.Job.org)
+                          ~key:kill.Cluster.k_job.Job.index;
+                        policy.Algorithms.Policy.on_kill view ~time kill;
+                        Obs.Metrics.add m_wasted kill.Cluster.k_wasted;
+                        {
+                          Kernel.Engine.e_kills =
+                            acc.Kernel.Engine.e_kills + 1;
+                          e_wasted =
+                            acc.Kernel.Engine.e_wasted
+                            + kill.Cluster.k_wasted;
+                          e_abandoned =
+                            (acc.Kernel.Engine.e_abandoned
+                            + if kill.Cluster.k_resubmitted then 0 else 1);
+                        }))
+              Kernel.Engine.no_endow_effect changes
+          in
+          policy.Algorithms.Policy.on_endow view ~time ev;
+          outcome);
       admit =
         (fun ~time job ->
           Cluster.release cluster job;
@@ -124,7 +190,7 @@ let create ?(record = true) ?(checkpoints = []) ?workers ?(faults = [])
           !n);
     }
   in
-  { instance; cluster; trackers; policy; engine; model }
+  { instance; cluster; trackers; policy; engine; model; ownership }
 
 let instance t = t.instance
 let cluster t = t.cluster
@@ -134,6 +200,8 @@ let now t = Kernel.Engine.now t.engine
 
 let feed_job t job = Kernel.Engine.push_job t.engine job
 let feed_fault t ev = Kernel.Engine.push_fault t.engine ev
+let feed_endow t ev = Kernel.Engine.push_endow t.engine ev
+let ownership t = t.ownership
 
 let advance_below t ~time = Kernel.Engine.run_below t.engine t.model ~time
 

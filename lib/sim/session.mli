@@ -28,6 +28,8 @@ val create :
   ?checkpoints:int list ->
   ?workers:int ->
   ?faults:Faults.Event.timed list ->
+  ?endowments:Federation.Event.timed list ->
+  ?federated:bool ->
   ?max_restarts:int ->
   instance:Instance.t ->
   rng:Fstats.Rng.t ->
@@ -38,7 +40,15 @@ val create :
     instance and feeds everything dynamically).  Parameters are exactly
     those of {!Driver.run}, with the same defaults and the same
     bit-identity across [workers] counts.
-    @raise Invalid_argument on an unsorted/out-of-range fault trace. *)
+
+    [endowments] is the static endowment trace (validated against the
+    instance's endowment); [federated] forces federated policy
+    construction — {!Federation.Mode} raised around the maker so REF/RAND
+    build time-varying sub-coalition simulators — even when the static
+    trace is empty, which is how the daemon prepares for events fed later
+    (default: [endowments <> []]).
+    @raise Invalid_argument on an unsorted/out-of-range fault trace or an
+    invalid endowment trace. *)
 
 (** {2 Feeding events} *)
 
@@ -50,6 +60,13 @@ val feed_job : t -> Job.t -> unit
 
 val feed_fault : t -> Faults.Event.timed -> unit
 (** Push one fault event, in time order like {!feed_job}. *)
+
+val feed_endow : t -> Federation.Event.timed -> unit
+(** Push one endowment event, in time order like {!feed_job}.  The event
+    must be valid in the ownership state its predecessors produce
+    (pre-check with {!Federation.Event.Ownership.apply} on a copy of
+    {!ownership}); an invalid event raises [Invalid_argument] when the
+    engine applies it. *)
 
 (** {2 Advancing} *)
 
@@ -94,3 +111,9 @@ val schedule : t -> Schedule.t
 
 val wasted_total : t -> int
 (** Executed-then-discarded unit parts summed over organizations. *)
+
+val ownership : t -> Federation.Event.Ownership.t
+(** Live consortium state (k(t), per-machine owner/presence), replayed in
+    lockstep with the endowment stream — the source for the [fed.*]
+    membership gauges.  Inert (everything present and active) without
+    endowment events. *)
